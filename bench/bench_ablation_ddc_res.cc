@@ -1,0 +1,100 @@
+// Ablation of DDCres design choices (DESIGN.md §3, beyond the paper's
+// figures):
+//   (a) Algorithm 1 (single test) vs Algorithm 2 (incremental correction),
+//   (b) the increment delta_dim,
+//   (c) the error-bound quantile / multiplier.
+// Run on the DEEP proxy with HNSW at a fixed ef.
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+
+using namespace resinfer;
+
+namespace {
+
+struct Measured {
+  double qps = 0.0;
+  double recall = 0.0;
+  double scan_rate = 0.0;
+};
+
+Measured Measure(const index::HnswIndex& hnsw, const data::Dataset& ds,
+                 const std::vector<std::vector<int64_t>>& truth,
+                 index::DistanceComputer& computer, int ef) {
+  index::HnswScratch scratch;
+  std::vector<std::vector<int64_t>> results;
+  computer.stats().Reset();
+  WallTimer timer;
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    auto found = hnsw.Search(computer, ds.queries.Row(q), 20, ef, &scratch);
+    std::vector<int64_t> ids;
+    for (const auto& nb : found) ids.push_back(nb.id);
+    results.push_back(std::move(ids));
+  }
+  Measured m;
+  m.qps = ds.queries.rows() / timer.ElapsedSeconds();
+  m.recall = data::MeanRecallAtK(results, truth, 20);
+  m.scan_rate = computer.stats().ScanRate(ds.dim());
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::PrintBanner("bench_ablation_ddc_res",
+                         "DDCres design-choice ablations (extension)");
+  benchutil::Scale scale = benchutil::GetScale();
+
+  data::Dataset ds = benchutil::MakeProxy(data::DeepProxySpec(), scale);
+  auto truth = data::BruteForceKnn(ds.base, ds.queries, 20);
+  index::HnswOptions hnsw_options;
+  hnsw_options.M = scale.HnswM();
+  hnsw_options.ef_construction = scale.HnswEfConstruction();
+  index::HnswIndex hnsw = index::HnswIndex::Build(ds.base, hnsw_options);
+
+  linalg::PcaModel pca =
+      linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  linalg::Matrix rotated = pca.TransformBatch(ds.base.data(), ds.size());
+  const int ef = 160;
+
+  std::printf("variant,qps,recall,scan_rate\n");
+
+  // (a) Algorithm 1 vs Algorithm 2.
+  for (bool incremental : {false, true}) {
+    core::DdcResOptions options;
+    options.incremental = incremental;
+    core::DdcResComputer computer(&pca, &rotated, options);
+    Measured m = Measure(hnsw, ds, truth, computer, ef);
+    std::printf("algo=%s,%.1f,%.4f,%.3f\n",
+                incremental ? "incremental(Alg2)" : "basic(Alg1)", m.qps,
+                m.recall, m.scan_rate);
+  }
+
+  // (b) delta_dim sweep.
+  for (int64_t delta : {8, 16, 32, 64}) {
+    core::DdcResOptions options;
+    options.init_dim = delta;
+    options.delta_dim = delta;
+    core::DdcResComputer computer(&pca, &rotated, options);
+    Measured m = Measure(hnsw, ds, truth, computer, ef);
+    std::printf("delta_dim=%ld,%.1f,%.4f,%.3f\n", static_cast<long>(delta),
+                m.qps, m.recall, m.scan_rate);
+  }
+
+  // (c) multiplier sweep (quantile strength).
+  for (double mult : {1.0, 2.0, 3.0, 4.0, 6.0}) {
+    core::DdcResOptions options;
+    options.multiplier = mult;
+    core::DdcResComputer computer(&pca, &rotated, options);
+    Measured m = Measure(hnsw, ds, truth, computer, ef);
+    std::printf("multiplier=%.1f,%.1f,%.4f,%.3f\n", mult, m.qps, m.recall,
+                m.scan_rate);
+  }
+
+  std::printf(
+      "# expectation: Alg2 scans fewer dims than Alg1 at equal recall; "
+      "small multipliers trade recall for speed, large ones converge to "
+      "exact behaviour\n");
+  return 0;
+}

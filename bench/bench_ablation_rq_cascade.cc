@@ -1,0 +1,104 @@
+// Ablation: incremental vs single-shot correction on a quantization
+// backend (§V-B "Incremental Correction").
+//
+// The projection methods refine by adding dimensions; RQ refines by adding
+// stages. This harness compares, at matched target recall, on HNSW:
+//   (a) single-shot: full-depth RQ ADC + one classifier (DdcAny),
+//   (b) cascade: classifiers after 2 / 4 / 8 stages, pruning at the first
+//       level that fires (DdcRqCascade).
+// The cascade's win is cheaper pruning: most rejected candidates cost 2
+// table lookups instead of 8. Lookups per candidate and QPS tell the story;
+// recall must stay at the target for both.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common.h"
+
+namespace resinfer::benchutil {
+namespace {
+
+void RunDataset(const data::SyntheticSpec& spec, const Scale& scale) {
+  data::Dataset ds = MakeProxy(spec, scale);
+  std::printf("\n== dataset %s (n=%lld d=%lld) ==\n", ds.name.c_str(),
+              static_cast<long long>(ds.size()),
+              static_cast<long long>(ds.dim()));
+
+  const int k = 10;
+  std::vector<std::vector<int64_t>> truth =
+      data::BruteForceKnn(ds.base, ds.queries, k);
+
+  index::HnswOptions hnsw_options;
+  hnsw_options.M = scale.HnswM();
+  hnsw_options.ef_construction = scale.HnswEfConstruction();
+  index::HnswIndex hnsw = index::HnswIndex::Build(ds.base, hnsw_options);
+
+  const int nbits = scale.paper ? 8 : 6;
+  core::TrainingDataOptions training;
+  training.max_queries = scale.CorrectorTrainQueries();
+
+  // (a) single-shot full-depth RQ.
+  quant::RqOptions rq_options;
+  rq_options.num_stages = 8;
+  rq_options.nbits = nbits;
+  rq_options.kmeans.max_iterations = scale.paper ? 25 : 10;
+  core::RqEstimatorData single_data =
+      core::BuildRqEstimatorData(ds.base, rq_options);
+  core::RqAdcEstimator trainer(&single_data);
+  core::LinearCorrector single_corrector =
+      core::TrainAnyCorrector(trainer, ds.base, ds.train_queries, training);
+
+  // (b) the 2/4/8 cascade over the same RQ depth.
+  core::DdcRqCascadeOptions cascade_options;
+  cascade_options.rq = rq_options;
+  cascade_options.levels = {2, 4, 8};
+  cascade_options.training = training;
+  core::DdcRqCascadeArtifacts cascade =
+      core::TrainDdcRqCascade(ds.base, ds.train_queries, cascade_options);
+
+  std::printf("%-22s %6s %10s %8s %10s %14s\n", "variant", "ef", "recall@10",
+              "qps", "pruned", "lookups/cand");
+  for (int ef : {40, 80, 160}) {
+    {
+      core::DdcAnyComputer computer(
+          &ds.base, std::make_unique<core::RqAdcEstimator>(&single_data),
+          &single_corrector);
+      std::vector<SweepPoint> p = HnswSweep(hnsw, computer, ds, truth, k,
+                                            {ef});
+      // Single-shot always pays the full 8 lookups per estimated candidate.
+      std::printf("%-22s %6d %10.3f %8.0f %10.2f %14.1f\n",
+                  "single-shot (8 stages)", ef, p[0].recall, p[0].qps,
+                  computer.stats().PrunedRate(), 8.0);
+    }
+    {
+      core::DdcRqCascadeComputer computer(&ds.base, &cascade);
+      std::vector<SweepPoint> p = HnswSweep(hnsw, computer, ds, truth, k,
+                                            {ef});
+      const double lookups =
+          computer.stats().candidates > 0
+              ? static_cast<double>(computer.stage_lookups()) /
+                    static_cast<double>(computer.stats().candidates)
+              : 0.0;
+      std::printf("%-22s %6d %10.3f %8.0f %10.2f %14.1f\n",
+                  "cascade (2/4/8)", ef, p[0].recall, p[0].qps,
+                  computer.stats().PrunedRate(), lookups);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resinfer::benchutil
+
+int main() {
+  using namespace resinfer::benchutil;
+  PrintBanner("ablation_rq_cascade",
+              "§V-B incremental correction on a quantization backend");
+  Scale scale = GetScale();
+  RunDataset(resinfer::data::SiftProxySpec(), scale);
+  std::printf(
+      "\nExpected shape: the cascade matches the single-shot recall while "
+      "spending fewer table lookups per candidate (early levels absorb "
+      "most prunes), mirroring how Incremental-DDCres (Algorithm 2) beats "
+      "Algorithm 1 on scanned dimensions.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig 7 (Exp-3): pre-processing time and extra space per method, compared
+// to the index build costs.
+//   Time panel: HNSW build, IVF build, ADS rotation, PCA fit+rotation,
+//               OPQ train, FINGER build, DDCpca / DDCopq classifier
+//               training.
+//   Space panel: base size, HNSW graph, IVF lists, projection matrices,
+//                DDCres norms, OPQ codes, FINGER tables.
+// Expectation: ADS/PCA are tiny vs the index builds; classifier training
+// is comparable to indexing; FINGER needs far more time and memory.
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+
+using namespace resinfer;
+
+namespace {
+
+void RunDataset(data::SyntheticSpec spec, const benchutil::Scale& scale) {
+  // Slightly smaller than fig5 sizes: this binary touches every artifact
+  // including FINGER's per-node tables.
+  spec.num_base = scale.paper ? scale.BaseN(spec.dim)
+                              : std::min<int64_t>(scale.BaseN(spec.dim), 8000);
+  spec.num_queries = scale.Queries();
+  spec.num_train_queries = scale.TrainQueries();
+  data::Dataset ds = data::GenerateSynthetic(spec);
+
+  WallTimer timer;
+  index::HnswOptions hnsw_options;
+  hnsw_options.M = scale.HnswM();
+  hnsw_options.ef_construction = scale.HnswEfConstruction();
+  index::HnswIndex hnsw = index::HnswIndex::Build(ds.base, hnsw_options);
+  double hnsw_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  index::IvfOptions ivf_options;
+  ivf_options.num_clusters = static_cast<int>(
+      std::min<int64_t>(4096, std::max<int64_t>(64, ds.size() / 40)));
+  if (!scale.paper) ivf_options.kmeans.max_iterations = 10;
+  index::IvfIndex ivf = index::IvfIndex::Build(ds.base, ivf_options);
+  double ivf_seconds = timer.ElapsedSeconds();
+
+  core::MethodFactory factory(&ds, benchutil::ScaledFactoryOptions(scale));
+  factory.Make(core::kMethodAdSampling);
+  factory.Make(core::kMethodDdcRes);
+  factory.Make(core::kMethodDdcPca);
+  factory.Make(core::kMethodDdcOpq);
+  factory.Make(core::kMethodFinger, &hnsw);
+  const core::PreprocessCosts& costs = factory.costs();
+
+  int64_t base_bytes = ds.base.size() * static_cast<int64_t>(sizeof(float));
+  int64_t ivf_bytes =
+      ivf.centroids().size() * static_cast<int64_t>(sizeof(float)) +
+      ds.size() * static_cast<int64_t>(sizeof(int64_t));
+
+  std::printf("\n## %s (n=%ld, dim=%ld)\n", ds.name.c_str(),
+              static_cast<long>(ds.size()), static_cast<long>(ds.dim()));
+  std::printf("%-22s %12s %14s\n", "component", "time(s)", "space");
+  std::printf("%-22s %12s %14s\n", "base vectors", "-",
+              benchutil::HumanBytes(base_bytes).c_str());
+  std::printf("%-22s %12.2f %14s\n", "HNSW build", hnsw_seconds,
+              benchutil::HumanBytes(hnsw.GraphBytes()).c_str());
+  std::printf("%-22s %12.2f %14s\n", "IVF build", ivf_seconds,
+              benchutil::HumanBytes(ivf_bytes).c_str());
+  std::printf("%-22s %12.2f %14s\n", "ADS (rotation)", costs.ads_seconds,
+              benchutil::HumanBytes(costs.ads_bytes).c_str());
+  std::printf("%-22s %12.2f %14s\n", "PCA (fit+rotate)", costs.pca_seconds,
+              benchutil::HumanBytes(costs.ddc_res_bytes).c_str());
+  std::printf("%-22s %12.2f %14s\n", "OPQ (train+encode)", costs.opq_seconds,
+              benchutil::HumanBytes(costs.ddc_opq_bytes).c_str());
+  std::printf("%-22s %12.2f %14s\n", "DDCpca classifier",
+              costs.ddc_pca_train_seconds,
+              benchutil::HumanBytes(costs.ddc_pca_bytes).c_str());
+  std::printf("%-22s %12.2f %14s\n", "DDCopq classifier",
+              costs.ddc_opq_train_seconds, "-");
+  std::printf("%-22s %12.2f %14s\n", "FINGER build", costs.finger_seconds,
+              benchutil::HumanBytes(costs.finger_bytes).c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::PrintBanner("bench_fig7_preprocessing",
+                         "Fig 7 (pre-processing time and space)");
+  benchutil::Scale scale = benchutil::GetScale();
+  RunDataset(data::MsongProxySpec(), scale);
+  RunDataset(data::GistProxySpec(), scale);
+  RunDataset(data::DeepProxySpec(), scale);
+  RunDataset(data::Word2vecProxySpec(), scale);
+  RunDataset(data::GloveProxySpec(), scale);
+  RunDataset(data::TinyProxySpec(), scale);
+  std::printf(
+      "\n# expectation (paper Fig 7): ADS/PCA rotation time << HNSW/IVF "
+      "build; classifier training comparable to indexing; FINGER costs the "
+      "most time and space by a wide margin\n");
+  return 0;
+}

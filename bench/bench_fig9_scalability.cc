@@ -1,0 +1,55 @@
+// Fig 9 (Exp-5): scalability on growing slices of a SIFT-like dataset.
+// The paper uses 20M..100M slices of SIFT100M; the proxy sweeps five
+// proportional slices at this machine's scale and reports, per slice,
+// HNSW build time next to every method's preprocessing time.
+//
+// Expectation: preprocessing (ADS/PCA/OPQ rotations) remains 1-5% of the
+// HNSW build time at every size, and classifier training grows linearly.
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+
+using namespace resinfer;
+
+int main() {
+  benchutil::PrintBanner("bench_fig9_scalability", "Fig 9 (scalability)");
+  benchutil::Scale scale = benchutil::GetScale();
+
+  const int64_t max_n = scale.paper ? 500000 : 40000;
+  std::printf("%-10s %10s %8s %8s %8s %10s %10s\n", "slice", "HNSW(s)",
+              "ADS(s)", "PCA(s)", "OPQ(s)", "DDCpca(s)", "DDCopq(s)");
+
+  for (int slice = 1; slice <= 5; ++slice) {
+    data::SyntheticSpec spec = data::SiftProxySpec();
+    spec.num_base = max_n * slice / 5;
+    spec.num_queries = 16;  // queries are irrelevant here
+    spec.num_train_queries = scale.TrainQueries();
+    data::Dataset ds = data::GenerateSynthetic(spec);
+
+    WallTimer timer;
+    index::HnswOptions hnsw_options;
+    hnsw_options.M = scale.HnswM();
+    hnsw_options.ef_construction = scale.HnswEfConstruction();
+    index::HnswIndex hnsw = index::HnswIndex::Build(ds.base, hnsw_options);
+    double hnsw_seconds = timer.ElapsedSeconds();
+
+    core::MethodFactory factory(&ds, benchutil::ScaledFactoryOptions(scale));
+    factory.Make(core::kMethodAdSampling);
+    factory.Make(core::kMethodDdcRes);
+    factory.Make(core::kMethodDdcPca);
+    factory.Make(core::kMethodDdcOpq);
+    const core::PreprocessCosts& costs = factory.costs();
+
+    std::printf("%-10ld %10.2f %8.2f %8.2f %8.2f %10.2f %10.2f\n",
+                static_cast<long>(ds.size()), hnsw_seconds,
+                costs.ads_seconds, costs.pca_seconds, costs.opq_seconds,
+                costs.ddc_pca_train_seconds, costs.ddc_opq_train_seconds);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "# expectation (paper Fig 9): rotation-style preprocessing stays a "
+      "few %% of HNSW build time at every slice; classifier training time "
+      "grows ~linearly with the slice\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks of the distance kernels (google-benchmark): scalar vs
+// AVX2 L2/inner-product across the dimensions of the paper's datasets.
+// Not a paper figure; sanity for the SIMD substrate (the paper disables
+// SIMD, this library ships both — see DESIGN.md §2).
+#include <benchmark/benchmark.h>
+
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+#include "util/aligned_buffer.h"
+#include "util/rng.h"
+
+namespace {
+
+using resinfer::AlignedBuffer;
+using resinfer::Rng;
+
+AlignedBuffer<float> MakeVec(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  AlignedBuffer<float> buf(n);
+  for (std::size_t i = 0; i < n; ++i)
+    buf[i] = static_cast<float>(rng.Gaussian());
+  return buf;
+}
+
+void BM_L2SqrScalar(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  auto a = MakeVec(n, 1), b = MakeVec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resinfer::simd::internal::L2SqrScalar(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_L2SqrScalar)->Arg(128)->Arg(256)->Arg(420)->Arg(960);
+
+#if defined(RESINFER_HAVE_AVX2)
+void BM_L2SqrAvx2(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  auto a = MakeVec(n, 1), b = MakeVec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resinfer::simd::internal::L2SqrAvx2(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_L2SqrAvx2)->Arg(128)->Arg(256)->Arg(420)->Arg(960);
+#endif
+
+AlignedBuffer<uint8_t> MakeCodes(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  AlignedBuffer<uint8_t> buf(n);
+  for (std::size_t i = 0; i < n; ++i)
+    buf[i] = static_cast<uint8_t>(rng.Uniform() * 255.0);
+  return buf;
+}
+
+void BM_SqAdcL2SqrScalar(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  auto q = MakeVec(n, 11), vmin = MakeVec(n, 12), step = MakeVec(n, 13);
+  auto code = MakeCodes(n, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resinfer::simd::internal::SqAdcL2SqrScalar(
+        q.data(), code.data(), vmin.data(), step.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SqAdcL2SqrScalar)->Arg(128)->Arg(960);
+
+#if defined(RESINFER_HAVE_AVX2)
+void BM_SqAdcL2SqrAvx2(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  auto q = MakeVec(n, 11), vmin = MakeVec(n, 12), step = MakeVec(n, 13);
+  auto code = MakeCodes(n, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resinfer::simd::internal::SqAdcL2SqrAvx2(
+        q.data(), code.data(), vmin.data(), step.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SqAdcL2SqrAvx2)->Arg(128)->Arg(960);
+#endif
+
+void BM_InnerProductScalar(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  auto a = MakeVec(n, 3), b = MakeVec(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resinfer::simd::internal::InnerProductScalar(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InnerProductScalar)->Arg(128)->Arg(960);
+
+#if defined(RESINFER_HAVE_AVX2)
+void BM_InnerProductAvx2(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  auto a = MakeVec(n, 3), b = MakeVec(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resinfer::simd::internal::InnerProductAvx2(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InnerProductAvx2)->Arg(128)->Arg(960);
+#endif
+
+// Partial (prefix) inner product — the DDCres hot path reads only the
+// first d dimensions of the rotated vectors.
+void BM_PrefixInnerProduct(benchmark::State& state) {
+  auto a = MakeVec(960, 5), b = MakeVec(960, 6);
+  const std::size_t d = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resinfer::simd::InnerProduct(a.data(), b.data(), d));
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_PrefixInnerProduct)->Arg(32)->Arg(64)->Arg(128)->Arg(960);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace resinfer::benchutil {
+
+Scale GetScale() {
+  Scale scale;
+  const char* env = std::getenv("RESINFER_BENCH_SCALE");
+  scale.paper = env != nullptr && std::strcmp(env, "paper") == 0;
+  return scale;
+}
+
+data::Dataset MakeProxy(data::SyntheticSpec spec, const Scale& scale) {
+  spec.num_base = scale.BaseN(spec.dim);
+  spec.num_queries = scale.Queries();
+  spec.num_train_queries = scale.TrainQueries();
+  return data::GenerateSynthetic(spec);
+}
+
+core::FactoryOptions ScaledFactoryOptions(const Scale& scale) {
+  core::FactoryOptions options;
+  options.ddc_pca.training.max_queries = scale.CorrectorTrainQueries();
+  options.ddc_pca.training.k = 100;
+  options.ddc_pca.training.negatives_per_query = 100;
+  options.ddc_opq.training = options.ddc_pca.training;
+  if (!scale.paper) {
+    // Faster OPQ at small scale; quality difference is marginal at these
+    // sizes and it keeps every bench binary within its time budget.
+    options.ddc_opq.opq.num_iterations = 3;
+    options.ddc_opq.opq.pq.kmeans.max_iterations = 12;
+  }
+  return options;
+}
+
+namespace {
+
+std::vector<SweepPoint> RunSweep(
+    index::DistanceComputer& computer, const data::Dataset& ds,
+    const std::vector<std::vector<int64_t>>& ground_truth, int k,
+    const std::vector<int>& knobs,
+    const std::function<std::vector<index::Neighbor>(int knob,
+                                                     const float* query)>&
+        search) {
+  std::vector<SweepPoint> points;
+  // Warm-up: touch the computer's artifacts and the index pages once so
+  // the first sweep point is not dominated by cold caches / page faults.
+  if (!knobs.empty()) {
+    const int64_t warm = std::min<int64_t>(8, ds.queries.rows());
+    for (int64_t q = 0; q < warm; ++q) {
+      search(knobs.front(), ds.queries.Row(q));
+    }
+  }
+  for (int knob : knobs) {
+    std::vector<std::vector<int64_t>> results;
+    results.reserve(ds.queries.rows());
+    WallTimer timer;
+    for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+      auto found = search(knob, ds.queries.Row(q));
+      std::vector<int64_t> ids;
+      ids.reserve(found.size());
+      for (const auto& nb : found) ids.push_back(nb.id);
+      results.push_back(std::move(ids));
+    }
+    double elapsed = timer.ElapsedSeconds();
+    SweepPoint point;
+    point.knob = knob;
+    point.qps = static_cast<double>(ds.queries.rows()) / elapsed;
+    point.recall = data::MeanRecallAtK(results, ground_truth, k);
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> HnswSweep(
+    const index::HnswIndex& graph, index::DistanceComputer& computer,
+    const data::Dataset& ds,
+    const std::vector<std::vector<int64_t>>& ground_truth, int k,
+    const std::vector<int>& efs) {
+  index::HnswScratch scratch;
+  return RunSweep(computer, ds, ground_truth, k, efs,
+                  [&](int ef, const float* query) {
+                    return graph.Search(computer, query, k, ef, &scratch);
+                  });
+}
+
+std::vector<SweepPoint> IvfSweep(
+    const index::IvfIndex& ivf, index::DistanceComputer& computer,
+    const data::Dataset& ds,
+    const std::vector<std::vector<int64_t>>& ground_truth, int k,
+    const std::vector<int>& nprobes) {
+  return RunSweep(computer, ds, ground_truth, k, nprobes,
+                  [&](int nprobe, const float* query) {
+                    return ivf.Search(computer, query, k, nprobe);
+                  });
+}
+
+std::string HumanBytes(int64_t bytes) {
+  char buf[64];
+  if (bytes >= (1LL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGiB",
+                  static_cast<double>(bytes) / (1LL << 30));
+  } else if (bytes >= (1LL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2fMiB",
+                  static_cast<double>(bytes) / (1LL << 20));
+  } else if (bytes >= (1LL << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2fKiB",
+                  static_cast<double>(bytes) / (1LL << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldB", static_cast<long>(bytes));
+  }
+  return buf;
+}
+
+void PrintBanner(const char* bench_name, const char* paper_ref) {
+  // The paper disables SIMD (§VII-A); RESINFER_BENCH_SIMD=scalar pins the
+  // reference kernels to reproduce that regime, the default keeps AVX2.
+  const char* simd_env = std::getenv("RESINFER_BENCH_SIMD");
+  if (simd_env != nullptr && std::strcmp(simd_env, "scalar") == 0) {
+    simd::SetActiveLevel(simd::SimdLevel::kScalar);
+  }
+  Scale scale = GetScale();
+  std::printf("# %s — reproduces %s\n", bench_name, paper_ref);
+  std::printf("# scale=%s simd=%s threads=%d\n", scale.Name(),
+              simd::SimdLevelName(simd::ActiveLevel()), DefaultThreadCount());
+}
+
+}  // namespace resinfer::benchutil

@@ -1,0 +1,76 @@
+// Shared plumbing for the paper-figure bench harnesses.
+//
+// Every bench binary is self-contained: it generates its proxy dataset(s),
+// builds indexes, trains methods, runs the sweep its figure needs, and
+// prints CSV-style rows to stdout. RESINFER_BENCH_SCALE=small|paper picks
+// laptop-friendly or larger sizes (small is the default so the whole bench
+// directory runs unattended in minutes).
+#ifndef RESINFER_BENCH_COMMON_H_
+#define RESINFER_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resinfer/resinfer.h"
+
+namespace resinfer::benchutil {
+
+struct Scale {
+  bool paper = false;
+
+  // Base size shrinks for very high-dimensional proxies so each binary
+  // stays within a small time budget at `small` scale.
+  int64_t BaseN(int64_t dim) const {
+    if (paper) return dim >= 900 ? 100000 : 200000;
+    return dim >= 900 ? 6000 : (dim >= 380 ? 10000 : 15000);
+  }
+  int64_t Queries() const { return paper ? 1000 : 100; }
+  int64_t TrainQueries() const { return paper ? 10000 : 800; }
+  int HnswEfConstruction() const { return paper ? 500 : 120; }
+  int HnswM() const { return 16; }
+  int64_t CorrectorTrainQueries() const { return paper ? 2000 : 300; }
+  const char* Name() const { return paper ? "paper" : "small"; }
+};
+
+Scale GetScale();
+
+// Generates a proxy dataset resized to the active scale.
+data::Dataset MakeProxy(data::SyntheticSpec spec, const Scale& scale);
+
+// Factory options tuned per scale (training budgets etc.).
+core::FactoryOptions ScaledFactoryOptions(const Scale& scale);
+
+// --- sweep helpers --------------------------------------------------------
+
+struct SweepPoint {
+  int knob = 0;         // ef or nprobe
+  double qps = 0.0;
+  double recall = 0.0;  // recall@k
+};
+
+// Runs an HNSW ef-sweep for one computer. Ground truth must hold >= k ids
+// per query.
+std::vector<SweepPoint> HnswSweep(
+    const index::HnswIndex& graph, index::DistanceComputer& computer,
+    const data::Dataset& ds,
+    const std::vector<std::vector<int64_t>>& ground_truth, int k,
+    const std::vector<int>& efs);
+
+// Runs an IVF nprobe-sweep for one computer.
+std::vector<SweepPoint> IvfSweep(
+    const index::IvfIndex& ivf, index::DistanceComputer& computer,
+    const data::Dataset& ds,
+    const std::vector<std::vector<int64_t>>& ground_truth, int k,
+    const std::vector<int>& nprobes);
+
+// Formats bytes with a human-readable suffix.
+std::string HumanBytes(int64_t bytes);
+
+// Prints the standard bench banner (scale, SIMD level, thread count).
+void PrintBanner(const char* bench_name, const char* paper_ref);
+
+}  // namespace resinfer::benchutil
+
+#endif  // RESINFER_BENCH_COMMON_H_

@@ -1,0 +1,112 @@
+// Maximum-inner-product recommendation with the MIPS -> L2 reduction.
+//
+// A recommender scores items by <user, item> and wants the top scorers —
+// maximum inner product search, not nearest neighbors. §II-A notes that
+// inner product "can be transformed into Euclidean distance through simple
+// transformations"; this example runs that pipeline end to end:
+//
+//   1. embed a catalog of items and some user profiles (synthetic here),
+//   2. reduce MIPS to L2 with data::MipsTransform (one extra dimension),
+//   3. index the augmented items with HNSW,
+//   4. accelerate refinement with the generic data-driven corrector
+//      (core/ddc_any.h) over a Residual Quantization estimator — the §V
+//      machinery, two metric hops away from where the paper benchmarked it,
+//   5. check the recommendations against exact inner-product scoring.
+//
+// Build & run:  ./build/examples/mips_recommender
+#include <cstdio>
+#include <memory>
+
+#include "resinfer/resinfer.h"
+
+using namespace resinfer;
+
+int main() {
+  // 1. Catalog: 30k item embeddings, 96-d, mildly skewed spectrum; user
+  // vectors drawn from the same space. Inner-product magnitudes matter for
+  // MIPS, so the vectors are NOT normalized.
+  data::SyntheticSpec spec;
+  spec.name = "catalog";
+  spec.dim = 96;
+  spec.num_base = 30000;
+  spec.num_queries = 100;       // users to serve
+  spec.num_train_queries = 500; // users to train the corrector on
+  spec.spectrum_alpha = 0.8;
+  spec.seed = 2026;
+  data::Dataset catalog = data::GenerateSynthetic(spec);
+  std::printf("catalog: %ld items, %ld-d, %ld users\n",
+              static_cast<long>(catalog.size()),
+              static_cast<long>(catalog.dim()),
+              static_cast<long>(catalog.queries.rows()));
+
+  // 2. MIPS -> L2: items gain a sqrt(phi^2 - ||x||^2) pad, users a zero.
+  data::MipsTransform mips = data::MipsTransform::Fit(catalog.base);
+  linalg::Matrix items = mips.TransformBase(catalog.base);
+  linalg::Matrix users = mips.TransformQueries(catalog.queries);
+  linalg::Matrix train_users = mips.TransformQueries(catalog.train_queries);
+  std::printf("augmented to %ld-d (phi=%.3f)\n",
+              static_cast<long>(items.cols()), mips.max_norm());
+
+  // 3. HNSW over the augmented items.
+  index::HnswOptions hnsw_options;
+  hnsw_options.ef_construction = 150;
+  index::HnswIndex hnsw = index::HnswIndex::Build(items, hnsw_options);
+
+  // 4. Residual-quantization estimator + learned corrector, via the
+  // source-agnostic DDC plug-in. Everything operates in the augmented
+  // space; neither component knows the workload is really inner product.
+  quant::RqOptions rq_options;
+  rq_options.num_stages = 8;
+  core::RqEstimatorData rq = core::BuildRqEstimatorData(items, rq_options);
+
+  core::TrainingDataOptions training;
+  training.max_queries = 400;
+  core::RqAdcEstimator trainer(&rq);
+  core::LinearCorrector corrector =
+      core::TrainAnyCorrector(trainer, items, train_users, training);
+  std::printf("corrector trained: w_approx=%.3f bias=%.3f\n",
+              corrector.w_approx(), corrector.bias());
+
+  // 5. Serve every user through the multi-threaded batch runner and score
+  // against exact inner-product top-10.
+  const int k = 10;
+  index::BatchResult batch = index::BatchSearchHnsw(
+      hnsw,
+      [&] {
+        return std::make_unique<core::DdcAnyComputer>(
+            &items, std::make_unique<core::RqAdcEstimator>(&rq), &corrector);
+      },
+      users, k, /*ef=*/120);
+
+  double recall_sum = 0.0;
+  for (int64_t u = 0; u < catalog.queries.rows(); ++u) {
+    std::vector<data::Neighbor> exact_top =
+        data::TopKByInnerProduct(catalog.base, catalog.queries.Row(u), k);
+    std::vector<int64_t> truth;
+    for (const auto& nb : exact_top) truth.push_back(nb.id);
+    std::vector<int64_t> got;
+    for (const auto& nb : batch.results[static_cast<std::size_t>(u)]) {
+      got.push_back(nb.id);
+    }
+    recall_sum += data::RecallAtK(got, truth, k);
+  }
+  const double recall = recall_sum / static_cast<double>(users.rows());
+
+  std::printf("top-%d recommendation recall vs exact MIPS: %.3f\n", k,
+              recall);
+  std::printf("throughput: %.0f users/s, latency %s\n", batch.Qps(),
+              batch.latency_seconds.Summary().c_str());
+  std::printf("pruned %.1f%% of candidate scorings\n",
+              100.0 * batch.stats.PrunedRate());
+
+  // Show one user's recommendations with their true scores.
+  std::printf("\nuser 0 top-5 items (id: score):");
+  for (int r = 0; r < 5; ++r) {
+    const int64_t id = batch.results[0][static_cast<std::size_t>(r)].id;
+    const float score = simd::InnerProduct(catalog.queries.Row(0),
+                                           catalog.base.Row(id), 96);
+    std::printf("  %ld: %.3f", static_cast<long>(id), score);
+  }
+  std::printf("\n");
+  return recall >= 0.9 ? 0 : 1;
+}

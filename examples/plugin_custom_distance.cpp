@@ -1,0 +1,156 @@
+// Generality demo (§V): plugging an ARBITRARY approximate distance into
+// the data-driven corrector.
+//
+// The paper's claim is that the learned correction needs no knowledge of
+// where dis' comes from. To prove it end-to-end, this example invents an
+// estimator the paper never discusses — an 8-bit scalar-quantization (SQ)
+// distance — wraps it in a DistanceComputer with a LinearCorrector trained
+// by the standard pipeline, and runs it inside the unmodified HNSW index.
+#include <cstdio>
+#include <vector>
+
+#include "resinfer/resinfer.h"
+
+using namespace resinfer;
+
+namespace {
+
+// --- a homegrown approximate distance: per-dimension 8-bit scalar
+// quantization with global [min, max] range ----------------------------
+class ScalarQuantizer {
+ public:
+  void Train(const linalg::Matrix& base) {
+    lo_ = base.data()[0];
+    hi_ = base.data()[0];
+    for (int64_t i = 0; i < base.size(); ++i) {
+      lo_ = std::min(lo_, base.data()[i]);
+      hi_ = std::max(hi_, base.data()[i]);
+    }
+    scale_ = (hi_ - lo_) / 255.0f;
+    codes_.resize(base.size());
+    for (int64_t i = 0; i < base.size(); ++i) {
+      codes_[i] = static_cast<uint8_t>(
+          std::clamp((base.data()[i] - lo_) / scale_, 0.0f, 255.0f));
+    }
+    dim_ = base.cols();
+  }
+
+  // Approximate squared distance between the query and encoded row `id`.
+  float Distance(const float* query, int64_t id) const {
+    const uint8_t* code = codes_.data() + id * dim_;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < dim_; ++j) {
+      float decoded = lo_ + scale_ * static_cast<float>(code[j]);
+      float diff = query[j] - decoded;
+      acc += diff * diff;
+    }
+    return acc;
+  }
+
+ private:
+  float lo_ = 0.0f, hi_ = 0.0f, scale_ = 1.0f;
+  int64_t dim_ = 0;
+  std::vector<uint8_t> codes_;
+};
+
+// --- the plug-in: SQ distance + learned correction ---------------------
+class SqDdcComputer : public index::DistanceComputer {
+ public:
+  SqDdcComputer(const linalg::Matrix* base, const ScalarQuantizer* sq,
+                const core::LinearCorrector* corrector)
+      : base_(base), sq_(sq), corrector_(corrector) {}
+
+  int64_t dim() const override { return base_->cols(); }
+  int64_t size() const override { return base_->rows(); }
+  std::string name() const override { return "ddc-sq8 (custom)"; }
+
+  void BeginQuery(const float* query) override { query_ = query; }
+
+  index::EstimateResult EstimateWithThreshold(int64_t id,
+                                              float tau) override {
+    ++stats_.candidates;
+    float approx = sq_->Distance(query_, id);
+    if (std::isfinite(tau) && corrector_->PredictPrunable(approx, tau)) {
+      ++stats_.pruned;
+      return {true, approx};
+    }
+    ++stats_.exact_computations;
+    return {false, ExactDistance(id)};
+  }
+
+  float ExactDistance(int64_t id) override {
+    return simd::L2Sqr(base_->Row(id), query_,
+                       static_cast<std::size_t>(base_->cols()));
+  }
+
+ private:
+  const linalg::Matrix* base_;
+  const ScalarQuantizer* sq_;
+  const core::LinearCorrector* corrector_;
+  const float* query_ = nullptr;
+};
+
+}  // namespace
+
+int main() {
+  data::SyntheticSpec spec = data::DeepProxySpec();
+  spec.num_base = 12000;
+  spec.num_queries = 150;
+  spec.num_train_queries = 500;
+  data::Dataset ds = data::GenerateSynthetic(spec);
+  auto truth = data::BruteForceKnn(ds.base, ds.queries, 10);
+
+  // 1. Train the custom estimator.
+  ScalarQuantizer sq;
+  sq.Train(ds.base);
+
+  // 2. Train the corrector with the STANDARD pipeline — only the
+  //    approximator callback knows about SQ.
+  core::TrainingDataOptions training;
+  training.max_queries = 300;
+  auto pairs = core::CollectLabeledPairs(ds.base, ds.train_queries, training);
+  auto samples = core::MaterializeSamples(
+      pairs, [&](int64_t q, int64_t id, float* /*extra*/) {
+        return sq.Distance(ds.train_queries.Row(q), id);
+      });
+  core::LinearCorrector corrector = core::LinearCorrector::Train(samples);
+  auto metrics = corrector.Evaluate(samples);
+  std::printf("corrector: label0 recall %.4f, label1 recall %.4f\n",
+              metrics.label0_recall, metrics.label1_recall);
+
+  // 3. Run inside the unmodified HNSW next to the exact baseline.
+  index::HnswOptions hnsw_options;
+  hnsw_options.M = 16;
+  hnsw_options.ef_construction = 150;
+  index::HnswIndex hnsw = index::HnswIndex::Build(ds.base, hnsw_options);
+
+  index::FlatDistanceComputer exact(ds.base.data(), ds.size(), ds.dim());
+  SqDdcComputer custom(&ds.base, &sq, &corrector);
+
+  for (index::DistanceComputer* computer :
+       std::vector<index::DistanceComputer*>{&exact, &custom}) {
+    index::HnswScratch scratch;
+    std::vector<std::vector<int64_t>> results;
+    WallTimer timer;
+    for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+      auto found =
+          hnsw.Search(*computer, ds.queries.Row(q), 10, 100, &scratch);
+      std::vector<int64_t> ids;
+      for (const auto& nb : found) ids.push_back(nb.id);
+      results.push_back(std::move(ids));
+    }
+    double seconds = timer.ElapsedSeconds();
+    std::printf("%-18s recall@10=%.4f qps=%.0f pruned=%.2f%%\n",
+                computer->name().c_str(),
+                data::MeanRecallAtK(results, truth, 10),
+                ds.queries.rows() / seconds,
+                100.0 * computer->stats().PrunedRate());
+  }
+  std::printf(
+      "\nthe corrector never saw the SQ internals — the same training "
+      "pipeline calibrated a brand-new estimator (the §V generality "
+      "claim). note: this naive SQ decode is itself O(D), so the demo "
+      "shows correct calibration and pruning, not end-to-end speed; see "
+      "ddc-opq for a table-driven estimator that is also fast.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Text-embedding search scenario: flat covariance spectrum (GLOVE-like),
+// where §VII Exp-1 prescribes the quantization-based DDCopq over the
+// projection-based methods — a 32-dim PCA keeps only ~18% of the variance,
+// so projected distances carry little signal, while OPQ codes spread
+// information across all sub-spaces.
+//
+// Uses the IVF index (the common choice for batch text retrieval).
+#include <cstdio>
+#include <vector>
+
+#include "resinfer/resinfer.h"
+
+using namespace resinfer;
+
+namespace {
+
+struct Operating {
+  double recall = 0.0;
+  double qps = 0.0;
+  double pruned_rate = 0.0;
+};
+
+Operating Run(const index::IvfIndex& ivf, const data::Dataset& ds,
+              const std::vector<std::vector<int64_t>>& truth,
+              index::DistanceComputer& computer, int nprobe) {
+  std::vector<std::vector<int64_t>> results;
+  computer.stats().Reset();
+  WallTimer timer;
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    auto found = ivf.Search(computer, ds.queries.Row(q), 10, nprobe);
+    std::vector<int64_t> ids;
+    for (const auto& nb : found) ids.push_back(nb.id);
+    results.push_back(std::move(ids));
+  }
+  Operating op;
+  op.qps = ds.queries.rows() / timer.ElapsedSeconds();
+  op.recall = data::MeanRecallAtK(results, truth, 10);
+  op.pruned_rate = computer.stats().PrunedRate();
+  return op;
+}
+
+}  // namespace
+
+int main() {
+  // The paper evaluates with SIMD disabled (§VII-A); pinned here because
+  // the flat-spectrum trade-off is exactly where that choice matters: with
+  // AVX2 a plain 300-d L2 costs so few cycles that table-driven estimators
+  // only pay off at larger scale.
+  simd::SetActiveLevel(simd::SimdLevel::kScalar);
+  std::printf("(simd pinned to scalar — the paper's evaluation setting)\n");
+
+  data::SyntheticSpec spec = data::GloveProxySpec();
+  spec.num_base = 15000;
+  spec.num_queries = 150;
+  spec.num_train_queries = 600;
+  data::Dataset ds = data::GenerateSynthetic(spec);
+
+  linalg::PcaModel pca =
+      linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  std::printf("text embeddings: dim=%ld, PCA-32 explained variance %.0f%% "
+              "(flat spectrum -> quantization correction favored)\n",
+              static_cast<long>(ds.dim()),
+              100.0 * pca.ExplainedVarianceRatio(32));
+
+  auto truth = data::BruteForceKnn(ds.base, ds.queries, 10);
+  index::IvfOptions ivf_options;
+  ivf_options.num_clusters = 256;
+  index::IvfIndex ivf = index::IvfIndex::Build(ds.base, ivf_options);
+
+  core::MethodFactory factory(&ds);
+  std::printf("%-12s %10s %10s %12s\n", "method", "recall@10", "qps",
+              "pruned-rate");
+  for (const char* method :
+       {core::kMethodExact, core::kMethodAdSampling, core::kMethodDdcPca,
+        core::kMethodDdcOpq}) {
+    auto computer = factory.Make(method);
+    Operating op = Run(ivf, ds, truth, *computer, /*nprobe=*/24);
+    std::printf("%-12s %10.4f %10.0f %12.3f\n", method, op.recall, op.qps,
+                op.pruned_rate);
+  }
+  std::printf(
+      "\nexpected: ddc-opq prunes the bulk of candidates and leads qps; "
+      "projection methods gain little on this flat spectrum.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "core/ad_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+
+namespace resinfer::core {
+
+AdSamplingComputer::AdSamplingComputer(const linalg::Matrix* rotation,
+                                       const linalg::Matrix* rotated_base,
+                                       const AdSamplingOptions& options)
+    : rotation_(rotation), rotated_base_(rotated_base), options_(options) {
+  RESINFER_CHECK(rotation != nullptr && rotated_base != nullptr);
+  RESINFER_CHECK(rotation->rows() == rotation->cols());
+  RESINFER_CHECK(rotated_base->cols() == rotation->rows());
+  RESINFER_CHECK(options_.delta_dim >= 1);
+  rotated_query_.resize(rotation->rows());
+
+  // Hoist all square roots out of the per-candidate loop: the test
+  //   sqrt(partial * D/d) > sqrt(tau) * (1 + eps0/sqrt(d))
+  // is equivalent to
+  //   partial * (D/d) > tau * (1 + eps0/sqrt(d))^2.
+  const int64_t full_dim = rotation->rows();
+  for (int64_t d = options_.delta_dim; d < full_dim;
+       d += options_.delta_dim) {
+    stage_dims_.push_back(d);
+    double c = 1.0 + options_.epsilon0 / std::sqrt(static_cast<double>(d));
+    stage_scale_.push_back(static_cast<float>(full_dim) /
+                           static_cast<float>(d));
+    stage_coef_.push_back(static_cast<float>(c * c));
+  }
+}
+
+void AdSamplingComputer::BeginQuery(const float* query) {
+  linalg::MatVec(*rotation_, query, rotated_query_.data());
+}
+
+index::EstimateResult AdSamplingComputer::EstimateWithThreshold(int64_t id,
+                                                                float tau) {
+  ++stats_.candidates;
+  const int64_t full_dim = dim();
+  const float* x = rotated_base_->Row(id);
+  const float* q = rotated_query_.data();
+
+  float partial = 0.0f;
+  int64_t d = 0;
+  for (std::size_t stage = 0; stage < stage_dims_.size(); ++stage) {
+    const int64_t next = stage_dims_[stage];
+    partial += simd::L2Sqr(x + d, q + d, static_cast<std::size_t>(next - d));
+    stats_.dims_scanned += next - d;
+    d = next;
+    // Hypothesis test at the current sampling dimension (sqrt-free form;
+    // see constructor). tau = +inf disables pruning.
+    if (partial * stage_scale_[stage] > tau * stage_coef_[stage]) {
+      ++stats_.pruned;
+      return {true, partial * stage_scale_[stage]};
+    }
+  }
+  partial += simd::L2Sqr(x + d, q + d, static_cast<std::size_t>(full_dim - d));
+  stats_.dims_scanned += full_dim - d;
+  ++stats_.exact_computations;
+  return {false, partial};
+}
+
+float AdSamplingComputer::ExactDistance(int64_t id) {
+  return simd::L2Sqr(rotated_base_->Row(id), rotated_query_.data(),
+                     static_cast<std::size_t>(dim()));
+}
+
+float AdSamplingComputer::ApproximateDistance(int64_t id, int64_t d) const {
+  d = std::clamp<int64_t>(d, 1, dim());
+  float partial = simd::L2Sqr(rotated_base_->Row(id), rotated_query_.data(),
+                              static_cast<std::size_t>(d));
+  return partial * static_cast<float>(dim()) / static_cast<float>(d);
+}
+
+int64_t AdSamplingComputer::ExtraBytes() const {
+  // Only the rotation matrix (the rotated base replaces the original).
+  return rotation_->size() * static_cast<int64_t>(sizeof(float));
+}
+
+}  // namespace resinfer::core

@@ -1,0 +1,226 @@
+#include "core/ddc_any.h"
+
+#include <cmath>
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+#include "util/parallel.h"
+
+namespace resinfer::core {
+
+// --- Artifact builders -----------------------------------------------------
+
+int64_t PqEstimatorData::ExtraBytes() const {
+  return static_cast<int64_t>(codes.size()) +
+         static_cast<int64_t>(recon_errors.size()) * sizeof(float);
+}
+
+PqEstimatorData BuildPqEstimatorData(const linalg::Matrix& base,
+                                     const quant::PqOptions& options) {
+  const int64_t n = base.rows();
+  const int64_t d = base.cols();
+  quant::PqOptions pq_options = options;
+  if (pq_options.num_subspaces <= 0 || d % pq_options.num_subspaces != 0) {
+    pq_options.num_subspaces = quant::LargestDivisorAtMost(
+        d, static_cast<int>(std::max<int64_t>(1, d / 4)));
+  }
+
+  PqEstimatorData data;
+  data.pq = quant::PqCodebook::Train(base.data(), n, d, pq_options);
+  data.codes = data.pq.EncodeBatch(base.data(), n);
+  data.recon_errors.resize(static_cast<std::size_t>(n));
+  ParallelFor(n, [&](int64_t begin, int64_t end) {
+    std::vector<float> decoded(d);
+    for (int64_t i = begin; i < end; ++i) {
+      data.pq.Decode(data.codes.data() + i * data.pq.code_size(),
+                     decoded.data());
+      data.recon_errors[static_cast<std::size_t>(i)] = simd::L2Sqr(
+          decoded.data(), base.Row(i), static_cast<std::size_t>(d));
+    }
+  });
+  return data;
+}
+
+int64_t RqEstimatorData::ExtraBytes() const {
+  return static_cast<int64_t>(codes.size()) +
+         static_cast<int64_t>(recon_norms.size() + recon_errors.size()) *
+             sizeof(float);
+}
+
+RqEstimatorData BuildRqEstimatorData(const linalg::Matrix& base,
+                                     const quant::RqOptions& options) {
+  const int64_t n = base.rows();
+  const int64_t d = base.cols();
+
+  RqEstimatorData data;
+  data.rq = quant::RqCodebook::Train(base.data(), n, d, options);
+  data.codes = data.rq.EncodeBatch(base.data(), n, &data.recon_norms);
+  data.recon_errors.resize(static_cast<std::size_t>(n));
+  ParallelFor(n, [&](int64_t begin, int64_t end) {
+    std::vector<float> decoded(d);
+    for (int64_t i = begin; i < end; ++i) {
+      data.rq.Decode(data.codes.data() + i * data.rq.code_size(),
+                     decoded.data());
+      data.recon_errors[static_cast<std::size_t>(i)] = simd::L2Sqr(
+          decoded.data(), base.Row(i), static_cast<std::size_t>(d));
+    }
+  });
+  return data;
+}
+
+int64_t SqEstimatorData::ExtraBytes() const {
+  return static_cast<int64_t>(codes.size()) +
+         static_cast<int64_t>(recon_errors.size()) * sizeof(float) +
+         static_cast<int64_t>(sq.dim()) * 2 * sizeof(float);
+}
+
+SqEstimatorData BuildSqEstimatorData(const linalg::Matrix& base,
+                                     const quant::SqOptions& options) {
+  const int64_t n = base.rows();
+  const int64_t d = base.cols();
+
+  SqEstimatorData data;
+  data.sq = quant::SqCodebook::Train(base.data(), n, d, options);
+  data.codes = data.sq.EncodeBatch(base.data(), n);
+  data.recon_errors.resize(static_cast<std::size_t>(n));
+  ParallelFor(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      data.recon_errors[static_cast<std::size_t>(i)] =
+          data.sq.AdcDistance(base.Row(i), data.codes.data() + i * d);
+    }
+  });
+  return data;
+}
+
+// --- Estimators ------------------------------------------------------------
+
+PqAdcEstimator::PqAdcEstimator(const PqEstimatorData* data) : data_(data) {
+  RESINFER_CHECK(data != nullptr && data->pq.trained());
+  adc_table_.resize(static_cast<std::size_t>(data->pq.adc_table_size()));
+}
+
+int64_t PqAdcEstimator::size() const {
+  return static_cast<int64_t>(data_->recon_errors.size());
+}
+
+void PqAdcEstimator::BeginQuery(const float* query) {
+  data_->pq.ComputeAdcTable(query, adc_table_.data());
+}
+
+float PqAdcEstimator::Estimate(int64_t id, float* extra) {
+  *extra = data_->recon_errors[static_cast<std::size_t>(id)];
+  return data_->pq.AdcDistance(
+      adc_table_.data(), data_->codes.data() + id * data_->pq.code_size());
+}
+
+RqAdcEstimator::RqAdcEstimator(const RqEstimatorData* data) : data_(data) {
+  RESINFER_CHECK(data != nullptr && data->rq.trained());
+  ip_table_.resize(static_cast<std::size_t>(data->rq.ip_table_size()));
+}
+
+int64_t RqAdcEstimator::size() const {
+  return static_cast<int64_t>(data_->recon_errors.size());
+}
+
+void RqAdcEstimator::BeginQuery(const float* query) {
+  data_->rq.ComputeIpTable(query, ip_table_.data());
+  query_norm_sqr_ =
+      simd::Norm2Sqr(query, static_cast<std::size_t>(data_->rq.dim()));
+}
+
+float RqAdcEstimator::Estimate(int64_t id, float* extra) {
+  *extra = data_->recon_errors[static_cast<std::size_t>(id)];
+  return data_->rq.AdcDistance(
+      ip_table_.data(), query_norm_sqr_,
+      data_->codes.data() + id * data_->rq.code_size(),
+      data_->recon_norms[static_cast<std::size_t>(id)]);
+}
+
+SqAdcEstimator::SqAdcEstimator(const SqEstimatorData* data) : data_(data) {
+  RESINFER_CHECK(data != nullptr && data->sq.trained());
+}
+
+int64_t SqAdcEstimator::size() const {
+  return static_cast<int64_t>(data_->recon_errors.size());
+}
+
+float SqAdcEstimator::Estimate(int64_t id, float* extra) {
+  RESINFER_DCHECK(query_ != nullptr);
+  *extra = data_->recon_errors[static_cast<std::size_t>(id)];
+  return data_->sq.AdcDistance(query_, data_->codes.data() + id * dim());
+}
+
+// --- Training + computer ----------------------------------------------------
+
+LinearCorrector TrainAnyCorrector(ApproxDistanceEstimator& estimator,
+                                  const linalg::Matrix& base,
+                                  const linalg::Matrix& train_queries,
+                                  const TrainingDataOptions& training,
+                                  LinearCorrectorOptions corrector) {
+  RESINFER_CHECK(base.cols() == train_queries.cols());
+  RESINFER_CHECK(estimator.dim() == base.cols());
+
+  std::vector<LabeledPair> pairs =
+      CollectLabeledPairs(base, train_queries, training);
+
+  int64_t current_query = -1;
+  std::vector<CorrectorSample> samples = MaterializeSamples(
+      pairs, [&](int64_t query_index, int64_t id, float* extra) {
+        if (query_index != current_query) {
+          estimator.BeginQuery(train_queries.Row(query_index));
+          current_query = query_index;
+        }
+        return estimator.Estimate(id, extra);
+      });
+
+  corrector.num_features = estimator.has_extra_feature() ? 3 : 2;
+  return LinearCorrector::Train(samples, corrector);
+}
+
+DdcAnyComputer::DdcAnyComputer(
+    const linalg::Matrix* base,
+    std::unique_ptr<ApproxDistanceEstimator> estimator,
+    const LinearCorrector* corrector)
+    : base_(base), estimator_(std::move(estimator)), corrector_(corrector) {
+  RESINFER_CHECK(base != nullptr && estimator_ != nullptr &&
+                 corrector != nullptr);
+  RESINFER_CHECK(estimator_->dim() == base->cols());
+  RESINFER_CHECK(estimator_->size() == base->rows());
+}
+
+void DdcAnyComputer::BeginQuery(const float* query) {
+  query_ = query;
+  estimator_->BeginQuery(query);
+}
+
+index::EstimateResult DdcAnyComputer::EstimateWithThreshold(int64_t id,
+                                                            float tau) {
+  ++stats_.candidates;
+  float extra = 0.0f;
+  const float approx = estimator_->Estimate(id, &extra);
+
+  if (std::isfinite(tau) &&
+      corrector_->PredictPrunable(approx, tau, extra)) {
+    ++stats_.pruned;
+    return {true, approx};
+  }
+  ++stats_.exact_computations;
+  stats_.dims_scanned += dim();
+  return {false, simd::L2Sqr(query_, base_->Row(id),
+                             static_cast<std::size_t>(dim()))};
+}
+
+float DdcAnyComputer::ExactDistance(int64_t id) {
+  RESINFER_DCHECK(query_ != nullptr);
+  ++stats_.exact_computations;
+  stats_.dims_scanned += dim();
+  return simd::L2Sqr(query_, base_->Row(id),
+                     static_cast<std::size_t>(dim()));
+}
+
+float DdcAnyComputer::ApproximateDistance(int64_t id) {
+  float extra = 0.0f;
+  return estimator_->Estimate(id, &extra);
+}
+
+}  // namespace resinfer::core

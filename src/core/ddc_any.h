@@ -1,0 +1,187 @@
+// DDCany — the §V generality claim as a reusable component.
+//
+// The paper's data-driven correction "makes no assumptions about the source
+// of these approximate distances". DdcOpq demonstrates that for OPQ;
+// this header turns the pattern into an explicit plug-in point: any type
+// implementing ApproxDistanceEstimator (one BeginQuery + one Estimate) gets
+//   * corrector training via the shared labeled-pair pipeline
+//     (TrainAnyCorrector), and
+//   * a full DistanceComputer (DdcAnyComputer) that prunes with the learned
+//     boundary and falls back to exact distances, usable inside IVF/HNSW.
+//
+// Three estimator backends ship here — plain PQ (the paper's §V example
+// verbatim), Residual Quantization, and 8-bit Scalar Quantization — all
+// corrected by the *same* LinearCorrector code that serves DDCpca/DDCopq.
+#ifndef RESINFER_CORE_DDC_ANY_H_
+#define RESINFER_CORE_DDC_ANY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/linear_corrector.h"
+#include "core/training_data.h"
+#include "index/distance_computer.h"
+#include "linalg/matrix.h"
+#include "quant/pq.h"
+#include "quant/rq.h"
+#include "quant/sq.h"
+
+namespace resinfer::core {
+
+// The minimal contract a distance-estimation source must satisfy to plug
+// into the data-driven correction. Implementations are stateful per query
+// (BeginQuery builds lookup tables); use one instance per search thread.
+// Shared trained artifacts (codebooks, codes) live outside the estimator
+// and must outlive it.
+class ApproxDistanceEstimator {
+ public:
+  virtual ~ApproxDistanceEstimator() = default;
+
+  virtual std::string name() const = 0;
+  virtual int64_t dim() const = 0;
+  virtual int64_t size() const = 0;
+
+  // Prepares per-query state. `query` has dim() floats in the ORIGINAL
+  // space; estimators apply their own transforms internally.
+  virtual void BeginQuery(const float* query) = 0;
+
+  // Approximate distance dis' for candidate `id`. When the estimator
+  // carries a per-point trust feature (e.g. reconstruction error), it is
+  // written to *extra (never null); otherwise *extra is left at 0.
+  virtual float Estimate(int64_t id, float* extra) = 0;
+
+  // Whether Estimate fills a meaningful third feature; decides the
+  // corrector's feature count at training time.
+  virtual bool has_extra_feature() const { return false; }
+};
+
+// --- Quantizer-backed estimator artifacts --------------------------------
+
+// Plain PQ (no rotation): the §V-B quantization example in its simplest
+// form.
+struct PqEstimatorData {
+  quant::PqCodebook pq;
+  std::vector<uint8_t> codes;       // n * code_size
+  std::vector<float> recon_errors;  // n, ||x - x̂||^2
+  int64_t ExtraBytes() const;
+};
+PqEstimatorData BuildPqEstimatorData(
+    const linalg::Matrix& base, const quant::PqOptions& options = {});
+
+struct RqEstimatorData {
+  quant::RqCodebook rq;
+  std::vector<uint8_t> codes;       // n * num_stages
+  std::vector<float> recon_norms;   // n, ||x̂||^2 (ADC ingredient)
+  std::vector<float> recon_errors;  // n, ||x - x̂||^2 (trust feature)
+  int64_t ExtraBytes() const;
+};
+RqEstimatorData BuildRqEstimatorData(const linalg::Matrix& base,
+                                     const quant::RqOptions& options = {});
+
+struct SqEstimatorData {
+  quant::SqCodebook sq;
+  std::vector<uint8_t> codes;       // n * d
+  std::vector<float> recon_errors;  // n, ||x - x̂||^2 (trust feature)
+  int64_t ExtraBytes() const;
+};
+SqEstimatorData BuildSqEstimatorData(const linalg::Matrix& base,
+                                     const quant::SqOptions& options = {});
+
+// --- Estimators -----------------------------------------------------------
+
+class PqAdcEstimator : public ApproxDistanceEstimator {
+ public:
+  // `data` must outlive the estimator.
+  explicit PqAdcEstimator(const PqEstimatorData* data);
+
+  std::string name() const override { return "pq-adc"; }
+  int64_t dim() const override { return data_->pq.dim(); }
+  int64_t size() const override;
+  void BeginQuery(const float* query) override;
+  float Estimate(int64_t id, float* extra) override;
+  bool has_extra_feature() const override { return true; }
+
+ private:
+  const PqEstimatorData* data_;
+  std::vector<float> adc_table_;
+};
+
+class RqAdcEstimator : public ApproxDistanceEstimator {
+ public:
+  explicit RqAdcEstimator(const RqEstimatorData* data);
+
+  std::string name() const override { return "rq-adc"; }
+  int64_t dim() const override { return data_->rq.dim(); }
+  int64_t size() const override;
+  void BeginQuery(const float* query) override;
+  float Estimate(int64_t id, float* extra) override;
+  bool has_extra_feature() const override { return true; }
+
+ private:
+  const RqEstimatorData* data_;
+  std::vector<float> ip_table_;
+  float query_norm_sqr_ = 0.0f;
+};
+
+class SqAdcEstimator : public ApproxDistanceEstimator {
+ public:
+  explicit SqAdcEstimator(const SqEstimatorData* data);
+
+  std::string name() const override { return "sq8-adc"; }
+  int64_t dim() const override { return data_->sq.dim(); }
+  int64_t size() const override;
+  void BeginQuery(const float* query) override { query_ = query; }
+  float Estimate(int64_t id, float* extra) override;
+  bool has_extra_feature() const override { return true; }
+
+ private:
+  const SqEstimatorData* data_;
+  const float* query_ = nullptr;
+};
+
+// --- Training + the generic computer --------------------------------------
+
+// Trains a LinearCorrector for `estimator` on labeled pairs harvested from
+// (base, train_queries) — the exact pipeline DDCpca/DDCopq use, with the
+// feature count chosen from estimator.has_extra_feature(). The estimator's
+// per-query state is driven internally; it is left positioned at the last
+// training query on return.
+LinearCorrector TrainAnyCorrector(
+    ApproxDistanceEstimator& estimator, const linalg::Matrix& base,
+    const linalg::Matrix& train_queries,
+    const TrainingDataOptions& training = TrainingDataOptions(),
+    LinearCorrectorOptions corrector = LinearCorrectorOptions());
+
+// DistanceComputer over any estimator + trained corrector: prune when the
+// learned boundary says dis > tau, otherwise fall back to the exact
+// distance against `base` (original space). All pointers are borrowed.
+class DdcAnyComputer : public index::DistanceComputer {
+ public:
+  DdcAnyComputer(const linalg::Matrix* base,
+                 std::unique_ptr<ApproxDistanceEstimator> estimator,
+                 const LinearCorrector* corrector);
+
+  int64_t dim() const override { return base_->cols(); }
+  int64_t size() const override { return base_->rows(); }
+  std::string name() const override { return "ddc-" + estimator_->name(); }
+
+  void BeginQuery(const float* query) override;
+  index::EstimateResult EstimateWithThreshold(int64_t id,
+                                              float tau) override;
+  float ExactDistance(int64_t id) override;
+
+  // Raw estimator distance for the current query (no correction).
+  float ApproximateDistance(int64_t id);
+
+ private:
+  const linalg::Matrix* base_;
+  std::unique_ptr<ApproxDistanceEstimator> estimator_;
+  const LinearCorrector* corrector_;
+  const float* query_ = nullptr;
+};
+
+}  // namespace resinfer::core
+
+#endif  // RESINFER_CORE_DDC_ANY_H_

@@ -1,0 +1,129 @@
+#include "core/ddc_opq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace resinfer::core {
+
+int DefaultOpqSubspaces(int64_t dim) {
+  int target = static_cast<int>(std::max<int64_t>(1, dim / 4));
+  return quant::LargestDivisorAtMost(dim, target);
+}
+
+DdcOpqArtifacts TrainDdcOpq(const linalg::Matrix& base,
+                            const linalg::Matrix& train_queries,
+                            const DdcOpqOptions& options) {
+  const int64_t n = base.rows();
+  const int64_t d = base.cols();
+  RESINFER_CHECK(d == train_queries.cols());
+
+  DdcOpqArtifacts artifacts;
+  WallTimer timer;
+
+  quant::OpqOptions opq_options = options.opq;
+  if (opq_options.pq.num_subspaces <= 0 ||
+      d % opq_options.pq.num_subspaces != 0) {
+    opq_options.pq.num_subspaces = DefaultOpqSubspaces(d);
+  }
+  artifacts.opq = quant::OpqModel::Train(base.data(), n, d, opq_options);
+
+  // Encode the full base in the rotated space; keep per-point
+  // reconstruction errors as the classifier's third feature.
+  linalg::Matrix rotated = artifacts.opq.RotateBatch(base.data(), n);
+  artifacts.codes = artifacts.opq.codebook().EncodeBatch(rotated.data(), n);
+  artifacts.recon_errors.resize(n);
+  const auto& codebook = artifacts.opq.codebook();
+  ParallelFor(n, [&](int64_t begin, int64_t end) {
+    std::vector<float> decoded(d);
+    for (int64_t i = begin; i < end; ++i) {
+      codebook.Decode(artifacts.codes.data() + i * codebook.code_size(),
+                      decoded.data());
+      artifacts.recon_errors[i] = simd::L2Sqr(
+          decoded.data(), rotated.Row(i), static_cast<std::size_t>(d));
+    }
+  });
+  artifacts.opq_train_seconds = timer.ElapsedSeconds();
+
+  // Corrector training.
+  timer.Reset();
+  std::vector<LabeledPair> pairs =
+      CollectLabeledPairs(base, train_queries, options.training);
+
+  linalg::Matrix rotated_queries =
+      artifacts.opq.RotateBatch(train_queries.data(), train_queries.rows());
+  std::vector<float> table(codebook.adc_table_size());
+  int64_t table_query = -1;
+  std::vector<CorrectorSample> samples = MaterializeSamples(
+      pairs, [&](int64_t query_index, int64_t id, float* extra) {
+        if (query_index != table_query) {
+          codebook.ComputeAdcTable(rotated_queries.Row(query_index),
+                                   table.data());
+          table_query = query_index;
+        }
+        *extra = artifacts.recon_errors[id];
+        return codebook.AdcDistance(
+            table.data(), artifacts.codes.data() + id * codebook.code_size());
+      });
+
+  LinearCorrectorOptions corrector_options = options.corrector;
+  corrector_options.num_features = 3;
+  artifacts.corrector = LinearCorrector::Train(samples, corrector_options);
+  artifacts.corrector_train_seconds = timer.ElapsedSeconds();
+  return artifacts;
+}
+
+DdcOpqComputer::DdcOpqComputer(const linalg::Matrix* base,
+                               const DdcOpqArtifacts* artifacts)
+    : base_(base), artifacts_(artifacts) {
+  RESINFER_CHECK(base != nullptr && artifacts != nullptr);
+  RESINFER_CHECK(artifacts->opq.trained());
+  RESINFER_CHECK(artifacts->opq.dim() == base->cols());
+  rotated_query_.resize(base->cols());
+  adc_table_.resize(artifacts->opq.codebook().adc_table_size());
+}
+
+void DdcOpqComputer::BeginQuery(const float* query) {
+  query_ = query;
+  artifacts_->opq.Rotate(query, rotated_query_.data());
+  artifacts_->opq.codebook().ComputeAdcTable(rotated_query_.data(),
+                                             adc_table_.data());
+}
+
+index::EstimateResult DdcOpqComputer::EstimateWithThreshold(int64_t id,
+                                                            float tau) {
+  ++stats_.candidates;
+  const auto& codebook = artifacts_->opq.codebook();
+  const float adc = codebook.AdcDistance(
+      adc_table_.data(),
+      artifacts_->codes.data() + id * codebook.code_size());
+
+  if (std::isfinite(tau) &&
+      artifacts_->corrector.PredictPrunable(adc, tau,
+                                            artifacts_->recon_errors[id])) {
+    ++stats_.pruned;
+    return {true, adc};
+  }
+  ++stats_.exact_computations;
+  stats_.dims_scanned += dim();
+  return {false, ExactDistance(id)};
+}
+
+float DdcOpqComputer::ExactDistance(int64_t id) {
+  RESINFER_DCHECK(query_ != nullptr);
+  return simd::L2Sqr(base_->Row(id), query_,
+                     static_cast<std::size_t>(base_->cols()));
+}
+
+float DdcOpqComputer::ApproximateDistance(int64_t id) const {
+  const auto& codebook = artifacts_->opq.codebook();
+  return codebook.AdcDistance(
+      adc_table_.data(),
+      artifacts_->codes.data() + id * codebook.code_size());
+}
+
+}  // namespace resinfer::core

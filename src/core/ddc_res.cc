@@ -1,0 +1,105 @@
+#include "core/ddc_res.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+
+namespace resinfer::core {
+
+DdcResComputer::DdcResComputer(const linalg::PcaModel* pca,
+                               const linalg::Matrix* rotated_base,
+                               const DdcResOptions& options)
+    : pca_(pca), rotated_base_(rotated_base), options_(options) {
+  RESINFER_CHECK(pca != nullptr && rotated_base != nullptr);
+  RESINFER_CHECK(pca->fitted());
+  RESINFER_CHECK(rotated_base->cols() == pca->dim());
+  RESINFER_CHECK(options_.init_dim >= 1 && options_.delta_dim >= 1);
+
+  multiplier_ = options_.multiplier > 0.0
+                    ? static_cast<float>(options_.multiplier)
+                    : static_cast<float>(
+                          GaussianQuantileMultiplier(options_.quantile));
+
+  const int64_t n = rotated_base_->rows();
+  const std::size_t d = static_cast<std::size_t>(pca_->dim());
+  norms_sqr_.resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    norms_sqr_[i] = simd::Norm2Sqr(rotated_base_->Row(i), d);
+  }
+  error_model_ = ResidualErrorModel(pca_->variances());
+  rotated_query_.resize(pca_->dim());
+  for (int64_t d = options_.init_dim; d < pca_->dim();
+       d += options_.delta_dim) {
+    stage_dims_.push_back(d);
+    if (!options_.incremental) break;  // Algorithm 1: single test
+  }
+  stage_bounds_.resize(stage_dims_.size());
+}
+
+void DdcResComputer::BeginQuery(const float* query) {
+  pca_->Transform(query, rotated_query_.data());
+  query_norm_sqr_ = simd::Norm2Sqr(rotated_query_.data(),
+                                   static_cast<std::size_t>(pca_->dim()));
+  error_model_.BeginQuery(rotated_query_.data());
+  // Hoist the per-stage sigma square roots out of the candidate loop.
+  for (std::size_t s = 0; s < stage_dims_.size(); ++s) {
+    stage_bounds_[s] = multiplier_ * error_model_.Sigma(stage_dims_[s]);
+  }
+}
+
+index::EstimateResult DdcResComputer::EstimateWithThreshold(int64_t id,
+                                                            float tau) {
+  ++stats_.candidates;
+  const int64_t full_dim = pca_->dim();
+  const float* x = rotated_base_->Row(id);
+  const float* q = rotated_query_.data();
+  const float c1 = norms_sqr_[id] + query_norm_sqr_;
+
+  float c2 = 0.0f;
+  int64_t d = 0;
+  for (std::size_t stage = 0; stage < stage_dims_.size(); ++stage) {
+    const int64_t next = stage_dims_[stage];
+    c2 += 2.0f * simd::InnerProduct(x + d, q + d,
+                                    static_cast<std::size_t>(next - d));
+    stats_.dims_scanned += next - d;
+    d = next;
+    if (c1 - c2 - stage_bounds_[stage] > tau) {
+      ++stats_.pruned;
+      return {true, std::max(0.0f, c1 - c2)};
+    }
+  }
+  // Remaining dimensions: the accumulated inner product becomes exact
+  // (C2 + C3 folded together).
+  c2 += 2.0f * simd::InnerProduct(x + d, q + d,
+                                  static_cast<std::size_t>(full_dim - d));
+  stats_.dims_scanned += full_dim - d;
+  ++stats_.exact_computations;
+  return {false, std::max(0.0f, c1 - c2)};
+}
+
+float DdcResComputer::ExactDistance(int64_t id) {
+  const float* x = rotated_base_->Row(id);
+  return simd::L2Sqr(x, rotated_query_.data(),
+                     static_cast<std::size_t>(pca_->dim()));
+}
+
+float DdcResComputer::ApproximateDistance(int64_t id, int64_t d) const {
+  d = std::clamp<int64_t>(d, 0, pca_->dim());
+  const float* x = rotated_base_->Row(id);
+  const float c1 = norms_sqr_[id] + query_norm_sqr_;
+  const float c2 =
+      2.0f * simd::InnerProduct(x, rotated_query_.data(),
+                                static_cast<std::size_t>(d));
+  return std::max(0.0f, c1 - c2);
+}
+
+int64_t DdcResComputer::ExtraBytes() const {
+  // Norms (n floats) + rotation matrix (D^2 floats) + eigenvalue vector.
+  return static_cast<int64_t>(norms_sqr_.size()) * sizeof(float) +
+         pca_->rotation().size() * static_cast<int64_t>(sizeof(float)) +
+         static_cast<int64_t>(pca_->variances().size()) * sizeof(float);
+}
+
+}  // namespace resinfer::core

@@ -1,0 +1,59 @@
+// Gaussian residual-error model for the decomposed distance (§IV-C).
+//
+// With the exact distance written as dis = C1 - C2 - C3 (Equation 2), the
+// estimation error of the projected approximation dis' = C1 - C2 is
+// eps = dis' - dis = C3 = 2 <q_r, x_r>. Treating database vectors as draws
+// from N(0, Sigma) in the PCA-aligned basis, eps | q is Gaussian with
+//   Var(eps) = 4 * sum_{i >= d} q_i^2 * sigma_i^2        (Equation 3)
+// where sigma_i^2 are the per-dimension variances (PCA eigenvalues).
+//
+// The error bound used for correction is m * sigma, with the multiplier m
+// derived from a target quantile of the standard normal (e.g. 99.7% -> 2.75
+// one-sided; the paper's "empirical rule" 3-sigma line corresponds to the
+// 99.87% one-sided quantile).
+#ifndef RESINFER_CORE_ERROR_MODEL_H_
+#define RESINFER_CORE_ERROR_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace resinfer::core {
+
+// Inverse standard-normal CDF (Acklam's rational approximation, |rel err| <
+// 1.2e-9). Requires 0 < p < 1.
+double InverseNormalCdf(double p);
+
+// Multiplier m such that P(eps <= m * sigma) = quantile for eps ~ N(0,
+// sigma^2). quantile in (0, 1).
+double GaussianQuantileMultiplier(double quantile);
+
+// Per-query residual error bounds over the PCA-rotated basis.
+class ResidualErrorModel {
+ public:
+  ResidualErrorModel() = default;
+
+  // `variances`: per-dimension variances in the rotated basis (PCA
+  // eigenvalues, descending).
+  explicit ResidualErrorModel(std::vector<float> variances);
+
+  int64_t dim() const { return static_cast<int64_t>(variances_.size()); }
+
+  // Precomputes suffix sums of q_i^2 * var_i for the rotated query
+  // (O(D) per query).
+  void BeginQuery(const float* rotated_query);
+
+  // Standard deviation of the estimation error when the first `d`
+  // dimensions are used: sigma(d) = 2 * sqrt(sum_{i>=d} q_i^2 var_i).
+  float Sigma(int64_t d) const;
+
+  // suffix[d] = sum_{i >= d} q_i^2 var_i (length dim()+1).
+  const std::vector<float>& suffix() const { return suffix_; }
+
+ private:
+  std::vector<float> variances_;
+  std::vector<float> suffix_;
+};
+
+}  // namespace resinfer::core
+
+#endif  // RESINFER_CORE_ERROR_MODEL_H_

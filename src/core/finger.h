@@ -1,0 +1,99 @@
+// FINGER-style graph-local distance estimation (Chen et al., WWW 2023) —
+// the HNSW-only comparator of §VII Exp-4.
+//
+// FINGER's observation: when a graph search expands node u, every neighbor
+// v it evaluates shares the anchor u, so
+//   ||q - v||^2 = ||q - u||^2 + ||v - u||^2 - 2 <q - u, v - u>
+// and the inner product can be approximated in a low-rank basis of the
+// *residual* vectors {v - u} precomputed per node. Our implementation:
+//   * per node u: an orthonormal rank-r basis B_u of its neighbors'
+//     residuals (computed from the Gram matrix of the residuals — cheap,
+//     O(M^2 D) per node);
+//   * per edge (u, v): the projection coefficients c_v = B_u (v - u), the
+//     residual-energy ||(v-u) - B_u^T c_v||^2 and ||v - u||^2;
+//   * at query time, one projection p = B_u (q - u) per expanded node, then
+//     each neighbor estimate costs O(r);
+//   * the unmodeled term <(q-u)_res, (v-u)_res> is bounded by
+//     m * c * sqrt(res_energy_q * res_energy_v) with c calibrated on
+//     training queries (where the original uses per-edge LSH signatures).
+// This preserves FINGER's published profile: much larger preprocessing
+// time/memory than DDC (rank x D floats per node) in exchange for cheap
+// per-candidate estimates.
+#ifndef RESINFER_CORE_FINGER_H_
+#define RESINFER_CORE_FINGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/distance_computer.h"
+#include "index/hnsw_index.h"
+#include "linalg/matrix.h"
+
+namespace resinfer::core {
+
+struct FingerOptions {
+  int rank = 8;
+  // Quantile for the residual-term bound (multiplier via inverse normal
+  // CDF, matching the DDCres convention).
+  double quantile = 0.997;
+  // Training queries used to calibrate the residual correlation constant.
+  int64_t calibration_queries = 64;
+  uint64_t seed = 77;
+};
+
+struct FingerArtifacts {
+  int rank = 0;
+  float bound_scale = 0.0f;  // m * c (see header comment)
+  // Per node: rank x D basis rows, flattened [node * rank * D].
+  std::vector<float> basis;
+  // Per node: neighbor ids (mirrors the HNSW base layer), projection
+  // coefficients (rank per edge), residual energies and edge norms.
+  std::vector<std::vector<int64_t>> edge_ids;
+  std::vector<std::vector<float>> edge_coeffs;     // rank per edge
+  std::vector<std::vector<float>> edge_residuals;  // per edge
+  std::vector<std::vector<float>> edge_norms_sqr;  // per edge
+  double build_seconds = 0.0;
+
+  int64_t ExtraBytes() const;
+};
+
+// Preprocesses the base layer of `graph`. `train_queries` calibrates the
+// residual bound.
+FingerArtifacts BuildFingerArtifacts(
+    const linalg::Matrix& base, const index::HnswIndex& graph,
+    const linalg::Matrix& train_queries,
+    const FingerOptions& options = FingerOptions());
+
+class FingerComputer : public index::DistanceComputer {
+ public:
+  // `base` and `artifacts` must outlive the computer.
+  FingerComputer(const linalg::Matrix* base,
+                 const FingerArtifacts* artifacts);
+
+  int64_t dim() const override { return base_->cols(); }
+  int64_t size() const override { return base_->rows(); }
+  std::string name() const override { return "finger"; }
+
+  void BeginQuery(const float* query) override;
+  void SetExpansionAnchor(int64_t node, float distance_to_node) override;
+  index::EstimateResult EstimateWithThreshold(int64_t id,
+                                              float tau) override;
+  float ExactDistance(int64_t id) override;
+
+ private:
+  const linalg::Matrix* base_;
+  const FingerArtifacts* artifacts_;
+
+  const float* query_ = nullptr;
+  int64_t anchor_ = -1;
+  float anchor_dist_sqr_ = 0.0f;
+  float query_residual_energy_ = 0.0f;
+  std::vector<float> projection_;  // p = B_u (q - u), rank floats
+  std::vector<float> diff_;        // q - u scratch
+};
+
+}  // namespace resinfer::core
+
+#endif  // RESINFER_CORE_FINGER_H_

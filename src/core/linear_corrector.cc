@@ -1,0 +1,163 @@
+#include "core/linear_corrector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/vector_ops.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace resinfer::core {
+
+namespace {
+
+struct Scaler {
+  double mean[3] = {0.0, 0.0, 0.0};
+  double inv_std[3] = {1.0, 1.0, 1.0};
+};
+
+Scaler FitScaler(const std::vector<CorrectorSample>& samples,
+                 int num_features) {
+  Scaler s;
+  const double n = static_cast<double>(samples.size());
+  for (const auto& sample : samples) {
+    const double f[3] = {sample.approx, sample.tau, sample.extra};
+    for (int j = 0; j < num_features; ++j) s.mean[j] += f[j];
+  }
+  for (int j = 0; j < num_features; ++j) s.mean[j] /= n;
+  double var[3] = {0.0, 0.0, 0.0};
+  for (const auto& sample : samples) {
+    const double f[3] = {sample.approx, sample.tau, sample.extra};
+    for (int j = 0; j < num_features; ++j) {
+      double c = f[j] - s.mean[j];
+      var[j] += c * c;
+    }
+  }
+  for (int j = 0; j < num_features; ++j) {
+    double stddev = std::sqrt(var[j] / n);
+    s.inv_std[j] = stddev > 1e-12 ? 1.0 / stddev : 0.0;
+  }
+  return s;
+}
+
+}  // namespace
+
+LinearCorrector LinearCorrector::Train(
+    const std::vector<CorrectorSample>& samples,
+    const LinearCorrectorOptions& options) {
+  RESINFER_CHECK(options.num_features == 2 || options.num_features == 3);
+  LinearCorrector model;
+  if (samples.empty()) return model;  // never prunes
+
+  // Degenerate label distributions: stay conservative (never prune) when
+  // there are no positive (prunable) examples; prune-always is never safe,
+  // so a single-label "all prunable" set also falls back to never pruning —
+  // the caller's exact path keeps correctness either way.
+  int64_t label1 = 0;
+  for (const auto& s : samples) label1 += s.label;
+  if (label1 == 0 || label1 == static_cast<int64_t>(samples.size())) {
+    model.trained_ = true;
+    return model;
+  }
+
+  const int nf = options.num_features;
+  const Scaler scaler = FitScaler(samples, nf);
+
+  // SGD on standardized features, double weights.
+  double w[3] = {0.0, 0.0, 0.0};
+  double b = 0.0;
+  Rng rng(options.seed);
+  std::vector<int64_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    // 1/sqrt decay keeps late epochs stable without a schedule parameter.
+    const double lr =
+        options.learning_rate / std::sqrt(1.0 + epoch);
+    for (int64_t idx : order) {
+      const CorrectorSample& s = samples[idx];
+      const double raw[3] = {s.approx, s.tau, s.extra};
+      double f[3];
+      for (int j = 0; j < nf; ++j)
+        f[j] = (raw[j] - scaler.mean[j]) * scaler.inv_std[j];
+      double z = b;
+      for (int j = 0; j < nf; ++j) z += w[j] * f[j];
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double g = p - static_cast<double>(s.label);  // dBCE/dz
+      for (int j = 0; j < nf; ++j)
+        w[j] -= lr * (g * f[j] + options.l2 * w[j]);
+      b -= lr * g;
+    }
+  }
+
+  // Fold standardization back into raw-space weights:
+  // z = sum w_j (x_j - mu_j) * inv_std_j + b
+  //   = sum (w_j * inv_std_j) x_j + (b - sum w_j mu_j inv_std_j).
+  double raw_w[3] = {0.0, 0.0, 0.0};
+  double raw_b = b;
+  for (int j = 0; j < nf; ++j) {
+    raw_w[j] = w[j] * scaler.inv_std[j];
+    raw_b -= w[j] * scaler.mean[j] * scaler.inv_std[j];
+  }
+  model.w_approx_ = static_cast<float>(raw_w[0]);
+  model.w_tau_ = static_cast<float>(raw_w[1]);
+  model.w_extra_ = static_cast<float>(raw_w[2]);
+  model.bias_ = static_cast<float>(raw_b);
+  model.trained_ = true;
+
+  model.CalibrateIntercept(samples, options.target_recall);
+  return model;
+}
+
+LinearCorrector::Metrics LinearCorrector::Evaluate(
+    const std::vector<CorrectorSample>& samples) const {
+  Metrics m;
+  int64_t n0 = 0, n1 = 0, kept0 = 0, pruned1 = 0, correct = 0;
+  for (const auto& s : samples) {
+    bool prune = PredictPrunable(s.approx, s.tau, s.extra);
+    if (s.label == 0) {
+      ++n0;
+      if (!prune) {
+        ++kept0;
+        ++correct;
+      }
+    } else {
+      ++n1;
+      if (prune) {
+        ++pruned1;
+        ++correct;
+      }
+    }
+  }
+  m.label0_recall = n0 > 0 ? static_cast<double>(kept0) / n0 : 1.0;
+  m.label1_recall = n1 > 0 ? static_cast<double>(pruned1) / n1 : 0.0;
+  m.accuracy = samples.empty()
+                   ? 0.0
+                   : static_cast<double>(correct) / samples.size();
+  return m;
+}
+
+void LinearCorrector::CalibrateIntercept(
+    const std::vector<CorrectorSample>& samples, double target_recall) {
+  RESINFER_CHECK(target_recall > 0.0 && target_recall <= 1.0);
+  // Collect intercept-free scores of label-0 samples; choosing
+  // bias = -q_r(scores) keeps a >= target_recall fraction of them at
+  // score <= 0 (not pruned). This is the exact solution the paper's binary
+  // search on beta' converges to.
+  std::vector<double> scores;
+  for (const auto& s : samples) {
+    if (s.label != 0) continue;
+    scores.push_back(static_cast<double>(w_approx_) * s.approx +
+                     static_cast<double>(w_tau_) * s.tau +
+                     static_cast<double>(w_extra_) * s.extra);
+  }
+  if (scores.empty()) return;
+  double cutoff = linalg::EmpiricalQuantile(std::move(scores), target_recall);
+  // Nudge below the cutoff so the quantile sample itself is kept.
+  bias_ = static_cast<float>(
+      -cutoff - 1e-6 * (1.0 + std::abs(cutoff)));
+}
+
+}  // namespace resinfer::core

@@ -1,0 +1,97 @@
+// Data-driven distance correction (§V-A).
+//
+// Recasts the error bound as parameters of a linear classifier
+//     L = sign(w_approx * dis' + w_tau * tau (+ w_extra * extra) + b > 0)
+// with label 1 <=> dis > tau (candidate is prunable). The classifier is a
+// logistic regression trained with SGD on BCE loss over samples harvested
+// from training queries; after training, the intercept is re-calibrated
+// (the paper's beta -> beta' adjustment, implemented as an exact quantile
+// computation, equivalent to the paper's binary search) so that the recall
+// of label 0 — "a true neighbor is not wrongly pruned" — meets a target
+// (default 0.995, the best trade-off per Exp-2).
+//
+// This makes the correction agnostic to where dis' comes from: plain PCA
+// distances (DDCpca), OPQ asymmetric distances (DDCopq), or anything else.
+#ifndef RESINFER_CORE_LINEAR_CORRECTOR_H_
+#define RESINFER_CORE_LINEAR_CORRECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace resinfer::core {
+
+struct CorrectorSample {
+  float approx = 0.0f;  // dis'
+  float tau = 0.0f;     // queue threshold when the pair was observed
+  float extra = 0.0f;   // optional third feature (e.g. OPQ residual)
+  uint8_t label = 0;    // 1 <=> exact distance > tau (prunable)
+};
+
+struct LinearCorrectorOptions {
+  int num_features = 2;  // 2 = (approx, tau); 3 adds `extra`
+  int epochs = 12;
+  double learning_rate = 0.1;
+  double l2 = 1e-6;
+  double target_recall = 0.995;
+  uint64_t seed = 31;
+};
+
+class LinearCorrector {
+ public:
+  LinearCorrector() = default;
+
+  static LinearCorrector Train(const std::vector<CorrectorSample>& samples,
+                               const LinearCorrectorOptions& options =
+                                   LinearCorrectorOptions());
+
+  // Rebuilds a corrector from persisted weights (persist/persist.h).
+  static LinearCorrector FromWeights(float w_approx, float w_tau,
+                                     float w_extra, float bias,
+                                     bool trained) {
+    LinearCorrector model;
+    model.w_approx_ = w_approx;
+    model.w_tau_ = w_tau;
+    model.w_extra_ = w_extra;
+    model.bias_ = bias;
+    model.trained_ = trained;
+    return model;
+  }
+
+  // Raw decision score; > 0 predicts label 1 (prunable).
+  float Score(float approx, float tau, float extra = 0.0f) const {
+    return w_approx_ * approx + w_tau_ * tau + w_extra_ * extra + bias_;
+  }
+  bool PredictPrunable(float approx, float tau, float extra = 0.0f) const {
+    return Score(approx, tau, extra) > 0.0f;
+  }
+
+  struct Metrics {
+    double label0_recall = 0.0;  // kept (not pruned) fraction of label 0
+    double label1_recall = 0.0;  // pruned fraction of label 1
+    double accuracy = 0.0;
+  };
+  Metrics Evaluate(const std::vector<CorrectorSample>& samples) const;
+
+  // Re-calibrates the intercept so that at least `target_recall` of the
+  // label-0 samples score <= 0, while pruning as much of label 1 as that
+  // constraint allows. No-op when the set has no label-0 samples.
+  void CalibrateIntercept(const std::vector<CorrectorSample>& samples,
+                          double target_recall);
+
+  float w_approx() const { return w_approx_; }
+  float w_tau() const { return w_tau_; }
+  float w_extra() const { return w_extra_; }
+  float bias() const { return bias_; }
+  bool trained() const { return trained_; }
+
+ private:
+  float w_approx_ = 0.0f;
+  float w_tau_ = 0.0f;
+  float w_extra_ = 0.0f;
+  float bias_ = -1.0f;  // untrained corrector never prunes
+  bool trained_ = false;
+};
+
+}  // namespace resinfer::core
+
+#endif  // RESINFER_CORE_LINEAR_CORRECTOR_H_

@@ -1,0 +1,89 @@
+#include "core/method_advisor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/method_factory.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace resinfer::core {
+
+double SpectrumProfile::ExplainedAt(int64_t k) const {
+  if (cumulative_explained.empty()) return 0.0;
+  k = std::clamp<int64_t>(k, 0,
+                          static_cast<int64_t>(cumulative_explained.size()) -
+                              1);
+  return cumulative_explained[static_cast<std::size_t>(k)];
+}
+
+int64_t SpectrumProfile::DimsForFraction(double fraction) const {
+  for (std::size_t k = 0; k < cumulative_explained.size(); ++k) {
+    if (cumulative_explained[k] >= fraction) return static_cast<int64_t>(k);
+  }
+  return dim;
+}
+
+SpectrumProfile ProfileSpectrum(const linalg::PcaModel& pca) {
+  RESINFER_CHECK(pca.fitted());
+  SpectrumProfile profile;
+  profile.dim = pca.dim();
+  profile.cumulative_explained.resize(
+      static_cast<std::size_t>(pca.dim()) + 1, 0.0);
+  double total = 0.0;
+  for (float v : pca.variances()) total += v;
+  double running = 0.0;
+  for (int64_t k = 0; k < pca.dim(); ++k) {
+    running += pca.variances()[static_cast<std::size_t>(k)];
+    profile.cumulative_explained[static_cast<std::size_t>(k) + 1] =
+        total > 0.0 ? running / total : 0.0;
+  }
+  return profile;
+}
+
+SpectrumProfile ProfileSpectrum(const linalg::Matrix& data, int64_t max_rows,
+                                uint64_t seed) {
+  RESINFER_CHECK(data.rows() > 0 && data.cols() > 0);
+  const int64_t n = data.rows();
+  const int64_t d = data.cols();
+  linalg::PcaModel pca;
+  if (n > max_rows) {
+    Rng rng(seed);
+    std::vector<int64_t> pick = rng.SampleWithoutReplacement(n, max_rows);
+    linalg::Matrix sample(static_cast<int64_t>(pick.size()), d);
+    for (std::size_t i = 0; i < pick.size(); ++i) {
+      std::copy(data.Row(pick[i]), data.Row(pick[i]) + d,
+                sample.Row(static_cast<int64_t>(i)));
+    }
+    pca = linalg::PcaModel::Fit(sample.data(), sample.rows(), d);
+  } else {
+    pca = linalg::PcaModel::Fit(data.data(), n, d);
+  }
+  return ProfileSpectrum(pca);
+}
+
+MethodAdvice AdviseMethod(const SpectrumProfile& profile, double threshold) {
+  MethodAdvice advice;
+  advice.explained_variance_32 = profile.ExplainedAt(32);
+
+  char buffer[256];
+  if (advice.explained_variance_32 >= threshold) {
+    advice.recommended = kMethodDdcRes;
+    std::snprintf(buffer, sizeof(buffer),
+                  "a 32-dim PCA keeps %.0f%% of the variance (>= %.0f%%): "
+                  "skewed spectrum, projection-based correction (ddc-res / "
+                  "ddc-pca) prunes from few dimensions",
+                  100.0 * advice.explained_variance_32, 100.0 * threshold);
+  } else {
+    advice.recommended = kMethodDdcOpq;
+    std::snprintf(buffer, sizeof(buffer),
+                  "a 32-dim PCA keeps only %.0f%% of the variance (< "
+                  "%.0f%%): flat spectrum, quantization-based correction "
+                  "(ddc-opq) estimates better than truncated projections",
+                  100.0 * advice.explained_variance_32, 100.0 * threshold);
+  }
+  advice.rationale = buffer;
+  return advice;
+}
+
+}  // namespace resinfer::core

@@ -1,0 +1,111 @@
+// MethodFactory — one-stop construction of every distance-computation
+// method for a dataset, with shared artifacts and preprocessing-cost
+// accounting (feeds Exp-3/Fig 7 and Exp-5/Fig 9).
+//
+// Sharing mirrors the paper's setup: DDCres and DDCpca use the SAME PCA
+// rotation and rotated base; ADSampling uses its own random rotation;
+// DDCopq trains OPQ independently. Artifacts are built lazily on first use
+// and timed.
+//
+// The factory must outlive every computer it creates. Computers are
+// stateful per query; create one per search thread.
+#ifndef RESINFER_CORE_METHOD_FACTORY_H_
+#define RESINFER_CORE_METHOD_FACTORY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ad_sampling.h"
+#include "core/ddc_opq.h"
+#include "core/ddc_pca.h"
+#include "core/ddc_res.h"
+#include "core/finger.h"
+#include "data/dataset.h"
+#include "index/distance_computer.h"
+#include "index/hnsw_index.h"
+#include "linalg/pca.h"
+
+namespace resinfer::core {
+
+struct FactoryOptions {
+  linalg::PcaOptions pca;
+  AdSamplingOptions ad_sampling;
+  DdcResOptions ddc_res;
+  DdcPcaOptions ddc_pca;
+  DdcOpqOptions ddc_opq;
+  FingerOptions finger;
+  uint64_t ads_rotation_seed = 555;
+};
+
+// Wall-clock preprocessing cost and extra storage per method.
+struct PreprocessCosts {
+  double pca_seconds = 0.0;        // fit + base rotation (DDCres & DDCpca)
+  double ads_seconds = 0.0;        // random rotation + base rotation
+  double opq_seconds = 0.0;        // OPQ train + encode
+  double ddc_pca_train_seconds = 0.0;
+  double ddc_opq_train_seconds = 0.0;
+  double finger_seconds = 0.0;
+
+  int64_t ddc_res_bytes = 0;
+  int64_t ads_bytes = 0;
+  int64_t ddc_pca_bytes = 0;
+  int64_t ddc_opq_bytes = 0;
+  int64_t finger_bytes = 0;
+};
+
+// Canonical method names accepted by MethodFactory::Make.
+inline constexpr const char* kMethodExact = "exact";
+inline constexpr const char* kMethodAdSampling = "adsampling";
+inline constexpr const char* kMethodDdcRes = "ddc-res";
+inline constexpr const char* kMethodDdcPca = "ddc-pca";
+inline constexpr const char* kMethodDdcOpq = "ddc-opq";
+inline constexpr const char* kMethodFinger = "finger";
+
+class MethodFactory {
+ public:
+  // `dataset` must outlive the factory.
+  explicit MethodFactory(const data::Dataset* dataset,
+                         const FactoryOptions& options = FactoryOptions());
+
+  const data::Dataset& dataset() const { return *dataset_; }
+  const FactoryOptions& options() const { return options_; }
+  const PreprocessCosts& costs() const { return costs_; }
+
+  // Shared artifacts (built lazily, timed into costs()).
+  const linalg::PcaModel& EnsurePca();
+  const linalg::Matrix& EnsurePcaRotatedBase();
+  const linalg::Matrix& EnsureAdsRotation();
+  const linalg::Matrix& EnsureAdsRotatedBase();
+  const DdcPcaArtifacts& EnsureDdcPcaArtifacts();
+  const DdcOpqArtifacts& EnsureDdcOpqArtifacts();
+  // FINGER preprocesses a specific HNSW graph; the graph must outlive the
+  // factory's artifacts.
+  const FingerArtifacts& EnsureFingerArtifacts(const index::HnswIndex& graph);
+
+  // Builds a computer by canonical name. `graph` is required for "finger"
+  // and ignored otherwise.
+  std::unique_ptr<index::DistanceComputer> Make(
+      const std::string& method, const index::HnswIndex* graph = nullptr);
+
+ private:
+  const data::Dataset* dataset_;
+  FactoryOptions options_;
+  PreprocessCosts costs_;
+
+  std::optional<linalg::PcaModel> pca_;
+  std::optional<linalg::Matrix> pca_rotated_base_;
+  std::optional<linalg::Matrix> ads_rotation_;
+  std::optional<linalg::Matrix> ads_rotated_base_;
+  std::optional<DdcPcaArtifacts> ddc_pca_artifacts_;
+  std::optional<DdcOpqArtifacts> ddc_opq_artifacts_;
+  std::optional<FingerArtifacts> finger_artifacts_;
+};
+
+// All method names, in the order the paper's figures list them.
+std::vector<std::string> AllMethodNames(bool include_finger = false);
+
+}  // namespace resinfer::core
+
+#endif  // RESINFER_CORE_METHOD_FACTORY_H_

@@ -1,0 +1,57 @@
+// Training-data harvesting for the data-driven correctors (§V, §VII-A).
+//
+// Mirrors the paper's labeling protocol: for each training query, the exact
+// KNNs form the positive samples (label 0: dis <= tau, must not be pruned)
+// with tau = the K-th exact distance; negatives (label 1: dis > tau) are
+// harvested from non-neighbor points visited by a query process — here, a
+// uniform sample over the remaining base points, which matches the
+// candidate mix seen by IVF/HNSW refinement closely enough to calibrate the
+// linear boundary.
+//
+// The expensive step (exact KNN of every training query) runs once and is
+// shared by all correction stages: MaterializeSamples() turns labeled pairs
+// into per-stage feature vectors via a caller-provided approximator.
+#ifndef RESINFER_CORE_TRAINING_DATA_H_
+#define RESINFER_CORE_TRAINING_DATA_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/linear_corrector.h"
+#include "linalg/matrix.h"
+
+namespace resinfer::core {
+
+struct TrainingDataOptions {
+  int k = 100;                   // positives per query (the KNN set)
+  int negatives_per_query = 100; // label-1 samples per query
+  int64_t max_queries = 1000;    // training queries used
+  uint64_t seed = 17;
+};
+
+struct LabeledPair {
+  int64_t query_index = 0;  // row in the training-query matrix
+  int64_t id = 0;           // base row
+  float tau = 0.0f;         // K-th exact distance of that query
+  float exact = 0.0f;       // exact distance of the pair
+  uint8_t label = 0;        // 1 <=> exact > tau
+};
+
+// Pairs are grouped by query_index in ascending order, so approximators can
+// cache per-query state while materializing.
+std::vector<LabeledPair> CollectLabeledPairs(
+    const linalg::Matrix& base, const linalg::Matrix& train_queries,
+    const TrainingDataOptions& options = TrainingDataOptions());
+
+// approx_fn(query_index, id, *extra) -> dis' for one pair; called in pair
+// order (grouped by query). Returns corrector-ready samples.
+using PairApproximator =
+    std::function<float(int64_t query_index, int64_t id, float* extra)>;
+
+std::vector<CorrectorSample> MaterializeSamples(
+    const std::vector<LabeledPair>& pairs, const PairApproximator& approx_fn);
+
+}  // namespace resinfer::core
+
+#endif  // RESINFER_CORE_TRAINING_DATA_H_

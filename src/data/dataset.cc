@@ -1,0 +1,12 @@
+#include "data/dataset.h"
+
+#include "simd/kernels.h"
+
+namespace resinfer::data {
+
+float ExactL2Sqr(const Matrix& base, int64_t id, const float* query) {
+  return simd::L2Sqr(base.Row(id), query,
+                     static_cast<std::size_t>(base.cols()));
+}
+
+}  // namespace resinfer::data

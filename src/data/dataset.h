@@ -1,0 +1,34 @@
+// Dataset container shared by indexes, trainers and benches.
+#ifndef RESINFER_DATA_DATASET_H_
+#define RESINFER_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace resinfer::data {
+
+using linalg::Matrix;
+
+// A benchmark dataset: base vectors to index, evaluation queries, and a
+// disjoint pool of training queries for the data-driven correctors
+// (the paper trains on sampled vectors and keeps the evaluation queries
+// clean, §VII-A).
+struct Dataset {
+  std::string name;
+  Matrix base;           // n x d
+  Matrix queries;        // q x d
+  Matrix train_queries;  // t x d
+
+  int64_t dim() const { return base.cols(); }
+  int64_t size() const { return base.rows(); }
+};
+
+// Exact squared Euclidean distance between base row `id` and `query`.
+float ExactL2Sqr(const Matrix& base, int64_t id, const float* query);
+
+}  // namespace resinfer::data
+
+#endif  // RESINFER_DATA_DATASET_H_

@@ -1,0 +1,65 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+#include "util/parallel.h"
+
+namespace resinfer::data {
+
+namespace {
+
+struct HeapEntry {
+  float distance;
+  int64_t id;
+  // Max-heap by distance; among equal distances keep the larger id on top
+  // so that the final ascending order breaks ties by smaller id.
+  bool operator<(const HeapEntry& other) const {
+    if (distance != other.distance) return distance < other.distance;
+    return id < other.id;
+  }
+};
+
+}  // namespace
+
+std::vector<Neighbor> BruteForceKnnSingle(const linalg::Matrix& base,
+                                          const float* query, int k) {
+  const int64_t n = base.rows();
+  const std::size_t d = static_cast<std::size_t>(base.cols());
+  k = static_cast<int>(std::min<int64_t>(k, n));
+  RESINFER_CHECK(k > 0);
+
+  std::priority_queue<HeapEntry> heap;
+  for (int64_t i = 0; i < n; ++i) {
+    float dist = simd::L2Sqr(base.Row(i), query, d);
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push({dist, i});
+    } else if (HeapEntry{dist, i} < heap.top()) {
+      heap.pop();
+      heap.push({dist, i});
+    }
+  }
+  std::vector<Neighbor> result(heap.size());
+  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
+    result[i] = {heap.top().id, heap.top().distance};
+    heap.pop();
+  }
+  return result;
+}
+
+std::vector<std::vector<int64_t>> BruteForceKnn(const linalg::Matrix& base,
+                                                const linalg::Matrix& queries,
+                                                int k) {
+  RESINFER_CHECK(base.cols() == queries.cols());
+  std::vector<std::vector<int64_t>> out(queries.rows());
+  ParallelForEach(queries.rows(), [&](int64_t q, int /*thread_id*/) {
+    std::vector<Neighbor> nn = BruteForceKnnSingle(base, queries.Row(q), k);
+    out[q].resize(nn.size());
+    for (std::size_t i = 0; i < nn.size(); ++i) out[q][i] = nn[i].id;
+  });
+  return out;
+}
+
+}  // namespace resinfer::data

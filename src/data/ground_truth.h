@@ -1,0 +1,29 @@
+// Brute-force exact KNN, used as ground truth for recall measurement and to
+// label training data for the learned correctors.
+#ifndef RESINFER_DATA_GROUND_TRUTH_H_
+#define RESINFER_DATA_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace resinfer::data {
+
+// ids[q] = the k base rows closest to queries row q, ascending by squared
+// L2 distance (ties broken by id). k is clamped to base.rows().
+std::vector<std::vector<int64_t>> BruteForceKnn(const linalg::Matrix& base,
+                                                const linalg::Matrix& queries,
+                                                int k);
+
+// Single-query variant; also returns the distances.
+struct Neighbor {
+  int64_t id;
+  float distance;
+};
+std::vector<Neighbor> BruteForceKnnSingle(const linalg::Matrix& base,
+                                          const float* query, int k);
+
+}  // namespace resinfer::data
+
+#endif  // RESINFER_DATA_GROUND_TRUTH_H_

@@ -1,0 +1,132 @@
+#include "data/metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+
+namespace resinfer::data {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return "l2";
+    case Metric::kCosine:
+      return "cosine";
+    case Metric::kInnerProduct:
+      return "ip";
+  }
+  return "unknown";
+}
+
+linalg::Matrix NormalizeRowsL2(const linalg::Matrix& m) {
+  linalg::Matrix out(m.rows(), m.cols());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const float* src = m.Row(i);
+    float* dst = out.Row(i);
+    const float norm = std::sqrt(
+        simd::Norm2Sqr(src, static_cast<std::size_t>(m.cols())));
+    if (norm > 0.0f) {
+      for (int64_t j = 0; j < m.cols(); ++j) dst[j] = src[j] / norm;
+    }  // zero rows stay zero
+  }
+  return out;
+}
+
+MipsTransform MipsTransform::Fit(const linalg::Matrix& base) {
+  RESINFER_CHECK(base.rows() > 0 && base.cols() > 0);
+  float max_norm_sqr = 0.0f;
+  for (int64_t i = 0; i < base.rows(); ++i) {
+    max_norm_sqr = std::max(
+        max_norm_sqr,
+        simd::Norm2Sqr(base.Row(i), static_cast<std::size_t>(base.cols())));
+  }
+  MipsTransform t;
+  t.max_norm_ = std::sqrt(max_norm_sqr);
+  return t;
+}
+
+MipsTransform MipsTransform::FromMaxNorm(float max_norm) {
+  RESINFER_CHECK(max_norm >= 0.0f && std::isfinite(max_norm));
+  MipsTransform t;
+  t.max_norm_ = max_norm;
+  return t;
+}
+
+linalg::Matrix MipsTransform::TransformBase(
+    const linalg::Matrix& base) const {
+  linalg::Matrix out(base.rows(), base.cols() + 1);
+  const float phi_sqr = max_norm_ * max_norm_;
+  for (int64_t i = 0; i < base.rows(); ++i) {
+    const float* src = base.Row(i);
+    float* dst = out.Row(i);
+    std::copy(src, src + base.cols(), dst);
+    const float norm_sqr =
+        simd::Norm2Sqr(src, static_cast<std::size_t>(base.cols()));
+    dst[base.cols()] =
+        norm_sqr < phi_sqr ? std::sqrt(phi_sqr - norm_sqr) : 0.0f;
+  }
+  return out;
+}
+
+linalg::Matrix MipsTransform::TransformQueries(
+    const linalg::Matrix& queries) const {
+  linalg::Matrix out(queries.rows(), queries.cols() + 1);
+  for (int64_t i = 0; i < queries.rows(); ++i) {
+    const float* src = queries.Row(i);
+    std::copy(src, src + queries.cols(), out.Row(i));
+    // The padded component is already zero-initialized.
+  }
+  return out;
+}
+
+namespace {
+
+// Shared best-first top-k by a caller-supplied score (larger is better).
+template <typename ScoreFn>
+std::vector<Neighbor> TopKByScore(int64_t n, int k, ScoreFn&& score) {
+  std::vector<Neighbor> all(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    all[static_cast<std::size_t>(i)] = {i, score(i)};
+  }
+  const auto kk = static_cast<std::size_t>(
+      std::min<int64_t>(k, n));
+  std::partial_sort(all.begin(), all.begin() + kk, all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      if (a.distance != b.distance)
+                        return a.distance > b.distance;
+                      return a.id < b.id;
+                    });
+  all.resize(kk);
+  return all;
+}
+
+}  // namespace
+
+std::vector<Neighbor> TopKByInnerProduct(const linalg::Matrix& base,
+                                         const float* query, int k) {
+  return TopKByScore(base.rows(), k, [&](int64_t i) {
+    return simd::InnerProduct(base.Row(i), query,
+                              static_cast<std::size_t>(base.cols()));
+  });
+}
+
+std::vector<Neighbor> TopKByCosine(const linalg::Matrix& base,
+                                   const float* query, int k) {
+  const float qnorm = std::sqrt(
+      simd::Norm2Sqr(query, static_cast<std::size_t>(base.cols())));
+  return TopKByScore(base.rows(), k, [&](int64_t i) {
+    const float* x = base.Row(i);
+    const float xnorm = std::sqrt(
+        simd::Norm2Sqr(x, static_cast<std::size_t>(base.cols())));
+    const float denom = qnorm * xnorm;
+    return denom > 0.0f
+               ? simd::InnerProduct(x, query,
+                                    static_cast<std::size_t>(base.cols())) /
+                     denom
+               : 0.0f;
+  });
+}
+
+}  // namespace resinfer::data

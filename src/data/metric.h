@@ -1,0 +1,72 @@
+// Metric reductions to squared Euclidean distance (§II-A).
+//
+// The paper restricts its analysis to L2 because "other widely adopted
+// distance metrics, such as cosine similarity and inner product, can be
+// transformed into Euclidean distance through simple transformations".
+// This module implements those transformations so every DDC method (and
+// every index) serves cosine / maximum-inner-product workloads unchanged:
+//
+//   * cosine: L2-normalize base and queries. For unit vectors
+//     ||q - x||^2 = 2 - 2 cos(q, x), so ascending L2 == descending cosine.
+//   * inner product (MIPS): the order-preserving augmentation of Bachrach
+//     et al. (RecSys'14). With Φ = max base norm, map
+//         x -> [x, sqrt(Φ^2 - ||x||^2)],   q -> [q, 0].
+//     Then ||q' - x'||^2 = ||q||^2 + Φ^2 - 2 <q, x>: ascending L2 over the
+//     augmented (D+1)-dim space == descending inner product.
+#ifndef RESINFER_DATA_METRIC_H_
+#define RESINFER_DATA_METRIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "linalg/matrix.h"
+
+namespace resinfer::data {
+
+enum class Metric {
+  kL2 = 0,
+  kCosine = 1,
+  kInnerProduct = 2,
+};
+
+const char* MetricName(Metric metric);
+
+// Copy of `m` with every row scaled to unit L2 norm; all-zero rows are
+// left at zero (they are equidistant from everything under cosine anyway).
+linalg::Matrix NormalizeRowsL2(const linalg::Matrix& m);
+
+// The MIPS -> L2 reduction. Build once from the base; queries transform
+// with the stored norm bound.
+class MipsTransform {
+ public:
+  // Computes Φ = max row norm of `base` and returns the transform.
+  static MipsTransform Fit(const linalg::Matrix& base);
+
+  // Rebuilds from a persisted bound (must be >= every base norm used).
+  static MipsTransform FromMaxNorm(float max_norm);
+
+  float max_norm() const { return max_norm_; }
+
+  // base (n x d) -> (n x d+1) with the sqrt(Φ^2 - ||x||^2) pad. Rows whose
+  // norm exceeds Φ (possible only via FromMaxNorm misuse) pad with 0.
+  linalg::Matrix TransformBase(const linalg::Matrix& base) const;
+
+  // queries (q x d) -> (q x d+1) zero-padded.
+  linalg::Matrix TransformQueries(const linalg::Matrix& queries) const;
+
+ private:
+  float max_norm_ = 0.0f;
+};
+
+// Reference top-k under the original metrics, for validating the
+// reductions and for examples. Results are ordered best-first (largest
+// inner product / cosine first).
+std::vector<Neighbor> TopKByInnerProduct(const linalg::Matrix& base,
+                                         const float* query, int k);
+std::vector<Neighbor> TopKByCosine(const linalg::Matrix& base,
+                                   const float* query, int k);
+
+}  // namespace resinfer::data
+
+#endif  // RESINFER_DATA_METRIC_H_

@@ -1,0 +1,36 @@
+#include "data/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/macros.h"
+
+namespace resinfer::data {
+
+double RecallAtK(const std::vector<int64_t>& result,
+                 const std::vector<int64_t>& truth, int k) {
+  RESINFER_CHECK(k > 0);
+  const std::size_t truth_k = std::min<std::size_t>(truth.size(), k);
+  if (truth_k == 0) return 0.0;
+  std::unordered_set<int64_t> truth_set(truth.begin(),
+                                        truth.begin() + truth_k);
+  std::size_t hits = 0;
+  const std::size_t result_k = std::min<std::size_t>(result.size(), k);
+  for (std::size_t i = 0; i < result_k; ++i) {
+    if (truth_set.count(result[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double MeanRecallAtK(const std::vector<std::vector<int64_t>>& results,
+                     const std::vector<std::vector<int64_t>>& truth, int k) {
+  RESINFER_CHECK(results.size() == truth.size());
+  if (results.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    total += RecallAtK(results[i], truth[i], k);
+  }
+  return total / static_cast<double>(results.size());
+}
+
+}  // namespace resinfer::data

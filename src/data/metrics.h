@@ -1,0 +1,21 @@
+// Search-quality metrics (recall@K as defined in §VII-A).
+#ifndef RESINFER_DATA_METRICS_H_
+#define RESINFER_DATA_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace resinfer::data {
+
+// recall@K for one query: |result ∩ truth[0..k)| / k.
+// `truth` may be longer than k; only its first k entries count.
+double RecallAtK(const std::vector<int64_t>& result,
+                 const std::vector<int64_t>& truth, int k);
+
+// Mean recall@K across queries. result.size() must equal truth.size().
+double MeanRecallAtK(const std::vector<std::vector<int64_t>>& results,
+                     const std::vector<std::vector<int64_t>>& truth, int k);
+
+}  // namespace resinfer::data
+
+#endif  // RESINFER_DATA_METRICS_H_

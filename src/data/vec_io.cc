@@ -1,0 +1,144 @@
+#include "data/vec_io.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace resinfer::data {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Counts records and validates a constant dimension for a (dim, payload)
+// framed file with `elem_size` bytes per component.
+bool ScanFramedFile(std::FILE* f, const std::string& path,
+                    std::size_t elem_size, int64_t* num_records,
+                    int32_t* dim, std::string* error) {
+  if (std::fseek(f, 0, SEEK_END) != 0) return Fail(error, "seek failed");
+  long file_size = std::ftell(f);
+  if (file_size < 0) return Fail(error, "ftell failed");
+  std::rewind(f);
+
+  int32_t first_dim = 0;
+  if (file_size == 0) {
+    *num_records = 0;
+    *dim = 0;
+    return true;
+  }
+  if (std::fread(&first_dim, sizeof(first_dim), 1, f) != 1)
+    return Fail(error, path + ": cannot read leading dimension");
+  if (first_dim <= 0)
+    return Fail(error, path + ": non-positive vector dimension");
+
+  std::size_t record_bytes = sizeof(int32_t) + elem_size * first_dim;
+  if (static_cast<std::size_t>(file_size) % record_bytes != 0)
+    return Fail(error,
+                path + ": file size is not a multiple of the record size "
+                       "(truncated or variable-dimension file)");
+  *num_records = static_cast<int64_t>(file_size / record_bytes);
+  *dim = first_dim;
+  std::rewind(f);
+  return true;
+}
+
+template <typename Elem>
+bool ReadFramed(const std::string& path, linalg::Matrix* out,
+                std::string* error) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Fail(error, path + ": cannot open");
+
+  int64_t n = 0;
+  int32_t d = 0;
+  if (!ScanFramedFile(f.get(), path, sizeof(Elem), &n, &d, error))
+    return false;
+
+  *out = linalg::Matrix(n, d);
+  std::vector<Elem> row(d);
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t row_dim = 0;
+    if (std::fread(&row_dim, sizeof(row_dim), 1, f.get()) != 1)
+      return Fail(error, path + ": truncated record header");
+    if (row_dim != d)
+      return Fail(error, path + ": inconsistent dimensions across records");
+    if (std::fread(row.data(), sizeof(Elem), d, f.get()) !=
+        static_cast<std::size_t>(d))
+      return Fail(error, path + ": truncated record payload");
+    float* dst = out->Row(i);
+    for (int32_t c = 0; c < d; ++c) dst[c] = static_cast<float>(row[c]);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ReadFvecs(const std::string& path, linalg::Matrix* out,
+               std::string* error) {
+  return ReadFramed<float>(path, out, error);
+}
+
+bool ReadBvecs(const std::string& path, linalg::Matrix* out,
+               std::string* error) {
+  return ReadFramed<uint8_t>(path, out, error);
+}
+
+bool WriteFvecs(const std::string& path, const linalg::Matrix& vectors,
+                std::string* error) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Fail(error, path + ": cannot open for writing");
+  const int32_t d = static_cast<int32_t>(vectors.cols());
+  for (int64_t i = 0; i < vectors.rows(); ++i) {
+    if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
+        std::fwrite(vectors.Row(i), sizeof(float), d, f.get()) !=
+            static_cast<std::size_t>(d)) {
+      return Fail(error, path + ": short write");
+    }
+  }
+  return true;
+}
+
+bool ReadIvecs(const std::string& path,
+               std::vector<std::vector<int32_t>>* out, std::string* error) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Fail(error, path + ": cannot open");
+  out->clear();
+  while (true) {
+    int32_t d = 0;
+    std::size_t got = std::fread(&d, sizeof(d), 1, f.get());
+    if (got == 0) break;  // clean EOF
+    if (d < 0) return Fail(error, path + ": negative dimension");
+    std::vector<int32_t> row(d);
+    if (d > 0 && std::fread(row.data(), sizeof(int32_t), d, f.get()) !=
+                     static_cast<std::size_t>(d))
+      return Fail(error, path + ": truncated record payload");
+    out->push_back(std::move(row));
+  }
+  return true;
+}
+
+bool WriteIvecs(const std::string& path,
+                const std::vector<std::vector<int32_t>>& rows,
+                std::string* error) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Fail(error, path + ": cannot open for writing");
+  for (const auto& row : rows) {
+    int32_t d = static_cast<int32_t>(row.size());
+    if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
+        (d > 0 && std::fwrite(row.data(), sizeof(int32_t), d, f.get()) !=
+                      static_cast<std::size_t>(d))) {
+      return Fail(error, path + ": short write");
+    }
+  }
+  return true;
+}
+
+}  // namespace resinfer::data

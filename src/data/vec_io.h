@@ -1,0 +1,41 @@
+// Readers/writers for the standard ANN-benchmark vector file formats:
+//   .fvecs — per vector: int32 dim, then dim float32 components
+//   .ivecs — per vector: int32 dim, then dim int32 components
+//   .bvecs — per vector: int32 dim, then dim uint8 components
+//
+// These are the formats SIFT/GIST/DEEP etc. are distributed in; the library
+// reads real files when present, while the bench harnesses fall back to the
+// synthetic proxies (DESIGN.md §2).
+//
+// All functions return false and fill *error on malformed input (negative or
+// inconsistent dimensions, truncated payload) instead of aborting — file
+// contents are external input, not programmer error.
+#ifndef RESINFER_DATA_VEC_IO_H_
+#define RESINFER_DATA_VEC_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace resinfer::data {
+
+bool ReadFvecs(const std::string& path, linalg::Matrix* out,
+               std::string* error);
+bool WriteFvecs(const std::string& path, const linalg::Matrix& vectors,
+                std::string* error);
+
+bool ReadIvecs(const std::string& path,
+               std::vector<std::vector<int32_t>>* out, std::string* error);
+bool WriteIvecs(const std::string& path,
+                const std::vector<std::vector<int32_t>>& rows,
+                std::string* error);
+
+// uint8 components widened to float.
+bool ReadBvecs(const std::string& path, linalg::Matrix* out,
+               std::string* error);
+
+}  // namespace resinfer::data
+
+#endif  // RESINFER_DATA_VEC_IO_H_

@@ -1,0 +1,125 @@
+#include "index/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "util/macros.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace resinfer::index {
+
+BatchResult RunBatch(const ComputerFactory& factory,
+                     const linalg::Matrix& queries, const SearchFn& search,
+                     const BatchOptions& options) {
+  RESINFER_CHECK(factory != nullptr && search != nullptr);
+  const int64_t num_queries = queries.rows();
+
+  BatchResult batch;
+  batch.results.resize(static_cast<std::size_t>(num_queries));
+  if (num_queries == 0) return batch;
+
+  int threads = options.num_threads > 0 ? options.num_threads
+                                        : DefaultThreadCount();
+  threads = static_cast<int>(
+      std::clamp<int64_t>(threads, 1, num_queries));
+
+  struct WorkerState {
+    std::unique_ptr<DistanceComputer> computer;
+    Histogram latency;
+  };
+  std::vector<WorkerState> workers(static_cast<std::size_t>(threads));
+  for (auto& w : workers) {
+    w.computer = factory();
+    RESINFER_CHECK(w.computer != nullptr);
+    RESINFER_CHECK(w.computer->dim() == queries.cols());
+  }
+
+  std::atomic<int64_t> cursor{0};
+  WallTimer wall;
+  auto worker_loop = [&](int worker_index) {
+    WorkerState& state = workers[static_cast<std::size_t>(worker_index)];
+    WallTimer timer;
+    while (true) {
+      const int64_t q = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (q >= num_queries) break;
+      timer.Reset();
+      batch.results[static_cast<std::size_t>(q)] =
+          search(*state.computer, queries.Row(q));
+      state.latency.Add(timer.ElapsedSeconds());
+    }
+  };
+
+  if (threads == 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker_loop, t);
+    }
+    for (auto& t : pool) t.join();
+  }
+  batch.wall_seconds = wall.ElapsedSeconds();
+
+  for (const auto& w : workers) {
+    batch.latency_seconds.Merge(w.latency);
+    const ComputerStats& s = w.computer->stats();
+    batch.stats.candidates += s.candidates;
+    batch.stats.pruned += s.pruned;
+    batch.stats.dims_scanned += s.dims_scanned;
+    batch.stats.exact_computations += s.exact_computations;
+  }
+  return batch;
+}
+
+BatchResult BatchSearchFlat(const FlatIndex& index,
+                            const ComputerFactory& factory,
+                            const linalg::Matrix& queries, int k,
+                            const BatchOptions& options) {
+  return RunBatch(
+      factory, queries,
+      [&index, k](DistanceComputer& computer, const float* query) {
+        return index.Search(computer, query, k);
+      },
+      options);
+}
+
+BatchResult BatchSearchIvf(const IvfIndex& index,
+                           const ComputerFactory& factory,
+                           const linalg::Matrix& queries, int k, int nprobe,
+                           const BatchOptions& options) {
+  return RunBatch(
+      factory, queries,
+      [&index, k, nprobe](DistanceComputer& computer, const float* query) {
+        return index.Search(computer, query, k, nprobe);
+      },
+      options);
+}
+
+BatchResult BatchSearchHnsw(const HnswIndex& index,
+                            const ComputerFactory& factory,
+                            const linalg::Matrix& queries, int k, int ef,
+                            const BatchOptions& options) {
+  return RunBatch(
+      factory, queries,
+      [&index, k, ef](DistanceComputer& computer, const float* query) {
+        return index.Search(computer, query, k, ef);
+      },
+      options);
+}
+
+std::vector<std::vector<int64_t>> ResultIds(const BatchResult& batch) {
+  std::vector<std::vector<int64_t>> ids;
+  ids.reserve(batch.results.size());
+  for (const auto& row : batch.results) {
+    std::vector<int64_t> r;
+    r.reserve(row.size());
+    for (const Neighbor& nb : row) r.push_back(nb.id);
+    ids.push_back(std::move(r));
+  }
+  return ids;
+}
+
+}  // namespace resinfer::index

@@ -1,0 +1,84 @@
+// Multi-threaded batch query execution.
+//
+// DistanceComputers are stateful per query, so concurrent search needs one
+// computer per thread. RunBatch owns that pattern: it builds a computer per
+// worker from a caller-supplied factory, drains the query list through an
+// atomic cursor (queries vary wildly in cost under DDC pruning, so static
+// partitioning would straggle), and aggregates per-query latencies and
+// computer statistics. Convenience wrappers cover the three indexes.
+//
+// Results are deterministic: result row q is always the answer to query q
+// regardless of which worker served it.
+#ifndef RESINFER_INDEX_BATCH_H_
+#define RESINFER_INDEX_BATCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "index/distance_computer.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_index.h"
+#include "linalg/matrix.h"
+#include "util/histogram.h"
+
+namespace resinfer::index {
+
+struct BatchOptions {
+  // 0 = DefaultThreadCount().
+  int num_threads = 0;
+};
+
+struct BatchResult {
+  // results[q] ascends by distance, one entry per query row.
+  std::vector<std::vector<Neighbor>> results;
+  // Per-query wall latency in seconds.
+  Histogram latency_seconds;
+  // Computer counters summed over all workers.
+  ComputerStats stats;
+  // End-to-end wall time of the batch (all threads).
+  double wall_seconds = 0.0;
+
+  double Qps() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(results.size()) / wall_seconds
+               : 0.0;
+  }
+};
+
+// Creates one computer per worker thread; must be thread-safe itself (it is
+// invoked before the workers start).
+using ComputerFactory = std::function<std::unique_ptr<DistanceComputer>()>;
+
+// One search against one query through the given computer. The callee must
+// route the query through `computer` (the indexes do this internally).
+using SearchFn = std::function<std::vector<Neighbor>(
+    DistanceComputer& computer, const float* query)>;
+
+BatchResult RunBatch(const ComputerFactory& factory,
+                     const linalg::Matrix& queries, const SearchFn& search,
+                     const BatchOptions& options = BatchOptions());
+
+BatchResult BatchSearchFlat(const FlatIndex& index,
+                            const ComputerFactory& factory,
+                            const linalg::Matrix& queries, int k,
+                            const BatchOptions& options = BatchOptions());
+
+BatchResult BatchSearchIvf(const IvfIndex& index,
+                           const ComputerFactory& factory,
+                           const linalg::Matrix& queries, int k, int nprobe,
+                           const BatchOptions& options = BatchOptions());
+
+BatchResult BatchSearchHnsw(const HnswIndex& index,
+                            const ComputerFactory& factory,
+                            const linalg::Matrix& queries, int k, int ef,
+                            const BatchOptions& options = BatchOptions());
+
+// Extracts just the ids from a batch result (recall evaluation helper).
+std::vector<std::vector<int64_t>> ResultIds(const BatchResult& batch);
+
+}  // namespace resinfer::index
+
+#endif  // RESINFER_INDEX_BATCH_H_

@@ -1,0 +1,29 @@
+#include "index/distance_computer.h"
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+
+namespace resinfer::index {
+
+FlatDistanceComputer::FlatDistanceComputer(const float* base, int64_t n,
+                                           int64_t d)
+    : base_(base), size_(n), dim_(d) {
+  RESINFER_CHECK(base != nullptr && n > 0 && d > 0);
+}
+
+EstimateResult FlatDistanceComputer::EstimateWithThreshold(int64_t id,
+                                                           float /*tau*/) {
+  ++stats_.candidates;
+  ++stats_.exact_computations;
+  stats_.dims_scanned += dim_;
+  return {false, ExactDistance(id)};
+}
+
+float FlatDistanceComputer::ExactDistance(int64_t id) {
+  RESINFER_DCHECK(query_ != nullptr);
+  RESINFER_DCHECK(id >= 0 && id < size_);
+  return simd::L2Sqr(base_ + id * dim_, query_,
+                     static_cast<std::size_t>(dim_));
+}
+
+}  // namespace resinfer::index

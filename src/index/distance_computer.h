@@ -1,0 +1,113 @@
+// The distance-computation plug-in interface (the paper's central
+// abstraction).
+//
+// Every AKNN index in this library routes candidate evaluation during the
+// refinement phase through a DistanceComputer. The exact computer simply
+// evaluates ||q - x||^2; the ADSampling / DDC computers implement the
+// "estimate, correct, prune-or-refine" protocol of §III-§V:
+//
+//   EstimateWithThreshold(id, tau):
+//     * pruned == true  -> the computer concluded dis(q, x_id) > tau at its
+//       configured confidence; `distance` is an approximation (usable for
+//       candidate ordering but NOT exact).
+//     * pruned == false -> `distance` is the exact distance.
+//
+// Computers are stateful per query (BeginQuery rotates the query / builds
+// lookup tables); use one computer instance per search thread.
+#ifndef RESINFER_INDEX_DISTANCE_COMPUTER_H_
+#define RESINFER_INDEX_DISTANCE_COMPUTER_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace resinfer::index {
+
+struct EstimateResult {
+  bool pruned = false;
+  float distance = 0.0f;
+};
+
+// Instrumentation for Fig 10 (scan-dimension ratio, pruned rate) and the
+// general efficiency analysis of §VI.
+struct ComputerStats {
+  int64_t candidates = 0;          // EstimateWithThreshold calls
+  int64_t pruned = 0;              // candidates rejected via the bound
+  int64_t dims_scanned = 0;        // projection dims touched (proj. methods)
+  int64_t exact_computations = 0;  // full-dimension evaluations
+
+  void Reset() { *this = ComputerStats(); }
+
+  double PrunedRate() const {
+    return candidates > 0 ? static_cast<double>(pruned) / candidates : 0.0;
+  }
+  // Average fraction of the full dimension scanned per candidate.
+  double ScanRate(int64_t full_dim) const {
+    return candidates > 0 && full_dim > 0
+               ? static_cast<double>(dims_scanned) /
+                     (static_cast<double>(candidates) * full_dim)
+               : 0.0;
+  }
+};
+
+class DistanceComputer {
+ public:
+  virtual ~DistanceComputer() = default;
+
+  // Original (full) data dimensionality D.
+  virtual int64_t dim() const = 0;
+  // Number of indexable points.
+  virtual int64_t size() const = 0;
+  virtual std::string name() const = 0;
+
+  // Prepares per-query state. `query` has dim() floats in the ORIGINAL
+  // space; computers apply their own rotations internally.
+  virtual void BeginQuery(const float* query) = 0;
+
+  // The estimate/correct/prune protocol described above. `tau` is the
+  // current result-queue threshold; pass +infinity to force an exact
+  // computation path.
+  virtual EstimateResult EstimateWithThreshold(int64_t id, float tau) = 0;
+
+  // Exact distance to point `id` for the current query.
+  virtual float ExactDistance(int64_t id) = 0;
+
+  // Hook for graph indexes: called when the search expands node `node` so
+  // that neighborhood-aware computers (FINGER) can switch their local
+  // estimation context. `distance_to_node` is the (exact or approximate)
+  // distance from the query to the expanded node. Default: ignore.
+  virtual void SetExpansionAnchor(int64_t node, float distance_to_node) {}
+
+  ComputerStats& stats() { return stats_; }
+  const ComputerStats& stats() const { return stats_; }
+
+ protected:
+  ComputerStats stats_;
+};
+
+inline constexpr float kInfDistance = std::numeric_limits<float>::infinity();
+
+// Exact squared-L2 computer over a row-major base owned elsewhere.
+class FlatDistanceComputer : public DistanceComputer {
+ public:
+  // `base` (n x d) must outlive the computer.
+  FlatDistanceComputer(const float* base, int64_t n, int64_t d);
+
+  int64_t dim() const override { return dim_; }
+  int64_t size() const override { return size_; }
+  std::string name() const override { return "exact"; }
+
+  void BeginQuery(const float* query) override { query_ = query; }
+  EstimateResult EstimateWithThreshold(int64_t id, float tau) override;
+  float ExactDistance(int64_t id) override;
+
+ private:
+  const float* base_;
+  int64_t size_;
+  int64_t dim_;
+  const float* query_ = nullptr;
+};
+
+}  // namespace resinfer::index
+
+#endif  // RESINFER_INDEX_DISTANCE_COMPUTER_H_

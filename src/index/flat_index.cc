@@ -1,0 +1,40 @@
+#include "index/flat_index.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/macros.h"
+
+namespace resinfer::index {
+
+std::vector<Neighbor> FlatIndex::Search(DistanceComputer& computer,
+                                        const float* query, int k) const {
+  const int64_t n = size();
+  k = static_cast<int>(std::min<int64_t>(k, n));
+  RESINFER_CHECK(k > 0);
+  computer.BeginQuery(query);
+
+  using Entry = std::pair<float, int64_t>;  // max-heap by distance
+  std::priority_queue<Entry> heap;
+  for (int64_t i = 0; i < n; ++i) {
+    float tau = static_cast<int>(heap.size()) == k ? heap.top().first
+                                                   : kInfDistance;
+    EstimateResult est = computer.EstimateWithThreshold(i, tau);
+    if (est.pruned) continue;
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace(est.distance, i);
+    } else if (est.distance < heap.top().first) {
+      heap.pop();
+      heap.emplace(est.distance, i);
+    }
+  }
+
+  std::vector<Neighbor> out(heap.size());
+  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
+    out[i] = {heap.top().second, heap.top().first};
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace resinfer::index

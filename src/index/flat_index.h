@@ -1,0 +1,40 @@
+// Linear-scan index.
+//
+// With the exact computer this produces ground truth; with a DDC/ADSampling
+// computer it reproduces the paper's Exp-7 setting ("directly apply our
+// method to scan the points in the database"): the scan keeps a top-k heap
+// whose k-th distance is the pruning threshold tau.
+#ifndef RESINFER_INDEX_FLAT_INDEX_H_
+#define RESINFER_INDEX_FLAT_INDEX_H_
+
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "index/distance_computer.h"
+#include "linalg/matrix.h"
+
+namespace resinfer::index {
+
+using data::Neighbor;
+
+class FlatIndex {
+ public:
+  // `base` must outlive the index.
+  explicit FlatIndex(const linalg::Matrix& base) : base_(&base) {}
+
+  int64_t size() const { return base_->rows(); }
+  int64_t dim() const { return base_->cols(); }
+
+  // Scans all points through the computer. Results ascend by distance.
+  // Pruned candidates never enter the heap; un-pruned ones enter with their
+  // exact distance, so the returned distances are exact.
+  std::vector<Neighbor> Search(DistanceComputer& computer, const float* query,
+                               int k) const;
+
+ private:
+  const linalg::Matrix* base_;
+};
+
+}  // namespace resinfer::index
+
+#endif  // RESINFER_INDEX_FLAT_INDEX_H_

@@ -1,0 +1,408 @@
+#include "index/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace resinfer::index {
+
+namespace {
+
+// Min-heap on distance via greater-than comparison.
+using MinHeap =
+    std::priority_queue<std::pair<float, int64_t>,
+                        std::vector<std::pair<float, int64_t>>,
+                        std::greater<std::pair<float, int64_t>>>;
+// Max-heap on distance.
+using MaxHeap = std::priority_queue<std::pair<float, int64_t>>;
+
+}  // namespace
+
+struct HnswIndex::BuildContext {
+  const linalg::Matrix* base = nullptr;
+  std::vector<uint32_t> visited;
+  uint32_t stamp = 0;
+
+  float Distance(const float* q, int64_t id) const {
+    return simd::L2Sqr(q, base->Row(id),
+                       static_cast<std::size_t>(base->cols()));
+  }
+  void NextStamp() {
+    if (++stamp == 0) {
+      std::fill(visited.begin(), visited.end(), 0u);
+      stamp = 1;
+    }
+  }
+  bool Visit(int64_t id) {
+    if (visited[id] == stamp) return false;
+    visited[id] = stamp;
+    return true;
+  }
+};
+
+int64_t* HnswIndex::MutableLinks(int64_t node, int level) {
+  if (level == 0) {
+    return base_links_.data() + node * (2 * options_.M + 1);
+  }
+  return upper_links_[node][level - 1].data();
+}
+
+const int64_t* HnswIndex::Links(int64_t node, int level, int* count) const {
+  const int64_t* slot =
+      level == 0 ? base_links_.data() + node * (2 * options_.M + 1)
+                 : upper_links_[node][level - 1].data();
+  *count = static_cast<int>(slot[0]);
+  return slot + 1;
+}
+
+void HnswIndex::SetLinkCount(int64_t node, int level, int count) {
+  MutableLinks(node, level)[0] = count;
+}
+
+const int64_t* HnswIndex::NeighborsAtBase(int64_t node, int* count) const {
+  return Links(node, 0, count);
+}
+
+int64_t HnswIndex::GraphBytes() const {
+  int64_t bytes = static_cast<int64_t>(base_links_.size()) * sizeof(int64_t);
+  for (const auto& per_node : upper_links_) {
+    for (const auto& level : per_node)
+      bytes += static_cast<int64_t>(level.size()) * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+std::vector<HnswIndex::HeapEntry> HnswIndex::SearchLayerBuild(
+    BuildContext& ctx, const float* q, int64_t entry, float entry_dist,
+    int level, int ef) const {
+  ctx.NextStamp();
+  MinHeap candidates;
+  MaxHeap results;
+  candidates.emplace(entry_dist, entry);
+  results.emplace(entry_dist, entry);
+  ctx.Visit(entry);
+
+  while (!candidates.empty()) {
+    auto [dist, node] = candidates.top();
+    if (dist > results.top().first &&
+        static_cast<int>(results.size()) >= ef) {
+      break;
+    }
+    candidates.pop();
+    int count = 0;
+    const int64_t* links = Links(node, level, &count);
+    for (int i = 0; i < count; ++i) {
+      int64_t next = links[i];
+      if (!ctx.Visit(next)) continue;
+      float next_dist = ctx.Distance(q, next);
+      if (static_cast<int>(results.size()) < ef ||
+          next_dist < results.top().first) {
+        candidates.emplace(next_dist, next);
+        results.emplace(next_dist, next);
+        if (static_cast<int>(results.size()) > ef) results.pop();
+      }
+    }
+  }
+
+  std::vector<HeapEntry> out;
+  out.reserve(results.size());
+  while (!results.empty()) {
+    out.push_back({results.top().first, results.top().second});
+    results.pop();
+  }
+  std::reverse(out.begin(), out.end());  // ascending by distance
+  return out;
+}
+
+std::vector<int64_t> HnswIndex::SelectNeighborsHeuristic(
+    const linalg::Matrix& base, const float* /*q*/,
+    std::vector<HeapEntry> candidates, int m) const {
+  // `candidates` ascend by distance to the inserted point. Keep a candidate
+  // only if it is closer to the new point than to any already-selected
+  // neighbor (HNSW Algorithm 4) — this spreads links across directions.
+  std::vector<int64_t> selected;
+  selected.reserve(m);
+  const std::size_t d = static_cast<std::size_t>(base.cols());
+  for (const HeapEntry& cand : candidates) {
+    if (static_cast<int>(selected.size()) >= m) break;
+    bool keep = true;
+    for (int64_t chosen : selected) {
+      float dist_to_chosen =
+          simd::L2Sqr(base.Row(cand.id), base.Row(chosen), d);
+      if (dist_to_chosen < cand.distance) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) selected.push_back(cand.id);
+  }
+  return selected;
+}
+
+HnswIndex HnswIndex::Build(const linalg::Matrix& base,
+                           const HnswOptions& options) {
+  const int64_t n = base.rows();
+  RESINFER_CHECK(n > 0);
+  RESINFER_CHECK(options.M >= 2);
+  RESINFER_CHECK(options.ef_construction >= options.M);
+
+  HnswIndex index;
+  index.options_ = options;
+  index.size_ = n;
+  index.levels_.resize(n);
+  index.base_links_.assign(n * (2 * options.M + 1), 0);
+  index.upper_links_.resize(n);
+
+  const double ml = 1.0 / std::log(static_cast<double>(options.M));
+  Rng rng(options.level_seed);
+
+  BuildContext ctx;
+  ctx.base = &base;
+  ctx.visited.assign(n, 0u);
+
+  for (int64_t i = 0; i < n; ++i) {
+    double u = rng.Uniform();
+    if (u <= 0.0) u = 1e-12;
+    int level = static_cast<int>(-std::log(u) * ml);
+    index.levels_[i] = level;
+    index.upper_links_[i].assign(
+        level, std::vector<int64_t>(options.M + 1, 0));
+
+    if (index.entry_point_ < 0) {
+      index.entry_point_ = i;
+      index.max_level_ = level;
+      continue;
+    }
+
+    const float* q = base.Row(i);
+    int64_t current = index.entry_point_;
+    float current_dist = ctx.Distance(q, current);
+
+    // Greedy descent through layers above the node's level.
+    for (int l = index.max_level_; l > level; --l) {
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        int count = 0;
+        const int64_t* links = index.Links(current, l, &count);
+        for (int j = 0; j < count; ++j) {
+          float dist = ctx.Distance(q, links[j]);
+          if (dist < current_dist) {
+            current_dist = dist;
+            current = links[j];
+            improved = true;
+          }
+        }
+      }
+    }
+
+    // Insert on each layer from min(level, max_level) down to 0.
+    for (int l = std::min(level, index.max_level_); l >= 0; --l) {
+      std::vector<HeapEntry> found = index.SearchLayerBuild(
+          ctx, q, current, current_dist, l, options.ef_construction);
+      int m = static_cast<int>(index.LinkCapacity(l));
+      std::vector<int64_t> neighbors =
+          index.SelectNeighborsHeuristic(base, q, found, m);
+
+      // Connect i -> neighbors.
+      int64_t* my_links = index.MutableLinks(i, l);
+      my_links[0] = static_cast<int64_t>(neighbors.size());
+      for (std::size_t j = 0; j < neighbors.size(); ++j)
+        my_links[j + 1] = neighbors[j];
+
+      // Connect neighbors -> i, shrinking with the heuristic on overflow.
+      for (int64_t nb : neighbors) {
+        int count = 0;
+        const int64_t* links = index.Links(nb, l, &count);
+        int64_t capacity = index.LinkCapacity(l);
+        if (count < capacity) {
+          int64_t* slot = index.MutableLinks(nb, l);
+          slot[count + 1] = i;
+          slot[0] = count + 1;
+          continue;
+        }
+        // Re-select among existing links + i relative to nb.
+        std::vector<HeapEntry> pool;
+        pool.reserve(count + 1);
+        const float* nb_vec = base.Row(nb);
+        pool.push_back({ctx.Distance(nb_vec, i), i});
+        for (int j = 0; j < count; ++j)
+          pool.push_back({ctx.Distance(nb_vec, links[j]), links[j]});
+        std::sort(pool.begin(), pool.end(),
+                  [](const HeapEntry& a, const HeapEntry& b) {
+                    return a.distance < b.distance;
+                  });
+        std::vector<int64_t> reselected = index.SelectNeighborsHeuristic(
+            base, nb_vec, pool, static_cast<int>(capacity));
+        int64_t* slot = index.MutableLinks(nb, l);
+        slot[0] = static_cast<int64_t>(reselected.size());
+        for (std::size_t j = 0; j < reselected.size(); ++j)
+          slot[j + 1] = reselected[j];
+      }
+
+      // Next layer starts from the closest found candidate.
+      if (!found.empty()) {
+        current = found.front().id;
+        current_dist = found.front().distance;
+      }
+    }
+
+    if (level > index.max_level_) {
+      index.max_level_ = level;
+      index.entry_point_ = i;
+    }
+  }
+  return index;
+}
+
+void HnswIndex::SaveTo(BinaryWriter& writer) const {
+  writer.Write(options_.M);
+  writer.Write(options_.ef_construction);
+  writer.Write(options_.level_seed);
+  writer.Write(size_);
+  writer.Write(max_level_);
+  writer.Write(entry_point_);
+  writer.WriteVector(levels_);
+  writer.WriteVector(base_links_);
+  for (const auto& per_node : upper_links_) {
+    writer.Write<int32_t>(static_cast<int32_t>(per_node.size()));
+    for (const auto& level : per_node) writer.WriteVector(level);
+  }
+}
+
+bool HnswIndex::LoadFrom(BinaryReader& reader, HnswIndex* out) {
+  HnswIndex index;
+  if (!reader.Read(&index.options_.M) ||
+      !reader.Read(&index.options_.ef_construction) ||
+      !reader.Read(&index.options_.level_seed) ||
+      !reader.Read(&index.size_) || !reader.Read(&index.max_level_) ||
+      !reader.Read(&index.entry_point_)) {
+    return false;
+  }
+  if (index.size_ <= 0 || index.options_.M < 2 ||
+      index.entry_point_ < 0 || index.entry_point_ >= index.size_) {
+    return false;
+  }
+  if (!reader.ReadVector(&index.levels_) ||
+      !reader.ReadVector(&index.base_links_)) {
+    return false;
+  }
+  if (static_cast<int64_t>(index.levels_.size()) != index.size_ ||
+      static_cast<int64_t>(index.base_links_.size()) !=
+          index.size_ * (2 * index.options_.M + 1)) {
+    return false;
+  }
+  index.upper_links_.resize(index.size_);
+  for (int64_t i = 0; i < index.size_; ++i) {
+    int32_t levels = 0;
+    if (!reader.Read(&levels) || levels < 0 || levels > 64) return false;
+    index.upper_links_[i].resize(levels);
+    for (int32_t l = 0; l < levels; ++l) {
+      if (!reader.ReadVector(&index.upper_links_[i][l])) return false;
+    }
+  }
+  // Validate link ids.
+  for (int64_t i = 0; i < index.size_; ++i) {
+    int count = 0;
+    const int64_t* links = index.Links(i, 0, &count);
+    if (count < 0 || count > 2 * index.options_.M) return false;
+    for (int j = 0; j < count; ++j) {
+      if (links[j] < 0 || links[j] >= index.size_) return false;
+    }
+  }
+  *out = std::move(index);
+  return true;
+}
+
+std::vector<Neighbor> HnswIndex::Search(DistanceComputer& computer,
+                                        const float* query, int k, int ef,
+                                        HnswScratch* scratch) const {
+  RESINFER_CHECK(size_ > 0);
+  RESINFER_CHECK(k > 0);
+  ef = std::max(ef, k);
+  computer.BeginQuery(query);
+
+  HnswScratch local;
+  HnswScratch* s = scratch != nullptr ? scratch : &local;
+  if (static_cast<int64_t>(s->visited.size()) < size_) {
+    s->visited.assign(size_, 0u);
+    s->stamp = 0;
+  }
+  if (++s->stamp == 0) {
+    std::fill(s->visited.begin(), s->visited.end(), 0u);
+    s->stamp = 1;
+  }
+  const uint32_t stamp = s->stamp;
+
+  int64_t current = entry_point_;
+  float current_dist = computer.ExactDistance(current);
+
+  // Greedy descent with exact distances on the sparse upper layers.
+  for (int l = max_level_; l >= 1; --l) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      int count = 0;
+      const int64_t* links = Links(current, l, &count);
+      for (int j = 0; j < count; ++j) {
+        float dist = computer.ExactDistance(links[j]);
+        if (dist < current_dist) {
+          current_dist = dist;
+          current = links[j];
+          improved = true;
+        }
+      }
+    }
+  }
+
+  // Base-layer beam search through the plug-in computer.
+  MinHeap candidates;
+  MaxHeap results;
+  candidates.emplace(current_dist, current);
+  results.emplace(current_dist, current);
+  s->visited[current] = stamp;
+
+  while (!candidates.empty()) {
+    auto [dist, node] = candidates.top();
+    if (static_cast<int>(results.size()) >= ef &&
+        dist > results.top().first) {
+      break;
+    }
+    candidates.pop();
+    computer.SetExpansionAnchor(node, dist);
+
+    int count = 0;
+    const int64_t* links = Links(node, 0, &count);
+    for (int j = 0; j < count; ++j) {
+      int64_t next = links[j];
+      if (s->visited[next] == stamp) continue;
+      s->visited[next] = stamp;
+
+      float tau = static_cast<int>(results.size()) >= ef
+                      ? results.top().first
+                      : kInfDistance;
+      EstimateResult est = computer.EstimateWithThreshold(next, tau);
+      if (est.pruned) continue;
+      if (static_cast<int>(results.size()) < ef ||
+          est.distance < results.top().first) {
+        candidates.emplace(est.distance, next);
+        results.emplace(est.distance, next);
+        if (static_cast<int>(results.size()) > ef) results.pop();
+      }
+    }
+  }
+
+  while (static_cast<int>(results.size()) > k) results.pop();
+  std::vector<Neighbor> out(results.size());
+  for (int64_t i = static_cast<int64_t>(results.size()) - 1; i >= 0; --i) {
+    out[i] = {results.top().second, results.top().first};
+    results.pop();
+  }
+  return out;
+}
+
+}  // namespace resinfer::index

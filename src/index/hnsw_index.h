@@ -1,0 +1,123 @@
+// Hierarchical Navigable Small World graph (Malkov & Yashunin, TPAMI 2020).
+//
+// Construction follows the reference algorithm: exponentially distributed
+// node levels, greedy descent through the upper layers, ef_construction
+// beam search per layer, and the distance-based neighbor-selection heuristic
+// (Algorithm 4 of the HNSW paper) with bidirectional link repair.
+//
+// Construction always uses exact distances — the paper's methods (and
+// ADSampling before them) accelerate only the query phase, so one graph is
+// built per dataset and shared by every DistanceComputer.
+//
+// Query: greedy descent with exact distances on the sparse upper layers,
+// then a base-layer beam search in which every neighbor evaluation goes
+// through DistanceComputer::EstimateWithThreshold with the current ef-th
+// result distance as the threshold. Pruned candidates are skipped entirely
+// (the HNSW++ integration style of the ADSampling paper). The result queue
+// only ever holds exact distances.
+#ifndef RESINFER_INDEX_HNSW_INDEX_H_
+#define RESINFER_INDEX_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "index/distance_computer.h"
+#include "linalg/matrix.h"
+#include "util/binary_io.h"
+
+namespace resinfer::index {
+
+using data::Neighbor;
+
+struct HnswOptions {
+  // Max links per node on upper layers; level 0 uses 2*M. Paper: M = 16.
+  int M = 16;
+  // Beam width during construction. Paper: 500; small-scale benches lower
+  // this (printed in their output).
+  int ef_construction = 200;
+  uint64_t level_seed = 2024;
+};
+
+// Reusable per-thread search scratch (visited stamps). Optional; pass
+// nullptr and Search allocates internally.
+struct HnswScratch {
+  std::vector<uint32_t> visited;
+  uint32_t stamp = 0;
+};
+
+class HnswIndex {
+ public:
+  HnswIndex() = default;
+
+  // `base` must outlive the index; search re-reads vectors through the
+  // DistanceComputer, the index itself stores only the graph.
+  static HnswIndex Build(const linalg::Matrix& base,
+                         const HnswOptions& options = HnswOptions());
+
+  int64_t size() const { return size_; }
+  int max_level() const { return max_level_; }
+  int64_t entry_point() const { return entry_point_; }
+  const HnswOptions& options() const { return options_; }
+
+  // Level-0 adjacency of `node`: pointer to `count` neighbor ids.
+  const int64_t* NeighborsAtBase(int64_t node, int* count) const;
+
+  // Approximate memory footprint of the graph structure in bytes.
+  int64_t GraphBytes() const;
+
+  // Results ascend by exact distance; size <= k. ef is clamped to >= k.
+  std::vector<Neighbor> Search(DistanceComputer& computer, const float* query,
+                               int k, int ef,
+                               HnswScratch* scratch = nullptr) const;
+
+  // Graph persistence (the vectors themselves are not stored; pair with a
+  // persisted dataset / rotated base). See persist/persist.h for
+  // file-level helpers with magic headers.
+  void SaveTo(BinaryWriter& writer) const;
+  static bool LoadFrom(BinaryReader& reader, HnswIndex* out);
+
+ private:
+  struct BuildContext;
+
+  // Max-heap entry ordered by distance.
+  struct HeapEntry {
+    float distance;
+    int64_t id;
+    bool operator<(const HeapEntry& other) const {
+      return distance < other.distance;
+    }
+    bool operator>(const HeapEntry& other) const {
+      return distance > other.distance;
+    }
+  };
+
+  int64_t LinkCapacity(int level) const {
+    return level == 0 ? 2 * options_.M : options_.M;
+  }
+  int64_t* MutableLinks(int64_t node, int level);
+  const int64_t* Links(int64_t node, int level, int* count) const;
+  void SetLinkCount(int64_t node, int level, int count);
+
+  std::vector<HeapEntry> SearchLayerBuild(BuildContext& ctx, const float* q,
+                                          int64_t entry, float entry_dist,
+                                          int level, int ef) const;
+  std::vector<int64_t> SelectNeighborsHeuristic(
+      const linalg::Matrix& base, const float* q,
+      std::vector<HeapEntry> candidates, int m) const;
+
+  HnswOptions options_;
+  int64_t size_ = 0;
+  int max_level_ = -1;
+  int64_t entry_point_ = -1;
+
+  std::vector<int> levels_;  // per node
+  // Level 0: flattened [count, id x (2M)] per node.
+  std::vector<int64_t> base_links_;
+  // Upper levels: per node, per level-1, [count, id x M].
+  std::vector<std::vector<std::vector<int64_t>>> upper_links_;
+};
+
+}  // namespace resinfer::index
+
+#endif  // RESINFER_INDEX_HNSW_INDEX_H_

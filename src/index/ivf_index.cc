@@ -1,0 +1,82 @@
+#include "index/ivf_index.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/macros.h"
+
+namespace resinfer::index {
+
+IvfIndex IvfIndex::Build(const linalg::Matrix& base,
+                         const IvfOptions& options) {
+  const int64_t n = base.rows();
+  RESINFER_CHECK(n > 0);
+  int k = options.num_clusters;
+  int cap = static_cast<int>(
+      std::max<int64_t>(1, n / std::max(1, options.min_points_per_cluster)));
+  k = std::clamp(k, 1, cap);
+
+  quant::KMeansResult km =
+      quant::KMeans(base.data(), n, base.cols(), k, options.kmeans);
+
+  IvfIndex index;
+  index.size_ = n;
+  index.centroids_ = std::move(km.centroids);
+  index.buckets_.assign(k, {});
+  for (int64_t i = 0; i < n; ++i) {
+    index.buckets_[km.assignments[i]].push_back(i);
+  }
+  return index;
+}
+
+IvfIndex IvfIndex::FromComponents(
+    int64_t size, linalg::Matrix centroids,
+    std::vector<std::vector<int64_t>> buckets) {
+  RESINFER_CHECK(size > 0);
+  RESINFER_CHECK(centroids.rows() ==
+                 static_cast<int64_t>(buckets.size()));
+  for (const auto& bucket : buckets) {
+    for (int64_t id : bucket) RESINFER_CHECK(id >= 0 && id < size);
+  }
+  IvfIndex index;
+  index.size_ = size;
+  index.centroids_ = std::move(centroids);
+  index.buckets_ = std::move(buckets);
+  return index;
+}
+
+std::vector<Neighbor> IvfIndex::Search(DistanceComputer& computer,
+                                       const float* query, int k,
+                                       int nprobe) const {
+  RESINFER_CHECK(k > 0);
+  computer.BeginQuery(query);
+
+  std::vector<int32_t> probe =
+      quant::NearestCentroids(centroids_, query, nprobe);
+
+  using Entry = std::pair<float, int64_t>;  // max-heap by distance
+  std::priority_queue<Entry> heap;
+  for (int32_t bucket : probe) {
+    for (int64_t id : buckets_[bucket]) {
+      float tau = static_cast<int>(heap.size()) == k ? heap.top().first
+                                                     : kInfDistance;
+      EstimateResult est = computer.EstimateWithThreshold(id, tau);
+      if (est.pruned) continue;
+      if (static_cast<int>(heap.size()) < k) {
+        heap.emplace(est.distance, id);
+      } else if (est.distance < heap.top().first) {
+        heap.pop();
+        heap.emplace(est.distance, id);
+      }
+    }
+  }
+
+  std::vector<Neighbor> out(heap.size());
+  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
+    out[i] = {heap.top().second, heap.top().first};
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace resinfer::index

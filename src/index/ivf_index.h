@@ -1,0 +1,61 @@
+// Inverted-file index (IVF, §II-A).
+//
+// Build: k-means over the base vectors; each cluster owns a bucket of point
+// ids. Search: rank centroids by exact distance to the query, scan the
+// `nprobe` nearest buckets, and evaluate every member through the plugged
+// DistanceComputer with the running top-k threshold — the candidate
+// generation / refinement split the paper builds on.
+#ifndef RESINFER_INDEX_IVF_INDEX_H_
+#define RESINFER_INDEX_IVF_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "index/distance_computer.h"
+#include "linalg/matrix.h"
+#include "quant/kmeans.h"
+
+namespace resinfer::index {
+
+using data::Neighbor;
+
+struct IvfOptions {
+  // Paper default is 4096 clusters (§VII-A); Build caps this at
+  // max(1, n / min_points_per_cluster) so small benches stay sensible.
+  int num_clusters = 4096;
+  int min_points_per_cluster = 8;
+  quant::KMeansOptions kmeans;
+};
+
+class IvfIndex {
+ public:
+  IvfIndex() = default;
+
+  // `base` must outlive the index (buckets store row ids, not copies).
+  static IvfIndex Build(const linalg::Matrix& base,
+                        const IvfOptions& options = IvfOptions());
+
+  // Rebuilds an index from persisted parts (persist/persist.h). `size` is
+  // the number of indexed points; bucket ids must lie in [0, size).
+  static IvfIndex FromComponents(int64_t size, linalg::Matrix centroids,
+                                 std::vector<std::vector<int64_t>> buckets);
+
+  int num_clusters() const { return static_cast<int>(centroids_.rows()); }
+  int64_t size() const { return size_; }
+  const linalg::Matrix& centroids() const { return centroids_; }
+  const std::vector<std::vector<int64_t>>& buckets() const { return buckets_; }
+
+  // Results ascend by exact distance. nprobe is clamped to num_clusters().
+  std::vector<Neighbor> Search(DistanceComputer& computer, const float* query,
+                               int k, int nprobe) const;
+
+ private:
+  int64_t size_ = 0;
+  linalg::Matrix centroids_;
+  std::vector<std::vector<int64_t>> buckets_;
+};
+
+}  // namespace resinfer::index
+
+#endif  // RESINFER_INDEX_IVF_INDEX_H_

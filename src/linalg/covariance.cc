@@ -1,0 +1,61 @@
+#include "linalg/covariance.h"
+
+#include <vector>
+
+#include "util/macros.h"
+#include "util/parallel.h"
+
+namespace resinfer::linalg {
+
+MeanCovariance ComputeMeanCovariance(const float* data, int64_t n,
+                                     int64_t d) {
+  RESINFER_CHECK(n >= 1 && d >= 1);
+
+  std::vector<double> mean(d, 0.0);
+  for (int64_t r = 0; r < n; ++r) {
+    const float* row = data + r * d;
+    for (int64_t c = 0; c < d; ++c) mean[c] += row[c];
+  }
+  for (int64_t c = 0; c < d; ++c) mean[c] /= static_cast<double>(n);
+
+  // Upper triangle of sum (x - mu)(x - mu)^T with per-thread accumulators.
+  const int threads = DefaultThreadCount();
+  const int64_t tri = d * (d + 1) / 2;
+  std::vector<std::vector<double>> partial(
+      threads, std::vector<double>(static_cast<std::size_t>(tri), 0.0));
+
+  ParallelForEach(n, [&](int64_t r, int thread_id) {
+    std::vector<double>& acc = partial[thread_id];
+    const float* row = data + r * d;
+    // Small stack-friendly centered copy.
+    thread_local std::vector<double> centered;
+    centered.resize(d);
+    for (int64_t c = 0; c < d; ++c) centered[c] = row[c] - mean[c];
+    std::size_t idx = 0;
+    for (int64_t i = 0; i < d; ++i) {
+      double ci = centered[i];
+      for (int64_t j = i; j < d; ++j) acc[idx++] += ci * centered[j];
+    }
+  });
+
+  MeanCovariance result;
+  result.mean.resize(d);
+  for (int64_t c = 0; c < d; ++c)
+    result.mean[c] = static_cast<float>(mean[c]);
+  result.covariance = Matrix(d, d);
+  std::size_t idx = 0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = i; j < d; ++j) {
+      double total = 0.0;
+      for (int t = 0; t < threads; ++t) total += partial[t][idx];
+      ++idx;
+      float value = static_cast<float>(total * inv_n);
+      result.covariance.At(i, j) = value;
+      result.covariance.At(j, i) = value;
+    }
+  }
+  return result;
+}
+
+}  // namespace resinfer::linalg

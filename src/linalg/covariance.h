@@ -1,0 +1,23 @@
+// Mean and covariance of a row-major sample, double-accumulated.
+#ifndef RESINFER_LINALG_COVARIANCE_H_
+#define RESINFER_LINALG_COVARIANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace resinfer::linalg {
+
+struct MeanCovariance {
+  std::vector<float> mean;  // length d
+  Matrix covariance;        // d x d, population normalization (1/n)
+};
+
+// Computes mean and covariance over `n` rows of dimension `d`.
+// Requires n >= 1.
+MeanCovariance ComputeMeanCovariance(const float* data, int64_t n, int64_t d);
+
+}  // namespace resinfer::linalg
+
+#endif  // RESINFER_LINALG_COVARIANCE_H_

@@ -1,0 +1,199 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/macros.h"
+
+namespace resinfer::linalg {
+
+namespace {
+
+double Hypot(double a, double b) { return std::hypot(a, b); }
+
+double SignLike(double magnitude, double sign_source) {
+  return sign_source >= 0.0 ? std::abs(magnitude) : -std::abs(magnitude);
+}
+
+// Householder reduction of the symmetric matrix stored in `z` (n x n,
+// row-major) to tridiagonal form. On exit `d` holds the diagonal, `e` the
+// sub-diagonal (e[0] unused), and `z` the accumulated orthogonal transform
+// (columns are the basis in which the tridiagonal matrix lives).
+void Tridiagonalize(std::vector<double>& z, int n, std::vector<double>& d,
+                    std::vector<double>& e) {
+  auto a = [&](int i, int j) -> double& { return z[i * n + j]; };
+
+  for (int i = n - 1; i >= 1; --i) {
+    int l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (int k = 0; k <= l; ++k) scale += std::abs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (int k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (int j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (int k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (int k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        double hh = f / (h + h);
+        for (int j = 0; j <= l; ++j) {
+          f = a(i, j);
+          g = e[j] - hh * f;
+          e[j] = g;
+          for (int k = 0; k <= j; ++k) a(j, k) -= f * e[k] + g * a(i, k);
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (int i = 0; i < n; ++i) {
+    int l = i - 1;
+    if (d[i] != 0.0) {
+      for (int j = 0; j <= l; ++j) {
+        double g = 0.0;
+        for (int k = 0; k <= l; ++k) g += a(i, k) * a(k, j);
+        for (int k = 0; k <= l; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    d[i] = a(i, i);
+    a(i, i) = 1.0;
+    for (int j = 0; j <= l; ++j) {
+      a(j, i) = 0.0;
+      a(i, j) = 0.0;
+    }
+  }
+}
+
+// Implicit-shift QL iteration on the tridiagonal matrix (d, e), rotating the
+// transform accumulated in `z` so its columns become eigenvectors of the
+// original matrix. Returns false if an eigenvalue fails to converge.
+bool QlImplicitShifts(std::vector<double>& d, std::vector<double>& e, int n,
+                      std::vector<double>& z) {
+  auto zc = [&](int i, int j) -> double& { return z[i * n + j]; };
+  constexpr int kMaxIterations = 50;
+  const double eps = std::numeric_limits<double>::epsilon();
+
+  for (int i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= eps * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == kMaxIterations) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = Hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + SignLike(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        int i;
+        for (i = m - 1; i >= l; --i) {
+          double f = s * e[i];
+          double b = c * e[i];
+          r = Hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (int k = 0; k < n; ++k) {
+            f = zc(k, i + 1);
+            zc(k, i + 1) = s * zc(k, i) + c * f;
+            zc(k, i) = c * zc(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+}  // namespace
+
+SymmetricEigenResult SymmetricEigen(const Matrix& a) {
+  RESINFER_CHECK(a.rows() == a.cols());
+  const int n = static_cast<int>(a.rows());
+  RESINFER_CHECK(n > 0);
+
+  // Symmetrize into double working storage.
+  std::vector<double> z(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      z[static_cast<std::size_t>(i) * n + j] =
+          0.5 * (static_cast<double>(a.At(i, j)) + a.At(j, i));
+    }
+  }
+
+  std::vector<double> d(n, 0.0);
+  std::vector<double> e(n, 0.0);
+  if (n == 1) {
+    SymmetricEigenResult res;
+    res.eigenvalues = {z[0]};
+    res.eigenvectors = Matrix::Identity(1);
+    return res;
+  }
+
+  Tridiagonalize(z, n, d, e);
+  RESINFER_CHECK_MSG(QlImplicitShifts(d, e, n, z),
+                     "QL iteration failed to converge");
+
+  // Sort eigenpairs in descending eigenvalue order.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return d[x] > d[y]; });
+
+  SymmetricEigenResult res;
+  res.eigenvalues.resize(n);
+  res.eigenvectors = Matrix(n, n);
+  for (int r = 0; r < n; ++r) {
+    int src = order[r];
+    res.eigenvalues[r] = d[src];
+    float* row = res.eigenvectors.Row(r);
+    // Eigenvectors are columns of z.
+    for (int k = 0; k < n; ++k)
+      row[k] = static_cast<float>(z[static_cast<std::size_t>(k) * n + src]);
+  }
+  return res;
+}
+
+}  // namespace resinfer::linalg

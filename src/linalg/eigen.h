@@ -1,0 +1,30 @@
+// Symmetric eigendecomposition.
+//
+// Implements Householder tridiagonalization followed by the implicit-shift
+// QL iteration, in double precision. This is the standard dense-symmetric
+// path (LAPACK's xSYEV family uses the same structure); it is O(d^3) once,
+// which is what PCA and OPQ training need for d up to ~1000.
+#ifndef RESINFER_LINALG_EIGEN_H_
+#define RESINFER_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace resinfer::linalg {
+
+struct SymmetricEigenResult {
+  // Eigenvalues in descending order.
+  std::vector<double> eigenvalues;
+  // Row i is the unit eigenvector paired with eigenvalues[i].
+  Matrix eigenvectors;
+};
+
+// Decomposes a symmetric matrix. Symmetry is enforced by averaging
+// a[i][j] and a[j][i]; callers should still pass symmetric input.
+// Aborts if the QL iteration fails to converge (pathological input).
+SymmetricEigenResult SymmetricEigen(const Matrix& a);
+
+}  // namespace resinfer::linalg
+
+#endif  // RESINFER_LINALG_EIGEN_H_

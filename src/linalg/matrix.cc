@@ -1,0 +1,87 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simd/kernels.h"
+#include "util/parallel.h"
+
+namespace resinfer::linalg {
+
+Matrix::Matrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+  RESINFER_CHECK(rows >= 0 && cols >= 0);
+  data_.Resize(static_cast<std::size_t>(rows) * cols);
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m.At(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::Clone() const {
+  Matrix copy(rows_, cols_);
+  std::copy(data(), data() + size(), copy.data());
+  return copy;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float* row = Row(r);
+    for (int64_t c = 0; c < cols_; ++c) t.At(c, r) = row[c];
+  }
+  return t;
+}
+
+double Matrix::FrobeniusDistance(const Matrix& other) const {
+  RESINFER_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double acc = 0.0;
+  for (int64_t i = 0; i < size(); ++i) {
+    double d = static_cast<double>(data()[i]) - other.data()[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  RESINFER_CHECK(a.cols() == b.rows());
+  // Inner products against rows of b^T keep both operands contiguous.
+  return MatMulBt(a, b.Transposed());
+}
+
+Matrix MatMulBt(const Matrix& a, const Matrix& b) {
+  RESINFER_CHECK(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  const int64_t k = a.cols();
+  ParallelFor(a.rows(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c.Row(i);
+      for (int64_t j = 0; j < b.rows(); ++j) {
+        crow[j] = simd::InnerProduct(arow, b.Row(j),
+                                     static_cast<std::size_t>(k));
+      }
+    }
+  });
+  return c;
+}
+
+void MatVec(const Matrix& a, const float* x, float* out) {
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    out[i] =
+        simd::InnerProduct(a.Row(i), x, static_cast<std::size_t>(a.cols()));
+  }
+}
+
+double MaxAbsDifference(const Matrix& a, const Matrix& b) {
+  RESINFER_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double max_abs = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    max_abs = std::max(
+        max_abs, std::abs(static_cast<double>(a.data()[i]) - b.data()[i]));
+  }
+  return max_abs;
+}
+
+}  // namespace resinfer::linalg

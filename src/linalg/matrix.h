@@ -1,0 +1,82 @@
+// Dense row-major float matrix with cache-line-aligned storage.
+//
+// This is the workhorse container for datasets (n x d), rotation matrices
+// (d x d) and codebooks. It is move-only; use Clone() for the rare explicit
+// copy. Heavy numerics (eigen/SVD) convert to double internally — see
+// eigen.h / svd.h.
+#ifndef RESINFER_LINALG_MATRIX_H_
+#define RESINFER_LINALG_MATRIX_H_
+
+#include <cstdint>
+
+#include "util/aligned_buffer.h"
+#include "util/macros.h"
+
+namespace resinfer::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  // Zero-initialized rows x cols matrix.
+  Matrix(int64_t rows, int64_t cols);
+
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+  Matrix(const Matrix&) = delete;
+  Matrix& operator=(const Matrix&) = delete;
+
+  static Matrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  float* Row(int64_t r) {
+    RESINFER_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(int64_t r) const {
+    RESINFER_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float& At(int64_t r, int64_t c) {
+    RESINFER_DCHECK(c >= 0 && c < cols_);
+    return Row(r)[c];
+  }
+  float At(int64_t r, int64_t c) const {
+    RESINFER_DCHECK(c >= 0 && c < cols_);
+    return Row(r)[c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  int64_t size() const { return rows_ * cols_; }
+
+  Matrix Clone() const;
+  Matrix Transposed() const;
+
+  // Frobenius norm of (this - other). Requires same shape.
+  double FrobeniusDistance(const Matrix& other) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  AlignedBuffer<float> data_;
+};
+
+// c = a * b. Shapes must agree ((m x k) * (k x n) -> m x n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// c = a * b^T, the common case for applying row-stored rotations to
+// row-stored data without materializing a transpose.
+Matrix MatMulBt(const Matrix& a, const Matrix& b);
+
+// out = a * x for a (m x n) matrix and n-vector x; out has m entries.
+void MatVec(const Matrix& a, const float* x, float* out);
+
+// Max |a[i,j] - b[i,j]|; shapes must agree.
+double MaxAbsDifference(const Matrix& a, const Matrix& b);
+
+}  // namespace resinfer::linalg
+
+#endif  // RESINFER_LINALG_MATRIX_H_

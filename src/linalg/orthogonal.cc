@@ -1,0 +1,67 @@
+#include "linalg/orthogonal.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace resinfer::linalg {
+
+Matrix RandomOrthonormal(int64_t d, Rng& rng) {
+  RESINFER_CHECK(d > 0);
+  // Work in double; rows of `rows` are orthonormalized in place.
+  std::vector<std::vector<double>> rows(d, std::vector<double>(d));
+  for (auto& row : rows)
+    for (auto& x : row) x = rng.Gaussian();
+
+  for (int64_t i = 0; i < d; ++i) {
+    // Two MGS passes against all previous rows.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int64_t j = 0; j < i; ++j) {
+        double dot = 0.0;
+        for (int64_t k = 0; k < d; ++k) dot += rows[i][k] * rows[j][k];
+        for (int64_t k = 0; k < d; ++k) rows[i][k] -= dot * rows[j][k];
+      }
+    }
+    double norm_sqr = 0.0;
+    for (double x : rows[i]) norm_sqr += x * x;
+    // A fresh Gaussian row being (numerically) inside the span of < d
+    // previous rows has probability ~0; regenerate if it happens.
+    while (norm_sqr < 1e-12) {
+      for (auto& x : rows[i]) x = rng.Gaussian();
+      for (int64_t j = 0; j < i; ++j) {
+        double dot = 0.0;
+        for (int64_t k = 0; k < d; ++k) dot += rows[i][k] * rows[j][k];
+        for (int64_t k = 0; k < d; ++k) rows[i][k] -= dot * rows[j][k];
+      }
+      norm_sqr = 0.0;
+      for (double x : rows[i]) norm_sqr += x * x;
+    }
+    double inv = 1.0 / std::sqrt(norm_sqr);
+    for (double& x : rows[i]) x *= inv;
+  }
+
+  Matrix r(d, d);
+  for (int64_t i = 0; i < d; ++i)
+    for (int64_t j = 0; j < d; ++j)
+      r.At(i, j) = static_cast<float>(rows[i][j]);
+  return r;
+}
+
+double OrthonormalityError(const Matrix& r) {
+  RESINFER_CHECK(r.rows() == r.cols());
+  const int64_t d = r.rows();
+  double worst = 0.0;
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = i; j < d; ++j) {
+      double dot = 0.0;
+      for (int64_t k = 0; k < d; ++k)
+        dot += static_cast<double>(r.At(i, k)) * r.At(j, k);
+      double expected = i == j ? 1.0 : 0.0;
+      worst = std::max(worst, std::abs(dot - expected));
+    }
+  }
+  return worst;
+}
+
+}  // namespace resinfer::linalg

@@ -1,0 +1,26 @@
+// Random orthonormal (rotation) matrices.
+//
+// ADSampling's random projection is "sample d coordinates of a randomly
+// rotated vector"; the rotation must be orthonormal so that distances are
+// preserved exactly when all D dimensions are used. We draw a Gaussian
+// matrix and orthonormalize it (modified Gram–Schmidt with a second
+// re-orthogonalization pass), which yields a Haar-distributed rotation up to
+// column signs — sufficient for the JL-style bounds used here.
+#ifndef RESINFER_LINALG_ORTHOGONAL_H_
+#define RESINFER_LINALG_ORTHOGONAL_H_
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace resinfer::linalg {
+
+// Returns a d x d matrix whose ROWS are orthonormal, usable directly as a
+// rotation y = R x via MatVec.
+Matrix RandomOrthonormal(int64_t d, Rng& rng);
+
+// Max deviation of R R^T from identity (diagnostic / test helper).
+double OrthonormalityError(const Matrix& r);
+
+}  // namespace resinfer::linalg
+
+#endif  // RESINFER_LINALG_ORTHOGONAL_H_

@@ -1,0 +1,109 @@
+#include "linalg/pca.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/covariance.h"
+#include "linalg/eigen.h"
+#include "util/macros.h"
+#include "util/parallel.h"
+
+namespace resinfer::linalg {
+
+PcaModel PcaModel::Fit(const float* data, int64_t n, int64_t d,
+                       const Options& options) {
+  RESINFER_CHECK(n >= 2 && d >= 1);
+
+  // Optionally subsample rows for the covariance estimate.
+  std::vector<float> sampled;
+  const float* train_data = data;
+  int64_t train_n = n;
+  if (n > options.max_train_rows) {
+    Rng rng(options.sample_seed);
+    std::vector<int64_t> pick =
+        rng.SampleWithoutReplacement(n, options.max_train_rows);
+    sampled.resize(static_cast<std::size_t>(pick.size()) * d);
+    for (std::size_t i = 0; i < pick.size(); ++i) {
+      const float* src = data + pick[i] * d;
+      std::copy(src, src + d, sampled.data() + i * d);
+    }
+    train_data = sampled.data();
+    train_n = static_cast<int64_t>(pick.size());
+  }
+
+  MeanCovariance mc = ComputeMeanCovariance(train_data, train_n, d);
+  SymmetricEigenResult eig = SymmetricEigen(mc.covariance);
+
+  PcaModel model;
+  model.dim_ = d;
+  if (options.center) {
+    model.mean_ = std::move(mc.mean);
+  } else {
+    model.mean_.assign(d, 0.0f);
+  }
+  model.rotation_ = std::move(eig.eigenvectors);
+  model.variances_.resize(d);
+  for (int64_t i = 0; i < d; ++i) {
+    model.variances_[i] =
+        static_cast<float>(std::max(0.0, eig.eigenvalues[i]));
+  }
+  model.suffix_variance_.assign(d + 1, 0.0f);
+  // Suffix sums accumulated in double to keep tail values exact.
+  double acc = 0.0;
+  for (int64_t i = d - 1; i >= 0; --i) {
+    acc += model.variances_[i];
+    model.suffix_variance_[i] = static_cast<float>(acc);
+  }
+  return model;
+}
+
+PcaModel PcaModel::FromComponents(std::vector<float> mean, Matrix rotation,
+                                  std::vector<float> variances) {
+  const int64_t d = rotation.rows();
+  RESINFER_CHECK(rotation.cols() == d);
+  RESINFER_CHECK(static_cast<int64_t>(mean.size()) == d);
+  RESINFER_CHECK(static_cast<int64_t>(variances.size()) == d);
+  PcaModel model;
+  model.dim_ = d;
+  model.mean_ = std::move(mean);
+  model.rotation_ = std::move(rotation);
+  model.variances_ = std::move(variances);
+  model.suffix_variance_.assign(d + 1, 0.0f);
+  double acc = 0.0;
+  for (int64_t i = d - 1; i >= 0; --i) {
+    acc += model.variances_[i];
+    model.suffix_variance_[i] = static_cast<float>(acc);
+  }
+  return model;
+}
+
+void PcaModel::Transform(const float* x, float* out) const {
+  RESINFER_DCHECK(fitted());
+  std::vector<float> centered(dim_);
+  for (int64_t i = 0; i < dim_; ++i) centered[i] = x[i] - mean_[i];
+  MatVec(rotation_, centered.data(), out);
+}
+
+Matrix PcaModel::TransformBatch(const float* data, int64_t n) const {
+  RESINFER_CHECK(fitted());
+  Matrix out(n, dim_);
+  ParallelFor(n, [&](int64_t begin, int64_t end) {
+    std::vector<float> centered(dim_);
+    for (int64_t r = begin; r < end; ++r) {
+      const float* src = data + r * dim_;
+      for (int64_t i = 0; i < dim_; ++i) centered[i] = src[i] - mean_[i];
+      MatVec(rotation_, centered.data(), out.Row(r));
+    }
+  });
+  return out;
+}
+
+double PcaModel::ExplainedVarianceRatio(int64_t k) const {
+  RESINFER_CHECK(fitted());
+  k = std::clamp<int64_t>(k, 0, dim_);
+  double total = suffix_variance_[0];
+  if (total <= 0.0) return 1.0;
+  return (total - suffix_variance_[k]) / total;
+}
+
+}  // namespace resinfer::linalg

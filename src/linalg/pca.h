@@ -1,0 +1,89 @@
+// PCA rotation model (§IV of the paper).
+//
+// Theorem 1: among all orthogonal projections, the PCA basis maximizes the
+// variance captured by the first d coordinates and therefore minimizes the
+// residual variance that drives the estimation error of the decomposed
+// distance (Equation 3). This model owns:
+//   * the centering vector mu,
+//   * the full D x D rotation R (rows = principal axes, descending variance),
+//   * per-dimension variances (eigenvalues) and their suffix sums, which the
+//     residual error model (core/error_model.h) turns into query-specific
+//     error bounds.
+//
+// Transform(x) = R (x - mu). Centering and rotation both preserve pairwise
+// Euclidean distances, so exact distances can be computed in the rotated
+// space.
+#ifndef RESINFER_LINALG_PCA_H_
+#define RESINFER_LINALG_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace resinfer::linalg {
+
+struct PcaOptions {
+  // Cap on rows used to estimate the covariance; mirroring the paper's
+  // practice of sampling 1M points on the large datasets (§VII Exp-1).
+  int64_t max_train_rows = 100000;
+  uint64_t sample_seed = 1234;
+  // When true, skip centering (mu = 0). The distance decomposition is
+  // valid either way; centering matches the paper's zero-mean assumption.
+  bool center = true;
+};
+
+class PcaModel {
+ public:
+  using Options = PcaOptions;
+
+  PcaModel() = default;
+
+  // Fits mean + rotation on `n` rows of dimension `d`.
+  static PcaModel Fit(const float* data, int64_t n, int64_t d,
+                      const Options& options = PcaOptions());
+
+  // Rebuilds a model from persisted components (persist/persist.h); suffix
+  // variance sums are recomputed. rotation must be d x d, mean/variances of
+  // length d.
+  static PcaModel FromComponents(std::vector<float> mean, Matrix rotation,
+                                 std::vector<float> variances);
+
+  bool fitted() const { return dim_ > 0; }
+  int64_t dim() const { return dim_; }
+
+  // Rows are principal axes, sorted by descending variance.
+  const Matrix& rotation() const { return rotation_; }
+  const std::vector<float>& mean() const { return mean_; }
+
+  // Per-dimension variance in the rotated basis (eigenvalues, descending,
+  // clamped at >= 0).
+  const std::vector<float>& variances() const { return variances_; }
+
+  // suffix_variance()[k] = sum_{i >= k} variances()[i]; length dim()+1 with
+  // suffix_variance()[dim()] == 0. Used for residual error bounds.
+  const std::vector<float>& suffix_variance() const {
+    return suffix_variance_;
+  }
+
+  // out = R (x - mu); out must hold dim() floats. x is not modified.
+  void Transform(const float* x, float* out) const;
+
+  // Row-parallel batch transform of an (n x dim) block into a new matrix.
+  Matrix TransformBatch(const float* data, int64_t n) const;
+
+  // Fraction of total variance captured by the first k dimensions.
+  double ExplainedVarianceRatio(int64_t k) const;
+
+ private:
+  int64_t dim_ = 0;
+  std::vector<float> mean_;
+  Matrix rotation_;
+  std::vector<float> variances_;
+  std::vector<float> suffix_variance_;
+};
+
+}  // namespace resinfer::linalg
+
+#endif  // RESINFER_LINALG_PCA_H_

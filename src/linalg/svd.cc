@@ -1,0 +1,118 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/vector_ops.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace resinfer::linalg {
+
+namespace {
+
+// Gram–Schmidt completion: fills column `col` of u (m x n, row-major float)
+// with a unit vector orthogonal to all columns in `fixed_cols`.
+void CompleteOrthonormalColumn(Matrix& u, int64_t col,
+                               const std::vector<int64_t>& fixed_cols,
+                               Rng& rng) {
+  const int64_t m = u.rows();
+  std::vector<double> cand(m);
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    for (int64_t i = 0; i < m; ++i) cand[i] = rng.Gaussian();
+    // Two orthogonalization passes ("twice is enough").
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int64_t other : fixed_cols) {
+        double dot = 0.0;
+        for (int64_t i = 0; i < m; ++i) dot += cand[i] * u.At(i, other);
+        for (int64_t i = 0; i < m; ++i) cand[i] -= dot * u.At(i, other);
+      }
+    }
+    double norm_sqr = 0.0;
+    for (double x : cand) norm_sqr += x * x;
+    if (norm_sqr > 1e-12) {
+      double inv = 1.0 / std::sqrt(norm_sqr);
+      for (int64_t i = 0; i < m; ++i)
+        u.At(i, col) = static_cast<float>(cand[i] * inv);
+      return;
+    }
+  }
+  RESINFER_CHECK_MSG(false, "failed to complete orthonormal basis");
+}
+
+}  // namespace
+
+SvdResult Svd(const Matrix& a) {
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  RESINFER_CHECK(m >= n && n > 0);
+
+  // B = A^T A in double, folded into a float Matrix for the eigensolver
+  // (which re-promotes to double internally; the float round-trip costs
+  // ~1e-7 relative error on singular values, fine for our consumers).
+  Matrix b(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t r = 0; r < m; ++r)
+        acc += static_cast<double>(a.At(r, i)) * a.At(r, j);
+      b.At(i, j) = static_cast<float>(acc);
+      b.At(j, i) = static_cast<float>(acc);
+    }
+  }
+
+  SymmetricEigenResult eig = SymmetricEigen(b);
+
+  SvdResult res;
+  res.singular_values.resize(n);
+  res.v = Matrix(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    res.singular_values[j] = std::sqrt(std::max(0.0, eig.eigenvalues[j]));
+    // Eigenvector rows become V columns.
+    for (int64_t i = 0; i < n; ++i) res.v.At(i, j) = eig.eigenvectors.At(j, i);
+  }
+
+  // U columns: u_j = A v_j / s_j when s_j is well above noise. The noise
+  // floor of singular values obtained through a float-precision A^T A is
+  // ~sqrt(float eps) ~ 3e-4 relative to s_0; anything below that is rank
+  // noise and its U column is produced by basis completion instead.
+  res.u = Matrix(m, n);
+  const double tol =
+      res.singular_values.empty() ? 0.0 : res.singular_values[0] * 1e-3;
+  std::vector<int64_t> good_cols;
+  std::vector<int64_t> degenerate_cols;
+  std::vector<double> av(m);
+  for (int64_t j = 0; j < n; ++j) {
+    if (res.singular_values[j] <= tol) {
+      degenerate_cols.push_back(j);
+      continue;
+    }
+    for (int64_t r = 0; r < m; ++r) {
+      double acc = 0.0;
+      const float* arow = a.Row(r);
+      for (int64_t c = 0; c < n; ++c)
+        acc += static_cast<double>(arow[c]) * res.v.At(c, j);
+      av[r] = acc;
+    }
+    double inv = 1.0 / res.singular_values[j];
+    for (int64_t r = 0; r < m; ++r)
+      res.u.At(r, j) = static_cast<float>(av[r] * inv);
+    good_cols.push_back(j);
+  }
+  Rng rng(/*seed=*/0x5fd5u);
+  for (int64_t j : degenerate_cols) {
+    CompleteOrthonormalColumn(res.u, j, good_cols, rng);
+    good_cols.push_back(j);
+  }
+  return res;
+}
+
+Matrix ProcrustesRotation(const Matrix& m) {
+  RESINFER_CHECK(m.rows() == m.cols());
+  SvdResult svd = Svd(m);
+  // R = U V^T; MatMulBt(U, V) computes U * V^T directly.
+  return MatMulBt(svd.u, svd.v);
+}
+
+}  // namespace resinfer::linalg

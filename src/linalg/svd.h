@@ -1,0 +1,38 @@
+// Singular value decomposition, A = U * diag(s) * V^T, for square or tall
+// matrices (rows >= cols).
+//
+// Computed through the symmetric eigendecomposition of A^T A: this costs one
+// O(n^3) eigensolve plus an O(m n^2) back-multiplication, which is exactly
+// what the OPQ rotation update (orthogonal Procrustes) needs. Left singular
+// vectors for (near-)zero singular values are completed to an orthonormal
+// basis so that U is always fully orthonormal — Procrustes requires a proper
+// rotation even for rank-deficient correlation matrices.
+#ifndef RESINFER_LINALG_SVD_H_
+#define RESINFER_LINALG_SVD_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace resinfer::linalg {
+
+struct SvdResult {
+  // m x n; column j is the left singular vector for singular_values[j].
+  Matrix u;
+  // Descending, length n, clamped at >= 0.
+  std::vector<double> singular_values;
+  // n x n; column j is the right singular vector for singular_values[j].
+  Matrix v;
+};
+
+// Requires a.rows() >= a.cols().
+SvdResult Svd(const Matrix& a);
+
+// Orthogonal Procrustes: the orthogonal matrix R = U V^T (n x n) closest to
+// M in the Frobenius sense, i.e. argmax_R trace(R^T M) over orthogonal R.
+// Used by OPQ's alternating rotation update. Requires square input.
+Matrix ProcrustesRotation(const Matrix& m);
+
+}  // namespace resinfer::linalg
+
+#endif  // RESINFER_LINALG_SVD_H_

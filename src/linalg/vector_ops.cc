@@ -1,0 +1,63 @@
+#include "linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+
+namespace resinfer::linalg {
+
+void Subtract(const float* a, const float* b, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void Add(const float* a, const float* b, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void Scale(float* x, float s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+void NormalizeL2(float* x, std::size_t n) {
+  float norm_sqr = simd::Norm2Sqr(x, n);
+  if (norm_sqr <= 0.0f) return;
+  Scale(x, 1.0f / std::sqrt(norm_sqr), n);
+}
+
+double DotDouble(const float* a, const float* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+MeanVar ComputeMeanVar(const std::vector<double>& values) {
+  MeanVar mv;
+  if (values.empty()) return mv;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  mv.mean = sum / values.size();
+  double ss = 0.0;
+  for (double v : values) {
+    double d = v - mv.mean;
+    ss += d * d;
+  }
+  mv.variance = ss / values.size();
+  return mv;
+}
+
+double EmpiricalQuantile(std::vector<double> values, double q) {
+  RESINFER_CHECK(!values.empty());
+  RESINFER_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = q * (values.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - lo;
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace resinfer::linalg

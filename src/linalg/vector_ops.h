@@ -1,0 +1,39 @@
+// Small dense-vector helpers layered over the SIMD kernels.
+#ifndef RESINFER_LINALG_VECTOR_OPS_H_
+#define RESINFER_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace resinfer::linalg {
+
+// out[i] = a[i] - b[i]
+void Subtract(const float* a, const float* b, float* out, std::size_t n);
+
+// out[i] = a[i] + b[i]
+void Add(const float* a, const float* b, float* out, std::size_t n);
+
+// x[i] *= s
+void Scale(float* x, float s, std::size_t n);
+
+// Normalizes x to unit L2 norm in place; leaves zero vectors untouched.
+void NormalizeL2(float* x, std::size_t n);
+
+// Double-accumulated dot product, for training code where float drift across
+// hundreds of thousands of samples matters.
+double DotDouble(const float* a, const float* b, std::size_t n);
+
+// Mean and (population) variance of a scalar sample.
+struct MeanVar {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+MeanVar ComputeMeanVar(const std::vector<double>& values);
+
+// Empirical quantile (linear interpolation) of a sample, q in [0, 1].
+// The input is copied and sorted. Requires a non-empty sample.
+double EmpiricalQuantile(std::vector<double> values, double q);
+
+}  // namespace resinfer::linalg
+
+#endif  // RESINFER_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,542 @@
+#include "persist/persist.h"
+
+#include <vector>
+
+#include "util/binary_io.h"
+
+namespace resinfer::persist {
+
+namespace {
+
+constexpr uint32_t kVersion = 1;
+constexpr char kMatrixMagic[8] = {'R', 'I', 'M', 'A', 'T', 'R', 'X', '1'};
+constexpr char kPcaMagic[8] = {'R', 'I', 'P', 'C', 'A', 'M', 'D', '1'};
+constexpr char kPqMagic[8] = {'R', 'I', 'P', 'Q', 'C', 'B', 'K', '1'};
+constexpr char kOpqMagic[8] = {'R', 'I', 'O', 'P', 'Q', 'M', 'D', '1'};
+constexpr char kHnswMagic[8] = {'R', 'I', 'H', 'N', 'S', 'W', 'G', '1'};
+constexpr char kIvfMagic[8] = {'R', 'I', 'I', 'V', 'F', 'I', 'X', '1'};
+constexpr char kDdcPcaMagic[8] = {'R', 'I', 'D', 'P', 'C', 'A', 'A', '1'};
+constexpr char kDdcOpqMagic[8] = {'R', 'I', 'D', 'O', 'P', 'Q', 'A', '1'};
+constexpr char kRqMagic[8] = {'R', 'I', 'R', 'Q', 'C', 'B', 'K', '1'};
+constexpr char kSqMagic[8] = {'R', 'I', 'S', 'Q', 'C', 'B', 'K', '1'};
+constexpr char kCorrectorMagic[8] = {'R', 'I', 'L', 'I', 'N', 'C', 'R', '1'};
+constexpr char kDdcRqCascadeMagic[8] = {'R', 'I', 'D', 'R', 'Q', 'C', 'A', '1'};
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool FinishWrite(const BinaryWriter& writer, const std::string& path,
+                 std::string* error) {
+  if (!writer.ok()) return Fail(error, path + ": write failed");
+  return true;
+}
+
+void WriteMatrixPayload(BinaryWriter& writer, const linalg::Matrix& m) {
+  writer.Write(m.rows());
+  writer.Write(m.cols());
+  writer.WriteFloats(m.data(), m.size());
+}
+
+bool ReadMatrixPayload(BinaryReader& reader, linalg::Matrix* out) {
+  int64_t rows = 0, cols = 0;
+  if (!reader.Read(&rows) || !reader.Read(&cols)) return false;
+  if (rows < 0 || cols < 0 || rows * cols > reader.max_elements()) {
+    return false;
+  }
+  *out = linalg::Matrix(rows, cols);
+  return reader.ReadFloats(out->data(), out->size());
+}
+
+void WriteCorrectorPayload(BinaryWriter& writer,
+                           const core::LinearCorrector& corrector) {
+  writer.Write(corrector.w_approx());
+  writer.Write(corrector.w_tau());
+  writer.Write(corrector.w_extra());
+  writer.Write(corrector.bias());
+  writer.Write<uint8_t>(corrector.trained() ? 1 : 0);
+}
+
+bool ReadCorrectorPayload(BinaryReader& reader,
+                          core::LinearCorrector* out) {
+  float w_approx = 0, w_tau = 0, w_extra = 0, bias = 0;
+  uint8_t trained = 0;
+  if (!reader.Read(&w_approx) || !reader.Read(&w_tau) ||
+      !reader.Read(&w_extra) || !reader.Read(&bias) ||
+      !reader.Read(&trained)) {
+    return false;
+  }
+  *out = core::LinearCorrector::FromWeights(w_approx, w_tau, w_extra, bias,
+                                            trained != 0);
+  return true;
+}
+
+}  // namespace
+
+bool SaveMatrix(const std::string& path, const linalg::Matrix& m,
+                std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kMatrixMagic, kVersion);
+  WriteMatrixPayload(writer, m);
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadMatrix(const std::string& path, linalg::Matrix* out,
+                std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kMatrixMagic, kVersion))
+    return Fail(error, path + ": bad matrix header");
+  if (!ReadMatrixPayload(reader, out))
+    return Fail(error, path + ": truncated matrix payload");
+  return true;
+}
+
+bool SavePca(const std::string& path, const linalg::PcaModel& model,
+             std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kPcaMagic, kVersion);
+  writer.WriteVector(model.mean());
+  WriteMatrixPayload(writer, model.rotation());
+  writer.WriteVector(model.variances());
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadPca(const std::string& path, linalg::PcaModel* out,
+             std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kPcaMagic, kVersion))
+    return Fail(error, path + ": bad pca header");
+  std::vector<float> mean, variances;
+  linalg::Matrix rotation;
+  if (!reader.ReadVector(&mean) || !ReadMatrixPayload(reader, &rotation) ||
+      !reader.ReadVector(&variances)) {
+    return Fail(error, path + ": truncated pca payload");
+  }
+  if (rotation.rows() != rotation.cols() ||
+      static_cast<int64_t>(mean.size()) != rotation.rows() ||
+      static_cast<int64_t>(variances.size()) != rotation.rows()) {
+    return Fail(error, path + ": inconsistent pca shapes");
+  }
+  *out = linalg::PcaModel::FromComponents(std::move(mean),
+                                          std::move(rotation),
+                                          std::move(variances));
+  return true;
+}
+
+bool SavePq(const std::string& path, const quant::PqCodebook& pq,
+            std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kPqMagic, kVersion);
+  writer.Write<int32_t>(pq.num_subspaces());
+  for (int s = 0; s < pq.num_subspaces(); ++s) {
+    WriteMatrixPayload(writer, pq.centroids(s));
+  }
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadPq(const std::string& path, quant::PqCodebook* out,
+            std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kPqMagic, kVersion))
+    return Fail(error, path + ": bad pq header");
+  int32_t m = 0;
+  if (!reader.Read(&m) || m <= 0 || m > 4096)
+    return Fail(error, path + ": bad subspace count");
+  std::vector<linalg::Matrix> codebooks;
+  codebooks.reserve(m);
+  for (int32_t s = 0; s < m; ++s) {
+    linalg::Matrix table;
+    if (!ReadMatrixPayload(reader, &table))
+      return Fail(error, path + ": truncated pq payload");
+    codebooks.push_back(std::move(table));
+  }
+  for (const auto& table : codebooks) {
+    if (table.rows() != codebooks[0].rows() ||
+        table.cols() != codebooks[0].cols() || table.rows() > 256) {
+      return Fail(error, path + ": inconsistent pq codebook shapes");
+    }
+  }
+  *out = quant::PqCodebook::FromCodebooks(std::move(codebooks));
+  return true;
+}
+
+bool SaveOpq(const std::string& path, const quant::OpqModel& model,
+             std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kOpqMagic, kVersion);
+  WriteMatrixPayload(writer, model.rotation());
+  const quant::PqCodebook& pq = model.codebook();
+  writer.Write<int32_t>(pq.num_subspaces());
+  for (int s = 0; s < pq.num_subspaces(); ++s) {
+    WriteMatrixPayload(writer, pq.centroids(s));
+  }
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadOpq(const std::string& path, quant::OpqModel* out,
+             std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kOpqMagic, kVersion))
+    return Fail(error, path + ": bad opq header");
+  linalg::Matrix rotation;
+  if (!ReadMatrixPayload(reader, &rotation))
+    return Fail(error, path + ": truncated opq rotation");
+  int32_t m = 0;
+  if (!reader.Read(&m) || m <= 0 || m > 4096)
+    return Fail(error, path + ": bad subspace count");
+  std::vector<linalg::Matrix> codebooks;
+  for (int32_t s = 0; s < m; ++s) {
+    linalg::Matrix table;
+    if (!ReadMatrixPayload(reader, &table))
+      return Fail(error, path + ": truncated opq codebooks");
+    codebooks.push_back(std::move(table));
+  }
+  for (const auto& table : codebooks) {
+    if (table.rows() != codebooks[0].rows() ||
+        table.cols() != codebooks[0].cols() || table.rows() > 256) {
+      return Fail(error, path + ": inconsistent opq codebook shapes");
+    }
+  }
+  quant::PqCodebook pq = quant::PqCodebook::FromCodebooks(
+      std::move(codebooks));
+  if (pq.dim() != rotation.rows() || rotation.rows() != rotation.cols())
+    return Fail(error, path + ": opq rotation/codebook dim mismatch");
+  *out = quant::OpqModel::FromComponents(std::move(rotation), std::move(pq));
+  return true;
+}
+
+bool SaveRq(const std::string& path, const quant::RqCodebook& rq,
+            std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kRqMagic, kVersion);
+  writer.Write<int32_t>(rq.num_stages());
+  for (int s = 0; s < rq.num_stages(); ++s) {
+    WriteMatrixPayload(writer, rq.centroids(s));
+  }
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadRq(const std::string& path, quant::RqCodebook* out,
+            std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kRqMagic, kVersion))
+    return Fail(error, path + ": bad rq header");
+  int32_t m = 0;
+  if (!reader.Read(&m) || m <= 0 || m > 256)
+    return Fail(error, path + ": bad rq stage count");
+  std::vector<linalg::Matrix> codebooks;
+  codebooks.reserve(m);
+  for (int32_t s = 0; s < m; ++s) {
+    linalg::Matrix table;
+    if (!ReadMatrixPayload(reader, &table))
+      return Fail(error, path + ": truncated rq payload");
+    codebooks.push_back(std::move(table));
+  }
+  for (const auto& table : codebooks) {
+    if (table.rows() != codebooks[0].rows() ||
+        table.cols() != codebooks[0].cols() || table.rows() > 256 ||
+        table.rows() <= 0) {
+      return Fail(error, path + ": inconsistent rq codebook shapes");
+    }
+  }
+  *out = quant::RqCodebook::FromCodebooks(std::move(codebooks));
+  return true;
+}
+
+bool SaveSq(const std::string& path, const quant::SqCodebook& sq,
+            std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kSqMagic, kVersion);
+  writer.WriteVector(sq.vmin());
+  writer.WriteVector(sq.step());
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadSq(const std::string& path, quant::SqCodebook* out,
+            std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kSqMagic, kVersion))
+    return Fail(error, path + ": bad sq header");
+  std::vector<float> vmin, step;
+  if (!reader.ReadVector(&vmin) || !reader.ReadVector(&step))
+    return Fail(error, path + ": truncated sq payload");
+  if (vmin.empty() || vmin.size() != step.size())
+    return Fail(error, path + ": inconsistent sq ranges");
+  for (float s : step) {
+    if (!(s >= 0.0f)) return Fail(error, path + ": negative sq step");
+  }
+  *out = quant::SqCodebook::FromParams(std::move(vmin), std::move(step));
+  return true;
+}
+
+bool SaveCorrector(const std::string& path,
+                   const core::LinearCorrector& corrector,
+                   std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kCorrectorMagic, kVersion);
+  WriteCorrectorPayload(writer, corrector);
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadCorrector(const std::string& path, core::LinearCorrector* out,
+                   std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kCorrectorMagic, kVersion))
+    return Fail(error, path + ": bad corrector header");
+  if (!ReadCorrectorPayload(reader, out))
+    return Fail(error, path + ": truncated corrector payload");
+  return true;
+}
+
+bool SaveHnsw(const std::string& path, const index::HnswIndex& hnsw,
+              std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kHnswMagic, kVersion);
+  hnsw.SaveTo(writer);
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadHnsw(const std::string& path, index::HnswIndex* out,
+              std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kHnswMagic, kVersion))
+    return Fail(error, path + ": bad hnsw header");
+  if (!index::HnswIndex::LoadFrom(reader, out))
+    return Fail(error, path + ": corrupt hnsw payload");
+  return true;
+}
+
+bool SaveIvf(const std::string& path, const index::IvfIndex& ivf,
+             std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kIvfMagic, kVersion);
+  writer.Write(ivf.size());
+  WriteMatrixPayload(writer, ivf.centroids());
+  writer.Write<int32_t>(ivf.num_clusters());
+  for (const auto& bucket : ivf.buckets()) writer.WriteVector(bucket);
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadIvf(const std::string& path, index::IvfIndex* out,
+             std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kIvfMagic, kVersion))
+    return Fail(error, path + ": bad ivf header");
+  int64_t size = 0;
+  linalg::Matrix centroids;
+  int32_t clusters = 0;
+  if (!reader.Read(&size) || !ReadMatrixPayload(reader, &centroids) ||
+      !reader.Read(&clusters)) {
+    return Fail(error, path + ": truncated ivf payload");
+  }
+  if (size <= 0 || clusters <= 0 || clusters != centroids.rows())
+    return Fail(error, path + ": inconsistent ivf shapes");
+  std::vector<std::vector<int64_t>> buckets(clusters);
+  int64_t total = 0;
+  for (auto& bucket : buckets) {
+    if (!reader.ReadVector(&bucket))
+      return Fail(error, path + ": truncated ivf buckets");
+    for (int64_t id : bucket) {
+      if (id < 0 || id >= size)
+        return Fail(error, path + ": bucket id out of range");
+    }
+    total += static_cast<int64_t>(bucket.size());
+  }
+  if (total != size)
+    return Fail(error, path + ": buckets do not partition the base");
+  *out = index::IvfIndex::FromComponents(size, std::move(centroids),
+                                         std::move(buckets));
+  return true;
+}
+
+bool SaveDdcPcaArtifacts(const std::string& path,
+                         const core::DdcPcaArtifacts& artifacts,
+                         std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kDdcPcaMagic, kVersion);
+  writer.WriteVector(artifacts.stage_dims);
+  writer.Write<int32_t>(static_cast<int32_t>(artifacts.correctors.size()));
+  for (const auto& corrector : artifacts.correctors) {
+    WriteCorrectorPayload(writer, corrector);
+  }
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadDdcPcaArtifacts(const std::string& path, core::DdcPcaArtifacts* out,
+                         std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kDdcPcaMagic, kVersion))
+    return Fail(error, path + ": bad ddc-pca header");
+  core::DdcPcaArtifacts artifacts;
+  if (!reader.ReadVector(&artifacts.stage_dims))
+    return Fail(error, path + ": truncated stage dims");
+  int32_t count = 0;
+  if (!reader.Read(&count) ||
+      count != static_cast<int32_t>(artifacts.stage_dims.size())) {
+    return Fail(error, path + ": corrector count mismatch");
+  }
+  artifacts.correctors.resize(count);
+  for (int32_t i = 0; i < count; ++i) {
+    if (!ReadCorrectorPayload(reader, &artifacts.correctors[i]))
+      return Fail(error, path + ": truncated corrector payload");
+  }
+  *out = std::move(artifacts);
+  return true;
+}
+
+bool SaveDdcOpqArtifacts(const std::string& path,
+                         const core::DdcOpqArtifacts& artifacts,
+                         std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kDdcOpqMagic, kVersion);
+  WriteMatrixPayload(writer, artifacts.opq.rotation());
+  const quant::PqCodebook& pq = artifacts.opq.codebook();
+  writer.Write<int32_t>(pq.num_subspaces());
+  for (int s = 0; s < pq.num_subspaces(); ++s) {
+    WriteMatrixPayload(writer, pq.centroids(s));
+  }
+  writer.WriteVector(artifacts.codes);
+  writer.WriteVector(artifacts.recon_errors);
+  WriteCorrectorPayload(writer, artifacts.corrector);
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadDdcOpqArtifacts(const std::string& path, core::DdcOpqArtifacts* out,
+                         std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kDdcOpqMagic, kVersion))
+    return Fail(error, path + ": bad ddc-opq header");
+  linalg::Matrix rotation;
+  if (!ReadMatrixPayload(reader, &rotation))
+    return Fail(error, path + ": truncated rotation");
+  int32_t m = 0;
+  if (!reader.Read(&m) || m <= 0 || m > 4096)
+    return Fail(error, path + ": bad subspace count");
+  std::vector<linalg::Matrix> codebooks;
+  for (int32_t s = 0; s < m; ++s) {
+    linalg::Matrix table;
+    if (!ReadMatrixPayload(reader, &table))
+      return Fail(error, path + ": truncated codebooks");
+    codebooks.push_back(std::move(table));
+  }
+  for (const auto& table : codebooks) {
+    if (table.rows() != codebooks[0].rows() ||
+        table.cols() != codebooks[0].cols() || table.rows() > 256) {
+      return Fail(error, path + ": inconsistent codebook shapes");
+    }
+  }
+  core::DdcOpqArtifacts artifacts;
+  quant::PqCodebook pq = quant::PqCodebook::FromCodebooks(
+      std::move(codebooks));
+  if (pq.dim() != rotation.rows() || rotation.rows() != rotation.cols())
+    return Fail(error, path + ": rotation/codebook dim mismatch");
+  artifacts.opq = quant::OpqModel::FromComponents(std::move(rotation),
+                                                  std::move(pq));
+  if (!reader.ReadVector(&artifacts.codes) ||
+      !reader.ReadVector(&artifacts.recon_errors)) {
+    return Fail(error, path + ": truncated codes");
+  }
+  const int64_t code_size = artifacts.opq.codebook().code_size();
+  if (code_size <= 0 ||
+      artifacts.codes.size() % static_cast<std::size_t>(code_size) != 0 ||
+      artifacts.codes.size() / static_cast<std::size_t>(code_size) !=
+          artifacts.recon_errors.size()) {
+    return Fail(error, path + ": codes / reconstruction errors mismatch");
+  }
+  if (!ReadCorrectorPayload(reader, &artifacts.corrector))
+    return Fail(error, path + ": truncated corrector");
+  *out = std::move(artifacts);
+  return true;
+}
+
+bool SaveDdcRqCascadeArtifacts(const std::string& path,
+                               const core::DdcRqCascadeArtifacts& artifacts,
+                               std::string* error) {
+  BinaryWriter writer(path);
+  WriteHeader(writer, kDdcRqCascadeMagic, kVersion);
+  writer.Write<int32_t>(artifacts.rq.num_stages());
+  for (int m = 0; m < artifacts.rq.num_stages(); ++m) {
+    WriteMatrixPayload(writer, artifacts.rq.centroids(m));
+  }
+  std::vector<int32_t> levels(artifacts.levels.begin(),
+                              artifacts.levels.end());
+  writer.WriteVector(levels);
+  writer.WriteVector(artifacts.codes);
+  writer.WriteVector(artifacts.level_norms);
+  writer.WriteVector(artifacts.level_errors);
+  writer.Write<int32_t>(static_cast<int32_t>(artifacts.correctors.size()));
+  for (const auto& corrector : artifacts.correctors) {
+    WriteCorrectorPayload(writer, corrector);
+  }
+  return FinishWrite(writer, path, error);
+}
+
+bool LoadDdcRqCascadeArtifacts(const std::string& path,
+                               core::DdcRqCascadeArtifacts* out,
+                               std::string* error) {
+  BinaryReader reader(path);
+  if (!reader.ExpectHeader(kDdcRqCascadeMagic, kVersion))
+    return Fail(error, path + ": bad ddc-rq-cascade header");
+  int32_t stages = 0;
+  if (!reader.Read(&stages) || stages <= 0 || stages > 256)
+    return Fail(error, path + ": bad stage count");
+  std::vector<linalg::Matrix> codebooks;
+  for (int32_t m = 0; m < stages; ++m) {
+    linalg::Matrix table;
+    if (!ReadMatrixPayload(reader, &table))
+      return Fail(error, path + ": truncated rq codebooks");
+    codebooks.push_back(std::move(table));
+  }
+  for (const auto& table : codebooks) {
+    if (table.rows() != codebooks[0].rows() ||
+        table.cols() != codebooks[0].cols() || table.rows() > 256 ||
+        table.rows() <= 0) {
+      return Fail(error, path + ": inconsistent rq codebook shapes");
+    }
+  }
+
+  core::DdcRqCascadeArtifacts artifacts;
+  artifacts.rq = quant::RqCodebook::FromCodebooks(std::move(codebooks));
+
+  std::vector<int32_t> levels;
+  if (!reader.ReadVector(&levels) || levels.empty())
+    return Fail(error, path + ": truncated levels");
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    if (levels[l] <= 0 || levels[l] > stages ||
+        (l > 0 && levels[l] <= levels[l - 1])) {
+      return Fail(error, path + ": invalid cascade levels");
+    }
+  }
+  artifacts.levels.assign(levels.begin(), levels.end());
+
+  if (!reader.ReadVector(&artifacts.codes) ||
+      !reader.ReadVector(&artifacts.level_norms) ||
+      !reader.ReadVector(&artifacts.level_errors)) {
+    return Fail(error, path + ": truncated cascade payload");
+  }
+  const auto code_size = static_cast<std::size_t>(stages);
+  const std::size_t num_levels = levels.size();
+  if (artifacts.codes.size() % code_size != 0)
+    return Fail(error, path + ": codes size mismatch");
+  const std::size_t n = artifacts.codes.size() / code_size;
+  if (artifacts.level_norms.size() != n * num_levels ||
+      artifacts.level_errors.size() != n * num_levels) {
+    return Fail(error, path + ": per-level payload size mismatch");
+  }
+
+  int32_t num_correctors = 0;
+  if (!reader.Read(&num_correctors) ||
+      num_correctors != static_cast<int32_t>(num_levels)) {
+    return Fail(error, path + ": corrector count mismatch");
+  }
+  artifacts.correctors.resize(static_cast<std::size_t>(num_correctors));
+  for (auto& corrector : artifacts.correctors) {
+    if (!ReadCorrectorPayload(reader, &corrector))
+      return Fail(error, path + ": truncated corrector payload");
+  }
+  *out = std::move(artifacts);
+  return true;
+}
+
+}  // namespace resinfer::persist

@@ -1,0 +1,100 @@
+// File-level persistence for trained models and indexes.
+//
+// Every format starts with an 8-byte magic and a uint32 version so stale or
+// mismatched files fail loudly. Loaders validate all counts and ids; a
+// corrupted file returns false (with a message in *error) rather than
+// aborting — see persist_test.cc for the failure-injection suite.
+//
+// The base vectors are persisted separately (SaveMatrix / vec_io's
+// WriteFvecs): indexes and computers reference them by row id, so one copy
+// of the vectors serves every method, mirroring the in-memory design.
+#ifndef RESINFER_PERSIST_PERSIST_H_
+#define RESINFER_PERSIST_PERSIST_H_
+
+#include <string>
+
+#include "core/ddc_opq.h"
+#include "core/ddc_pca.h"
+#include "core/ddc_rq_cascade.h"
+#include "core/linear_corrector.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_index.h"
+#include "linalg/matrix.h"
+#include "linalg/pca.h"
+#include "quant/opq.h"
+#include "quant/pq.h"
+#include "quant/rq.h"
+#include "quant/sq.h"
+
+namespace resinfer::persist {
+
+bool SaveMatrix(const std::string& path, const linalg::Matrix& m,
+                std::string* error);
+bool LoadMatrix(const std::string& path, linalg::Matrix* out,
+                std::string* error);
+
+bool SavePca(const std::string& path, const linalg::PcaModel& model,
+             std::string* error);
+bool LoadPca(const std::string& path, linalg::PcaModel* out,
+             std::string* error);
+
+bool SavePq(const std::string& path, const quant::PqCodebook& pq,
+            std::string* error);
+bool LoadPq(const std::string& path, quant::PqCodebook* out,
+            std::string* error);
+
+bool SaveOpq(const std::string& path, const quant::OpqModel& model,
+             std::string* error);
+bool LoadOpq(const std::string& path, quant::OpqModel* out,
+             std::string* error);
+
+bool SaveRq(const std::string& path, const quant::RqCodebook& rq,
+            std::string* error);
+bool LoadRq(const std::string& path, quant::RqCodebook* out,
+            std::string* error);
+
+bool SaveSq(const std::string& path, const quant::SqCodebook& sq,
+            std::string* error);
+bool LoadSq(const std::string& path, quant::SqCodebook* out,
+            std::string* error);
+
+// Standalone linear corrector (the trained artifact of core/ddc_any.h).
+bool SaveCorrector(const std::string& path,
+                   const core::LinearCorrector& corrector,
+                   std::string* error);
+bool LoadCorrector(const std::string& path, core::LinearCorrector* out,
+                   std::string* error);
+
+bool SaveHnsw(const std::string& path, const index::HnswIndex& hnsw,
+              std::string* error);
+bool LoadHnsw(const std::string& path, index::HnswIndex* out,
+              std::string* error);
+
+bool SaveIvf(const std::string& path, const index::IvfIndex& ivf,
+             std::string* error);
+bool LoadIvf(const std::string& path, index::IvfIndex* out,
+             std::string* error);
+
+// Trained DDC artifacts (classifiers, codes, reconstruction errors).
+bool SaveDdcPcaArtifacts(const std::string& path,
+                         const core::DdcPcaArtifacts& artifacts,
+                         std::string* error);
+bool LoadDdcPcaArtifacts(const std::string& path,
+                         core::DdcPcaArtifacts* out, std::string* error);
+
+bool SaveDdcOpqArtifacts(const std::string& path,
+                         const core::DdcOpqArtifacts& artifacts,
+                         std::string* error);
+bool LoadDdcOpqArtifacts(const std::string& path,
+                         core::DdcOpqArtifacts* out, std::string* error);
+
+bool SaveDdcRqCascadeArtifacts(const std::string& path,
+                               const core::DdcRqCascadeArtifacts& artifacts,
+                               std::string* error);
+bool LoadDdcRqCascadeArtifacts(const std::string& path,
+                               core::DdcRqCascadeArtifacts* out,
+                               std::string* error);
+
+}  // namespace resinfer::persist
+
+#endif  // RESINFER_PERSIST_PERSIST_H_

@@ -1,0 +1,45 @@
+// Lloyd's k-means with k-means++ seeding.
+//
+// Used as the coarse quantizer of the IVF index and as the sub-space
+// codebook trainer of PQ/OPQ. Deterministic given the seed; empty clusters
+// are re-seeded to the point farthest from its centroid.
+#ifndef RESINFER_QUANT_KMEANS_H_
+#define RESINFER_QUANT_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace resinfer::quant {
+
+struct KMeansOptions {
+  int max_iterations = 25;
+  // Stop when the relative decrease of the objective falls below this.
+  double tolerance = 1e-4;
+  uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  linalg::Matrix centroids;          // k x d
+  std::vector<int32_t> assignments;  // n
+  double inertia = 0.0;              // sum of squared distances
+  int iterations = 0;
+};
+
+// Requires 1 <= k <= n.
+KMeansResult KMeans(const float* data, int64_t n, int64_t d, int k,
+                    const KMeansOptions& options = KMeansOptions());
+
+// Index of the centroid closest to x (squared L2); optionally outputs the
+// distance.
+int32_t NearestCentroid(const linalg::Matrix& centroids, const float* x,
+                        float* distance = nullptr);
+
+// Indices of the `nprobe` closest centroids, ascending by distance.
+std::vector<int32_t> NearestCentroids(const linalg::Matrix& centroids,
+                                      const float* x, int nprobe);
+
+}  // namespace resinfer::quant
+
+#endif  // RESINFER_QUANT_KMEANS_H_

@@ -1,0 +1,62 @@
+// Optimized Product Quantization (Ge et al., TPAMI 2014), non-parametric
+// variant: alternately (1) train PQ codebooks on the rotated data and
+// (2) update the rotation R by solving the orthogonal Procrustes problem
+// between the rotated data and its quantized reconstruction.
+//
+// This is the quantization backend of DDCopq (§V-B): asymmetric distances
+// are computed in the rotated space, and the rotation cost O(D^2) per query
+// matches the paper's cost analysis (§VI-B).
+#ifndef RESINFER_QUANT_OPQ_H_
+#define RESINFER_QUANT_OPQ_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "quant/pq.h"
+
+namespace resinfer::quant {
+
+struct OpqOptions {
+  PqOptions pq;
+  // Alternating optimization rounds; each round retrains the PQ codebooks
+  // and re-solves the rotation.
+  int num_iterations = 4;
+  // Initialize the rotation from a random orthonormal matrix (true) or the
+  // identity (false). Random breaks axis alignment in already-rotated data.
+  bool random_init = false;
+  uint64_t rotation_seed = 7;
+};
+
+class OpqModel {
+ public:
+  OpqModel() = default;
+
+  static OpqModel Train(const float* data, int64_t n, int64_t d,
+                        const OpqOptions& options = OpqOptions());
+
+  // Rebuilds a model from persisted parts (persist/persist.h).
+  static OpqModel FromComponents(linalg::Matrix rotation,
+                                 PqCodebook codebook);
+
+  bool trained() const { return codebook_.trained(); }
+  int64_t dim() const { return rotation_.rows(); }
+
+  // Rows are orthonormal; y = R x via Rotate().
+  const linalg::Matrix& rotation() const { return rotation_; }
+  const PqCodebook& codebook() const { return codebook_; }
+
+  void Rotate(const float* x, float* out) const;
+  linalg::Matrix RotateBatch(const float* data, int64_t n) const;
+
+  // Mean squared reconstruction error on a sample (diagnostic; OPQ should
+  // not be worse than plain PQ on the same data).
+  double MeanReconstructionError(const float* data, int64_t n) const;
+
+ private:
+  linalg::Matrix rotation_;
+  PqCodebook codebook_;
+};
+
+}  // namespace resinfer::quant
+
+#endif  // RESINFER_QUANT_OPQ_H_

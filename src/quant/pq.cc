@@ -1,0 +1,144 @@
+#include "quant/pq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace resinfer::quant {
+
+PqCodebook PqCodebook::Train(const float* data, int64_t n, int64_t d,
+                             const PqOptions& options) {
+  RESINFER_CHECK(n >= 1 && d >= 1);
+  RESINFER_CHECK(options.num_subspaces >= 1);
+  RESINFER_CHECK_MSG(d % options.num_subspaces == 0,
+                     "num_subspaces must divide the dimension");
+  RESINFER_CHECK(options.nbits >= 1 && options.nbits <= 8);
+
+  // Subsample training rows.
+  std::vector<float> sampled;
+  const float* train = data;
+  int64_t train_n = n;
+  if (n > options.max_train_rows) {
+    Rng rng(options.sample_seed);
+    std::vector<int64_t> pick =
+        rng.SampleWithoutReplacement(n, options.max_train_rows);
+    sampled.resize(pick.size() * static_cast<std::size_t>(d));
+    for (std::size_t i = 0; i < pick.size(); ++i) {
+      const float* src = data + pick[i] * d;
+      std::copy(src, src + d, sampled.data() + i * d);
+    }
+    train = sampled.data();
+    train_n = static_cast<int64_t>(pick.size());
+  }
+
+  PqCodebook pq;
+  pq.dim_ = d;
+  pq.m_ = options.num_subspaces;
+  pq.dsub_ = d / options.num_subspaces;
+  pq.ksub_ = std::min<int64_t>(1 << options.nbits, train_n);
+  pq.codebooks_.reserve(pq.m_);
+
+  std::vector<float> sub(train_n * pq.dsub_);
+  for (int s = 0; s < pq.m_; ++s) {
+    // Gather the sub-space slice contiguously for k-means.
+    for (int64_t i = 0; i < train_n; ++i) {
+      const float* src = train + i * d + s * pq.dsub_;
+      std::copy(src, src + pq.dsub_, sub.data() + i * pq.dsub_);
+    }
+    KMeansOptions km = options.kmeans;
+    km.seed = options.kmeans.seed + static_cast<uint64_t>(s) * 7919;
+    KMeansResult res = KMeans(sub.data(), train_n, pq.dsub_, pq.ksub_, km);
+    pq.codebooks_.push_back(std::move(res.centroids));
+  }
+  return pq;
+}
+
+PqCodebook PqCodebook::FromCodebooks(
+    std::vector<linalg::Matrix> codebooks) {
+  RESINFER_CHECK(!codebooks.empty());
+  const int64_t ksub = codebooks[0].rows();
+  const int64_t dsub = codebooks[0].cols();
+  RESINFER_CHECK(ksub > 0 && ksub <= 256 && dsub > 0);
+  for (const auto& table : codebooks) {
+    RESINFER_CHECK(table.rows() == ksub && table.cols() == dsub);
+  }
+  PqCodebook pq;
+  pq.m_ = static_cast<int>(codebooks.size());
+  pq.dsub_ = dsub;
+  pq.ksub_ = static_cast<int>(ksub);
+  pq.dim_ = pq.m_ * dsub;
+  pq.codebooks_ = std::move(codebooks);
+  return pq;
+}
+
+void PqCodebook::Encode(const float* x, uint8_t* code) const {
+  RESINFER_DCHECK(trained());
+  for (int s = 0; s < m_; ++s) {
+    code[s] = static_cast<uint8_t>(
+        NearestCentroid(codebooks_[s], x + s * dsub_));
+  }
+}
+
+void PqCodebook::Decode(const uint8_t* code, float* out) const {
+  RESINFER_DCHECK(trained());
+  for (int s = 0; s < m_; ++s) {
+    const float* centroid = codebooks_[s].Row(code[s]);
+    std::copy(centroid, centroid + dsub_, out + s * dsub_);
+  }
+}
+
+float PqCodebook::ReconstructionError(const float* x) const {
+  RESINFER_DCHECK(trained());
+  float total = 0.0f;
+  for (int s = 0; s < m_; ++s) {
+    int32_t c = NearestCentroid(codebooks_[s], x + s * dsub_);
+    total += simd::L2Sqr(codebooks_[s].Row(c), x + s * dsub_,
+                         static_cast<std::size_t>(dsub_));
+  }
+  return total;
+}
+
+void PqCodebook::ComputeAdcTable(const float* query, float* table) const {
+  RESINFER_DCHECK(trained());
+  for (int s = 0; s < m_; ++s) {
+    const float* qsub = query + s * dsub_;
+    float* row = table + static_cast<int64_t>(s) * ksub_;
+    for (int c = 0; c < ksub_; ++c) {
+      row[c] = simd::L2Sqr(codebooks_[s].Row(c), qsub,
+                           static_cast<std::size_t>(dsub_));
+    }
+  }
+}
+
+float PqCodebook::AdcDistance(const float* table, const uint8_t* code) const {
+  float total = 0.0f;
+  const float* row = table;
+  for (int s = 0; s < m_; ++s, row += ksub_) total += row[code[s]];
+  return total;
+}
+
+std::vector<uint8_t> PqCodebook::EncodeBatch(const float* data,
+                                             int64_t n) const {
+  RESINFER_CHECK(trained());
+  std::vector<uint8_t> codes(static_cast<std::size_t>(n) * m_);
+  ParallelFor(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      Encode(data + i * dim_, codes.data() + i * m_);
+    }
+  });
+  return codes;
+}
+
+int LargestDivisorAtMost(int64_t dim, int target) {
+  RESINFER_CHECK(dim >= 1 && target >= 1);
+  for (int m = std::min<int64_t>(target, dim); m >= 1; --m) {
+    if (dim % m == 0) return m;
+  }
+  return 1;
+}
+
+}  // namespace resinfer::quant

@@ -1,0 +1,87 @@
+// Product Quantization (Jégou et al., TPAMI 2011).
+//
+// Splits the D-dimensional space into m sub-spaces of D/m dimensions, trains
+// a 2^nbits-entry k-means codebook per sub-space, and represents each vector
+// by m code bytes. Query-time asymmetric distances (ADC) are m table lookups
+// against a per-query lookup table — the "quantization" approximate distance
+// of §II-B that DDCopq corrects.
+#ifndef RESINFER_QUANT_PQ_H_
+#define RESINFER_QUANT_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "quant/kmeans.h"
+
+namespace resinfer::quant {
+
+struct PqOptions {
+  // Number of sub-spaces; must divide the dimension.
+  int num_subspaces = 8;
+  // Bits per code; 8 (256 centroids per sub-space) is the standard setting
+  // and what the paper's storage analysis assumes (§VI-B).
+  int nbits = 8;
+  KMeansOptions kmeans;
+  // Training-sample cap; the paper samples 65,536 points for OPQ (§VII).
+  int64_t max_train_rows = 65536;
+  uint64_t sample_seed = 99;
+};
+
+class PqCodebook {
+ public:
+  PqCodebook() = default;
+
+  static PqCodebook Train(const float* data, int64_t n, int64_t d,
+                          const PqOptions& options = PqOptions());
+
+  // Rebuilds a codebook from persisted sub-space centroid tables
+  // (persist/persist.h). Each table must be ksub x dsub with identical
+  // shapes; dim = m * dsub.
+  static PqCodebook FromCodebooks(std::vector<linalg::Matrix> codebooks);
+
+  bool trained() const { return dim_ > 0; }
+  int64_t dim() const { return dim_; }
+  int num_subspaces() const { return m_; }
+  int64_t subspace_dim() const { return dsub_; }
+  int num_centroids() const { return ksub_; }
+  int64_t code_size() const { return m_; }  // bytes per vector (nbits == 8)
+
+  // Centroid table for sub-space s: ksub x dsub.
+  const linalg::Matrix& centroids(int s) const { return codebooks_[s]; }
+
+  // code must hold code_size() bytes.
+  void Encode(const float* x, uint8_t* code) const;
+  void Decode(const uint8_t* code, float* out) const;
+
+  // Squared L2 distance between x and its reconstruction.
+  float ReconstructionError(const float* x) const;
+
+  // Per-query ADC lookup table: table[s * ksub + c] = || q_s - centroid_sc ||^2.
+  // table must hold m * ksub floats.
+  void ComputeAdcTable(const float* query, float* table) const;
+  int64_t adc_table_size() const { return static_cast<int64_t>(m_) * ksub_; }
+
+  // Asymmetric distance: sum over sub-spaces of the table entries selected
+  // by the code. This approximates ||q - x||^2.
+  float AdcDistance(const float* table, const uint8_t* code) const;
+
+  // Batch-encode n rows into a contiguous code array (n * code_size()).
+  std::vector<uint8_t> EncodeBatch(const float* data, int64_t n) const;
+
+ private:
+  int64_t dim_ = 0;
+  int m_ = 0;
+  int64_t dsub_ = 0;
+  int ksub_ = 0;
+  std::vector<linalg::Matrix> codebooks_;  // m entries, each ksub x dsub
+};
+
+// Largest divisor of `dim` that is <= target; used to pick num_subspaces =~
+// dim/4 per the paper's storage discussion even when dim is not a power of
+// two.
+int LargestDivisorAtMost(int64_t dim, int target);
+
+}  // namespace resinfer::quant
+
+#endif  // RESINFER_QUANT_PQ_H_

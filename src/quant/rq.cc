@@ -1,0 +1,150 @@
+#include "quant/rq.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace resinfer::quant {
+
+RqCodebook RqCodebook::Train(const float* data, int64_t n, int64_t d,
+                             const RqOptions& options) {
+  RESINFER_CHECK(n >= 1 && d >= 1);
+  RESINFER_CHECK(options.num_stages >= 1);
+  RESINFER_CHECK(options.nbits >= 1 && options.nbits <= 8);
+
+  // Subsample training rows, matching the PQ trainer.
+  std::vector<float> sampled;
+  const float* train = data;
+  int64_t train_n = n;
+  if (n > options.max_train_rows) {
+    Rng rng(options.sample_seed);
+    std::vector<int64_t> pick =
+        rng.SampleWithoutReplacement(n, options.max_train_rows);
+    sampled.resize(pick.size() * static_cast<std::size_t>(d));
+    for (std::size_t i = 0; i < pick.size(); ++i) {
+      const float* src = data + pick[i] * d;
+      std::copy(src, src + d, sampled.data() + i * d);
+    }
+    train = sampled.data();
+    train_n = static_cast<int64_t>(pick.size());
+  }
+
+  RqCodebook rq;
+  rq.dim_ = d;
+  rq.m_ = options.num_stages;
+  rq.ksub_ = static_cast<int>(std::min<int64_t>(1 << options.nbits, train_n));
+  rq.codebooks_.reserve(rq.m_);
+
+  // Stage-wise training on the running residuals: after a stage's k-means
+  // converges, each training row's residual shrinks by its assigned
+  // centroid before the next stage trains.
+  std::vector<float> residuals(train, train + train_n * d);
+  for (int s = 0; s < rq.m_; ++s) {
+    KMeansOptions km = options.kmeans;
+    km.seed = options.kmeans.seed + static_cast<uint64_t>(s) * 6151 + 13;
+    KMeansResult res =
+        KMeans(residuals.data(), train_n, d, rq.ksub_, km);
+    for (int64_t i = 0; i < train_n; ++i) {
+      const float* c = res.centroids.Row(res.assignments[i]);
+      float* r = residuals.data() + i * d;
+      for (int64_t j = 0; j < d; ++j) r[j] -= c[j];
+    }
+    rq.codebooks_.push_back(std::move(res.centroids));
+  }
+  return rq;
+}
+
+RqCodebook RqCodebook::FromCodebooks(std::vector<linalg::Matrix> codebooks) {
+  RESINFER_CHECK(!codebooks.empty());
+  const int64_t ksub = codebooks[0].rows();
+  const int64_t d = codebooks[0].cols();
+  RESINFER_CHECK(ksub > 0 && ksub <= 256 && d > 0);
+  for (const auto& table : codebooks) {
+    RESINFER_CHECK(table.rows() == ksub && table.cols() == d);
+  }
+  RqCodebook rq;
+  rq.dim_ = d;
+  rq.m_ = static_cast<int>(codebooks.size());
+  rq.ksub_ = static_cast<int>(ksub);
+  rq.codebooks_ = std::move(codebooks);
+  return rq;
+}
+
+void RqCodebook::Encode(const float* x, uint8_t* code) const {
+  RESINFER_DCHECK(trained());
+  std::vector<float> residual(x, x + dim_);
+  for (int s = 0; s < m_; ++s) {
+    int32_t best = NearestCentroid(codebooks_[s], residual.data());
+    code[s] = static_cast<uint8_t>(best);
+    const float* c = codebooks_[s].Row(best);
+    for (int64_t j = 0; j < dim_; ++j) residual[j] -= c[j];
+  }
+}
+
+void RqCodebook::Decode(const uint8_t* code, float* out) const {
+  RESINFER_DCHECK(trained());
+  std::memset(out, 0, sizeof(float) * static_cast<std::size_t>(dim_));
+  for (int s = 0; s < m_; ++s) {
+    RESINFER_DCHECK(code[s] < ksub_);
+    const float* c = codebooks_[s].Row(code[s]);
+    for (int64_t j = 0; j < dim_; ++j) out[j] += c[j];
+  }
+}
+
+float RqCodebook::ReconstructionError(const float* x) const {
+  std::vector<uint8_t> code(code_size());
+  Encode(x, code.data());
+  std::vector<float> recon(dim_);
+  Decode(code.data(), recon.data());
+  return simd::L2Sqr(x, recon.data(), static_cast<std::size_t>(dim_));
+}
+
+void RqCodebook::ComputeIpTable(const float* query, float* table) const {
+  RESINFER_DCHECK(trained());
+  for (int s = 0; s < m_; ++s) {
+    const linalg::Matrix& cb = codebooks_[s];
+    float* row = table + static_cast<int64_t>(s) * ksub_;
+    for (int c = 0; c < ksub_; ++c) {
+      row[c] =
+          simd::InnerProduct(query, cb.Row(c), static_cast<std::size_t>(dim_));
+    }
+  }
+}
+
+float RqCodebook::AdcDistance(const float* table, float query_norm_sqr,
+                              const uint8_t* code,
+                              float recon_norm_sqr) const {
+  float ip = 0.0f;
+  for (int s = 0; s < m_; ++s) {
+    ip += table[static_cast<int64_t>(s) * ksub_ + code[s]];
+  }
+  return query_norm_sqr - 2.0f * ip + recon_norm_sqr;
+}
+
+float RqCodebook::ReconstructionNormSqr(const uint8_t* code) const {
+  std::vector<float> recon(dim_);
+  Decode(code, recon.data());
+  return simd::Norm2Sqr(recon.data(), static_cast<std::size_t>(dim_));
+}
+
+std::vector<uint8_t> RqCodebook::EncodeBatch(
+    const float* data, int64_t n, std::vector<float>* recon_norms) const {
+  RESINFER_CHECK(trained());
+  RESINFER_CHECK(recon_norms != nullptr);
+  std::vector<uint8_t> codes(static_cast<std::size_t>(n) * code_size());
+  recon_norms->assign(static_cast<std::size_t>(n), 0.0f);
+  std::vector<float> recon(dim_);
+  for (int64_t i = 0; i < n; ++i) {
+    uint8_t* code = codes.data() + i * code_size();
+    Encode(data + i * dim_, code);
+    Decode(code, recon.data());
+    (*recon_norms)[static_cast<std::size_t>(i)] =
+        simd::Norm2Sqr(recon.data(), static_cast<std::size_t>(dim_));
+  }
+  return codes;
+}
+
+}  // namespace resinfer::quant

@@ -1,0 +1,96 @@
+// Residual Quantization (the second quantization family named in §II-B).
+//
+// Unlike PQ, which partitions the *dimensions*, RQ quantizes the *whole*
+// vector in M successive stages: stage s trains a k-means codebook on the
+// residuals left by stages 0..s-1, and a vector is encoded greedily as the
+// sum of one centroid per stage. Reconstruction error is non-increasing in
+// the number of stages.
+//
+// Query-time asymmetric distances use the expansion
+//     ||q - x̂||^2 = ||q||^2 - 2 <q, x̂> + ||x̂||^2,
+// where <q, x̂> = Σ_s <q, c_s[code_s]> is M lookups into a per-query
+// inner-product table and ||x̂||^2 is precomputed per encoded vector at
+// encode time (the standard RQ trick; see EncodeBatch).
+//
+// RQ is one of the "arbitrary distance estimation" sources the data-driven
+// correction of §V must accommodate — core/ddc_any.h plugs it into the same
+// learned corrector that serves OPQ.
+#ifndef RESINFER_QUANT_RQ_H_
+#define RESINFER_QUANT_RQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "quant/kmeans.h"
+
+namespace resinfer::quant {
+
+struct RqOptions {
+  // Number of residual stages M; each contributes one code byte.
+  int num_stages = 4;
+  // Bits per stage; 8 (256 centroids) is the standard setting.
+  int nbits = 8;
+  KMeansOptions kmeans;
+  // Training-sample cap, matching the PQ/OPQ trainers.
+  int64_t max_train_rows = 65536;
+  uint64_t sample_seed = 101;
+};
+
+class RqCodebook {
+ public:
+  RqCodebook() = default;
+
+  static RqCodebook Train(const float* data, int64_t n, int64_t d,
+                          const RqOptions& options = RqOptions());
+
+  // Rebuilds a codebook from persisted stage centroid tables, each
+  // ksub x dim with identical shapes.
+  static RqCodebook FromCodebooks(std::vector<linalg::Matrix> codebooks);
+
+  bool trained() const { return dim_ > 0; }
+  int64_t dim() const { return dim_; }
+  int num_stages() const { return m_; }
+  int num_centroids() const { return ksub_; }
+  int64_t code_size() const { return m_; }  // bytes per vector (nbits == 8)
+
+  // Centroid table for stage s: ksub x dim.
+  const linalg::Matrix& centroids(int s) const { return codebooks_[s]; }
+
+  // Greedy stage-wise encoding; code must hold code_size() bytes.
+  void Encode(const float* x, uint8_t* code) const;
+  // x̂ = Σ_s c_s[code_s]; out must hold dim() floats.
+  void Decode(const uint8_t* code, float* out) const;
+
+  // Squared L2 distance between x and its reconstruction.
+  float ReconstructionError(const float* x) const;
+
+  // Per-query inner-product table: table[s * ksub + c] = <q, centroid_sc>.
+  // table must hold ip_table_size() floats.
+  void ComputeIpTable(const float* query, float* table) const;
+  int64_t ip_table_size() const { return static_cast<int64_t>(m_) * ksub_; }
+
+  // Asymmetric distance ||q - x̂||^2 from the per-query table, the query's
+  // squared norm, the code, and the precomputed ||x̂||^2.
+  float AdcDistance(const float* table, float query_norm_sqr,
+                    const uint8_t* code, float recon_norm_sqr) const;
+
+  // ||x̂||^2 for a code (used to rebuild norms from persisted codes).
+  float ReconstructionNormSqr(const uint8_t* code) const;
+
+  // Batch-encode n rows into a contiguous code array (n * code_size()),
+  // recording each row's ||x̂||^2 into recon_norms (resized to n) for
+  // query-time AdcDistance.
+  std::vector<uint8_t> EncodeBatch(const float* data, int64_t n,
+                                   std::vector<float>* recon_norms) const;
+
+ private:
+  int64_t dim_ = 0;
+  int m_ = 0;
+  int ksub_ = 0;
+  std::vector<linalg::Matrix> codebooks_;  // m entries, each ksub x dim
+};
+
+}  // namespace resinfer::quant
+
+#endif  // RESINFER_QUANT_RQ_H_

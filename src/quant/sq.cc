@@ -1,0 +1,137 @@
+#include "quant/sq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "simd/kernels.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace resinfer::quant {
+
+namespace {
+
+constexpr float kLevels = 255.0f;
+
+// Value at quantile q of `column` (linear-interpolation-free nth_element;
+// adequate for range training).
+float ColumnQuantile(std::vector<float>& column, double q) {
+  const auto rank = static_cast<int64_t>(
+      q * static_cast<double>(column.size() - 1) + 0.5);
+  const int64_t clamped =
+      std::clamp<int64_t>(rank, 0, static_cast<int64_t>(column.size()) - 1);
+  std::nth_element(column.begin(), column.begin() + clamped, column.end());
+  return column[static_cast<std::size_t>(clamped)];
+}
+
+}  // namespace
+
+SqCodebook SqCodebook::Train(const float* data, int64_t n, int64_t d,
+                             const SqOptions& options) {
+  RESINFER_CHECK(n >= 1 && d >= 1);
+  RESINFER_CHECK(options.trim_quantile >= 0.0 && options.trim_quantile < 0.5);
+
+  // Subsample training rows, matching the PQ/RQ trainers.
+  std::vector<int64_t> pick;
+  if (n > options.max_train_rows) {
+    Rng rng(options.sample_seed);
+    pick = rng.SampleWithoutReplacement(n, options.max_train_rows);
+  } else {
+    pick.resize(static_cast<std::size_t>(n));
+    for (int64_t i = 0; i < n; ++i) pick[static_cast<std::size_t>(i)] = i;
+  }
+
+  SqCodebook sq;
+  sq.vmin_.resize(static_cast<std::size_t>(d));
+  sq.step_.resize(static_cast<std::size_t>(d));
+  std::vector<float> column(pick.size());
+  for (int64_t j = 0; j < d; ++j) {
+    for (std::size_t i = 0; i < pick.size(); ++i) {
+      column[i] = data[pick[i] * d + j];
+    }
+    float lo;
+    float hi;
+    if (options.trim_quantile > 0.0 && pick.size() > 2) {
+      lo = ColumnQuantile(column, options.trim_quantile);
+      hi = ColumnQuantile(column, 1.0 - options.trim_quantile);
+    } else {
+      auto [mn, mx] = std::minmax_element(column.begin(), column.end());
+      lo = *mn;
+      hi = *mx;
+    }
+    if (hi < lo) std::swap(lo, hi);
+    sq.vmin_[static_cast<std::size_t>(j)] = lo;
+    sq.step_[static_cast<std::size_t>(j)] = (hi - lo) / kLevels;
+  }
+  return sq;
+}
+
+SqCodebook SqCodebook::FromParams(std::vector<float> vmin,
+                                  std::vector<float> step) {
+  RESINFER_CHECK(!vmin.empty());
+  RESINFER_CHECK(vmin.size() == step.size());
+  for (float s : step) RESINFER_CHECK(s >= 0.0f && std::isfinite(s));
+  SqCodebook sq;
+  sq.vmin_ = std::move(vmin);
+  sq.step_ = std::move(step);
+  return sq;
+}
+
+void SqCodebook::Encode(const float* x, uint8_t* code) const {
+  RESINFER_DCHECK(trained());
+  const int64_t d = dim();
+  for (int64_t j = 0; j < d; ++j) {
+    const float step = step_[static_cast<std::size_t>(j)];
+    if (step <= 0.0f) {
+      code[j] = 0;  // constant dimension
+      continue;
+    }
+    const float scaled =
+        (x[j] - vmin_[static_cast<std::size_t>(j)]) / step;
+    code[j] = static_cast<uint8_t>(
+        std::clamp(std::lround(scaled), 0L, 255L));
+  }
+}
+
+void SqCodebook::Decode(const uint8_t* code, float* out) const {
+  RESINFER_DCHECK(trained());
+  const int64_t d = dim();
+  for (int64_t j = 0; j < d; ++j) {
+    out[j] = vmin_[static_cast<std::size_t>(j)] +
+             static_cast<float>(code[j]) * step_[static_cast<std::size_t>(j)];
+  }
+}
+
+float SqCodebook::ReconstructionError(const float* x) const {
+  std::vector<uint8_t> code(static_cast<std::size_t>(code_size()));
+  Encode(x, code.data());
+  const int64_t d = dim();
+  float sum = 0.0f;
+  for (int64_t j = 0; j < d; ++j) {
+    const float recon =
+        vmin_[static_cast<std::size_t>(j)] +
+        static_cast<float>(code[j]) * step_[static_cast<std::size_t>(j)];
+    const float diff = x[j] - recon;
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float SqCodebook::AdcDistance(const float* query, const uint8_t* code) const {
+  RESINFER_DCHECK(trained());
+  return simd::SqAdcL2Sqr(query, code, vmin_.data(), step_.data(),
+                          static_cast<std::size_t>(dim()));
+}
+
+std::vector<uint8_t> SqCodebook::EncodeBatch(const float* data,
+                                             int64_t n) const {
+  RESINFER_CHECK(trained());
+  std::vector<uint8_t> codes(static_cast<std::size_t>(n * code_size()));
+  for (int64_t i = 0; i < n; ++i) {
+    Encode(data + i * dim(), codes.data() + i * code_size());
+  }
+  return codes;
+}
+
+}  // namespace resinfer::quant

@@ -1,0 +1,70 @@
+// 8-bit Scalar Quantization.
+//
+// Each dimension j is affinely mapped to a byte with a trained range
+// [vmin_j, vmax_j]: code_j = round((x_j - vmin_j) / step_j), step_j =
+// (vmax_j - vmin_j) / 255. This is the simplest "approximate distance from
+// compressed codes" source — 4x smaller than float32, O(D) asymmetric
+// distances with no codebook — and serves as a third distance-estimation
+// backend (after OPQ and RQ) for the source-agnostic correction of §V
+// (core/ddc_any.h).
+//
+// Ranges can be trained on trimmed quantiles instead of the raw min/max so
+// that a single outlier does not stretch the step size for everyone.
+#ifndef RESINFER_QUANT_SQ_H_
+#define RESINFER_QUANT_SQ_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace resinfer::quant {
+
+struct SqOptions {
+  // Train the per-dimension range on the [q, 1-q] quantiles of the sample;
+  // 0 uses the exact min/max. Values outside the range clamp at encode
+  // time. Must be in [0, 0.5).
+  double trim_quantile = 0.0;
+  int64_t max_train_rows = 65536;
+  uint64_t sample_seed = 103;
+};
+
+class SqCodebook {
+ public:
+  SqCodebook() = default;
+
+  static SqCodebook Train(const float* data, int64_t n, int64_t d,
+                          const SqOptions& options = SqOptions());
+
+  // Rebuilds from persisted per-dimension ranges; vmin/step must have equal
+  // non-zero size and every step must be >= 0.
+  static SqCodebook FromParams(std::vector<float> vmin,
+                               std::vector<float> step);
+
+  bool trained() const { return !vmin_.empty(); }
+  int64_t dim() const { return static_cast<int64_t>(vmin_.size()); }
+  int64_t code_size() const { return dim(); }  // one byte per dimension
+
+  const std::vector<float>& vmin() const { return vmin_; }
+  const std::vector<float>& step() const { return step_; }
+
+  // code must hold code_size() bytes; out-of-range components clamp.
+  void Encode(const float* x, uint8_t* code) const;
+  void Decode(const uint8_t* code, float* out) const;
+
+  // Squared L2 distance between x and its reconstruction.
+  float ReconstructionError(const float* x) const;
+
+  // Asymmetric distance ||q - decode(code)||^2, computed dimension-wise
+  // without materializing the reconstruction.
+  float AdcDistance(const float* query, const uint8_t* code) const;
+
+  // Batch-encode n rows into a contiguous code array (n * code_size()).
+  std::vector<uint8_t> EncodeBatch(const float* data, int64_t n) const;
+
+ private:
+  std::vector<float> vmin_;
+  std::vector<float> step_;  // (vmax - vmin) / 255; 0 for constant dims
+};
+
+}  // namespace resinfer::quant
+
+#endif  // RESINFER_QUANT_SQ_H_

@@ -1,0 +1,87 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+
+#include "simd/kernels.h"
+
+namespace resinfer::simd {
+
+namespace {
+
+// Function-local static avoids static-initialization-order hazards.
+std::atomic<SimdLevel>& LevelSlot() {
+  static std::atomic<SimdLevel> slot{BestSupportedLevel()};
+  return slot;
+}
+
+}  // namespace
+
+SimdLevel BestSupportedLevel() {
+#if defined(RESINFER_HAVE_AVX2)
+  // The build targets -mavx2; binaries only run on AVX2-capable hosts, so a
+  // compile-time answer is sufficient.
+  return SimdLevel::kAvx2;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ActiveLevel() { return LevelSlot().load(std::memory_order_relaxed); }
+
+void SetActiveLevel(SimdLevel level) {
+  if (level > BestSupportedLevel()) level = BestSupportedLevel();
+  LevelSlot().store(level, std::memory_order_relaxed);
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+float L2Sqr(const float* a, const float* b, std::size_t n) {
+#if defined(RESINFER_HAVE_AVX2)
+  if (ActiveLevel() == SimdLevel::kAvx2) return internal::L2SqrAvx2(a, b, n);
+#endif
+  return internal::L2SqrScalar(a, b, n);
+}
+
+float InnerProduct(const float* a, const float* b, std::size_t n) {
+#if defined(RESINFER_HAVE_AVX2)
+  if (ActiveLevel() == SimdLevel::kAvx2)
+    return internal::InnerProductAvx2(a, b, n);
+#endif
+  return internal::InnerProductScalar(a, b, n);
+}
+
+float Norm2Sqr(const float* a, std::size_t n) {
+#if defined(RESINFER_HAVE_AVX2)
+  if (ActiveLevel() == SimdLevel::kAvx2) return internal::Norm2SqrAvx2(a, n);
+#endif
+  return internal::Norm2SqrScalar(a, n);
+}
+
+void Axpy(float scale, const float* x, float* out, std::size_t n) {
+#if defined(RESINFER_HAVE_AVX2)
+  if (ActiveLevel() == SimdLevel::kAvx2) {
+    internal::AxpyAvx2(scale, x, out, n);
+    return;
+  }
+#endif
+  internal::AxpyScalar(scale, x, out, n);
+}
+
+float SqAdcL2Sqr(const float* q, const uint8_t* code, const float* vmin,
+                 const float* step, std::size_t n) {
+#if defined(RESINFER_HAVE_AVX2)
+  if (ActiveLevel() == SimdLevel::kAvx2)
+    return internal::SqAdcL2SqrAvx2(q, code, vmin, step, n);
+#endif
+  return internal::SqAdcL2SqrScalar(q, code, vmin, step, n);
+}
+
+}  // namespace resinfer::simd

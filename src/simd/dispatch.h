@@ -1,0 +1,45 @@
+// Runtime selection between scalar and AVX2 kernel implementations.
+//
+// The paper's experiments disable SIMD to isolate algorithmic effects
+// (§VII-A); this library ships vectorized kernels but lets benches and tests
+// pin the scalar reference path via SetSimdLevel so both configurations can
+// be reported.
+#ifndef RESINFER_SIMD_DISPATCH_H_
+#define RESINFER_SIMD_DISPATCH_H_
+
+namespace resinfer::simd {
+
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+// Highest level supported by the build + CPU.
+SimdLevel BestSupportedLevel();
+
+// Level used by the public kernel entry points. Defaults to
+// BestSupportedLevel(). Setting an unsupported level is clamped down.
+SimdLevel ActiveLevel();
+void SetActiveLevel(SimdLevel level);
+
+const char* SimdLevelName(SimdLevel level);
+
+// RAII guard to scope a level change in tests.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level)
+      : previous_(ActiveLevel()) {
+    SetActiveLevel(level);
+  }
+  ~ScopedSimdLevel() { SetActiveLevel(previous_); }
+
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  SimdLevel previous_;
+};
+
+}  // namespace resinfer::simd
+
+#endif  // RESINFER_SIMD_DISPATCH_H_

@@ -1,0 +1,57 @@
+// Distance kernels: squared L2, inner product, squared norm.
+//
+// These are the innermost loops of every index and distance computer. The
+// public functions route through the dispatch table (see dispatch.h); the
+// `internal` namespace exposes each implementation directly so tests can
+// assert scalar/AVX2 agreement.
+//
+// All kernels accept unaligned pointers; aligned inputs (AlignedBuffer) are
+// simply faster.
+#ifndef RESINFER_SIMD_KERNELS_H_
+#define RESINFER_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace resinfer::simd {
+
+// sum_i (a[i] - b[i])^2
+float L2Sqr(const float* a, const float* b, std::size_t n);
+
+// sum_i a[i] * b[i]
+float InnerProduct(const float* a, const float* b, std::size_t n);
+
+// sum_i a[i]^2
+float Norm2Sqr(const float* a, std::size_t n);
+
+// out[i] += scale * x[i], used by training loops.
+void Axpy(float scale, const float* x, float* out, std::size_t n);
+
+// sum_j (q[j] - (vmin[j] + code[j] * step[j]))^2 — the SQ8 asymmetric
+// distance against a byte-quantized vector, decoded on the fly.
+float SqAdcL2Sqr(const float* q, const uint8_t* code, const float* vmin,
+                 const float* step, std::size_t n);
+
+namespace internal {
+
+float L2SqrScalar(const float* a, const float* b, std::size_t n);
+float InnerProductScalar(const float* a, const float* b, std::size_t n);
+float Norm2SqrScalar(const float* a, std::size_t n);
+void AxpyScalar(float scale, const float* x, float* out, std::size_t n);
+float SqAdcL2SqrScalar(const float* q, const uint8_t* code,
+                       const float* vmin, const float* step, std::size_t n);
+
+#if defined(RESINFER_HAVE_AVX2)
+float L2SqrAvx2(const float* a, const float* b, std::size_t n);
+float InnerProductAvx2(const float* a, const float* b, std::size_t n);
+float Norm2SqrAvx2(const float* a, std::size_t n);
+void AxpyAvx2(float scale, const float* x, float* out, std::size_t n);
+float SqAdcL2SqrAvx2(const float* q, const uint8_t* code, const float* vmin,
+                     const float* step, std::size_t n);
+#endif
+
+}  // namespace internal
+
+}  // namespace resinfer::simd
+
+#endif  // RESINFER_SIMD_KERNELS_H_

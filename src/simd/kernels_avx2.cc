@@ -1,0 +1,106 @@
+#include "simd/kernels.h"
+
+#if defined(RESINFER_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace resinfer::simd::internal {
+
+namespace {
+
+// Horizontal sum of a 256-bit float vector.
+inline float ReduceAdd(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  __m128 shuf = _mm_movehdup_ps(lo);
+  __m128 sums = _mm_add_ps(lo, shuf);
+  shuf = _mm_movehl_ps(shuf, sums);
+  sums = _mm_add_ss(sums, shuf);
+  return _mm_cvtss_f32(sums);
+}
+
+}  // namespace
+
+float L2SqrAvx2(const float* a, const float* b, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                              _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float total = ReduceAdd(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) {
+    float d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+float InnerProductAvx2(const float* a, const float* b, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  float total = ReduceAdd(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+float Norm2SqrAvx2(const float* a, std::size_t n) {
+  return InnerProductAvx2(a, a, n);
+}
+
+void AxpyAvx2(float scale, const float* x, float* out, std::size_t n) {
+  __m256 s = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 o = _mm256_loadu_ps(out + i);
+    o = _mm256_fmadd_ps(s, _mm256_loadu_ps(x + i), o);
+    _mm256_storeu_ps(out + i, o);
+  }
+  for (; i < n; ++i) out[i] += scale * x[i];
+}
+
+float SqAdcL2SqrAvx2(const float* q, const uint8_t* code, const float* vmin,
+                     const float* step, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Widen 8 code bytes to 8 floats, decode in registers, square-diff.
+    __m128i bytes = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(code + i));
+    __m256 c = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+    __m256 recon = _mm256_fmadd_ps(c, _mm256_loadu_ps(step + i),
+                                   _mm256_loadu_ps(vmin + i));
+    __m256 d = _mm256_sub_ps(_mm256_loadu_ps(q + i), recon);
+    acc = _mm256_fmadd_ps(d, d, acc);
+  }
+  float total = ReduceAdd(acc);
+  for (; i < n; ++i) {
+    float d = q[i] - (vmin[i] + static_cast<float>(code[i]) * step[i]);
+    total += d * d;
+  }
+  return total;
+}
+
+}  // namespace resinfer::simd::internal
+
+#endif  // RESINFER_HAVE_AVX2

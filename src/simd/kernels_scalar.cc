@@ -1,0 +1,66 @@
+#include "simd/kernels.h"
+
+namespace resinfer::simd::internal {
+
+float L2SqrScalar(const float* a, const float* b, std::size_t n) {
+  // Four independent accumulators let the compiler keep the FMA pipeline
+  // full without -ffast-math reassociation.
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float d0 = a[i] - b[i];
+    float d1 = a[i + 1] - b[i + 1];
+    float d2 = a[i + 2] - b[i + 2];
+    float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    float d = a[i] - b[i];
+    acc0 += d * d;
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+float InnerProductScalar(const float* a, const float* b, std::size_t n) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+float Norm2SqrScalar(const float* a, std::size_t n) {
+  return InnerProductScalar(a, a, n);
+}
+
+void AxpyScalar(float scale, const float* x, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] += scale * x[i];
+}
+
+float SqAdcL2SqrScalar(const float* q, const uint8_t* code,
+                       const float* vmin, const float* step, std::size_t n) {
+  float acc0 = 0.f, acc1 = 0.f;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float d0 = q[i] - (vmin[i] + static_cast<float>(code[i]) * step[i]);
+    float d1 = q[i + 1] -
+               (vmin[i + 1] + static_cast<float>(code[i + 1]) * step[i + 1]);
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+  }
+  for (; i < n; ++i) {
+    float d = q[i] - (vmin[i] + static_cast<float>(code[i]) * step[i]);
+    acc0 += d * d;
+  }
+  return acc0 + acc1;
+}
+
+}  // namespace resinfer::simd::internal

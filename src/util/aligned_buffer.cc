@@ -1,0 +1,19 @@
+#include "util/aligned_buffer.h"
+
+#include <cstdlib>
+
+#include "util/macros.h"
+
+namespace resinfer {
+
+void* AlignedAlloc(std::size_t bytes) {
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t rounded = (bytes + kCacheLineBytes - 1) & ~(kCacheLineBytes - 1);
+  void* ptr = std::aligned_alloc(kCacheLineBytes, rounded);
+  RESINFER_CHECK_MSG(ptr != nullptr, "aligned allocation failed");
+  return ptr;
+}
+
+void AlignedFree(void* ptr) { std::free(ptr); }
+
+}  // namespace resinfer

@@ -1,0 +1,83 @@
+// 64-byte-aligned owning float/byte buffers.
+//
+// SIMD kernels load 256-bit lanes; aligning vector storage to cache-line
+// boundaries avoids split loads and makes prefetching predictable. The
+// buffer is movable but not copyable (copies of multi-GB vector stores are
+// always a bug; use Clone() when a copy is genuinely wanted).
+#ifndef RESINFER_UTIL_ALIGNED_BUFFER_H_
+#define RESINFER_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstring>
+
+namespace resinfer {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Allocates `bytes` of storage aligned to kCacheLineBytes. Never returns
+// nullptr (aborts on allocation failure). Free with AlignedFree.
+void* AlignedAlloc(std::size_t bytes);
+void AlignedFree(void* ptr);
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t count) { Resize(count); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      AlignedFree(data_);
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { AlignedFree(data_); }
+
+  // Reallocates to exactly `count` elements. Contents are NOT preserved;
+  // new storage is zero-initialized.
+  void Resize(std::size_t count) {
+    AlignedFree(data_);
+    size_ = count;
+    if (count == 0) {
+      data_ = nullptr;
+      return;
+    }
+    data_ = static_cast<T*>(AlignedAlloc(count * sizeof(T)));
+    std::memset(data_, 0, count * sizeof(T));
+  }
+
+  AlignedBuffer Clone() const {
+    AlignedBuffer copy(size_);
+    if (size_ > 0) std::memcpy(copy.data_, data_, size_ * sizeof(T));
+    return copy;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace resinfer
+
+#endif  // RESINFER_UTIL_ALIGNED_BUFFER_H_

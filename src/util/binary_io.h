@@ -1,0 +1,158 @@
+// Minimal binary (de)serialization streams for model/index persistence.
+//
+// Format conventions used by every Save/Load in this library:
+//   * little-endian PODs (the library targets x86-64),
+//   * containers as  int64 count  followed by raw payload,
+//   * each file starts with a 8-byte magic and a uint32 version.
+// Readers never trust the payload: counts are bounds-checked against
+// sane limits and every read is checked, so truncated or corrupted files
+// fail cleanly instead of over-allocating.
+#ifndef RESINFER_UTIL_BINARY_IO_H_
+#define RESINFER_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace resinfer {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "wb")) {}
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  ~BinaryWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  void WriteBytes(const void* data, std::size_t bytes) {
+    if (!ok()) return;
+    if (std::fwrite(data, 1, bytes, file_) != bytes) failed_ = true;
+  }
+
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(&value, sizeof(T));
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<int64_t>(static_cast<int64_t>(v.size()));
+    if (!v.empty()) WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  void WriteString(const std::string& s) {
+    Write<int64_t>(static_cast<int64_t>(s.size()));
+    if (!s.empty()) WriteBytes(s.data(), s.size());
+  }
+
+  // Raw float block (e.g. matrix payload) with explicit element count.
+  void WriteFloats(const float* data, int64_t count) {
+    WriteBytes(data, static_cast<std::size_t>(count) * sizeof(float));
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool failed_ = false;
+};
+
+class BinaryReader {
+ public:
+  // `max_elements` bounds any single container read; protects against
+  // corrupted counts causing huge allocations.
+  explicit BinaryReader(const std::string& path,
+                        int64_t max_elements = (1LL << 33))
+      : file_(std::fopen(path.c_str(), "rb")), max_elements_(max_elements) {}
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  ~BinaryReader() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  void ReadBytes(void* data, std::size_t bytes) {
+    if (!ok()) return;
+    if (std::fread(data, 1, bytes, file_) != bytes) failed_ = true;
+  }
+
+  template <typename T>
+  bool Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ReadBytes(value, sizeof(T));
+    return ok();
+  }
+
+  template <typename T>
+  bool ReadVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    int64_t count = 0;
+    if (!Read(&count)) return false;
+    if (count < 0 || count > max_elements_) {
+      failed_ = true;
+      return false;
+    }
+    v->resize(static_cast<std::size_t>(count));
+    if (count > 0) ReadBytes(v->data(), v->size() * sizeof(T));
+    return ok();
+  }
+
+  bool ReadString(std::string* s) {
+    int64_t count = 0;
+    if (!Read(&count)) return false;
+    if (count < 0 || count > max_elements_) {
+      failed_ = true;
+      return false;
+    }
+    s->resize(static_cast<std::size_t>(count));
+    if (count > 0) ReadBytes(s->data(), s->size());
+    return ok();
+  }
+
+  bool ReadFloats(float* data, int64_t count) {
+    ReadBytes(data, static_cast<std::size_t>(count) * sizeof(float));
+    return ok();
+  }
+
+  // Validates a magic/version header written by WriteHeader.
+  bool ExpectHeader(const char magic[8], uint32_t expected_version) {
+    char got[8];
+    ReadBytes(got, 8);
+    uint32_t version = 0;
+    if (!Read(&version)) return false;
+    if (std::memcmp(got, magic, 8) != 0 || version != expected_version) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  int64_t max_elements() const { return max_elements_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool failed_ = false;
+  int64_t max_elements_;
+};
+
+inline void WriteHeader(BinaryWriter& writer, const char magic[8],
+                        uint32_t version) {
+  writer.WriteBytes(magic, 8);
+  writer.Write(version);
+}
+
+}  // namespace resinfer
+
+#endif  // RESINFER_UTIL_BINARY_IO_H_

@@ -1,0 +1,116 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace resinfer {
+
+namespace {
+
+// Geometric ladder from kFirstUpper growing by kGrowth per bucket. With
+// 1024 buckets and 3.5% growth the ladder spans [1e-9, ~2e6) — nanoseconds
+// to weeks when the unit is seconds — at 3.5% relative resolution. Values
+// beyond either end clamp into the boundary buckets (min/max stay exact).
+constexpr double kFirstUpper = 1e-9;
+constexpr double kGrowth = 1.035;
+
+}  // namespace
+
+double Histogram::BucketUpper(int i) {
+  static const std::array<double, kNumBuckets>& bounds = *[] {
+    auto* b = new std::array<double, kNumBuckets>();
+    double upper = kFirstUpper;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      (*b)[static_cast<std::size_t>(i)] = upper;
+      upper *= kGrowth;
+    }
+    return b;
+  }();
+  return bounds[static_cast<std::size_t>(i)];
+}
+
+int Histogram::BucketFor(double value) {
+  if (!(value > kFirstUpper)) return 0;
+  // log ratio -> bucket index; clamp to the last bucket.
+  const int i = static_cast<int>(
+      std::ceil(std::log(value / kFirstUpper) / std::log(kGrowth)));
+  return std::min(i, kNumBuckets - 1);
+}
+
+void Histogram::Add(double value) {
+  RESINFER_DCHECK(value >= 0.0 && std::isfinite(value));
+  value = std::max(value, 0.0);
+  ++buckets_[static_cast<std::size_t>(BucketFor(value))];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double Histogram::min() const { return count_ > 0 ? min_ : 0.0; }
+double Histogram::max() const { return count_ > 0 ? max_ : 0.0; }
+
+double Histogram::Percentile(double p) const {
+  RESINFER_DCHECK(p >= 0.0 && p <= 1.0);
+  if (count_ == 0) return 0.0;
+  const double target = p * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const auto in_bucket =
+        static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
+    if (cumulative + in_bucket >= target) {
+      const double lower = i == 0 ? 0.0 : BucketUpper(i - 1);
+      const double upper = BucketUpper(i);
+      const double fraction =
+          in_bucket > 0.0 ? (target - cumulative) / in_bucket : 0.0;
+      const double value = lower + fraction * (upper - lower);
+      return std::clamp(value, min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "count=%lld mean=%.6g p50=%.6g p90=%.6g p99=%.6g max=%.6g",
+                static_cast<long long>(count_), mean(), Percentile(0.5),
+                Percentile(0.9), Percentile(0.99), max());
+  return buffer;
+}
+
+}  // namespace resinfer

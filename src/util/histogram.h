@@ -1,0 +1,55 @@
+// Fixed-memory latency histogram with geometric buckets (the shape of
+// RocksDB's statistics histograms): O(1) insertion, percentile queries by
+// linear interpolation inside the owning bucket.
+//
+// Values are non-negative doubles (seconds, bytes, dimensions — any
+// magnitude within [1e-9, ~1e18) resolves to ~5% relative bucket width);
+// smaller values land in the first bucket, larger in the last.
+#ifndef RESINFER_UTIL_HISTOGRAM_H_
+#define RESINFER_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace resinfer {
+
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 1024;
+
+  Histogram() { Reset(); }
+
+  void Add(double value);
+  // Accumulates another histogram's contents into this one.
+  void Merge(const Histogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+
+  // Value at quantile p in [0, 1], interpolated within the bucket that
+  // holds the p-th sample and clamped to the observed [min, max].
+  double Percentile(double p) const;
+
+  // One-line summary: count, mean, p50/p90/p99, max.
+  std::string Summary() const;
+
+ private:
+  // Upper bound of bucket i (geometric ladder, shared by all instances).
+  static double BucketUpper(int i);
+  static int BucketFor(double value);
+
+  std::array<int64_t, kNumBuckets> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace resinfer
+
+#endif  // RESINFER_UTIL_HISTOGRAM_H_

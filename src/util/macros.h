@@ -1,0 +1,49 @@
+// Error-checking and portability macros used across the library.
+//
+// RESINFER_CHECK is active in all build types and is used to validate
+// caller-supplied arguments and internal invariants whose violation would
+// otherwise corrupt results silently. RESINFER_DCHECK compiles out of
+// release builds and guards hot paths.
+#ifndef RESINFER_UTIL_MACROS_H_
+#define RESINFER_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RESINFER_CHECK(cond)                                                  \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "RESINFER_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define RESINFER_CHECK_MSG(cond, msg)                                         \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "RESINFER_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define RESINFER_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#else
+#define RESINFER_DCHECK(cond) RESINFER_CHECK(cond)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RESINFER_LIKELY(x) __builtin_expect(!!(x), 1)
+#define RESINFER_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define RESINFER_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define RESINFER_LIKELY(x) (x)
+#define RESINFER_UNLIKELY(x) (x)
+#define RESINFER_PREFETCH(addr)
+#endif
+
+#endif  // RESINFER_UTIL_MACROS_H_

@@ -1,0 +1,75 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace resinfer {
+
+namespace {
+std::atomic<int> g_thread_count{0};  // 0 = use hardware concurrency
+}  // namespace
+
+int DefaultThreadCount() {
+  int configured = g_thread_count.load(std::memory_order_relaxed);
+  if (configured > 0) return configured;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void SetDefaultThreadCount(int threads) {
+  RESINFER_CHECK(threads >= 0);
+  g_thread_count.store(threads, std::memory_order_relaxed);
+}
+
+void ParallelFor(int64_t n,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  int threads = std::min<int64_t>(DefaultThreadCount(), n);
+  if (threads <= 1 || n < 1024) {
+    fn(0, n);
+    return;
+  }
+  int64_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    int64_t begin = t * chunk;
+    int64_t end = std::min<int64_t>(begin + chunk, n);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+void ParallelForEach(int64_t n,
+                     const std::function<void(int64_t, int)>& fn) {
+  if (n <= 0) return;
+  int threads = std::min<int64_t>(DefaultThreadCount(), n);
+  if (threads <= 1 || n < 256) {
+    for (int64_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  std::atomic<int64_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&next, &fn, n, t] {
+      // Grab moderately sized batches to amortize the atomic increment
+      // while keeping load balanced for skewed per-item costs.
+      constexpr int64_t kBatch = 64;
+      while (true) {
+        int64_t begin = next.fetch_add(kBatch, std::memory_order_relaxed);
+        if (begin >= n) return;
+        int64_t end = std::min<int64_t>(begin + kBatch, n);
+        for (int64_t i = begin; i < end; ++i) fn(i, t);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace resinfer

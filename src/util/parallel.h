@@ -1,0 +1,30 @@
+// Minimal fork-join helper for embarrassingly parallel loops (ground truth,
+// k-means assignment, HNSW construction). Deliberately tiny: static range
+// partitioning over std::thread, no work stealing — the workloads we split
+// are uniform.
+#ifndef RESINFER_UTIL_PARALLEL_H_
+#define RESINFER_UTIL_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace resinfer {
+
+// Number of worker threads used by ParallelFor (defaults to hardware
+// concurrency, overridable for tests / single-thread benchmarking).
+int DefaultThreadCount();
+void SetDefaultThreadCount(int threads);
+
+// Invokes fn(begin, end) on contiguous shards of [0, n). fn must be
+// thread-safe across disjoint ranges. Runs inline when n is small or only
+// one thread is configured.
+void ParallelFor(int64_t n,
+                 const std::function<void(int64_t begin, int64_t end)>& fn);
+
+// Per-index convenience wrapper: fn(i, thread_id) for i in [0, n).
+void ParallelForEach(
+    int64_t n, const std::function<void(int64_t index, int thread_id)>& fn);
+
+}  // namespace resinfer
+
+#endif  // RESINFER_UTIL_PARALLEL_H_

@@ -1,0 +1,42 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/macros.h"
+
+namespace resinfer {
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  RESINFER_CHECK(k >= 0 && k <= n);
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full permutation and truncate.
+    std::vector<int64_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    Shuffle(perm);
+    perm.resize(k);
+    return perm;
+  }
+  // Sparse case: Floyd's algorithm, O(k) expected.
+  std::vector<int64_t> out;
+  out.reserve(k);
+  // Track chosen values; k is small so a sorted vector is fine.
+  std::vector<int64_t> chosen;
+  chosen.reserve(k);
+  for (int64_t j = n - k; j < n; ++j) {
+    int64_t t = static_cast<int64_t>(UniformInt(static_cast<uint64_t>(j + 1)));
+    auto it = std::lower_bound(chosen.begin(), chosen.end(), t);
+    if (it != chosen.end() && *it == t) {
+      it = std::lower_bound(chosen.begin(), chosen.end(), j);
+      chosen.insert(it, j);
+      out.push_back(j);
+    } else {
+      chosen.insert(it, t);
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace resinfer

@@ -1,0 +1,59 @@
+// Deterministic random number generation.
+//
+// All stochastic components (synthetic data, k-means seeding, random
+// rotations, SGD shuffling) take an explicit Rng so that experiments are
+// reproducible from a single seed recorded in the bench output.
+#ifndef RESINFER_UTIL_RNG_H_
+#define RESINFER_UTIL_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace resinfer {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  // Uniform in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  // Standard normal N(0, 1).
+  double Gaussian() { return normal_(engine_); }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // Fisher-Yates shuffle of an index range.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  // Samples `k` distinct indices from [0, n) without replacement.
+  // Requires k <= n. O(n) when k is a large fraction of n, reservoir-style
+  // otherwise.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace resinfer
+
+#endif  // RESINFER_UTIL_RNG_H_

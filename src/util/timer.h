@@ -1,0 +1,29 @@
+// Wall-clock timer for benchmark harnesses and preprocessing-cost reports.
+#ifndef RESINFER_UTIL_TIMER_H_
+#define RESINFER_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace resinfer {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace resinfer
+
+#endif  // RESINFER_UTIL_TIMER_H_

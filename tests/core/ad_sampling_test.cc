@@ -1,0 +1,129 @@
+#include "core/ad_sampling.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "linalg/orthogonal.h"
+#include "test_util.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace resinfer::core {
+namespace {
+
+struct Fixture {
+  data::Dataset ds;
+  linalg::Matrix rotation;
+  linalg::Matrix rotated;
+
+  explicit Fixture(int64_t n = 2000, int64_t dim = 48)
+      : ds(testing::SmallDataset(n, dim, 1.0, 63, 16, 4)) {
+    Rng rng(64);
+    rotation = linalg::RandomOrthonormal(dim, rng);
+    rotated = linalg::Matrix(n, dim);
+    ParallelFor(n, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        linalg::MatVec(rotation, ds.base.Row(i), rotated.Row(i));
+      }
+    });
+  }
+};
+
+TEST(AdSamplingTest, ExactPathMatchesTrueDistance) {
+  Fixture f;
+  AdSamplingOptions options;
+  options.delta_dim = 8;
+  AdSamplingComputer computer(&f.rotation, &f.rotated, options);
+  for (int64_t q = 0; q < 4; ++q) {
+    computer.BeginQuery(f.ds.queries.Row(q));
+    for (int64_t i = 0; i < 40; ++i) {
+      auto est = computer.EstimateWithThreshold(i, index::kInfDistance);
+      ASSERT_FALSE(est.pruned);
+      float truth = data::ExactL2Sqr(f.ds.base, i, f.ds.queries.Row(q));
+      EXPECT_NEAR(est.distance, truth, 1e-3f * (1.0f + truth));
+    }
+  }
+}
+
+TEST(AdSamplingTest, PruningIsApproximatelySound) {
+  Fixture f;
+  AdSamplingOptions options;
+  options.delta_dim = 8;
+  AdSamplingComputer computer(&f.rotation, &f.rotated, options);
+
+  int64_t pruned = 0, false_pruned = 0;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    const float* query = f.ds.queries.Row(q);
+    computer.BeginQuery(query);
+    auto knn = data::BruteForceKnnSingle(f.ds.base, query, 10);
+    const float tau = knn.back().distance;
+    for (int64_t i = 0; i < f.ds.size(); i += 3) {
+      auto est = computer.EstimateWithThreshold(i, tau);
+      if (est.pruned) {
+        ++pruned;
+        if (data::ExactL2Sqr(f.ds.base, i, query) <= tau) ++false_pruned;
+      }
+    }
+  }
+  ASSERT_GT(pruned, 100);
+  EXPECT_LT(static_cast<double>(false_pruned) / pruned, 0.01);
+}
+
+TEST(AdSamplingTest, EstimatorIsUnbiasedOverRotations) {
+  // (D/d) * ||(x-q)_d||^2 is unbiased over the CHOICE of random rotation
+  // (Lemma 1); for any single fixed rotation on skewed data the mean ratio
+  // may deviate. Average across several rotations and check convergence
+  // toward 1.
+  data::Dataset ds = testing::SmallDataset(400, 48, 1.0, 65, 4, 4);
+  double grand_ratio = 0.0;
+  constexpr int kRotations = 6;
+  for (int r = 0; r < kRotations; ++r) {
+    Rng rng(200 + r);
+    linalg::Matrix rotation = linalg::RandomOrthonormal(48, rng);
+    linalg::Matrix rotated(400, 48);
+    for (int64_t i = 0; i < 400; ++i) {
+      linalg::MatVec(rotation, ds.base.Row(i), rotated.Row(i));
+    }
+    AdSamplingComputer computer(&rotation, &rotated);
+    computer.BeginQuery(ds.queries.Row(0));
+    double ratio_sum = 0.0;
+    int64_t count = 0;
+    for (int64_t i = 0; i < 400; i += 3) {
+      float exact = data::ExactL2Sqr(ds.base, i, ds.queries.Row(0));
+      if (exact < 1e-3f) continue;
+      ratio_sum += computer.ApproximateDistance(i, 16) / exact;
+      ++count;
+    }
+    grand_ratio += ratio_sum / count;
+  }
+  EXPECT_NEAR(grand_ratio / kRotations, 1.0, 0.2);
+}
+
+TEST(AdSamplingTest, ScanRateBelowOneOnTightThreshold) {
+  Fixture f;
+  AdSamplingComputer computer(&f.rotation, &f.rotated);
+  const float* query = f.ds.queries.Row(1);
+  computer.BeginQuery(query);
+  auto knn = data::BruteForceKnnSingle(f.ds.base, query, 10);
+  computer.stats().Reset();
+  for (int64_t i = 0; i < f.ds.size(); ++i) {
+    computer.EstimateWithThreshold(i, knn.back().distance);
+  }
+  EXPECT_GT(computer.stats().PrunedRate(), 0.3);
+  EXPECT_LT(computer.stats().ScanRate(f.ds.dim()), 0.95);
+}
+
+TEST(AdSamplingTest, RotationPreservesExactDistances) {
+  Fixture f(500);
+  AdSamplingComputer computer(&f.rotation, &f.rotated);
+  computer.BeginQuery(f.ds.queries.Row(2));
+  for (int64_t i = 0; i < 30; ++i) {
+    float truth = data::ExactL2Sqr(f.ds.base, i, f.ds.queries.Row(2));
+    EXPECT_NEAR(computer.ExactDistance(i), truth, 1e-3f * (1.0f + truth));
+  }
+}
+
+}  // namespace
+}  // namespace resinfer::core

@@ -1,0 +1,119 @@
+#include "core/ddc_opq.h"
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "data/metrics.h"
+#include "index/flat_index.h"
+#include "test_util.h"
+
+namespace resinfer::core {
+namespace {
+
+struct Fixture {
+  data::Dataset ds;
+  DdcOpqArtifacts artifacts;
+
+  explicit Fixture(int64_t n = 3000, int64_t dim = 32)
+      : ds(testing::SmallDataset(n, dim, 1.0, 85, 16, 120)) {
+    DdcOpqOptions options;
+    options.opq.pq.num_subspaces = 8;
+    options.opq.pq.nbits = 6;
+    options.opq.pq.kmeans.max_iterations = 10;
+    options.opq.num_iterations = 2;
+    options.training.k = 10;
+    options.training.max_queries = 100;
+    options.training.negatives_per_query = 50;
+    artifacts = TrainDdcOpq(ds.base, ds.train_queries, options);
+  }
+};
+
+TEST(DdcOpqTest, ArtifactsComplete) {
+  Fixture f;
+  EXPECT_TRUE(f.artifacts.opq.trained());
+  EXPECT_EQ(static_cast<int64_t>(f.artifacts.codes.size()),
+            f.ds.size() * f.artifacts.opq.codebook().code_size());
+  EXPECT_EQ(static_cast<int64_t>(f.artifacts.recon_errors.size()),
+            f.ds.size());
+  EXPECT_TRUE(f.artifacts.corrector.trained());
+  EXPECT_GT(f.artifacts.ExtraBytes(), 0);
+}
+
+TEST(DdcOpqTest, ExactWhenNotPruned) {
+  Fixture f;
+  DdcOpqComputer computer(&f.ds.base, &f.artifacts);
+  computer.BeginQuery(f.ds.queries.Row(0));
+  for (int64_t i = 0; i < 50; ++i) {
+    auto est = computer.EstimateWithThreshold(i, index::kInfDistance);
+    ASSERT_FALSE(est.pruned);
+    float truth = data::ExactL2Sqr(f.ds.base, i, f.ds.queries.Row(0));
+    EXPECT_FLOAT_EQ(est.distance, truth);
+  }
+}
+
+TEST(DdcOpqTest, AdcApproximatesDistance) {
+  Fixture f;
+  DdcOpqComputer computer(&f.ds.base, &f.artifacts);
+  computer.BeginQuery(f.ds.queries.Row(1));
+  double rel = 0.0;
+  int count = 0;
+  for (int64_t i = 0; i < 200; ++i) {
+    float truth = data::ExactL2Sqr(f.ds.base, i, f.ds.queries.Row(1));
+    if (truth < 1e-3f) continue;
+    rel += std::abs(computer.ApproximateDistance(i) - truth) / truth;
+    ++count;
+  }
+  EXPECT_LT(rel / count, 0.3);
+}
+
+TEST(DdcOpqTest, FlatScanMaintainsRecallAndPrunes) {
+  Fixture f;
+  index::FlatIndex flat(f.ds.base);
+  DdcOpqComputer computer(&f.ds.base, &f.artifacts);
+  auto truth = data::BruteForceKnn(f.ds.base, f.ds.queries, 10);
+  std::vector<std::vector<int64_t>> results;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    auto found = flat.Search(computer, f.ds.queries.Row(q), 10);
+    std::vector<int64_t> ids;
+    for (const auto& nb : found) ids.push_back(nb.id);
+    results.push_back(std::move(ids));
+  }
+  EXPECT_GT(data::MeanRecallAtK(results, truth, 10), 0.9);
+  EXPECT_GT(computer.stats().PrunedRate(), 0.3);
+}
+
+TEST(DdcOpqTest, DefaultSubspacesDividesDim) {
+  EXPECT_EQ(DefaultOpqSubspaces(128), 32);
+  EXPECT_EQ(DefaultOpqSubspaces(300), 75);
+  EXPECT_EQ(DefaultOpqSubspaces(960), 240);
+  EXPECT_EQ(DefaultOpqSubspaces(420), 105);
+  EXPECT_EQ(DefaultOpqSubspaces(7), 1);
+  for (int64_t d : {128, 300, 960, 420, 256, 512}) {
+    EXPECT_EQ(d % DefaultOpqSubspaces(d), 0) << d;
+  }
+}
+
+TEST(DdcOpqTest, PrunedCandidatesAreOverwhelminglyBeyondTau) {
+  Fixture f;
+  DdcOpqComputer computer(&f.ds.base, &f.artifacts);
+  int64_t pruned = 0, false_pruned = 0;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    const float* query = f.ds.queries.Row(q);
+    computer.BeginQuery(query);
+    auto knn = data::BruteForceKnnSingle(f.ds.base, query, 10);
+    const float tau = knn.back().distance;
+    for (int64_t i = 0; i < f.ds.size(); i += 3) {
+      if (computer.EstimateWithThreshold(i, tau).pruned) {
+        ++pruned;
+        if (data::ExactL2Sqr(f.ds.base, i, query) <= tau) ++false_pruned;
+      }
+    }
+  }
+  ASSERT_GT(pruned, 100);
+  // The learned corrector targets 99.5% label-0 recall; the observed false
+  // pruning rate over all pruned candidates should be small.
+  EXPECT_LT(static_cast<double>(false_pruned) / pruned, 0.02);
+}
+
+}  // namespace
+}  // namespace resinfer::core

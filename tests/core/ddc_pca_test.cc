@@ -1,0 +1,98 @@
+#include "core/ddc_pca.h"
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "data/metrics.h"
+#include "index/flat_index.h"
+#include "test_util.h"
+
+namespace resinfer::core {
+namespace {
+
+struct Fixture {
+  data::Dataset ds;
+  linalg::PcaModel pca;
+  linalg::Matrix rotated;
+  DdcPcaArtifacts artifacts;
+
+  explicit Fixture(int64_t n = 3000, int64_t dim = 48)
+      : ds(testing::SmallDataset(n, dim, 1.0, 80, 16, 120)) {
+    pca = linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+    rotated = pca.TransformBatch(ds.base.data(), ds.size());
+    DdcPcaOptions options;
+    options.init_dim = 8;
+    options.delta_dim = 16;
+    options.training.k = 10;
+    options.training.max_queries = 100;
+    options.training.negatives_per_query = 50;
+    artifacts = TrainDdcPca(pca, rotated, ds.base, ds.train_queries, options);
+  }
+};
+
+TEST(DdcPcaTest, TrainsOneCorrectorPerStage) {
+  Fixture f;
+  EXPECT_EQ(f.artifacts.stage_dims.size(), f.artifacts.correctors.size());
+  EXPECT_FALSE(f.artifacts.stage_dims.empty());
+  for (std::size_t i = 1; i < f.artifacts.stage_dims.size(); ++i) {
+    EXPECT_GT(f.artifacts.stage_dims[i], f.artifacts.stage_dims[i - 1]);
+  }
+  EXPECT_LT(f.artifacts.stage_dims.back(), f.ds.dim());
+  EXPECT_GT(f.artifacts.train_seconds, 0.0);
+}
+
+TEST(DdcPcaTest, ExactWhenNotPruned) {
+  Fixture f;
+  DdcPcaComputer computer(&f.pca, &f.rotated, &f.artifacts);
+  computer.BeginQuery(f.ds.queries.Row(0));
+  for (int64_t i = 0; i < 50; ++i) {
+    auto est = computer.EstimateWithThreshold(i, index::kInfDistance);
+    ASSERT_FALSE(est.pruned);
+    float truth = data::ExactL2Sqr(f.ds.base, i, f.ds.queries.Row(0));
+    EXPECT_NEAR(est.distance, truth, 1e-3f * (1.0f + truth));
+  }
+}
+
+TEST(DdcPcaTest, FlatScanMaintainsRecall) {
+  Fixture f;
+  index::FlatIndex flat(f.ds.base);
+  DdcPcaComputer computer(&f.pca, &f.rotated, &f.artifacts);
+  auto truth = data::BruteForceKnn(f.ds.base, f.ds.queries, 10);
+  std::vector<std::vector<int64_t>> results;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    auto found = flat.Search(computer, f.ds.queries.Row(q), 10);
+    std::vector<int64_t> ids;
+    for (const auto& nb : found) ids.push_back(nb.id);
+    results.push_back(std::move(ids));
+  }
+  EXPECT_GT(data::MeanRecallAtK(results, truth, 10), 0.95);
+  // And it should actually prune.
+  EXPECT_GT(computer.stats().PrunedRate(), 0.3);
+}
+
+TEST(DdcPcaTest, ApproximateDistanceIsLowerBound) {
+  Fixture f(1000);
+  DdcPcaComputer computer(&f.pca, &f.rotated, &f.artifacts);
+  computer.BeginQuery(f.ds.queries.Row(1));
+  for (int64_t i = 0; i < 30; ++i) {
+    float truth = data::ExactL2Sqr(f.ds.base, i, f.ds.queries.Row(1));
+    float approx = computer.ApproximateDistance(i, 8);
+    EXPECT_LE(approx, truth * (1.0f + 1e-3f) + 1e-3f);
+  }
+}
+
+TEST(DdcPcaTest, ScanRateBelowOne) {
+  Fixture f;
+  DdcPcaComputer computer(&f.pca, &f.rotated, &f.artifacts);
+  const float* query = f.ds.queries.Row(2);
+  computer.BeginQuery(query);
+  auto knn = data::BruteForceKnnSingle(f.ds.base, query, 10);
+  computer.stats().Reset();
+  for (int64_t i = 0; i < f.ds.size(); ++i) {
+    computer.EstimateWithThreshold(i, knn.back().distance);
+  }
+  EXPECT_LT(computer.stats().ScanRate(f.ds.dim()), 0.9);
+}
+
+}  // namespace
+}  // namespace resinfer::core

@@ -1,0 +1,194 @@
+#include "core/ddc_res.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "index/flat_index.h"
+#include "simd/kernels.h"
+#include "test_util.h"
+
+namespace resinfer::core {
+namespace {
+
+struct Fixture {
+  data::Dataset ds;
+  linalg::PcaModel pca;
+  linalg::Matrix rotated;
+
+  explicit Fixture(int64_t n = 3000, int64_t dim = 48, double alpha = 1.0)
+      : ds(testing::SmallDataset(n, dim, alpha, 62, 16, 8)) {
+    pca = linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+    rotated = pca.TransformBatch(ds.base.data(), ds.size());
+  }
+};
+
+TEST(DdcResTest, ExactPathMatchesTrueDistance) {
+  Fixture f;
+  DdcResOptions options;
+  options.init_dim = 8;
+  options.delta_dim = 8;
+  DdcResComputer computer(&f.pca, &f.rotated, options);
+
+  for (int64_t q = 0; q < 4; ++q) {
+    computer.BeginQuery(f.ds.queries.Row(q));
+    for (int64_t i = 0; i < 50; ++i) {
+      // tau = +inf disables pruning -> the decomposition must reproduce the
+      // exact distance (up to float cancellation in C1 - C2 - C3).
+      auto est = computer.EstimateWithThreshold(i, index::kInfDistance);
+      EXPECT_FALSE(est.pruned);
+      float truth = data::ExactL2Sqr(f.ds.base, i, f.ds.queries.Row(q));
+      EXPECT_NEAR(est.distance, truth, 1e-2f * (1.0f + truth));
+    }
+  }
+}
+
+TEST(DdcResTest, ExactDistanceMethodMatches) {
+  Fixture f;
+  DdcResComputer computer(&f.pca, &f.rotated);
+  computer.BeginQuery(f.ds.queries.Row(0));
+  for (int64_t i = 0; i < 20; ++i) {
+    float truth = data::ExactL2Sqr(f.ds.base, i, f.ds.queries.Row(0));
+    EXPECT_NEAR(computer.ExactDistance(i), truth, 1e-2f * (1.0f + truth));
+  }
+}
+
+// Pruning soundness: at the 99.7% quantile, at most a small fraction of
+// pruned candidates may actually lie within tau.
+TEST(DdcResTest, PruningIsSoundAtConfiguredQuantile) {
+  Fixture f;
+  DdcResOptions options;
+  options.init_dim = 8;
+  options.delta_dim = 8;
+  options.quantile = 0.997;
+  DdcResComputer computer(&f.pca, &f.rotated, options);
+
+  int64_t pruned = 0, false_pruned = 0;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    const float* query = f.ds.queries.Row(q);
+    computer.BeginQuery(query);
+    // tau = true 10-NN distance: a realistic, tight threshold.
+    auto knn = data::BruteForceKnnSingle(f.ds.base, query, 10);
+    const float tau = knn.back().distance;
+    for (int64_t i = 0; i < f.ds.size(); i += 3) {
+      auto est = computer.EstimateWithThreshold(i, tau);
+      if (est.pruned) {
+        ++pruned;
+        float truth = data::ExactL2Sqr(f.ds.base, i, query);
+        if (truth <= tau) ++false_pruned;
+      }
+    }
+  }
+  ASSERT_GT(pruned, 100) << "test needs actual pruning to be meaningful";
+  EXPECT_LT(static_cast<double>(false_pruned) / pruned, 0.01);
+}
+
+TEST(DdcResTest, PrunesMostFarCandidates) {
+  Fixture f;
+  DdcResComputer computer(&f.pca, &f.rotated);
+  const float* query = f.ds.queries.Row(0);
+  computer.BeginQuery(query);
+  auto knn = data::BruteForceKnnSingle(f.ds.base, query, 10);
+  const float tau = knn.back().distance;
+  computer.stats().Reset();
+  for (int64_t i = 0; i < f.ds.size(); ++i) {
+    computer.EstimateWithThreshold(i, tau);
+  }
+  // On skewed data with a tight threshold most candidates prune early.
+  EXPECT_GT(computer.stats().PrunedRate(), 0.5);
+  EXPECT_LT(computer.stats().ScanRate(f.ds.dim()), 0.7);
+}
+
+TEST(DdcResTest, InfiniteTauNeverPrunes) {
+  Fixture f(500);
+  DdcResComputer computer(&f.pca, &f.rotated);
+  computer.BeginQuery(f.ds.queries.Row(0));
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(
+        computer.EstimateWithThreshold(i, index::kInfDistance).pruned);
+  }
+}
+
+TEST(DdcResTest, BasicAlgorithmAlsoExactWhenNotPruned) {
+  Fixture f(1000);
+  DdcResOptions options;
+  options.incremental = false;  // Algorithm 1
+  options.init_dim = 8;
+  DdcResComputer computer(&f.pca, &f.rotated, options);
+  computer.BeginQuery(f.ds.queries.Row(2));
+  for (int64_t i = 0; i < 50; ++i) {
+    auto est = computer.EstimateWithThreshold(i, index::kInfDistance);
+    ASSERT_FALSE(est.pruned);
+    float truth = data::ExactL2Sqr(f.ds.base, i, f.ds.queries.Row(2));
+    EXPECT_NEAR(est.distance, truth, 1e-2f * (1.0f + truth));
+  }
+}
+
+TEST(DdcResTest, BasicScansAtMostTwoStages) {
+  Fixture f(1000);
+  DdcResOptions options;
+  options.incremental = false;
+  options.init_dim = 8;
+  DdcResComputer computer(&f.pca, &f.rotated, options);
+  computer.BeginQuery(f.ds.queries.Row(0));
+  computer.stats().Reset();
+  computer.EstimateWithThreshold(0, index::kInfDistance);
+  // Non-incremental: either init_dim (pruned) or the full dimension.
+  EXPECT_EQ(computer.stats().dims_scanned, f.ds.dim());
+}
+
+TEST(DdcResTest, FlatScanRecallNearExact) {
+  Fixture f;
+  index::FlatIndex flat(f.ds.base);
+  DdcResComputer computer(&f.pca, &f.rotated);
+  auto truth = data::BruteForceKnn(f.ds.base, f.ds.queries, 10);
+  double recall = 0.0;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    auto result = flat.Search(computer, f.ds.queries.Row(q), 10);
+    int hits = 0;
+    for (const auto& nb : result) {
+      for (int64_t t : truth[q])
+        if (t == nb.id) {
+          ++hits;
+          break;
+        }
+    }
+    recall += static_cast<double>(hits) / 10.0;
+  }
+  recall /= f.ds.queries.rows();
+  EXPECT_GT(recall, 0.98);
+}
+
+TEST(DdcResTest, ApproximateDistanceConvergesWithDimension) {
+  Fixture f;
+  DdcResComputer computer(&f.pca, &f.rotated);
+  computer.BeginQuery(f.ds.queries.Row(3));
+  float truth = data::ExactL2Sqr(f.ds.base, 11, f.ds.queries.Row(3));
+  float err_small =
+      std::abs(computer.ApproximateDistance(11, 4) - truth);
+  float err_full =
+      std::abs(computer.ApproximateDistance(11, f.ds.dim()) - truth);
+  EXPECT_LE(err_full, 1e-2f * (1.0f + truth));
+  EXPECT_GE(err_small + 1e-4f, err_full);
+}
+
+TEST(DdcResTest, MultiplierOverride) {
+  Fixture f(500);
+  DdcResOptions options;
+  options.multiplier = 5.0;
+  DdcResComputer computer(&f.pca, &f.rotated, options);
+  EXPECT_FLOAT_EQ(computer.multiplier(), 5.0f);
+}
+
+TEST(DdcResTest, ExtraBytesAccountsForRotationAndNorms) {
+  Fixture f(500);
+  DdcResComputer computer(&f.pca, &f.rotated);
+  int64_t expected_min =
+      f.ds.dim() * f.ds.dim() * static_cast<int64_t>(sizeof(float)) +
+      f.ds.size() * static_cast<int64_t>(sizeof(float));
+  EXPECT_GE(computer.ExtraBytes(), expected_min);
+}
+
+}  // namespace
+}  // namespace resinfer::core

@@ -1,0 +1,211 @@
+#include "core/ddc_rq_cascade.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "data/metrics.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "simd/kernels.h"
+#include "test_util.h"
+
+namespace resinfer::core {
+namespace {
+
+struct CascadeFixture {
+  data::Dataset ds = testing::SmallDataset(3000, 32, 0.9, 83, 48, 400);
+  DdcRqCascadeArtifacts artifacts;
+
+  CascadeFixture() {
+    DdcRqCascadeOptions options;
+    options.rq.nbits = 6;
+    options.levels = {2, 4, 8};
+    options.training.max_queries = 150;
+    artifacts = TrainDdcRqCascade(ds.base, ds.train_queries, options);
+  }
+};
+
+CascadeFixture& Fixture() {
+  static CascadeFixture* fixture = new CascadeFixture();
+  return *fixture;
+}
+
+TEST(DdcRqCascadeTest, ArtifactShapes) {
+  CascadeFixture& f = Fixture();
+  const auto n = static_cast<std::size_t>(f.ds.size());
+  EXPECT_EQ(f.artifacts.rq.num_stages(), 8);
+  EXPECT_EQ(f.artifacts.levels.size(), 3u);
+  EXPECT_EQ(f.artifacts.correctors.size(), 3u);
+  EXPECT_EQ(f.artifacts.codes.size(), n * 8);
+  EXPECT_EQ(f.artifacts.level_norms.size(), n * 3);
+  EXPECT_EQ(f.artifacts.level_errors.size(), n * 3);
+  EXPECT_GT(f.artifacts.ExtraBytes(), 0);
+  EXPECT_GT(f.artifacts.train_seconds, 0.0);
+}
+
+TEST(DdcRqCascadeTest, LevelErrorsAreNonIncreasing) {
+  // Each extra stage refines the reconstruction, so per-point level errors
+  // must not grow with the level.
+  CascadeFixture& f = Fixture();
+  for (int64_t i = 0; i < f.ds.size(); i += 37) {
+    for (int l = 1; l < 3; ++l) {
+      EXPECT_LE(f.artifacts.level_errors[static_cast<std::size_t>(i * 3 + l)],
+                f.artifacts
+                        .level_errors[static_cast<std::size_t>(i * 3 + l - 1)] *
+                        1.0001f +
+                    1e-5f)
+          << "point " << i << " level " << l;
+    }
+  }
+}
+
+TEST(DdcRqCascadeTest, TruncatedAdcMatchesPartialReconstruction) {
+  CascadeFixture& f = Fixture();
+  DdcRqCascadeComputer computer(&f.ds.base, &f.artifacts);
+  const float* query = f.ds.queries.Row(0);
+  computer.BeginQuery(query);
+
+  const quant::RqCodebook& rq = f.artifacts.rq;
+  for (int64_t i = 0; i < 20; ++i) {
+    const uint8_t* code = f.artifacts.codes.data() + i * rq.code_size();
+    std::vector<float> partial(32, 0.0f);
+    int stage = 0;
+    for (int l = 0; l < 3; ++l) {
+      for (; stage < f.artifacts.levels[static_cast<std::size_t>(l)];
+           ++stage) {
+        const float* c = rq.centroids(stage).Row(code[stage]);
+        for (int64_t j = 0; j < 32; ++j) {
+          partial[static_cast<std::size_t>(j)] += c[j];
+        }
+      }
+      const float direct = simd::L2Sqr(query, partial.data(), 32);
+      EXPECT_NEAR(computer.ApproximateDistance(i, l), direct,
+                  1e-2f * (1.0f + direct))
+          << "point " << i << " level " << l;
+    }
+  }
+}
+
+TEST(DdcRqCascadeTest, ApproximationSharpensWithLevel) {
+  // Averaged over pairs, the truncated ADC at deeper levels must track the
+  // exact distance better.
+  CascadeFixture& f = Fixture();
+  DdcRqCascadeComputer computer(&f.ds.base, &f.artifacts);
+  double error_by_level[3] = {0.0, 0.0, 0.0};
+  int count = 0;
+  for (int64_t q = 0; q < 10; ++q) {
+    const float* query = f.ds.queries.Row(q);
+    computer.BeginQuery(query);
+    for (int64_t i = 0; i < f.ds.size(); i += 53) {
+      const float exact = simd::L2Sqr(query, f.ds.base.Row(i), 32);
+      for (int l = 0; l < 3; ++l) {
+        error_by_level[l] +=
+            std::abs(computer.ApproximateDistance(i, l) - exact);
+      }
+      ++count;
+    }
+  }
+  EXPECT_LT(error_by_level[1], error_by_level[0]);
+  EXPECT_LT(error_by_level[2], error_by_level[1]);
+}
+
+TEST(DdcRqCascadeTest, FlatScanRecallAndPruning) {
+  CascadeFixture& f = Fixture();
+  DdcRqCascadeComputer computer(&f.ds.base, &f.artifacts);
+  index::FlatIndex flat(f.ds.base);
+  const int k = 10;
+  std::vector<std::vector<int64_t>> truth =
+      data::BruteForceKnn(f.ds.base, f.ds.queries, k);
+  std::vector<std::vector<int64_t>> results;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    std::vector<index::Neighbor> found =
+        flat.Search(computer, f.ds.queries.Row(q), k);
+    std::vector<int64_t> ids;
+    for (const auto& nb : found) ids.push_back(nb.id);
+    results.push_back(std::move(ids));
+  }
+  EXPECT_GE(data::MeanRecallAtK(results, truth, k), 0.9);
+  EXPECT_GT(computer.stats().PrunedRate(), 0.3);
+}
+
+TEST(DdcRqCascadeTest, EarlyLevelsPruneMostCandidates) {
+  // The cascade's point: most pruned candidates should cost 2 lookups, not
+  // 8. Average lookups per pruned candidate must sit well below the
+  // all-stages cost.
+  CascadeFixture& f = Fixture();
+  DdcRqCascadeComputer computer(&f.ds.base, &f.artifacts);
+  index::FlatIndex flat(f.ds.base);
+  for (int64_t q = 0; q < 16; ++q) {
+    flat.Search(computer, f.ds.queries.Row(q), 10);
+  }
+  const auto& stats = computer.stats();
+  ASSERT_GT(stats.pruned, 0);
+  const double lookups_per_candidate =
+      static_cast<double>(computer.stage_lookups()) /
+      static_cast<double>(stats.candidates);
+  EXPECT_LT(lookups_per_candidate, 7.0);
+}
+
+TEST(DdcRqCascadeTest, WorksInsideHnsw) {
+  CascadeFixture& f = Fixture();
+  index::HnswOptions options;
+  options.ef_construction = 80;
+  index::HnswIndex hnsw = index::HnswIndex::Build(f.ds.base, options);
+  DdcRqCascadeComputer computer(&f.ds.base, &f.artifacts);
+  const int k = 10;
+  std::vector<std::vector<int64_t>> truth =
+      data::BruteForceKnn(f.ds.base, f.ds.queries, k);
+  std::vector<std::vector<int64_t>> results;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    std::vector<index::Neighbor> found =
+        hnsw.Search(computer, f.ds.queries.Row(q), k, /*ef=*/120);
+    std::vector<int64_t> ids;
+    for (const auto& nb : found) ids.push_back(nb.id);
+    results.push_back(std::move(ids));
+  }
+  EXPECT_GE(data::MeanRecallAtK(results, truth, k), 0.85);
+}
+
+TEST(DdcRqCascadeTest, InfiniteTauSkipsCascade) {
+  CascadeFixture& f = Fixture();
+  DdcRqCascadeComputer computer(&f.ds.base, &f.artifacts);
+  computer.BeginQuery(f.ds.queries.Row(2));
+  index::EstimateResult r =
+      computer.EstimateWithThreshold(7, index::kInfDistance);
+  EXPECT_FALSE(r.pruned);
+  EXPECT_FLOAT_EQ(r.distance,
+                  simd::L2Sqr(f.ds.queries.Row(2), f.ds.base.Row(7), 32));
+}
+
+TEST(DdcRqCascadeTest, SingleLevelDegeneratesToSingleShot) {
+  // A one-level cascade is just DdcAny(RQ) with a different wrapper; it
+  // must train and search without issue.
+  data::Dataset ds = testing::SmallDataset(1200, 16, 0.8, 85, 16, 200);
+  DdcRqCascadeOptions options;
+  options.rq.nbits = 5;
+  options.levels = {4};
+  options.training.max_queries = 80;
+  DdcRqCascadeArtifacts artifacts =
+      TrainDdcRqCascade(ds.base, ds.train_queries, options);
+  EXPECT_EQ(artifacts.correctors.size(), 1u);
+
+  DdcRqCascadeComputer computer(&ds.base, &artifacts);
+  index::FlatIndex flat(ds.base);
+  std::vector<std::vector<int64_t>> truth =
+      data::BruteForceKnn(ds.base, ds.queries, 5);
+  double recall_sum = 0.0;
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    std::vector<index::Neighbor> found =
+        flat.Search(computer, ds.queries.Row(q), 5);
+    std::vector<int64_t> ids;
+    for (const auto& nb : found) ids.push_back(nb.id);
+    recall_sum += data::RecallAtK(ids, truth[static_cast<std::size_t>(q)], 5);
+  }
+  EXPECT_GE(recall_sum / static_cast<double>(ds.queries.rows()), 0.9);
+}
+
+}  // namespace
+}  // namespace resinfer::core

@@ -1,0 +1,107 @@
+#include "core/error_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/pca.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace resinfer::core {
+namespace {
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(InverseNormalCdf(0.8413447), 1.0, 1e-4);
+  EXPECT_NEAR(InverseNormalCdf(0.9772499), 2.0, 1e-4);
+  EXPECT_NEAR(InverseNormalCdf(0.9986501), 3.0, 1e-4);
+  EXPECT_NEAR(InverseNormalCdf(0.9750), 1.959964, 1e-4);
+  // Symmetry.
+  EXPECT_NEAR(InverseNormalCdf(0.1), -InverseNormalCdf(0.9), 1e-8);
+}
+
+TEST(InverseNormalCdfTest, TailValues) {
+  EXPECT_NEAR(InverseNormalCdf(1e-6), -4.753424, 1e-3);
+  EXPECT_NEAR(InverseNormalCdf(1.0 - 1e-6), 4.753424, 1e-3);
+}
+
+TEST(InverseNormalCdfTest, MonotoneIncreasing) {
+  double prev = -1e9;
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    double x = InverseNormalCdf(p);
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(GaussianQuantileMultiplierTest, PaperConventions) {
+  // The paper's "3-sigma = 99.7%" empirical rule is two-sided; the
+  // one-sided multiplier for 0.997 is ~2.75 and for 0.9987 is ~3.0.
+  EXPECT_NEAR(GaussianQuantileMultiplier(0.997), 2.7478, 1e-3);
+  EXPECT_NEAR(GaussianQuantileMultiplier(0.99865), 3.0, 2e-2);
+}
+
+TEST(ResidualErrorModelTest, SigmaMatchesDirectSum) {
+  std::vector<float> variances = {4.0f, 3.0f, 2.0f, 1.0f};
+  ResidualErrorModel model(variances);
+  const float q[4] = {1.0f, -2.0f, 0.5f, 3.0f};
+  model.BeginQuery(q);
+
+  for (int64_t d = 0; d <= 4; ++d) {
+    double direct = 0.0;
+    for (int64_t i = d; i < 4; ++i)
+      direct += static_cast<double>(q[i]) * q[i] * variances[i];
+    EXPECT_NEAR(model.Sigma(d), 2.0 * std::sqrt(direct), 1e-5);
+  }
+  EXPECT_EQ(model.Sigma(4), 0.0f);
+}
+
+TEST(ResidualErrorModelTest, SigmaDecreasesWithDimension) {
+  data::Dataset ds = testing::SmallDataset(2000, 32, 1.0, 60);
+  linalg::PcaModel pca =
+      linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  ResidualErrorModel model(pca.variances());
+  std::vector<float> rq(ds.dim());
+  pca.Transform(ds.queries.Row(0), rq.data());
+  model.BeginQuery(rq.data());
+  for (int64_t d = 1; d <= ds.dim(); ++d) {
+    EXPECT_LE(model.Sigma(d), model.Sigma(d - 1) + 1e-6f);
+  }
+}
+
+// Property test for the central claim of §IV-C: the estimation error
+// eps = dis' - dis is (approximately) N(0, sigma^2), so |eps| <= m*sigma
+// should hold at roughly the configured two-sided rate.
+TEST(ResidualErrorModelTest, EmpiricalCoverageNearNominal) {
+  data::Dataset ds = testing::SmallDataset(4000, 32, 1.0, 61, 8, 4);
+  linalg::PcaModel pca =
+      linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  linalg::Matrix rotated = pca.TransformBatch(ds.base.data(), ds.size());
+  ResidualErrorModel model(pca.variances());
+
+  const int64_t proj_dim = 8;
+  const float m = 3.0f;  // two-sided ~99.7%
+  int64_t covered = 0, total = 0;
+  std::vector<float> rq(ds.dim());
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    pca.Transform(ds.queries.Row(q), rq.data());
+    model.BeginQuery(rq.data());
+    const float sigma = model.Sigma(proj_dim);
+    for (int64_t i = 0; i < ds.size(); i += 7) {
+      // eps = C3 = 2 <x_r, q_r>.
+      double eps = 0.0;
+      const float* x = rotated.Row(i);
+      for (int64_t j = proj_dim; j < ds.dim(); ++j)
+        eps += 2.0 * static_cast<double>(x[j]) * rq[j];
+      ++total;
+      if (std::abs(eps) <= m * sigma) ++covered;
+    }
+  }
+  double coverage = static_cast<double>(covered) / total;
+  // Gaussianity is approximate (mixture data); require >= 98% at 3 sigma.
+  EXPECT_GT(coverage, 0.98);
+}
+
+}  // namespace
+}  // namespace resinfer::core

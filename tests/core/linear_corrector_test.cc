@@ -1,0 +1,145 @@
+#include "core/linear_corrector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace resinfer::core {
+namespace {
+
+// Synthetic corrector problem mimicking the real one: exact = approx *
+// (1 + noise); label = exact > tau. A linear boundary in (approx, tau)
+// separates it well.
+std::vector<CorrectorSample> MakeSamples(int n, double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CorrectorSample> samples;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    float approx = static_cast<float>(rng.Uniform(0.5, 10.0));
+    float tau = static_cast<float>(rng.Uniform(2.0, 8.0));
+    float exact = approx * (1.0f + static_cast<float>(
+                                       rng.Gaussian(0.0, noise)));
+    CorrectorSample s;
+    s.approx = approx;
+    s.tau = tau;
+    s.label = exact > tau ? 1 : 0;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+TEST(LinearCorrectorTest, LearnsSeparableBoundary) {
+  auto samples = MakeSamples(20000, 0.02, 5);
+  LinearCorrectorOptions options;
+  options.target_recall = 0.995;
+  LinearCorrector model = LinearCorrector::Train(samples, options);
+  ASSERT_TRUE(model.trained());
+  auto metrics = model.Evaluate(samples);
+  EXPECT_GE(metrics.label0_recall, 0.99);
+  EXPECT_GT(metrics.label1_recall, 0.8);
+  // The learned boundary should weight approx positively and tau
+  // negatively (larger approx means prunable, larger tau means keep).
+  EXPECT_GT(model.w_approx(), 0.0f);
+  EXPECT_LT(model.w_tau(), 0.0f);
+}
+
+TEST(LinearCorrectorTest, CalibrationHitsTargetRecall) {
+  auto samples = MakeSamples(20000, 0.15, 6);  // noisy: forces trade-off
+  for (double target : {0.9, 0.99, 0.999}) {
+    LinearCorrectorOptions options;
+    options.target_recall = target;
+    LinearCorrector model = LinearCorrector::Train(samples, options);
+    auto metrics = model.Evaluate(samples);
+    EXPECT_GE(metrics.label0_recall, target - 0.005)
+        << "target " << target;
+  }
+}
+
+TEST(LinearCorrectorTest, HigherTargetRecallPrunesLess) {
+  auto samples = MakeSamples(20000, 0.15, 7);
+  LinearCorrectorOptions lo_opts;
+  lo_opts.target_recall = 0.9;
+  LinearCorrectorOptions hi_opts;
+  hi_opts.target_recall = 0.999;
+  auto lo = LinearCorrector::Train(samples, lo_opts).Evaluate(samples);
+  auto hi = LinearCorrector::Train(samples, hi_opts).Evaluate(samples);
+  EXPECT_GE(hi.label0_recall, lo.label0_recall);
+  EXPECT_LE(hi.label1_recall, lo.label1_recall + 1e-9);
+}
+
+TEST(LinearCorrectorTest, ThreeFeatureModel) {
+  // extra feature = reliability of approx; higher extra -> noisier approx.
+  Rng rng(8);
+  std::vector<CorrectorSample> samples;
+  for (int i = 0; i < 20000; ++i) {
+    CorrectorSample s;
+    s.approx = static_cast<float>(rng.Uniform(0.5, 10.0));
+    s.tau = static_cast<float>(rng.Uniform(2.0, 8.0));
+    s.extra = static_cast<float>(rng.Uniform(0.0, 1.0));
+    float exact =
+        s.approx *
+        (1.0f + static_cast<float>(rng.Gaussian(0.0, 0.02 + 0.3 * s.extra)));
+    s.label = exact > s.tau ? 1 : 0;
+    samples.push_back(s);
+  }
+  LinearCorrectorOptions options;
+  options.num_features = 3;
+  LinearCorrector model = LinearCorrector::Train(samples, options);
+  auto metrics = model.Evaluate(samples);
+  EXPECT_GE(metrics.label0_recall, 0.99);
+  EXPECT_GT(metrics.label1_recall, 0.3);
+}
+
+TEST(LinearCorrectorTest, UntrainedNeverPrunes) {
+  LinearCorrector model;
+  EXPECT_FALSE(model.PredictPrunable(100.0f, 0.1f));
+  EXPECT_FALSE(model.trained());
+}
+
+TEST(LinearCorrectorTest, EmptySamplesNeverPrunes) {
+  LinearCorrector model = LinearCorrector::Train({});
+  EXPECT_FALSE(model.PredictPrunable(1e9f, 0.0f));
+}
+
+TEST(LinearCorrectorTest, SingleLabelDegenerateStaysConservative) {
+  std::vector<CorrectorSample> all_zero(100);
+  for (auto& s : all_zero) {
+    s.approx = 1.0f;
+    s.tau = 2.0f;
+    s.label = 0;
+  }
+  LinearCorrector model = LinearCorrector::Train(all_zero);
+  EXPECT_TRUE(model.trained());
+  EXPECT_FALSE(model.PredictPrunable(5.0f, 2.0f));
+
+  std::vector<CorrectorSample> all_one = all_zero;
+  for (auto& s : all_one) s.label = 1;
+  LinearCorrector model1 = LinearCorrector::Train(all_one);
+  // Prune-always is never safe; the degenerate fallback keeps everything.
+  EXPECT_FALSE(model1.PredictPrunable(0.1f, 2.0f));
+}
+
+TEST(LinearCorrectorTest, DeterministicInSeed) {
+  auto samples = MakeSamples(5000, 0.05, 9);
+  LinearCorrector a = LinearCorrector::Train(samples);
+  LinearCorrector b = LinearCorrector::Train(samples);
+  EXPECT_EQ(a.w_approx(), b.w_approx());
+  EXPECT_EQ(a.bias(), b.bias());
+}
+
+TEST(LinearCorrectorTest, AdaptiveAdjustmentExample) {
+  // Fig 4's beta -> beta' adjustment: recalibrating an already trained
+  // model to a stricter target only moves the intercept.
+  auto samples = MakeSamples(10000, 0.15, 10);
+  LinearCorrector model = LinearCorrector::Train(samples);
+  float w_before = model.w_approx();
+  model.CalibrateIntercept(samples, 0.9999);
+  EXPECT_EQ(model.w_approx(), w_before);
+  auto metrics = model.Evaluate(samples);
+  EXPECT_GE(metrics.label0_recall, 0.999);
+}
+
+}  // namespace
+}  // namespace resinfer::core

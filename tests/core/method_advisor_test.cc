@@ -1,0 +1,97 @@
+#include "core/method_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/method_factory.h"
+#include "data/synthetic.h"
+#include "test_util.h"
+
+namespace resinfer::core {
+namespace {
+
+TEST(MethodAdvisorTest, CumulativeCurveIsMonotoneAndNormalized) {
+  data::Dataset ds = testing::SmallDataset(2000, 40, 1.0, 71);
+  SpectrumProfile profile = ProfileSpectrum(ds.base);
+  ASSERT_EQ(profile.dim, 40);
+  ASSERT_EQ(profile.cumulative_explained.size(), 41u);
+  EXPECT_DOUBLE_EQ(profile.cumulative_explained[0], 0.0);
+  EXPECT_NEAR(profile.cumulative_explained[40], 1.0, 1e-6);
+  for (std::size_t k = 1; k < profile.cumulative_explained.size(); ++k) {
+    EXPECT_GE(profile.cumulative_explained[k],
+              profile.cumulative_explained[k - 1] - 1e-12);
+  }
+}
+
+TEST(MethodAdvisorTest, ExplainedAtClampsOutOfRange) {
+  data::Dataset ds = testing::SmallDataset(500, 16, 1.0, 72);
+  SpectrumProfile profile = ProfileSpectrum(ds.base);
+  EXPECT_DOUBLE_EQ(profile.ExplainedAt(-5), 0.0);
+  EXPECT_NEAR(profile.ExplainedAt(100), 1.0, 1e-6);
+}
+
+TEST(MethodAdvisorTest, DimsForFractionInvertsExplainedAt) {
+  data::Dataset ds = testing::SmallDataset(1500, 32, 1.2, 73);
+  SpectrumProfile profile = ProfileSpectrum(ds.base);
+  const int64_t k = profile.DimsForFraction(0.8);
+  EXPECT_GE(profile.ExplainedAt(k), 0.8);
+  if (k > 0) EXPECT_LT(profile.ExplainedAt(k - 1), 0.8);
+}
+
+TEST(MethodAdvisorTest, SkewedSpectrumRecommendsProjection) {
+  // SIFT proxy: paper anchor says PCA-32 keeps ~82% of the variance.
+  data::Dataset ds = data::GenerateSynthetic(data::SiftProxySpec());
+  MethodAdvice advice = AdviseMethod(ProfileSpectrum(ds.base));
+  EXPECT_EQ(advice.recommended, kMethodDdcRes);
+  EXPECT_GT(advice.explained_variance_32, 0.6);
+  EXPECT_NE(advice.rationale.find("skewed"), std::string::npos);
+}
+
+TEST(MethodAdvisorTest, FlatSpectrumRecommendsQuantization) {
+  // GLOVE proxy: paper anchor says PCA-32 keeps ~18% of the variance.
+  data::Dataset ds = data::GenerateSynthetic(data::GloveProxySpec());
+  MethodAdvice advice = AdviseMethod(ProfileSpectrum(ds.base));
+  EXPECT_EQ(advice.recommended, kMethodDdcOpq);
+  EXPECT_LT(advice.explained_variance_32, 0.4);
+  EXPECT_NE(advice.rationale.find("flat"), std::string::npos);
+}
+
+TEST(MethodAdvisorTest, ProfileFromPcaMatchesProfileFromData) {
+  data::Dataset ds = testing::SmallDataset(1200, 24, 0.9, 74);
+  linalg::PcaModel pca =
+      linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  SpectrumProfile from_pca = ProfileSpectrum(pca);
+  SpectrumProfile from_data = ProfileSpectrum(ds.base);
+  for (int64_t k : {4, 8, 16, 24}) {
+    EXPECT_NEAR(from_pca.ExplainedAt(k), from_data.ExplainedAt(k), 1e-4);
+  }
+}
+
+TEST(MethodAdvisorTest, SamplingKeepsProfileStable) {
+  // Profiling a 4000-row set through a 1000-row sample must land close to
+  // the full profile — the advisor runs on samples at scale.
+  data::Dataset ds = testing::SmallDataset(4000, 32, 1.0, 75);
+  SpectrumProfile full = ProfileSpectrum(ds.base, /*max_rows=*/4000);
+  SpectrumProfile sampled = ProfileSpectrum(ds.base, /*max_rows=*/1000);
+  EXPECT_NEAR(full.ExplainedAt(32), sampled.ExplainedAt(32), 0.05);
+}
+
+TEST(MethodAdvisorTest, ThresholdIsRespected) {
+  data::Dataset ds = testing::SmallDataset(1000, 32, 1.0, 76);
+  SpectrumProfile profile = ProfileSpectrum(ds.base);
+  const double ev32 = profile.ExplainedAt(32);
+  MethodAdvice low = AdviseMethod(profile, ev32 - 0.01);
+  MethodAdvice high = AdviseMethod(profile, ev32 + 0.01);
+  EXPECT_EQ(low.recommended, kMethodDdcRes);
+  EXPECT_EQ(high.recommended, kMethodDdcOpq);
+}
+
+TEST(MethodAdvisorTest, ZeroVarianceDataDoesNotDivideByZero) {
+  linalg::Matrix constant(50, 8);  // all zeros
+  SpectrumProfile profile = ProfileSpectrum(constant);
+  EXPECT_DOUBLE_EQ(profile.ExplainedAt(4), 0.0);
+  MethodAdvice advice = AdviseMethod(profile);
+  EXPECT_EQ(advice.recommended, kMethodDdcOpq);  // 0 < any threshold
+}
+
+}  // namespace
+}  // namespace resinfer::core

@@ -1,0 +1,108 @@
+#include "core/training_data.h"
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "test_util.h"
+
+namespace resinfer::core {
+namespace {
+
+TEST(TrainingDataTest, LabelsConsistentWithDistances) {
+  data::Dataset ds = testing::SmallDataset(1000, 16, 1.0, 70, 4, 50);
+  TrainingDataOptions options;
+  options.k = 10;
+  options.negatives_per_query = 20;
+  options.max_queries = 20;
+  auto pairs = CollectLabeledPairs(ds.base, ds.train_queries, options);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& p : pairs) {
+    EXPECT_EQ(p.label, p.exact > p.tau ? 1 : 0);
+    float direct =
+        data::ExactL2Sqr(ds.base, p.id, ds.train_queries.Row(p.query_index));
+    EXPECT_FLOAT_EQ(p.exact, direct);
+  }
+}
+
+TEST(TrainingDataTest, GroupedByQueryAscending) {
+  data::Dataset ds = testing::SmallDataset(500, 8, 1.0, 71, 4, 30);
+  TrainingDataOptions options;
+  options.max_queries = 10;
+  auto pairs = CollectLabeledPairs(ds.base, ds.train_queries, options);
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_GE(pairs[i].query_index, pairs[i - 1].query_index);
+  }
+}
+
+TEST(TrainingDataTest, PositivesAreTheKnn) {
+  data::Dataset ds = testing::SmallDataset(600, 8, 1.0, 72, 4, 10);
+  TrainingDataOptions options;
+  options.k = 5;
+  options.negatives_per_query = 5;
+  options.max_queries = 5;
+  auto pairs = CollectLabeledPairs(ds.base, ds.train_queries, options);
+  for (int64_t q = 0; q < 5; ++q) {
+    auto knn = data::BruteForceKnnSingle(ds.base, ds.train_queries.Row(q), 5);
+    // Each KNN id appears as a label-0 pair for this query.
+    for (const auto& nb : knn) {
+      bool found = false;
+      for (const auto& p : pairs) {
+        if (p.query_index == q && p.id == nb.id && p.label == 0) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "query " << q << " id " << nb.id;
+    }
+  }
+}
+
+TEST(TrainingDataTest, TauIsKthDistance) {
+  data::Dataset ds = testing::SmallDataset(400, 8, 1.0, 73, 4, 6);
+  TrainingDataOptions options;
+  options.k = 7;
+  options.max_queries = 6;
+  auto pairs = CollectLabeledPairs(ds.base, ds.train_queries, options);
+  for (int64_t q = 0; q < 6; ++q) {
+    auto knn = data::BruteForceKnnSingle(ds.base, ds.train_queries.Row(q), 7);
+    for (const auto& p : pairs) {
+      if (p.query_index == q) {
+        EXPECT_FLOAT_EQ(p.tau, knn.back().distance);
+      }
+    }
+  }
+}
+
+TEST(TrainingDataTest, ContainsBothLabels) {
+  data::Dataset ds = testing::SmallDataset(2000, 16, 1.0, 74, 4, 50);
+  TrainingDataOptions options;
+  options.max_queries = 30;
+  auto pairs = CollectLabeledPairs(ds.base, ds.train_queries, options);
+  int64_t n0 = 0, n1 = 0;
+  for (const auto& p : pairs) (p.label == 0 ? n0 : n1)++;
+  EXPECT_GT(n0, 100);
+  EXPECT_GT(n1, 100);
+}
+
+TEST(TrainingDataTest, MaterializePreservesOrderAndLabels) {
+  data::Dataset ds = testing::SmallDataset(300, 8, 1.0, 75, 4, 10);
+  TrainingDataOptions options;
+  options.max_queries = 4;
+  auto pairs = CollectLabeledPairs(ds.base, ds.train_queries, options);
+  auto samples = MaterializeSamples(
+      pairs, [&](int64_t q, int64_t id, float* extra) {
+        *extra = static_cast<float>(q);
+        return static_cast<float>(id);
+      });
+  ASSERT_EQ(samples.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(samples[i].label, pairs[i].label);
+    EXPECT_FLOAT_EQ(samples[i].approx, static_cast<float>(pairs[i].id));
+    EXPECT_FLOAT_EQ(samples[i].extra,
+                    static_cast<float>(pairs[i].query_index));
+    EXPECT_FLOAT_EQ(samples[i].tau, pairs[i].tau);
+  }
+}
+
+}  // namespace
+}  // namespace resinfer::core

@@ -1,0 +1,67 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "simd/kernels.h"
+#include "test_util.h"
+
+namespace resinfer::data {
+namespace {
+
+TEST(GroundTruthTest, SingleQueryMatchesNaive) {
+  Dataset ds = testing::SmallDataset(500, 16, 1.0, 91, 4, 4);
+  const float* q = ds.queries.Row(0);
+
+  // Naive full sort.
+  std::vector<std::pair<float, int64_t>> all;
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    all.emplace_back(simd::L2Sqr(ds.base.Row(i), q, 16), i);
+  }
+  std::sort(all.begin(), all.end());
+
+  std::vector<Neighbor> knn = BruteForceKnnSingle(ds.base, q, 10);
+  ASSERT_EQ(knn.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(knn[i].id, all[i].second);
+    EXPECT_FLOAT_EQ(knn[i].distance, all[i].first);
+  }
+}
+
+TEST(GroundTruthTest, ResultsAscendByDistance) {
+  Dataset ds = testing::SmallDataset(300, 8, 0.5, 92, 4, 4);
+  std::vector<Neighbor> knn = BruteForceKnnSingle(ds.base, ds.queries.Row(1), 20);
+  for (std::size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_LE(knn[i - 1].distance, knn[i].distance);
+  }
+}
+
+TEST(GroundTruthTest, KClampedToBaseSize) {
+  Dataset ds = testing::SmallDataset(5, 8, 0.5, 93, 2, 2);
+  std::vector<Neighbor> knn = BruteForceKnnSingle(ds.base, ds.queries.Row(0), 100);
+  EXPECT_EQ(knn.size(), 5u);
+}
+
+TEST(GroundTruthTest, BatchMatchesSingle) {
+  Dataset ds = testing::SmallDataset(400, 12, 1.0, 94, 6, 4);
+  auto batch = BruteForceKnn(ds.base, ds.queries, 7);
+  ASSERT_EQ(batch.size(), 6u);
+  for (int64_t q = 0; q < 6; ++q) {
+    auto single = BruteForceKnnSingle(ds.base, ds.queries.Row(q), 7);
+    ASSERT_EQ(batch[q].size(), single.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(batch[q][i], single[i].id);
+    }
+  }
+}
+
+TEST(GroundTruthTest, SelfQueryReturnsSelfFirst) {
+  Dataset ds = testing::SmallDataset(200, 8, 1.0, 95, 2, 2);
+  auto knn = BruteForceKnnSingle(ds.base, ds.base.Row(42), 3);
+  EXPECT_EQ(knn[0].id, 42);
+  EXPECT_EQ(knn[0].distance, 0.0f);
+}
+
+}  // namespace
+}  // namespace resinfer::data

@@ -1,0 +1,142 @@
+#include "data/metric.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "simd/kernels.h"
+#include "test_util.h"
+
+namespace resinfer::data {
+namespace {
+
+TEST(MetricTest, MetricNames) {
+  EXPECT_STREQ(MetricName(Metric::kL2), "l2");
+  EXPECT_STREQ(MetricName(Metric::kCosine), "cosine");
+  EXPECT_STREQ(MetricName(Metric::kInnerProduct), "ip");
+}
+
+TEST(MetricTest, NormalizeRowsProducesUnitNorms) {
+  linalg::Matrix m = testing::RandomMatrix(50, 12, 11);
+  linalg::Matrix unit = NormalizeRowsL2(m);
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(simd::Norm2Sqr(unit.Row(i), 12), 1.0f, 1e-4f);
+  }
+}
+
+TEST(MetricTest, NormalizeLeavesZeroRowsAtZero) {
+  linalg::Matrix m(3, 4);  // zero-initialized
+  m.At(1, 2) = 5.0f;
+  linalg::Matrix unit = NormalizeRowsL2(m);
+  EXPECT_EQ(simd::Norm2Sqr(unit.Row(0), 4), 0.0f);
+  EXPECT_NEAR(simd::Norm2Sqr(unit.Row(1), 4), 1.0f, 1e-5f);
+  EXPECT_EQ(simd::Norm2Sqr(unit.Row(2), 4), 0.0f);
+}
+
+TEST(MetricTest, CosineRankingEqualsL2RankingAfterNormalization) {
+  // For unit vectors ||q-x||^2 = 2 - 2 cos, so the L2 KNN of the
+  // normalized data must equal the cosine top-k of the originals.
+  linalg::Matrix base = testing::RandomMatrix(400, 16, 13);
+  linalg::Matrix queries = testing::RandomMatrix(10, 16, 14);
+  linalg::Matrix nbase = NormalizeRowsL2(base);
+  linalg::Matrix nqueries = NormalizeRowsL2(queries);
+  for (int64_t q = 0; q < queries.rows(); ++q) {
+    std::vector<Neighbor> by_cosine = TopKByCosine(base, queries.Row(q), 10);
+    std::vector<Neighbor> by_l2 =
+        BruteForceKnnSingle(nbase, nqueries.Row(q), 10);
+    for (std::size_t r = 0; r < 10; ++r) {
+      EXPECT_EQ(by_l2[r].id, by_cosine[r].id) << "query " << q << " rank "
+                                              << r;
+    }
+  }
+}
+
+TEST(MetricTest, MipsFitFindsMaxNorm) {
+  linalg::Matrix base = testing::RandomMatrix(100, 8, 17);
+  MipsTransform t = MipsTransform::Fit(base);
+  float max_norm = 0.0f;
+  for (int64_t i = 0; i < 100; ++i) {
+    max_norm = std::max(max_norm,
+                        std::sqrt(simd::Norm2Sqr(base.Row(i), 8)));
+  }
+  EXPECT_NEAR(t.max_norm(), max_norm, 1e-5f);
+}
+
+TEST(MetricTest, MipsAugmentedBaseRowsHaveConstantNorm) {
+  // Every augmented base row has norm exactly Φ — that is what makes the
+  // reduction order-preserving.
+  linalg::Matrix base = testing::RandomMatrix(100, 8, 19);
+  MipsTransform t = MipsTransform::Fit(base);
+  linalg::Matrix augmented = t.TransformBase(base);
+  ASSERT_EQ(augmented.cols(), 9);
+  const float phi_sqr = t.max_norm() * t.max_norm();
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(simd::Norm2Sqr(augmented.Row(i), 9), phi_sqr,
+                1e-3f * (1.0f + phi_sqr));
+  }
+}
+
+TEST(MetricTest, MipsDistanceIdentity) {
+  // ||q' - x'||^2 = ||q||^2 + Φ^2 - 2 <q, x> exactly.
+  linalg::Matrix base = testing::RandomMatrix(60, 8, 23);
+  linalg::Matrix queries = testing::RandomMatrix(5, 8, 24);
+  MipsTransform t = MipsTransform::Fit(base);
+  linalg::Matrix abase = t.TransformBase(base);
+  linalg::Matrix aqueries = t.TransformQueries(queries);
+  const float phi_sqr = t.max_norm() * t.max_norm();
+  for (int64_t q = 0; q < 5; ++q) {
+    const float qnorm = simd::Norm2Sqr(queries.Row(q), 8);
+    for (int64_t i = 0; i < 60; ++i) {
+      const float lhs = simd::L2Sqr(aqueries.Row(q), abase.Row(i), 9);
+      const float ip = simd::InnerProduct(queries.Row(q), base.Row(i), 8);
+      EXPECT_NEAR(lhs, qnorm + phi_sqr - 2.0f * ip,
+                  1e-3f * (1.0f + std::abs(lhs)));
+    }
+  }
+}
+
+class MipsRankingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MipsRankingTest, L2OnAugmentedEqualsDescendingInnerProduct) {
+  linalg::Matrix base = testing::RandomMatrix(500, 12, GetParam());
+  linalg::Matrix queries = testing::RandomMatrix(8, 12, GetParam() + 1);
+  MipsTransform t = MipsTransform::Fit(base);
+  linalg::Matrix abase = t.TransformBase(base);
+  linalg::Matrix aqueries = t.TransformQueries(queries);
+  for (int64_t q = 0; q < queries.rows(); ++q) {
+    std::vector<Neighbor> by_ip = TopKByInnerProduct(base, queries.Row(q), 10);
+    std::vector<Neighbor> by_l2 =
+        BruteForceKnnSingle(abase, aqueries.Row(q), 10);
+    for (std::size_t r = 0; r < 10; ++r) {
+      EXPECT_EQ(by_l2[r].id, by_ip[r].id) << "query " << q << " rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MipsRankingTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(MetricTest, FromMaxNormHandlesOvershootingRows) {
+  // Rows with norm above the (stale) bound pad with 0 instead of NaN.
+  linalg::Matrix base(2, 2);
+  base.At(0, 0) = 3.0f;
+  base.At(1, 0) = 5.0f;
+  MipsTransform t = MipsTransform::FromMaxNorm(4.0f);
+  linalg::Matrix augmented = t.TransformBase(base);
+  EXPECT_TRUE(std::isfinite(augmented.At(1, 2)));
+  EXPECT_EQ(augmented.At(1, 2), 0.0f);
+  EXPECT_NEAR(augmented.At(0, 2), std::sqrt(16.0f - 9.0f), 1e-5f);
+}
+
+TEST(MetricTest, TopKClampsToBaseSize) {
+  linalg::Matrix base = testing::RandomMatrix(5, 4, 77);
+  linalg::Matrix q = testing::RandomMatrix(1, 4, 78);
+  EXPECT_EQ(TopKByInnerProduct(base, q.Row(0), 10).size(), 5u);
+  EXPECT_EQ(TopKByCosine(base, q.Row(0), 10).size(), 5u);
+}
+
+}  // namespace
+}  // namespace resinfer::data

@@ -1,0 +1,36 @@
+#include "data/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace resinfer::data {
+namespace {
+
+TEST(MetricsTest, PerfectRecall) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2, 3}, {1, 2, 3}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({3, 1, 2}, {1, 2, 3}, 3), 1.0);  // order-free
+}
+
+TEST(MetricsTest, PartialRecall) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 9, 8}, {1, 2, 3}, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, {1, 2, 3}, 3), 0.0);
+}
+
+TEST(MetricsTest, TruthLongerThanK) {
+  // Only the first k truth entries count.
+  EXPECT_DOUBLE_EQ(RecallAtK({4, 5}, {1, 2, 3, 4, 5}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2}, {1, 2, 3, 4, 5}, 2), 1.0);
+}
+
+TEST(MetricsTest, ResultLongerThanKIgnoresTail) {
+  EXPECT_DOUBLE_EQ(RecallAtK({9, 8, 1, 2}, {1, 2}, 2), 0.0);
+}
+
+TEST(MetricsTest, MeanRecall) {
+  std::vector<std::vector<int64_t>> results = {{1, 2}, {5, 6}};
+  std::vector<std::vector<int64_t>> truth = {{1, 2}, {6, 7}};
+  EXPECT_DOUBLE_EQ(MeanRecallAtK(results, truth, 2), 0.75);
+  EXPECT_DOUBLE_EQ(MeanRecallAtK({}, {}, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace resinfer::data

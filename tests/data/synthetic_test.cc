@@ -1,0 +1,157 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/pca.h"
+#include "simd/kernels.h"
+#include "util/parallel.h"
+
+namespace resinfer::data {
+namespace {
+
+TEST(SyntheticTest, ShapesMatchSpec) {
+  SyntheticSpec spec;
+  spec.dim = 24;
+  spec.num_base = 500;
+  spec.num_queries = 10;
+  spec.num_train_queries = 20;
+  Dataset ds = GenerateSynthetic(spec);
+  EXPECT_EQ(ds.base.rows(), 500);
+  EXPECT_EQ(ds.base.cols(), 24);
+  EXPECT_EQ(ds.queries.rows(), 10);
+  EXPECT_EQ(ds.train_queries.rows(), 20);
+}
+
+TEST(SyntheticTest, DeterministicAcrossThreadCounts) {
+  SyntheticSpec spec;
+  spec.dim = 16;
+  spec.num_base = 2000;
+  spec.num_queries = 8;
+  spec.num_train_queries = 8;
+
+  SetDefaultThreadCount(1);
+  Dataset single = GenerateSynthetic(spec);
+  SetDefaultThreadCount(0);
+  Dataset multi = GenerateSynthetic(spec);
+  EXPECT_EQ(linalg::MaxAbsDifference(single.base, multi.base), 0.0);
+  EXPECT_EQ(linalg::MaxAbsDifference(single.queries, multi.queries), 0.0);
+}
+
+TEST(SyntheticTest, SeedChangesData) {
+  SyntheticSpec a;
+  a.dim = 8;
+  a.num_base = 100;
+  SyntheticSpec b = a;
+  b.seed = a.seed + 1;
+  Dataset da = GenerateSynthetic(a);
+  Dataset db = GenerateSynthetic(b);
+  EXPECT_GT(linalg::MaxAbsDifference(da.base, db.base), 1e-3);
+}
+
+TEST(SyntheticTest, NormalizeProducesUnitNorms) {
+  SyntheticSpec spec;
+  spec.dim = 32;
+  spec.num_base = 200;
+  spec.normalize = true;
+  Dataset ds = GenerateSynthetic(spec);
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    EXPECT_NEAR(simd::Norm2Sqr(ds.base.Row(i), 32), 1.0f, 1e-4f);
+  }
+}
+
+// The alpha calibration anchors from the paper (§VII Exp-1): PCA-32
+// explained variance ratios. Tolerances are loose — the anchors guide the
+// qualitative split between skewed (image) and flat (text) spectra.
+struct EvrAnchor {
+  const char* name;
+  double target;
+  double tolerance;
+};
+
+TEST(SyntheticTest, ProxySpectraMatchPaperAnchors) {
+  struct Case {
+    SyntheticSpec spec;
+    double target;
+    double tolerance;
+  };
+  const std::vector<Case> cases = {
+      {SiftProxySpec(), 0.82, 0.12},
+      {GistProxySpec(), 0.67, 0.12},
+      {Word2vecProxySpec(), 0.36, 0.12},
+      {GloveProxySpec(), 0.18, 0.10},
+  };
+  for (const Case& c : cases) {
+    SyntheticSpec spec = c.spec;
+    spec.num_base = 4000;  // keep the test fast
+    spec.num_queries = 4;
+    spec.num_train_queries = 4;
+    Dataset ds = GenerateSynthetic(spec);
+    linalg::PcaModel pca =
+        linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+    double evr = pca.ExplainedVarianceRatio(32);
+    EXPECT_NEAR(evr, c.target, c.tolerance)
+        << spec.name << " PCA-32 explained variance";
+  }
+}
+
+TEST(SyntheticTest, AllProxiesGenerate) {
+  for (SyntheticSpec spec : AllProxySpecs()) {
+    spec.num_base = 50;
+    spec.num_queries = 2;
+    spec.num_train_queries = 2;
+    Dataset ds = GenerateSynthetic(spec);
+    EXPECT_EQ(ds.base.rows(), 50) << spec.name;
+    EXPECT_EQ(ds.dim(), spec.dim) << spec.name;
+    // No NaNs.
+    for (int64_t i = 0; i < ds.base.size(); ++i)
+      ASSERT_TRUE(std::isfinite(ds.base.data()[i])) << spec.name;
+  }
+}
+
+TEST(SyntheticTest, OutOfDistributionQueriesAreFartherFromBase) {
+  SyntheticSpec spec;
+  spec.dim = 32;
+  spec.num_base = 1000;
+  spec.num_queries = 30;
+  spec.num_train_queries = 4;
+  spec.cluster_spread = 2.0;
+  Dataset ds = GenerateSynthetic(spec);
+  Matrix ood = GenerateOutOfDistributionQueries(spec, 30, 4.0, 999);
+
+  // Mean NN distance of OOD queries should exceed in-distribution queries.
+  auto mean_nn = [&](const Matrix& queries) {
+    double total = 0.0;
+    for (int64_t q = 0; q < queries.rows(); ++q) {
+      float best = 1e30f;
+      for (int64_t i = 0; i < ds.size(); ++i) {
+        best = std::min(best, simd::L2Sqr(ds.base.Row(i), queries.Row(q),
+                                          static_cast<std::size_t>(32)));
+      }
+      total += best;
+    }
+    return total / queries.rows();
+  };
+  EXPECT_GT(mean_nn(ood), 1.2 * mean_nn(ds.queries));
+}
+
+TEST(SyntheticTest, HigherAlphaMeansMoreSkew) {
+  SyntheticSpec flat;
+  flat.dim = 32;
+  flat.num_base = 3000;
+  flat.spectrum_alpha = 0.1;
+  SyntheticSpec skewed = flat;
+  skewed.spectrum_alpha = 1.5;
+  Dataset dflat = GenerateSynthetic(flat);
+  Dataset dskew = GenerateSynthetic(skewed);
+  linalg::PcaModel pflat =
+      linalg::PcaModel::Fit(dflat.base.data(), 3000, 32);
+  linalg::PcaModel pskew =
+      linalg::PcaModel::Fit(dskew.base.data(), 3000, 32);
+  EXPECT_GT(pskew.ExplainedVarianceRatio(4),
+            pflat.ExplainedVarianceRatio(4) + 0.1);
+}
+
+}  // namespace
+}  // namespace resinfer::data

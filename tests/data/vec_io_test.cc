@@ -1,0 +1,126 @@
+#include "data/vec_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace resinfer::data {
+namespace {
+
+class VecIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "resinfer_vec_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(VecIoTest, FvecsRoundTrip) {
+  linalg::Matrix original = testing::RandomMatrix(17, 9, 81);
+  std::string error;
+  ASSERT_TRUE(WriteFvecs(Path("a.fvecs"), original, &error)) << error;
+
+  linalg::Matrix loaded;
+  ASSERT_TRUE(ReadFvecs(Path("a.fvecs"), &loaded, &error)) << error;
+  ASSERT_EQ(loaded.rows(), 17);
+  ASSERT_EQ(loaded.cols(), 9);
+  EXPECT_EQ(linalg::MaxAbsDifference(original, loaded), 0.0);
+}
+
+TEST_F(VecIoTest, IvecsRoundTrip) {
+  std::vector<std::vector<int32_t>> rows = {{1, 2, 3}, {}, {7}};
+  std::string error;
+  ASSERT_TRUE(WriteIvecs(Path("a.ivecs"), rows, &error)) << error;
+  std::vector<std::vector<int32_t>> loaded;
+  ASSERT_TRUE(ReadIvecs(Path("a.ivecs"), &loaded, &error)) << error;
+  EXPECT_EQ(loaded, rows);
+}
+
+TEST_F(VecIoTest, BvecsWidensToFloat) {
+  // Hand-roll a bvecs file: 2 vectors of dim 3.
+  std::ofstream out(Path("a.bvecs"), std::ios::binary);
+  int32_t d = 3;
+  uint8_t v1[3] = {0, 128, 255};
+  uint8_t v2[3] = {1, 2, 3};
+  out.write(reinterpret_cast<char*>(&d), 4);
+  out.write(reinterpret_cast<char*>(v1), 3);
+  out.write(reinterpret_cast<char*>(&d), 4);
+  out.write(reinterpret_cast<char*>(v2), 3);
+  out.close();
+
+  linalg::Matrix loaded;
+  std::string error;
+  ASSERT_TRUE(ReadBvecs(Path("a.bvecs"), &loaded, &error)) << error;
+  ASSERT_EQ(loaded.rows(), 2);
+  ASSERT_EQ(loaded.cols(), 3);
+  EXPECT_FLOAT_EQ(loaded.At(0, 2), 255.0f);
+  EXPECT_FLOAT_EQ(loaded.At(1, 0), 1.0f);
+}
+
+TEST_F(VecIoTest, MissingFileFailsGracefully) {
+  linalg::Matrix out;
+  std::string error;
+  EXPECT_FALSE(ReadFvecs(Path("missing.fvecs"), &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(VecIoTest, TruncatedFileFails) {
+  // Write a valid file then chop bytes off the end.
+  linalg::Matrix original = testing::RandomMatrix(4, 8, 82);
+  std::string error;
+  ASSERT_TRUE(WriteFvecs(Path("t.fvecs"), original, &error));
+  std::filesystem::resize_file(Path("t.fvecs"),
+                               std::filesystem::file_size(Path("t.fvecs")) -
+                                   5);
+  linalg::Matrix out;
+  EXPECT_FALSE(ReadFvecs(Path("t.fvecs"), &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(VecIoTest, NegativeDimensionFails) {
+  std::ofstream out(Path("bad.fvecs"), std::ios::binary);
+  int32_t d = -3;
+  out.write(reinterpret_cast<char*>(&d), 4);
+  float payload[3] = {1, 2, 3};
+  out.write(reinterpret_cast<char*>(payload), 12);
+  out.close();
+  linalg::Matrix m;
+  std::string error;
+  EXPECT_FALSE(ReadFvecs(Path("bad.fvecs"), &m, &error));
+}
+
+TEST_F(VecIoTest, InconsistentDimensionFails) {
+  std::ofstream out(Path("mixed.fvecs"), std::ios::binary);
+  int32_t d1 = 2, d2 = 3;
+  float p2[2] = {1, 2};
+  float p3[3] = {1, 2, 3};
+  out.write(reinterpret_cast<char*>(&d1), 4);
+  out.write(reinterpret_cast<char*>(p2), 8);
+  out.write(reinterpret_cast<char*>(&d2), 4);
+  out.write(reinterpret_cast<char*>(p3), 12);
+  out.close();
+  linalg::Matrix m;
+  std::string error;
+  EXPECT_FALSE(ReadFvecs(Path("mixed.fvecs"), &m, &error));
+}
+
+TEST_F(VecIoTest, EmptyFileYieldsEmptyMatrix) {
+  std::ofstream out(Path("empty.fvecs"), std::ios::binary);
+  out.close();
+  linalg::Matrix m;
+  std::string error;
+  ASSERT_TRUE(ReadFvecs(Path("empty.fvecs"), &m, &error)) << error;
+  EXPECT_EQ(m.rows(), 0);
+}
+
+}  // namespace
+}  // namespace resinfer::data

@@ -1,0 +1,137 @@
+#include "index/batch.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "data/metrics.h"
+#include "test_util.h"
+
+namespace resinfer::index {
+namespace {
+
+struct BatchFixture {
+  data::Dataset ds = testing::SmallDataset(2500, 24, 0.8, 61, 64, 100);
+  HnswIndex hnsw;
+  IvfIndex ivf;
+
+  BatchFixture()
+      : hnsw([this] {
+          HnswOptions options;
+          options.ef_construction = 60;
+          return HnswIndex::Build(ds.base, options);
+        }()),
+        ivf(IvfIndex::Build(ds.base)) {}
+
+  ComputerFactory ExactFactory() {
+    return [this] {
+      return std::make_unique<FlatDistanceComputer>(ds.base.data(),
+                                                    ds.size(), 24);
+    };
+  }
+};
+
+BatchFixture& Fixture() {
+  static BatchFixture* fixture = new BatchFixture();
+  return *fixture;
+}
+
+TEST(BatchTest, FlatBatchMatchesGroundTruth) {
+  BatchFixture& f = Fixture();
+  FlatIndex flat(f.ds.base);
+  BatchResult batch =
+      BatchSearchFlat(flat, f.ExactFactory(), f.ds.queries, 10);
+  ASSERT_EQ(batch.results.size(), 64u);
+  std::vector<std::vector<int64_t>> truth =
+      data::BruteForceKnn(f.ds.base, f.ds.queries, 10);
+  EXPECT_DOUBLE_EQ(data::MeanRecallAtK(ResultIds(batch), truth, 10), 1.0);
+}
+
+TEST(BatchTest, ResultRowsAlignWithQueriesRegardlessOfThreadCount) {
+  // The atomic cursor hands queries to arbitrary workers; row q must still
+  // be the answer for query q.
+  BatchFixture& f = Fixture();
+  FlatIndex flat(f.ds.base);
+  BatchOptions serial;
+  serial.num_threads = 1;
+  BatchOptions parallel;
+  parallel.num_threads = 4;
+  BatchResult a = BatchSearchFlat(flat, f.ExactFactory(), f.ds.queries, 5,
+                                  serial);
+  BatchResult b = BatchSearchFlat(flat, f.ExactFactory(), f.ds.queries, 5,
+                                  parallel);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t q = 0; q < a.results.size(); ++q) {
+    ASSERT_EQ(a.results[q].size(), b.results[q].size());
+    for (std::size_t r = 0; r < a.results[q].size(); ++r) {
+      EXPECT_EQ(a.results[q][r].id, b.results[q][r].id);
+    }
+  }
+}
+
+TEST(BatchTest, HnswBatchReachesRecallFloor) {
+  BatchFixture& f = Fixture();
+  BatchResult batch = BatchSearchHnsw(f.hnsw, f.ExactFactory(),
+                                      f.ds.queries, 10, /*ef=*/100);
+  std::vector<std::vector<int64_t>> truth =
+      data::BruteForceKnn(f.ds.base, f.ds.queries, 10);
+  EXPECT_GE(data::MeanRecallAtK(ResultIds(batch), truth, 10), 0.9);
+}
+
+TEST(BatchTest, IvfBatchReachesRecallFloor) {
+  BatchFixture& f = Fixture();
+  BatchResult batch = BatchSearchIvf(f.ivf, f.ExactFactory(), f.ds.queries,
+                                     10, /*nprobe=*/8);
+  std::vector<std::vector<int64_t>> truth =
+      data::BruteForceKnn(f.ds.base, f.ds.queries, 10);
+  EXPECT_GE(data::MeanRecallAtK(ResultIds(batch), truth, 10), 0.8);
+}
+
+TEST(BatchTest, LatencyHistogramCoversEveryQuery) {
+  BatchFixture& f = Fixture();
+  BatchResult batch = BatchSearchHnsw(f.hnsw, f.ExactFactory(),
+                                      f.ds.queries, 10, /*ef=*/50);
+  EXPECT_EQ(batch.latency_seconds.count(), f.ds.queries.rows());
+  EXPECT_GT(batch.latency_seconds.max(), 0.0);
+  EXPECT_GT(batch.wall_seconds, 0.0);
+  EXPECT_GT(batch.Qps(), 0.0);
+}
+
+TEST(BatchTest, StatsAggregateAcrossWorkers) {
+  BatchFixture& f = Fixture();
+  BatchOptions options;
+  options.num_threads = 3;
+  BatchResult batch = BatchSearchFlat(FlatIndex(f.ds.base),
+                                      f.ExactFactory(), f.ds.queries, 10,
+                                      options);
+  // The exact computer counts one candidate per base point per query.
+  EXPECT_EQ(batch.stats.candidates,
+            f.ds.size() * f.ds.queries.rows());
+}
+
+TEST(BatchTest, EmptyQueriesReturnEmptyBatch) {
+  BatchFixture& f = Fixture();
+  linalg::Matrix none(0, 24);
+  BatchResult batch =
+      BatchSearchFlat(FlatIndex(f.ds.base), f.ExactFactory(), none, 10);
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.latency_seconds.count(), 0);
+  EXPECT_EQ(batch.Qps(), 0.0);
+}
+
+TEST(BatchTest, ThreadCountExceedingQueriesIsClamped) {
+  BatchFixture& f = Fixture();
+  linalg::Matrix two(2, 24);
+  std::copy(f.ds.queries.Row(0), f.ds.queries.Row(0) + 24, two.Row(0));
+  std::copy(f.ds.queries.Row(1), f.ds.queries.Row(1) + 24, two.Row(1));
+  BatchOptions options;
+  options.num_threads = 16;
+  BatchResult batch = BatchSearchFlat(FlatIndex(f.ds.base),
+                                      f.ExactFactory(), two, 3, options);
+  EXPECT_EQ(batch.results.size(), 2u);
+  EXPECT_EQ(batch.latency_seconds.count(), 2);
+}
+
+}  // namespace
+}  // namespace resinfer::index

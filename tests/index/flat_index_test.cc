@@ -1,0 +1,46 @@
+#include "index/flat_index.h"
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "test_util.h"
+
+namespace resinfer::index {
+namespace {
+
+TEST(FlatIndexTest, ExactComputerMatchesBruteForce) {
+  data::Dataset ds = testing::SmallDataset(800, 16, 1.0, 30, 8, 4);
+  FlatIndex index(ds.base);
+  FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    auto result = index.Search(computer, ds.queries.Row(q), 10);
+    auto truth = data::BruteForceKnnSingle(ds.base, ds.queries.Row(q), 10);
+    ASSERT_EQ(result.size(), truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(result[i].id, truth[i].id);
+      EXPECT_FLOAT_EQ(result[i].distance, truth[i].distance);
+    }
+  }
+}
+
+TEST(FlatIndexTest, StatsTracked) {
+  data::Dataset ds = testing::SmallDataset(300, 8, 1.0, 31, 2, 2);
+  FlatIndex index(ds.base);
+  FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  index.Search(computer, ds.queries.Row(0), 5);
+  EXPECT_EQ(computer.stats().candidates, 300);
+  EXPECT_EQ(computer.stats().pruned, 0);
+  EXPECT_EQ(computer.stats().exact_computations, 300);
+}
+
+TEST(FlatIndexTest, KLargerThanBaseClamps) {
+  data::Dataset ds = testing::SmallDataset(10, 8, 1.0, 32, 2, 2);
+  FlatIndex index(ds.base);
+  FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  auto result = index.Search(computer, ds.queries.Row(0), 50);
+  EXPECT_EQ(result.size(), 10u);
+}
+
+}  // namespace
+}  // namespace resinfer::index

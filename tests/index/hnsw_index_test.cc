@@ -1,0 +1,122 @@
+#include "index/hnsw_index.h"
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "data/metrics.h"
+#include "test_util.h"
+
+namespace resinfer::index {
+namespace {
+
+HnswOptions SmallOptions() {
+  HnswOptions options;
+  options.M = 8;
+  options.ef_construction = 60;
+  return options;
+}
+
+double HnswRecall(const data::Dataset& ds, const HnswIndex& index, int k,
+                  int ef) {
+  FlatDistanceComputer computer(ds.base.data(), ds.base.rows(),
+                                ds.base.cols());
+  auto truth = data::BruteForceKnn(ds.base, ds.queries, k);
+  std::vector<std::vector<int64_t>> results;
+  HnswScratch scratch;
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    auto found = index.Search(computer, ds.queries.Row(q), k, ef, &scratch);
+    std::vector<int64_t> ids;
+    for (const auto& nb : found) ids.push_back(nb.id);
+    results.push_back(std::move(ids));
+  }
+  return data::MeanRecallAtK(results, truth, k);
+}
+
+TEST(HnswIndexTest, HighRecallWithLargeEf) {
+  data::Dataset ds = testing::SmallDataset(3000, 24, 1.0, 50, 16, 4);
+  HnswIndex index = HnswIndex::Build(ds.base, SmallOptions());
+  EXPECT_GT(HnswRecall(ds, index, 10, 128), 0.95);
+}
+
+TEST(HnswIndexTest, RecallGrowsWithEf) {
+  data::Dataset ds = testing::SmallDataset(3000, 24, 1.0, 51, 16, 4);
+  HnswIndex index = HnswIndex::Build(ds.base, SmallOptions());
+  double lo = HnswRecall(ds, index, 10, 10);
+  double hi = HnswRecall(ds, index, 10, 200);
+  EXPECT_GE(hi, lo - 0.02);
+  EXPECT_GT(hi, 0.97);
+}
+
+TEST(HnswIndexTest, DegreeBounds) {
+  data::Dataset ds = testing::SmallDataset(1500, 16, 1.0, 52, 4, 2);
+  HnswOptions options = SmallOptions();
+  HnswIndex index = HnswIndex::Build(ds.base, options);
+  for (int64_t i = 0; i < index.size(); ++i) {
+    int count = 0;
+    index.NeighborsAtBase(i, &count);
+    EXPECT_LE(count, 2 * options.M);
+    EXPECT_GE(count, 0);
+  }
+}
+
+TEST(HnswIndexTest, GraphIsReasonablyConnected) {
+  data::Dataset ds = testing::SmallDataset(1000, 16, 1.0, 53, 4, 2);
+  HnswIndex index = HnswIndex::Build(ds.base, SmallOptions());
+  // Every node except possibly a handful should have at least one link.
+  int isolated = 0;
+  for (int64_t i = 0; i < index.size(); ++i) {
+    int count = 0;
+    index.NeighborsAtBase(i, &count);
+    if (count == 0) ++isolated;
+  }
+  EXPECT_LE(isolated, 1);  // only the very first insert could be isolated
+}
+
+TEST(HnswIndexTest, SingleAndTinyDatasets) {
+  data::Dataset ds = testing::SmallDataset(3, 8, 1.0, 54, 2, 2);
+  HnswIndex index = HnswIndex::Build(ds.base, SmallOptions());
+  FlatDistanceComputer computer(ds.base.data(), 3, 8);
+  auto result = index.Search(computer, ds.queries.Row(0), 3, 10);
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(HnswIndexTest, ResultsAscendAndExact) {
+  data::Dataset ds = testing::SmallDataset(800, 16, 1.0, 55, 4, 2);
+  HnswIndex index = HnswIndex::Build(ds.base, SmallOptions());
+  FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  auto result = index.Search(computer, ds.queries.Row(1), 10, 64);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+  // Distances must be exact.
+  for (const auto& nb : result) {
+    EXPECT_FLOAT_EQ(nb.distance,
+                    data::ExactL2Sqr(ds.base, nb.id, ds.queries.Row(1)));
+  }
+}
+
+TEST(HnswIndexTest, ScratchReuseAcrossQueriesIsSafe) {
+  data::Dataset ds = testing::SmallDataset(500, 16, 1.0, 56, 8, 2);
+  HnswIndex index = HnswIndex::Build(ds.base, SmallOptions());
+  FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  HnswScratch scratch;
+  std::vector<Neighbor> first, repeat;
+  first = index.Search(computer, ds.queries.Row(0), 5, 32, &scratch);
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    index.Search(computer, ds.queries.Row(q), 5, 32, &scratch);
+  }
+  repeat = index.Search(computer, ds.queries.Row(0), 5, 32, &scratch);
+  ASSERT_EQ(first.size(), repeat.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, repeat[i].id);
+  }
+}
+
+TEST(HnswIndexTest, GraphBytesPositive) {
+  data::Dataset ds = testing::SmallDataset(200, 8, 1.0, 57, 2, 2);
+  HnswIndex index = HnswIndex::Build(ds.base, SmallOptions());
+  EXPECT_GT(index.GraphBytes(), 0);
+}
+
+}  // namespace
+}  // namespace resinfer::index

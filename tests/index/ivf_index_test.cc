@@ -1,0 +1,95 @@
+#include "index/ivf_index.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "data/metrics.h"
+#include "test_util.h"
+
+namespace resinfer::index {
+namespace {
+
+IvfOptions SmallOptions() {
+  IvfOptions options;
+  options.num_clusters = 32;
+  return options;
+}
+
+TEST(IvfIndexTest, BucketsPartitionTheBase) {
+  data::Dataset ds = testing::SmallDataset(1000, 16, 1.0, 40, 8, 4);
+  IvfIndex index = IvfIndex::Build(ds.base, SmallOptions());
+  std::vector<int> seen(1000, 0);
+  int64_t total = 0;
+  for (const auto& bucket : index.buckets()) {
+    for (int64_t id : bucket) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, 1000);
+      ++seen[id];
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 1000);
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(IvfIndexTest, FullProbeEqualsBruteForce) {
+  data::Dataset ds = testing::SmallDataset(600, 16, 1.0, 41, 8, 4);
+  IvfIndex index = IvfIndex::Build(ds.base, SmallOptions());
+  FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    auto result = index.Search(computer, ds.queries.Row(q), 10,
+                               index.num_clusters());
+    auto truth = data::BruteForceKnnSingle(ds.base, ds.queries.Row(q), 10);
+    ASSERT_EQ(result.size(), truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(result[i].id, truth[i].id) << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(IvfIndexTest, RecallGrowsWithNprobe) {
+  data::Dataset ds = testing::SmallDataset(3000, 24, 1.0, 42, 16, 4);
+  IvfIndex index = IvfIndex::Build(ds.base, SmallOptions());
+  FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  auto truth = data::BruteForceKnn(ds.base, ds.queries, 10);
+
+  double prev_recall = -1.0;
+  for (int nprobe : {1, 4, 32}) {
+    std::vector<std::vector<int64_t>> results;
+    for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+      auto found = index.Search(computer, ds.queries.Row(q), 10, nprobe);
+      std::vector<int64_t> ids;
+      for (const auto& nb : found) ids.push_back(nb.id);
+      results.push_back(std::move(ids));
+    }
+    double recall = data::MeanRecallAtK(results, truth, 10);
+    EXPECT_GE(recall, prev_recall - 0.05)
+        << "recall should not collapse as nprobe grows";
+    prev_recall = recall;
+  }
+  EXPECT_GT(prev_recall, 0.999);  // full probe is exact
+}
+
+TEST(IvfIndexTest, ClusterCapRespectsMinPoints) {
+  data::Dataset ds = testing::SmallDataset(64, 8, 1.0, 43, 2, 2);
+  IvfOptions options;
+  options.num_clusters = 4096;
+  options.min_points_per_cluster = 8;
+  IvfIndex index = IvfIndex::Build(ds.base, options);
+  EXPECT_LE(index.num_clusters(), 8);  // 64 / 8
+}
+
+TEST(IvfIndexTest, ResultsAscendByDistance) {
+  data::Dataset ds = testing::SmallDataset(500, 8, 1.0, 44, 4, 2);
+  IvfIndex index = IvfIndex::Build(ds.base, SmallOptions());
+  FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  auto result = index.Search(computer, ds.queries.Row(0), 20, 8);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+}
+
+}  // namespace
+}  // namespace resinfer::index

@@ -1,0 +1,261 @@
+// End-to-end integration: the full pipeline of the paper on one synthetic
+// dataset — generate data, build both index types, train every method, and
+// verify that (a) recall stays near the exact baseline and (b) the DDC
+// methods actually reduce work (pruning / scanned dimensions).
+#include <gtest/gtest.h>
+
+#include "resinfer/resinfer.h"
+#include "test_util.h"
+
+namespace resinfer {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticSpec spec;
+    spec.name = "e2e";
+    spec.dim = 64;
+    spec.num_base = 6000;
+    spec.num_queries = 24;
+    spec.num_train_queries = 150;
+    spec.spectrum_alpha = 1.1;
+    // Many moderate clusters: a handful of far-apart clusters makes the
+    // residual error distribution far more multimodal (heavier-tailed)
+    // than any of the paper's real datasets, which is exactly the regime
+    // §IV-C's Gaussian bound is not meant for.
+    spec.num_clusters = 64;
+    spec.cluster_spread = 1.0;
+    spec.seed = 7777;
+    dataset_ = new data::Dataset(data::GenerateSynthetic(spec));
+
+    core::FactoryOptions options;
+    options.ddc_res.init_dim = 16;
+    options.ddc_res.delta_dim = 16;
+    options.ddc_pca.init_dim = 16;
+    options.ddc_pca.delta_dim = 24;
+    options.ddc_pca.training.max_queries = 100;
+    options.ddc_pca.training.k = 20;
+    options.ddc_opq.opq.pq.num_subspaces = 16;
+    options.ddc_opq.opq.pq.nbits = 6;
+    options.ddc_opq.opq.num_iterations = 2;
+    options.ddc_opq.training.max_queries = 100;
+    options.ddc_opq.training.k = 20;
+    factory_ = new core::MethodFactory(dataset_, options);
+
+    index::HnswOptions hnsw;
+    hnsw.M = 12;
+    hnsw.ef_construction = 80;
+    hnsw_ = new index::HnswIndex(index::HnswIndex::Build(dataset_->base,
+                                                         hnsw));
+    index::IvfOptions ivf;
+    ivf.num_clusters = 48;
+    ivf_ = new index::IvfIndex(index::IvfIndex::Build(dataset_->base, ivf));
+
+    truth_ = new std::vector<std::vector<int64_t>>(
+        data::BruteForceKnn(dataset_->base, dataset_->queries, 20));
+  }
+
+  static void TearDownTestSuite() {
+    delete truth_;
+    delete ivf_;
+    delete hnsw_;
+    delete factory_;
+    delete dataset_;
+  }
+
+  double HnswRecall(index::DistanceComputer& computer, int ef) {
+    std::vector<std::vector<int64_t>> results;
+    index::HnswScratch scratch;
+    for (int64_t q = 0; q < dataset_->queries.rows(); ++q) {
+      auto found =
+          hnsw_->Search(computer, dataset_->queries.Row(q), 20, ef, &scratch);
+      std::vector<int64_t> ids;
+      for (const auto& nb : found) ids.push_back(nb.id);
+      results.push_back(std::move(ids));
+    }
+    return data::MeanRecallAtK(results, *truth_, 20);
+  }
+
+  double IvfRecall(index::DistanceComputer& computer, int nprobe) {
+    std::vector<std::vector<int64_t>> results;
+    for (int64_t q = 0; q < dataset_->queries.rows(); ++q) {
+      auto found =
+          ivf_->Search(computer, dataset_->queries.Row(q), 20, nprobe);
+      std::vector<int64_t> ids;
+      for (const auto& nb : found) ids.push_back(nb.id);
+      results.push_back(std::move(ids));
+    }
+    return data::MeanRecallAtK(results, *truth_, 20);
+  }
+
+  static data::Dataset* dataset_;
+  static core::MethodFactory* factory_;
+  static index::HnswIndex* hnsw_;
+  static index::IvfIndex* ivf_;
+  static std::vector<std::vector<int64_t>>* truth_;
+};
+
+data::Dataset* EndToEndTest::dataset_ = nullptr;
+core::MethodFactory* EndToEndTest::factory_ = nullptr;
+index::HnswIndex* EndToEndTest::hnsw_ = nullptr;
+index::IvfIndex* EndToEndTest::ivf_ = nullptr;
+std::vector<std::vector<int64_t>>* EndToEndTest::truth_ = nullptr;
+
+TEST_F(EndToEndTest, HnswRecallPerMethodTracksExact) {
+  auto exact = factory_->Make(core::kMethodExact);
+  double exact_recall = HnswRecall(*exact, 128);
+  ASSERT_GT(exact_recall, 0.9);
+
+  for (const std::string name :
+       {core::kMethodAdSampling, core::kMethodDdcRes, core::kMethodDdcPca,
+        core::kMethodDdcOpq}) {
+    auto computer = factory_->Make(name);
+    double recall = HnswRecall(*computer, 128);
+    EXPECT_GT(recall, exact_recall - 0.05) << name;
+  }
+}
+
+TEST_F(EndToEndTest, IvfRecallPerMethodTracksExact) {
+  auto exact = factory_->Make(core::kMethodExact);
+  double exact_recall = IvfRecall(*exact, 12);
+  ASSERT_GT(exact_recall, 0.85);
+
+  for (const std::string name :
+       {core::kMethodAdSampling, core::kMethodDdcRes, core::kMethodDdcPca,
+        core::kMethodDdcOpq}) {
+    auto computer = factory_->Make(name);
+    double recall = IvfRecall(*computer, 12);
+    EXPECT_GT(recall, exact_recall - 0.05) << name;
+  }
+}
+
+TEST_F(EndToEndTest, DdcResScansFewerDimsThanAdSampling) {
+  // The paper's Exp-6 headline: DDCres scans a much smaller fraction of
+  // dimensions than ADSampling at equal search settings.
+  auto ads = factory_->Make(core::kMethodAdSampling);
+  auto res = factory_->Make(core::kMethodDdcRes);
+  IvfRecall(*ads, 12);
+  IvfRecall(*res, 12);
+  double ads_scan = ads->stats().ScanRate(dataset_->dim());
+  double res_scan = res->stats().ScanRate(dataset_->dim());
+  EXPECT_LT(res_scan, ads_scan);
+}
+
+TEST_F(EndToEndTest, DdcOpqPrunesMostCandidates) {
+  auto opq = factory_->Make(core::kMethodDdcOpq);
+  IvfRecall(*opq, 12);
+  EXPECT_GT(opq->stats().PrunedRate(), 0.5);
+}
+
+TEST_F(EndToEndTest, PreprocessingCostsReported) {
+  // Trigger all artifact builds, then check cost accounting.
+  factory_->Make(core::kMethodDdcRes);
+  factory_->Make(core::kMethodDdcPca);
+  factory_->Make(core::kMethodDdcOpq);
+  const core::PreprocessCosts& costs = factory_->costs();
+  EXPECT_GT(costs.pca_seconds, 0.0);
+  EXPECT_GT(costs.ddc_pca_train_seconds, 0.0);
+  EXPECT_GT(costs.opq_seconds, 0.0);
+  EXPECT_GT(costs.ddc_res_bytes, 0);
+}
+
+TEST_F(EndToEndTest, GenericBackendsWorkInsideIvf) {
+  // The §V generality plug-in must behave like the built-in methods inside
+  // the IVF refinement loop: recall near exact, real pruning.
+  quant::RqOptions rq_options;
+  rq_options.num_stages = 4;
+  rq_options.nbits = 6;
+  core::RqEstimatorData rq =
+      core::BuildRqEstimatorData(dataset_->base, rq_options);
+  core::TrainingDataOptions training;
+  training.max_queries = 100;
+  training.k = 20;
+  core::RqAdcEstimator trainer(&rq);
+  core::LinearCorrector corrector = core::TrainAnyCorrector(
+      trainer, dataset_->base, dataset_->train_queries, training);
+
+  core::DdcAnyComputer computer(
+      &dataset_->base, std::make_unique<core::RqAdcEstimator>(&rq),
+      &corrector);
+  auto exact = factory_->Make(core::kMethodExact);
+  const double exact_recall = IvfRecall(*exact, 12);
+  const double any_recall = IvfRecall(computer, 12);
+  EXPECT_GE(any_recall, exact_recall - 0.03);
+  EXPECT_GT(computer.stats().PrunedRate(), 0.3);
+}
+
+TEST_F(EndToEndTest, RqCascadeWorksInsideIvf) {
+  core::DdcRqCascadeOptions options;
+  options.rq.nbits = 6;
+  options.levels = {2, 4};
+  options.training.max_queries = 100;
+  options.training.k = 20;
+  core::DdcRqCascadeArtifacts artifacts = core::TrainDdcRqCascade(
+      dataset_->base, dataset_->train_queries, options);
+  core::DdcRqCascadeComputer computer(&dataset_->base, &artifacts);
+  auto exact = factory_->Make(core::kMethodExact);
+  const double exact_recall = IvfRecall(*exact, 12);
+  const double cascade_recall = IvfRecall(computer, 12);
+  EXPECT_GE(cascade_recall, exact_recall - 0.03);
+  EXPECT_GT(computer.stats().PrunedRate(), 0.3);
+}
+
+TEST_F(EndToEndTest, BatchSearchIsDeterministicAcrossThreadCounts) {
+  // A learned method behind the batch runner must return identical result
+  // lists no matter how many workers execute the queries.
+  index::BatchOptions one;
+  one.num_threads = 1;
+  index::BatchOptions four;
+  four.num_threads = 4;
+  auto factory_fn = [this] { return factory_->Make(core::kMethodDdcRes); };
+  index::BatchResult a = index::BatchSearchHnsw(
+      *hnsw_, factory_fn, dataset_->queries, 20, 80, one);
+  index::BatchResult b = index::BatchSearchHnsw(
+      *hnsw_, factory_fn, dataset_->queries, 20, 80, four);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t q = 0; q < a.results.size(); ++q) {
+    ASSERT_EQ(a.results[q].size(), b.results[q].size());
+    for (std::size_t r = 0; r < a.results[q].size(); ++r) {
+      EXPECT_EQ(a.results[q][r].id, b.results[q][r].id);
+    }
+  }
+}
+
+TEST_F(EndToEndTest, MipsReductionServedByDdcRes) {
+  // Inner-product search through the §II-A augmentation, indexed by HNSW
+  // and accelerated by DDCres trained on the augmented space.
+  data::MipsTransform mips = data::MipsTransform::Fit(dataset_->base);
+  linalg::Matrix items = mips.TransformBase(dataset_->base);
+  linalg::Matrix users = mips.TransformQueries(dataset_->queries);
+
+  data::Dataset augmented;
+  augmented.name = "e2e-mips";
+  augmented.base = items.Clone();
+  augmented.queries = users.Clone();
+  augmented.train_queries =
+      mips.TransformQueries(dataset_->train_queries);
+  core::MethodFactory factory(&augmented);
+  auto ddc = factory.Make(core::kMethodDdcRes);
+
+  index::HnswOptions hnsw_options;
+  hnsw_options.ef_construction = 80;
+  index::HnswIndex hnsw = index::HnswIndex::Build(augmented.base,
+                                                  hnsw_options);
+  double recall_sum = 0.0;
+  for (int64_t u = 0; u < augmented.queries.rows(); ++u) {
+    std::vector<data::Neighbor> exact_top = data::TopKByInnerProduct(
+        dataset_->base, dataset_->queries.Row(u), 10);
+    std::vector<int64_t> truth;
+    for (const auto& nb : exact_top) truth.push_back(nb.id);
+    auto found = hnsw.Search(*ddc, augmented.queries.Row(u), 10, 100);
+    std::vector<int64_t> ids;
+    for (const auto& nb : found) ids.push_back(nb.id);
+    recall_sum += data::RecallAtK(ids, truth, 10);
+  }
+  EXPECT_GE(recall_sum / static_cast<double>(augmented.queries.rows()),
+            0.85);
+}
+
+}  // namespace
+}  // namespace resinfer

@@ -1,0 +1,57 @@
+#include "linalg/covariance.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace resinfer::linalg {
+namespace {
+
+TEST(CovarianceTest, KnownSmallSample) {
+  // Points: (0,0), (2,0), (0,2), (2,2) -> mean (1,1),
+  // cov = [[1,0],[0,1]] (population).
+  float data[] = {0, 0, 2, 0, 0, 2, 2, 2};
+  MeanCovariance mc = ComputeMeanCovariance(data, 4, 2);
+  EXPECT_FLOAT_EQ(mc.mean[0], 1.0f);
+  EXPECT_FLOAT_EQ(mc.mean[1], 1.0f);
+  EXPECT_NEAR(mc.covariance.At(0, 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(mc.covariance.At(1, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(mc.covariance.At(0, 1), 0.0f, 1e-6f);
+}
+
+TEST(CovarianceTest, CorrelatedDimensions) {
+  // y = 2x exactly: cov(x,y) = 2 var(x), var(y) = 4 var(x).
+  Rng rng(70);
+  constexpr int64_t kN = 5000;
+  std::vector<float> data(kN * 2);
+  for (int64_t i = 0; i < kN; ++i) {
+    float x = static_cast<float>(rng.Gaussian());
+    data[i * 2] = x;
+    data[i * 2 + 1] = 2.0f * x;
+  }
+  MeanCovariance mc = ComputeMeanCovariance(data.data(), kN, 2);
+  float var_x = mc.covariance.At(0, 0);
+  EXPECT_NEAR(mc.covariance.At(0, 1), 2.0f * var_x, 0.02f);
+  EXPECT_NEAR(mc.covariance.At(1, 1), 4.0f * var_x, 0.05f);
+}
+
+TEST(CovarianceTest, SymmetricOutput) {
+  linalg::Matrix data = testing::RandomMatrix(500, 12, 71);
+  MeanCovariance mc = ComputeMeanCovariance(data.data(), 500, 12);
+  for (int64_t i = 0; i < 12; ++i)
+    for (int64_t j = 0; j < 12; ++j)
+      EXPECT_EQ(mc.covariance.At(i, j), mc.covariance.At(j, i));
+}
+
+TEST(CovarianceTest, SingleRowHasZeroCovariance) {
+  float data[] = {1.0f, 2.0f, 3.0f};
+  MeanCovariance mc = ComputeMeanCovariance(data, 1, 3);
+  EXPECT_FLOAT_EQ(mc.mean[1], 2.0f);
+  for (int64_t i = 0; i < 3; ++i)
+    for (int64_t j = 0; j < 3; ++j)
+      EXPECT_EQ(mc.covariance.At(i, j), 0.0f);
+}
+
+}  // namespace
+}  // namespace resinfer::linalg

@@ -1,0 +1,111 @@
+#include "linalg/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace resinfer::linalg {
+namespace {
+
+// Checks A v_i = lambda_i v_i for every pair.
+void ExpectEigenPairsValid(const Matrix& a, const SymmetricEigenResult& eig,
+                           double tol) {
+  const int64_t n = a.rows();
+  std::vector<float> av(n);
+  for (int64_t i = 0; i < n; ++i) {
+    MatVec(a, eig.eigenvectors.Row(i), av.data());
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(av[j], eig.eigenvalues[i] * eig.eigenvectors.At(i, j), tol)
+          << "pair " << i << " component " << j;
+    }
+  }
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a.At(0, 0) = 1.0f;
+  a.At(1, 1) = 5.0f;
+  a.At(2, 2) = 3.0f;
+  SymmetricEigenResult eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 5.0, 1e-6);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-6);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-6);
+  ExpectEigenPairsValid(a, eig, 1e-5);
+}
+
+TEST(EigenTest, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 2;
+  SymmetricEigenResult eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-6);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-6);
+}
+
+TEST(EigenTest, OneByOne) {
+  Matrix a(1, 1);
+  a.At(0, 0) = -4.0f;
+  SymmetricEigenResult eig = SymmetricEigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], -4.0, 1e-9);
+  EXPECT_NEAR(std::abs(eig.eigenvectors.At(0, 0)), 1.0, 1e-9);
+}
+
+TEST(EigenTest, EigenvectorsOrthonormal) {
+  Matrix a = testing::RandomSymmetric(20, 31);
+  SymmetricEigenResult eig = SymmetricEigen(a);
+  for (int64_t i = 0; i < 20; ++i) {
+    for (int64_t j = i; j < 20; ++j) {
+      double dot = 0.0;
+      for (int64_t k = 0; k < 20; ++k)
+        dot += static_cast<double>(eig.eigenvectors.At(i, k)) *
+               eig.eigenvectors.At(j, k);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-5);
+    }
+  }
+}
+
+TEST(EigenTest, EigenvaluesSortedDescending) {
+  Matrix a = testing::RandomSymmetric(15, 32);
+  SymmetricEigenResult eig = SymmetricEigen(a);
+  for (std::size_t i = 1; i < eig.eigenvalues.size(); ++i) {
+    EXPECT_GE(eig.eigenvalues[i - 1], eig.eigenvalues[i]);
+  }
+}
+
+TEST(EigenTest, TraceAndReconstruction) {
+  Matrix a = testing::RandomSymmetric(12, 33);
+  SymmetricEigenResult eig = SymmetricEigen(a);
+  double trace = 0.0, eigsum = 0.0;
+  for (int64_t i = 0; i < 12; ++i) trace += a.At(i, i);
+  for (double v : eig.eigenvalues) eigsum += v;
+  EXPECT_NEAR(trace, eigsum, 1e-4);
+  ExpectEigenPairsValid(a, eig, 2e-4);
+}
+
+// Property sweep over sizes, including repeated-eigenvalue cases.
+class EigenSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenSizeTest, RandomSymmetric) {
+  const int n = GetParam();
+  Matrix a = testing::RandomSymmetric(n, 100 + n);
+  SymmetricEigenResult eig = SymmetricEigen(a);
+  ExpectEigenPairsValid(a, eig, 5e-4 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST_P(EigenSizeTest, IdentityHasRepeatedUnitEigenvalues) {
+  const int n = GetParam();
+  Matrix id = Matrix::Identity(n);
+  SymmetricEigenResult eig = SymmetricEigen(id);
+  for (double v : eig.eigenvalues) EXPECT_NEAR(v, 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSizeTest,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64));
+
+}  // namespace
+}  // namespace resinfer::linalg

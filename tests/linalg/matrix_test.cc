@@ -1,0 +1,81 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace resinfer::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int64_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(MatrixTest, IdentityAndMatMul) {
+  Matrix a = testing::RandomMatrix(5, 5, 21);
+  Matrix id = Matrix::Identity(5);
+  Matrix left = MatMul(id, a);
+  Matrix right = MatMul(a, id);
+  EXPECT_LT(MaxAbsDifference(left, a), 1e-6);
+  EXPECT_LT(MaxAbsDifference(right, a), 1e-6);
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  Matrix c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(MatrixTest, MatMulBtEquivalentToExplicitTranspose) {
+  Matrix a = testing::RandomMatrix(7, 9, 22);
+  Matrix b = testing::RandomMatrix(5, 9, 23);
+  Matrix via_bt = MatMulBt(a, b);
+  Matrix via_mul = MatMul(a, b.Transposed());
+  EXPECT_LT(MaxAbsDifference(via_bt, via_mul), 1e-5);
+}
+
+TEST(MatrixTest, TransposedTwiceIsIdentity) {
+  Matrix a = testing::RandomMatrix(4, 6, 24);
+  Matrix t2 = a.Transposed().Transposed();
+  EXPECT_LT(MaxAbsDifference(a, t2), 0.0 + 1e-9);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix a(2, 3);
+  float av[] = {1, 2, 3, 4, 5, 6};
+  std::copy(av, av + 6, a.data());
+  float x[] = {1, 0, -1};
+  float out[2];
+  MatVec(a, x, out);
+  EXPECT_FLOAT_EQ(out[0], -2.0f);
+  EXPECT_FLOAT_EQ(out[1], -2.0f);
+}
+
+TEST(MatrixTest, CloneIsDeep) {
+  Matrix a = testing::RandomMatrix(3, 3, 25);
+  Matrix b = a.Clone();
+  b.At(0, 0) += 1.0f;
+  EXPECT_NE(a.At(0, 0), b.At(0, 0));
+}
+
+TEST(MatrixTest, FrobeniusDistance) {
+  Matrix a(2, 2), b(2, 2);
+  b.At(0, 0) = 3.0f;
+  b.At(1, 1) = 4.0f;
+  EXPECT_NEAR(a.FrobeniusDistance(b), 5.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace resinfer::linalg

@@ -1,0 +1,66 @@
+#include "linalg/orthogonal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "simd/kernels.h"
+#include "util/rng.h"
+
+namespace resinfer::linalg {
+namespace {
+
+class RandomOrthonormalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomOrthonormalTest, RowsOrthonormal) {
+  Rng rng(50 + GetParam());
+  Matrix r = RandomOrthonormal(GetParam(), rng);
+  EXPECT_LT(OrthonormalityError(r), 1e-5);
+}
+
+TEST_P(RandomOrthonormalTest, PreservesNorms) {
+  const int d = GetParam();
+  Rng rng(60);
+  Matrix r = RandomOrthonormal(d, rng);
+  std::vector<float> x(d), y(d);
+  for (auto& v : x) v = static_cast<float>(rng.Gaussian());
+  MatVec(r, x.data(), y.data());
+  float nx = simd::Norm2Sqr(x.data(), d);
+  float ny = simd::Norm2Sqr(y.data(), d);
+  EXPECT_NEAR(ny, nx, 1e-3f * (1.0f + nx));
+}
+
+TEST_P(RandomOrthonormalTest, PreservesDistances) {
+  const int d = GetParam();
+  Rng rng(61);
+  Matrix r = RandomOrthonormal(d, rng);
+  std::vector<float> a(d), b(d), ra(d), rb(d);
+  for (auto& v : a) v = static_cast<float>(rng.Gaussian());
+  for (auto& v : b) v = static_cast<float>(rng.Gaussian());
+  MatVec(r, a.data(), ra.data());
+  MatVec(r, b.data(), rb.data());
+  float orig = simd::L2Sqr(a.data(), b.data(), d);
+  float rot = simd::L2Sqr(ra.data(), rb.data(), d);
+  EXPECT_NEAR(rot, orig, 1e-3f * (1.0f + orig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RandomOrthonormalTest,
+                         ::testing::Values(1, 2, 4, 16, 33, 64, 128));
+
+TEST(RandomOrthonormalTest, DeterministicInSeed) {
+  Rng rng1(77), rng2(77);
+  Matrix a = RandomOrthonormal(16, rng1);
+  Matrix b = RandomOrthonormal(16, rng2);
+  EXPECT_EQ(MaxAbsDifference(a, b), 0.0);
+}
+
+TEST(RandomOrthonormalTest, DifferentSeedsDiffer) {
+  Rng rng1(1), rng2(2);
+  Matrix a = RandomOrthonormal(16, rng1);
+  Matrix b = RandomOrthonormal(16, rng2);
+  EXPECT_GT(MaxAbsDifference(a, b), 1e-3);
+}
+
+}  // namespace
+}  // namespace resinfer::linalg

@@ -1,0 +1,143 @@
+#include "linalg/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "linalg/covariance.h"
+#include "linalg/orthogonal.h"
+#include "simd/kernels.h"
+#include "test_util.h"
+
+namespace resinfer::linalg {
+namespace {
+
+data::Dataset MakeData() { return testing::SmallDataset(3000, 32, 1.0, 9); }
+
+TEST(PcaTest, RotationIsOrthonormal) {
+  data::Dataset ds = MakeData();
+  PcaModel pca = PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  EXPECT_LT(OrthonormalityError(pca.rotation()), 1e-3);
+}
+
+TEST(PcaTest, VariancesDescendAndNonNegative) {
+  data::Dataset ds = MakeData();
+  PcaModel pca = PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  const auto& v = pca.variances();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_GE(v[i], 0.0f);
+    if (i > 0) {
+      EXPECT_GE(v[i - 1], v[i] - 1e-5f);
+    }
+  }
+}
+
+TEST(PcaTest, SuffixVarianceConsistent) {
+  data::Dataset ds = MakeData();
+  PcaModel pca = PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  const auto& v = pca.variances();
+  const auto& suffix = pca.suffix_variance();
+  ASSERT_EQ(suffix.size(), v.size() + 1);
+  EXPECT_EQ(suffix.back(), 0.0f);
+  for (int64_t d = 0; d < pca.dim(); ++d) {
+    double manual = 0.0;
+    for (int64_t i = d; i < pca.dim(); ++i) manual += v[i];
+    EXPECT_NEAR(suffix[d], manual, 1e-3 * (1.0 + manual));
+  }
+}
+
+TEST(PcaTest, TransformPreservesPairwiseDistances) {
+  data::Dataset ds = MakeData();
+  PcaModel pca = PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  std::vector<float> ta(ds.dim()), tb(ds.dim());
+  for (int64_t i = 0; i < 10; ++i) {
+    const float* a = ds.base.Row(i);
+    const float* b = ds.base.Row(i + 100);
+    pca.Transform(a, ta.data());
+    pca.Transform(b, tb.data());
+    float orig = simd::L2Sqr(a, b, ds.dim());
+    float rot = simd::L2Sqr(ta.data(), tb.data(), ds.dim());
+    EXPECT_NEAR(rot, orig, 1e-3f * (1.0f + orig));
+  }
+}
+
+TEST(PcaTest, TransformedDataHasDiagonalCovariance) {
+  data::Dataset ds = MakeData();
+  PcaModel pca = PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  Matrix rotated = pca.TransformBatch(ds.base.data(), ds.size());
+  // First dimension variance should match the top eigenvalue and dominate.
+  const int64_t n = ds.size();
+  double var0 = 0.0, cov01 = 0.0, mean0 = 0.0, mean1 = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    mean0 += rotated.At(i, 0);
+    mean1 += rotated.At(i, 1);
+  }
+  mean0 /= n;
+  mean1 /= n;
+  for (int64_t i = 0; i < n; ++i) {
+    double c0 = rotated.At(i, 0) - mean0;
+    double c1 = rotated.At(i, 1) - mean1;
+    var0 += c0 * c0;
+    cov01 += c0 * c1;
+  }
+  var0 /= n;
+  cov01 /= n;
+  EXPECT_NEAR(var0, pca.variances()[0], 0.05 * pca.variances()[0]);
+  EXPECT_LT(std::abs(cov01), 0.05 * var0);  // decorrelated
+}
+
+TEST(PcaTest, ExplainedVarianceRatioMonotonic) {
+  data::Dataset ds = MakeData();
+  PcaModel pca = PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  double prev = 0.0;
+  for (int64_t k = 0; k <= pca.dim(); ++k) {
+    double evr = pca.ExplainedVarianceRatio(k);
+    EXPECT_GE(evr, prev - 1e-9);
+    prev = evr;
+  }
+  EXPECT_NEAR(pca.ExplainedVarianceRatio(pca.dim()), 1.0, 1e-6);
+  EXPECT_EQ(pca.ExplainedVarianceRatio(0), 0.0);
+}
+
+TEST(PcaTest, PcaBeatsArbitraryBasisOnSkewedData) {
+  // Theorem 1: the PCA basis captures at least as much top-k variance as
+  // the identity (or any other orthogonal) basis.
+  data::Dataset ds = testing::SmallDataset(3000, 24, 1.5, 10);
+  PcaModel pca = PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  // Variance captured by first 4 identity coordinates:
+  MeanCovariance mc =
+      ComputeMeanCovariance(ds.base.data(), ds.size(), ds.dim());
+  double id_top = 0.0, total = 0.0;
+  for (int64_t i = 0; i < ds.dim(); ++i) {
+    total += mc.covariance.At(i, i);
+    if (i < 4) id_top += mc.covariance.At(i, i);
+  }
+  double pca_top = pca.ExplainedVarianceRatio(4) * total;
+  EXPECT_GE(pca_top, id_top - 1e-3 * total);
+}
+
+TEST(PcaTest, SubsampledFitCloseToFullFit) {
+  data::Dataset ds = MakeData();
+  PcaModel full = PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  PcaOptions options;
+  options.max_train_rows = 500;
+  PcaModel sub = PcaModel::Fit(ds.base.data(), ds.size(), ds.dim(), options);
+  // Eigen-spectra should be close even from a 500-row sample.
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(sub.variances()[i], full.variances()[i],
+                0.25 * full.variances()[i] + 1e-3);
+  }
+}
+
+TEST(PcaTest, NoCenteringOption) {
+  data::Dataset ds = MakeData();
+  PcaOptions options;
+  options.center = false;
+  PcaModel pca =
+      PcaModel::Fit(ds.base.data(), ds.size(), ds.dim(), options);
+  for (float m : pca.mean()) EXPECT_EQ(m, 0.0f);
+}
+
+}  // namespace
+}  // namespace resinfer::linalg

@@ -1,0 +1,116 @@
+#include "linalg/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/orthogonal.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace resinfer::linalg {
+namespace {
+
+// ||A - U S V^T||_F should be tiny relative to ||A||_F.
+void ExpectReconstructs(const Matrix& a, const SvdResult& svd, double tol) {
+  const int64_t m = a.rows(), n = a.cols();
+  double err = 0.0, norm = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double rec = 0.0;
+      for (int64_t k = 0; k < n; ++k)
+        rec += static_cast<double>(svd.u.At(i, k)) * svd.singular_values[k] *
+               svd.v.At(j, k);
+      double d = rec - a.At(i, j);
+      err += d * d;
+      norm += static_cast<double>(a.At(i, j)) * a.At(i, j);
+    }
+  }
+  EXPECT_LT(std::sqrt(err), tol * (1.0 + std::sqrt(norm)));
+}
+
+void ExpectColumnsOrthonormal(const Matrix& u, double tol) {
+  for (int64_t i = 0; i < u.cols(); ++i) {
+    for (int64_t j = i; j < u.cols(); ++j) {
+      double dot = 0.0;
+      for (int64_t r = 0; r < u.rows(); ++r)
+        dot += static_cast<double>(u.At(r, i)) * u.At(r, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, tol);
+    }
+  }
+}
+
+TEST(SvdTest, SquareRandom) {
+  Matrix a = testing::RandomMatrix(12, 12, 41);
+  SvdResult svd = Svd(a);
+  ExpectReconstructs(a, svd, 1e-3);
+  ExpectColumnsOrthonormal(svd.u, 1e-4);
+  ExpectColumnsOrthonormal(svd.v, 1e-4);
+  for (std::size_t i = 1; i < svd.singular_values.size(); ++i)
+    EXPECT_GE(svd.singular_values[i - 1], svd.singular_values[i]);
+}
+
+TEST(SvdTest, TallRandom) {
+  Matrix a = testing::RandomMatrix(30, 8, 42);
+  SvdResult svd = Svd(a);
+  ExpectReconstructs(a, svd, 1e-3);
+  ExpectColumnsOrthonormal(svd.u, 1e-4);
+}
+
+TEST(SvdTest, RankDeficient) {
+  // Rank-1 matrix: outer product.
+  Matrix a(10, 4);
+  Rng rng(43);
+  std::vector<float> u(10), v(4);
+  for (auto& x : u) x = static_cast<float>(rng.Gaussian());
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+  for (int64_t i = 0; i < 10; ++i)
+    for (int64_t j = 0; j < 4; ++j) a.At(i, j) = u[i] * v[j];
+
+  SvdResult svd = Svd(a);
+  // One dominant singular value, the rest ~0; U still fully orthonormal
+  // thanks to basis completion.
+  EXPECT_GT(svd.singular_values[0], 1e-3);
+  for (std::size_t i = 1; i < svd.singular_values.size(); ++i)
+    EXPECT_LT(svd.singular_values[i], 1e-3 * svd.singular_values[0]);
+  ExpectColumnsOrthonormal(svd.u, 1e-4);
+  ExpectReconstructs(a, svd, 1e-3);
+}
+
+TEST(SvdTest, ProcrustesRecoversRotation) {
+  // M = R0 exactly: the closest orthogonal matrix to an orthogonal matrix
+  // is itself.
+  Rng rng(44);
+  Matrix r0 = RandomOrthonormal(10, rng);
+  Matrix recovered = ProcrustesRotation(r0);
+  EXPECT_LT(MaxAbsDifference(r0, recovered), 1e-3);
+}
+
+TEST(SvdTest, ProcrustesOutputIsOrthogonal) {
+  Matrix m = testing::RandomMatrix(9, 9, 45);
+  Matrix r = ProcrustesRotation(m);
+  EXPECT_LT(OrthonormalityError(r), 1e-4);
+}
+
+TEST(SvdTest, ProcrustesMaximizesTraceAgainstRandomRotations) {
+  // ProcrustesRotation maximizes trace(R^T M) (equivalently minimizes
+  // ||R - M||_F over orthogonal R).
+  Matrix m = testing::RandomMatrix(6, 6, 46);
+  Matrix best = ProcrustesRotation(m);
+  auto trace_rt_m = [&](const Matrix& r) {
+    double t = 0.0;
+    for (int64_t i = 0; i < 6; ++i)
+      for (int64_t k = 0; k < 6; ++k)
+        t += static_cast<double>(r.At(k, i)) * m.At(k, i);
+    return t;
+  };
+  double best_trace = trace_rt_m(best);
+  Rng rng(47);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix r = RandomOrthonormal(6, rng);
+    EXPECT_LE(trace_rt_m(r), best_trace + 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace resinfer::linalg

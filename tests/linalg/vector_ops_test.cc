@@ -1,0 +1,63 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "simd/kernels.h"
+
+namespace resinfer::linalg {
+namespace {
+
+TEST(VectorOpsTest, SubtractAdd) {
+  const float a[3] = {5, 7, 9};
+  const float b[3] = {1, 2, 3};
+  float out[3];
+  Subtract(a, b, out, 3);
+  EXPECT_FLOAT_EQ(out[0], 4);
+  EXPECT_FLOAT_EQ(out[1], 5);
+  EXPECT_FLOAT_EQ(out[2], 6);
+  Add(out, b, out, 3);
+  EXPECT_FLOAT_EQ(out[0], 5);
+  EXPECT_FLOAT_EQ(out[2], 9);
+}
+
+TEST(VectorOpsTest, NormalizeL2) {
+  float v[4] = {3, 0, 4, 0};
+  NormalizeL2(v, 4);
+  EXPECT_NEAR(simd::Norm2Sqr(v, 4), 1.0f, 1e-6f);
+  EXPECT_NEAR(v[0], 0.6f, 1e-6f);
+  EXPECT_NEAR(v[2], 0.8f, 1e-6f);
+}
+
+TEST(VectorOpsTest, NormalizeZeroVectorIsNoop) {
+  float v[3] = {0, 0, 0};
+  NormalizeL2(v, 3);
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(VectorOpsTest, MeanVar) {
+  MeanVar mv = ComputeMeanVar({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(mv.mean, 2.5);
+  EXPECT_DOUBLE_EQ(mv.variance, 1.25);
+  MeanVar empty = ComputeMeanVar({});
+  EXPECT_EQ(empty.mean, 0.0);
+  EXPECT_EQ(empty.variance, 0.0);
+}
+
+TEST(VectorOpsTest, EmpiricalQuantile) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(EmpiricalQuantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(EmpiricalQuantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(EmpiricalQuantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(EmpiricalQuantile({42.0}, 0.7), 42.0);
+}
+
+TEST(VectorOpsTest, DotDouble) {
+  const float a[2] = {1e8f, 1.0f};
+  const float b[2] = {1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(DotDouble(a, b, 2), 1e8 + 1.0);
+}
+
+}  // namespace
+}  // namespace resinfer::linalg

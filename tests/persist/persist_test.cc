@@ -1,0 +1,423 @@
+#include "persist/persist.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "test_util.h"
+
+namespace resinfer::persist {
+namespace {
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "resinfer_persist_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  // Chops `bytes` off the end of a file.
+  void Truncate(const std::string& path, int64_t bytes) {
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) - bytes);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PersistTest, MatrixRoundTrip) {
+  linalg::Matrix m = testing::RandomMatrix(13, 7, 301);
+  std::string error;
+  ASSERT_TRUE(SaveMatrix(Path("m.bin"), m, &error)) << error;
+  linalg::Matrix loaded;
+  ASSERT_TRUE(LoadMatrix(Path("m.bin"), &loaded, &error)) << error;
+  EXPECT_EQ(linalg::MaxAbsDifference(m, loaded), 0.0);
+}
+
+TEST_F(PersistTest, MatrixWrongMagicFails) {
+  linalg::Matrix m = testing::RandomMatrix(3, 3, 302);
+  std::string error;
+  ASSERT_TRUE(SavePca(Path("pca_as_matrix.bin"),
+                      linalg::PcaModel::Fit(m.data(), 3, 3), &error));
+  linalg::Matrix loaded;
+  EXPECT_FALSE(LoadMatrix(Path("pca_as_matrix.bin"), &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(PersistTest, PcaRoundTripPreservesTransforms) {
+  data::Dataset ds = testing::SmallDataset(1000, 24, 1.0, 303);
+  linalg::PcaModel pca =
+      linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  std::string error;
+  ASSERT_TRUE(SavePca(Path("pca.bin"), pca, &error)) << error;
+  linalg::PcaModel loaded;
+  ASSERT_TRUE(LoadPca(Path("pca.bin"), &loaded, &error)) << error;
+
+  std::vector<float> a(ds.dim()), b(ds.dim());
+  for (int64_t i = 0; i < 10; ++i) {
+    pca.Transform(ds.base.Row(i), a.data());
+    loaded.Transform(ds.base.Row(i), b.data());
+    for (int64_t j = 0; j < ds.dim(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+  EXPECT_EQ(pca.suffix_variance(), loaded.suffix_variance());
+}
+
+TEST_F(PersistTest, PqRoundTripPreservesCodesAndAdc) {
+  data::Dataset ds = testing::SmallDataset(1500, 16, 1.0, 304);
+  quant::PqOptions options;
+  options.num_subspaces = 4;
+  options.nbits = 5;
+  quant::PqCodebook pq =
+      quant::PqCodebook::Train(ds.base.data(), ds.size(), 16, options);
+  std::string error;
+  ASSERT_TRUE(SavePq(Path("pq.bin"), pq, &error)) << error;
+  quant::PqCodebook loaded;
+  ASSERT_TRUE(LoadPq(Path("pq.bin"), &loaded, &error)) << error;
+
+  EXPECT_EQ(loaded.dim(), pq.dim());
+  EXPECT_EQ(loaded.num_subspaces(), pq.num_subspaces());
+  std::vector<uint8_t> c1(pq.code_size()), c2(pq.code_size());
+  std::vector<float> t1(pq.adc_table_size()), t2(pq.adc_table_size());
+  for (int64_t i = 0; i < 20; ++i) {
+    pq.Encode(ds.base.Row(i), c1.data());
+    loaded.Encode(ds.base.Row(i), c2.data());
+    EXPECT_EQ(c1, c2);
+  }
+  pq.ComputeAdcTable(ds.queries.Row(0), t1.data());
+  loaded.ComputeAdcTable(ds.queries.Row(0), t2.data());
+  EXPECT_EQ(t1, t2);
+}
+
+TEST_F(PersistTest, OpqRoundTrip) {
+  data::Dataset ds = testing::SmallDataset(1200, 16, 1.0, 305);
+  quant::OpqOptions options;
+  options.pq.num_subspaces = 4;
+  options.pq.nbits = 5;
+  options.num_iterations = 2;
+  quant::OpqModel opq =
+      quant::OpqModel::Train(ds.base.data(), ds.size(), 16, options);
+  std::string error;
+  ASSERT_TRUE(SaveOpq(Path("opq.bin"), opq, &error)) << error;
+  quant::OpqModel loaded;
+  ASSERT_TRUE(LoadOpq(Path("opq.bin"), &loaded, &error)) << error;
+  EXPECT_EQ(linalg::MaxAbsDifference(opq.rotation(), loaded.rotation()), 0.0);
+}
+
+TEST_F(PersistTest, HnswRoundTripIdenticalSearch) {
+  data::Dataset ds = testing::SmallDataset(2000, 24, 1.0, 306, 16, 4);
+  index::HnswOptions options;
+  options.M = 8;
+  options.ef_construction = 60;
+  index::HnswIndex hnsw = index::HnswIndex::Build(ds.base, options);
+  std::string error;
+  ASSERT_TRUE(SaveHnsw(Path("hnsw.bin"), hnsw, &error)) << error;
+  index::HnswIndex loaded;
+  ASSERT_TRUE(LoadHnsw(Path("hnsw.bin"), &loaded, &error)) << error;
+
+  EXPECT_EQ(loaded.size(), hnsw.size());
+  EXPECT_EQ(loaded.max_level(), hnsw.max_level());
+  EXPECT_EQ(loaded.entry_point(), hnsw.entry_point());
+
+  index::FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    auto a = hnsw.Search(computer, ds.queries.Row(q), 10, 64);
+    auto b = loaded.Search(computer, ds.queries.Row(q), 10, 64);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
+TEST_F(PersistTest, HnswTruncatedFails) {
+  data::Dataset ds = testing::SmallDataset(500, 8, 1.0, 307, 2, 2);
+  index::HnswOptions options;
+  options.M = 8;
+  options.ef_construction = 40;
+  index::HnswIndex hnsw = index::HnswIndex::Build(ds.base, options);
+  std::string error;
+  ASSERT_TRUE(SaveHnsw(Path("hnsw_t.bin"), hnsw, &error));
+  Truncate(Path("hnsw_t.bin"), 64);
+  index::HnswIndex loaded;
+  EXPECT_FALSE(LoadHnsw(Path("hnsw_t.bin"), &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(PersistTest, IvfRoundTripIdenticalSearch) {
+  data::Dataset ds = testing::SmallDataset(1500, 16, 1.0, 308, 8, 2);
+  index::IvfOptions options;
+  options.num_clusters = 24;
+  index::IvfIndex ivf = index::IvfIndex::Build(ds.base, options);
+  std::string error;
+  ASSERT_TRUE(SaveIvf(Path("ivf.bin"), ivf, &error)) << error;
+  index::IvfIndex loaded;
+  ASSERT_TRUE(LoadIvf(Path("ivf.bin"), &loaded, &error)) << error;
+
+  index::FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    auto a = ivf.Search(computer, ds.queries.Row(q), 10, 6);
+    auto b = loaded.Search(computer, ds.queries.Row(q), 10, 6);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+  }
+}
+
+TEST_F(PersistTest, IvfCorruptBucketIdFails) {
+  // Hand-corrupt a bucket id beyond the base size.
+  data::Dataset ds = testing::SmallDataset(100, 8, 1.0, 309, 2, 2);
+  index::IvfOptions options;
+  options.num_clusters = 4;
+  index::IvfIndex ivf = index::IvfIndex::Build(ds.base, options);
+  std::string error;
+  ASSERT_TRUE(SaveIvf(Path("ivf_c.bin"), ivf, &error));
+  // Flip high bytes near the end of the file (inside bucket payloads).
+  {
+    std::fstream f(Path("ivf_c.bin"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-12, std::ios::end);
+    int64_t bogus = 1 << 30;
+    f.write(reinterpret_cast<char*>(&bogus), sizeof(bogus));
+  }
+  index::IvfIndex loaded;
+  EXPECT_FALSE(LoadIvf(Path("ivf_c.bin"), &loaded, &error));
+}
+
+TEST_F(PersistTest, DdcArtifactsRoundTripIdenticalDecisions) {
+  data::Dataset ds = testing::SmallDataset(2000, 32, 1.0, 310, 8, 100);
+  linalg::PcaModel pca =
+      linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  linalg::Matrix rotated = pca.TransformBatch(ds.base.data(), ds.size());
+  core::DdcPcaOptions pca_options;
+  pca_options.init_dim = 8;
+  pca_options.delta_dim = 16;
+  pca_options.training.max_queries = 60;
+  core::DdcPcaArtifacts artifacts = core::TrainDdcPca(
+      pca, rotated, ds.base, ds.train_queries, pca_options);
+
+  std::string error;
+  ASSERT_TRUE(SaveDdcPcaArtifacts(Path("dpca.bin"), artifacts, &error))
+      << error;
+  core::DdcPcaArtifacts loaded;
+  ASSERT_TRUE(LoadDdcPcaArtifacts(Path("dpca.bin"), &loaded, &error))
+      << error;
+  ASSERT_EQ(loaded.stage_dims, artifacts.stage_dims);
+  for (std::size_t s = 0; s < loaded.correctors.size(); ++s) {
+    EXPECT_EQ(loaded.correctors[s].w_approx(),
+              artifacts.correctors[s].w_approx());
+    EXPECT_EQ(loaded.correctors[s].bias(), artifacts.correctors[s].bias());
+  }
+
+  // Decisions must be bit-identical through a computer.
+  core::DdcPcaComputer original(&pca, &rotated, &artifacts);
+  core::DdcPcaComputer restored(&pca, &rotated, &loaded);
+  original.BeginQuery(ds.queries.Row(0));
+  restored.BeginQuery(ds.queries.Row(0));
+  for (int64_t i = 0; i < 200; ++i) {
+    auto a = original.EstimateWithThreshold(i, 5.0f);
+    auto b = restored.EstimateWithThreshold(i, 5.0f);
+    EXPECT_EQ(a.pruned, b.pruned);
+    EXPECT_EQ(a.distance, b.distance);
+  }
+}
+
+TEST_F(PersistTest, DdcOpqArtifactsRoundTrip) {
+  data::Dataset ds = testing::SmallDataset(1500, 16, 1.0, 311, 8, 100);
+  core::DdcOpqOptions options;
+  options.opq.pq.num_subspaces = 4;
+  options.opq.pq.nbits = 5;
+  options.opq.num_iterations = 2;
+  options.training.max_queries = 60;
+  core::DdcOpqArtifacts artifacts =
+      core::TrainDdcOpq(ds.base, ds.train_queries, options);
+
+  std::string error;
+  ASSERT_TRUE(SaveDdcOpqArtifacts(Path("dopq.bin"), artifacts, &error))
+      << error;
+  core::DdcOpqArtifacts loaded;
+  ASSERT_TRUE(LoadDdcOpqArtifacts(Path("dopq.bin"), &loaded, &error))
+      << error;
+  EXPECT_EQ(loaded.codes, artifacts.codes);
+  EXPECT_EQ(loaded.recon_errors, artifacts.recon_errors);
+
+  core::DdcOpqComputer original(&ds.base, &artifacts);
+  core::DdcOpqComputer restored(&ds.base, &loaded);
+  original.BeginQuery(ds.queries.Row(1));
+  restored.BeginQuery(ds.queries.Row(1));
+  for (int64_t i = 0; i < 200; ++i) {
+    auto a = original.EstimateWithThreshold(i, 5.0f);
+    auto b = restored.EstimateWithThreshold(i, 5.0f);
+    EXPECT_EQ(a.pruned, b.pruned);
+    EXPECT_EQ(a.distance, b.distance);
+  }
+}
+
+TEST_F(PersistTest, MissingFileFails) {
+  linalg::Matrix m;
+  linalg::PcaModel pca;
+  index::HnswIndex hnsw;
+  std::string error;
+  EXPECT_FALSE(LoadMatrix(Path("nope.bin"), &m, &error));
+  EXPECT_FALSE(LoadPca(Path("nope.bin"), &pca, &error));
+  EXPECT_FALSE(LoadHnsw(Path("nope.bin"), &hnsw, &error));
+}
+
+TEST_F(PersistTest, RqRoundTripIdenticalCodes) {
+  data::Dataset ds = testing::SmallDataset(800, 16, 0.8, 311);
+  quant::RqOptions options;
+  options.num_stages = 3;
+  options.nbits = 5;
+  quant::RqCodebook rq =
+      quant::RqCodebook::Train(ds.base.data(), ds.size(), 16, options);
+  std::string error;
+  ASSERT_TRUE(SaveRq(Path("rq.bin"), rq, &error)) << error;
+  quant::RqCodebook loaded;
+  ASSERT_TRUE(LoadRq(Path("rq.bin"), &loaded, &error)) << error;
+  EXPECT_EQ(loaded.dim(), rq.dim());
+  EXPECT_EQ(loaded.num_stages(), rq.num_stages());
+  std::vector<uint8_t> a(rq.code_size()), b(rq.code_size());
+  for (int64_t i = 0; i < 40; ++i) {
+    rq.Encode(ds.base.Row(i), a.data());
+    loaded.Encode(ds.base.Row(i), b.data());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(PersistTest, RqTruncatedFails) {
+  data::Dataset ds = testing::SmallDataset(500, 8, 0.8, 312);
+  quant::RqOptions options;
+  options.num_stages = 2;
+  options.nbits = 4;
+  quant::RqCodebook rq =
+      quant::RqCodebook::Train(ds.base.data(), ds.size(), 8, options);
+  std::string error;
+  ASSERT_TRUE(SaveRq(Path("rq_trunc.bin"), rq, &error));
+  Truncate(Path("rq_trunc.bin"), 16);
+  quant::RqCodebook loaded;
+  EXPECT_FALSE(LoadRq(Path("rq_trunc.bin"), &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(PersistTest, SqRoundTripIdenticalCodes) {
+  data::Dataset ds = testing::SmallDataset(600, 12, 0.5, 313);
+  quant::SqCodebook sq =
+      quant::SqCodebook::Train(ds.base.data(), ds.size(), 12);
+  std::string error;
+  ASSERT_TRUE(SaveSq(Path("sq.bin"), sq, &error)) << error;
+  quant::SqCodebook loaded;
+  ASSERT_TRUE(LoadSq(Path("sq.bin"), &loaded, &error)) << error;
+  std::vector<uint8_t> a(12), b(12);
+  for (int64_t i = 0; i < 40; ++i) {
+    sq.Encode(ds.base.Row(i), a.data());
+    loaded.Encode(ds.base.Row(i), b.data());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(PersistTest, SqCorruptStepFails) {
+  data::Dataset ds = testing::SmallDataset(300, 4, 0.5, 314);
+  quant::SqCodebook sq =
+      quant::SqCodebook::Train(ds.base.data(), ds.size(), 4);
+  std::string error;
+  ASSERT_TRUE(SaveSq(Path("sq_bad.bin"), sq, &error));
+  // Flip a step entry to a negative value: header (12) + vmin vector
+  // (8 + 4*4) + step count (8) puts the first step float at offset 40.
+  std::fstream file(Path("sq_bad.bin"),
+                    std::ios::in | std::ios::out | std::ios::binary);
+  file.seekp(40);
+  const float negative = -1.0f;
+  file.write(reinterpret_cast<const char*>(&negative), sizeof(negative));
+  file.close();
+  quant::SqCodebook loaded;
+  EXPECT_FALSE(LoadSq(Path("sq_bad.bin"), &loaded, &error));
+}
+
+TEST_F(PersistTest, CorrectorRoundTripIdenticalDecisions) {
+  core::LinearCorrector corrector =
+      core::LinearCorrector::FromWeights(1.25f, -0.75f, 0.5f, -2.0f, true);
+  std::string error;
+  ASSERT_TRUE(SaveCorrector(Path("corr.bin"), corrector, &error)) << error;
+  core::LinearCorrector loaded;
+  ASSERT_TRUE(LoadCorrector(Path("corr.bin"), &loaded, &error)) << error;
+  EXPECT_EQ(loaded.trained(), corrector.trained());
+  for (float approx : {0.5f, 1.0f, 4.0f}) {
+    for (float tau : {0.25f, 2.0f}) {
+      EXPECT_EQ(loaded.PredictPrunable(approx, tau, 0.1f),
+                corrector.PredictPrunable(approx, tau, 0.1f));
+    }
+  }
+}
+
+TEST_F(PersistTest, CorrectorWrongMagicFails) {
+  linalg::Matrix m = testing::RandomMatrix(2, 2, 315);
+  std::string error;
+  ASSERT_TRUE(SaveMatrix(Path("not_corr.bin"), m, &error));
+  core::LinearCorrector loaded;
+  EXPECT_FALSE(LoadCorrector(Path("not_corr.bin"), &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(PersistTest, DdcRqCascadeRoundTripIdenticalDecisions) {
+  data::Dataset ds = testing::SmallDataset(900, 16, 0.8, 321, 8, 120);
+  core::DdcRqCascadeOptions options;
+  options.rq.nbits = 5;
+  options.levels = {2, 4};
+  options.training.max_queries = 60;
+  core::DdcRqCascadeArtifacts artifacts =
+      core::TrainDdcRqCascade(ds.base, ds.train_queries, options);
+  std::string error;
+  ASSERT_TRUE(SaveDdcRqCascadeArtifacts(Path("cascade.bin"), artifacts,
+                                        &error))
+      << error;
+  core::DdcRqCascadeArtifacts loaded;
+  ASSERT_TRUE(LoadDdcRqCascadeArtifacts(Path("cascade.bin"), &loaded,
+                                        &error))
+      << error;
+  EXPECT_EQ(loaded.levels, artifacts.levels);
+  EXPECT_EQ(loaded.codes, artifacts.codes);
+  ASSERT_EQ(loaded.correctors.size(), artifacts.correctors.size());
+
+  // The loaded artifacts must reproduce the original computer's
+  // prune/keep decisions bit-for-bit.
+  core::DdcRqCascadeComputer original(&ds.base, &artifacts);
+  core::DdcRqCascadeComputer rebuilt(&ds.base, &loaded);
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    original.BeginQuery(ds.queries.Row(q));
+    rebuilt.BeginQuery(ds.queries.Row(q));
+    std::vector<data::Neighbor> nn =
+        data::BruteForceKnnSingle(ds.base, ds.queries.Row(q), 5);
+    const float tau = nn.back().distance;
+    for (int64_t i = 0; i < ds.size(); i += 17) {
+      index::EstimateResult a = original.EstimateWithThreshold(i, tau);
+      index::EstimateResult b = rebuilt.EstimateWithThreshold(i, tau);
+      EXPECT_EQ(a.pruned, b.pruned);
+      EXPECT_FLOAT_EQ(a.distance, b.distance);
+    }
+  }
+}
+
+TEST_F(PersistTest, DdcRqCascadeTruncatedFails) {
+  data::Dataset ds = testing::SmallDataset(400, 8, 0.8, 322, 4, 60);
+  core::DdcRqCascadeOptions options;
+  options.rq.nbits = 4;
+  options.levels = {1, 2};
+  options.training.max_queries = 30;
+  core::DdcRqCascadeArtifacts artifacts =
+      core::TrainDdcRqCascade(ds.base, ds.train_queries, options);
+  std::string error;
+  ASSERT_TRUE(SaveDdcRqCascadeArtifacts(Path("cascade_trunc.bin"),
+                                        artifacts, &error));
+  Truncate(Path("cascade_trunc.bin"), 8);
+  core::DdcRqCascadeArtifacts loaded;
+  EXPECT_FALSE(LoadDdcRqCascadeArtifacts(Path("cascade_trunc.bin"), &loaded,
+                                         &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace resinfer::persist

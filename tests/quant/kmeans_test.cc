@@ -1,0 +1,120 @@
+#include "quant/kmeans.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace resinfer::quant {
+namespace {
+
+// Three well-separated 2-D blobs.
+std::vector<float> ThreeBlobs(int per_cluster, uint64_t seed) {
+  Rng rng(seed);
+  const float centers[3][2] = {{0, 0}, {20, 0}, {0, 20}};
+  std::vector<float> data;
+  data.reserve(per_cluster * 3 * 2);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      data.push_back(centers[c][0] + static_cast<float>(rng.Gaussian()));
+      data.push_back(centers[c][1] + static_cast<float>(rng.Gaussian()));
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  auto data = ThreeBlobs(100, 7);
+  KMeansResult res = KMeans(data.data(), 300, 2, 3);
+  // Every centroid should be near one of the true centers.
+  const float centers[3][2] = {{0, 0}, {20, 0}, {0, 20}};
+  for (int c = 0; c < 3; ++c) {
+    float best = 1e30f;
+    for (int t = 0; t < 3; ++t) {
+      float dx = res.centroids.At(c, 0) - centers[t][0];
+      float dy = res.centroids.At(c, 1) - centers[t][1];
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    EXPECT_LT(best, 2.0f);
+  }
+  // Points in the same blob share an assignment.
+  for (int i = 1; i < 100; ++i) {
+    EXPECT_EQ(res.assignments[i], res.assignments[0]);
+    EXPECT_EQ(res.assignments[100 + i], res.assignments[100]);
+    EXPECT_EQ(res.assignments[200 + i], res.assignments[200]);
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  data::Dataset ds = testing::SmallDataset(1000, 16, 0.8, 8, 2, 2);
+  double prev = 1e300;
+  for (int k : {1, 4, 16}) {
+    KMeansResult res = KMeans(ds.base.data(), 1000, 16, k);
+    EXPECT_LT(res.inertia, prev + 1e-3);
+    prev = res.inertia;
+  }
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  auto data = ThreeBlobs(4, 9);  // 12 points
+  KMeansResult res = KMeans(data.data(), 12, 2, 12);
+  EXPECT_NEAR(res.inertia, 0.0, 1e-3);
+}
+
+TEST(KMeansTest, DeterministicInSeed) {
+  data::Dataset ds = testing::SmallDataset(500, 8, 1.0, 10, 2, 2);
+  KMeansOptions options;
+  options.seed = 123;
+  KMeansResult a = KMeans(ds.base.data(), 500, 8, 10, options);
+  KMeansResult b = KMeans(ds.base.data(), 500, 8, 10, options);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(linalg::MaxAbsDifference(a.centroids, b.centroids), 0.0);
+}
+
+TEST(KMeansTest, NearestCentroidAgreesWithAssignments) {
+  data::Dataset ds = testing::SmallDataset(400, 8, 1.0, 11, 2, 2);
+  KMeansResult res = KMeans(ds.base.data(), 400, 8, 8);
+  for (int64_t i = 0; i < 400; i += 37) {
+    EXPECT_EQ(NearestCentroid(res.centroids, ds.base.Row(i)),
+              res.assignments[i]);
+  }
+}
+
+TEST(KMeansTest, NearestCentroidsSortedAndDistinct) {
+  data::Dataset ds = testing::SmallDataset(300, 8, 1.0, 12, 2, 2);
+  KMeansResult res = KMeans(ds.base.data(), 300, 8, 16);
+  const float* q = ds.queries.Row(0);
+  std::vector<int32_t> top = NearestCentroids(res.centroids, q, 5);
+  ASSERT_EQ(top.size(), 5u);
+  float prev = -1.0f;
+  std::set<int32_t> seen;
+  for (int32_t c : top) {
+    float dist = 0.0f;
+    NearestCentroid(res.centroids, q, &dist);  // just for the helper
+    float d = 0.0f;
+    {
+      // distance to this centroid
+      d = 0.0f;
+      for (int64_t j = 0; j < 8; ++j) {
+        float diff = res.centroids.At(c, j) - q[j];
+        d += diff * diff;
+      }
+    }
+    EXPECT_GE(d, prev);
+    prev = d;
+    EXPECT_TRUE(seen.insert(c).second);
+  }
+  EXPECT_EQ(top[0], NearestCentroid(res.centroids, q));
+}
+
+TEST(KMeansTest, NprobeClampedToK) {
+  auto data = ThreeBlobs(10, 13);
+  KMeansResult res = KMeans(data.data(), 30, 2, 3);
+  EXPECT_EQ(NearestCentroids(res.centroids, data.data(), 10).size(), 3u);
+}
+
+}  // namespace
+}  // namespace resinfer::quant

@@ -1,0 +1,87 @@
+#include "quant/opq.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/orthogonal.h"
+#include "simd/kernels.h"
+#include "test_util.h"
+
+namespace resinfer::quant {
+namespace {
+
+OpqOptions SmallOptions() {
+  OpqOptions options;
+  options.pq.num_subspaces = 4;
+  options.pq.nbits = 5;
+  options.pq.kmeans.max_iterations = 10;
+  options.num_iterations = 3;
+  return options;
+}
+
+TEST(OpqTest, RotationStaysOrthonormal) {
+  data::Dataset ds = testing::SmallDataset(1500, 32, 1.2, 16);
+  OpqModel opq = OpqModel::Train(ds.base.data(), ds.size(), 32,
+                                 SmallOptions());
+  EXPECT_TRUE(opq.trained());
+  EXPECT_LT(linalg::OrthonormalityError(opq.rotation()), 1e-3);
+}
+
+TEST(OpqTest, RotationPreservesDistances) {
+  data::Dataset ds = testing::SmallDataset(1000, 24, 1.0, 17);
+  OpqOptions options = SmallOptions();
+  options.pq.num_subspaces = 3;
+  OpqModel opq = OpqModel::Train(ds.base.data(), ds.size(), 24, options);
+  std::vector<float> ra(24), rb(24);
+  for (int64_t i = 0; i < 5; ++i) {
+    opq.Rotate(ds.base.Row(i), ra.data());
+    opq.Rotate(ds.base.Row(i + 50), rb.data());
+    float orig = simd::L2Sqr(ds.base.Row(i), ds.base.Row(i + 50), 24);
+    float rot = simd::L2Sqr(ra.data(), rb.data(), 24);
+    EXPECT_NEAR(rot, orig, 1e-3f * (1.0f + orig));
+  }
+}
+
+TEST(OpqTest, OpqNotWorseThanPlainPqOnCorrelatedData) {
+  // Strongly skewed (correlated after random rotation) data is where OPQ's
+  // rotation balances sub-space energy; its reconstruction error should not
+  // exceed plain PQ's by more than noise.
+  data::Dataset ds = testing::SmallDataset(3000, 32, 1.5, 18);
+  OpqOptions options = SmallOptions();
+
+  OpqOptions pq_only = options;
+  pq_only.num_iterations = 1;  // identity rotation + plain PQ training
+  OpqModel pq_model = OpqModel::Train(ds.base.data(), ds.size(), 32, pq_only);
+  OpqModel opq_model = OpqModel::Train(ds.base.data(), ds.size(), 32, options);
+
+  double pq_err = pq_model.MeanReconstructionError(ds.base.data(), 500);
+  double opq_err = opq_model.MeanReconstructionError(ds.base.data(), 500);
+  EXPECT_LT(opq_err, pq_err * 1.05);
+}
+
+TEST(OpqTest, RotateBatchMatchesSingle) {
+  data::Dataset ds = testing::SmallDataset(200, 16, 1.0, 19);
+  OpqOptions options = SmallOptions();
+  options.pq.num_subspaces = 2;
+  OpqModel opq = OpqModel::Train(ds.base.data(), ds.size(), 16, options);
+  linalg::Matrix batch = opq.RotateBatch(ds.base.data(), 20);
+  std::vector<float> single(16);
+  for (int64_t i = 0; i < 20; ++i) {
+    opq.Rotate(ds.base.Row(i), single.data());
+    for (int64_t j = 0; j < 16; ++j) {
+      EXPECT_FLOAT_EQ(batch.At(i, j), single[j]);
+    }
+  }
+}
+
+TEST(OpqTest, RandomInitAlsoTrains) {
+  data::Dataset ds = testing::SmallDataset(800, 16, 1.0, 20);
+  OpqOptions options = SmallOptions();
+  options.pq.num_subspaces = 2;
+  options.random_init = true;
+  OpqModel opq = OpqModel::Train(ds.base.data(), ds.size(), 16, options);
+  EXPECT_TRUE(opq.trained());
+  EXPECT_LT(linalg::OrthonormalityError(opq.rotation()), 1e-3);
+}
+
+}  // namespace
+}  // namespace resinfer::quant

@@ -1,0 +1,131 @@
+#include "quant/pq.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "simd/kernels.h"
+#include "test_util.h"
+
+namespace resinfer::quant {
+namespace {
+
+data::Dataset MakeData() { return testing::SmallDataset(2000, 32, 0.8, 15); }
+
+PqOptions SmallOptions() {
+  PqOptions options;
+  options.num_subspaces = 4;
+  options.nbits = 6;  // 64 centroids per subspace keeps training fast
+  return options;
+}
+
+TEST(PqTest, TrainedShape) {
+  data::Dataset ds = MakeData();
+  PqCodebook pq = PqCodebook::Train(ds.base.data(), ds.size(), 32,
+                                    SmallOptions());
+  EXPECT_TRUE(pq.trained());
+  EXPECT_EQ(pq.num_subspaces(), 4);
+  EXPECT_EQ(pq.subspace_dim(), 8);
+  EXPECT_EQ(pq.num_centroids(), 64);
+  EXPECT_EQ(pq.code_size(), 4);
+}
+
+TEST(PqTest, DecodeIsNearestCentroidReconstruction) {
+  data::Dataset ds = MakeData();
+  PqCodebook pq = PqCodebook::Train(ds.base.data(), ds.size(), 32,
+                                    SmallOptions());
+  std::vector<uint8_t> code(pq.code_size());
+  std::vector<float> decoded(32);
+  const float* x = ds.base.Row(7);
+  pq.Encode(x, code.data());
+  pq.Decode(code.data(), decoded.data());
+  // Reported reconstruction error matches the decode.
+  float err = simd::L2Sqr(x, decoded.data(), 32);
+  EXPECT_NEAR(pq.ReconstructionError(x), err, 1e-3f * (1.0f + err));
+}
+
+TEST(PqTest, AdcEqualsDistanceToReconstruction) {
+  // ADC(q, code(x)) = sum_s ||q_s - c_s||^2 = ||q - decode(code)||^2.
+  data::Dataset ds = MakeData();
+  PqCodebook pq = PqCodebook::Train(ds.base.data(), ds.size(), 32,
+                                    SmallOptions());
+  std::vector<float> table(pq.adc_table_size());
+  std::vector<uint8_t> code(pq.code_size());
+  std::vector<float> decoded(32);
+  for (int64_t q = 0; q < 5; ++q) {
+    pq.ComputeAdcTable(ds.queries.Row(q), table.data());
+    for (int64_t i = 0; i < 20; ++i) {
+      pq.Encode(ds.base.Row(i), code.data());
+      pq.Decode(code.data(), decoded.data());
+      float adc = pq.AdcDistance(table.data(), code.data());
+      float direct = simd::L2Sqr(ds.queries.Row(q), decoded.data(), 32);
+      EXPECT_NEAR(adc, direct, 1e-2f * (1.0f + direct));
+    }
+  }
+}
+
+TEST(PqTest, AdcApproximatesTrueDistance) {
+  data::Dataset ds = MakeData();
+  PqCodebook pq = PqCodebook::Train(ds.base.data(), ds.size(), 32,
+                                    SmallOptions());
+  std::vector<float> table(pq.adc_table_size());
+  std::vector<uint8_t> codes = pq.EncodeBatch(ds.base.data(), ds.size());
+
+  double rel_err = 0.0;
+  int count = 0;
+  for (int64_t q = 0; q < 8; ++q) {
+    pq.ComputeAdcTable(ds.queries.Row(q), table.data());
+    for (int64_t i = 0; i < 100; ++i) {
+      float exact = simd::L2Sqr(ds.queries.Row(q), ds.base.Row(i), 32);
+      float adc = pq.AdcDistance(table.data(),
+                                 codes.data() + i * pq.code_size());
+      if (exact > 1e-3f) {
+        rel_err += std::abs(adc - exact) / exact;
+        ++count;
+      }
+    }
+  }
+  EXPECT_LT(rel_err / count, 0.25) << "mean ADC relative error too large";
+}
+
+TEST(PqTest, EncodeBatchMatchesSingle) {
+  data::Dataset ds = MakeData();
+  PqCodebook pq = PqCodebook::Train(ds.base.data(), ds.size(), 32,
+                                    SmallOptions());
+  std::vector<uint8_t> batch = pq.EncodeBatch(ds.base.data(), 50);
+  std::vector<uint8_t> single(pq.code_size());
+  for (int64_t i = 0; i < 50; ++i) {
+    pq.Encode(ds.base.Row(i), single.data());
+    for (int64_t s = 0; s < pq.code_size(); ++s) {
+      EXPECT_EQ(batch[i * pq.code_size() + s], single[s]);
+    }
+  }
+}
+
+TEST(PqTest, LargestDivisorAtMost) {
+  EXPECT_EQ(LargestDivisorAtMost(128, 32), 32);
+  EXPECT_EQ(LargestDivisorAtMost(300, 75), 75);
+  EXPECT_EQ(LargestDivisorAtMost(300, 74), 60);
+  EXPECT_EQ(LargestDivisorAtMost(7, 3), 1);
+  EXPECT_EQ(LargestDivisorAtMost(960, 240), 240);
+  EXPECT_EQ(LargestDivisorAtMost(420, 105), 105);
+}
+
+TEST(PqTest, MoreBitsReduceReconstructionError) {
+  data::Dataset ds = MakeData();
+  PqOptions low = SmallOptions();
+  low.nbits = 3;
+  PqOptions high = SmallOptions();
+  high.nbits = 7;
+  PqCodebook pq_low = PqCodebook::Train(ds.base.data(), ds.size(), 32, low);
+  PqCodebook pq_high = PqCodebook::Train(ds.base.data(), ds.size(), 32, high);
+  double err_low = 0.0, err_high = 0.0;
+  for (int64_t i = 0; i < 200; ++i) {
+    err_low += pq_low.ReconstructionError(ds.base.Row(i));
+    err_high += pq_high.ReconstructionError(ds.base.Row(i));
+  }
+  EXPECT_LT(err_high, err_low);
+}
+
+}  // namespace
+}  // namespace resinfer::quant

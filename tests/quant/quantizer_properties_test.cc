@@ -1,0 +1,203 @@
+// Cross-quantizer distributional properties: how reconstruction error
+// responds to the code budget, and the sign of the ADC bias. These pin the
+// behaviours the §V corrector relies on (the trust feature only works if
+// reconstruction error actually tracks estimate quality).
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "quant/pq.h"
+#include "quant/rq.h"
+#include "quant/sq.h"
+#include "simd/kernels.h"
+#include "test_util.h"
+
+namespace resinfer::quant {
+namespace {
+
+data::Dataset MakeData() { return testing::SmallDataset(1200, 32, 0.9, 55); }
+
+double MeanPqError(const data::Dataset& ds, int nbits, int subspaces) {
+  PqOptions options;
+  options.num_subspaces = subspaces;
+  options.nbits = nbits;
+  PqCodebook pq =
+      PqCodebook::Train(ds.base.data(), ds.size(), ds.dim(), options);
+  double total = 0.0;
+  for (int64_t i = 0; i < 300; ++i) {
+    total += pq.ReconstructionError(ds.base.Row(i));
+  }
+  return total / 300.0;
+}
+
+double MeanRqError(const data::Dataset& ds, int nbits, int stages) {
+  RqOptions options;
+  options.num_stages = stages;
+  options.nbits = nbits;
+  RqCodebook rq =
+      RqCodebook::Train(ds.base.data(), ds.size(), ds.dim(), options);
+  double total = 0.0;
+  for (int64_t i = 0; i < 300; ++i) {
+    total += rq.ReconstructionError(ds.base.Row(i));
+  }
+  return total / 300.0;
+}
+
+TEST(QuantizerPropertiesTest, PqErrorShrinksWithNbits) {
+  data::Dataset ds = MakeData();
+  double previous = std::numeric_limits<double>::infinity();
+  for (int nbits : {3, 5, 7}) {
+    const double error = MeanPqError(ds, nbits, 4);
+    EXPECT_LT(error, previous * 1.02) << "nbits=" << nbits;
+    previous = error;
+  }
+}
+
+TEST(QuantizerPropertiesTest, PqErrorShrinksWithMoreSubspaces) {
+  // Doubling the sub-space count doubles the code budget; the finer
+  // partition must reconstruct at least as well.
+  data::Dataset ds = MakeData();
+  const double coarse = MeanPqError(ds, 5, 2);
+  const double medium = MeanPqError(ds, 5, 4);
+  const double fine = MeanPqError(ds, 5, 8);
+  EXPECT_LT(medium, coarse * 1.02);
+  EXPECT_LT(fine, medium * 1.02);
+}
+
+TEST(QuantizerPropertiesTest, RqErrorShrinksWithNbits) {
+  data::Dataset ds = MakeData();
+  double previous = std::numeric_limits<double>::infinity();
+  for (int nbits : {3, 5, 7}) {
+    const double error = MeanRqError(ds, nbits, 3);
+    EXPECT_LT(error, previous * 1.02) << "nbits=" << nbits;
+    previous = error;
+  }
+}
+
+// ADC error obeys the exact geometric bound
+//     |adc - exact| = |<e, e + 2(x - q)>| <= ||e||^2 + 2 ||e|| ||x - q||
+// with e = x̂ - x. Every (query, point) pair must satisfy it — a per-pair
+// invariant tying together Encode, Decode, the lookup tables and the stored
+// norms of both quantizer families.
+class AdcErrorBoundTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AdcErrorBoundTest, PerPairErrorWithinGeometricBound) {
+  data::Dataset ds = MakeData();
+  const int64_t d = ds.dim();
+  const bool is_pq = std::string(GetParam()) == "pq";
+
+  PqOptions pq_options;
+  pq_options.num_subspaces = 4;
+  pq_options.nbits = 5;
+  PqCodebook pq;
+  RqOptions rq_options;
+  rq_options.num_stages = 3;
+  rq_options.nbits = 5;
+  RqCodebook rq;
+  if (is_pq) {
+    pq = PqCodebook::Train(ds.base.data(), ds.size(), d, pq_options);
+  } else {
+    rq = RqCodebook::Train(ds.base.data(), ds.size(), d, rq_options);
+  }
+
+  std::vector<float> table(
+      is_pq ? pq.adc_table_size() : rq.ip_table_size());
+  std::vector<uint8_t> code(is_pq ? pq.code_size() : rq.code_size());
+  std::vector<float> recon(static_cast<std::size_t>(d));
+  for (int64_t q = 0; q < 10; ++q) {
+    const float* query = ds.queries.Row(q);
+    float qnorm = 0.0f;
+    if (is_pq) {
+      pq.ComputeAdcTable(query, table.data());
+    } else {
+      rq.ComputeIpTable(query, table.data());
+      qnorm = simd::Norm2Sqr(query, static_cast<std::size_t>(d));
+    }
+    for (int64_t i = 0; i < 300; i += 3) {
+      const float* x = ds.base.Row(i);
+      float adc;
+      if (is_pq) {
+        pq.Encode(x, code.data());
+        pq.Decode(code.data(), recon.data());
+        adc = pq.AdcDistance(table.data(), code.data());
+      } else {
+        rq.Encode(x, code.data());
+        rq.Decode(code.data(), recon.data());
+        adc = rq.AdcDistance(table.data(), qnorm, code.data(),
+                             rq.ReconstructionNormSqr(code.data()));
+      }
+      const float exact =
+          simd::L2Sqr(query, x, static_cast<std::size_t>(d));
+      const float err_sqr =
+          simd::L2Sqr(x, recon.data(), static_cast<std::size_t>(d));
+      const double bound = err_sqr + 2.0 * std::sqrt(err_sqr) *
+                                         std::sqrt(exact);
+      EXPECT_LE(std::abs(adc - exact), bound * 1.01 + 1e-2)
+          << GetParam() << " pair (" << q << ", " << i << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantizers, AdcErrorBoundTest,
+                         ::testing::Values("pq", "rq"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+TEST(QuantizerPropertiesTest, ReconstructionErrorTracksAdcError) {
+  // The §V-B trust feature: points with larger reconstruction error must
+  // show larger average |ADC - exact| error. Compare the top and bottom
+  // quartiles by reconstruction error.
+  data::Dataset ds = MakeData();
+  const int64_t d = ds.dim();
+  RqOptions options;
+  options.num_stages = 2;
+  options.nbits = 4;  // deliberately coarse so errors spread out
+  RqCodebook rq = RqCodebook::Train(ds.base.data(), ds.size(), d, options);
+
+  const int64_t n = 400;
+  std::vector<float> norms;
+  std::vector<uint8_t> codes = rq.EncodeBatch(ds.base.data(), n, &norms);
+  std::vector<float> recon_errors(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    recon_errors[static_cast<std::size_t>(i)] =
+        rq.ReconstructionError(ds.base.Row(i));
+  }
+  std::vector<float> sorted = recon_errors;
+  std::nth_element(sorted.begin(), sorted.begin() + n / 4, sorted.end());
+  const float q1 = sorted[static_cast<std::size_t>(n / 4)];
+  std::nth_element(sorted.begin(), sorted.begin() + 3 * n / 4, sorted.end());
+  const float q3 = sorted[static_cast<std::size_t>(3 * n / 4)];
+
+  double low_error_sum = 0.0, high_error_sum = 0.0;
+  int low_count = 0, high_count = 0;
+  std::vector<float> table(rq.ip_table_size());
+  for (int64_t q = 0; q < 10; ++q) {
+    rq.ComputeIpTable(ds.queries.Row(q), table.data());
+    const float qnorm = simd::Norm2Sqr(ds.queries.Row(q),
+                                       static_cast<std::size_t>(d));
+    for (int64_t i = 0; i < n; ++i) {
+      const float re = recon_errors[static_cast<std::size_t>(i)];
+      if (re > q1 && re < q3) continue;  // keep only the extreme quartiles
+      const float adc =
+          rq.AdcDistance(table.data(), qnorm, codes.data() + i * rq.code_size(),
+                         norms[static_cast<std::size_t>(i)]);
+      const float exact = simd::L2Sqr(ds.queries.Row(q), ds.base.Row(i),
+                                      static_cast<std::size_t>(d));
+      if (re <= q1) {
+        low_error_sum += std::abs(adc - exact);
+        ++low_count;
+      } else {
+        high_error_sum += std::abs(adc - exact);
+        ++high_count;
+      }
+    }
+  }
+  ASSERT_GT(low_count, 0);
+  ASSERT_GT(high_count, 0);
+  EXPECT_LT(low_error_sum / low_count, high_error_sum / high_count);
+}
+
+}  // namespace
+}  // namespace resinfer::quant

@@ -1,0 +1,204 @@
+#include "quant/rq.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "quant/kmeans.h"
+#include "simd/kernels.h"
+#include "test_util.h"
+
+namespace resinfer::quant {
+namespace {
+
+data::Dataset MakeData() { return testing::SmallDataset(1500, 24, 0.8, 21); }
+
+RqOptions SmallOptions(int stages = 3) {
+  RqOptions options;
+  options.num_stages = stages;
+  options.nbits = 6;  // 64 centroids per stage keeps training fast
+  return options;
+}
+
+TEST(RqTest, TrainedShape) {
+  data::Dataset ds = MakeData();
+  RqCodebook rq =
+      RqCodebook::Train(ds.base.data(), ds.size(), 24, SmallOptions());
+  EXPECT_TRUE(rq.trained());
+  EXPECT_EQ(rq.dim(), 24);
+  EXPECT_EQ(rq.num_stages(), 3);
+  EXPECT_EQ(rq.num_centroids(), 64);
+  EXPECT_EQ(rq.code_size(), 3);
+  for (int s = 0; s < rq.num_stages(); ++s) {
+    EXPECT_EQ(rq.centroids(s).rows(), 64);
+    EXPECT_EQ(rq.centroids(s).cols(), 24);
+  }
+}
+
+TEST(RqTest, DecodeSumsStageCentroids) {
+  data::Dataset ds = MakeData();
+  RqCodebook rq =
+      RqCodebook::Train(ds.base.data(), ds.size(), 24, SmallOptions());
+  std::vector<uint8_t> code(rq.code_size());
+  rq.Encode(ds.base.Row(3), code.data());
+  std::vector<float> decoded(24);
+  rq.Decode(code.data(), decoded.data());
+  for (int64_t j = 0; j < 24; ++j) {
+    float expected = 0.0f;
+    for (int s = 0; s < rq.num_stages(); ++s) {
+      expected += rq.centroids(s).At(code[static_cast<std::size_t>(s)], j);
+    }
+    EXPECT_NEAR(decoded[static_cast<std::size_t>(j)], expected, 1e-5f);
+  }
+}
+
+TEST(RqTest, ReconstructionErrorNonIncreasingInStages) {
+  // More residual stages can only shrink the encoding error: the greedy
+  // encoder may always pick the centroid nearest to the remaining residual,
+  // and stage s trains on exactly those residuals.
+  data::Dataset ds = MakeData();
+  double previous = std::numeric_limits<double>::infinity();
+  for (int stages : {1, 2, 4}) {
+    RqCodebook rq = RqCodebook::Train(ds.base.data(), ds.size(), 24,
+                                      SmallOptions(stages));
+    double total = 0.0;
+    for (int64_t i = 0; i < 200; ++i) {
+      total += rq.ReconstructionError(ds.base.Row(i));
+    }
+    EXPECT_LT(total, previous * 1.05);  // tolerate k-means noise
+    previous = total;
+  }
+}
+
+TEST(RqTest, SingleStageMatchesPlainKMeansQuantizer) {
+  // A 1-stage RQ is exactly a k-means vector quantizer.
+  data::Dataset ds = MakeData();
+  RqOptions options = SmallOptions(1);
+  RqCodebook rq = RqCodebook::Train(ds.base.data(), ds.size(), 24, options);
+  std::vector<uint8_t> code(1);
+  for (int64_t i = 0; i < 50; ++i) {
+    rq.Encode(ds.base.Row(i), code.data());
+    const int32_t nearest = NearestCentroid(rq.centroids(0), ds.base.Row(i));
+    EXPECT_EQ(code[0], static_cast<uint8_t>(nearest));
+  }
+}
+
+TEST(RqTest, AdcEqualsDistanceToReconstruction) {
+  // ||q||^2 - 2<q,x̂> + ||x̂||^2 must equal ||q - x̂||^2 exactly (up to
+  // floating-point noise).
+  data::Dataset ds = MakeData();
+  RqCodebook rq =
+      RqCodebook::Train(ds.base.data(), ds.size(), 24, SmallOptions());
+  std::vector<float> table(rq.ip_table_size());
+  std::vector<uint8_t> code(rq.code_size());
+  std::vector<float> decoded(24);
+  for (int64_t q = 0; q < 5; ++q) {
+    const float* query = ds.queries.Row(q);
+    rq.ComputeIpTable(query, table.data());
+    const float qnorm = simd::Norm2Sqr(query, 24);
+    for (int64_t i = 0; i < 20; ++i) {
+      rq.Encode(ds.base.Row(i), code.data());
+      rq.Decode(code.data(), decoded.data());
+      const float norm = rq.ReconstructionNormSqr(code.data());
+      const float adc = rq.AdcDistance(table.data(), qnorm, code.data(), norm);
+      const float direct = simd::L2Sqr(query, decoded.data(), 24);
+      EXPECT_NEAR(adc, direct, 1e-2f * (1.0f + direct));
+    }
+  }
+}
+
+TEST(RqTest, AdcApproximatesTrueDistance) {
+  data::Dataset ds = MakeData();
+  RqCodebook rq =
+      RqCodebook::Train(ds.base.data(), ds.size(), 24, SmallOptions(4));
+  std::vector<float> table(rq.ip_table_size());
+  std::vector<float> norms;
+  std::vector<uint8_t> codes = rq.EncodeBatch(ds.base.data(), 300, &norms);
+  double total_rel_err = 0.0;
+  int count = 0;
+  for (int64_t q = 0; q < 8; ++q) {
+    const float* query = ds.queries.Row(q);
+    rq.ComputeIpTable(query, table.data());
+    const float qnorm = simd::Norm2Sqr(query, 24);
+    for (int64_t i = 0; i < 300; i += 10) {
+      const float adc = rq.AdcDistance(table.data(), qnorm,
+                                       codes.data() + i * rq.code_size(),
+                                       norms[static_cast<std::size_t>(i)]);
+      const float exact = simd::L2Sqr(query, ds.base.Row(i), 24);
+      total_rel_err += std::abs(adc - exact) / (1.0f + exact);
+      ++count;
+    }
+  }
+  // A 4x64 codebook on a 24-d clustered set should land well within 30%
+  // average relative error.
+  EXPECT_LT(total_rel_err / count, 0.3);
+}
+
+TEST(RqTest, EncodeBatchMatchesSingleEncode) {
+  data::Dataset ds = MakeData();
+  RqCodebook rq =
+      RqCodebook::Train(ds.base.data(), ds.size(), 24, SmallOptions());
+  std::vector<float> norms;
+  std::vector<uint8_t> codes = rq.EncodeBatch(ds.base.data(), 64, &norms);
+  ASSERT_EQ(norms.size(), 64u);
+  std::vector<uint8_t> single(rq.code_size());
+  for (int64_t i = 0; i < 64; ++i) {
+    rq.Encode(ds.base.Row(i), single.data());
+    for (int64_t s = 0; s < rq.code_size(); ++s) {
+      EXPECT_EQ(codes[static_cast<std::size_t>(i * rq.code_size() + s)],
+                single[static_cast<std::size_t>(s)]);
+    }
+    EXPECT_NEAR(norms[static_cast<std::size_t>(i)],
+                rq.ReconstructionNormSqr(single.data()),
+                1e-3f * (1.0f + norms[static_cast<std::size_t>(i)]));
+  }
+}
+
+TEST(RqTest, DeterministicGivenSeed) {
+  data::Dataset ds = MakeData();
+  RqCodebook a =
+      RqCodebook::Train(ds.base.data(), ds.size(), 24, SmallOptions());
+  RqCodebook b =
+      RqCodebook::Train(ds.base.data(), ds.size(), 24, SmallOptions());
+  for (int s = 0; s < a.num_stages(); ++s) {
+    EXPECT_EQ(linalg::MaxAbsDifference(a.centroids(s), b.centroids(s)), 0.0);
+  }
+}
+
+TEST(RqTest, FromCodebooksRoundTrip) {
+  data::Dataset ds = MakeData();
+  RqCodebook rq =
+      RqCodebook::Train(ds.base.data(), ds.size(), 24, SmallOptions());
+  std::vector<linalg::Matrix> tables;
+  for (int s = 0; s < rq.num_stages(); ++s) {
+    tables.push_back(rq.centroids(s).Clone());
+  }
+  RqCodebook rebuilt = RqCodebook::FromCodebooks(std::move(tables));
+  EXPECT_EQ(rebuilt.dim(), rq.dim());
+  EXPECT_EQ(rebuilt.num_stages(), rq.num_stages());
+  std::vector<uint8_t> c1(rq.code_size());
+  std::vector<uint8_t> c2(rq.code_size());
+  for (int64_t i = 0; i < 32; ++i) {
+    rq.Encode(ds.base.Row(i), c1.data());
+    rebuilt.Encode(ds.base.Row(i), c2.data());
+    EXPECT_EQ(c1, c2);
+  }
+}
+
+TEST(RqTest, TinyTrainingSetClampsCentroids) {
+  // n < 2^nbits: the trainer must clamp the per-stage codebook size
+  // instead of aborting inside k-means.
+  linalg::Matrix tiny = testing::RandomMatrix(10, 8, 33);
+  RqOptions options;
+  options.num_stages = 2;
+  options.nbits = 8;
+  RqCodebook rq = RqCodebook::Train(tiny.data(), 10, 8, options);
+  EXPECT_TRUE(rq.trained());
+  EXPECT_LE(rq.num_centroids(), 10);
+  std::vector<uint8_t> code(rq.code_size());
+  rq.Encode(tiny.Row(0), code.data());  // must not crash
+}
+
+}  // namespace
+}  // namespace resinfer::quant

@@ -1,0 +1,190 @@
+#include "quant/sq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simd/kernels.h"
+#include "test_util.h"
+
+namespace resinfer::quant {
+namespace {
+
+data::Dataset MakeData() { return testing::SmallDataset(1000, 16, 0.6, 29); }
+
+TEST(SqTest, TrainedShape) {
+  data::Dataset ds = MakeData();
+  SqCodebook sq = SqCodebook::Train(ds.base.data(), ds.size(), 16);
+  EXPECT_TRUE(sq.trained());
+  EXPECT_EQ(sq.dim(), 16);
+  EXPECT_EQ(sq.code_size(), 16);
+  EXPECT_EQ(sq.vmin().size(), 16u);
+  EXPECT_EQ(sq.step().size(), 16u);
+}
+
+TEST(SqTest, RangeCoversTrainingData) {
+  data::Dataset ds = MakeData();
+  SqCodebook sq = SqCodebook::Train(ds.base.data(), ds.size(), 16);
+  for (int64_t j = 0; j < 16; ++j) {
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -lo;
+    for (int64_t i = 0; i < ds.size(); ++i) {
+      lo = std::min(lo, ds.base.At(i, j));
+      hi = std::max(hi, ds.base.At(i, j));
+    }
+    const auto sj = static_cast<std::size_t>(j);
+    EXPECT_LE(sq.vmin()[sj], lo + 1e-6f);
+    EXPECT_GE(sq.vmin()[sj] + 255.0f * sq.step()[sj], hi - 1e-6f);
+  }
+}
+
+TEST(SqTest, ReconstructionErrorBoundedByHalfStep) {
+  // Per-dimension error of round() quantization is at most step/2 for
+  // in-range values, so the squared L2 error is bounded by sum (step/2)^2.
+  data::Dataset ds = MakeData();
+  SqCodebook sq = SqCodebook::Train(ds.base.data(), ds.size(), 16);
+  float bound = 0.0f;
+  for (float s : sq.step()) bound += 0.25f * s * s;
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_LE(sq.ReconstructionError(ds.base.Row(i)), bound * 1.001f + 1e-6f);
+  }
+}
+
+TEST(SqTest, AdcEqualsDistanceToReconstruction) {
+  data::Dataset ds = MakeData();
+  SqCodebook sq = SqCodebook::Train(ds.base.data(), ds.size(), 16);
+  std::vector<uint8_t> code(static_cast<std::size_t>(sq.code_size()));
+  std::vector<float> decoded(16);
+  for (int64_t q = 0; q < 5; ++q) {
+    const float* query = ds.queries.Row(q);
+    for (int64_t i = 0; i < 25; ++i) {
+      sq.Encode(ds.base.Row(i), code.data());
+      sq.Decode(code.data(), decoded.data());
+      const float adc = sq.AdcDistance(query, code.data());
+      const float direct = simd::L2Sqr(query, decoded.data(), 16);
+      EXPECT_NEAR(adc, direct, 1e-3f * (1.0f + direct));
+    }
+  }
+}
+
+TEST(SqTest, AdcApproximatesTrueDistanceClosely) {
+  // SQ8 is a fine-grained quantizer; relative ADC error should be tiny.
+  data::Dataset ds = MakeData();
+  SqCodebook sq = SqCodebook::Train(ds.base.data(), ds.size(), 16);
+  std::vector<uint8_t> codes = sq.EncodeBatch(ds.base.data(), 200);
+  for (int64_t q = 0; q < 5; ++q) {
+    const float* query = ds.queries.Row(q);
+    for (int64_t i = 0; i < 200; i += 20) {
+      const float adc = sq.AdcDistance(query, codes.data() + i * 16);
+      const float exact = simd::L2Sqr(query, ds.base.Row(i), 16);
+      EXPECT_NEAR(adc, exact, 0.05f * (1.0f + exact));
+    }
+  }
+}
+
+TEST(SqTest, OutOfRangeValuesClampInsteadOfWrapping) {
+  std::vector<float> vmin = {0.0f, 0.0f};
+  std::vector<float> step = {1.0f / 255.0f, 1.0f / 255.0f};
+  SqCodebook sq = SqCodebook::FromParams(vmin, step);
+  const float far[2] = {-10.0f, 10.0f};
+  uint8_t code[2];
+  sq.Encode(far, code);
+  EXPECT_EQ(code[0], 0);
+  EXPECT_EQ(code[1], 255);
+}
+
+TEST(SqTest, ConstantDimensionReconstructsExactly) {
+  // A dimension with zero spread must decode back to its constant value
+  // (step 0) rather than dividing by zero.
+  linalg::Matrix m(50, 3);
+  for (int64_t i = 0; i < 50; ++i) {
+    m.At(i, 0) = 4.5f;                             // constant
+    m.At(i, 1) = static_cast<float>(i) * 0.1f;     // varying
+    m.At(i, 2) = -1.0f + static_cast<float>(i % 2);
+  }
+  SqCodebook sq = SqCodebook::Train(m.data(), 50, 3);
+  std::vector<uint8_t> code(3);
+  std::vector<float> decoded(3);
+  sq.Encode(m.Row(7), code.data());
+  sq.Decode(code.data(), decoded.data());
+  EXPECT_FLOAT_EQ(decoded[0], 4.5f);
+}
+
+TEST(SqTest, TrimQuantileShrinksRange) {
+  // With one far outlier, the trimmed range must be much tighter than the
+  // raw min/max range.
+  linalg::Matrix m = testing::RandomMatrix(500, 4, 91);
+  m.At(0, 0) = 1000.0f;  // inject outlier
+  SqOptions raw;
+  SqOptions trimmed;
+  trimmed.trim_quantile = 0.01;
+  SqCodebook sq_raw = SqCodebook::Train(m.data(), 500, 4, raw);
+  SqCodebook sq_trim = SqCodebook::Train(m.data(), 500, 4, trimmed);
+  EXPECT_LT(sq_trim.step()[0], sq_raw.step()[0] * 0.1f);
+}
+
+TEST(SqTest, EncodeBatchMatchesSingleEncode) {
+  data::Dataset ds = MakeData();
+  SqCodebook sq = SqCodebook::Train(ds.base.data(), ds.size(), 16);
+  std::vector<uint8_t> codes = sq.EncodeBatch(ds.base.data(), 40);
+  std::vector<uint8_t> single(16);
+  for (int64_t i = 0; i < 40; ++i) {
+    sq.Encode(ds.base.Row(i), single.data());
+    for (int64_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(codes[static_cast<std::size_t>(i * 16 + j)],
+                single[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+TEST(SqTest, FromParamsRoundTrip) {
+  data::Dataset ds = MakeData();
+  SqCodebook sq = SqCodebook::Train(ds.base.data(), ds.size(), 16);
+  SqCodebook rebuilt = SqCodebook::FromParams(sq.vmin(), sq.step());
+  std::vector<uint8_t> c1(16);
+  std::vector<uint8_t> c2(16);
+  for (int64_t i = 0; i < 20; ++i) {
+    sq.Encode(ds.base.Row(i), c1.data());
+    rebuilt.Encode(ds.base.Row(i), c2.data());
+    EXPECT_EQ(c1, c2);
+  }
+}
+
+// Reconstruction quality must degrade gracefully as the trim quantile
+// grows: tighter ranges clamp more points but keep in-range precision.
+class SqTrimSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SqTrimSweepTest, InRangePointsStayAccurate) {
+  data::Dataset ds = MakeData();
+  SqOptions options;
+  options.trim_quantile = GetParam();
+  SqCodebook sq = SqCodebook::Train(ds.base.data(), ds.size(), 16, options);
+  // The half-step bound applies exactly to points whose every component
+  // lies inside the trained range (clamped components add their own error).
+  float bound = 0.0f;
+  for (float s : sq.step()) bound += 0.25f * s * s;
+  int in_range = 0;
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    bool inside = true;
+    for (int64_t j = 0; j < 16 && inside; ++j) {
+      const auto sj = static_cast<std::size_t>(j);
+      const float hi = sq.vmin()[sj] + 255.0f * sq.step()[sj];
+      inside = ds.base.At(i, j) >= sq.vmin()[sj] && ds.base.At(i, j) <= hi;
+    }
+    if (!inside) continue;
+    ++in_range;
+    EXPECT_LE(sq.ReconstructionError(ds.base.Row(i)),
+              bound * 1.001f + 1e-6f);
+  }
+  // Even at the heaviest trim level some points are fully in-range
+  // ((1-2q)^16 of the mass in expectation).
+  EXPECT_GT(in_range, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TrimLevels, SqTrimSweepTest,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05));
+
+}  // namespace
+}  // namespace resinfer::quant

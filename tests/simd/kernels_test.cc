@@ -1,0 +1,136 @@
+#include "simd/kernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simd/dispatch.h"
+#include "util/rng.h"
+
+namespace resinfer::simd {
+namespace {
+
+std::vector<float> RandomVec(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+  return v;
+}
+
+// Property sweep: scalar and AVX2 agree across dimensions including
+// non-multiples of the vector width.
+class KernelParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelParityTest, L2SqrMatchesScalar) {
+  const std::size_t n = GetParam();
+  auto a = RandomVec(n, 1), b = RandomVec(n, 2);
+  float scalar = internal::L2SqrScalar(a.data(), b.data(), n);
+#if defined(RESINFER_HAVE_AVX2)
+  float avx = internal::L2SqrAvx2(a.data(), b.data(), n);
+  EXPECT_NEAR(avx, scalar, 1e-4f * (1.0f + scalar));
+#endif
+  ScopedSimdLevel guard(SimdLevel::kScalar);
+  EXPECT_EQ(L2Sqr(a.data(), b.data(), n), scalar);
+}
+
+TEST_P(KernelParityTest, InnerProductMatchesScalar) {
+  const std::size_t n = GetParam();
+  auto a = RandomVec(n, 3), b = RandomVec(n, 4);
+  float scalar = internal::InnerProductScalar(a.data(), b.data(), n);
+#if defined(RESINFER_HAVE_AVX2)
+  float avx = internal::InnerProductAvx2(a.data(), b.data(), n);
+  EXPECT_NEAR(avx, scalar, 1e-4f * (1.0f + std::abs(scalar)));
+#endif
+}
+
+TEST_P(KernelParityTest, AxpyMatchesScalar) {
+  const std::size_t n = GetParam();
+  auto x = RandomVec(n, 5);
+  auto out1 = RandomVec(n, 6);
+  auto out2 = out1;
+  internal::AxpyScalar(0.75f, x.data(), out1.data(), n);
+#if defined(RESINFER_HAVE_AVX2)
+  internal::AxpyAvx2(0.75f, x.data(), out2.data(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(out1[i], out2[i], 1e-5f);
+#endif
+}
+
+TEST_P(KernelParityTest, SqAdcL2SqrMatchesScalar) {
+  const std::size_t n = GetParam();
+  auto q = RandomVec(n, 7);
+  auto vmin = RandomVec(n, 8);
+  std::vector<float> step(n);
+  std::vector<uint8_t> code(n);
+  Rng rng(9);
+  for (std::size_t i = 0; i < n; ++i) {
+    step[i] = static_cast<float>(rng.Uniform()) * 0.01f;
+    code[i] = static_cast<uint8_t>(rng.Uniform() * 255.0);
+  }
+  float scalar = internal::SqAdcL2SqrScalar(q.data(), code.data(),
+                                            vmin.data(), step.data(), n);
+  // The kernel must equal decoding into a buffer and taking plain L2.
+  std::vector<float> decoded(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    decoded[i] = vmin[i] + static_cast<float>(code[i]) * step[i];
+  }
+  float reference = internal::L2SqrScalar(q.data(), decoded.data(), n);
+  EXPECT_NEAR(scalar, reference, 1e-4f * (1.0f + reference));
+#if defined(RESINFER_HAVE_AVX2)
+  float avx = internal::SqAdcL2SqrAvx2(q.data(), code.data(), vmin.data(),
+                                       step.data(), n);
+  EXPECT_NEAR(avx, scalar, 1e-4f * (1.0f + scalar));
+#endif
+  ScopedSimdLevel guard(SimdLevel::kScalar);
+  EXPECT_EQ(
+      SqAdcL2Sqr(q.data(), code.data(), vmin.data(), step.data(), n),
+      scalar);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KernelParityTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 15, 16, 17, 31, 32,
+                                           33, 48, 100, 128, 256, 300, 960));
+
+TEST(KernelsTest, KnownValues) {
+  const float a[4] = {1, 2, 3, 4};
+  const float b[4] = {0, 2, 5, 1};
+  // (1-0)^2 + 0 + (3-5)^2 + (4-1)^2 = 1 + 4 + 9 = 14
+  EXPECT_FLOAT_EQ(internal::L2SqrScalar(a, b, 4), 14.0f);
+  // 0 + 4 + 15 + 4 = 23
+  EXPECT_FLOAT_EQ(internal::InnerProductScalar(a, b, 4), 23.0f);
+  EXPECT_FLOAT_EQ(internal::Norm2SqrScalar(a, 4), 30.0f);
+}
+
+TEST(KernelsTest, ZeroLength) {
+  const float a[1] = {1.0f};
+  EXPECT_EQ(L2Sqr(a, a, 0), 0.0f);
+  EXPECT_EQ(InnerProduct(a, a, 0), 0.0f);
+  EXPECT_EQ(Norm2Sqr(a, 0), 0.0f);
+}
+
+TEST(KernelsTest, L2SqrIdenticalVectorsIsZero) {
+  auto a = RandomVec(301, 7);
+  EXPECT_EQ(L2Sqr(a.data(), a.data(), a.size()), 0.0f);
+}
+
+TEST(DispatchTest, LevelSwitching) {
+  SimdLevel best = BestSupportedLevel();
+  EXPECT_EQ(ActiveLevel(), best);
+  {
+    ScopedSimdLevel guard(SimdLevel::kScalar);
+    EXPECT_EQ(ActiveLevel(), SimdLevel::kScalar);
+  }
+  EXPECT_EQ(ActiveLevel(), best);
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(DispatchTest, UnsupportedLevelClampsDown) {
+  SetActiveLevel(SimdLevel::kAvx2);
+  EXPECT_LE(ActiveLevel(), BestSupportedLevel());
+  SetActiveLevel(BestSupportedLevel());
+}
+
+}  // namespace
+}  // namespace resinfer::simd

@@ -1,0 +1,54 @@
+// Shared helpers for the test suite: tiny deterministic datasets and
+// tolerance helpers.
+#ifndef RESINFER_TESTS_TEST_UTIL_H_
+#define RESINFER_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace resinfer::testing {
+
+// A small skewed-spectrum clustered dataset, fast enough for every test.
+inline data::Dataset SmallDataset(int64_t n = 2000, int64_t dim = 48,
+                                  double alpha = 1.0, uint64_t seed = 7,
+                                  int64_t queries = 32,
+                                  int64_t train_queries = 200) {
+  data::SyntheticSpec spec;
+  spec.name = "test";
+  spec.dim = dim;
+  spec.num_base = n;
+  spec.num_queries = queries;
+  spec.num_train_queries = train_queries;
+  spec.num_clusters = 16;
+  spec.spectrum_alpha = alpha;
+  spec.seed = seed;
+  return data::GenerateSynthetic(spec);
+}
+
+// Random dense matrix with N(0,1) entries.
+inline linalg::Matrix RandomMatrix(int64_t rows, int64_t cols,
+                                   uint64_t seed = 3) {
+  Rng rng(seed);
+  linalg::Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.Gaussian());
+  return m;
+}
+
+// Random symmetric matrix A = B + B^T.
+inline linalg::Matrix RandomSymmetric(int64_t n, uint64_t seed = 5) {
+  linalg::Matrix b = RandomMatrix(n, n, seed);
+  linalg::Matrix a(n, n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      a.At(i, j) = 0.5f * (b.At(i, j) + b.At(j, i));
+  return a;
+}
+
+}  // namespace resinfer::testing
+
+#endif  // RESINFER_TESTS_TEST_UTIL_H_

@@ -1,0 +1,111 @@
+#include "tool_flags.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace resinfer::tools {
+namespace {
+
+// Builds argv from string literals (argv[0] is the program name).
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : storage_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("test"));
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(ToolFlagsTest, SpaceAndEqualsSyntaxBothParse) {
+  Args args({"--alpha", "1.5", "--name=demo"});
+  ArgParser parser(args.argc(), args.argv());
+  EXPECT_DOUBLE_EQ(parser.GetDouble("alpha", 0.0), 1.5);
+  EXPECT_EQ(parser.GetString("name"), "demo");
+  EXPECT_TRUE(parser.Validate());
+}
+
+TEST(ToolFlagsTest, DefaultsApplyWhenFlagAbsent) {
+  Args args({});
+  ArgParser parser(args.argc(), args.argv());
+  EXPECT_EQ(parser.GetInt("n", 42), 42);
+  EXPECT_EQ(parser.GetString("out", "fallback"), "fallback");
+  EXPECT_TRUE(parser.GetBool("verbose", true));
+  EXPECT_TRUE(parser.Validate());
+}
+
+TEST(ToolFlagsTest, BareSwitchIsTrue) {
+  Args args({"--force"});
+  ArgParser parser(args.argc(), args.argv());
+  EXPECT_TRUE(parser.GetBool("force", false));
+  EXPECT_TRUE(parser.Has("force"));
+  EXPECT_TRUE(parser.Validate());
+}
+
+TEST(ToolFlagsTest, FalseAndZeroDisableBoolean) {
+  Args args({"--a=false", "--b=0", "--c=yes"});
+  ArgParser parser(args.argc(), args.argv());
+  EXPECT_FALSE(parser.GetBool("a", true));
+  EXPECT_FALSE(parser.GetBool("b", true));
+  EXPECT_TRUE(parser.GetBool("c", false));
+  EXPECT_TRUE(parser.Validate());
+}
+
+TEST(ToolFlagsTest, MalformedIntegerFailsParser) {
+  Args args({"--n", "12x"});
+  ArgParser parser(args.argc(), args.argv());
+  EXPECT_EQ(parser.GetInt("n", 5), 5);  // default returned on failure
+  EXPECT_TRUE(parser.failed());
+  EXPECT_FALSE(parser.Validate());
+}
+
+TEST(ToolFlagsTest, MalformedDoubleFailsParser) {
+  Args args({"--rate=fast"});
+  ArgParser parser(args.argc(), args.argv());
+  parser.GetDouble("rate", 1.0);
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(ToolFlagsTest, UnknownFlagFailsValidation) {
+  Args args({"--typo-flag", "3"});
+  ArgParser parser(args.argc(), args.argv());
+  parser.GetInt("real-flag", 0);
+  EXPECT_FALSE(parser.Validate());
+}
+
+TEST(ToolFlagsTest, PositionalArgumentsCollected) {
+  Args args({"file1.bin", "--k", "5", "file2.bin"});
+  ArgParser parser(args.argc(), args.argv());
+  EXPECT_EQ(parser.GetInt("k", 0), 5);
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "file1.bin");
+  EXPECT_EQ(parser.positional()[1], "file2.bin");
+  EXPECT_TRUE(parser.Validate());
+}
+
+TEST(ToolFlagsTest, NegativeNumbersParse) {
+  // A negative value after a flag must bind as the value, not as a new
+  // flag (it does not start with "--").
+  Args args({"--shift", "-3"});
+  ArgParser parser(args.argc(), args.argv());
+  EXPECT_EQ(parser.GetInt("shift", 0), -3);
+  EXPECT_TRUE(parser.Validate());
+}
+
+TEST(ToolFlagsTest, SplitCommaList) {
+  EXPECT_EQ(SplitCommaList("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCommaList("single"),
+            (std::vector<std::string>{"single"}));
+  EXPECT_TRUE(SplitCommaList("").empty());
+  EXPECT_EQ(SplitCommaList("x,"), (std::vector<std::string>{"x", ""}));
+}
+
+}  // namespace
+}  // namespace resinfer::tools

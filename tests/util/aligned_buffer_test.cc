@@ -1,0 +1,53 @@
+#include "util/aligned_buffer.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace resinfer {
+namespace {
+
+TEST(AlignedBufferTest, AllocationIsCacheLineAligned) {
+  for (std::size_t count : {1u, 7u, 64u, 1000u}) {
+    AlignedBuffer<float> buf(count);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+    EXPECT_EQ(buf.size(), count);
+  }
+}
+
+TEST(AlignedBufferTest, ZeroInitialized) {
+  AlignedBuffer<float> buf(128);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.0f);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(10);
+  a[3] = 42;
+  int* ptr = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBufferTest, CloneIsDeepCopy) {
+  AlignedBuffer<float> a(16);
+  a[0] = 1.5f;
+  AlignedBuffer<float> b = a.Clone();
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(b[0], 1.5f);
+  b[0] = 2.0f;
+  EXPECT_EQ(a[0], 1.5f);
+}
+
+TEST(AlignedBufferTest, EmptyBuffer) {
+  AlignedBuffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  buf.Resize(0);
+  EXPECT_TRUE(buf.empty());
+}
+
+}  // namespace
+}  // namespace resinfer

@@ -1,0 +1,132 @@
+#include "util/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace resinfer {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValueStats) {
+  Histogram h;
+  h.Add(0.125);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.125);
+  EXPECT_DOUBLE_EQ(h.min(), 0.125);
+  EXPECT_DOUBLE_EQ(h.max(), 0.125);
+  // The only sample defines every percentile (clamped to [min, max]).
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0.125);
+}
+
+TEST(HistogramTest, MinMaxMeanExact) {
+  Histogram h;
+  for (double v : {3.0, 1.0, 4.0, 1.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 14.0 / 5.0);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketResolution) {
+  // Uniform samples over [1, 2]: percentile estimates must land within the
+  // ~4.2% geometric bucket width of the true quantile.
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    h.Add(1.0 + rng.Uniform());
+  }
+  EXPECT_NEAR(h.Percentile(0.5), 1.5, 0.10);
+  EXPECT_NEAR(h.Percentile(0.9), 1.9, 0.12);
+  EXPECT_NEAR(h.Percentile(0.99), 1.99, 0.12);
+}
+
+TEST(HistogramTest, PercentileIsMonotoneInP) {
+  Histogram h;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) h.Add(rng.Uniform() * 1e-3);
+  double previous = 0.0;
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double value = h.Percentile(p);
+    EXPECT_GE(value, previous) << "p=" << p;
+    previous = value;
+  }
+}
+
+TEST(HistogramTest, TinyAndHugeValuesLandInEndBuckets) {
+  Histogram h;
+  h.Add(0.0);
+  h.Add(1e-12);  // below the first bucket upper bound
+  h.Add(1e30);   // beyond the last bucket
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.max(), 1e30);
+  EXPECT_LE(h.Percentile(0.01), 1e-9);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedInsertion) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform() * 0.01;
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  // Sums differ only by float summation order.
+  EXPECT_NEAR(a.sum(), combined.sum(), 1e-9 * combined.sum());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (double p : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), combined.Percentile(p));
+  }
+}
+
+TEST(HistogramTest, MergeIntoEmptyCopiesStats) {
+  Histogram a;
+  Histogram b;
+  b.Add(2.0);
+  b.Add(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(1.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(0.9), 0.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  const std::string summary = h.Summary();
+  EXPECT_NE(summary.find("count=2"), std::string::npos);
+  EXPECT_NE(summary.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace resinfer

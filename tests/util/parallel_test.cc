@@ -1,0 +1,67 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace resinfer {
+namespace {
+
+TEST(ParallelTest, ParallelForCoversRangeExactlyOnce) {
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  ParallelFor(kN, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(touched[i].load(), 1);
+}
+
+TEST(ParallelTest, ParallelForEachCoversRangeExactlyOnce) {
+  constexpr int64_t kN = 5000;
+  std::vector<std::atomic<int>> touched(kN);
+  ParallelForEach(kN, [&](int64_t i, int /*thread*/) {
+    touched[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(touched[i].load(), 1);
+}
+
+TEST(ParallelTest, EmptyAndSmallRanges) {
+  int calls = 0;
+  ParallelFor(0, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelTest, ThreadCountOverride) {
+  int saved = DefaultThreadCount();
+  SetDefaultThreadCount(1);
+  EXPECT_EQ(DefaultThreadCount(), 1);
+  // With one thread the callback thread_id is always 0.
+  ParallelForEach(2000, [&](int64_t, int thread_id) {
+    EXPECT_EQ(thread_id, 0);
+  });
+  SetDefaultThreadCount(0);  // restore auto
+  EXPECT_GE(DefaultThreadCount(), 1);
+  SetDefaultThreadCount(saved == DefaultThreadCount() ? 0 : 0);
+}
+
+TEST(ParallelTest, ResultsMatchSequential) {
+  constexpr int64_t kN = 100000;
+  std::vector<double> values(kN);
+  for (int64_t i = 0; i < kN; ++i) values[i] = 0.5 * i;
+  std::vector<double> out(kN);
+  ParallelFor(kN, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) out[i] = values[i] * 2.0;
+  });
+  for (int64_t i = 0; i < kN; i += 997) EXPECT_DOUBLE_EQ(out[i], values[i] * 2);
+}
+
+}  // namespace
+}  // namespace resinfer

@@ -1,0 +1,97 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace resinfer {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+    EXPECT_DOUBLE_EQ(a.Gaussian(), b.Gaussian());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform() == b.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntRange) {
+  Rng rng(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  for (int64_t n : {10, 100, 5000}) {
+    for (int64_t k : {1L, n / 2, n}) {
+      auto sample = rng.SampleWithoutReplacement(n, k);
+      ASSERT_EQ(static_cast<int64_t>(sample.size()), k);
+      std::set<int64_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(static_cast<int64_t>(unique.size()), k);
+      for (int64_t v : sample) {
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, n);
+      }
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementSparseCoverage) {
+  // The Floyd path (k << n) should still cover the range roughly uniformly.
+  Rng rng(13);
+  std::vector<int> hits(100, 0);
+  for (int rep = 0; rep < 2000; ++rep) {
+    for (int64_t v : rng.SampleWithoutReplacement(100, 5)) ++hits[v];
+  }
+  // Each index expected ~100 times; allow generous slack.
+  for (int h : hits) {
+    EXPECT_GT(h, 40);
+    EXPECT_LT(h, 200);
+  }
+}
+
+TEST(RngTest, SampleZero) {
+  Rng rng(14);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+}  // namespace
+}  // namespace resinfer

@@ -1,0 +1,137 @@
+// resinfer_gen — generates a synthetic benchmark dataset on disk.
+//
+// Writes the standard ANN-benchmark file layout into --out-dir:
+//   base.fvecs         base vectors to index
+//   queries.fvecs      evaluation queries
+//   train.fvecs        training queries for the learned correctors
+//   groundtruth.ivecs  exact top-K ids per evaluation query
+//
+// The dataset is one of the paper-proxy distributions (DESIGN.md §2) or a
+// fully custom spectrum via the flags. Example:
+//
+//   resinfer_gen --out-dir /tmp/sift --proxy sift --n 50000
+//   resinfer_build --base /tmp/sift/base.fvecs --train /tmp/sift/train.fvecs \
+//       --out-dir /tmp/sift/index
+//   resinfer_search --dir /tmp/sift/index --base /tmp/sift/base.fvecs \
+//       --queries /tmp/sift/queries.fvecs --gt /tmp/sift/groundtruth.ivecs \
+//       --method ddc-res
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "data/vec_io.h"
+#include "tool_flags.h"
+#include "util/timer.h"
+
+namespace {
+
+using resinfer::data::Dataset;
+using resinfer::data::SyntheticSpec;
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: resinfer_gen --out-dir DIR [options]\n"
+               "  --proxy NAME   sift|gist|deep|msong|tiny|glove|word2vec|"
+               "antface (default sift)\n"
+               "  --n N          base vectors (default: proxy default)\n"
+               "  --dim D        dimensionality (default: proxy default)\n"
+               "  --queries Q    evaluation queries\n"
+               "  --train T      training queries\n"
+               "  --alpha A      spectrum skew override\n"
+               "  --clusters C   mixture clusters override\n"
+               "  --seed S       RNG seed\n"
+               "  --gt-k K       ground-truth depth (default 100)\n");
+}
+
+SyntheticSpec SpecFor(const std::string& proxy, bool* ok) {
+  *ok = true;
+  if (proxy == "sift") return resinfer::data::SiftProxySpec();
+  if (proxy == "gist") return resinfer::data::GistProxySpec();
+  if (proxy == "deep") return resinfer::data::DeepProxySpec();
+  if (proxy == "msong") return resinfer::data::MsongProxySpec();
+  if (proxy == "tiny") return resinfer::data::TinyProxySpec();
+  if (proxy == "glove") return resinfer::data::GloveProxySpec();
+  if (proxy == "word2vec") return resinfer::data::Word2vecProxySpec();
+  if (proxy == "antface") return resinfer::data::AntFaceProxySpec();
+  *ok = false;
+  return SyntheticSpec();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  resinfer::tools::ArgParser args(argc, argv);
+
+  const std::string out_dir = args.GetString("out-dir");
+  const std::string proxy = args.GetString("proxy", "sift");
+  bool proxy_ok = false;
+  SyntheticSpec spec = SpecFor(proxy, &proxy_ok);
+  if (!proxy_ok) args.Fail("unknown --proxy '" + proxy + "'");
+
+  spec.num_base = args.GetInt("n", spec.num_base);
+  spec.dim = args.GetInt("dim", spec.dim);
+  spec.num_queries = args.GetInt("queries", spec.num_queries);
+  spec.num_train_queries = args.GetInt("train", spec.num_train_queries);
+  spec.spectrum_alpha = args.GetDouble("alpha", spec.spectrum_alpha);
+  spec.num_clusters =
+      static_cast<int>(args.GetInt("clusters", spec.num_clusters));
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed",
+                                                static_cast<int64_t>(spec.seed)));
+  const int gt_k = static_cast<int>(args.GetInt("gt-k", 100));
+
+  if (out_dir.empty()) args.Fail("--out-dir is required");
+  if (!args.Validate()) {
+    PrintUsage();
+    return 1;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  std::printf("generating %s proxy: n=%lld dim=%lld queries=%lld train=%lld "
+              "alpha=%.2f seed=%llu\n",
+              proxy.c_str(), static_cast<long long>(spec.num_base),
+              static_cast<long long>(spec.dim),
+              static_cast<long long>(spec.num_queries),
+              static_cast<long long>(spec.num_train_queries),
+              spec.spectrum_alpha,
+              static_cast<unsigned long long>(spec.seed));
+
+  resinfer::WallTimer timer;
+  Dataset ds = resinfer::data::GenerateSynthetic(spec);
+  std::printf("generated in %.2fs\n", timer.ElapsedSeconds());
+
+  timer.Reset();
+  std::vector<std::vector<int64_t>> truth =
+      resinfer::data::BruteForceKnn(ds.base, ds.queries, gt_k);
+  std::vector<std::vector<int32_t>> truth32;
+  truth32.reserve(truth.size());
+  for (const auto& row : truth) {
+    truth32.emplace_back(row.begin(), row.end());
+  }
+  std::printf("ground truth (k=%d) in %.2fs\n", gt_k, timer.ElapsedSeconds());
+
+  std::string error;
+  const std::string base_path = out_dir + "/base.fvecs";
+  const std::string query_path = out_dir + "/queries.fvecs";
+  const std::string train_path = out_dir + "/train.fvecs";
+  const std::string gt_path = out_dir + "/groundtruth.ivecs";
+  if (!resinfer::data::WriteFvecs(base_path, ds.base, &error) ||
+      !resinfer::data::WriteFvecs(query_path, ds.queries, &error) ||
+      !resinfer::data::WriteFvecs(train_path, ds.train_queries, &error) ||
+      !resinfer::data::WriteIvecs(gt_path, truth32, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s, %s, %s, %s\n", base_path.c_str(),
+              query_path.c_str(), train_path.c_str(), gt_path.c_str());
+  return 0;
+}

@@ -1,0 +1,226 @@
+// resinfer_inspect — prints what a persisted artifact file contains.
+//
+// Sniffs the 8-byte magic of each argument, loads it through the matching
+// persist/ loader (so corruption is detected, not just labeled), and prints
+// the key shape metadata. Unknown or damaged files are reported per file;
+// the exit code is non-zero if any file failed.
+//
+//   resinfer_inspect /tmp/sift/index/*.bin
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "persist/persist.h"
+
+namespace {
+
+using resinfer::persist::LoadDdcOpqArtifacts;
+using resinfer::persist::LoadDdcPcaArtifacts;
+using resinfer::persist::LoadHnsw;
+using resinfer::persist::LoadIvf;
+using resinfer::persist::LoadMatrix;
+using resinfer::persist::LoadOpq;
+using resinfer::persist::LoadPca;
+using resinfer::persist::LoadPq;
+
+bool ReadMagic(const std::string& path, std::string* magic,
+               std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open file";
+    return false;
+  }
+  char buffer[8];
+  if (!in.read(buffer, sizeof(buffer))) {
+    *error = "file shorter than a header";
+    return false;
+  }
+  magic->assign(buffer, sizeof(buffer));
+  return true;
+}
+
+bool InspectOne(const std::string& path) {
+  std::string magic;
+  std::string error;
+  if (!ReadMagic(path, &magic, &error)) {
+    std::printf("%s: ERROR %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+
+  if (magic == "RIMATRX1") {
+    resinfer::linalg::Matrix m;
+    if (!LoadMatrix(path, &m, &error)) {
+      std::printf("%s: matrix (CORRUPT: %s)\n", path.c_str(), error.c_str());
+      return false;
+    }
+    std::printf("%s: matrix %lld x %lld (%.1f MiB)\n", path.c_str(),
+                static_cast<long long>(m.rows()),
+                static_cast<long long>(m.cols()),
+                static_cast<double>(m.size()) * sizeof(float) / (1 << 20));
+    return true;
+  }
+  if (magic == "RIPCAMD1") {
+    resinfer::linalg::PcaModel pca;
+    if (!LoadPca(path, &pca, &error)) {
+      std::printf("%s: pca model (CORRUPT: %s)\n", path.c_str(),
+                  error.c_str());
+      return false;
+    }
+    double top32 = 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < pca.variances().size(); ++i) {
+      total += pca.variances()[i];
+      if (i < 32) top32 += pca.variances()[i];
+    }
+    std::printf("%s: pca model dim=%lld top32_variance=%.2f%%\n",
+                path.c_str(), static_cast<long long>(pca.dim()),
+                total > 0.0 ? 100.0 * top32 / total : 0.0);
+    return true;
+  }
+  if (magic == "RIPQCBK1") {
+    resinfer::quant::PqCodebook pq;
+    if (!LoadPq(path, &pq, &error)) {
+      std::printf("%s: pq codebook (CORRUPT: %s)\n", path.c_str(),
+                  error.c_str());
+      return false;
+    }
+    std::printf("%s: pq codebook dim=%lld m=%d ksub=%d\n", path.c_str(),
+                static_cast<long long>(pq.dim()), pq.num_subspaces(),
+                pq.num_centroids());
+    return true;
+  }
+  if (magic == "RIOPQMD1") {
+    resinfer::quant::OpqModel opq;
+    if (!LoadOpq(path, &opq, &error)) {
+      std::printf("%s: opq model (CORRUPT: %s)\n", path.c_str(),
+                  error.c_str());
+      return false;
+    }
+    std::printf("%s: opq model dim=%lld m=%d ksub=%d\n", path.c_str(),
+                static_cast<long long>(opq.dim()),
+                opq.codebook().num_subspaces(),
+                opq.codebook().num_centroids());
+    return true;
+  }
+  if (magic == "RIHNSWG1") {
+    resinfer::index::HnswIndex hnsw;
+    if (!LoadHnsw(path, &hnsw, &error)) {
+      std::printf("%s: hnsw graph (CORRUPT: %s)\n", path.c_str(),
+                  error.c_str());
+      return false;
+    }
+    std::printf("%s: hnsw graph n=%lld levels=%d (%.1f MiB)\n", path.c_str(),
+                static_cast<long long>(hnsw.size()), hnsw.max_level() + 1,
+                static_cast<double>(hnsw.GraphBytes()) / (1 << 20));
+    return true;
+  }
+  if (magic == "RIIVFIX1") {
+    resinfer::index::IvfIndex ivf;
+    if (!LoadIvf(path, &ivf, &error)) {
+      std::printf("%s: ivf index (CORRUPT: %s)\n", path.c_str(),
+                  error.c_str());
+      return false;
+    }
+    std::printf("%s: ivf index n=%lld clusters=%lld\n", path.c_str(),
+                static_cast<long long>(ivf.size()),
+                static_cast<long long>(ivf.num_clusters()));
+    return true;
+  }
+  if (magic == "RIDPCAA1") {
+    resinfer::core::DdcPcaArtifacts a;
+    if (!LoadDdcPcaArtifacts(path, &a, &error)) {
+      std::printf("%s: ddc-pca artifacts (CORRUPT: %s)\n", path.c_str(),
+                  error.c_str());
+      return false;
+    }
+    std::printf("%s: ddc-pca artifacts stages=%zu dims=[", path.c_str(),
+                a.stage_dims.size());
+    for (std::size_t i = 0; i < a.stage_dims.size(); ++i) {
+      std::printf("%s%lld", i ? "," : "",
+                  static_cast<long long>(a.stage_dims[i]));
+    }
+    std::printf("]\n");
+    return true;
+  }
+  if (magic == "RIDOPQA1") {
+    resinfer::core::DdcOpqArtifacts a;
+    if (!LoadDdcOpqArtifacts(path, &a, &error)) {
+      std::printf("%s: ddc-opq artifacts (CORRUPT: %s)\n", path.c_str(),
+                  error.c_str());
+      return false;
+    }
+    std::printf("%s: ddc-opq artifacts n=%zu code_size=%lld extra=%.1f MiB\n",
+                path.c_str(), a.recon_errors.size(),
+                static_cast<long long>(a.opq.codebook().code_size()),
+                static_cast<double>(a.ExtraBytes()) / (1 << 20));
+    return true;
+  }
+  if (magic == "RIRQCBK1") {
+    resinfer::quant::RqCodebook rq;
+    if (!resinfer::persist::LoadRq(path, &rq, &error)) {
+      std::printf("%s: rq codebook (CORRUPT: %s)\n", path.c_str(),
+                  error.c_str());
+      return false;
+    }
+    std::printf("%s: rq codebook dim=%lld stages=%d ksub=%d\n", path.c_str(),
+                static_cast<long long>(rq.dim()), rq.num_stages(),
+                rq.num_centroids());
+    return true;
+  }
+  if (magic == "RISQCBK1") {
+    resinfer::quant::SqCodebook sq;
+    if (!resinfer::persist::LoadSq(path, &sq, &error)) {
+      std::printf("%s: sq codebook (CORRUPT: %s)\n", path.c_str(),
+                  error.c_str());
+      return false;
+    }
+    std::printf("%s: sq8 codebook dim=%lld\n", path.c_str(),
+                static_cast<long long>(sq.dim()));
+    return true;
+  }
+  if (magic == "RILINCR1") {
+    resinfer::core::LinearCorrector corrector;
+    if (!resinfer::persist::LoadCorrector(path, &corrector, &error)) {
+      std::printf("%s: linear corrector (CORRUPT: %s)\n", path.c_str(),
+                  error.c_str());
+      return false;
+    }
+    std::printf(
+        "%s: linear corrector trained=%d w=(%.4g, %.4g, %.4g) bias=%.4g\n",
+        path.c_str(), corrector.trained() ? 1 : 0, corrector.w_approx(),
+        corrector.w_tau(), corrector.w_extra(), corrector.bias());
+    return true;
+  }
+  if (magic == "RIDRQCA1") {
+    resinfer::core::DdcRqCascadeArtifacts a;
+    if (!resinfer::persist::LoadDdcRqCascadeArtifacts(path, &a, &error)) {
+      std::printf("%s: ddc-rq-cascade artifacts (CORRUPT: %s)\n",
+                  path.c_str(), error.c_str());
+      return false;
+    }
+    std::printf("%s: ddc-rq-cascade artifacts stages=%d levels=[",
+                path.c_str(), a.rq.num_stages());
+    for (std::size_t l = 0; l < a.levels.size(); ++l) {
+      std::printf("%s%d", l ? "," : "", a.levels[l]);
+    }
+    std::printf("] extra=%.1f MiB\n",
+                static_cast<double>(a.ExtraBytes()) / (1 << 20));
+    return true;
+  }
+  std::printf("%s: unknown magic '%s'\n", path.c_str(), magic.c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: resinfer_inspect FILE...\n");
+    return 1;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    all_ok = InspectOne(argv[i]) && all_ok;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,236 @@
+// resinfer_search — serves queries from artifacts persisted by
+// resinfer_build and reports quality + performance.
+//
+// Loads the base vectors, the requested index, and the method's artifacts
+// from --dir, runs the query file through the multi-threaded batch runner,
+// and prints QPS, latency percentiles, pruning statistics and (when a
+// ground-truth ivecs is supplied) recall@k.
+//
+//   resinfer_search --dir /tmp/sift/index --base /tmp/sift/base.fvecs \
+//       --queries /tmp/sift/queries.fvecs --gt /tmp/sift/groundtruth.ivecs \
+//       --index hnsw --method ddc-res --k 10 --ef 100
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ad_sampling.h"
+#include "core/ddc_opq.h"
+#include "core/ddc_pca.h"
+#include "core/ddc_res.h"
+#include "data/metrics.h"
+#include "data/vec_io.h"
+#include "index/batch.h"
+#include "persist/persist.h"
+#include "tool_flags.h"
+
+namespace {
+
+using resinfer::index::BatchOptions;
+using resinfer::index::BatchResult;
+using resinfer::index::ComputerFactory;
+using resinfer::linalg::Matrix;
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: resinfer_search --dir DIR --base base.fvecs --queries Q.fvecs "
+      "[options]\n"
+      "  --method NAME   exact|adsampling|ddc-res|ddc-pca|ddc-opq "
+      "(default ddc-res)\n"
+      "  --index KIND    hnsw|ivf|flat (default hnsw)\n"
+      "  --gt FILE       ground-truth ivecs for recall\n"
+      "  --k N           neighbors (default 10)\n"
+      "  --ef N          HNSW beam (default 100)\n"
+      "  --nprobe N      IVF probes (default 10)\n"
+      "  --threads N     worker threads (default: hardware)\n");
+}
+
+// Everything a method needs at serving time, loaded once and shared by all
+// worker computers.
+struct ServingArtifacts {
+  Matrix base;
+  std::optional<resinfer::linalg::PcaModel> pca;
+  std::optional<Matrix> pca_base;
+  std::optional<Matrix> ads_rotation;
+  std::optional<Matrix> ads_base;
+  std::optional<resinfer::core::DdcPcaArtifacts> ddc_pca;
+  std::optional<resinfer::core::DdcOpqArtifacts> ddc_opq;
+};
+
+bool LoadFor(const std::string& method, const std::string& dir,
+             ServingArtifacts* artifacts, std::string* error) {
+  namespace persist = resinfer::persist;
+  if (method == "exact") return true;
+  if (method == "adsampling") {
+    artifacts->ads_rotation.emplace();
+    artifacts->ads_base.emplace();
+    return persist::LoadMatrix(dir + "/ads_rotation.bin",
+                               &*artifacts->ads_rotation, error) &&
+           persist::LoadMatrix(dir + "/ads_base.bin", &*artifacts->ads_base,
+                               error);
+  }
+  if (method == "ddc-res" || method == "ddc-pca") {
+    artifacts->pca.emplace();
+    artifacts->pca_base.emplace();
+    if (!persist::LoadPca(dir + "/pca.bin", &*artifacts->pca, error) ||
+        !persist::LoadMatrix(dir + "/pca_base.bin", &*artifacts->pca_base,
+                             error)) {
+      return false;
+    }
+    if (method == "ddc-pca") {
+      artifacts->ddc_pca.emplace();
+      return persist::LoadDdcPcaArtifacts(dir + "/ddc_pca.bin",
+                                          &*artifacts->ddc_pca, error);
+    }
+    return true;
+  }
+  if (method == "ddc-opq") {
+    artifacts->ddc_opq.emplace();
+    return persist::LoadDdcOpqArtifacts(dir + "/ddc_opq.bin",
+                                        &*artifacts->ddc_opq, error);
+  }
+  *error = "unknown method " + method;
+  return false;
+}
+
+ComputerFactory FactoryFor(const std::string& method,
+                           const ServingArtifacts& artifacts) {
+  namespace core = resinfer::core;
+  if (method == "exact") {
+    return [&artifacts] {
+      return std::make_unique<resinfer::index::FlatDistanceComputer>(
+          artifacts.base.data(), artifacts.base.rows(),
+          artifacts.base.cols());
+    };
+  }
+  if (method == "adsampling") {
+    return [&artifacts] {
+      return std::make_unique<core::AdSamplingComputer>(
+          &*artifacts.ads_rotation, &*artifacts.ads_base);
+    };
+  }
+  if (method == "ddc-res") {
+    return [&artifacts] {
+      return std::make_unique<core::DdcResComputer>(&*artifacts.pca,
+                                                    &*artifacts.pca_base);
+    };
+  }
+  if (method == "ddc-pca") {
+    return [&artifacts] {
+      return std::make_unique<core::DdcPcaComputer>(
+          &*artifacts.pca, &*artifacts.pca_base, &*artifacts.ddc_pca);
+    };
+  }
+  // ddc-opq (validated earlier).
+  return [&artifacts] {
+    return std::make_unique<core::DdcOpqComputer>(&artifacts.base,
+                                                  &*artifacts.ddc_opq);
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  resinfer::tools::ArgParser args(argc, argv);
+
+  const std::string dir = args.GetString("dir");
+  const std::string base_path = args.GetString("base");
+  const std::string query_path = args.GetString("queries");
+  const std::string gt_path = args.GetString("gt");
+  const std::string method = args.GetString("method", "ddc-res");
+  const std::string index_kind = args.GetString("index", "hnsw");
+  const int k = static_cast<int>(args.GetInt("k", 10));
+  const int ef = static_cast<int>(args.GetInt("ef", 100));
+  const int nprobe = static_cast<int>(args.GetInt("nprobe", 10));
+  BatchOptions batch_options;
+  batch_options.num_threads = static_cast<int>(args.GetInt("threads", 0));
+
+  if (dir.empty() && method != "exact") args.Fail("--dir is required");
+  if (base_path.empty()) args.Fail("--base is required");
+  if (query_path.empty()) args.Fail("--queries is required");
+  if (index_kind != "hnsw" && index_kind != "ivf" && index_kind != "flat") {
+    args.Fail("--index must be hnsw, ivf or flat");
+  }
+  if (!args.Validate()) {
+    PrintUsage();
+    return 1;
+  }
+
+  ServingArtifacts artifacts;
+  std::string error;
+  if (!resinfer::data::ReadFvecs(base_path, &artifacts.base, &error)) {
+    std::fprintf(stderr, "error reading %s: %s\n", base_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  Matrix queries;
+  if (!resinfer::data::ReadFvecs(query_path, &queries, &error)) {
+    std::fprintf(stderr, "error reading %s: %s\n", query_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  if (queries.cols() != artifacts.base.cols()) {
+    std::fprintf(stderr, "error: query dim %lld != base dim %lld\n",
+                 static_cast<long long>(queries.cols()),
+                 static_cast<long long>(artifacts.base.cols()));
+    return 1;
+  }
+  if (!LoadFor(method, dir, &artifacts, &error)) {
+    std::fprintf(stderr, "error loading artifacts: %s\n", error.c_str());
+    return 1;
+  }
+
+  ComputerFactory factory = FactoryFor(method, artifacts);
+  BatchResult batch;
+  if (index_kind == "flat") {
+    resinfer::index::FlatIndex flat(artifacts.base);
+    batch = BatchSearchFlat(flat, factory, queries, k, batch_options);
+  } else if (index_kind == "ivf") {
+    resinfer::index::IvfIndex ivf;
+    if (!resinfer::persist::LoadIvf(dir + "/ivf.bin", &ivf, &error)) {
+      std::fprintf(stderr, "error loading ivf.bin: %s\n", error.c_str());
+      return 1;
+    }
+    batch = BatchSearchIvf(ivf, factory, queries, k, nprobe, batch_options);
+  } else {
+    resinfer::index::HnswIndex hnsw;
+    if (!resinfer::persist::LoadHnsw(dir + "/hnsw.bin", &hnsw, &error)) {
+      std::fprintf(stderr, "error loading hnsw.bin: %s\n", error.c_str());
+      return 1;
+    }
+    batch = BatchSearchHnsw(hnsw, factory, queries, k, ef, batch_options);
+  }
+
+  std::printf("method=%s index=%s k=%d queries=%lld\n", method.c_str(),
+              index_kind.c_str(), k,
+              static_cast<long long>(queries.rows()));
+  std::printf("qps=%.1f wall=%.3fs\n", batch.Qps(), batch.wall_seconds);
+  std::printf("latency %s\n", batch.latency_seconds.Summary().c_str());
+  std::printf("candidates=%lld pruned_rate=%.3f scan_rate=%.3f\n",
+              static_cast<long long>(batch.stats.candidates),
+              batch.stats.PrunedRate(),
+              batch.stats.ScanRate(artifacts.base.cols()));
+
+  if (!gt_path.empty()) {
+    std::vector<std::vector<int32_t>> truth32;
+    if (!resinfer::data::ReadIvecs(gt_path, &truth32, &error)) {
+      std::fprintf(stderr, "error reading %s: %s\n", gt_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    if (truth32.size() != static_cast<std::size_t>(queries.rows())) {
+      std::fprintf(stderr, "error: ground truth has %zu rows, queries %lld\n",
+                   truth32.size(), static_cast<long long>(queries.rows()));
+      return 1;
+    }
+    std::vector<std::vector<int64_t>> truth;
+    truth.reserve(truth32.size());
+    for (const auto& row : truth32) truth.emplace_back(row.begin(), row.end());
+    const double recall = resinfer::data::MeanRecallAtK(
+        resinfer::index::ResultIds(batch), truth, k);
+    std::printf("recall@%d=%.4f\n", k, recall);
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Minimal --flag value / --flag=value parser shared by the CLI tools.
+//
+// Unknown flags are an error (typos should not silently fall back to
+// defaults when the operator thinks they changed something). Values are
+// validated on access; parse failures print to stderr and mark the parser
+// failed so the tool can exit non-zero after reporting usage.
+#ifndef RESINFER_TOOLS_TOOL_FLAGS_H_
+#define RESINFER_TOOLS_TOOL_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace resinfer::tools {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[arg] = argv[++i];
+      } else {
+        flags_[arg] = "true";  // bare switch
+      }
+    }
+  }
+
+  bool Has(const std::string& name) {
+    used_.insert(name);
+    return flags_.count(name) > 0;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value = "") {
+    used_.insert(name);
+    auto it = flags_.find(name);
+    return it != flags_.end() ? it->second : default_value;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t default_value) {
+    used_.insert(name);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return default_value;
+    char* end = nullptr;
+    const long long value = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      Fail("flag --" + name + " expects an integer, got '" + it->second +
+           "'");
+      return default_value;
+    }
+    return value;
+  }
+
+  double GetDouble(const std::string& name, double default_value) {
+    used_.insert(name);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return default_value;
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      Fail("flag --" + name + " expects a number, got '" + it->second + "'");
+      return default_value;
+    }
+    return value;
+  }
+
+  bool GetBool(const std::string& name, bool default_value) {
+    used_.insert(name);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return default_value;
+    return it->second != "false" && it->second != "0";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void Fail(const std::string& message) {
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    failed_ = true;
+  }
+
+  // Call after all Get* calls: flags nobody asked about are typos.
+  bool Validate() {
+    for (const auto& [name, value] : flags_) {
+      if (used_.count(name) == 0) {
+        Fail("unknown flag --" + name);
+      }
+    }
+    return !failed_;
+  }
+
+  bool failed() const { return failed_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::set<std::string> used_;
+  std::vector<std::string> positional_;
+  bool failed_ = false;
+};
+
+// Splits "a,b,c" into {"a","b","c"}; empty input gives an empty list.
+inline std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= list.size() && !list.empty()) {
+    const std::size_t comma = list.find(',', begin);
+    if (comma == std::string::npos) {
+      out.push_back(list.substr(begin));
+      break;
+    }
+    out.push_back(list.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace resinfer::tools
+
+#endif  // RESINFER_TOOLS_TOOL_FLAGS_H_
