@@ -1,7 +1,9 @@
 #include "core/ddc_any.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "index/block_refine.h"
 #include "simd/kernels.h"
 #include "util/macros.h"
 #include "util/parallel.h"
@@ -113,6 +115,23 @@ float PqAdcEstimator::Estimate(int64_t id, float* extra) {
       adc_table_.data(), data_->codes.data() + id * data_->pq.code_size());
 }
 
+void PqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
+                                   float* extras) {
+  constexpr int kChunk = 16;
+  const uint8_t* codes[kChunk];
+  const int64_t code_size = data_->pq.code_size();
+  for (int i = 0; i < count; i += kChunk) {
+    const int block = std::min(kChunk, count - i);
+    for (int j = 0; j < block; ++j) {
+      const int64_t id = ids[i + j];
+      codes[j] = data_->codes.data() + id * code_size;
+      extras[i + j] = data_->recon_errors[static_cast<std::size_t>(id)];
+    }
+    simd::PqAdcBatch(adc_table_.data(), data_->pq.num_subspaces(),
+                     data_->pq.num_centroids(), codes, block, out + i);
+  }
+}
+
 RqAdcEstimator::RqAdcEstimator(const RqEstimatorData* data) : data_(data) {
   RESINFER_CHECK(data != nullptr && data->rq.trained());
   ip_table_.resize(static_cast<std::size_t>(data->rq.ip_table_size()));
@@ -136,6 +155,32 @@ float RqAdcEstimator::Estimate(int64_t id, float* extra) {
       data_->recon_norms[static_cast<std::size_t>(id)]);
 }
 
+void RqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
+                                   float* extras) {
+  // The RQ ADC is q·q - 2 q·x̂ + x̂·x̂; the table-lookup sum q·x̂ shares the
+  // PQ accumulation kernel, the affine combine mirrors RqCodebook's
+  // expression order so lanes stay bit-identical to Estimate().
+  constexpr int kChunk = 16;
+  const uint8_t* codes[kChunk];
+  float ip[kChunk];
+  const int64_t code_size = data_->rq.code_size();
+  for (int i = 0; i < count; i += kChunk) {
+    const int block = std::min(kChunk, count - i);
+    for (int j = 0; j < block; ++j) {
+      const int64_t id = ids[i + j];
+      codes[j] = data_->codes.data() + id * code_size;
+      extras[i + j] = data_->recon_errors[static_cast<std::size_t>(id)];
+    }
+    simd::PqAdcBatch(ip_table_.data(), data_->rq.num_stages(),
+                     data_->rq.num_centroids(), codes, block, ip);
+    for (int j = 0; j < block; ++j) {
+      out[i + j] =
+          query_norm_sqr_ - 2.0f * ip[j] +
+          data_->recon_norms[static_cast<std::size_t>(ids[i + j])];
+    }
+  }
+}
+
 SqAdcEstimator::SqAdcEstimator(const SqEstimatorData* data) : data_(data) {
   RESINFER_CHECK(data != nullptr && data->sq.trained());
 }
@@ -148,6 +193,30 @@ float SqAdcEstimator::Estimate(int64_t id, float* extra) {
   RESINFER_DCHECK(query_ != nullptr);
   *extra = data_->recon_errors[static_cast<std::size_t>(id)];
   return data_->sq.AdcDistance(query_, data_->codes.data() + id * dim());
+}
+
+void SqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
+                                   float* extras) {
+  RESINFER_DCHECK(query_ != nullptr);
+  const int64_t d = dim();
+  const std::size_t n = static_cast<std::size_t>(d);
+  const float* q = query_;
+  const float* vmin = data_->sq.vmin().data();
+  const float* step = data_->sq.step().data();
+  index::ScanBatch4(
+      [this, d](int64_t id) { return data_->codes.data() + id * d; },
+      [q, vmin, step, n](const uint8_t* const* codes, float* vals) {
+        simd::SqAdcL2SqrBatch4(q, codes, vmin, step, n, vals);
+      },
+      [this, ids, out, extras](int pos, float val) {
+        out[pos] = val;
+        extras[pos] =
+            data_->recon_errors[static_cast<std::size_t>(ids[pos])];
+      },
+      [this, ids, out, extras](int pos) {
+        out[pos] = Estimate(ids[pos], &extras[pos]);
+      },
+      ids, count);
 }
 
 // --- Training + computer ----------------------------------------------------
@@ -208,6 +277,20 @@ index::EstimateResult DdcAnyComputer::EstimateWithThreshold(int64_t id,
   stats_.dims_scanned += dim();
   return {false, simd::L2Sqr(query_, base_->Row(id),
                              static_cast<std::size_t>(dim()))};
+}
+
+void DdcAnyComputer::EstimateBatch(const int64_t* ids, int count, float tau,
+                                   index::EstimateResult* out) {
+  index::EstimatePruneRefine(
+      query_, static_cast<std::size_t>(dim()),
+      [this](int64_t id) { return base_->Row(id); },
+      [this](const int64_t* chunk, int n, float* approx, float* extras) {
+        estimator_->EstimateBatch(chunk, n, approx, extras);
+      },
+      [this, tau](float approx, float extra) {
+        return corrector_->PredictPrunable(approx, tau, extra);
+      },
+      std::isfinite(tau), ids, count, stats_, out);
 }
 
 float DdcAnyComputer::ExactDistance(int64_t id) {

@@ -52,6 +52,19 @@ class ApproxDistanceEstimator {
   // written to *extra (never null); otherwise *extra is left at 0.
   virtual float Estimate(int64_t id, float* extra) = 0;
 
+  // Blocked form: out[i]/extras[i] receive Estimate(ids[i]) results,
+  // bit-identical to sequential Estimate calls. The default loops; the
+  // quantizer backends override with the batched ADC kernels. Estimators
+  // without an extra feature leave extras[i] at 0, matching the zeroed
+  // scratch a sequential caller passes to Estimate.
+  virtual void EstimateBatch(const int64_t* ids, int count, float* out,
+                             float* extras) {
+    for (int i = 0; i < count; ++i) {
+      extras[i] = 0.0f;
+      out[i] = Estimate(ids[i], &extras[i]);
+    }
+  }
+
   // Whether Estimate fills a meaningful third feature; decides the
   // corrector's feature count at training time.
   virtual bool has_extra_feature() const { return false; }
@@ -101,6 +114,8 @@ class PqAdcEstimator : public ApproxDistanceEstimator {
   int64_t size() const override;
   void BeginQuery(const float* query) override;
   float Estimate(int64_t id, float* extra) override;
+  void EstimateBatch(const int64_t* ids, int count, float* out,
+                     float* extras) override;
   bool has_extra_feature() const override { return true; }
 
  private:
@@ -117,6 +132,8 @@ class RqAdcEstimator : public ApproxDistanceEstimator {
   int64_t size() const override;
   void BeginQuery(const float* query) override;
   float Estimate(int64_t id, float* extra) override;
+  void EstimateBatch(const int64_t* ids, int count, float* out,
+                     float* extras) override;
   bool has_extra_feature() const override { return true; }
 
  private:
@@ -134,6 +151,8 @@ class SqAdcEstimator : public ApproxDistanceEstimator {
   int64_t size() const override;
   void BeginQuery(const float* query) override { query_ = query; }
   float Estimate(int64_t id, float* extra) override;
+  void EstimateBatch(const int64_t* ids, int count, float* out,
+                     float* extras) override;
   bool has_extra_feature() const override { return true; }
 
  private:
@@ -170,6 +189,8 @@ class DdcAnyComputer : public index::DistanceComputer {
   void BeginQuery(const float* query) override;
   index::EstimateResult EstimateWithThreshold(int64_t id,
                                               float tau) override;
+  void EstimateBatch(const int64_t* ids, int count, float tau,
+                     index::EstimateResult* out) override;
   float ExactDistance(int64_t id) override;
 
   // Raw estimator distance for the current query (no correction).

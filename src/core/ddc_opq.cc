@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "index/block_refine.h"
 #include "simd/kernels.h"
 #include "util/macros.h"
 #include "util/parallel.h"
@@ -111,6 +112,29 @@ index::EstimateResult DdcOpqComputer::EstimateWithThreshold(int64_t id,
   ++stats_.exact_computations;
   stats_.dims_scanned += dim();
   return {false, ExactDistance(id)};
+}
+
+void DdcOpqComputer::EstimateBatch(const int64_t* ids, int count, float tau,
+                                   index::EstimateResult* out) {
+  const auto& codebook = artifacts_->opq.codebook();
+  const int64_t code_size = codebook.code_size();
+  index::EstimatePruneRefine(
+      query_, static_cast<std::size_t>(dim()),
+      [this](int64_t id) { return base_->Row(id); },
+      [this, &codebook, code_size](const int64_t* chunk, int n, float* approx,
+                                   float* extras) {
+        const uint8_t* codes[index::kRefineChunk];
+        for (int j = 0; j < n; ++j) {
+          codes[j] = artifacts_->codes.data() + chunk[j] * code_size;
+          extras[j] = artifacts_->recon_errors[chunk[j]];
+        }
+        simd::PqAdcBatch(adc_table_.data(), codebook.num_subspaces(),
+                         codebook.num_centroids(), codes, n, approx);
+      },
+      [this, tau](float approx, float extra) {
+        return artifacts_->corrector.PredictPrunable(approx, tau, extra);
+      },
+      std::isfinite(tau), ids, count, stats_, out);
 }
 
 float DdcOpqComputer::ExactDistance(int64_t id) {

@@ -66,6 +66,8 @@ class DdcOpqComputer : public index::DistanceComputer {
   void BeginQuery(const float* query) override;
   index::EstimateResult EstimateWithThreshold(int64_t id,
                                               float tau) override;
+  void EstimateBatch(const int64_t* ids, int count, float tau,
+                     index::EstimateResult* out) override;
   float ExactDistance(int64_t id) override;
 
   // Raw ADC distance for the current query (no correction).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "index/block_refine.h"
 #include "simd/kernels.h"
 #include "util/macros.h"
 #include "util/timer.h"
@@ -84,28 +85,62 @@ void DdcPcaComputer::BeginQuery(const float* query) {
 index::EstimateResult DdcPcaComputer::EstimateWithThreshold(int64_t id,
                                                             float tau) {
   ++stats_.candidates;
+  const int64_t d0 = artifacts_->stage_dims[0];
+  const float partial =
+      simd::L2Sqr(rotated_base_->Row(id), rotated_query_.data(),
+                  static_cast<std::size_t>(d0));
+  stats_.dims_scanned += d0;
+  return ContinueFromFirstStage(id, tau, partial);
+}
+
+index::EstimateResult DdcPcaComputer::ContinueFromFirstStage(int64_t id,
+                                                             float tau,
+                                                             float partial) {
   const int64_t full_dim = pca_->dim();
   const float* x = rotated_base_->Row(id);
   const float* q = rotated_query_.data();
+  const bool tau_finite = std::isfinite(tau);
 
-  float partial = 0.0f;
-  int64_t d = 0;
-  for (std::size_t stage = 0; stage < artifacts_->stage_dims.size();
-       ++stage) {
-    const int64_t next = artifacts_->stage_dims[stage];
-    partial += simd::L2Sqr(x + d, q + d, static_cast<std::size_t>(next - d));
-    stats_.dims_scanned += next - d;
-    d = next;
-    if (std::isfinite(tau) &&
+  int64_t d = artifacts_->stage_dims[0];
+  for (std::size_t stage = 0;;) {
+    if (tau_finite &&
         artifacts_->correctors[stage].PredictPrunable(partial, tau)) {
       ++stats_.pruned;
       return {true, partial};
     }
+    if (++stage == artifacts_->stage_dims.size()) break;
+    const int64_t next = artifacts_->stage_dims[stage];
+    partial += simd::L2Sqr(x + d, q + d, static_cast<std::size_t>(next - d));
+    stats_.dims_scanned += next - d;
+    d = next;
   }
   partial += simd::L2Sqr(x + d, q + d, static_cast<std::size_t>(full_dim - d));
   stats_.dims_scanned += full_dim - d;
   ++stats_.exact_computations;
   return {false, partial};
+}
+
+void DdcPcaComputer::EstimateBatch(const int64_t* ids, int count, float tau,
+                                   index::EstimateResult* out) {
+  // The first (cheapest, most selective) stage runs four candidates per
+  // kernel call with next-block prefetch; survivors continue through the
+  // cascade one at a time, exactly as the sequential path would.
+  const int64_t d0 = artifacts_->stage_dims[0];
+  const float* q = rotated_query_.data();
+  index::ScanBatch4(
+      [this](int64_t id) { return rotated_base_->Row(id); },
+      [q, d0](const float* const* rows, float* partial) {
+        simd::L2SqrBatch4(q, rows, static_cast<std::size_t>(d0), partial);
+      },
+      [this, ids, tau, d0, out](int pos, float partial) {
+        ++stats_.candidates;
+        stats_.dims_scanned += d0;
+        out[pos] = ContinueFromFirstStage(ids[pos], tau, partial);
+      },
+      [this, ids, tau, out](int pos) {
+        out[pos] = EstimateWithThreshold(ids[pos], tau);
+      },
+      ids, count);
 }
 
 float DdcPcaComputer::ExactDistance(int64_t id) {

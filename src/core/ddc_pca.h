@@ -63,6 +63,8 @@ class DdcPcaComputer : public index::DistanceComputer {
   void BeginQuery(const float* query) override;
   index::EstimateResult EstimateWithThreshold(int64_t id,
                                               float tau) override;
+  void EstimateBatch(const int64_t* ids, int count, float tau,
+                     index::EstimateResult* out) override;
   float ExactDistance(int64_t id) override;
 
   // Plain projected distance ||x_d - q_d||^2 (Table III accuracy bench).
@@ -71,6 +73,13 @@ class DdcPcaComputer : public index::DistanceComputer {
   int64_t ExtraBytes() const;
 
  private:
+  // Runs the incremental stage cascade for one candidate given its
+  // first-stage partial distance (over stage_dims[0] dims, already counted
+  // in stats_.dims_scanned). Shared by the sequential and batch paths so
+  // their decisions and rounding are identical by construction.
+  index::EstimateResult ContinueFromFirstStage(int64_t id, float tau,
+                                               float partial);
+
   const linalg::PcaModel* pca_;
   const linalg::Matrix* rotated_base_;
   const DdcPcaArtifacts* artifacts_;

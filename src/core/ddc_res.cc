@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "index/block_refine.h"
 #include "simd/kernels.h"
 #include "util/macros.h"
 
@@ -52,23 +53,44 @@ void DdcResComputer::BeginQuery(const float* query) {
 index::EstimateResult DdcResComputer::EstimateWithThreshold(int64_t id,
                                                             float tau) {
   ++stats_.candidates;
+  if (stage_dims_.empty()) {
+    // init_dim >= D leaves no test stage: straight to exact.
+    const float c1 = norms_sqr_[id] + query_norm_sqr_;
+    const float c2 = 2.0f * simd::InnerProduct(
+                                rotated_base_->Row(id), rotated_query_.data(),
+                                static_cast<std::size_t>(pca_->dim()));
+    stats_.dims_scanned += pca_->dim();
+    ++stats_.exact_computations;
+    return {false, std::max(0.0f, c1 - c2)};
+  }
+  const int64_t d0 = stage_dims_[0];
+  const float c2 = 2.0f * simd::InnerProduct(rotated_base_->Row(id),
+                                             rotated_query_.data(),
+                                             static_cast<std::size_t>(d0));
+  stats_.dims_scanned += d0;
+  return ContinueFromFirstStage(id, tau, c2);
+}
+
+index::EstimateResult DdcResComputer::ContinueFromFirstStage(int64_t id,
+                                                             float tau,
+                                                             float c2) {
   const int64_t full_dim = pca_->dim();
   const float* x = rotated_base_->Row(id);
   const float* q = rotated_query_.data();
   const float c1 = norms_sqr_[id] + query_norm_sqr_;
 
-  float c2 = 0.0f;
-  int64_t d = 0;
-  for (std::size_t stage = 0; stage < stage_dims_.size(); ++stage) {
+  int64_t d = stage_dims_[0];
+  for (std::size_t stage = 0;;) {
+    if (c1 - c2 - stage_bounds_[stage] > tau) {
+      ++stats_.pruned;
+      return {true, std::max(0.0f, c1 - c2)};
+    }
+    if (++stage == stage_dims_.size()) break;
     const int64_t next = stage_dims_[stage];
     c2 += 2.0f * simd::InnerProduct(x + d, q + d,
                                     static_cast<std::size_t>(next - d));
     stats_.dims_scanned += next - d;
     d = next;
-    if (c1 - c2 - stage_bounds_[stage] > tau) {
-      ++stats_.pruned;
-      return {true, std::max(0.0f, c1 - c2)};
-    }
   }
   // Remaining dimensions: the accumulated inner product becomes exact
   // (C2 + C3 folded together).
@@ -77,6 +99,33 @@ index::EstimateResult DdcResComputer::EstimateWithThreshold(int64_t id,
   stats_.dims_scanned += full_dim - d;
   ++stats_.exact_computations;
   return {false, std::max(0.0f, c1 - c2)};
+}
+
+void DdcResComputer::EstimateBatch(const int64_t* ids, int count, float tau,
+                                   index::EstimateResult* out) {
+  if (stage_dims_.empty()) {
+    for (int i = 0; i < count; ++i) out[i] = EstimateWithThreshold(ids[i], tau);
+    return;
+  }
+  // First-stage C2 accumulation four candidates per kernel call with
+  // next-group prefetch; survivors continue through the cascade exactly as
+  // the sequential path would.
+  const int64_t d0 = stage_dims_[0];
+  const float* q = rotated_query_.data();
+  index::ScanBatch4(
+      [this](int64_t id) { return rotated_base_->Row(id); },
+      [q, d0](const float* const* rows, float* ip) {
+        simd::InnerProductBatch4(q, rows, static_cast<std::size_t>(d0), ip);
+      },
+      [this, ids, tau, d0, out](int pos, float ip) {
+        ++stats_.candidates;
+        stats_.dims_scanned += d0;
+        out[pos] = ContinueFromFirstStage(ids[pos], tau, 2.0f * ip);
+      },
+      [this, ids, tau, out](int pos) {
+        out[pos] = EstimateWithThreshold(ids[pos], tau);
+      },
+      ids, count);
 }
 
 float DdcResComputer::ExactDistance(int64_t id) {

@@ -57,6 +57,8 @@ class DdcResComputer : public index::DistanceComputer {
   void BeginQuery(const float* query) override;
   index::EstimateResult EstimateWithThreshold(int64_t id,
                                               float tau) override;
+  void EstimateBatch(const int64_t* ids, int count, float tau,
+                     index::EstimateResult* out) override;
   float ExactDistance(int64_t id) override;
 
   float multiplier() const { return multiplier_; }
@@ -69,6 +71,12 @@ class DdcResComputer : public index::DistanceComputer {
   int64_t ExtraBytes() const;
 
  private:
+  // Cascade continuation once the first stage's C2 accumulation (2<x,q>
+  // over stage_dims_[0] dims) is in hand; shared by the sequential and
+  // batched first-stage paths. Requires non-empty stage_dims_.
+  index::EstimateResult ContinueFromFirstStage(int64_t id, float tau,
+                                               float c2);
+
   const linalg::PcaModel* pca_;
   const linalg::Matrix* rotated_base_;
   DdcResOptions options_;

@@ -1,0 +1,128 @@
+// Shared exact-refinement loop for the block-scan pipeline.
+//
+// Every batch computer ends the same way: gather the rows of the candidates
+// that survived pruning, run them through L2SqrBatch4 four at a time with
+// next-group prefetch, and finish the remainder with single-pair calls.
+// This helper is that loop; keeping one copy prevents the call sites from
+// drifting (prefetch distance, batch width) and keeps each lane
+// bit-identical to the sequential exact path. Stats accounting stays with
+// the caller.
+#ifndef RESINFER_INDEX_BLOCK_REFINE_H_
+#define RESINFER_INDEX_BLOCK_REFINE_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "index/distance_computer.h"
+#include "simd/kernels.h"
+#include "util/macros.h"
+
+namespace resinfer::index {
+
+// Drives `ids` through a 4-wide batch kernel: groups of simd::kBatchWidth
+// rows are gathered via `row(id)` (any pointer type — float rows or
+// quantized codes), the next group's rows are prefetched, `kernel4(rows,
+// vals)` fills one value per lane, and `lane(position, value)` consumes
+// each result. Remainder positions (< kBatchWidth of them, at the end) go
+// to `tail(position)`, which must reproduce the single-candidate path.
+template <typename RowFn, typename Kernel4, typename LaneFn, typename TailFn>
+void ScanBatch4(RowFn&& row, Kernel4&& kernel4, LaneFn&& lane, TailFn&& tail,
+                const int64_t* ids, int count) {
+  using RowPtr = decltype(row(int64_t{0}));
+  RowPtr rows[simd::kBatchWidth];
+  float vals[simd::kBatchWidth];
+  int i = 0;
+  for (; i + simd::kBatchWidth <= count; i += simd::kBatchWidth) {
+    for (int r = 0; r < simd::kBatchWidth; ++r) {
+      rows[r] = row(ids[i + r]);
+    }
+    if (i + 2 * simd::kBatchWidth <= count) {
+      for (int r = 0; r < simd::kBatchWidth; ++r) {
+        RESINFER_PREFETCH(row(ids[i + simd::kBatchWidth + r]));
+      }
+    }
+    kernel4(static_cast<const RowPtr*>(rows), vals);
+    for (int r = 0; r < simd::kBatchWidth; ++r) {
+      lane(i + r, vals[r]);
+    }
+  }
+  for (; i < count; ++i) tail(i);
+}
+
+// Writes {false, L2Sqr(query, row(ids[p]))} to out[p] for each refined
+// position p. `row(id)` returns the candidate's d-float vector. `pick`
+// selects which positions of ids/out to refine (the survivor indices of a
+// pruning pass); pass nullptr to refine positions [0, count).
+template <typename RowFn>
+void RefineExactL2(const float* query, std::size_t d, RowFn&& row,
+                   const int64_t* ids, const int* pick, int count,
+                   EstimateResult* out) {
+  const auto pos = [pick](int j) { return pick != nullptr ? pick[j] : j; };
+  const float* rows[simd::kBatchWidth];
+  float dist[simd::kBatchWidth];
+  int s = 0;
+  for (; s + simd::kBatchWidth <= count; s += simd::kBatchWidth) {
+    for (int r = 0; r < simd::kBatchWidth; ++r) {
+      rows[r] = row(ids[pos(s + r)]);
+    }
+    if (s + 2 * simd::kBatchWidth <= count) {
+      for (int r = 0; r < simd::kBatchWidth; ++r) {
+        RESINFER_PREFETCH(row(ids[pos(s + simd::kBatchWidth + r)]));
+      }
+    }
+    simd::L2SqrBatch4(query, rows, d, dist);
+    for (int r = 0; r < simd::kBatchWidth; ++r) {
+      out[pos(s + r)] = {false, dist[r]};
+    }
+  }
+  for (; s < count; ++s) {
+    out[pos(s)] = {false, simd::L2Sqr(query, row(ids[pos(s)]), d)};
+  }
+}
+
+// The chunked estimate/prune/refine loop shared by the corrector-backed
+// batch computers (DdcAny, DdcOpq): `approx(ids, n, out, extras)` fills a
+// chunk's approximate distances and per-point trust features (extras arrive
+// zeroed, matching the sequential path's scratch); `prunable(approx, extra)`
+// applies the corrector at the caller's tau. Survivors are refined exactly
+// via RefineExactL2 and stats advance as the equivalent sequential loop
+// would.
+// Candidates per EstimatePruneRefine chunk; the ApproxFn callback never
+// sees more than this many ids per call.
+inline constexpr int kRefineChunk = 32;
+
+template <typename RowFn, typename ApproxFn, typename PruneFn>
+void EstimatePruneRefine(const float* query, std::size_t d, RowFn&& row,
+                         ApproxFn&& approx, PruneFn&& prunable,
+                         bool tau_finite, const int64_t* ids, int count,
+                         ComputerStats& stats, EstimateResult* out) {
+  float approx_dist[kRefineChunk];
+  float extra[kRefineChunk];
+  int survivors[kRefineChunk];
+
+  for (int i = 0; i < count; i += kRefineChunk) {
+    const int block = std::min(kRefineChunk, count - i);
+    stats.candidates += block;
+    std::fill_n(extra, block, 0.0f);
+    approx(ids + i, block, approx_dist, extra);
+
+    int num_survivors = 0;
+    for (int j = 0; j < block; ++j) {
+      if (tau_finite && prunable(approx_dist[j], extra[j])) {
+        ++stats.pruned;
+        out[i + j] = {true, approx_dist[j]};
+      } else {
+        survivors[num_survivors++] = i + j;
+      }
+    }
+    stats.exact_computations += num_survivors;
+    stats.dims_scanned +=
+        static_cast<int64_t>(num_survivors) * static_cast<int64_t>(d);
+
+    RefineExactL2(query, d, row, ids, survivors, num_survivors, out);
+  }
+}
+
+}  // namespace resinfer::index
+
+#endif  // RESINFER_INDEX_BLOCK_REFINE_H_

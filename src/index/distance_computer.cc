@@ -1,9 +1,15 @@
 #include "index/distance_computer.h"
 
+#include "index/block_refine.h"
 #include "simd/kernels.h"
 #include "util/macros.h"
 
 namespace resinfer::index {
+
+void DistanceComputer::EstimateBatch(const int64_t* ids, int count, float tau,
+                                     EstimateResult* out) {
+  for (int i = 0; i < count; ++i) out[i] = EstimateWithThreshold(ids[i], tau);
+}
 
 FlatDistanceComputer::FlatDistanceComputer(const float* base, int64_t n,
                                            int64_t d)
@@ -17,6 +23,22 @@ EstimateResult FlatDistanceComputer::EstimateWithThreshold(int64_t id,
   ++stats_.exact_computations;
   stats_.dims_scanned += dim_;
   return {false, ExactDistance(id)};
+}
+
+void FlatDistanceComputer::EstimateBatch(const int64_t* ids, int count,
+                                         float /*tau*/, EstimateResult* out) {
+  RESINFER_DCHECK(query_ != nullptr);
+  stats_.candidates += count;
+  stats_.exact_computations += count;
+  stats_.dims_scanned += static_cast<int64_t>(count) * dim_;
+
+  for (int i = 0; i < count; ++i) {
+    RESINFER_DCHECK(ids[i] >= 0 && ids[i] < size_);
+  }
+  const std::size_t d = static_cast<std::size_t>(dim_);
+  RefineExactL2(
+      query_, d, [this](int64_t id) { return base_ + id * dim_; }, ids,
+      /*pick=*/nullptr, count, out);
 }
 
 float FlatDistanceComputer::ExactDistance(int64_t id) {

@@ -12,6 +12,29 @@
 //       candidate ordering but NOT exact).
 //     * pruned == false -> `distance` is the exact distance.
 //
+// Batch protocol (the block-scan refinement path):
+//   EstimateBatch(ids, count, tau, out) evaluates `count` candidates and
+//   writes out[i] for ids[i], in order. The contract every override must
+//   honor:
+//     * Equivalence: out[i] is bit-identical (same prune decision, same
+//       distance down to floating-point rounding) to calling
+//       EstimateWithThreshold(ids[i], tau) sequentially at the same SIMD
+//       level. Overrides only amortize virtual calls, share query loads and
+//       prefetch rows — they never reassociate per-candidate arithmetic.
+//     * Stats: ComputerStats counters (candidates, pruned, dims_scanned,
+//       exact_computations) advance exactly as the equivalent sequential
+//       loop would, so scan-rate/pruned-rate figures stay comparable
+//       between paths.
+//     * tau semantics: tau is constant within a block — it is the caller's
+//       result-queue bound at block start. Callers that tighten tau as
+//       results arrive (IVF/HNSW scans) therefore prune slightly less than
+//       a candidate-at-a-time loop: the extra candidates are refined
+//       exactly, so recall is equal or better, but the returned top-k can
+//       differ from a sequential scan's when the sequential path would have
+//       mispruned one of them (pruning is a learned estimate). Block scans
+//       are deterministic for a fixed block schedule, not bit-identical to
+//       candidate-at-a-time search.
+//
 // Computers are stateful per query (BeginQuery rotates the query / builds
 // lookup tables); use one computer instance per search thread.
 #ifndef RESINFER_INDEX_DISTANCE_COMPUTER_H_
@@ -69,6 +92,13 @@ class DistanceComputer {
   // computation path.
   virtual EstimateResult EstimateWithThreshold(int64_t id, float tau) = 0;
 
+  // Evaluates a block of candidates against one threshold; see the batch
+  // protocol contract in the header comment. The base implementation loops
+  // over EstimateWithThreshold; computers with a cheaper blocked form
+  // (contiguous rows, ADC table accumulation) override it.
+  virtual void EstimateBatch(const int64_t* ids, int count, float tau,
+                             EstimateResult* out);
+
   // Exact distance to point `id` for the current query.
   virtual float ExactDistance(int64_t id) = 0;
 
@@ -76,10 +106,14 @@ class DistanceComputer {
   // that neighborhood-aware computers (FINGER) can switch their local
   // estimation context. `distance_to_node` is the (exact or approximate)
   // distance from the query to the expanded node. Default: ignore.
-  virtual void SetExpansionAnchor(int64_t node, float distance_to_node) {}
+  virtual void SetExpansionAnchor(int64_t /*node*/,
+                                  float /*distance_to_node*/) {}
 
-  ComputerStats& stats() { return stats_; }
-  const ComputerStats& stats() const { return stats_; }
+  // Virtual so forwarding wrappers (e.g. the sequential-path adapter in
+  // bench_batch_scaling) can expose the wrapped computer's counters without
+  // mirroring them on every call.
+  virtual ComputerStats& stats() { return stats_; }
+  virtual const ComputerStats& stats() const { return stats_; }
 
  protected:
   ComputerStats stats_;
@@ -99,6 +133,8 @@ class FlatDistanceComputer : public DistanceComputer {
 
   void BeginQuery(const float* query) override { query_ = query; }
   EstimateResult EstimateWithThreshold(int64_t id, float tau) override;
+  void EstimateBatch(const int64_t* ids, int count, float tau,
+                     EstimateResult* out) override;
   float ExactDistance(int64_t id) override;
 
  private:

@@ -359,12 +359,22 @@ std::vector<Neighbor> HnswIndex::Search(DistanceComputer& computer,
     }
   }
 
-  // Base-layer beam search through the plug-in computer.
+  // Base-layer beam search through the plug-in computer. Each expansion
+  // gathers the unvisited neighbors into one block and evaluates it through
+  // EstimateBatch, so the computer amortizes its virtual call and prefetches
+  // the candidate rows; tau is the result-queue bound at block start (see
+  // the batch protocol in distance_computer.h).
   MinHeap candidates;
   MaxHeap results;
   candidates.emplace(current_dist, current);
   results.emplace(current_dist, current);
   s->visited[current] = stamp;
+
+  const std::size_t max_degree = static_cast<std::size_t>(2 * options_.M);
+  if (s->block.size() < max_degree) {
+    s->block.resize(max_degree);
+    s->block_results.resize(max_degree);
+  }
 
   while (!candidates.empty()) {
     auto [dist, node] = candidates.top();
@@ -377,20 +387,27 @@ std::vector<Neighbor> HnswIndex::Search(DistanceComputer& computer,
 
     int count = 0;
     const int64_t* links = Links(node, 0, &count);
+    int gathered = 0;
     for (int j = 0; j < count; ++j) {
-      int64_t next = links[j];
+      const int64_t next = links[j];
       if (s->visited[next] == stamp) continue;
       s->visited[next] = stamp;
+      s->block[gathered++] = next;
+    }
+    if (gathered == 0) continue;
 
-      float tau = static_cast<int>(results.size()) >= ef
-                      ? results.top().first
-                      : kInfDistance;
-      EstimateResult est = computer.EstimateWithThreshold(next, tau);
+    const float tau = static_cast<int>(results.size()) >= ef
+                          ? results.top().first
+                          : kInfDistance;
+    computer.EstimateBatch(s->block.data(), gathered, tau,
+                           s->block_results.data());
+    for (int j = 0; j < gathered; ++j) {
+      const EstimateResult& est = s->block_results[j];
       if (est.pruned) continue;
       if (static_cast<int>(results.size()) < ef ||
           est.distance < results.top().first) {
-        candidates.emplace(est.distance, next);
-        results.emplace(est.distance, next);
+        candidates.emplace(est.distance, s->block[j]);
+        results.emplace(est.distance, s->block[j]);
         if (static_cast<int>(results.size()) > ef) results.pop();
       }
     }

@@ -44,6 +44,10 @@ struct HnswOptions {
 struct HnswScratch {
   std::vector<uint32_t> visited;
   uint32_t stamp = 0;
+  // Per-expansion gather buffers for the block-scan refinement: unvisited
+  // neighbors of the expanded node and their EstimateBatch results.
+  std::vector<int64_t> block;
+  std::vector<EstimateResult> block_results;
 };
 
 class HnswIndex {

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 #include "util/macros.h"
 
 namespace resinfer::index {
+
+namespace {
+
+// Candidates per EstimateBatch call in Search. Large enough to amortize the
+// virtual dispatch and keep the batched kernels fed, small enough that the
+// block's ids and results stay in L1.
+constexpr int kScanBlock = 32;
+
+}  // namespace
 
 IvfIndex IvfIndex::Build(const linalg::Matrix& base,
                          const IvfOptions& options) {
@@ -19,12 +29,22 @@ IvfIndex IvfIndex::Build(const linalg::Matrix& base,
   quant::KMeansResult km =
       quant::KMeans(base.data(), n, base.cols(), k, options.kmeans);
 
+  // Counting sort of the assignments into the CSR layout.
   IvfIndex index;
   index.size_ = n;
   index.centroids_ = std::move(km.centroids);
-  index.buckets_.assign(k, {});
+  index.bucket_offsets_.assign(k + 1, 0);
   for (int64_t i = 0; i < n; ++i) {
-    index.buckets_[km.assignments[i]].push_back(i);
+    ++index.bucket_offsets_[km.assignments[i] + 1];
+  }
+  for (int b = 0; b < k; ++b) {
+    index.bucket_offsets_[b + 1] += index.bucket_offsets_[b];
+  }
+  index.ids_.resize(n);
+  std::vector<int64_t> cursor(index.bucket_offsets_.begin(),
+                              index.bucket_offsets_.end() - 1);
+  for (int64_t i = 0; i < n; ++i) {
+    index.ids_[cursor[km.assignments[i]]++] = i;
   }
   return index;
 }
@@ -32,16 +52,55 @@ IvfIndex IvfIndex::Build(const linalg::Matrix& base,
 IvfIndex IvfIndex::FromComponents(
     int64_t size, linalg::Matrix centroids,
     std::vector<std::vector<int64_t>> buckets) {
-  RESINFER_CHECK(size > 0);
-  RESINFER_CHECK(centroids.rows() ==
-                 static_cast<int64_t>(buckets.size()));
+  RESINFER_CHECK(centroids.rows() == static_cast<int64_t>(buckets.size()));
+  std::vector<int64_t> offsets;
+  offsets.reserve(buckets.size() + 1);
+  offsets.push_back(0);
+  std::vector<int64_t> ids;
   for (const auto& bucket : buckets) {
-    for (int64_t id : bucket) RESINFER_CHECK(id >= 0 && id < size);
+    ids.insert(ids.end(), bucket.begin(), bucket.end());
+    offsets.push_back(static_cast<int64_t>(ids.size()));
   }
+  return FromCsr(size, std::move(centroids), std::move(offsets),
+                 std::move(ids));
+}
+
+bool IvfIndex::ValidateCsr(int64_t size, int64_t num_clusters,
+                           const std::vector<int64_t>& bucket_offsets,
+                           const std::vector<int64_t>& ids,
+                           std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (size <= 0) return fail("ivf size must be positive");
+  if (static_cast<int64_t>(bucket_offsets.size()) != num_clusters + 1 ||
+      bucket_offsets.empty() || bucket_offsets.front() != 0 ||
+      bucket_offsets.back() != static_cast<int64_t>(ids.size())) {
+    return fail("inconsistent ivf offsets");
+  }
+  for (std::size_t b = 1; b < bucket_offsets.size(); ++b) {
+    if (bucket_offsets[b] < bucket_offsets[b - 1]) {
+      return fail("ivf offsets not monotonic");
+    }
+  }
+  for (int64_t id : ids) {
+    if (id < 0 || id >= size) return fail("bucket id out of range");
+  }
+  return true;
+}
+
+IvfIndex IvfIndex::FromCsr(int64_t size, linalg::Matrix centroids,
+                           std::vector<int64_t> bucket_offsets,
+                           std::vector<int64_t> ids) {
+  RESINFER_CHECK(
+      ValidateCsr(size, centroids.rows(), bucket_offsets, ids, nullptr));
+
   IvfIndex index;
   index.size_ = size;
   index.centroids_ = std::move(centroids);
-  index.buckets_ = std::move(buckets);
+  index.bucket_offsets_ = std::move(bucket_offsets);
+  index.ids_ = std::move(ids);
   return index;
 }
 
@@ -56,17 +115,33 @@ std::vector<Neighbor> IvfIndex::Search(DistanceComputer& computer,
 
   using Entry = std::pair<float, int64_t>;  // max-heap by distance
   std::priority_queue<Entry> heap;
+  EstimateResult est[kScanBlock];
+
   for (int32_t bucket : probe) {
-    for (int64_t id : buckets_[bucket]) {
-      float tau = static_cast<int>(heap.size()) == k ? heap.top().first
-                                                     : kInfDistance;
-      EstimateResult est = computer.EstimateWithThreshold(id, tau);
-      if (est.pruned) continue;
-      if (static_cast<int>(heap.size()) < k) {
-        heap.emplace(est.distance, id);
-      } else if (est.distance < heap.top().first) {
-        heap.pop();
-        heap.emplace(est.distance, id);
+    const int64_t* bucket_ids = BucketIds(bucket);
+    const int64_t len = BucketSize(bucket);
+    for (int64_t pos = 0; pos < len; pos += kScanBlock) {
+      const int block =
+          static_cast<int>(std::min<int64_t>(kScanBlock, len - pos));
+      // Pull the next block's id range toward the cache while this block
+      // computes (the candidate rows themselves are prefetched inside the
+      // computers' EstimateBatch overrides).
+      if (pos + block < len) {
+        RESINFER_PREFETCH(bucket_ids + pos + block);
+        RESINFER_PREFETCH(bucket_ids + pos + block + 8);
+      }
+      const float tau = static_cast<int>(heap.size()) == k
+                            ? heap.top().first
+                            : kInfDistance;
+      computer.EstimateBatch(bucket_ids + pos, block, tau, est);
+      for (int j = 0; j < block; ++j) {
+        if (est[j].pruned) continue;
+        if (static_cast<int>(heap.size()) < k) {
+          heap.emplace(est[j].distance, bucket_ids[pos + j]);
+        } else if (est[j].distance < heap.top().first) {
+          heap.pop();
+          heap.emplace(est[j].distance, bucket_ids[pos + j]);
+        }
       }
     }
   }

@@ -5,10 +5,16 @@
 // `nprobe` nearest buckets, and evaluate every member through the plugged
 // DistanceComputer with the running top-k threshold — the candidate
 // generation / refinement split the paper builds on.
+//
+// Bucket storage is a CSR-style flat layout: one contiguous id array plus
+// per-bucket offsets. Probed buckets are therefore scanned in cache-resident
+// blocks through DistanceComputer::EstimateBatch (with next-block prefetch)
+// instead of pointer-chasing nested vectors.
 #ifndef RESINFER_INDEX_IVF_INDEX_H_
 #define RESINFER_INDEX_IVF_INDEX_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/ground_truth.h"
@@ -37,14 +43,46 @@ class IvfIndex {
                         const IvfOptions& options = IvfOptions());
 
   // Rebuilds an index from persisted parts (persist/persist.h). `size` is
-  // the number of indexed points; bucket ids must lie in [0, size).
+  // the number of indexed points; bucket ids must lie in [0, size). The
+  // nested-vector overload serves the legacy (v1) on-disk format and is
+  // flattened on entry.
   static IvfIndex FromComponents(int64_t size, linalg::Matrix centroids,
                                  std::vector<std::vector<int64_t>> buckets);
+
+  // CSR parts: `bucket_offsets` has num_clusters + 1 entries with
+  // bucket_offsets[0] == 0, non-decreasing, and
+  // bucket_offsets.back() == ids.size(). FromCsr CHECK-aborts on invalid
+  // parts (programmer error); callers handling untrusted input (persist)
+  // pre-validate with ValidateCsr to fail recoverably.
+  static IvfIndex FromCsr(int64_t size, linalg::Matrix centroids,
+                          std::vector<int64_t> bucket_offsets,
+                          std::vector<int64_t> ids);
+
+  // The single source of truth for the CSR invariants FromCsr enforces
+  // (offset shape/monotonicity, id range — NOT the on-disk partition
+  // requirement, which is persist's); returns false and sets *error (may be
+  // null) on the first violation.
+  static bool ValidateCsr(int64_t size, int64_t num_clusters,
+                          const std::vector<int64_t>& bucket_offsets,
+                          const std::vector<int64_t>& ids,
+                          std::string* error);
 
   int num_clusters() const { return static_cast<int>(centroids_.rows()); }
   int64_t size() const { return size_; }
   const linalg::Matrix& centroids() const { return centroids_; }
-  const std::vector<std::vector<int64_t>>& buckets() const { return buckets_; }
+
+  // CSR accessors: ids of bucket b are ids()[bucket_offsets()[b] ..
+  // bucket_offsets()[b + 1]).
+  const std::vector<int64_t>& bucket_offsets() const {
+    return bucket_offsets_;
+  }
+  const std::vector<int64_t>& ids() const { return ids_; }
+  int64_t BucketSize(int bucket) const {
+    return bucket_offsets_[bucket + 1] - bucket_offsets_[bucket];
+  }
+  const int64_t* BucketIds(int bucket) const {
+    return ids_.data() + bucket_offsets_[bucket];
+  }
 
   // Results ascend by exact distance. nprobe is clamped to num_clusters().
   std::vector<Neighbor> Search(DistanceComputer& computer, const float* query,
@@ -53,7 +91,8 @@ class IvfIndex {
  private:
   int64_t size_ = 0;
   linalg::Matrix centroids_;
-  std::vector<std::vector<int64_t>> buckets_;
+  std::vector<int64_t> bucket_offsets_;  // num_clusters + 1
+  std::vector<int64_t> ids_;             // size_ entries, bucket-contiguous
 };
 
 }  // namespace resinfer::index

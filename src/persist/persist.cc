@@ -9,6 +9,9 @@ namespace resinfer::persist {
 namespace {
 
 constexpr uint32_t kVersion = 1;
+// IVF v2 switched bucket storage to the CSR layout (offsets + flat ids);
+// v1 nested-bucket files still load.
+constexpr uint32_t kIvfVersionCsr = 2;
 constexpr char kMatrixMagic[8] = {'R', 'I', 'M', 'A', 'T', 'R', 'X', '1'};
 constexpr char kPcaMagic[8] = {'R', 'I', 'P', 'C', 'A', 'M', 'D', '1'};
 constexpr char kPqMagic[8] = {'R', 'I', 'P', 'Q', 'C', 'B', 'K', '1'};
@@ -310,19 +313,26 @@ bool LoadHnsw(const std::string& path, index::HnswIndex* out,
 bool SaveIvf(const std::string& path, const index::IvfIndex& ivf,
              std::string* error) {
   BinaryWriter writer(path);
-  WriteHeader(writer, kIvfMagic, kVersion);
+  WriteHeader(writer, kIvfMagic, kIvfVersionCsr);
   writer.Write(ivf.size());
   WriteMatrixPayload(writer, ivf.centroids());
   writer.Write<int32_t>(ivf.num_clusters());
-  for (const auto& bucket : ivf.buckets()) writer.WriteVector(bucket);
+  writer.WriteVector(ivf.bucket_offsets());
+  writer.WriteVector(ivf.ids());
   return FinishWrite(writer, path, error);
 }
 
 bool LoadIvf(const std::string& path, index::IvfIndex* out,
              std::string* error) {
   BinaryReader reader(path);
-  if (!reader.ExpectHeader(kIvfMagic, kVersion))
+  // Versioned by hand: v2 is the CSR layout, v1 the legacy nested buckets.
+  char magic[8] = {};
+  reader.ReadBytes(magic, 8);
+  uint32_t version = 0;
+  if (!reader.Read(&version) || std::memcmp(magic, kIvfMagic, 8) != 0 ||
+      (version != kVersion && version != kIvfVersionCsr)) {
     return Fail(error, path + ": bad ivf header");
+  }
   int64_t size = 0;
   linalg::Matrix centroids;
   int32_t clusters = 0;
@@ -332,21 +342,32 @@ bool LoadIvf(const std::string& path, index::IvfIndex* out,
   }
   if (size <= 0 || clusters <= 0 || clusters != centroids.rows())
     return Fail(error, path + ": inconsistent ivf shapes");
-  std::vector<std::vector<int64_t>> buckets(clusters);
-  int64_t total = 0;
-  for (auto& bucket : buckets) {
-    if (!reader.ReadVector(&bucket))
+
+  std::vector<int64_t> offsets;
+  std::vector<int64_t> ids;
+  if (version == kIvfVersionCsr) {
+    if (!reader.ReadVector(&offsets) || !reader.ReadVector(&ids))
       return Fail(error, path + ": truncated ivf buckets");
-    for (int64_t id : bucket) {
-      if (id < 0 || id >= size)
-        return Fail(error, path + ": bucket id out of range");
+  } else {
+    offsets.reserve(clusters + 1);
+    offsets.push_back(0);
+    for (int32_t b = 0; b < clusters; ++b) {
+      std::vector<int64_t> bucket;
+      if (!reader.ReadVector(&bucket))
+        return Fail(error, path + ": truncated ivf buckets");
+      ids.insert(ids.end(), bucket.begin(), bucket.end());
+      offsets.push_back(static_cast<int64_t>(ids.size()));
     }
-    total += static_cast<int64_t>(bucket.size());
   }
-  if (total != size)
+  // Shared with FromCsr so a corrupt file fails here recoverably instead of
+  // tripping the constructor's CHECK.
+  std::string why;
+  if (!index::IvfIndex::ValidateCsr(size, clusters, offsets, ids, &why))
+    return Fail(error, path + ": " + why);
+  if (static_cast<int64_t>(ids.size()) != size)
     return Fail(error, path + ": buckets do not partition the base");
-  *out = index::IvfIndex::FromComponents(size, std::move(centroids),
-                                         std::move(buckets));
+  *out = index::IvfIndex::FromCsr(size, std::move(centroids),
+                                  std::move(offsets), std::move(ids));
   return true;
 }
 

@@ -8,19 +8,93 @@ namespace resinfer::simd {
 
 namespace {
 
-// Function-local static avoids static-initialization-order hazards.
+// All kernel entry points for one SIMD level. The public functions below
+// dispatch through a single pointer to one of these tables: one relaxed
+// pointer load plus an indirect call per kernel invocation, instead of the
+// previous atomic-level-load-plus-branch in every innermost loop.
+struct KernelTable {
+  float (*l2sqr)(const float*, const float*, std::size_t);
+  float (*inner_product)(const float*, const float*, std::size_t);
+  float (*norm2sqr)(const float*, std::size_t);
+  void (*axpy)(float, const float*, float*, std::size_t);
+  float (*sq_adc_l2sqr)(const float*, const uint8_t*, const float*,
+                        const float*, std::size_t);
+  void (*l2sqr_batch4)(const float*, const float* const*, std::size_t,
+                       float*);
+  void (*inner_product_batch4)(const float*, const float* const*,
+                               std::size_t, float*);
+  void (*pq_adc_batch)(const float*, int, int, const uint8_t* const*, int,
+                       float*);
+  void (*sq_adc_l2sqr_batch4)(const float*, const uint8_t* const*,
+                              const float*, const float*, std::size_t,
+                              float*);
+};
+
+constexpr KernelTable kScalarTable = {
+    internal::L2SqrScalar,
+    internal::InnerProductScalar,
+    internal::Norm2SqrScalar,
+    internal::AxpyScalar,
+    internal::SqAdcL2SqrScalar,
+    internal::L2SqrBatch4Scalar,
+    internal::InnerProductBatch4Scalar,
+    internal::PqAdcBatchScalar,
+    internal::SqAdcL2SqrBatch4Scalar,
+};
+
+#if defined(RESINFER_HAVE_AVX2)
+constexpr KernelTable kAvx2Table = {
+    internal::L2SqrAvx2,
+    internal::InnerProductAvx2,
+    internal::Norm2SqrAvx2,
+    internal::AxpyAvx2,
+    internal::SqAdcL2SqrAvx2,
+    internal::L2SqrBatch4Avx2,
+    internal::InnerProductBatch4Avx2,
+    internal::PqAdcBatchAvx2,
+    internal::SqAdcL2SqrBatch4Avx2,
+};
+#endif
+
+const KernelTable* TableFor(SimdLevel level) {
+#if defined(RESINFER_HAVE_AVX2)
+  if (level == SimdLevel::kAvx2) return &kAvx2Table;
+#endif
+  (void)level;
+  return &kScalarTable;
+}
+
+// Function-local statics avoid static-initialization-order hazards; the
+// table pointer is resolved once on first use (cpuid check included) and
+// only changes through SetActiveLevel.
+std::atomic<const KernelTable*>& TableSlot() {
+  static std::atomic<const KernelTable*> slot{TableFor(BestSupportedLevel())};
+  return slot;
+}
+
 std::atomic<SimdLevel>& LevelSlot() {
   static std::atomic<SimdLevel> slot{BestSupportedLevel()};
   return slot;
+}
+
+inline const KernelTable& Active() {
+  return *TableSlot().load(std::memory_order_relaxed);
 }
 
 }  // namespace
 
 SimdLevel BestSupportedLevel() {
 #if defined(RESINFER_HAVE_AVX2)
-  // The build targets -mavx2; binaries only run on AVX2-capable hosts, so a
-  // compile-time answer is sufficient.
+#if defined(__GNUC__) || defined(__clang__)
+  // The AVX2 kernels are compiled into every RESINFER_HAVE_AVX2 build, but
+  // the binary may land on an older host; check the CPU once so dispatch
+  // degrades to scalar instead of executing illegal instructions.
+  static const bool cpu_ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return cpu_ok ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+#else
   return SimdLevel::kAvx2;
+#endif
 #else
   return SimdLevel::kScalar;
 #endif
@@ -31,6 +105,7 @@ SimdLevel ActiveLevel() { return LevelSlot().load(std::memory_order_relaxed); }
 void SetActiveLevel(SimdLevel level) {
   if (level > BestSupportedLevel()) level = BestSupportedLevel();
   LevelSlot().store(level, std::memory_order_relaxed);
+  TableSlot().store(TableFor(level), std::memory_order_relaxed);
 }
 
 const char* SimdLevelName(SimdLevel level) {
@@ -44,44 +119,43 @@ const char* SimdLevelName(SimdLevel level) {
 }
 
 float L2Sqr(const float* a, const float* b, std::size_t n) {
-#if defined(RESINFER_HAVE_AVX2)
-  if (ActiveLevel() == SimdLevel::kAvx2) return internal::L2SqrAvx2(a, b, n);
-#endif
-  return internal::L2SqrScalar(a, b, n);
+  return Active().l2sqr(a, b, n);
 }
 
 float InnerProduct(const float* a, const float* b, std::size_t n) {
-#if defined(RESINFER_HAVE_AVX2)
-  if (ActiveLevel() == SimdLevel::kAvx2)
-    return internal::InnerProductAvx2(a, b, n);
-#endif
-  return internal::InnerProductScalar(a, b, n);
+  return Active().inner_product(a, b, n);
 }
 
-float Norm2Sqr(const float* a, std::size_t n) {
-#if defined(RESINFER_HAVE_AVX2)
-  if (ActiveLevel() == SimdLevel::kAvx2) return internal::Norm2SqrAvx2(a, n);
-#endif
-  return internal::Norm2SqrScalar(a, n);
-}
+float Norm2Sqr(const float* a, std::size_t n) { return Active().norm2sqr(a, n); }
 
 void Axpy(float scale, const float* x, float* out, std::size_t n) {
-#if defined(RESINFER_HAVE_AVX2)
-  if (ActiveLevel() == SimdLevel::kAvx2) {
-    internal::AxpyAvx2(scale, x, out, n);
-    return;
-  }
-#endif
-  internal::AxpyScalar(scale, x, out, n);
+  Active().axpy(scale, x, out, n);
 }
 
 float SqAdcL2Sqr(const float* q, const uint8_t* code, const float* vmin,
                  const float* step, std::size_t n) {
-#if defined(RESINFER_HAVE_AVX2)
-  if (ActiveLevel() == SimdLevel::kAvx2)
-    return internal::SqAdcL2SqrAvx2(q, code, vmin, step, n);
-#endif
-  return internal::SqAdcL2SqrScalar(q, code, vmin, step, n);
+  return Active().sq_adc_l2sqr(q, code, vmin, step, n);
+}
+
+void L2SqrBatch4(const float* q, const float* const* rows, std::size_t n,
+                 float* out) {
+  Active().l2sqr_batch4(q, rows, n, out);
+}
+
+void InnerProductBatch4(const float* q, const float* const* rows,
+                        std::size_t n, float* out) {
+  Active().inner_product_batch4(q, rows, n, out);
+}
+
+void PqAdcBatch(const float* table, int m, int ksub,
+                const uint8_t* const* codes, int count, float* out) {
+  Active().pq_adc_batch(table, m, ksub, codes, count, out);
+}
+
+void SqAdcL2SqrBatch4(const float* q, const uint8_t* const* codes,
+                      const float* vmin, const float* step, std::size_t n,
+                      float* out) {
+  Active().sq_adc_l2sqr_batch4(q, codes, vmin, step, n, out);
 }
 
 }  // namespace resinfer::simd

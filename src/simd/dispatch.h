@@ -4,6 +4,10 @@
 // (§VII-A); this library ships vectorized kernels but lets benches and tests
 // pin the scalar reference path via SetSimdLevel so both configurations can
 // be reported.
+//
+// Kernel entry points dispatch through a function-pointer table resolved
+// once at startup (cpuid-checked, so AVX2 builds degrade to scalar on older
+// hosts); switching levels swaps the table pointer.
 #ifndef RESINFER_SIMD_DISPATCH_H_
 #define RESINFER_SIMD_DISPATCH_H_
 

@@ -7,6 +7,13 @@
 //
 // All kernels accept unaligned pointers; aligned inputs (AlignedBuffer) are
 // simply faster.
+//
+// Batched kernels (the block-scan refinement path): each lane reproduces the
+// exact floating-point operation order of the corresponding single-pair
+// kernel at the same SIMD level, so lane i of a batch call is bit-identical
+// to a per-candidate call on the same inputs. The speedup comes from
+// sharing the query loads across lanes and keeping several independent
+// accumulation chains in flight, not from reassociation.
 #ifndef RESINFER_SIMD_KERNELS_H_
 #define RESINFER_SIMD_KERNELS_H_
 
@@ -14,6 +21,10 @@
 #include <cstdint>
 
 namespace resinfer::simd {
+
+// Rows per batched-kernel call; block scans feed the batch kernels in groups
+// of this size and finish the remainder with single-pair calls.
+inline constexpr int kBatchWidth = 4;
 
 // sum_i (a[i] - b[i])^2
 float L2Sqr(const float* a, const float* b, std::size_t n);
@@ -32,6 +43,29 @@ void Axpy(float scale, const float* x, float* out, std::size_t n);
 float SqAdcL2Sqr(const float* q, const uint8_t* code, const float* vmin,
                  const float* step, std::size_t n);
 
+// out[r] = L2Sqr(rows[r], q, n) for r in [0, kBatchWidth). Evaluates four
+// candidate rows per call with shared query loads; each lane is
+// bit-identical to the single-pair L2Sqr at the active level.
+void L2SqrBatch4(const float* q, const float* const* rows, std::size_t n,
+                 float* out);
+
+// out[r] = InnerProduct(rows[r], q, n) for r in [0, kBatchWidth); the
+// inner-product counterpart of L2SqrBatch4 (DDCres first-stage scans).
+void InnerProductBatch4(const float* q, const float* const* rows,
+                        std::size_t n, float* out);
+
+// PQ/RQ ADC table accumulation over a block of codes:
+//   out[c] = sum_s table[s * ksub + codes[c][s]]   for c in [0, count).
+// Per-code accumulation is sequential in s (the PqCodebook::AdcDistance
+// order), so each lane is bit-identical to the per-candidate lookup sum.
+void PqAdcBatch(const float* table, int m, int ksub,
+                const uint8_t* const* codes, int count, float* out);
+
+// out[r] = SqAdcL2Sqr(q, codes[r], vmin, step, n) for r in [0, kBatchWidth).
+void SqAdcL2SqrBatch4(const float* q, const uint8_t* const* codes,
+                      const float* vmin, const float* step, std::size_t n,
+                      float* out);
+
 namespace internal {
 
 float L2SqrScalar(const float* a, const float* b, std::size_t n);
@@ -40,6 +74,15 @@ float Norm2SqrScalar(const float* a, std::size_t n);
 void AxpyScalar(float scale, const float* x, float* out, std::size_t n);
 float SqAdcL2SqrScalar(const float* q, const uint8_t* code,
                        const float* vmin, const float* step, std::size_t n);
+void L2SqrBatch4Scalar(const float* q, const float* const* rows,
+                       std::size_t n, float* out);
+void InnerProductBatch4Scalar(const float* q, const float* const* rows,
+                              std::size_t n, float* out);
+void PqAdcBatchScalar(const float* table, int m, int ksub,
+                      const uint8_t* const* codes, int count, float* out);
+void SqAdcL2SqrBatch4Scalar(const float* q, const uint8_t* const* codes,
+                            const float* vmin, const float* step,
+                            std::size_t n, float* out);
 
 #if defined(RESINFER_HAVE_AVX2)
 float L2SqrAvx2(const float* a, const float* b, std::size_t n);
@@ -48,6 +91,15 @@ float Norm2SqrAvx2(const float* a, std::size_t n);
 void AxpyAvx2(float scale, const float* x, float* out, std::size_t n);
 float SqAdcL2SqrAvx2(const float* q, const uint8_t* code, const float* vmin,
                      const float* step, std::size_t n);
+void L2SqrBatch4Avx2(const float* q, const float* const* rows, std::size_t n,
+                     float* out);
+void InnerProductBatch4Avx2(const float* q, const float* const* rows,
+                            std::size_t n, float* out);
+void PqAdcBatchAvx2(const float* table, int m, int ksub,
+                    const uint8_t* const* codes, int count, float* out);
+void SqAdcL2SqrBatch4Avx2(const float* q, const uint8_t* const* codes,
+                          const float* vmin, const float* step,
+                          std::size_t n, float* out);
 #endif
 
 }  // namespace internal

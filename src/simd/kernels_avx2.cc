@@ -20,6 +20,39 @@ inline float ReduceAdd(__m256 v) {
   return _mm_cvtss_f32(sums);
 }
 
+// Scalar tails shared by the single-pair and batched kernels. noinline
+// pins one compiled instance: whether the compiler contracts d*d + acc
+// into an FMA is then decided once, keeping batch lanes bit-identical to
+// single-pair calls for dimensions that are not a multiple of 8.
+__attribute__((noinline)) float L2SqrTail(const float* a, const float* b,
+                                          std::size_t i, std::size_t n,
+                                          float acc) {
+  for (; i < n; ++i) {
+    float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+__attribute__((noinline)) float IpTail(const float* a, const float* b,
+                                       std::size_t i, std::size_t n,
+                                       float acc) {
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+__attribute__((noinline)) float SqAdcTail(const float* q,
+                                          const uint8_t* code,
+                                          const float* vmin,
+                                          const float* step, std::size_t i,
+                                          std::size_t n, float acc) {
+  for (; i < n; ++i) {
+    float d = q[i] - (vmin[i] + static_cast<float>(code[i]) * step[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
 }  // namespace
 
 float L2SqrAvx2(const float* a, const float* b, std::size_t n) {
@@ -37,12 +70,7 @@ float L2SqrAvx2(const float* a, const float* b, std::size_t n) {
     __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
     acc0 = _mm256_fmadd_ps(d, d, acc0);
   }
-  float total = ReduceAdd(_mm256_add_ps(acc0, acc1));
-  for (; i < n; ++i) {
-    float d = a[i] - b[i];
-    total += d * d;
-  }
-  return total;
+  return L2SqrTail(a, b, i, n, ReduceAdd(_mm256_add_ps(acc0, acc1)));
 }
 
 float InnerProductAvx2(const float* a, const float* b, std::size_t n) {
@@ -59,9 +87,38 @@ float InnerProductAvx2(const float* a, const float* b, std::size_t n) {
     acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
                            acc0);
   }
-  float total = ReduceAdd(_mm256_add_ps(acc0, acc1));
-  for (; i < n; ++i) total += a[i] * b[i];
-  return total;
+  return IpTail(a, b, i, n, ReduceAdd(_mm256_add_ps(acc0, acc1)));
+}
+
+void InnerProductBatch4Avx2(const float* q, const float* const* rows,
+                            std::size_t n, float* out) {
+  // Per-lane structure identical to InnerProductAvx2 (two accumulators over
+  // 16-float strides, one over 8, scalar tail); query loads shared.
+  __m256 acc0[4], acc1[4];
+  for (int r = 0; r < 4; ++r) {
+    acc0[r] = _mm256_setzero_ps();
+    acc1[r] = _mm256_setzero_ps();
+  }
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 qa = _mm256_loadu_ps(q + i);
+    const __m256 qb = _mm256_loadu_ps(q + i + 8);
+    for (int r = 0; r < 4; ++r) {
+      acc0[r] = _mm256_fmadd_ps(_mm256_loadu_ps(rows[r] + i), qa, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(_mm256_loadu_ps(rows[r] + i + 8), qb,
+                                acc1[r]);
+    }
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 qa = _mm256_loadu_ps(q + i);
+    for (int r = 0; r < 4; ++r) {
+      acc0[r] = _mm256_fmadd_ps(_mm256_loadu_ps(rows[r] + i), qa, acc0[r]);
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    out[r] = IpTail(rows[r], q, i, n,
+                    ReduceAdd(_mm256_add_ps(acc0[r], acc1[r])));
+  }
 }
 
 float Norm2SqrAvx2(const float* a, std::size_t n) {
@@ -79,6 +136,94 @@ void AxpyAvx2(float scale, const float* x, float* out, std::size_t n) {
   for (; i < n; ++i) out[i] += scale * x[i];
 }
 
+void L2SqrBatch4Avx2(const float* q, const float* const* rows, std::size_t n,
+                     float* out) {
+  // Four lanes, each replicating the exact accumulator structure of
+  // L2SqrAvx2 (two accumulators over 16-float strides, one over 8, scalar
+  // tail) so every lane is bit-identical to a single-pair call. The win:
+  // the query loads are shared and 8 FMA chains stay in flight.
+  __m256 acc0[4], acc1[4];
+  for (int r = 0; r < 4; ++r) {
+    acc0[r] = _mm256_setzero_ps();
+    acc1[r] = _mm256_setzero_ps();
+  }
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 qa = _mm256_loadu_ps(q + i);
+    const __m256 qb = _mm256_loadu_ps(q + i + 8);
+    for (int r = 0; r < 4; ++r) {
+      __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(rows[r] + i), qa);
+      __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(rows[r] + i + 8), qb);
+      acc0[r] = _mm256_fmadd_ps(d0, d0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(d1, d1, acc1[r]);
+    }
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 qa = _mm256_loadu_ps(q + i);
+    for (int r = 0; r < 4; ++r) {
+      __m256 d = _mm256_sub_ps(_mm256_loadu_ps(rows[r] + i), qa);
+      acc0[r] = _mm256_fmadd_ps(d, d, acc0[r]);
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    out[r] = L2SqrTail(rows[r], q, i, n,
+                       ReduceAdd(_mm256_add_ps(acc0[r], acc1[r])));
+  }
+}
+
+void PqAdcBatchAvx2(const float* table, int m, int ksub,
+                    const uint8_t* const* codes, int count, float* out) {
+  // Eight codes per gather group; lane j accumulates its own code's table
+  // entries sequentially in s, matching the scalar per-code order exactly.
+  int c = 0;
+  for (; c + 8 <= count; c += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    int base = 0;
+    for (int s = 0; s < m; ++s, base += ksub) {
+      __m256i idx = _mm256_add_epi32(
+          _mm256_set1_epi32(base),
+          _mm256_setr_epi32(codes[c][s], codes[c + 1][s], codes[c + 2][s],
+                            codes[c + 3][s], codes[c + 4][s],
+                            codes[c + 5][s], codes[c + 6][s],
+                            codes[c + 7][s]));
+      acc = _mm256_add_ps(acc, _mm256_i32gather_ps(table, idx, 4));
+    }
+    _mm256_storeu_ps(out + c, acc);
+  }
+  for (; c < count; ++c) {
+    float acc = 0.f;
+    const float* row = table;
+    for (int s = 0; s < m; ++s, row += ksub) acc += row[codes[c][s]];
+    out[c] = acc;
+  }
+}
+
+void SqAdcL2SqrBatch4Avx2(const float* q, const uint8_t* const* codes,
+                          const float* vmin, const float* step,
+                          std::size_t n, float* out) {
+  // Per-lane structure identical to SqAdcL2SqrAvx2 (one accumulator, 8-wide
+  // strides, scalar tail); query/range loads shared across the four codes.
+  __m256 acc[4];
+  for (int r = 0; r < 4; ++r) acc[r] = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 qv = _mm256_loadu_ps(q + i);
+    const __m256 sv = _mm256_loadu_ps(step + i);
+    const __m256 mv = _mm256_loadu_ps(vmin + i);
+    for (int r = 0; r < 4; ++r) {
+      __m128i bytes = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(codes[r] + i));
+      __m256 cvt = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+      __m256 recon = _mm256_fmadd_ps(cvt, sv, mv);
+      __m256 d = _mm256_sub_ps(qv, recon);
+      acc[r] = _mm256_fmadd_ps(d, d, acc[r]);
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    out[r] = SqAdcTail(q, codes[r], vmin, step, i, n, ReduceAdd(acc[r]));
+  }
+}
+
 float SqAdcL2SqrAvx2(const float* q, const uint8_t* code, const float* vmin,
                      const float* step, std::size_t n) {
   __m256 acc = _mm256_setzero_ps();
@@ -93,12 +238,7 @@ float SqAdcL2SqrAvx2(const float* q, const uint8_t* code, const float* vmin,
     __m256 d = _mm256_sub_ps(_mm256_loadu_ps(q + i), recon);
     acc = _mm256_fmadd_ps(d, d, acc);
   }
-  float total = ReduceAdd(acc);
-  for (; i < n; ++i) {
-    float d = q[i] - (vmin[i] + static_cast<float>(code[i]) * step[i]);
-    total += d * d;
-  }
-  return total;
+  return SqAdcTail(q, code, vmin, step, i, n, ReduceAdd(acc));
 }
 
 }  // namespace resinfer::simd::internal

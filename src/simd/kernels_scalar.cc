@@ -63,4 +63,58 @@ float SqAdcL2SqrScalar(const float* q, const uint8_t* code,
   return acc0 + acc1;
 }
 
+// The scalar batch kernels are the reference path: each lane simply runs
+// the single-pair kernel, which makes bit-identity trivial and leaves the
+// amortization win (shared query loads, interleaved chains) to the
+// vectorized implementations.
+void L2SqrBatch4Scalar(const float* q, const float* const* rows,
+                       std::size_t n, float* out) {
+  for (int r = 0; r < kBatchWidth; ++r) out[r] = L2SqrScalar(rows[r], q, n);
+}
+
+void InnerProductBatch4Scalar(const float* q, const float* const* rows,
+                              std::size_t n, float* out) {
+  for (int r = 0; r < kBatchWidth; ++r) {
+    out[r] = InnerProductScalar(rows[r], q, n);
+  }
+}
+
+void PqAdcBatchScalar(const float* table, int m, int ksub,
+                      const uint8_t* const* codes, int count, float* out) {
+  int c = 0;
+  // Four independent accumulation chains; each chain keeps the sequential
+  // per-subspace order of PqCodebook::AdcDistance.
+  for (; c + 4 <= count; c += 4) {
+    const uint8_t* c0 = codes[c];
+    const uint8_t* c1 = codes[c + 1];
+    const uint8_t* c2 = codes[c + 2];
+    const uint8_t* c3 = codes[c + 3];
+    float a0 = 0.f, a1 = 0.f, a2 = 0.f, a3 = 0.f;
+    const float* row = table;
+    for (int s = 0; s < m; ++s, row += ksub) {
+      a0 += row[c0[s]];
+      a1 += row[c1[s]];
+      a2 += row[c2[s]];
+      a3 += row[c3[s]];
+    }
+    out[c] = a0;
+    out[c + 1] = a1;
+    out[c + 2] = a2;
+    out[c + 3] = a3;
+  }
+  for (; c < count; ++c) {
+    float acc = 0.f;
+    const float* row = table;
+    for (int s = 0; s < m; ++s, row += ksub) acc += row[codes[c][s]];
+    out[c] = acc;
+  }
+}
+
+void SqAdcL2SqrBatch4Scalar(const float* q, const uint8_t* const* codes,
+                            const float* vmin, const float* step,
+                            std::size_t n, float* out) {
+  for (int r = 0; r < kBatchWidth; ++r)
+    out[r] = SqAdcL2SqrScalar(q, codes[r], vmin, step, n);
+}
+
 }  // namespace resinfer::simd::internal

@@ -20,13 +20,19 @@ IvfOptions SmallOptions() {
 TEST(IvfIndexTest, BucketsPartitionTheBase) {
   data::Dataset ds = testing::SmallDataset(1000, 16, 1.0, 40, 8, 4);
   IvfIndex index = IvfIndex::Build(ds.base, SmallOptions());
+  ASSERT_EQ(static_cast<int>(index.bucket_offsets().size()),
+            index.num_clusters() + 1);
+  EXPECT_EQ(index.bucket_offsets().front(), 0);
+  EXPECT_EQ(index.bucket_offsets().back(),
+            static_cast<int64_t>(index.ids().size()));
   std::vector<int> seen(1000, 0);
   int64_t total = 0;
-  for (const auto& bucket : index.buckets()) {
-    for (int64_t id : bucket) {
-      ASSERT_GE(id, 0);
-      ASSERT_LT(id, 1000);
-      ++seen[id];
+  for (int b = 0; b < index.num_clusters(); ++b) {
+    const int64_t* ids = index.BucketIds(b);
+    for (int64_t i = 0; i < index.BucketSize(b); ++i) {
+      ASSERT_GE(ids[i], 0);
+      ASSERT_LT(ids[i], 1000);
+      ++seen[ids[i]];
       ++total;
     }
   }

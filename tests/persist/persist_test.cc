@@ -7,6 +7,7 @@
 
 #include "data/ground_truth.h"
 #include "test_util.h"
+#include "util/binary_io.h"
 
 namespace resinfer::persist {
 namespace {
@@ -166,6 +167,84 @@ TEST_F(PersistTest, IvfRoundTripIdenticalSearch) {
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
   }
+}
+
+TEST_F(PersistTest, IvfCsrRoundTripPreservesLayout) {
+  data::Dataset ds = testing::SmallDataset(900, 12, 1.0, 312, 4, 2);
+  index::IvfOptions options;
+  options.num_clusters = 16;
+  index::IvfIndex ivf = index::IvfIndex::Build(ds.base, options);
+  std::string error;
+  ASSERT_TRUE(SaveIvf(Path("ivf_csr.bin"), ivf, &error)) << error;
+  index::IvfIndex loaded;
+  ASSERT_TRUE(LoadIvf(Path("ivf_csr.bin"), &loaded, &error)) << error;
+  EXPECT_EQ(loaded.size(), ivf.size());
+  EXPECT_EQ(loaded.bucket_offsets(), ivf.bucket_offsets());
+  EXPECT_EQ(loaded.ids(), ivf.ids());
+}
+
+TEST_F(PersistTest, IvfLegacyNestedFormatStillLoads) {
+  // Hand-write a v1 (nested-bucket) file; the loader must flatten it into
+  // the CSR layout with identical search behavior.
+  data::Dataset ds = testing::SmallDataset(300, 8, 1.0, 311, 6, 2);
+  index::IvfOptions options;
+  options.num_clusters = 8;
+  index::IvfIndex ivf = index::IvfIndex::Build(ds.base, options);
+
+  {
+    BinaryWriter writer(Path("ivf_v1.bin"));
+    const char magic[8] = {'R', 'I', 'I', 'V', 'F', 'I', 'X', '1'};
+    WriteHeader(writer, magic, /*version=*/1);
+    writer.Write(ivf.size());
+    writer.Write(ivf.centroids().rows());
+    writer.Write(ivf.centroids().cols());
+    writer.WriteFloats(ivf.centroids().data(), ivf.centroids().size());
+    writer.Write<int32_t>(ivf.num_clusters());
+    for (int b = 0; b < ivf.num_clusters(); ++b) {
+      std::vector<int64_t> bucket(ivf.BucketIds(b),
+                                  ivf.BucketIds(b) + ivf.BucketSize(b));
+      writer.WriteVector(bucket);
+    }
+    ASSERT_TRUE(writer.ok());
+  }
+
+  std::string error;
+  index::IvfIndex loaded;
+  ASSERT_TRUE(LoadIvf(Path("ivf_v1.bin"), &loaded, &error)) << error;
+  EXPECT_EQ(loaded.bucket_offsets(), ivf.bucket_offsets());
+  EXPECT_EQ(loaded.ids(), ivf.ids());
+
+  index::FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    auto a = ivf.Search(computer, ds.queries.Row(q), 5, 3);
+    auto b = loaded.Search(computer, ds.queries.Row(q), 5, 3);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+  }
+}
+
+TEST_F(PersistTest, IvfBadOffsetsFail) {
+  data::Dataset ds = testing::SmallDataset(200, 8, 1.0, 313, 2, 2);
+  index::IvfOptions options;
+  options.num_clusters = 4;
+  index::IvfIndex ivf = index::IvfIndex::Build(ds.base, options);
+  std::string error;
+  ASSERT_TRUE(SaveIvf(Path("ivf_o.bin"), ivf, &error));
+  // The offsets vector sits right after size/centroids/cluster-count;
+  // corrupt its second entry (the first is the required leading zero).
+  {
+    std::fstream f(Path("ivf_o.bin"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    const int64_t header = 8 + 4;  // magic + version
+    const int64_t centroid_bytes =
+        2 * 8 + ivf.centroids().size() * static_cast<int64_t>(sizeof(float));
+    f.seekp(header + 8 + centroid_bytes + 4 + 8 + 2 * 8, std::ios::beg);
+    int64_t bogus = -5;
+    f.write(reinterpret_cast<char*>(&bogus), sizeof(bogus));
+  }
+  index::IvfIndex loaded;
+  EXPECT_FALSE(LoadIvf(Path("ivf_o.bin"), &loaded, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 TEST_F(PersistTest, IvfCorruptBucketIdFails) {

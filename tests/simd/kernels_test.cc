@@ -92,6 +92,135 @@ INSTANTIATE_TEST_SUITE_P(Dims, KernelParityTest,
                          ::testing::Values(1, 2, 3, 7, 8, 15, 16, 17, 31, 32,
                                            33, 48, 100, 128, 256, 300, 960));
 
+// Batched kernels: every lane must be BIT-identical to the single-pair
+// kernel at the same level (the EstimateBatch contract builds on this).
+TEST_P(KernelParityTest, L2SqrBatch4LanesMatchSingle) {
+  const std::size_t n = GetParam();
+  auto q = RandomVec(n, 21);
+  std::vector<std::vector<float>> row_storage;
+  const float* rows[4];
+  for (int r = 0; r < 4; ++r) row_storage.push_back(RandomVec(n, 22 + r));
+  for (int r = 0; r < 4; ++r) rows[r] = row_storage[r].data();
+
+  float out[4];
+  internal::L2SqrBatch4Scalar(q.data(), rows, n, out);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(out[r], internal::L2SqrScalar(rows[r], q.data(), n)) << r;
+  }
+#if defined(RESINFER_HAVE_AVX2)
+  internal::L2SqrBatch4Avx2(q.data(), rows, n, out);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(out[r], internal::L2SqrAvx2(rows[r], q.data(), n)) << r;
+  }
+#endif
+}
+
+TEST_P(KernelParityTest, InnerProductBatch4LanesMatchSingle) {
+  const std::size_t n = GetParam();
+  auto q = RandomVec(n, 41);
+  std::vector<std::vector<float>> row_storage;
+  const float* rows[4];
+  for (int r = 0; r < 4; ++r) row_storage.push_back(RandomVec(n, 42 + r));
+  for (int r = 0; r < 4; ++r) rows[r] = row_storage[r].data();
+
+  float out[4];
+  internal::InnerProductBatch4Scalar(q.data(), rows, n, out);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(out[r], internal::InnerProductScalar(rows[r], q.data(), n))
+        << r;
+  }
+#if defined(RESINFER_HAVE_AVX2)
+  internal::InnerProductBatch4Avx2(q.data(), rows, n, out);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(out[r], internal::InnerProductAvx2(rows[r], q.data(), n)) << r;
+  }
+#endif
+}
+
+TEST_P(KernelParityTest, SqAdcL2SqrBatch4LanesMatchSingle) {
+  const std::size_t n = GetParam();
+  auto q = RandomVec(n, 31), vmin = RandomVec(n, 32);
+  std::vector<float> step(n);
+  std::vector<std::vector<uint8_t>> code_storage(4,
+                                                 std::vector<uint8_t>(n));
+  Rng rng(33);
+  for (std::size_t i = 0; i < n; ++i) {
+    step[i] = static_cast<float>(rng.Uniform()) * 0.01f;
+    for (int r = 0; r < 4; ++r) {
+      code_storage[r][i] = static_cast<uint8_t>(rng.Uniform() * 255.0);
+    }
+  }
+  const uint8_t* codes[4];
+  for (int r = 0; r < 4; ++r) codes[r] = code_storage[r].data();
+
+  float out[4];
+  internal::SqAdcL2SqrBatch4Scalar(q.data(), codes, vmin.data(), step.data(),
+                                   n, out);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(out[r], internal::SqAdcL2SqrScalar(q.data(), codes[r],
+                                                 vmin.data(), step.data(), n))
+        << r;
+  }
+#if defined(RESINFER_HAVE_AVX2)
+  internal::SqAdcL2SqrBatch4Avx2(q.data(), codes, vmin.data(), step.data(),
+                                 n, out);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(out[r], internal::SqAdcL2SqrAvx2(q.data(), codes[r],
+                                               vmin.data(), step.data(), n))
+        << r;
+  }
+#endif
+}
+
+TEST(KernelsTest, PqAdcBatchMatchesSequentialLookupSum) {
+  // Table accumulation over a block of codes, including the remainder path
+  // (count not a multiple of the gather width).
+  const int m = 8, ksub = 64;
+  auto table = RandomVec(static_cast<std::size_t>(m) * ksub, 41);
+  Rng rng(42);
+  for (int count : {1, 3, 7, 8, 9, 16, 23}) {
+    std::vector<std::vector<uint8_t>> code_storage(
+        count, std::vector<uint8_t>(m));
+    std::vector<const uint8_t*> codes(count);
+    for (int c = 0; c < count; ++c) {
+      for (int s = 0; s < m; ++s) {
+        code_storage[c][s] =
+            static_cast<uint8_t>(rng.Uniform() * (ksub - 1));
+      }
+      codes[c] = code_storage[c].data();
+    }
+    std::vector<float> want(count);
+    for (int c = 0; c < count; ++c) {
+      float acc = 0.f;
+      for (int s = 0; s < m; ++s) acc += table[s * ksub + codes[c][s]];
+      want[c] = acc;
+    }
+    std::vector<float> got(count);
+    internal::PqAdcBatchScalar(table.data(), m, ksub, codes.data(), count,
+                               got.data());
+    for (int c = 0; c < count; ++c) EXPECT_EQ(got[c], want[c]) << count;
+#if defined(RESINFER_HAVE_AVX2)
+    internal::PqAdcBatchAvx2(table.data(), m, ksub, codes.data(), count,
+                             got.data());
+    for (int c = 0; c < count; ++c) EXPECT_EQ(got[c], want[c]) << count;
+#endif
+  }
+}
+
+TEST(DispatchTest, BatchEntryPointsFollowActiveLevel) {
+  auto q = RandomVec(48, 51);
+  std::vector<std::vector<float>> row_storage;
+  const float* rows[4];
+  for (int r = 0; r < 4; ++r) row_storage.push_back(RandomVec(48, 52 + r));
+  for (int r = 0; r < 4; ++r) rows[r] = row_storage[r].data();
+  float out[4];
+  ScopedSimdLevel guard(SimdLevel::kScalar);
+  L2SqrBatch4(q.data(), rows, 48, out);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(out[r], internal::L2SqrScalar(rows[r], q.data(), 48));
+  }
+}
+
 TEST(KernelsTest, KnownValues) {
   const float a[4] = {1, 2, 3, 4};
   const float b[4] = {0, 2, 5, 1};
