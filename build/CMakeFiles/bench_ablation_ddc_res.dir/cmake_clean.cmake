@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ddc_res.dir/bench/bench_ablation_ddc_res.cc.o"
+  "CMakeFiles/bench_ablation_ddc_res.dir/bench/bench_ablation_ddc_res.cc.o.d"
+  "bench_ablation_ddc_res"
+  "bench_ablation_ddc_res.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ddc_res.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rq_cascade.dir/bench/bench_ablation_rq_cascade.cc.o"
+  "CMakeFiles/bench_ablation_rq_cascade.dir/bench/bench_ablation_rq_cascade.cc.o.d"
+  "bench_ablation_rq_cascade"
+  "bench_ablation_rq_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rq_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

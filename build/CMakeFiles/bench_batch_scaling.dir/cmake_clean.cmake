@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_scaling.dir/bench/bench_batch_scaling.cc.o"
+  "CMakeFiles/bench_batch_scaling.dir/bench/bench_batch_scaling.cc.o.d"
+  "bench_batch_scaling"
+  "bench_batch_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp8_ant_proxy.dir/bench/bench_exp8_ant_proxy.cc.o"
+  "CMakeFiles/bench_exp8_ant_proxy.dir/bench/bench_exp8_ant_proxy.cc.o.d"
+  "bench_exp8_ant_proxy"
+  "bench_exp8_ant_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp8_ant_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

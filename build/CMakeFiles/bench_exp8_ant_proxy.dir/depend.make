@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_exp8_ant_proxy.
+# This may be replaced when dependencies are built.

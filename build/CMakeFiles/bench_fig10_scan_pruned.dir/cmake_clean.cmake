@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_scan_pruned.dir/bench/bench_fig10_scan_pruned.cc.o"
+  "CMakeFiles/bench_fig10_scan_pruned.dir/bench/bench_fig10_scan_pruned.cc.o.d"
+  "bench_fig10_scan_pruned"
+  "bench_fig10_scan_pruned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_scan_pruned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_error_bound.dir/bench/bench_fig2_error_bound.cc.o"
+  "CMakeFiles/bench_fig2_error_bound.dir/bench/bench_fig2_error_bound.cc.o.d"
+  "bench_fig2_error_bound"
+  "bench_fig2_error_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_error_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

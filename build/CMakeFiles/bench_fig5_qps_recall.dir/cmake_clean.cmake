@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_qps_recall.dir/bench/bench_fig5_qps_recall.cc.o"
+  "CMakeFiles/bench_fig5_qps_recall.dir/bench/bench_fig5_qps_recall.cc.o.d"
+  "bench_fig5_qps_recall"
+  "bench_fig5_qps_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_qps_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_target_recall.dir/bench/bench_fig6_target_recall.cc.o"
+  "CMakeFiles/bench_fig6_target_recall.dir/bench/bench_fig6_target_recall.cc.o.d"
+  "bench_fig6_target_recall"
+  "bench_fig6_target_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_target_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_preprocessing.dir/bench/bench_fig7_preprocessing.cc.o"
+  "CMakeFiles/bench_fig7_preprocessing.dir/bench/bench_fig7_preprocessing.cc.o.d"
+  "bench_fig7_preprocessing"
+  "bench_fig7_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

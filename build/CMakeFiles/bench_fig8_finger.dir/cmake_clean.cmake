@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_finger.dir/bench/bench_fig8_finger.cc.o"
+  "CMakeFiles/bench_fig8_finger.dir/bench/bench_fig8_finger.cc.o.d"
+  "bench_fig8_finger"
+  "bench_fig8_finger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_finger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generality_quantizers.dir/bench/bench_generality_quantizers.cc.o"
+  "CMakeFiles/bench_generality_quantizers.dir/bench/bench_generality_quantizers.cc.o.d"
+  "bench_generality_quantizers"
+  "bench_generality_quantizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generality_quantizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ood_queries.dir/bench/bench_ood_queries.cc.o"
+  "CMakeFiles/bench_ood_queries.dir/bench/bench_ood_queries.cc.o.d"
+  "bench_ood_queries"
+  "bench_ood_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ood_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_image_search.dir/examples/image_search.cpp.o"
+  "CMakeFiles/example_image_search.dir/examples/image_search.cpp.o.d"
+  "example_image_search"
+  "example_image_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_image_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

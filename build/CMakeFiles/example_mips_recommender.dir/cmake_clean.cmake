@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mips_recommender.dir/examples/mips_recommender.cpp.o"
+  "CMakeFiles/example_mips_recommender.dir/examples/mips_recommender.cpp.o.d"
+  "example_mips_recommender"
+  "example_mips_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mips_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

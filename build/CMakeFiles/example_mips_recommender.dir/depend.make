@@ -1,0 +1,2 @@
+# Empty dependencies file for example_mips_recommender.
+# This may be replaced when dependencies are built.

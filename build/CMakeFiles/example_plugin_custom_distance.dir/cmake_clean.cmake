@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_plugin_custom_distance.dir/examples/plugin_custom_distance.cpp.o"
+  "CMakeFiles/example_plugin_custom_distance.dir/examples/plugin_custom_distance.cpp.o.d"
+  "example_plugin_custom_distance"
+  "example_plugin_custom_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_plugin_custom_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

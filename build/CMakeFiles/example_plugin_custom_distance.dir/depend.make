@@ -1,0 +1,2 @@
+# Empty dependencies file for example_plugin_custom_distance.
+# This may be replaced when dependencies are built.

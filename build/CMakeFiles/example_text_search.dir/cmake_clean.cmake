@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_text_search.dir/examples/text_search.cpp.o"
+  "CMakeFiles/example_text_search.dir/examples/text_search.cpp.o.d"
+  "example_text_search"
+  "example_text_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_text_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

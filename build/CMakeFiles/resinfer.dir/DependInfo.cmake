@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ad_sampling.cc" "CMakeFiles/resinfer.dir/src/core/ad_sampling.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/ad_sampling.cc.o.d"
+  "/root/repo/src/core/ddc_any.cc" "CMakeFiles/resinfer.dir/src/core/ddc_any.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/ddc_any.cc.o.d"
+  "/root/repo/src/core/ddc_opq.cc" "CMakeFiles/resinfer.dir/src/core/ddc_opq.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/ddc_opq.cc.o.d"
+  "/root/repo/src/core/ddc_pca.cc" "CMakeFiles/resinfer.dir/src/core/ddc_pca.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/ddc_pca.cc.o.d"
+  "/root/repo/src/core/ddc_res.cc" "CMakeFiles/resinfer.dir/src/core/ddc_res.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/ddc_res.cc.o.d"
+  "/root/repo/src/core/ddc_rq_cascade.cc" "CMakeFiles/resinfer.dir/src/core/ddc_rq_cascade.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/ddc_rq_cascade.cc.o.d"
+  "/root/repo/src/core/error_model.cc" "CMakeFiles/resinfer.dir/src/core/error_model.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/error_model.cc.o.d"
+  "/root/repo/src/core/finger.cc" "CMakeFiles/resinfer.dir/src/core/finger.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/finger.cc.o.d"
+  "/root/repo/src/core/linear_corrector.cc" "CMakeFiles/resinfer.dir/src/core/linear_corrector.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/linear_corrector.cc.o.d"
+  "/root/repo/src/core/method_advisor.cc" "CMakeFiles/resinfer.dir/src/core/method_advisor.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/method_advisor.cc.o.d"
+  "/root/repo/src/core/method_factory.cc" "CMakeFiles/resinfer.dir/src/core/method_factory.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/method_factory.cc.o.d"
+  "/root/repo/src/core/training_data.cc" "CMakeFiles/resinfer.dir/src/core/training_data.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/core/training_data.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "CMakeFiles/resinfer.dir/src/data/dataset.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/data/dataset.cc.o.d"
+  "/root/repo/src/data/ground_truth.cc" "CMakeFiles/resinfer.dir/src/data/ground_truth.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/data/ground_truth.cc.o.d"
+  "/root/repo/src/data/metric.cc" "CMakeFiles/resinfer.dir/src/data/metric.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/data/metric.cc.o.d"
+  "/root/repo/src/data/metrics.cc" "CMakeFiles/resinfer.dir/src/data/metrics.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/data/metrics.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "CMakeFiles/resinfer.dir/src/data/synthetic.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/data/synthetic.cc.o.d"
+  "/root/repo/src/data/vec_io.cc" "CMakeFiles/resinfer.dir/src/data/vec_io.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/data/vec_io.cc.o.d"
+  "/root/repo/src/index/batch.cc" "CMakeFiles/resinfer.dir/src/index/batch.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/index/batch.cc.o.d"
+  "/root/repo/src/index/distance_computer.cc" "CMakeFiles/resinfer.dir/src/index/distance_computer.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/index/distance_computer.cc.o.d"
+  "/root/repo/src/index/flat_index.cc" "CMakeFiles/resinfer.dir/src/index/flat_index.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/index/flat_index.cc.o.d"
+  "/root/repo/src/index/hnsw_index.cc" "CMakeFiles/resinfer.dir/src/index/hnsw_index.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/index/hnsw_index.cc.o.d"
+  "/root/repo/src/index/ivf_index.cc" "CMakeFiles/resinfer.dir/src/index/ivf_index.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/index/ivf_index.cc.o.d"
+  "/root/repo/src/linalg/covariance.cc" "CMakeFiles/resinfer.dir/src/linalg/covariance.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/linalg/covariance.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "CMakeFiles/resinfer.dir/src/linalg/eigen.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "CMakeFiles/resinfer.dir/src/linalg/matrix.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/orthogonal.cc" "CMakeFiles/resinfer.dir/src/linalg/orthogonal.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/linalg/orthogonal.cc.o.d"
+  "/root/repo/src/linalg/pca.cc" "CMakeFiles/resinfer.dir/src/linalg/pca.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/linalg/pca.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "CMakeFiles/resinfer.dir/src/linalg/svd.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/linalg/svd.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "CMakeFiles/resinfer.dir/src/linalg/vector_ops.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/linalg/vector_ops.cc.o.d"
+  "/root/repo/src/persist/persist.cc" "CMakeFiles/resinfer.dir/src/persist/persist.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/persist/persist.cc.o.d"
+  "/root/repo/src/quant/kmeans.cc" "CMakeFiles/resinfer.dir/src/quant/kmeans.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/quant/kmeans.cc.o.d"
+  "/root/repo/src/quant/opq.cc" "CMakeFiles/resinfer.dir/src/quant/opq.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/quant/opq.cc.o.d"
+  "/root/repo/src/quant/pq.cc" "CMakeFiles/resinfer.dir/src/quant/pq.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/quant/pq.cc.o.d"
+  "/root/repo/src/quant/rq.cc" "CMakeFiles/resinfer.dir/src/quant/rq.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/quant/rq.cc.o.d"
+  "/root/repo/src/quant/sq.cc" "CMakeFiles/resinfer.dir/src/quant/sq.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/quant/sq.cc.o.d"
+  "/root/repo/src/simd/dispatch.cc" "CMakeFiles/resinfer.dir/src/simd/dispatch.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/simd/dispatch.cc.o.d"
+  "/root/repo/src/simd/kernels_avx2.cc" "CMakeFiles/resinfer.dir/src/simd/kernels_avx2.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/simd/kernels_avx2.cc.o.d"
+  "/root/repo/src/simd/kernels_scalar.cc" "CMakeFiles/resinfer.dir/src/simd/kernels_scalar.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/simd/kernels_scalar.cc.o.d"
+  "/root/repo/src/util/aligned_buffer.cc" "CMakeFiles/resinfer.dir/src/util/aligned_buffer.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/util/aligned_buffer.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "CMakeFiles/resinfer.dir/src/util/histogram.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/util/histogram.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "CMakeFiles/resinfer.dir/src/util/parallel.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/util/parallel.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/resinfer.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/resinfer.dir/src/util/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

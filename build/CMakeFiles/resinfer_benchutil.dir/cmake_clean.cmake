@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resinfer_benchutil.dir/bench/common.cc.o"
+  "CMakeFiles/resinfer_benchutil.dir/bench/common.cc.o.d"
+  "libresinfer_benchutil.a"
+  "libresinfer_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resinfer_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

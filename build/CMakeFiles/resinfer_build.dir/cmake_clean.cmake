@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resinfer_build.dir/tools/resinfer_build.cc.o"
+  "CMakeFiles/resinfer_build.dir/tools/resinfer_build.cc.o.d"
+  "resinfer_build"
+  "resinfer_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resinfer_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resinfer_gen.dir/tools/resinfer_gen.cc.o"
+  "CMakeFiles/resinfer_gen.dir/tools/resinfer_gen.cc.o.d"
+  "resinfer_gen"
+  "resinfer_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resinfer_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

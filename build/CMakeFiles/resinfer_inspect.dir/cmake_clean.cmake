@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resinfer_inspect.dir/tools/resinfer_inspect.cc.o"
+  "CMakeFiles/resinfer_inspect.dir/tools/resinfer_inspect.cc.o.d"
+  "resinfer_inspect"
+  "resinfer_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resinfer_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resinfer_search.dir/tools/resinfer_search.cc.o"
+  "CMakeFiles/resinfer_search.dir/tools/resinfer_search.cc.o.d"
+  "resinfer_search"
+  "resinfer_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resinfer_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

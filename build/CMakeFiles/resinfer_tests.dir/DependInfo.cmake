@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/ad_sampling_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/ad_sampling_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/ad_sampling_test.cc.o.d"
+  "/root/repo/tests/core/ddc_any_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/ddc_any_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/ddc_any_test.cc.o.d"
+  "/root/repo/tests/core/ddc_opq_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/ddc_opq_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/ddc_opq_test.cc.o.d"
+  "/root/repo/tests/core/ddc_pca_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/ddc_pca_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/ddc_pca_test.cc.o.d"
+  "/root/repo/tests/core/ddc_res_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/ddc_res_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/ddc_res_test.cc.o.d"
+  "/root/repo/tests/core/ddc_rq_cascade_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/ddc_rq_cascade_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/ddc_rq_cascade_test.cc.o.d"
+  "/root/repo/tests/core/error_model_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/error_model_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/error_model_test.cc.o.d"
+  "/root/repo/tests/core/finger_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/finger_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/finger_test.cc.o.d"
+  "/root/repo/tests/core/linear_corrector_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/linear_corrector_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/linear_corrector_test.cc.o.d"
+  "/root/repo/tests/core/method_advisor_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/method_advisor_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/method_advisor_test.cc.o.d"
+  "/root/repo/tests/core/method_factory_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/method_factory_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/method_factory_test.cc.o.d"
+  "/root/repo/tests/core/training_data_test.cc" "CMakeFiles/resinfer_tests.dir/tests/core/training_data_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/core/training_data_test.cc.o.d"
+  "/root/repo/tests/data/ground_truth_test.cc" "CMakeFiles/resinfer_tests.dir/tests/data/ground_truth_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/data/ground_truth_test.cc.o.d"
+  "/root/repo/tests/data/metric_test.cc" "CMakeFiles/resinfer_tests.dir/tests/data/metric_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/data/metric_test.cc.o.d"
+  "/root/repo/tests/data/metrics_test.cc" "CMakeFiles/resinfer_tests.dir/tests/data/metrics_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/data/metrics_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_test.cc" "CMakeFiles/resinfer_tests.dir/tests/data/synthetic_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/data/synthetic_test.cc.o.d"
+  "/root/repo/tests/data/vec_io_test.cc" "CMakeFiles/resinfer_tests.dir/tests/data/vec_io_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/data/vec_io_test.cc.o.d"
+  "/root/repo/tests/index/batch_test.cc" "CMakeFiles/resinfer_tests.dir/tests/index/batch_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/index/batch_test.cc.o.d"
+  "/root/repo/tests/index/estimate_batch_test.cc" "CMakeFiles/resinfer_tests.dir/tests/index/estimate_batch_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/index/estimate_batch_test.cc.o.d"
+  "/root/repo/tests/index/flat_index_test.cc" "CMakeFiles/resinfer_tests.dir/tests/index/flat_index_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/index/flat_index_test.cc.o.d"
+  "/root/repo/tests/index/hnsw_index_test.cc" "CMakeFiles/resinfer_tests.dir/tests/index/hnsw_index_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/index/hnsw_index_test.cc.o.d"
+  "/root/repo/tests/index/ivf_index_test.cc" "CMakeFiles/resinfer_tests.dir/tests/index/ivf_index_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/index/ivf_index_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "CMakeFiles/resinfer_tests.dir/tests/integration/end_to_end_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/linalg/covariance_test.cc" "CMakeFiles/resinfer_tests.dir/tests/linalg/covariance_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/linalg/covariance_test.cc.o.d"
+  "/root/repo/tests/linalg/eigen_test.cc" "CMakeFiles/resinfer_tests.dir/tests/linalg/eigen_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/linalg/eigen_test.cc.o.d"
+  "/root/repo/tests/linalg/matrix_test.cc" "CMakeFiles/resinfer_tests.dir/tests/linalg/matrix_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/linalg/matrix_test.cc.o.d"
+  "/root/repo/tests/linalg/orthogonal_test.cc" "CMakeFiles/resinfer_tests.dir/tests/linalg/orthogonal_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/linalg/orthogonal_test.cc.o.d"
+  "/root/repo/tests/linalg/pca_test.cc" "CMakeFiles/resinfer_tests.dir/tests/linalg/pca_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/linalg/pca_test.cc.o.d"
+  "/root/repo/tests/linalg/svd_test.cc" "CMakeFiles/resinfer_tests.dir/tests/linalg/svd_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/linalg/svd_test.cc.o.d"
+  "/root/repo/tests/linalg/vector_ops_test.cc" "CMakeFiles/resinfer_tests.dir/tests/linalg/vector_ops_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/linalg/vector_ops_test.cc.o.d"
+  "/root/repo/tests/persist/persist_test.cc" "CMakeFiles/resinfer_tests.dir/tests/persist/persist_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/persist/persist_test.cc.o.d"
+  "/root/repo/tests/quant/kmeans_test.cc" "CMakeFiles/resinfer_tests.dir/tests/quant/kmeans_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/quant/kmeans_test.cc.o.d"
+  "/root/repo/tests/quant/opq_test.cc" "CMakeFiles/resinfer_tests.dir/tests/quant/opq_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/quant/opq_test.cc.o.d"
+  "/root/repo/tests/quant/pq_test.cc" "CMakeFiles/resinfer_tests.dir/tests/quant/pq_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/quant/pq_test.cc.o.d"
+  "/root/repo/tests/quant/quantizer_properties_test.cc" "CMakeFiles/resinfer_tests.dir/tests/quant/quantizer_properties_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/quant/quantizer_properties_test.cc.o.d"
+  "/root/repo/tests/quant/rq_test.cc" "CMakeFiles/resinfer_tests.dir/tests/quant/rq_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/quant/rq_test.cc.o.d"
+  "/root/repo/tests/quant/sq_test.cc" "CMakeFiles/resinfer_tests.dir/tests/quant/sq_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/quant/sq_test.cc.o.d"
+  "/root/repo/tests/simd/kernels_test.cc" "CMakeFiles/resinfer_tests.dir/tests/simd/kernels_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/simd/kernels_test.cc.o.d"
+  "/root/repo/tests/tools/tool_flags_test.cc" "CMakeFiles/resinfer_tests.dir/tests/tools/tool_flags_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/tools/tool_flags_test.cc.o.d"
+  "/root/repo/tests/util/aligned_buffer_test.cc" "CMakeFiles/resinfer_tests.dir/tests/util/aligned_buffer_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/util/aligned_buffer_test.cc.o.d"
+  "/root/repo/tests/util/histogram_test.cc" "CMakeFiles/resinfer_tests.dir/tests/util/histogram_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/util/histogram_test.cc.o.d"
+  "/root/repo/tests/util/parallel_test.cc" "CMakeFiles/resinfer_tests.dir/tests/util/parallel_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/util/parallel_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "CMakeFiles/resinfer_tests.dir/tests/util/rng_test.cc.o" "gcc" "CMakeFiles/resinfer_tests.dir/tests/util/rng_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/resinfer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
