@@ -75,8 +75,9 @@ void Run(const Scale& scale) {
   std::vector<std::vector<int64_t>> truth =
       data::BruteForceKnn(ds.base, ds.queries, k);
 
-  std::printf("%-14s %8s %10s %12s %12s %10s\n", "method", "threads", "qps",
-              "p50-lat(us)", "p99-lat(us)", "recall@10");
+  std::printf("%-14s %8s %10s %12s %12s %10s %9s %9s\n", "method", "threads",
+              "qps", "p50-lat(us)", "p99-lat(us)", "recall@10", "util-avg",
+              "util-min");
   for (const char* method : {core::kMethodExact, core::kMethodDdcRes}) {
     for (bool batched : {false, true}) {
       const std::string label =
@@ -97,10 +98,13 @@ void Run(const Scale& scale) {
         const double recall = data::MeanRecallAtK(
             index::ResultIds(batch), truth, k);
         qps_by_threads.push_back(batch.Qps());
-        std::printf("%-14s %8d %10.0f %12.1f %12.1f %10.3f\n",
+        // util-min < util-avg flags stragglers: a worker that drew the
+        // expensive queries while its peers sat idle at the end.
+        std::printf("%-14s %8d %10.0f %12.1f %12.1f %10.3f %9.3f %9.3f\n",
                     label.c_str(), threads, batch.Qps(),
                     1e6 * batch.latency_seconds.Percentile(0.5),
-                    1e6 * batch.latency_seconds.Percentile(0.99), recall);
+                    1e6 * batch.latency_seconds.Percentile(0.99), recall,
+                    batch.AvgUtilization(), batch.MinUtilization());
       }
       if (qps_by_threads[0] > 0.0) {
         std::printf("%-14s scaling 1->2 threads: %.2fx\n", label.c_str(),

@@ -96,6 +96,13 @@ SqEstimatorData BuildSqEstimatorData(const linalg::Matrix& base,
 
 // --- Estimators ------------------------------------------------------------
 
+void ApproxDistanceEstimator::EstimateBatchCodes(const uint8_t* /*records*/,
+                                                 int /*count*/, float* /*out*/,
+                                                 float* /*extras*/) {
+  RESINFER_CHECK_MSG(false,
+                     "estimator has no code-resident form (empty code_tag)");
+}
+
 PqAdcEstimator::PqAdcEstimator(const PqEstimatorData* data) : data_(data) {
   RESINFER_CHECK(data != nullptr && data->pq.trained());
   adc_table_.resize(static_cast<std::size_t>(data->pq.adc_table_size()));
@@ -126,6 +133,53 @@ void PqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
       const int64_t id = ids[i + j];
       codes[j] = data_->codes.data() + id * code_size;
       extras[i + j] = data_->recon_errors[static_cast<std::size_t>(id)];
+    }
+    simd::PqAdcBatch(adc_table_.data(), data_->pq.num_subspaces(),
+                     data_->pq.num_centroids(), codes, block, out + i);
+  }
+}
+
+std::string PqAdcEstimator::code_tag() const {
+  if (code_tag_.empty()) {
+    uint64_t f = quant::FingerprintArray(data_->codes.data(),
+                                         data_->codes.size());
+    f = quant::FingerprintArray(data_->recon_errors.data(),
+                                data_->recon_errors.size() * sizeof(float),
+                                f);
+    code_tag_ =
+        quant::MakeCodeTag("pq-adc", data_->pq.code_size(), 1, size(), f);
+  }
+  return code_tag_;
+}
+
+int64_t PqAdcEstimator::code_record_stride() const {
+  return quant::CodeRecordStride(data_->pq.code_size(), 1);
+}
+
+quant::CodeStore PqAdcEstimator::MakeCodeStore() const {
+  const int64_t code_size = data_->pq.code_size();
+  quant::CodeStore store(size(), code_size, 1, code_tag());
+  for (int64_t i = 0; i < size(); ++i) {
+    store.SetCode(i, data_->codes.data() + i * code_size);
+    store.SetSidecar(i, 0, data_->recon_errors[static_cast<std::size_t>(i)]);
+  }
+  return store;
+}
+
+void PqAdcEstimator::EstimateBatchCodes(const uint8_t* records, int count,
+                                        float* out, float* extras) {
+  // Same ADC accumulation as EstimateBatch, but code pointers and trust
+  // features come off the sequential record stream instead of id gathers.
+  constexpr int kChunk = 16;
+  const uint8_t* codes[kChunk];
+  const int64_t code_size = data_->pq.code_size();
+  const int64_t stride = code_record_stride();
+  for (int i = 0; i < count; i += kChunk) {
+    const int block = std::min(kChunk, count - i);
+    for (int j = 0; j < block; ++j) {
+      const uint8_t* rec = records + (i + j) * stride;
+      codes[j] = rec;
+      extras[i + j] = quant::RecordSidecars(rec, code_size)[0];
     }
     simd::PqAdcBatch(adc_table_.data(), data_->pq.num_subspaces(),
                      data_->pq.num_centroids(), codes, block, out + i);
@@ -181,6 +235,66 @@ void RqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
   }
 }
 
+std::string RqAdcEstimator::code_tag() const {
+  if (code_tag_.empty()) {
+    uint64_t f = quant::FingerprintArray(data_->codes.data(),
+                                         data_->codes.size());
+    f = quant::FingerprintArray(data_->recon_norms.data(),
+                                data_->recon_norms.size() * sizeof(float),
+                                f);
+    f = quant::FingerprintArray(data_->recon_errors.data(),
+                                data_->recon_errors.size() * sizeof(float),
+                                f);
+    code_tag_ =
+        quant::MakeCodeTag("rq-adc", data_->rq.code_size(), 2, size(), f);
+  }
+  return code_tag_;
+}
+
+int64_t RqAdcEstimator::code_record_stride() const {
+  return quant::CodeRecordStride(data_->rq.code_size(), 2);
+}
+
+quant::CodeStore RqAdcEstimator::MakeCodeStore() const {
+  const int64_t code_size = data_->rq.code_size();
+  quant::CodeStore store(size(), code_size, 2, code_tag());
+  for (int64_t i = 0; i < size(); ++i) {
+    store.SetCode(i, data_->codes.data() + i * code_size);
+    store.SetSidecar(i, 0, data_->recon_norms[static_cast<std::size_t>(i)]);
+    store.SetSidecar(i, 1, data_->recon_errors[static_cast<std::size_t>(i)]);
+  }
+  return store;
+}
+
+void RqAdcEstimator::EstimateBatchCodes(const uint8_t* records, int count,
+                                        float* out, float* extras) {
+  // Mirrors EstimateBatch: shared table-lookup kernel, then the affine
+  // combine in RqCodebook's expression order; the reconstruction norm and
+  // trust feature are the record's sidecar floats (bit-equal to the
+  // id-indexed arrays they were packed from).
+  constexpr int kChunk = 16;
+  const uint8_t* codes[kChunk];
+  float ip[kChunk];
+  float norms[kChunk];
+  const int64_t code_size = data_->rq.code_size();
+  const int64_t stride = code_record_stride();
+  for (int i = 0; i < count; i += kChunk) {
+    const int block = std::min(kChunk, count - i);
+    for (int j = 0; j < block; ++j) {
+      const uint8_t* rec = records + (i + j) * stride;
+      const float* sidecars = quant::RecordSidecars(rec, code_size);
+      codes[j] = rec;
+      norms[j] = sidecars[0];
+      extras[i + j] = sidecars[1];
+    }
+    simd::PqAdcBatch(ip_table_.data(), data_->rq.num_stages(),
+                     data_->rq.num_centroids(), codes, block, ip);
+    for (int j = 0; j < block; ++j) {
+      out[i + j] = query_norm_sqr_ - 2.0f * ip[j] + norms[j];
+    }
+  }
+}
+
 SqAdcEstimator::SqAdcEstimator(const SqEstimatorData* data) : data_(data) {
   RESINFER_CHECK(data != nullptr && data->sq.trained());
 }
@@ -204,7 +318,7 @@ void SqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
   const float* vmin = data_->sq.vmin().data();
   const float* step = data_->sq.step().data();
   index::ScanBatch4(
-      [this, d](int64_t id) { return data_->codes.data() + id * d; },
+      [this, ids, d](int pos) { return data_->codes.data() + ids[pos] * d; },
       [q, vmin, step, n](const uint8_t* const* codes, float* vals) {
         simd::SqAdcL2SqrBatch4(q, codes, vmin, step, n, vals);
       },
@@ -216,7 +330,61 @@ void SqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
       [this, ids, out, extras](int pos) {
         out[pos] = Estimate(ids[pos], &extras[pos]);
       },
-      ids, count);
+      count);
+}
+
+std::string SqAdcEstimator::code_tag() const {
+  if (code_tag_.empty()) {
+    uint64_t f = quant::FingerprintArray(data_->codes.data(),
+                                         data_->codes.size());
+    f = quant::FingerprintArray(data_->recon_errors.data(),
+                                data_->recon_errors.size() * sizeof(float),
+                                f);
+    code_tag_ =
+        quant::MakeCodeTag("sq8-adc", data_->sq.code_size(), 1, size(), f);
+  }
+  return code_tag_;
+}
+
+int64_t SqAdcEstimator::code_record_stride() const {
+  return quant::CodeRecordStride(data_->sq.code_size(), 1);
+}
+
+quant::CodeStore SqAdcEstimator::MakeCodeStore() const {
+  const int64_t code_size = data_->sq.code_size();
+  quant::CodeStore store(size(), code_size, 1, code_tag());
+  for (int64_t i = 0; i < size(); ++i) {
+    store.SetCode(i, data_->codes.data() + i * code_size);
+    store.SetSidecar(i, 0, data_->recon_errors[static_cast<std::size_t>(i)]);
+  }
+  return store;
+}
+
+void SqAdcEstimator::EstimateBatchCodes(const uint8_t* records, int count,
+                                        float* out, float* extras) {
+  RESINFER_DCHECK(query_ != nullptr);
+  const int64_t d = dim();
+  const std::size_t n = static_cast<std::size_t>(d);
+  const int64_t stride = code_record_stride();
+  const float* q = query_;
+  const float* vmin = data_->sq.vmin().data();
+  const float* step = data_->sq.step().data();
+  index::ScanBatch4(
+      [records, stride](int pos) { return records + pos * stride; },
+      [q, vmin, step, n](const uint8_t* const* codes, float* vals) {
+        simd::SqAdcL2SqrBatch4(q, codes, vmin, step, n, vals);
+      },
+      [records, stride, d, out, extras](int pos, float val) {
+        out[pos] = val;
+        extras[pos] =
+            quant::RecordSidecars(records + pos * stride, d)[0];
+      },
+      [this, records, stride, d, out, extras](int pos) {
+        const uint8_t* rec = records + pos * stride;
+        extras[pos] = quant::RecordSidecars(rec, d)[0];
+        out[pos] = data_->sq.AdcDistance(query_, rec);
+      },
+      count);
 }
 
 // --- Training + computer ----------------------------------------------------
@@ -284,8 +452,40 @@ void DdcAnyComputer::EstimateBatch(const int64_t* ids, int count, float tau,
   index::EstimatePruneRefine(
       query_, static_cast<std::size_t>(dim()),
       [this](int64_t id) { return base_->Row(id); },
-      [this](const int64_t* chunk, int n, float* approx, float* extras) {
+      [this](const int64_t* chunk, int /*start*/, int n, float* approx,
+             float* extras) {
         estimator_->EstimateBatch(chunk, n, approx, extras);
+      },
+      [this, tau](float approx, float extra) {
+        return corrector_->PredictPrunable(approx, tau, extra);
+      },
+      std::isfinite(tau), ids, count, stats_, out);
+}
+
+std::string DdcAnyComputer::code_tag() const {
+  return estimator_->code_tag();
+}
+
+quant::CodeStore DdcAnyComputer::MakeCodeStore() const {
+  return estimator_->MakeCodeStore();
+}
+
+void DdcAnyComputer::EstimateBatchCodes(const uint8_t* codes,
+                                        const int64_t* ids, int count,
+                                        float tau,
+                                        index::EstimateResult* out) {
+  const int64_t stride = estimator_->code_record_stride();
+  if (stride <= 0) {  // estimator without a code-resident form: gather
+    EstimateBatch(ids, count, tau, out);
+    return;
+  }
+  index::EstimatePruneRefine(
+      query_, static_cast<std::size_t>(dim()),
+      [this](int64_t id) { return base_->Row(id); },
+      [this, codes, stride](const int64_t* /*chunk*/, int start, int n,
+                            float* approx, float* extras) {
+        estimator_->EstimateBatchCodes(codes + start * stride, n, approx,
+                                       extras);
       },
       [this, tau](float approx, float extra) {
         return corrector_->PredictPrunable(approx, tau, extra);

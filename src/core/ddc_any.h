@@ -24,6 +24,7 @@
 #include "core/training_data.h"
 #include "index/distance_computer.h"
 #include "linalg/matrix.h"
+#include "quant/code_store.h"
 #include "quant/pq.h"
 #include "quant/rq.h"
 #include "quant/sq.h"
@@ -68,6 +69,25 @@ class ApproxDistanceEstimator {
   // Whether Estimate fills a meaningful third feature; decides the
   // corrector's feature count at training time.
   virtual bool has_extra_feature() const { return false; }
+
+  // --- Code-resident form (quant::CodeStore) ------------------------------
+  // Estimators that can evaluate straight from a packed record stream
+  // report a non-empty code_tag() plus their record stride, pack their
+  // codes + sidecar features with MakeCodeStore, and implement
+  // EstimateBatchCodes. The quantizer backends here do; a custom estimator
+  // without support keeps the empty defaults and DdcAnyComputer falls back
+  // to the id-gather path.
+
+  virtual std::string code_tag() const { return {}; }
+  virtual int64_t code_record_stride() const { return 0; }
+  virtual quant::CodeStore MakeCodeStore() const { return {}; }
+
+  // `records` holds `count` records of code_record_stride() bytes each, in
+  // candidate order. Fills out[i]/extras[i] bit-identically to
+  // EstimateBatch on the ids the records were packed from. Must not be
+  // called when code_tag() is empty (the default CHECK-aborts).
+  virtual void EstimateBatchCodes(const uint8_t* records, int count,
+                                  float* out, float* extras);
 };
 
 // --- Quantizer-backed estimator artifacts --------------------------------
@@ -118,9 +138,18 @@ class PqAdcEstimator : public ApproxDistanceEstimator {
                      float* extras) override;
   bool has_extra_feature() const override { return true; }
 
+  // Record: [pq code | recon_error].
+  std::string code_tag() const override;
+  int64_t code_record_stride() const override;
+  quant::CodeStore MakeCodeStore() const override;
+  void EstimateBatchCodes(const uint8_t* records, int count, float* out,
+                          float* extras) override;
+
  private:
   const PqEstimatorData* data_;
   std::vector<float> adc_table_;
+  // Lazily built (content fingerprint is O(n)); estimators are per-thread.
+  mutable std::string code_tag_;
 };
 
 class RqAdcEstimator : public ApproxDistanceEstimator {
@@ -136,10 +165,18 @@ class RqAdcEstimator : public ApproxDistanceEstimator {
                      float* extras) override;
   bool has_extra_feature() const override { return true; }
 
+  // Record: [rq code | recon_norm, recon_error].
+  std::string code_tag() const override;
+  int64_t code_record_stride() const override;
+  quant::CodeStore MakeCodeStore() const override;
+  void EstimateBatchCodes(const uint8_t* records, int count, float* out,
+                          float* extras) override;
+
  private:
   const RqEstimatorData* data_;
   std::vector<float> ip_table_;
   float query_norm_sqr_ = 0.0f;
+  mutable std::string code_tag_;
 };
 
 class SqAdcEstimator : public ApproxDistanceEstimator {
@@ -155,9 +192,17 @@ class SqAdcEstimator : public ApproxDistanceEstimator {
                      float* extras) override;
   bool has_extra_feature() const override { return true; }
 
+  // Record: [sq code (d bytes) | recon_error].
+  std::string code_tag() const override;
+  int64_t code_record_stride() const override;
+  quant::CodeStore MakeCodeStore() const override;
+  void EstimateBatchCodes(const uint8_t* records, int count, float* out,
+                          float* extras) override;
+
  private:
   const SqEstimatorData* data_;
   const float* query_ = nullptr;
+  mutable std::string code_tag_;
 };
 
 // --- Training + the generic computer --------------------------------------
@@ -191,6 +236,13 @@ class DdcAnyComputer : public index::DistanceComputer {
                                               float tau) override;
   void EstimateBatch(const int64_t* ids, int count, float tau,
                      index::EstimateResult* out) override;
+  // Forwarded to the estimator's code-resident form; falls back to the
+  // gather path when the estimator has none.
+  std::string code_tag() const override;
+  quant::CodeStore MakeCodeStore() const override;
+  void EstimateBatchCodes(const uint8_t* codes, const int64_t* ids,
+                          int count, float tau,
+                          index::EstimateResult* out) override;
   float ExactDistance(int64_t id) override;
 
   // Raw estimator distance for the current query (no correction).

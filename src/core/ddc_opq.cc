@@ -121,8 +121,8 @@ void DdcOpqComputer::EstimateBatch(const int64_t* ids, int count, float tau,
   index::EstimatePruneRefine(
       query_, static_cast<std::size_t>(dim()),
       [this](int64_t id) { return base_->Row(id); },
-      [this, &codebook, code_size](const int64_t* chunk, int n, float* approx,
-                                   float* extras) {
+      [this, &codebook, code_size](const int64_t* chunk, int /*start*/, int n,
+                                   float* approx, float* extras) {
         const uint8_t* codes[index::kRefineChunk];
         for (int j = 0; j < n; ++j) {
           codes[j] = artifacts_->codes.data() + chunk[j] * code_size;
@@ -130,6 +130,61 @@ void DdcOpqComputer::EstimateBatch(const int64_t* ids, int count, float tau,
         }
         simd::PqAdcBatch(adc_table_.data(), codebook.num_subspaces(),
                          codebook.num_centroids(), codes, n, approx);
+      },
+      [this, tau](float approx, float extra) {
+        return artifacts_->corrector.PredictPrunable(approx, tau, extra);
+      },
+      std::isfinite(tau), ids, count, stats_, out);
+}
+
+std::string DdcOpqComputer::code_tag() const {
+  if (code_tag_.empty()) {
+    uint64_t f = quant::FingerprintArray(artifacts_->codes.data(),
+                                         artifacts_->codes.size());
+    f = quant::FingerprintArray(
+        artifacts_->recon_errors.data(),
+        artifacts_->recon_errors.size() * sizeof(float), f);
+    code_tag_ = quant::MakeCodeTag(
+        "ddc-opq", artifacts_->opq.codebook().code_size(), 1, size(), f);
+  }
+  return code_tag_;
+}
+
+quant::CodeStore DdcOpqComputer::MakeCodeStore() const {
+  const int64_t code_size = artifacts_->opq.codebook().code_size();
+  quant::CodeStore store(size(), code_size, 1, code_tag());
+  for (int64_t i = 0; i < size(); ++i) {
+    store.SetCode(i, artifacts_->codes.data() + i * code_size);
+    store.SetSidecar(i, 0, artifacts_->recon_errors[i]);
+  }
+  return store;
+}
+
+void DdcOpqComputer::EstimateBatchCodes(const uint8_t* codes,
+                                        const int64_t* ids, int count,
+                                        float tau,
+                                        index::EstimateResult* out) {
+  // Same prune/refine pipeline as EstimateBatch; ADC code pointers and the
+  // trust feature stream off the bucket-contiguous records instead of
+  // id-indexed gathers. Exact refinement of survivors still gathers
+  // full-precision rows, as the sequential path does.
+  const auto& codebook = artifacts_->opq.codebook();
+  const int64_t code_size = codebook.code_size();
+  const int64_t stride = quant::CodeRecordStride(code_size, 1);
+  index::EstimatePruneRefine(
+      query_, static_cast<std::size_t>(dim()),
+      [this](int64_t id) { return base_->Row(id); },
+      [this, &codebook, codes, code_size, stride](
+          const int64_t* /*chunk*/, int start, int n, float* approx,
+          float* extras) {
+        const uint8_t* code_ptrs[index::kRefineChunk];
+        for (int j = 0; j < n; ++j) {
+          const uint8_t* rec = codes + (start + j) * stride;
+          code_ptrs[j] = rec;
+          extras[j] = quant::RecordSidecars(rec, code_size)[0];
+        }
+        simd::PqAdcBatch(adc_table_.data(), codebook.num_subspaces(),
+                         codebook.num_centroids(), code_ptrs, n, approx);
       },
       [this, tau](float approx, float extra) {
         return artifacts_->corrector.PredictPrunable(approx, tau, extra);

@@ -68,6 +68,12 @@ class DdcOpqComputer : public index::DistanceComputer {
                                               float tau) override;
   void EstimateBatch(const int64_t* ids, int count, float tau,
                      index::EstimateResult* out) override;
+  // Code-resident form; record = [opq code | recon_error].
+  std::string code_tag() const override;
+  quant::CodeStore MakeCodeStore() const override;
+  void EstimateBatchCodes(const uint8_t* codes, const int64_t* ids,
+                          int count, float tau,
+                          index::EstimateResult* out) override;
   float ExactDistance(int64_t id) override;
 
   // Raw ADC distance for the current query (no correction).
@@ -80,6 +86,8 @@ class DdcOpqComputer : public index::DistanceComputer {
   const float* query_ = nullptr;      // original space, for exact fallback
   std::vector<float> rotated_query_;  // OPQ space
   std::vector<float> adc_table_;
+  // Lazily built (content fingerprint is O(n)); computers are per-thread.
+  mutable std::string code_tag_;
 };
 
 }  // namespace resinfer::core

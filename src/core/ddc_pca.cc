@@ -86,18 +86,17 @@ index::EstimateResult DdcPcaComputer::EstimateWithThreshold(int64_t id,
                                                             float tau) {
   ++stats_.candidates;
   const int64_t d0 = artifacts_->stage_dims[0];
-  const float partial =
-      simd::L2Sqr(rotated_base_->Row(id), rotated_query_.data(),
-                  static_cast<std::size_t>(d0));
+  const float* x = rotated_base_->Row(id);
+  const float partial = simd::L2Sqr(x, rotated_query_.data(),
+                                    static_cast<std::size_t>(d0));
   stats_.dims_scanned += d0;
-  return ContinueFromFirstStage(id, tau, partial);
+  return ContinueFromFirstStage(x, tau, partial);
 }
 
-index::EstimateResult DdcPcaComputer::ContinueFromFirstStage(int64_t id,
+index::EstimateResult DdcPcaComputer::ContinueFromFirstStage(const float* x,
                                                              float tau,
                                                              float partial) {
   const int64_t full_dim = pca_->dim();
-  const float* x = rotated_base_->Row(id);
   const float* q = rotated_query_.data();
   const bool tau_finite = std::isfinite(tau);
 
@@ -128,19 +127,75 @@ void DdcPcaComputer::EstimateBatch(const int64_t* ids, int count, float tau,
   const int64_t d0 = artifacts_->stage_dims[0];
   const float* q = rotated_query_.data();
   index::ScanBatch4(
-      [this](int64_t id) { return rotated_base_->Row(id); },
+      [this, ids](int pos) { return rotated_base_->Row(ids[pos]); },
       [q, d0](const float* const* rows, float* partial) {
         simd::L2SqrBatch4(q, rows, static_cast<std::size_t>(d0), partial);
       },
       [this, ids, tau, d0, out](int pos, float partial) {
         ++stats_.candidates;
         stats_.dims_scanned += d0;
-        out[pos] = ContinueFromFirstStage(ids[pos], tau, partial);
+        out[pos] =
+            ContinueFromFirstStage(rotated_base_->Row(ids[pos]), tau, partial);
       },
       [this, ids, tau, out](int pos) {
         out[pos] = EstimateWithThreshold(ids[pos], tau);
       },
-      ids, count);
+      count);
+}
+
+std::string DdcPcaComputer::code_tag() const {
+  if (code_tag_.empty()) {
+    const uint64_t f = quant::FingerprintArray(
+        rotated_base_->data(),
+        static_cast<std::size_t>(rotated_base_->size()) * sizeof(float));
+    code_tag_ = quant::MakeCodeTag(
+        "ddc-pca", pca_->dim() * static_cast<int64_t>(sizeof(float)), 0,
+        size(), f);
+  }
+  return code_tag_;
+}
+
+quant::CodeStore DdcPcaComputer::MakeCodeStore() const {
+  const int64_t code_size = pca_->dim() * static_cast<int64_t>(sizeof(float));
+  quant::CodeStore store(size(), code_size, 0, code_tag());
+  for (int64_t i = 0; i < size(); ++i) {
+    store.SetCode(i,
+                  reinterpret_cast<const uint8_t*>(rotated_base_->Row(i)));
+  }
+  return store;
+}
+
+void DdcPcaComputer::EstimateBatchCodes(const uint8_t* codes,
+                                        const int64_t* ids, int count,
+                                        float tau,
+                                        index::EstimateResult* out) {
+  (void)ids;  // the record carries the whole rotated row; no gathers at all
+  const int64_t d0 = artifacts_->stage_dims[0];
+  const int64_t stride = quant::CodeRecordStride(
+      pca_->dim() * static_cast<int64_t>(sizeof(float)), 0);
+  const float* q = rotated_query_.data();
+  const auto row = [codes, stride](int pos) {
+    return reinterpret_cast<const float*>(codes + pos * stride);
+  };
+  index::ScanBatch4(
+      row,
+      [q, d0](const float* const* rows, float* partial) {
+        simd::L2SqrBatch4(q, rows, static_cast<std::size_t>(d0), partial);
+      },
+      [this, row, tau, d0, out](int pos, float partial) {
+        ++stats_.candidates;
+        stats_.dims_scanned += d0;
+        out[pos] = ContinueFromFirstStage(row(pos), tau, partial);
+      },
+      [this, row, q, tau, d0, out](int pos) {
+        ++stats_.candidates;
+        const float* x = row(pos);
+        const float partial =
+            simd::L2Sqr(x, q, static_cast<std::size_t>(d0));
+        stats_.dims_scanned += d0;
+        out[pos] = ContinueFromFirstStage(x, tau, partial);
+      },
+      count);
 }
 
 float DdcPcaComputer::ExactDistance(int64_t id) {

@@ -65,6 +65,14 @@ class DdcPcaComputer : public index::DistanceComputer {
                                               float tau) override;
   void EstimateBatch(const int64_t* ids, int count, float tau,
                      index::EstimateResult* out) override;
+  // Code-resident form; record = the full PCA-rotated row (dim() floats),
+  // so the whole cascade — later stages included — streams from the
+  // records without touching rotated_base_.
+  std::string code_tag() const override;
+  quant::CodeStore MakeCodeStore() const override;
+  void EstimateBatchCodes(const uint8_t* codes, const int64_t* ids,
+                          int count, float tau,
+                          index::EstimateResult* out) override;
   float ExactDistance(int64_t id) override;
 
   // Plain projected distance ||x_d - q_d||^2 (Table III accuracy bench).
@@ -73,11 +81,12 @@ class DdcPcaComputer : public index::DistanceComputer {
   int64_t ExtraBytes() const;
 
  private:
-  // Runs the incremental stage cascade for one candidate given its
-  // first-stage partial distance (over stage_dims[0] dims, already counted
-  // in stats_.dims_scanned). Shared by the sequential and batch paths so
-  // their decisions and rounding are identical by construction.
-  index::EstimateResult ContinueFromFirstStage(int64_t id, float tau,
+  // Runs the incremental stage cascade for one candidate given its rotated
+  // row `x` and first-stage partial distance (over stage_dims[0] dims,
+  // already counted in stats_.dims_scanned). Shared by the sequential,
+  // batch-gather, and code-resident paths so their decisions and rounding
+  // are identical by construction.
+  index::EstimateResult ContinueFromFirstStage(const float* x, float tau,
                                                float partial);
 
   const linalg::PcaModel* pca_;
@@ -85,6 +94,8 @@ class DdcPcaComputer : public index::DistanceComputer {
   const DdcPcaArtifacts* artifacts_;
 
   std::vector<float> rotated_query_;
+  // Lazily built (content fingerprint is O(n)); computers are per-thread.
+  mutable std::string code_tag_;
 };
 
 }  // namespace resinfer::core

@@ -64,20 +64,20 @@ index::EstimateResult DdcResComputer::EstimateWithThreshold(int64_t id,
     return {false, std::max(0.0f, c1 - c2)};
   }
   const int64_t d0 = stage_dims_[0];
-  const float c2 = 2.0f * simd::InnerProduct(rotated_base_->Row(id),
-                                             rotated_query_.data(),
+  const float* x = rotated_base_->Row(id);
+  const float c2 = 2.0f * simd::InnerProduct(x, rotated_query_.data(),
                                              static_cast<std::size_t>(d0));
   stats_.dims_scanned += d0;
-  return ContinueFromFirstStage(id, tau, c2);
+  return ContinueFromFirstStage(x, norms_sqr_[id] + query_norm_sqr_, tau,
+                                c2);
 }
 
-index::EstimateResult DdcResComputer::ContinueFromFirstStage(int64_t id,
+index::EstimateResult DdcResComputer::ContinueFromFirstStage(const float* x,
+                                                             float c1,
                                                              float tau,
                                                              float c2) {
   const int64_t full_dim = pca_->dim();
-  const float* x = rotated_base_->Row(id);
   const float* q = rotated_query_.data();
-  const float c1 = norms_sqr_[id] + query_norm_sqr_;
 
   int64_t d = stage_dims_[0];
   for (std::size_t stage = 0;;) {
@@ -113,19 +113,91 @@ void DdcResComputer::EstimateBatch(const int64_t* ids, int count, float tau,
   const int64_t d0 = stage_dims_[0];
   const float* q = rotated_query_.data();
   index::ScanBatch4(
-      [this](int64_t id) { return rotated_base_->Row(id); },
+      [this, ids](int pos) { return rotated_base_->Row(ids[pos]); },
       [q, d0](const float* const* rows, float* ip) {
         simd::InnerProductBatch4(q, rows, static_cast<std::size_t>(d0), ip);
       },
       [this, ids, tau, d0, out](int pos, float ip) {
         ++stats_.candidates;
         stats_.dims_scanned += d0;
-        out[pos] = ContinueFromFirstStage(ids[pos], tau, 2.0f * ip);
+        out[pos] = ContinueFromFirstStage(
+            rotated_base_->Row(ids[pos]),
+            norms_sqr_[ids[pos]] + query_norm_sqr_, tau, 2.0f * ip);
       },
       [this, ids, tau, out](int pos) {
         out[pos] = EstimateWithThreshold(ids[pos], tau);
       },
-      ids, count);
+      count);
+}
+
+std::string DdcResComputer::code_tag() const {
+  // Both variants (incremental / basic) read the layout identically, so
+  // the tag is variant-independent and one attached store serves either.
+  if (code_tag_.empty()) {
+    uint64_t f = quant::FingerprintArray(
+        rotated_base_->data(),
+        static_cast<std::size_t>(rotated_base_->size()) * sizeof(float));
+    f = quant::FingerprintArray(norms_sqr_.data(),
+                                norms_sqr_.size() * sizeof(float), f);
+    code_tag_ = quant::MakeCodeTag(
+        "ddc-res", pca_->dim() * static_cast<int64_t>(sizeof(float)), 1,
+        size(), f);
+  }
+  return code_tag_;
+}
+
+quant::CodeStore DdcResComputer::MakeCodeStore() const {
+  const int64_t code_size = pca_->dim() * static_cast<int64_t>(sizeof(float));
+  quant::CodeStore store(size(), code_size, 1, code_tag());
+  for (int64_t i = 0; i < size(); ++i) {
+    store.SetCode(i,
+                  reinterpret_cast<const uint8_t*>(rotated_base_->Row(i)));
+    store.SetSidecar(i, 0, norms_sqr_[i]);
+  }
+  return store;
+}
+
+void DdcResComputer::EstimateBatchCodes(const uint8_t* codes,
+                                        const int64_t* ids, int count,
+                                        float tau,
+                                        index::EstimateResult* out) {
+  if (stage_dims_.empty()) {
+    // No test stage: the gather loop is already a straight exact pass.
+    EstimateBatch(ids, count, tau, out);
+    return;
+  }
+  const int64_t d0 = stage_dims_[0];
+  const int64_t code_size =
+      pca_->dim() * static_cast<int64_t>(sizeof(float));
+  const int64_t stride = quant::CodeRecordStride(code_size, 1);
+  const float* q = rotated_query_.data();
+  const auto row = [codes, stride](int pos) {
+    return reinterpret_cast<const float*>(codes + pos * stride);
+  };
+  const auto norm = [codes, stride, code_size](int pos) {
+    return quant::RecordSidecars(codes + pos * stride, code_size)[0];
+  };
+  index::ScanBatch4(
+      row,
+      [q, d0](const float* const* rows, float* ip) {
+        simd::InnerProductBatch4(q, rows, static_cast<std::size_t>(d0), ip);
+      },
+      [this, row, norm, tau, d0, out](int pos, float ip) {
+        ++stats_.candidates;
+        stats_.dims_scanned += d0;
+        out[pos] = ContinueFromFirstStage(
+            row(pos), norm(pos) + query_norm_sqr_, tau, 2.0f * ip);
+      },
+      [this, row, norm, q, tau, d0, out](int pos) {
+        ++stats_.candidates;
+        const float* x = row(pos);
+        const float c2 = 2.0f * simd::InnerProduct(
+                                    x, q, static_cast<std::size_t>(d0));
+        stats_.dims_scanned += d0;
+        out[pos] = ContinueFromFirstStage(x, norm(pos) + query_norm_sqr_,
+                                          tau, c2);
+      },
+      count);
 }
 
 float DdcResComputer::ExactDistance(int64_t id) {

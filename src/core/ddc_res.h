@@ -59,6 +59,14 @@ class DdcResComputer : public index::DistanceComputer {
                                               float tau) override;
   void EstimateBatch(const int64_t* ids, int count, float tau,
                      index::EstimateResult* out) override;
+  // Code-resident form; record = [rotated row (dim() floats) | ||x||^2],
+  // so the C2 accumulation and the cascade stream entirely from the
+  // records. Both DdcRes variants (incremental or not) share one layout.
+  std::string code_tag() const override;
+  quant::CodeStore MakeCodeStore() const override;
+  void EstimateBatchCodes(const uint8_t* codes, const int64_t* ids,
+                          int count, float tau,
+                          index::EstimateResult* out) override;
   float ExactDistance(int64_t id) override;
 
   float multiplier() const { return multiplier_; }
@@ -72,10 +80,11 @@ class DdcResComputer : public index::DistanceComputer {
 
  private:
   // Cascade continuation once the first stage's C2 accumulation (2<x,q>
-  // over stage_dims_[0] dims) is in hand; shared by the sequential and
-  // batched first-stage paths. Requires non-empty stage_dims_.
-  index::EstimateResult ContinueFromFirstStage(int64_t id, float tau,
-                                               float c2);
+  // over stage_dims_[0] dims) is in hand; `x` is the candidate's rotated
+  // row and `c1` its ||x||^2 + ||q||^2. Shared by the sequential, batched,
+  // and code-resident first-stage paths. Requires non-empty stage_dims_.
+  index::EstimateResult ContinueFromFirstStage(const float* x, float c1,
+                                               float tau, float c2);
 
   const linalg::PcaModel* pca_;
   const linalg::Matrix* rotated_base_;
@@ -91,6 +100,8 @@ class DdcResComputer : public index::DistanceComputer {
   std::vector<float> rotated_query_;
   std::vector<float> stage_bounds_;
   float query_norm_sqr_ = 0.0f;
+  // Lazily built (content fingerprint is O(n)); computers are per-thread.
+  mutable std::string code_tag_;
 };
 
 }  // namespace resinfer::core

@@ -175,6 +175,92 @@ index::EstimateResult DdcRqCascadeComputer::EstimateWithThreshold(
                              static_cast<std::size_t>(dim()))};
 }
 
+std::string DdcRqCascadeComputer::code_tag() const {
+  if (code_tag_.empty()) {
+    uint64_t f = quant::FingerprintArray(artifacts_->codes.data(),
+                                         artifacts_->codes.size());
+    f = quant::FingerprintArray(
+        artifacts_->level_norms.data(),
+        artifacts_->level_norms.size() * sizeof(float), f);
+    f = quant::FingerprintArray(
+        artifacts_->level_errors.data(),
+        artifacts_->level_errors.size() * sizeof(float), f);
+    code_tag_ = quant::MakeCodeTag(
+        "ddc-rq-cascade", artifacts_->rq.code_size(),
+        2 * static_cast<int>(artifacts_->levels.size()), size(), f);
+  }
+  return code_tag_;
+}
+
+quant::CodeStore DdcRqCascadeComputer::MakeCodeStore() const {
+  const int64_t code_size = artifacts_->rq.code_size();
+  const auto num_levels = static_cast<int64_t>(artifacts_->levels.size());
+  quant::CodeStore store(size(), code_size,
+                         static_cast<int>(2 * num_levels), code_tag());
+  for (int64_t i = 0; i < size(); ++i) {
+    store.SetCode(i, artifacts_->codes.data() + i * code_size);
+    for (int64_t l = 0; l < num_levels; ++l) {
+      store.SetSidecar(i, static_cast<int>(l),
+                       artifacts_->level_norms[static_cast<std::size_t>(
+                           i * num_levels + l)]);
+      store.SetSidecar(i, static_cast<int>(num_levels + l),
+                       artifacts_->level_errors[static_cast<std::size_t>(
+                           i * num_levels + l)]);
+    }
+  }
+  return store;
+}
+
+void DdcRqCascadeComputer::EstimateBatchCodes(const uint8_t* codes,
+                                              const int64_t* ids, int count,
+                                              float tau,
+                                              index::EstimateResult* out) {
+  // Per-candidate cascade identical to EstimateWithThreshold, with the
+  // code bytes and per-level norms/errors read off the sequential record
+  // stream; only exact fallbacks touch the (id-gathered) base rows.
+  const quant::RqCodebook& rq = artifacts_->rq;
+  const auto num_levels = static_cast<int64_t>(artifacts_->levels.size());
+  const int64_t code_size = rq.code_size();
+  const int64_t stride =
+      quant::CodeRecordStride(code_size, static_cast<int>(2 * num_levels));
+  const bool tau_finite = std::isfinite(tau);
+
+  for (int i = 0; i < count; ++i) {
+    const uint8_t* rec = codes + i * stride;
+    if (i + 1 < count) RESINFER_PREFETCH(rec + stride);
+    ++stats_.candidates;
+    bool pruned = false;
+    if (tau_finite) {
+      const float* norms = quant::RecordSidecars(rec, code_size);
+      const float* errors = norms + num_levels;
+      float ip = 0.0f;
+      int stage = 0;
+      for (int64_t l = 0; l < num_levels && !pruned; ++l) {
+        const int stages = artifacts_->levels[static_cast<std::size_t>(l)];
+        for (; stage < stages; ++stage) {
+          ip += ip_table_[static_cast<std::size_t>(
+              static_cast<int64_t>(stage) * rq.num_centroids() +
+              rec[stage])];
+          ++stage_lookups_;
+        }
+        const float approx = query_norm_sqr_ - 2.0f * ip + norms[l];
+        if (artifacts_->correctors[static_cast<std::size_t>(l)]
+                .PredictPrunable(approx, tau, errors[l])) {
+          ++stats_.pruned;
+          out[i] = {true, approx};
+          pruned = true;
+        }
+      }
+    }
+    if (!pruned) {
+      ++stats_.exact_computations;
+      stats_.dims_scanned += dim();
+      out[i] = {false, simd::L2Sqr(query_, base_->Row(ids[i]),
+                                   static_cast<std::size_t>(dim()))};
+    }
+  }
+}
+
 float DdcRqCascadeComputer::ExactDistance(int64_t id) {
   RESINFER_DCHECK(query_ != nullptr);
   ++stats_.exact_computations;

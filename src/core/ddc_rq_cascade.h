@@ -77,6 +77,15 @@ class DdcRqCascadeComputer : public index::DistanceComputer {
   void BeginQuery(const float* query) override;
   index::EstimateResult EstimateWithThreshold(int64_t id,
                                               float tau) override;
+  // Code-resident form; record = [rq code | level_norms (L floats),
+  // level_errors (L floats)] with L = levels.size(). The whole cascade —
+  // per-level norms and trust features included — streams sequentially;
+  // only the exact fallback gathers the candidate's base row.
+  std::string code_tag() const override;
+  quant::CodeStore MakeCodeStore() const override;
+  void EstimateBatchCodes(const uint8_t* codes, const int64_t* ids,
+                          int count, float tau,
+                          index::EstimateResult* out) override;
   float ExactDistance(int64_t id) override;
 
   // ADC distance truncated to `level` (diagnostics / tests).
@@ -94,6 +103,8 @@ class DdcRqCascadeComputer : public index::DistanceComputer {
   std::vector<float> ip_table_;
   float query_norm_sqr_ = 0.0f;
   int64_t stage_lookups_ = 0;
+  // Lazily built (content fingerprint is O(n)); computers are per-thread.
+  mutable std::string code_tag_;
 };
 
 }  // namespace resinfer::core

@@ -10,6 +10,21 @@
 
 namespace resinfer::index {
 
+double BatchResult::AvgUtilization() const {
+  if (wall_seconds <= 0.0 || worker_busy_seconds.empty()) return 0.0;
+  double busy = 0.0;
+  for (double b : worker_busy_seconds) busy += b;
+  return busy /
+         (wall_seconds * static_cast<double>(worker_busy_seconds.size()));
+}
+
+double BatchResult::MinUtilization() const {
+  if (wall_seconds <= 0.0 || worker_busy_seconds.empty()) return 0.0;
+  double min_busy = worker_busy_seconds.front();
+  for (double b : worker_busy_seconds) min_busy = std::min(min_busy, b);
+  return min_busy / wall_seconds;
+}
+
 BatchResult RunBatch(const ComputerFactory& factory,
                      const linalg::Matrix& queries, const SearchFn& search,
                      const BatchOptions& options) {
@@ -28,6 +43,7 @@ BatchResult RunBatch(const ComputerFactory& factory,
   struct WorkerState {
     std::unique_ptr<DistanceComputer> computer;
     Histogram latency;
+    double busy_seconds = 0.0;
   };
   std::vector<WorkerState> workers(static_cast<std::size_t>(threads));
   for (auto& w : workers) {
@@ -47,7 +63,9 @@ BatchResult RunBatch(const ComputerFactory& factory,
       timer.Reset();
       batch.results[static_cast<std::size_t>(q)] =
           search(*state.computer, queries.Row(q));
-      state.latency.Add(timer.ElapsedSeconds());
+      const double elapsed = timer.ElapsedSeconds();
+      state.latency.Add(elapsed);
+      state.busy_seconds += elapsed;
     }
   };
 
@@ -63,7 +81,9 @@ BatchResult RunBatch(const ComputerFactory& factory,
   }
   batch.wall_seconds = wall.ElapsedSeconds();
 
+  batch.worker_busy_seconds.reserve(workers.size());
   for (const auto& w : workers) {
+    batch.worker_busy_seconds.push_back(w.busy_seconds);
     batch.latency_seconds.Merge(w.latency);
     const ComputerStats& s = w.computer->stats();
     batch.stats.candidates += s.candidates;

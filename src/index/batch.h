@@ -40,12 +40,21 @@ struct BatchResult {
   ComputerStats stats;
   // End-to-end wall time of the batch (all threads).
   double wall_seconds = 0.0;
+  // Per-worker time spent inside search calls; worker w idles for
+  // wall_seconds - worker_busy_seconds[w] (query-cost variance under DDC
+  // pruning makes the last workers straggle — these make that visible in
+  // bench output instead of being smeared into the aggregate QPS).
+  std::vector<double> worker_busy_seconds;
 
   double Qps() const {
     return wall_seconds > 0.0
                ? static_cast<double>(results.size()) / wall_seconds
                : 0.0;
   }
+  // Mean busy/wall fraction across workers, in [0, 1]; 1.0 = no idling.
+  double AvgUtilization() const;
+  // The most-idle worker's busy/wall fraction; low values = stragglers.
+  double MinUtilization() const;
 };
 
 // Creates one computer per worker thread; must be thread-safe itself (it is

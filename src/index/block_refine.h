@@ -19,26 +19,29 @@
 
 namespace resinfer::index {
 
-// Drives `ids` through a 4-wide batch kernel: groups of simd::kBatchWidth
-// rows are gathered via `row(id)` (any pointer type — float rows or
-// quantized codes), the next group's rows are prefetched, `kernel4(rows,
-// vals)` fills one value per lane, and `lane(position, value)` consumes
-// each result. Remainder positions (< kBatchWidth of them, at the end) go
-// to `tail(position)`, which must reproduce the single-candidate path.
+// Drives `count` candidates through a 4-wide batch kernel: groups of
+// simd::kBatchWidth rows are fetched via `row(position)` (any pointer type —
+// float rows gathered by id, or records at position * stride in a
+// code-resident stream), the next group's rows are prefetched, `kernel4(
+// rows, vals)` fills one value per lane, and `lane(position, value)`
+// consumes each result. Remainder positions (< kBatchWidth of them, at the
+// end) go to `tail(position)`, which must reproduce the single-candidate
+// path. Callers that scan by id adapt with row = [&](int pos) {
+// return base.Row(ids[pos]); }.
 template <typename RowFn, typename Kernel4, typename LaneFn, typename TailFn>
 void ScanBatch4(RowFn&& row, Kernel4&& kernel4, LaneFn&& lane, TailFn&& tail,
-                const int64_t* ids, int count) {
-  using RowPtr = decltype(row(int64_t{0}));
+                int count) {
+  using RowPtr = decltype(row(int{0}));
   RowPtr rows[simd::kBatchWidth];
   float vals[simd::kBatchWidth];
   int i = 0;
   for (; i + simd::kBatchWidth <= count; i += simd::kBatchWidth) {
     for (int r = 0; r < simd::kBatchWidth; ++r) {
-      rows[r] = row(ids[i + r]);
+      rows[r] = row(i + r);
     }
     if (i + 2 * simd::kBatchWidth <= count) {
       for (int r = 0; r < simd::kBatchWidth; ++r) {
-        RESINFER_PREFETCH(row(ids[i + simd::kBatchWidth + r]));
+        RESINFER_PREFETCH(row(i + simd::kBatchWidth + r));
       }
     }
     kernel4(static_cast<const RowPtr*>(rows), vals);
@@ -81,12 +84,14 @@ void RefineExactL2(const float* query, std::size_t d, RowFn&& row,
 }
 
 // The chunked estimate/prune/refine loop shared by the corrector-backed
-// batch computers (DdcAny, DdcOpq): `approx(ids, n, out, extras)` fills a
-// chunk's approximate distances and per-point trust features (extras arrive
-// zeroed, matching the sequential path's scratch); `prunable(approx, extra)`
-// applies the corrector at the caller's tau. Survivors are refined exactly
-// via RefineExactL2 and stats advance as the equivalent sequential loop
-// would.
+// batch computers (DdcAny, DdcOpq): `approx(ids, start, n, out, extras)`
+// fills a chunk's approximate distances and per-point trust features
+// (extras arrive zeroed, matching the sequential path's scratch); `start`
+// is the chunk's offset from the block head, so code-resident callers can
+// address records at start * stride in their stream while id-gather
+// callers ignore it. `prunable(approx, extra)` applies the corrector at
+// the caller's tau. Survivors are refined exactly via RefineExactL2 and
+// stats advance as the equivalent sequential loop would.
 // Candidates per EstimatePruneRefine chunk; the ApproxFn callback never
 // sees more than this many ids per call.
 inline constexpr int kRefineChunk = 32;
@@ -104,7 +109,7 @@ void EstimatePruneRefine(const float* query, std::size_t d, RowFn&& row,
     const int block = std::min(kRefineChunk, count - i);
     stats.candidates += block;
     std::fill_n(extra, block, 0.0f);
-    approx(ids + i, block, approx_dist, extra);
+    approx(ids + i, i, block, approx_dist, extra);
 
     int num_survivors = 0;
     for (int j = 0; j < block; ++j) {

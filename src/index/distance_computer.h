@@ -44,6 +44,8 @@
 #include <limits>
 #include <string>
 
+#include "quant/code_store.h"
+
 namespace resinfer::index {
 
 struct EstimateResult {
@@ -98,6 +100,37 @@ class DistanceComputer {
   // (contiguous rows, ADC table accumulation) override it.
   virtual void EstimateBatch(const int64_t* ids, int count, float tau,
                              EstimateResult* out);
+
+  // --- Code-resident scan support (quant::CodeStore) ----------------------
+  //
+  // Computers whose estimation stage can decode straight from a packed code
+  // stream report a non-empty code_tag() and override EstimateBatchCodes;
+  // everyone else inherits the gather fallback below, so flat/HNSW paths
+  // keep working unchanged.
+
+  // Identifies the record layout this computer can scan (matches the tag of
+  // the store MakeCodeStore builds). Empty = no code-resident support.
+  virtual std::string code_tag() const { return {}; }
+
+  // Packs this computer's per-point codes + sidecar features into an
+  // id-ordered store (record i describes point i). Indexes permute it into
+  // their own candidate order (IvfIndex::AttachCodes) and own the copy; the
+  // returned store is otherwise independent of the computer. Empty store =
+  // no code-resident support.
+  virtual quant::CodeStore MakeCodeStore() const { return {}; }
+
+  // Code-resident batch evaluation: candidate i's record starts at
+  // codes + i * stride, where the layout (code_size, sidecars, stride) is
+  // the one MakeCodeStore declares. `ids` still names the candidates —
+  // exact refinement of survivors reads full-precision rows by id, exactly
+  // like EstimateBatch. The equivalence/stats/tau contract above applies
+  // verbatim: out[i] must be bit-identical to the id-gather path. The
+  // default ignores the stream and gathers.
+  virtual void EstimateBatchCodes(const uint8_t* codes, const int64_t* ids,
+                                  int count, float tau, EstimateResult* out) {
+    (void)codes;
+    EstimateBatch(ids, count, tau, out);
+  }
 
   // Exact distance to point `id` for the current query.
   virtual float ExactDistance(int64_t id) = 0;

@@ -18,7 +18,8 @@ constexpr int kScanBlock = 32;
 }  // namespace
 
 IvfIndex IvfIndex::Build(const linalg::Matrix& base,
-                         const IvfOptions& options) {
+                         const IvfOptions& options,
+                         const quant::CodeStore* codes) {
   const int64_t n = base.rows();
   RESINFER_CHECK(n > 0);
   int k = options.num_clusters;
@@ -46,6 +47,7 @@ IvfIndex IvfIndex::Build(const linalg::Matrix& base,
   for (int64_t i = 0; i < n; ++i) {
     index.ids_[cursor[km.assignments[i]]++] = i;
   }
+  if (codes != nullptr) index.AttachCodes(*codes);
   return index;
 }
 
@@ -92,7 +94,8 @@ bool IvfIndex::ValidateCsr(int64_t size, int64_t num_clusters,
 
 IvfIndex IvfIndex::FromCsr(int64_t size, linalg::Matrix centroids,
                            std::vector<int64_t> bucket_offsets,
-                           std::vector<int64_t> ids) {
+                           std::vector<int64_t> ids,
+                           const quant::CodeStore* codes) {
   RESINFER_CHECK(
       ValidateCsr(size, centroids.rows(), bucket_offsets, ids, nullptr));
 
@@ -101,7 +104,27 @@ IvfIndex IvfIndex::FromCsr(int64_t size, linalg::Matrix centroids,
   index.centroids_ = std::move(centroids);
   index.bucket_offsets_ = std::move(bucket_offsets);
   index.ids_ = std::move(ids);
+  if (codes != nullptr) index.AttachCodes(*codes);
   return index;
+}
+
+void IvfIndex::AttachCodes(const quant::CodeStore& source) {
+  RESINFER_CHECK(source.size() == size_);
+  codes_ = source.PermutedBy(ids_);
+}
+
+void IvfIndex::AttachPermutedCodes(quant::CodeStore codes) {
+  // One record per CSR entry (== size_ when the buckets partition the base,
+  // which persist enforces on its files).
+  RESINFER_CHECK(codes.size() == static_cast<int64_t>(ids_.size()));
+  codes_ = std::move(codes);
+}
+
+bool IvfIndex::AttachCodesFrom(const DistanceComputer& computer) {
+  quant::CodeStore store = computer.MakeCodeStore();
+  if (store.empty()) return false;
+  AttachCodes(store);
+  return true;
 }
 
 std::vector<Neighbor> IvfIndex::Search(DistanceComputer& computer,
@@ -117,9 +140,22 @@ std::vector<Neighbor> IvfIndex::Search(DistanceComputer& computer,
   std::priority_queue<Entry> heap;
   EstimateResult est[kScanBlock];
 
+  // Route through the code-resident stream only when the attached store
+  // was built by (a computer identical to) `computer` — the tag encodes
+  // method + record layout + a content fingerprint, so a mismatched or
+  // stale store is never misread. One virtual call per search; computers
+  // cache the string.
+  const std::string computer_tag =
+      has_codes() ? computer.code_tag() : std::string();
+  const bool code_resident =
+      !computer_tag.empty() && codes_.tag() == computer_tag;
+  const int64_t code_stride = code_resident ? codes_.stride() : 0;
+
   for (int32_t bucket : probe) {
     const int64_t* bucket_ids = BucketIds(bucket);
     const int64_t len = BucketSize(bucket);
+    const uint8_t* bucket_codes =
+        code_resident ? BucketCodes(bucket) : nullptr;
     for (int64_t pos = 0; pos < len; pos += kScanBlock) {
       const int block =
           static_cast<int>(std::min<int64_t>(kScanBlock, len - pos));
@@ -133,7 +169,12 @@ std::vector<Neighbor> IvfIndex::Search(DistanceComputer& computer,
       const float tau = static_cast<int>(heap.size()) == k
                             ? heap.top().first
                             : kInfDistance;
-      computer.EstimateBatch(bucket_ids + pos, block, tau, est);
+      if (code_resident) {
+        computer.EstimateBatchCodes(bucket_codes + pos * code_stride,
+                                    bucket_ids + pos, block, tau, est);
+      } else {
+        computer.EstimateBatch(bucket_ids + pos, block, tau, est);
+      }
       for (int j = 0; j < block; ++j) {
         if (est[j].pruned) continue;
         if (static_cast<int>(heap.size()) < k) {

@@ -10,6 +10,14 @@
 // per-bucket offsets. Probed buckets are therefore scanned in cache-resident
 // blocks through DistanceComputer::EstimateBatch (with next-block prefetch)
 // instead of pointer-chasing nested vectors.
+//
+// Code-resident mode: the index can additionally own a bucket-contiguous
+// copy of a computer's quantized codes + sidecar features (quant::CodeStore
+// records permuted into id order of the CSR array). When the attached
+// store's tag matches the probing computer's code_tag(), Search streams
+// records sequentially through EstimateBatchCodes instead of gathering
+// codes by id — results are bit-identical to the gather path (the
+// EstimateBatchCodes contract), only the memory access pattern changes.
 #ifndef RESINFER_INDEX_IVF_INDEX_H_
 #define RESINFER_INDEX_IVF_INDEX_H_
 
@@ -20,6 +28,7 @@
 #include "data/ground_truth.h"
 #include "index/distance_computer.h"
 #include "linalg/matrix.h"
+#include "quant/code_store.h"
 #include "quant/kmeans.h"
 
 namespace resinfer::index {
@@ -39,8 +48,12 @@ class IvfIndex {
   IvfIndex() = default;
 
   // `base` must outlive the index (buckets store row ids, not copies).
+  // When `codes` is given (id-indexed, one record per base row) it is
+  // permuted into bucket order and owned by the index — the code-resident
+  // mode above.
   static IvfIndex Build(const linalg::Matrix& base,
-                        const IvfOptions& options = IvfOptions());
+                        const IvfOptions& options = IvfOptions(),
+                        const quant::CodeStore* codes = nullptr);
 
   // Rebuilds an index from persisted parts (persist/persist.h). `size` is
   // the number of indexed points; bucket ids must lie in [0, size). The
@@ -53,10 +66,12 @@ class IvfIndex {
   // bucket_offsets[0] == 0, non-decreasing, and
   // bucket_offsets.back() == ids.size(). FromCsr CHECK-aborts on invalid
   // parts (programmer error); callers handling untrusted input (persist)
-  // pre-validate with ValidateCsr to fail recoverably.
+  // pre-validate with ValidateCsr to fail recoverably. `codes`, when
+  // given, is id-indexed and gets permuted into bucket order.
   static IvfIndex FromCsr(int64_t size, linalg::Matrix centroids,
                           std::vector<int64_t> bucket_offsets,
-                          std::vector<int64_t> ids);
+                          std::vector<int64_t> ids,
+                          const quant::CodeStore* codes = nullptr);
 
   // The single source of truth for the CSR invariants FromCsr enforces
   // (offset shape/monotonicity, id range — NOT the on-disk partition
@@ -84,7 +99,30 @@ class IvfIndex {
     return ids_.data() + bucket_offsets_[bucket];
   }
 
+  // --- Code-resident mode --------------------------------------------------
+
+  bool has_codes() const { return !codes_.empty(); }
+  const quant::CodeStore& codes() const { return codes_; }
+  // First record of bucket b; records mirror BucketIds(b) order. Requires
+  // has_codes().
+  const uint8_t* BucketCodes(int bucket) const {
+    return codes_.record(bucket_offsets_[bucket]);
+  }
+
+  // Permutes an id-indexed store (record i describes point i; typically
+  // computer.MakeCodeStore()) into bucket-contiguous order and owns the
+  // copy. CHECK-aborts unless source.size() == size().
+  void AttachCodes(const quant::CodeStore& source);
+  // Installs records already in bucket order (the persist load path).
+  void AttachPermutedCodes(quant::CodeStore codes);
+  // Convenience: builds the computer's store and attaches it; returns
+  // false (attaching nothing) for computers without code-resident support.
+  bool AttachCodesFrom(const DistanceComputer& computer);
+  void DetachCodes() { codes_ = quant::CodeStore(); }
+
   // Results ascend by exact distance. nprobe is clamped to num_clusters().
+  // Scans stream through EstimateBatchCodes when the attached store
+  // matches `computer` (see the header comment), else gather by id.
   std::vector<Neighbor> Search(DistanceComputer& computer, const float* query,
                                int k, int nprobe) const;
 
@@ -93,6 +131,7 @@ class IvfIndex {
   linalg::Matrix centroids_;
   std::vector<int64_t> bucket_offsets_;  // num_clusters + 1
   std::vector<int64_t> ids_;             // size_ entries, bucket-contiguous
+  quant::CodeStore codes_;  // empty, or one record per ids_ entry (same order)
 };
 
 }  // namespace resinfer::index

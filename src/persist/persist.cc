@@ -12,6 +12,10 @@ constexpr uint32_t kVersion = 1;
 // IVF v2 switched bucket storage to the CSR layout (offsets + flat ids);
 // v1 nested-bucket files still load.
 constexpr uint32_t kIvfVersionCsr = 2;
+// IVF v3 appends an optional code-resident section: the bucket-permuted
+// quant::CodeStore (tag + layout + raw records). v1/v2 files still load —
+// they simply come back without attached codes.
+constexpr uint32_t kIvfVersionCodes = 3;
 constexpr char kMatrixMagic[8] = {'R', 'I', 'M', 'A', 'T', 'R', 'X', '1'};
 constexpr char kPcaMagic[8] = {'R', 'I', 'P', 'C', 'A', 'M', 'D', '1'};
 constexpr char kPqMagic[8] = {'R', 'I', 'P', 'Q', 'C', 'B', 'K', '1'};
@@ -30,9 +34,11 @@ bool Fail(std::string* error, const std::string& message) {
   return false;
 }
 
-bool FinishWrite(const BinaryWriter& writer, const std::string& path,
+bool FinishWrite(BinaryWriter& writer, const std::string& path,
                  std::string* error) {
-  if (!writer.ok()) return Fail(error, path + ": write failed");
+  // Close explicitly so a failed buffered flush is reported here instead
+  // of being swallowed by the destructor.
+  if (!writer.Close()) return Fail(error, path + ": write failed");
   return true;
 }
 
@@ -313,24 +319,36 @@ bool LoadHnsw(const std::string& path, index::HnswIndex* out,
 bool SaveIvf(const std::string& path, const index::IvfIndex& ivf,
              std::string* error) {
   BinaryWriter writer(path);
-  WriteHeader(writer, kIvfMagic, kIvfVersionCsr);
+  WriteHeader(writer, kIvfMagic, kIvfVersionCodes);
   writer.Write(ivf.size());
   WriteMatrixPayload(writer, ivf.centroids());
   writer.Write<int32_t>(ivf.num_clusters());
   writer.WriteVector(ivf.bucket_offsets());
   writer.WriteVector(ivf.ids());
+  // v3 code section: the bucket-permuted store, saved record-for-record so
+  // loads re-attach without re-permuting.
+  writer.Write<uint8_t>(ivf.has_codes() ? 1 : 0);
+  if (ivf.has_codes()) {
+    const quant::CodeStore& codes = ivf.codes();
+    writer.Write<int64_t>(codes.code_size());
+    writer.Write<int32_t>(codes.num_sidecars());
+    writer.WriteString(codes.tag());
+    writer.WriteVector(codes.raw());
+  }
   return FinishWrite(writer, path, error);
 }
 
 bool LoadIvf(const std::string& path, index::IvfIndex* out,
              std::string* error) {
   BinaryReader reader(path);
-  // Versioned by hand: v2 is the CSR layout, v1 the legacy nested buckets.
+  // Versioned by hand: v3 adds the code section, v2 is the CSR layout, v1
+  // the legacy nested buckets.
   char magic[8] = {};
   reader.ReadBytes(magic, 8);
   uint32_t version = 0;
   if (!reader.Read(&version) || std::memcmp(magic, kIvfMagic, 8) != 0 ||
-      (version != kVersion && version != kIvfVersionCsr)) {
+      (version != kVersion && version != kIvfVersionCsr &&
+       version != kIvfVersionCodes)) {
     return Fail(error, path + ": bad ivf header");
   }
   int64_t size = 0;
@@ -345,7 +363,7 @@ bool LoadIvf(const std::string& path, index::IvfIndex* out,
 
   std::vector<int64_t> offsets;
   std::vector<int64_t> ids;
-  if (version == kIvfVersionCsr) {
+  if (version >= kIvfVersionCsr) {
     if (!reader.ReadVector(&offsets) || !reader.ReadVector(&ids))
       return Fail(error, path + ": truncated ivf buckets");
   } else {
@@ -366,8 +384,37 @@ bool LoadIvf(const std::string& path, index::IvfIndex* out,
     return Fail(error, path + ": " + why);
   if (static_cast<int64_t>(ids.size()) != size)
     return Fail(error, path + ": buckets do not partition the base");
+
+  // v3 code section (optional).
+  quant::CodeStore codes;
+  bool has_codes = false;
+  if (version == kIvfVersionCodes) {
+    uint8_t flag = 0;
+    if (!reader.Read(&flag))
+      return Fail(error, path + ": truncated ivf code flag");
+    if (flag != 0) {
+      int64_t code_size = 0;
+      int32_t num_sidecars = 0;
+      std::string tag;
+      std::vector<uint8_t> data;
+      if (!reader.Read(&code_size) || !reader.Read(&num_sidecars) ||
+          !reader.ReadString(&tag) || !reader.ReadVector(&data)) {
+        return Fail(error, path + ": truncated ivf code section");
+      }
+      // FromParts rejects truncated or oversized payloads (the data must be
+      // exactly one record per indexed point).
+      if (!quant::CodeStore::FromParts(size, code_size, num_sidecars,
+                                       std::move(tag), std::move(data),
+                                       &codes, &why)) {
+        return Fail(error, path + ": ivf code section: " + why);
+      }
+      has_codes = true;
+    }
+  }
+
   *out = index::IvfIndex::FromCsr(size, std::move(centroids),
                                   std::move(offsets), std::move(ids));
+  if (has_codes) out->AttachPermutedCodes(std::move(codes));
   return true;
 }
 

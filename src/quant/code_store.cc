@@ -1,0 +1,96 @@
+#include "quant/code_store.h"
+
+#include "util/macros.h"
+
+namespace resinfer::quant {
+
+CodeStore::CodeStore(int64_t n, int64_t code_size, int num_sidecars,
+                     std::string tag)
+    : n_(n),
+      code_size_(code_size),
+      num_sidecars_(num_sidecars),
+      stride_(CodeRecordStride(code_size, num_sidecars)),
+      tag_(std::move(tag)) {
+  RESINFER_CHECK(n >= 0 && code_size > 0 && num_sidecars >= 0);
+  data_.assign(static_cast<std::size_t>(n * stride_), 0);
+}
+
+CodeStore CodeStore::PermutedBy(const std::vector<int64_t>& order) const {
+  CodeStore out(static_cast<int64_t>(order.size()), code_size_, num_sidecars_,
+                tag_);
+  for (std::size_t j = 0; j < order.size(); ++j) {
+    const int64_t i = order[j];
+    RESINFER_CHECK(i >= 0 && i < n_);
+    std::memcpy(out.mutable_record(static_cast<int64_t>(j)), record(i),
+                static_cast<std::size_t>(stride_));
+  }
+  return out;
+}
+
+bool CodeStore::FromParts(int64_t n, int64_t code_size, int num_sidecars,
+                          std::string tag, std::vector<uint8_t> data,
+                          CodeStore* out, std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (n < 0) return fail("negative code-store size");
+  // Bound the declared layout before any arithmetic: untrusted (persisted)
+  // values must not be able to overflow n * stride into a size that
+  // happens to match the payload.
+  constexpr int64_t kMaxCodeSize = int64_t{1} << 32;
+  if (code_size <= 0 || code_size > kMaxCodeSize) {
+    return fail("implausible code size");
+  }
+  if (num_sidecars < 0 || num_sidecars > 4096) {
+    return fail("implausible sidecar count");
+  }
+  const int64_t stride = CodeRecordStride(code_size, num_sidecars);
+  if (static_cast<int64_t>(data.size()) / stride != n ||
+      static_cast<int64_t>(data.size()) % stride != 0) {
+    return fail("code payload does not match n * stride");
+  }
+  CodeStore store;
+  store.n_ = n;
+  store.code_size_ = code_size;
+  store.num_sidecars_ = num_sidecars;
+  store.stride_ = stride;
+  store.tag_ = std::move(tag);
+  store.data_ = std::move(data);
+  *out = std::move(store);
+  return true;
+}
+
+uint64_t FingerprintBytes(const void* data, std::size_t bytes,
+                          uint64_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t FingerprintArray(const void* data, std::size_t bytes,
+                          uint64_t seed) {
+  constexpr std::size_t kChunk = 4096;
+  constexpr std::size_t kMaxChunks = 16;
+  uint64_t h = FingerprintBytes(&bytes, sizeof(bytes), seed);
+  if (bytes <= kChunk * kMaxChunks) return FingerprintBytes(data, bytes, h);
+  const auto* p = static_cast<const uint8_t*>(data);
+  const std::size_t step = (bytes - kChunk) / (kMaxChunks - 1);
+  for (std::size_t c = 0; c < kMaxChunks; ++c) {
+    h = FingerprintBytes(p + c * step, kChunk, h);
+  }
+  return h;
+}
+
+std::string MakeCodeTag(const std::string& method, int64_t code_size,
+                        int num_sidecars, int64_t n, uint64_t fingerprint) {
+  return method + "/cs" + std::to_string(code_size) + "/sc" +
+         std::to_string(num_sidecars) + "/n" + std::to_string(n) + "/f" +
+         std::to_string(fingerprint);
+}
+
+}  // namespace resinfer::quant

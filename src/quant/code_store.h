@@ -1,0 +1,133 @@
+// CodeStore: fixed-stride packed per-point records for code-resident scans.
+//
+// Every distance-estimation method in this library keeps its quantized
+// codes in an id-indexed array plus one or more per-point float "sidecar"
+// features (reconstruction errors, reconstruction norms — the corrector
+// inputs). The refinement hot loop therefore performs one random memory
+// access per candidate even when the candidate *ids* are bucket-contiguous
+// (the PR 2 CSR layout). A CodeStore packs everything a method needs per
+// point into one fixed-stride record:
+//
+//   record(i) = [ code bytes (code_size) | pad to 4 | sidecar floats ]
+//
+// so that an IVF bucket can own a bucket-contiguous copy (see
+// IvfIndex::AttachCodes) and estimators can stream records sequentially via
+// DistanceComputer::EstimateBatchCodes instead of gathering by id. Records
+// start at 4-byte-aligned offsets, so the sidecar floats (and float-typed
+// code payloads, e.g. the PCA-rotated rows DDCpca/DDCres use) can be read
+// in place.
+//
+// The `tag` string identifies the producing method and layout
+// (MakeCodeTag); indexes compare it against DistanceComputer::code_tag()
+// before routing a scan through the code-resident path, so a store built
+// for one method is never fed to another.
+#ifndef RESINFER_QUANT_CODE_STORE_H_
+#define RESINFER_QUANT_CODE_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace resinfer::quant {
+
+// Byte offset of the sidecar floats inside a record: the packed code,
+// padded to the next 4-byte boundary.
+constexpr int64_t CodeSidecarOffset(int64_t code_size) {
+  return (code_size + 3) & ~int64_t{3};
+}
+
+// Bytes per record. With zero sidecars the record is just the padded code,
+// so successive records stay 4-byte aligned either way.
+constexpr int64_t CodeRecordStride(int64_t code_size, int num_sidecars) {
+  return CodeSidecarOffset(code_size) +
+         static_cast<int64_t>(num_sidecars) * static_cast<int64_t>(sizeof(float));
+}
+
+// Sidecar floats of a record laid out with the given code_size. The store
+// guarantees 4-byte alignment of this address.
+inline const float* RecordSidecars(const uint8_t* record, int64_t code_size) {
+  return reinterpret_cast<const float*>(record + CodeSidecarOffset(code_size));
+}
+
+class CodeStore {
+ public:
+  CodeStore() = default;
+  // n zero-initialized records; fill with SetCode / SetSidecar.
+  CodeStore(int64_t n, int64_t code_size, int num_sidecars, std::string tag);
+
+  bool empty() const { return n_ == 0; }
+  int64_t size() const { return n_; }
+  int64_t code_size() const { return code_size_; }
+  int num_sidecars() const { return num_sidecars_; }
+  int64_t sidecar_offset() const { return CodeSidecarOffset(code_size_); }
+  int64_t stride() const { return stride_; }
+  const std::string& tag() const { return tag_; }
+
+  const uint8_t* data() const { return data_.data(); }
+  int64_t data_bytes() const { return static_cast<int64_t>(data_.size()); }
+  const std::vector<uint8_t>& raw() const { return data_; }
+
+  const uint8_t* record(int64_t i) const { return data_.data() + i * stride_; }
+  uint8_t* mutable_record(int64_t i) { return data_.data() + i * stride_; }
+
+  void SetCode(int64_t i, const uint8_t* code) {
+    std::memcpy(mutable_record(i), code, static_cast<std::size_t>(code_size_));
+  }
+  void SetSidecar(int64_t i, int feature, float value) {
+    std::memcpy(mutable_record(i) + sidecar_offset() +
+                    static_cast<int64_t>(feature) * sizeof(float),
+                &value, sizeof(float));
+  }
+  float Sidecar(int64_t i, int feature) const {
+    return RecordSidecars(record(i), code_size_)[feature];
+  }
+
+  // New store with out.record(j) == record(order[j]) — the bucket
+  // permutation. Every entry of `order` must lie in [0, size()).
+  CodeStore PermutedBy(const std::vector<int64_t>& order) const;
+
+  // Rebuilds a store from persisted parts; validates that `data` is exactly
+  // n records of the declared layout (rejecting truncated or oversized
+  // payloads) and returns false with *error set (may be null) otherwise.
+  static bool FromParts(int64_t n, int64_t code_size, int num_sidecars,
+                        std::string tag, std::vector<uint8_t> data,
+                        CodeStore* out, std::string* error);
+
+ private:
+  int64_t n_ = 0;
+  int64_t code_size_ = 0;
+  int num_sidecars_ = 0;
+  int64_t stride_ = 0;
+  std::string tag_;
+  // Vector storage is new[]-aligned (>= 8), and stride_ is a multiple of 4,
+  // so in-record floats are always 4-byte aligned.
+  std::vector<uint8_t> data_;
+};
+
+// FNV-1a over a byte range; chain calls through `seed` to fingerprint
+// several arrays as one value.
+inline constexpr uint64_t kFingerprintSeed = 1469598103934665603ull;
+uint64_t FingerprintBytes(const void* data, std::size_t bytes,
+                          uint64_t seed = kFingerprintSeed);
+
+// Bounded-cost array fingerprint: hashes the length plus at most ~64KB of
+// evenly spaced chunks, so tagging a computer stays cheap even when the
+// records are the whole rotated base (DDCpca/DDCres at millions of rows).
+// Retrained artifacts differ essentially everywhere, so sampling still
+// catches staleness; this is a guard against accidental store/computer
+// mismatch, not an integrity MAC.
+uint64_t FingerprintArray(const void* data, std::size_t bytes,
+                          uint64_t seed = kFingerprintSeed);
+
+// Canonical tag for a method's store: method name, the layout numbers that
+// must match at scan time, and a fingerprint of the content the records
+// were packed from. Layout alone is not enough — retraining a codebook
+// with the same shape produces byte-different codes, and a stale persisted
+// store must fall back to the gather path, not be streamed as current.
+std::string MakeCodeTag(const std::string& method, int64_t code_size,
+                        int num_sidecars, int64_t n, uint64_t fingerprint);
+
+}  // namespace resinfer::quant
+
+#endif  // RESINFER_QUANT_CODE_STORE_H_

@@ -43,6 +43,7 @@
 #include "linalg/pca.h"
 #include "linalg/svd.h"
 #include "linalg/vector_ops.h"
+#include "quant/code_store.h"
 #include "quant/kmeans.h"
 #include "quant/opq.h"
 #include "quant/pq.h"

@@ -31,10 +31,29 @@ class BinaryWriter {
     if (file_ != nullptr) std::fclose(file_);
   }
 
-  bool ok() const { return file_ != nullptr && !failed_; }
+  // Flushes and closes, returning false if any write — including stdio's
+  // buffered flush at close, which the destructor cannot report — failed.
+  // Idempotent; further writes after Close fail.
+  bool Close() {
+    if (file_ != nullptr) {
+      if (std::fclose(file_) != 0) failed_ = true;
+      file_ = nullptr;
+      closed_ok_ = !failed_;
+    }
+    return closed_ok_ && !failed_;
+  }
+
+  bool ok() const { return (file_ != nullptr || closed_ok_) && !failed_; }
 
   void WriteBytes(const void* data, std::size_t bytes) {
-    if (!ok()) return;
+    if (file_ == nullptr) {
+      // Write-after-Close is a caller bug: poison the writer so the next
+      // ok()/Close() check reports it (a never-opened writer is already
+      // not ok()).
+      if (closed_ok_) failed_ = true;
+      return;
+    }
+    if (failed_) return;
     if (std::fwrite(data, 1, bytes, file_) != bytes) failed_ = true;
   }
 
@@ -64,6 +83,7 @@ class BinaryWriter {
  private:
   std::FILE* file_ = nullptr;
   bool failed_ = false;
+  bool closed_ok_ = false;
 };
 
 class BinaryReader {

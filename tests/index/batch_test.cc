@@ -98,6 +98,36 @@ TEST(BatchTest, LatencyHistogramCoversEveryQuery) {
   EXPECT_GT(batch.Qps(), 0.0);
 }
 
+TEST(BatchTest, WorkerUtilizationReported) {
+  BatchFixture& f = Fixture();
+  BatchOptions options;
+  options.num_threads = 3;
+  BatchResult batch = BatchSearchFlat(FlatIndex(f.ds.base),
+                                      f.ExactFactory(), f.ds.queries, 10,
+                                      options);
+  ASSERT_EQ(batch.worker_busy_seconds.size(), 3u);
+  for (double busy : batch.worker_busy_seconds) {
+    EXPECT_GE(busy, 0.0);
+    // A worker can never be busier than the batch's wall time (small
+    // epsilon for timer granularity between the two clocks).
+    EXPECT_LE(busy, batch.wall_seconds * 1.001 + 1e-6);
+  }
+  EXPECT_GT(batch.AvgUtilization(), 0.0);
+  EXPECT_LE(batch.AvgUtilization(), 1.001);
+  EXPECT_GE(batch.MinUtilization(), 0.0);
+  EXPECT_LE(batch.MinUtilization(), batch.AvgUtilization() + 1e-9);
+}
+
+TEST(BatchTest, UtilizationEmptyForEmptyBatch) {
+  BatchFixture& f = Fixture();
+  linalg::Matrix none(0, 24);
+  BatchResult batch =
+      BatchSearchFlat(FlatIndex(f.ds.base), f.ExactFactory(), none, 10);
+  EXPECT_TRUE(batch.worker_busy_seconds.empty());
+  EXPECT_EQ(batch.AvgUtilization(), 0.0);
+  EXPECT_EQ(batch.MinUtilization(), 0.0);
+}
+
 TEST(BatchTest, StatsAggregateAcrossWorkers) {
   BatchFixture& f = Fixture();
   BatchOptions options;

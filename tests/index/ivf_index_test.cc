@@ -87,6 +87,34 @@ TEST(IvfIndexTest, ClusterCapRespectsMinPoints) {
   EXPECT_LE(index.num_clusters(), 8);  // 64 / 8
 }
 
+TEST(IvfIndexTest, AttachCodesPermutesIntoBucketOrder) {
+  data::Dataset ds = testing::SmallDataset(300, 8, 1.0, 45, 2, 2);
+  // One record per point: the point id in the code byte plus one sidecar.
+  quant::CodeStore source(ds.size(), 1, 1, "test/cs1/sc1/n300");
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    const uint8_t code = static_cast<uint8_t>(i & 0xff);
+    source.SetCode(i, &code);
+    source.SetSidecar(i, 0, static_cast<float>(i));
+  }
+
+  IvfIndex index = IvfIndex::Build(ds.base, SmallOptions(), &source);
+  ASSERT_TRUE(index.has_codes());
+  EXPECT_EQ(index.codes().size(), static_cast<int64_t>(index.ids().size()));
+  for (int b = 0; b < index.num_clusters(); ++b) {
+    const int64_t* ids = index.BucketIds(b);
+    const uint8_t* records = index.BucketCodes(b);
+    for (int64_t j = 0; j < index.BucketSize(b); ++j) {
+      const uint8_t* rec = records + j * index.codes().stride();
+      EXPECT_EQ(rec[0], static_cast<uint8_t>(ids[j] & 0xff));
+      EXPECT_EQ(quant::RecordSidecars(rec, 1)[0],
+                static_cast<float>(ids[j]));
+    }
+  }
+
+  index.DetachCodes();
+  EXPECT_FALSE(index.has_codes());
+}
+
 TEST(IvfIndexTest, ResultsAscendByDistance) {
   data::Dataset ds = testing::SmallDataset(500, 8, 1.0, 44, 4, 2);
   IvfIndex index = IvfIndex::Build(ds.base, SmallOptions());

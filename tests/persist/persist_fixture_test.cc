@@ -1,0 +1,93 @@
+// Cross-version on-disk compatibility against CHECKED-IN fixture files
+// (tests/persist/testdata/, written once by tools/gen_persist_fixtures.cc).
+//
+// The roundtrip tests in persist_test.cc only prove that today's writer and
+// today's reader agree; these prove that today's reader still understands
+// yesterday's bytes. If a loader change breaks v1/v2/v3 compatibility, this
+// suite fails in CI rather than at load time in production. The expected
+// constants are duplicated from the generator on purpose — they describe
+// the frozen files, not the current code.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/ivf_index.h"
+#include "persist/persist.h"
+#include "quant/code_store.h"
+
+#ifndef RESINFER_SOURCE_DIR
+#error "RESINFER_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace resinfer::persist {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(RESINFER_SOURCE_DIR) + "/tests/persist/testdata/" +
+         name;
+}
+
+// Mirrors gen_persist_fixtures.cc — frozen with the files.
+const std::vector<int64_t> kOffsets = {0, 4, 9, 12};
+const std::vector<int64_t> kIds = {0, 3, 6, 9, 1, 4, 7, 10, 11, 2, 5, 8};
+constexpr int64_t kSize = 12;
+constexpr int64_t kDim = 4;
+
+void ExpectFixtureLayout(const index::IvfIndex& ivf) {
+  EXPECT_EQ(ivf.size(), kSize);
+  EXPECT_EQ(ivf.num_clusters(), 3);
+  EXPECT_EQ(ivf.centroids().cols(), kDim);
+  EXPECT_EQ(ivf.bucket_offsets(), kOffsets);
+  EXPECT_EQ(ivf.ids(), kIds);
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t j = 0; j < kDim; ++j) {
+      EXPECT_EQ(ivf.centroids().At(c, j),
+                static_cast<float>(c) + 0.25f * static_cast<float>(j));
+    }
+  }
+}
+
+TEST(PersistFixtureTest, V1NestedBucketsStillLoad) {
+  index::IvfIndex ivf;
+  std::string error;
+  ASSERT_TRUE(LoadIvf(FixturePath("ivf_v1.bin"), &ivf, &error)) << error;
+  ExpectFixtureLayout(ivf);
+  EXPECT_FALSE(ivf.has_codes());
+}
+
+TEST(PersistFixtureTest, V2CsrStillLoads) {
+  index::IvfIndex ivf;
+  std::string error;
+  ASSERT_TRUE(LoadIvf(FixturePath("ivf_v2.bin"), &ivf, &error)) << error;
+  ExpectFixtureLayout(ivf);
+  EXPECT_FALSE(ivf.has_codes());
+}
+
+TEST(PersistFixtureTest, V3CodeSectionStillLoads) {
+  index::IvfIndex ivf;
+  std::string error;
+  ASSERT_TRUE(LoadIvf(FixturePath("ivf_v3.bin"), &ivf, &error)) << error;
+  ExpectFixtureLayout(ivf);
+
+  ASSERT_TRUE(ivf.has_codes());
+  const quant::CodeStore& codes = ivf.codes();
+  EXPECT_EQ(codes.tag(), "fixture/cs2/sc1/n12");
+  EXPECT_EQ(codes.code_size(), 2);
+  EXPECT_EQ(codes.num_sidecars(), 1);
+  ASSERT_EQ(codes.size(), kSize);
+  // Records are bucket-permuted on disk: record j belongs to point
+  // kIds[j], whose code bytes are {id, 2*id} and sidecar id + 0.5.
+  for (std::size_t j = 0; j < kIds.size(); ++j) {
+    const int64_t id = kIds[j];
+    const uint8_t* rec = codes.record(static_cast<int64_t>(j));
+    EXPECT_EQ(rec[0], static_cast<uint8_t>(id)) << j;
+    EXPECT_EQ(rec[1], static_cast<uint8_t>(2 * id)) << j;
+    EXPECT_EQ(quant::RecordSidecars(rec, codes.code_size())[0],
+              static_cast<float>(id) + 0.5f)
+        << j;
+  }
+}
+
+}  // namespace
+}  // namespace resinfer::persist

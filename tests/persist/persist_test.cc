@@ -1,11 +1,15 @@
 #include "persist/persist.h"
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
+#include "core/ddc_any.h"
 #include "data/ground_truth.h"
+#include "quant/code_store.h"
 #include "test_util.h"
 #include "util/binary_io.h"
 
@@ -15,7 +19,12 @@ namespace {
 class PersistTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "resinfer_persist_test";
+    // Unique per process: ctest -j runs each case in its own process, and a
+    // shared directory would let one case's TearDown delete another's
+    // files mid-test.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("resinfer_persist_test_" +
+            std::to_string(static_cast<long long>(::getpid())));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -255,16 +264,159 @@ TEST_F(PersistTest, IvfCorruptBucketIdFails) {
   index::IvfIndex ivf = index::IvfIndex::Build(ds.base, options);
   std::string error;
   ASSERT_TRUE(SaveIvf(Path("ivf_c.bin"), ivf, &error));
-  // Flip high bytes near the end of the file (inside bucket payloads).
+  // Overwrite the last id in the flat ids payload (which sits just before
+  // the 1-byte v3 "no codes" flag) with an out-of-range value.
   {
     std::fstream f(Path("ivf_c.bin"),
                    std::ios::in | std::ios::out | std::ios::binary);
-    f.seekp(-12, std::ios::end);
+    f.seekp(-9, std::ios::end);
     int64_t bogus = 1 << 30;
     f.write(reinterpret_cast<char*>(&bogus), sizeof(bogus));
   }
   index::IvfIndex loaded;
   EXPECT_FALSE(LoadIvf(Path("ivf_c.bin"), &loaded, &error));
+}
+
+// --- v3 code-resident section ----------------------------------------------
+
+// A small IVF with an attached (bucket-permuted) SQ code store; SQ needs no
+// corrector training, which keeps these tests fast.
+struct IvfWithCodes {
+  data::Dataset ds = testing::SmallDataset(240, 8, 1.0, 317, 4, 2);
+  core::SqEstimatorData sq = core::BuildSqEstimatorData(ds.base);
+  index::IvfIndex ivf;
+
+  IvfWithCodes() {
+    index::IvfOptions options;
+    options.num_clusters = 6;
+    ivf = index::IvfIndex::Build(ds.base, options);
+    core::SqAdcEstimator estimator(&sq);
+    ivf.AttachCodes(estimator.MakeCodeStore());
+  }
+};
+
+TEST_F(PersistTest, IvfV3RoundTripWithCodes) {
+  IvfWithCodes fixture;
+  std::string error;
+  ASSERT_TRUE(fixture.ivf.has_codes());
+  ASSERT_TRUE(SaveIvf(Path("ivf_v3.bin"), fixture.ivf, &error)) << error;
+
+  index::IvfIndex loaded;
+  ASSERT_TRUE(LoadIvf(Path("ivf_v3.bin"), &loaded, &error)) << error;
+  ASSERT_TRUE(loaded.has_codes());
+  EXPECT_EQ(loaded.bucket_offsets(), fixture.ivf.bucket_offsets());
+  EXPECT_EQ(loaded.ids(), fixture.ivf.ids());
+  // The store must come back byte-for-byte (it is already bucket-permuted
+  // on disk, so the load path never re-permutes).
+  EXPECT_EQ(loaded.codes().tag(), fixture.ivf.codes().tag());
+  EXPECT_EQ(loaded.codes().code_size(), fixture.ivf.codes().code_size());
+  EXPECT_EQ(loaded.codes().num_sidecars(),
+            fixture.ivf.codes().num_sidecars());
+  EXPECT_EQ(loaded.codes().raw(), fixture.ivf.codes().raw());
+}
+
+TEST_F(PersistTest, IvfV2FormatStillLoads) {
+  // Hand-write a v2 (CSR, no code section) file; the loader must accept it
+  // and come back without attached codes.
+  IvfWithCodes fixture;
+  const index::IvfIndex& ivf = fixture.ivf;
+  {
+    BinaryWriter writer(Path("ivf_v2.bin"));
+    const char magic[8] = {'R', 'I', 'I', 'V', 'F', 'I', 'X', '1'};
+    WriteHeader(writer, magic, /*version=*/2);
+    writer.Write(ivf.size());
+    writer.Write(ivf.centroids().rows());
+    writer.Write(ivf.centroids().cols());
+    writer.WriteFloats(ivf.centroids().data(), ivf.centroids().size());
+    writer.Write<int32_t>(ivf.num_clusters());
+    writer.WriteVector(ivf.bucket_offsets());
+    writer.WriteVector(ivf.ids());
+    ASSERT_TRUE(writer.ok());
+  }
+  std::string error;
+  index::IvfIndex loaded;
+  ASSERT_TRUE(LoadIvf(Path("ivf_v2.bin"), &loaded, &error)) << error;
+  EXPECT_FALSE(loaded.has_codes());
+  EXPECT_EQ(loaded.bucket_offsets(), ivf.bucket_offsets());
+  EXPECT_EQ(loaded.ids(), ivf.ids());
+}
+
+TEST_F(PersistTest, IvfV3TruncatedCodeSectionFails) {
+  IvfWithCodes fixture;
+  std::string error;
+  ASSERT_TRUE(SaveIvf(Path("ivf_v3_t.bin"), fixture.ivf, &error));
+  Truncate(Path("ivf_v3_t.bin"), 16);
+  index::IvfIndex loaded;
+  EXPECT_FALSE(LoadIvf(Path("ivf_v3_t.bin"), &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(PersistTest, IvfV3MissizedCodePayloadFails) {
+  // Hand-write v3 files whose code payload disagrees with n * stride —
+  // one short, one long. Both must be rejected (ValidateCsr-style) instead
+  // of constructing a store that would be misindexed at scan time.
+  IvfWithCodes fixture;
+  const index::IvfIndex& ivf = fixture.ivf;
+  const quant::CodeStore& codes = ivf.codes();
+  for (int delta : {-4, 4}) {
+    const std::string path =
+        Path(delta < 0 ? "ivf_v3_short.bin" : "ivf_v3_long.bin");
+    {
+      BinaryWriter writer(path);
+      const char magic[8] = {'R', 'I', 'I', 'V', 'F', 'I', 'X', '1'};
+      WriteHeader(writer, magic, /*version=*/3);
+      writer.Write(ivf.size());
+      writer.Write(ivf.centroids().rows());
+      writer.Write(ivf.centroids().cols());
+      writer.WriteFloats(ivf.centroids().data(), ivf.centroids().size());
+      writer.Write<int32_t>(ivf.num_clusters());
+      writer.WriteVector(ivf.bucket_offsets());
+      writer.WriteVector(ivf.ids());
+      writer.Write<uint8_t>(1);
+      writer.Write<int64_t>(codes.code_size());
+      writer.Write<int32_t>(codes.num_sidecars());
+      writer.WriteString(codes.tag());
+      std::vector<uint8_t> data(codes.raw());
+      data.resize(data.size() + delta, 0);
+      writer.WriteVector(data);
+      ASSERT_TRUE(writer.ok());
+    }
+    std::string error;
+    index::IvfIndex loaded;
+    EXPECT_FALSE(LoadIvf(path, &loaded, &error)) << "delta=" << delta;
+    EXPECT_NE(error.find("code section"), std::string::npos) << error;
+  }
+}
+
+TEST_F(PersistTest, IvfV3CodesSurviveSearchAfterLoad) {
+  // End-to-end: the loaded index's code-resident search must equal the
+  // in-memory index's search through the same estimator data.
+  IvfWithCodes fixture;
+  std::string error;
+  ASSERT_TRUE(SaveIvf(Path("ivf_v3_s.bin"), fixture.ivf, &error));
+  index::IvfIndex loaded;
+  ASSERT_TRUE(LoadIvf(Path("ivf_v3_s.bin"), &loaded, &error)) << error;
+
+  core::TrainingDataOptions training;
+  training.max_queries = 40;
+  core::SqAdcEstimator trainer(&fixture.sq);
+  core::LinearCorrector corrector = core::TrainAnyCorrector(
+      trainer, fixture.ds.base, fixture.ds.train_queries, training);
+  core::DdcAnyComputer a(&fixture.ds.base,
+                         std::make_unique<core::SqAdcEstimator>(&fixture.sq),
+                         &corrector);
+  core::DdcAnyComputer b(&fixture.ds.base,
+                         std::make_unique<core::SqAdcEstimator>(&fixture.sq),
+                         &corrector);
+  for (int64_t q = 0; q < fixture.ds.queries.rows(); ++q) {
+    auto want = fixture.ivf.Search(a, fixture.ds.queries.Row(q), 5, 3);
+    auto got = loaded.Search(b, fixture.ds.queries.Row(q), 5, 3);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].id, got[i].id);
+      EXPECT_EQ(want[i].distance, got[i].distance);
+    }
+  }
 }
 
 TEST_F(PersistTest, DdcArtifactsRoundTripIdenticalDecisions) {

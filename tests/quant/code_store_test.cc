@@ -1,0 +1,148 @@
+#include "quant/code_store.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace resinfer::quant {
+namespace {
+
+TEST(CodeStoreTest, LayoutPadsSidecarsToFourByteAlignment) {
+  EXPECT_EQ(CodeSidecarOffset(1), 4);
+  EXPECT_EQ(CodeSidecarOffset(4), 4);
+  EXPECT_EQ(CodeSidecarOffset(5), 8);
+  EXPECT_EQ(CodeRecordStride(1, 0), 4);
+  EXPECT_EQ(CodeRecordStride(6, 2), 16);
+  EXPECT_EQ(CodeRecordStride(8, 1), 12);
+
+  CodeStore store(3, 6, 2, "t");
+  EXPECT_EQ(store.stride(), 16);
+  EXPECT_EQ(store.sidecar_offset(), 8);
+  EXPECT_EQ(store.data_bytes(), 48);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(store.record(1)) % 4, 0u);
+}
+
+TEST(CodeStoreTest, SetAndReadBackCodesAndSidecars) {
+  CodeStore store(4, 3, 2, "tag");
+  for (int64_t i = 0; i < 4; ++i) {
+    const uint8_t code[3] = {static_cast<uint8_t>(i),
+                             static_cast<uint8_t>(10 + i),
+                             static_cast<uint8_t>(20 + i)};
+    store.SetCode(i, code);
+    store.SetSidecar(i, 0, 0.5f * static_cast<float>(i));
+    store.SetSidecar(i, 1, -1.0f * static_cast<float>(i));
+  }
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(store.record(i)[0], i);
+    EXPECT_EQ(store.record(i)[2], 20 + i);
+    EXPECT_EQ(store.Sidecar(i, 0), 0.5f * static_cast<float>(i));
+    EXPECT_EQ(store.Sidecar(i, 1), -1.0f * static_cast<float>(i));
+    EXPECT_EQ(RecordSidecars(store.record(i), store.code_size())[1],
+              store.Sidecar(i, 1));
+  }
+}
+
+TEST(CodeStoreTest, PermutedByReordersWholeRecords) {
+  CodeStore store(5, 2, 1, "tag");
+  for (int64_t i = 0; i < 5; ++i) {
+    const uint8_t code[2] = {static_cast<uint8_t>(i),
+                             static_cast<uint8_t>(100 + i)};
+    store.SetCode(i, code);
+    store.SetSidecar(i, 0, static_cast<float>(i) + 0.25f);
+  }
+  const std::vector<int64_t> order = {3, 0, 4, 4, 1};
+  CodeStore permuted = store.PermutedBy(order);
+  ASSERT_EQ(permuted.size(), 5);
+  EXPECT_EQ(permuted.tag(), "tag");
+  EXPECT_EQ(permuted.stride(), store.stride());
+  for (std::size_t j = 0; j < order.size(); ++j) {
+    EXPECT_EQ(permuted.record(j)[0], order[j]);
+    EXPECT_EQ(permuted.record(j)[1], 100 + order[j]);
+    EXPECT_EQ(permuted.Sidecar(j, 0), static_cast<float>(order[j]) + 0.25f);
+  }
+}
+
+TEST(CodeStoreTest, FromPartsRoundTrip) {
+  CodeStore store(3, 5, 1, "method/cs5/sc1/n3");
+  for (int64_t i = 0; i < 3; ++i) {
+    const uint8_t code[5] = {1, 2, 3, 4, static_cast<uint8_t>(i)};
+    store.SetCode(i, code);
+    store.SetSidecar(i, 0, 7.0f);
+  }
+  CodeStore loaded;
+  std::string error;
+  ASSERT_TRUE(CodeStore::FromParts(3, 5, 1, store.tag(),
+                                   std::vector<uint8_t>(store.raw()),
+                                   &loaded, &error))
+      << error;
+  EXPECT_EQ(loaded.raw(), store.raw());
+  EXPECT_EQ(loaded.tag(), store.tag());
+  EXPECT_EQ(loaded.stride(), store.stride());
+}
+
+TEST(CodeStoreTest, FromPartsRejectsMismatchedPayload) {
+  CodeStore store(3, 5, 1, "t");
+  CodeStore out;
+  std::string error;
+
+  std::vector<uint8_t> truncated(store.raw());
+  truncated.pop_back();
+  EXPECT_FALSE(CodeStore::FromParts(3, 5, 1, "t", truncated, &out, &error));
+  EXPECT_FALSE(error.empty());
+
+  std::vector<uint8_t> oversized(store.raw());
+  oversized.push_back(0);
+  EXPECT_FALSE(CodeStore::FromParts(3, 5, 1, "t", oversized, &out, &error));
+
+  EXPECT_FALSE(
+      CodeStore::FromParts(3, 0, 1, "t", store.raw(), &out, &error));
+  EXPECT_FALSE(
+      CodeStore::FromParts(-1, 5, 1, "t", store.raw(), &out, &error));
+  EXPECT_FALSE(
+      CodeStore::FromParts(3, 5, -1, "t", store.raw(), &out, &error));
+
+  // Hostile code_size crafted so that n * stride would signed-overflow and
+  // wrap to the real payload size (n = 12, 96-byte payload): must be
+  // rejected by the bound/division checks, never accepted.
+  std::vector<uint8_t> payload(96, 0);
+  EXPECT_FALSE(CodeStore::FromParts(12, (int64_t{1} << 62) + 2, 0, "t",
+                                    payload, &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CodeStoreTest, MakeCodeTagEncodesLayoutAndFingerprint) {
+  EXPECT_EQ(MakeCodeTag("pq-adc", 8, 1, 1200, 77),
+            "pq-adc/cs8/sc1/n1200/f77");
+}
+
+TEST(CodeStoreTest, FingerprintDistinguishesContent) {
+  const uint8_t a[4] = {1, 2, 3, 4};
+  const uint8_t b[4] = {1, 2, 3, 5};
+  EXPECT_EQ(FingerprintBytes(a, 4), FingerprintBytes(a, 4));
+  EXPECT_NE(FingerprintBytes(a, 4), FingerprintBytes(b, 4));
+  // Chaining through the seed mixes both arrays into one value.
+  EXPECT_NE(FingerprintBytes(b, 4, FingerprintBytes(a, 4)),
+            FingerprintBytes(a, 4, FingerprintBytes(b, 4)));
+}
+
+TEST(CodeStoreTest, FingerprintArraySamplesLargeInputs) {
+  // Above the sampling threshold the fingerprint stays deterministic,
+  // length-sensitive, and sensitive to sampled-region changes.
+  std::vector<uint8_t> big(1 << 20, 7);
+  EXPECT_EQ(FingerprintArray(big.data(), big.size()),
+            FingerprintArray(big.data(), big.size()));
+  EXPECT_NE(FingerprintArray(big.data(), big.size()),
+            FingerprintArray(big.data(), big.size() - 1));
+  std::vector<uint8_t> changed(big);
+  changed.front() ^= 0xff;  // first chunk is always sampled
+  EXPECT_NE(FingerprintArray(big.data(), big.size()),
+            FingerprintArray(changed.data(), changed.size()));
+  // Small inputs hash in full.
+  const uint8_t small1[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const uint8_t small2[8] = {1, 2, 3, 4, 5, 6, 7, 9};
+  EXPECT_NE(FingerprintArray(small1, 8), FingerprintArray(small2, 8));
+}
+
+}  // namespace
+}  // namespace resinfer::quant

@@ -1,0 +1,129 @@
+// Writes the tiny cross-version IVF fixture files that
+// tests/persist/persist_fixture_test.cc loads from tests/persist/testdata/.
+//
+// The fixtures are checked into git so that CI catches on-disk format
+// breaks: if a loader change stops understanding yesterday's bytes, the
+// fixture test fails in CI instead of at load time in production. Re-run
+// this tool ONLY when introducing a new on-disk version (add a new fixture,
+// never rewrite the old ones):
+//
+//   ./build/gen_persist_fixtures tests/persist/testdata
+//
+// The index content is fully hand-specified (no k-means, no RNG), so the
+// generator is deterministic across hosts and library changes; the test
+// hard-codes the same constants.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "index/ivf_index.h"
+#include "linalg/matrix.h"
+#include "persist/persist.h"
+#include "quant/code_store.h"
+#include "util/binary_io.h"
+
+namespace resinfer {
+namespace {
+
+constexpr char kIvfMagic[8] = {'R', 'I', 'I', 'V', 'F', 'I', 'X', '1'};
+
+// The fixture index: 12 points in 4-d, 3 buckets. Keep in sync with
+// persist_fixture_test.cc.
+constexpr int64_t kSize = 12;
+constexpr int64_t kDim = 4;
+constexpr int kClusters = 3;
+
+linalg::Matrix FixtureCentroids() {
+  linalg::Matrix centroids(kClusters, kDim);
+  for (int64_t c = 0; c < kClusters; ++c) {
+    for (int64_t j = 0; j < kDim; ++j) {
+      centroids.At(c, j) = static_cast<float>(c) + 0.25f * static_cast<float>(j);
+    }
+  }
+  return centroids;
+}
+
+const std::vector<int64_t>& FixtureOffsets() {
+  static const std::vector<int64_t> offsets = {0, 4, 9, 12};
+  return offsets;
+}
+
+const std::vector<int64_t>& FixtureIds() {
+  static const std::vector<int64_t> ids = {0, 3, 6, 9,  1, 4,
+                                           7, 10, 11, 2, 5, 8};
+  return ids;
+}
+
+// Id-indexed store: point i's code bytes are {i, 2i}, its sidecar i + 0.5.
+quant::CodeStore FixtureCodes() {
+  quant::CodeStore store(kSize, /*code_size=*/2, /*num_sidecars=*/1,
+                         "fixture/cs2/sc1/n12");
+  for (int64_t i = 0; i < kSize; ++i) {
+    const uint8_t code[2] = {static_cast<uint8_t>(i),
+                             static_cast<uint8_t>(2 * i)};
+    store.SetCode(i, code);
+    store.SetSidecar(i, 0, static_cast<float>(i) + 0.5f);
+  }
+  return store;
+}
+
+void WriteCommonPrefix(BinaryWriter& writer, uint32_t version,
+                       const linalg::Matrix& centroids) {
+  WriteHeader(writer, kIvfMagic, version);
+  writer.Write<int64_t>(kSize);
+  writer.Write(centroids.rows());
+  writer.Write(centroids.cols());
+  writer.WriteFloats(centroids.data(), centroids.size());
+  writer.Write<int32_t>(kClusters);
+}
+
+bool WriteV1(const std::string& path, const linalg::Matrix& centroids) {
+  BinaryWriter writer(path);
+  WriteCommonPrefix(writer, 1, centroids);
+  const auto& offsets = FixtureOffsets();
+  const auto& ids = FixtureIds();
+  for (int b = 0; b < kClusters; ++b) {
+    std::vector<int64_t> bucket(ids.begin() + offsets[b],
+                                ids.begin() + offsets[b + 1]);
+    writer.WriteVector(bucket);
+  }
+  return writer.Close();
+}
+
+bool WriteV2(const std::string& path, const linalg::Matrix& centroids) {
+  BinaryWriter writer(path);
+  WriteCommonPrefix(writer, 2, centroids);
+  writer.WriteVector(FixtureOffsets());
+  writer.WriteVector(FixtureIds());
+  return writer.Close();
+}
+
+bool WriteV3(const std::string& path) {
+  // The current writer IS the v3 format; route through SaveIvf so the
+  // fixture tracks exactly what the library writes today.
+  index::IvfIndex ivf = index::IvfIndex::FromCsr(
+      kSize, FixtureCentroids(), FixtureOffsets(), FixtureIds());
+  ivf.AttachCodes(FixtureCodes());
+  std::string error;
+  if (!persist::SaveIvf(path, ivf, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace resinfer
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tests/persist/testdata";
+  const resinfer::linalg::Matrix centroids = resinfer::FixtureCentroids();
+  if (!resinfer::WriteV1(dir + "/ivf_v1.bin", centroids) ||
+      !resinfer::WriteV2(dir + "/ivf_v2.bin", centroids) ||
+      !resinfer::WriteV3(dir + "/ivf_v3.bin")) {
+    std::fprintf(stderr, "failed writing fixtures to %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("wrote ivf_v1.bin ivf_v2.bin ivf_v3.bin to %s\n", dir.c_str());
+  return 0;
+}

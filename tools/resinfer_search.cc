@@ -206,7 +206,9 @@ int main(int argc, char** argv) {
   std::printf("method=%s index=%s k=%d queries=%lld\n", method.c_str(),
               index_kind.c_str(), k,
               static_cast<long long>(queries.rows()));
-  std::printf("qps=%.1f wall=%.3fs\n", batch.Qps(), batch.wall_seconds);
+  std::printf("qps=%.1f wall=%.3fs util_avg=%.3f util_min=%.3f\n",
+              batch.Qps(), batch.wall_seconds, batch.AvgUtilization(),
+              batch.MinUtilization());
   std::printf("latency %s\n", batch.latency_seconds.Summary().c_str());
   std::printf("candidates=%lld pruned_rate=%.3f scan_rate=%.3f\n",
               static_cast<long long>(batch.stats.candidates),
