@@ -1,0 +1,198 @@
+// Multi-query serving: query-major grouped search vs the per-query path
+// (tracked in BENCH_multi_query.json).
+//
+// RunBatch served every query as an island: one BeginQuery (ADC tables,
+// rotated query) per query and one pass over its probed buckets, so N
+// co-probing queries re-streamed the same buckets N times. The grouped path
+// (BatchSearchIvf with group_size > 1) orders queries by nearest centroid,
+// hands groups to IvfIndex::SearchBatchRange, builds each group's
+// per-query state once (SetQueryBatch), and streams every co-probed bucket
+// once while all members score it (EstimateBatch*Group + the tiled
+// kernels). Results are bit-identical to the per-query path — the bench
+// asserts ids and distances — so the speedup is pure memory-traffic and
+// table-reuse, measured here end-to-end at serving-relevant sizes
+// (>= 100k points, nprobe >= 8).
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+namespace resinfer::benchutil {
+namespace {
+
+struct MethodUnderTest {
+  std::string name;
+  index::ComputerFactory make;
+};
+
+struct PathResult {
+  double qps = 0.0;
+  double avg_util = 0.0;
+  index::ComputerStats stats;
+  std::vector<std::vector<int64_t>> ids;
+  std::vector<std::vector<float>> distances;
+};
+
+PathResult RunPath(const index::IvfIndex& ivf,
+                   const index::ComputerFactory& factory,
+                   const linalg::Matrix& queries, int k, int nprobe,
+                   int group_size, int reps) {
+  index::BatchOptions options;
+  options.num_threads = 1;  // isolate the grouping win from parallelism
+  options.group_size = group_size;
+  PathResult out;
+  double best_wall = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    index::BatchResult batch =
+        index::BatchSearchIvf(ivf, factory, queries, k, nprobe, options);
+    if (rep == 0) {
+      out.ids = index::ResultIds(batch);
+      out.distances.reserve(batch.results.size());
+      for (const auto& row : batch.results) {
+        std::vector<float> d;
+        d.reserve(row.size());
+        for (const auto& nb : row) d.push_back(nb.distance);
+        out.distances.push_back(std::move(d));
+      }
+      out.stats = batch.stats;
+      out.avg_util = batch.AvgUtilization();
+    }
+    if (best_wall == 0.0 || batch.wall_seconds < best_wall) {
+      best_wall = batch.wall_seconds;
+    }
+  }
+  out.qps = static_cast<double>(queries.rows()) / best_wall;
+  return out;
+}
+
+void Run(const Scale& scale) {
+  // The multi-query win is a cache/traffic effect, so the base must
+  // outgrow the caches: floor the size at 100k regardless of scale.
+  data::SyntheticSpec spec = resinfer::data::SiftProxySpec();
+  spec.num_base = std::max<int64_t>(100000, scale.BaseN(spec.dim));
+  // A serving-sized batch: enough queries that co-probing ones actually
+  // land in the same group after the probe-list sort.
+  spec.num_queries = 4096;
+  spec.num_train_queries = scale.TrainQueries();
+  data::Dataset ds = data::GenerateSynthetic(spec);
+  std::printf("dataset %s (n=%lld d=%lld), %lld queries\n", ds.name.c_str(),
+              static_cast<long long>(ds.size()),
+              static_cast<long long>(ds.dim()),
+              static_cast<long long>(ds.queries.rows()));
+
+  index::IvfOptions ivf_options;
+  // The classic sqrt(n) cluster count — the usual IVF operating point for
+  // this base size, and the regime the serving path targets (each probed
+  // bucket holds a few hundred points, so co-probing queries share real
+  // streams).
+  ivf_options.num_clusters = static_cast<int>(
+      std::max<int64_t>(16, static_cast<int64_t>(std::sqrt(
+                                static_cast<double>(ds.size())))));
+  index::IvfIndex ivf = index::IvfIndex::Build(ds.base, ivf_options);
+
+  linalg::PcaModel pca =
+      linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
+  linalg::Matrix rotated = pca.TransformBatch(ds.base.data(), ds.size());
+
+  core::PqEstimatorData pq = core::BuildPqEstimatorData(ds.base);
+  core::SqEstimatorData sq = core::BuildSqEstimatorData(ds.base);
+  core::TrainingDataOptions training;
+  training.max_queries = scale.CorrectorTrainQueries();
+  core::LinearCorrector pq_corrector, sq_corrector;
+  {
+    core::PqAdcEstimator estimator(&pq);
+    pq_corrector = core::TrainAnyCorrector(estimator, ds.base,
+                                           ds.train_queries, training);
+  }
+  {
+    core::SqAdcEstimator estimator(&sq);
+    sq_corrector = core::TrainAnyCorrector(estimator, ds.base,
+                                           ds.train_queries, training);
+  }
+
+  std::vector<MethodUnderTest> methods;
+  methods.push_back({"exact", [&] {
+                       return std::make_unique<index::FlatDistanceComputer>(
+                           ds.base.data(), ds.size(), ds.dim());
+                     }});
+  methods.push_back({"ddc-pq", [&] {
+                       return std::make_unique<core::DdcAnyComputer>(
+                           &ds.base,
+                           std::make_unique<core::PqAdcEstimator>(&pq),
+                           &pq_corrector);
+                     }});
+  methods.push_back({"ddc-sq", [&] {
+                       return std::make_unique<core::DdcAnyComputer>(
+                           &ds.base,
+                           std::make_unique<core::SqAdcEstimator>(&sq),
+                           &sq_corrector);
+                     }});
+  methods.push_back({"ddc-res", [&] {
+                       return std::make_unique<core::DdcResComputer>(&pca,
+                                                                     &rotated);
+                     }});
+
+  const int k = 10;
+  const int nprobe = 16;
+  const int group_size = 32;
+  const int reps = scale.paper ? 3 : 3;
+
+  std::printf("%-8s %14s %14s %8s  (k=%d nprobe=%d group=%d clusters=%d)\n",
+              "method", "per-query-qps", "grouped-qps", "speedup", k, nprobe,
+              group_size, ivf_options.num_clusters);
+  for (const auto& method : methods) {
+    // Code-resident mode for both paths where the method supports it, so
+    // the comparison isolates grouping (PR 3 already tracked the layout).
+    ivf.DetachCodes();
+    ivf.AttachCodesFrom(*method.make());
+
+    PathResult per_query =
+        RunPath(ivf, method.make, ds.queries, k, nprobe, 1, reps);
+    PathResult grouped =
+        RunPath(ivf, method.make, ds.queries, k, nprobe, group_size, reps);
+
+    if (per_query.ids != grouped.ids ||
+        per_query.distances != grouped.distances) {
+      std::printf("%-8s MISMATCH: grouped search diverged!\n",
+                  method.name.c_str());
+      continue;
+    }
+    if (per_query.stats.candidates != grouped.stats.candidates ||
+        per_query.stats.pruned != grouped.stats.pruned ||
+        per_query.stats.dims_scanned != grouped.stats.dims_scanned ||
+        per_query.stats.exact_computations !=
+            grouped.stats.exact_computations) {
+      std::printf("%-8s MISMATCH: grouped stats diverged!\n",
+                  method.name.c_str());
+      continue;
+    }
+    std::printf("%-8s %14.0f %14.0f %7.2fx\n", method.name.c_str(),
+                per_query.qps, grouped.qps, grouped.qps / per_query.qps);
+  }
+}
+
+}  // namespace
+}  // namespace resinfer::benchutil
+
+int main() {
+  using namespace resinfer::benchutil;
+  PrintBanner("multi_query",
+              "query-major grouped IVF serving vs per-query RunBatch");
+  Run(GetScale());
+  std::printf(
+      "\nExpected shape: the grouped path wins where the scan is "
+      "memory-bound — the exact computer (full-dimension rows shared "
+      "across members) and the rotated-row DDC estimators (ddc-res) gain "
+      "the most, >= 1.2x for exact; gather-port-bound PQ ADC and "
+      "FMA-bound SQ decode gain a few percent (their time is compute the "
+      "grouping cannot share — 4-bit fast-scan is that lever, see "
+      "ROADMAP). Results are asserted bit-identical, so any speedup is "
+      "free of accuracy cost, and group_size=1 recovers the per-query "
+      "path exactly.\n");
+  return 0;
+}

@@ -103,9 +103,34 @@ void ApproxDistanceEstimator::EstimateBatchCodes(const uint8_t* /*records*/,
                      "estimator has no code-resident form (empty code_tag)");
 }
 
+void ApproxDistanceEstimator::SetQueryBatch(const float* queries, int count,
+                                            int64_t stride) {
+  RESINFER_CHECK(queries != nullptr && count > 0 &&
+                 count <= index::kMaxQueryGroup && stride >= dim());
+  group_queries_ = queries;
+  group_count_ = count;
+  group_stride_ = stride;
+}
+
+void ApproxDistanceEstimator::SelectQuery(int g) {
+  RESINFER_DCHECK(group_queries_ != nullptr && g >= 0 && g < group_count_);
+  BeginQuery(GroupQuery(g));
+}
+
+void ApproxDistanceEstimator::EstimateBatchCodesGroup(
+    const uint8_t* records, int count, const int* members, int num_members,
+    float* out, float* extras) {
+  for (int j = 0; j < num_members; ++j) {
+    SelectQuery(members[j]);
+    EstimateBatchCodes(records, count, out + static_cast<int64_t>(j) * count,
+                       extras + static_cast<int64_t>(j) * count);
+  }
+}
+
 PqAdcEstimator::PqAdcEstimator(const PqEstimatorData* data) : data_(data) {
   RESINFER_CHECK(data != nullptr && data->pq.trained());
   adc_table_.resize(static_cast<std::size_t>(data->pq.adc_table_size()));
+  active_table_ = adc_table_.data();
 }
 
 int64_t PqAdcEstimator::size() const {
@@ -114,12 +139,29 @@ int64_t PqAdcEstimator::size() const {
 
 void PqAdcEstimator::BeginQuery(const float* query) {
   data_->pq.ComputeAdcTable(query, adc_table_.data());
+  active_table_ = adc_table_.data();
+}
+
+void PqAdcEstimator::SetQueryBatch(const float* queries, int count,
+                                   int64_t stride) {
+  ApproxDistanceEstimator::SetQueryBatch(queries, count, stride);
+  const int64_t table_size = data_->pq.adc_table_size();
+  group_tables_.resize(static_cast<std::size_t>(count * table_size));
+  for (int g = 0; g < count; ++g) {
+    data_->pq.ComputeAdcTable(GroupQuery(g),
+                              group_tables_.data() + g * table_size);
+  }
+}
+
+void PqAdcEstimator::SelectQuery(int g) {
+  RESINFER_DCHECK(g >= 0 && g < group_count_);
+  active_table_ = group_tables_.data() + g * data_->pq.adc_table_size();
 }
 
 float PqAdcEstimator::Estimate(int64_t id, float* extra) {
   *extra = data_->recon_errors[static_cast<std::size_t>(id)];
   return data_->pq.AdcDistance(
-      adc_table_.data(), data_->codes.data() + id * data_->pq.code_size());
+      active_table_, data_->codes.data() + id * data_->pq.code_size());
 }
 
 void PqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
@@ -134,9 +176,13 @@ void PqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
       codes[j] = data_->codes.data() + id * code_size;
       extras[i + j] = data_->recon_errors[static_cast<std::size_t>(id)];
     }
-    simd::PqAdcBatch(adc_table_.data(), data_->pq.num_subspaces(),
+    simd::PqAdcBatch(active_table_, data_->pq.num_subspaces(),
                      data_->pq.num_centroids(), codes, block, out + i);
   }
+}
+
+int64_t PqAdcEstimator::query_state_bytes() const {
+  return data_->pq.adc_table_size() * static_cast<int64_t>(sizeof(float));
 }
 
 std::string PqAdcEstimator::code_tag() const {
@@ -181,14 +227,54 @@ void PqAdcEstimator::EstimateBatchCodes(const uint8_t* records, int count,
       codes[j] = rec;
       extras[i + j] = quant::RecordSidecars(rec, code_size)[0];
     }
-    simd::PqAdcBatch(adc_table_.data(), data_->pq.num_subspaces(),
+    simd::PqAdcBatch(active_table_, data_->pq.num_subspaces(),
                      data_->pq.num_centroids(), codes, block, out + i);
   }
+}
+
+void PqAdcEstimator::EstimateBatchCodesGroup(const uint8_t* records,
+                                             int count, const int* members,
+                                             int num_members, float* out,
+                                             float* extras) {
+  // Per member this is exactly EstimateBatchCodes (same 16-code chunks,
+  // same kernel lane order); the tile kernel evaluates each chunk for
+  // every member's table while the codes are hot.
+  constexpr int kChunk = 16;
+  const uint8_t* codes[kChunk];
+  float tile[index::kMaxQueryGroup * kChunk];
+  const float* tables[index::kMaxQueryGroup];
+  RESINFER_DCHECK(num_members > 0 && num_members <= index::kMaxQueryGroup);
+  const int64_t table_size = data_->pq.adc_table_size();
+  for (int j = 0; j < num_members; ++j) {
+    RESINFER_DCHECK(members[j] >= 0 && members[j] < group_count_);
+    tables[j] = group_tables_.data() + members[j] * table_size;
+  }
+  const int64_t code_size = data_->pq.code_size();
+  const int64_t stride = code_record_stride();
+  for (int i = 0; i < count; i += kChunk) {
+    const int block = std::min(kChunk, count - i);
+    for (int j = 0; j < block; ++j) {
+      const uint8_t* rec = records + (i + j) * stride;
+      codes[j] = rec;
+      const float recon_error = quant::RecordSidecars(rec, code_size)[0];
+      for (int g = 0; g < num_members; ++g) {
+        extras[static_cast<int64_t>(g) * count + i + j] = recon_error;
+      }
+    }
+    simd::PqAdcTile(tables, num_members, data_->pq.num_subspaces(),
+                    data_->pq.num_centroids(), codes, block, tile);
+    for (int g = 0; g < num_members; ++g) {
+      std::copy(tile + g * block, tile + (g + 1) * block,
+                out + static_cast<int64_t>(g) * count + i);
+    }
+  }
+  SelectQuery(members[num_members - 1]);
 }
 
 RqAdcEstimator::RqAdcEstimator(const RqEstimatorData* data) : data_(data) {
   RESINFER_CHECK(data != nullptr && data->rq.trained());
   ip_table_.resize(static_cast<std::size_t>(data->rq.ip_table_size()));
+  active_table_ = ip_table_.data();
 }
 
 int64_t RqAdcEstimator::size() const {
@@ -199,12 +285,33 @@ void RqAdcEstimator::BeginQuery(const float* query) {
   data_->rq.ComputeIpTable(query, ip_table_.data());
   query_norm_sqr_ =
       simd::Norm2Sqr(query, static_cast<std::size_t>(data_->rq.dim()));
+  active_table_ = ip_table_.data();
+}
+
+void RqAdcEstimator::SetQueryBatch(const float* queries, int count,
+                                   int64_t stride) {
+  ApproxDistanceEstimator::SetQueryBatch(queries, count, stride);
+  const int64_t table_size = data_->rq.ip_table_size();
+  group_tables_.resize(static_cast<std::size_t>(count * table_size));
+  group_norms_.resize(static_cast<std::size_t>(count));
+  for (int g = 0; g < count; ++g) {
+    const float* q = GroupQuery(g);
+    data_->rq.ComputeIpTable(q, group_tables_.data() + g * table_size);
+    group_norms_[static_cast<std::size_t>(g)] =
+        simd::Norm2Sqr(q, static_cast<std::size_t>(data_->rq.dim()));
+  }
+}
+
+void RqAdcEstimator::SelectQuery(int g) {
+  RESINFER_DCHECK(g >= 0 && g < group_count_);
+  active_table_ = group_tables_.data() + g * data_->rq.ip_table_size();
+  query_norm_sqr_ = group_norms_[static_cast<std::size_t>(g)];
 }
 
 float RqAdcEstimator::Estimate(int64_t id, float* extra) {
   *extra = data_->recon_errors[static_cast<std::size_t>(id)];
   return data_->rq.AdcDistance(
-      ip_table_.data(), query_norm_sqr_,
+      active_table_, query_norm_sqr_,
       data_->codes.data() + id * data_->rq.code_size(),
       data_->recon_norms[static_cast<std::size_t>(id)]);
 }
@@ -225,7 +332,7 @@ void RqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
       codes[j] = data_->codes.data() + id * code_size;
       extras[i + j] = data_->recon_errors[static_cast<std::size_t>(id)];
     }
-    simd::PqAdcBatch(ip_table_.data(), data_->rq.num_stages(),
+    simd::PqAdcBatch(active_table_, data_->rq.num_stages(),
                      data_->rq.num_centroids(), codes, block, ip);
     for (int j = 0; j < block; ++j) {
       out[i + j] =
@@ -233,6 +340,10 @@ void RqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
           data_->recon_norms[static_cast<std::size_t>(ids[i + j])];
     }
   }
+}
+
+int64_t RqAdcEstimator::query_state_bytes() const {
+  return data_->rq.ip_table_size() * static_cast<int64_t>(sizeof(float));
 }
 
 std::string RqAdcEstimator::code_tag() const {
@@ -287,12 +398,57 @@ void RqAdcEstimator::EstimateBatchCodes(const uint8_t* records, int count,
       norms[j] = sidecars[0];
       extras[i + j] = sidecars[1];
     }
-    simd::PqAdcBatch(ip_table_.data(), data_->rq.num_stages(),
+    simd::PqAdcBatch(active_table_, data_->rq.num_stages(),
                      data_->rq.num_centroids(), codes, block, ip);
     for (int j = 0; j < block; ++j) {
       out[i + j] = query_norm_sqr_ - 2.0f * ip[j] + norms[j];
     }
   }
+}
+
+void RqAdcEstimator::EstimateBatchCodesGroup(const uint8_t* records,
+                                             int count, const int* members,
+                                             int num_members, float* out,
+                                             float* extras) {
+  // Table-lookup stage tiled across the members' IP tables; each member's
+  // affine combine keeps EstimateBatchCodes' expression order, so lanes
+  // stay bit-identical to the per-member path.
+  constexpr int kChunk = 16;
+  const uint8_t* codes[kChunk];
+  float norms[kChunk];
+  float tile[index::kMaxQueryGroup * kChunk];
+  const float* tables[index::kMaxQueryGroup];
+  RESINFER_DCHECK(num_members > 0 && num_members <= index::kMaxQueryGroup);
+  const int64_t table_size = data_->rq.ip_table_size();
+  for (int j = 0; j < num_members; ++j) {
+    RESINFER_DCHECK(members[j] >= 0 && members[j] < group_count_);
+    tables[j] = group_tables_.data() + members[j] * table_size;
+  }
+  const int64_t code_size = data_->rq.code_size();
+  const int64_t stride = code_record_stride();
+  for (int i = 0; i < count; i += kChunk) {
+    const int block = std::min(kChunk, count - i);
+    for (int j = 0; j < block; ++j) {
+      const uint8_t* rec = records + (i + j) * stride;
+      const float* sidecars = quant::RecordSidecars(rec, code_size);
+      codes[j] = rec;
+      norms[j] = sidecars[0];
+      for (int g = 0; g < num_members; ++g) {
+        extras[static_cast<int64_t>(g) * count + i + j] = sidecars[1];
+      }
+    }
+    simd::PqAdcTile(tables, num_members, data_->rq.num_stages(),
+                    data_->rq.num_centroids(), codes, block, tile);
+    for (int g = 0; g < num_members; ++g) {
+      const float qnorm = group_norms_[static_cast<std::size_t>(members[g])];
+      float* row = out + static_cast<int64_t>(g) * count + i;
+      const float* ip = tile + g * block;
+      for (int j = 0; j < block; ++j) {
+        row[j] = qnorm - 2.0f * ip[j] + norms[j];
+      }
+    }
+  }
+  SelectQuery(members[num_members - 1]);
 }
 
 SqAdcEstimator::SqAdcEstimator(const SqEstimatorData* data) : data_(data) {
@@ -491,6 +647,84 @@ void DdcAnyComputer::EstimateBatchCodes(const uint8_t* codes,
         return corrector_->PredictPrunable(approx, tau, extra);
       },
       std::isfinite(tau), ids, count, stats_, out);
+}
+
+bool DdcAnyComputer::group_scan_tiles_blocks() const {
+  // Block-level member tiling cycles every member's table through the
+  // cache once per candidate block; that only pays while the whole
+  // group's state fits comfortably in L2 alongside the block itself.
+  constexpr int64_t kGroupStateCacheBudget = 128 * 1024;
+  const int64_t per_member = estimator_->query_state_bytes();
+  return per_member > 0 &&
+         per_member * index::kMaxQueryGroup <= kGroupStateCacheBudget;
+}
+
+void DdcAnyComputer::SetQueryBatch(const float* queries, int count,
+                                   int64_t stride) {
+  index::DistanceComputer::SetQueryBatch(queries, count, stride);
+  estimator_->SetQueryBatch(queries, count, stride);
+}
+
+void DdcAnyComputer::SelectQuery(int g) {
+  query_ = GroupQuery(g);
+  estimator_->SelectQuery(g);
+}
+
+void DdcAnyComputer::EstimateBatchCodesGroup(const uint8_t* codes,
+                                             const int64_t* ids, int count,
+                                             const int* members,
+                                             int num_members,
+                                             const float* taus,
+                                             index::EstimateResult* out) {
+  const int64_t stride = estimator_->code_record_stride();
+  if (stride <= 0) {  // estimator without a code-resident form
+    index::DistanceComputer::EstimateBatchCodesGroup(
+        codes, ids, count, members, num_members, taus, out);
+    return;
+  }
+  RESINFER_DCHECK(num_members > 0 && num_members <= index::kMaxQueryGroup);
+  // EstimatePruneRefine's chunk structure (see EstimateBatchCodes), with
+  // the approximation stage evaluated for the whole group per chunk and
+  // the per-member prune + exact-refine passes unchanged — each member's
+  // results and stats are bit-identical to its sequential call.
+  float approx[index::kMaxQueryGroup * index::kRefineChunk];
+  float extras[index::kMaxQueryGroup * index::kRefineChunk];
+  int survivors[index::kRefineChunk];
+  const std::size_t d = static_cast<std::size_t>(dim());
+
+  for (int i = 0; i < count; i += index::kRefineChunk) {
+    const int block = std::min(index::kRefineChunk, count - i);
+    std::fill_n(extras, static_cast<std::size_t>(num_members) * block, 0.0f);
+    estimator_->EstimateBatchCodesGroup(codes + i * stride, block, members,
+                                        num_members, approx, extras);
+    for (int g = 0; g < num_members; ++g) {
+      stats_.candidates += block;
+      const float tau = taus[g];
+      const bool tau_finite = std::isfinite(tau);
+      const float* member_approx = approx + g * block;
+      const float* member_extras = extras + g * block;
+      index::EstimateResult* member_out =
+          out + static_cast<int64_t>(g) * count;
+      int num_survivors = 0;
+      for (int j = 0; j < block; ++j) {
+        if (tau_finite && corrector_->PredictPrunable(member_approx[j], tau,
+                                                      member_extras[j])) {
+          ++stats_.pruned;
+          member_out[i + j] = {true, member_approx[j]};
+        } else {
+          survivors[num_survivors++] = i + j;
+        }
+      }
+      stats_.exact_computations += num_survivors;
+      stats_.dims_scanned +=
+          static_cast<int64_t>(num_survivors) * static_cast<int64_t>(d);
+      index::RefineExactL2(
+          GroupQuery(members[g]), d,
+          [this](int64_t id) { return base_->Row(id); }, ids, survivors,
+          num_survivors, member_out);
+    }
+  }
+  SelectQuery(members[num_members - 1]);
 }
 
 float DdcAnyComputer::ExactDistance(int64_t id) {

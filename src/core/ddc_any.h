@@ -70,6 +70,28 @@ class ApproxDistanceEstimator {
   // corrector's feature count at training time.
   virtual bool has_extra_feature() const { return false; }
 
+  // --- Query-group form (the multi-query serving path) --------------------
+  // Mirrors DistanceComputer's group API: SetQueryBatch declares a group of
+  // `count` queries (member g at queries + g * stride floats, count <=
+  // index::kMaxQueryGroup); SelectQuery(g) activates one member. The
+  // defaults rebuild state through BeginQuery on every switch; the
+  // quantizer backends override to compute all members' ADC tables once
+  // per group and swap a pointer on select.
+  virtual void SetQueryBatch(const float* queries, int count, int64_t stride);
+  virtual void SelectQuery(int g);
+
+  // Group code-resident evaluation: equivalent to, for each j,
+  //   SelectQuery(members[j]);
+  //   EstimateBatchCodes(records, count, out + j * count,
+  //                      extras + j * count);
+  // (member-major outputs, last member left selected), bit-identically. The
+  // default performs exactly that loop; PQ/RQ override with the
+  // query-tiled ADC kernel so one pass over the records serves the whole
+  // group.
+  virtual void EstimateBatchCodesGroup(const uint8_t* records, int count,
+                                       const int* members, int num_members,
+                                       float* out, float* extras);
+
   // --- Code-resident form (quant::CodeStore) ------------------------------
   // Estimators that can evaluate straight from a packed record stream
   // report a non-empty code_tag() plus their record stride, pack their
@@ -82,12 +104,29 @@ class ApproxDistanceEstimator {
   virtual int64_t code_record_stride() const { return 0; }
   virtual quant::CodeStore MakeCodeStore() const { return {}; }
 
+  // Bytes of per-query scan state (ADC tables etc.) one group member
+  // keeps live during estimation. DdcAnyComputer uses this to pick the
+  // query-major scan order: block-level member tiling only pays while the
+  // whole group's state stays cache-resident; above that, member-major
+  // bucket runs keep one member's table hot instead of cycling all of
+  // them every block.
+  virtual int64_t query_state_bytes() const { return 0; }
+
   // `records` holds `count` records of code_record_stride() bytes each, in
   // candidate order. Fills out[i]/extras[i] bit-identically to
   // EstimateBatch on the ids the records were packed from. Must not be
   // called when code_tag() is empty (the default CHECK-aborts).
   virtual void EstimateBatchCodes(const uint8_t* records, int count,
                                   float* out, float* extras);
+
+ protected:
+  const float* GroupQuery(int g) const {
+    return group_queries_ + static_cast<int64_t>(g) * group_stride_;
+  }
+
+  const float* group_queries_ = nullptr;
+  int group_count_ = 0;
+  int64_t group_stride_ = 0;
 };
 
 // --- Quantizer-backed estimator artifacts --------------------------------
@@ -145,9 +184,23 @@ class PqAdcEstimator : public ApproxDistanceEstimator {
   void EstimateBatchCodes(const uint8_t* records, int count, float* out,
                           float* extras) override;
 
+  // Group form: one ADC table per member, built once; the group scan
+  // streams each record chunk through simd::PqAdcTile for all members.
+  void SetQueryBatch(const float* queries, int count,
+                     int64_t stride) override;
+  void SelectQuery(int g) override;
+  void EstimateBatchCodesGroup(const uint8_t* records, int count,
+                               const int* members, int num_members,
+                               float* out, float* extras) override;
+  int64_t query_state_bytes() const override;
+
  private:
   const PqEstimatorData* data_;
   std::vector<float> adc_table_;
+  // The table Estimate*/EstimateBatch* read: adc_table_ after BeginQuery,
+  // a row of group_tables_ after SelectQuery.
+  const float* active_table_ = nullptr;
+  std::vector<float> group_tables_;  // group_count_ x adc_table_size
   // Lazily built (content fingerprint is O(n)); estimators are per-thread.
   mutable std::string code_tag_;
 };
@@ -172,10 +225,23 @@ class RqAdcEstimator : public ApproxDistanceEstimator {
   void EstimateBatchCodes(const uint8_t* records, int count, float* out,
                           float* extras) override;
 
+  // Group form: per-member IP tables + query norms; the group scan tiles
+  // the table-lookup stage and applies each member's affine combine.
+  void SetQueryBatch(const float* queries, int count,
+                     int64_t stride) override;
+  void SelectQuery(int g) override;
+  void EstimateBatchCodesGroup(const uint8_t* records, int count,
+                               const int* members, int num_members,
+                               float* out, float* extras) override;
+  int64_t query_state_bytes() const override;
+
  private:
   const RqEstimatorData* data_;
   std::vector<float> ip_table_;
   float query_norm_sqr_ = 0.0f;
+  const float* active_table_ = nullptr;
+  std::vector<float> group_tables_;  // group_count_ x ip_table_size
+  std::vector<float> group_norms_;   // ||q||^2 per member
   mutable std::string code_tag_;
 };
 
@@ -243,6 +309,20 @@ class DdcAnyComputer : public index::DistanceComputer {
   void EstimateBatchCodes(const uint8_t* codes, const int64_t* ids,
                           int count, float tau,
                           index::EstimateResult* out) override;
+  // Group form: the estimator evaluates each record chunk for the whole
+  // group (tiled ADC where the backend supports it); pruning and exact
+  // refinement then run per member against that member's tau and query.
+  void SetQueryBatch(const float* queries, int count,
+                     int64_t stride) override;
+  void SelectQuery(int g) override;
+  void EstimateBatchCodesGroup(const uint8_t* codes, const int64_t* ids,
+                               int count, const int* members,
+                               int num_members, const float* taus,
+                               index::EstimateResult* out) override;
+  // Block-level member tiling only while the whole group's estimator
+  // state (kMaxQueryGroup ADC tables) stays cache-resident; otherwise
+  // member-major runs keep one member's table hot per bucket.
+  bool group_scan_tiles_blocks() const override;
   float ExactDistance(int64_t id) override;
 
   // Raw estimator distance for the current query (no correction).

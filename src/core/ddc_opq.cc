@@ -86,6 +86,7 @@ DdcOpqComputer::DdcOpqComputer(const linalg::Matrix* base,
   RESINFER_CHECK(artifacts->opq.dim() == base->cols());
   rotated_query_.resize(base->cols());
   adc_table_.resize(artifacts->opq.codebook().adc_table_size());
+  active_adc_table_ = adc_table_.data();
 }
 
 void DdcOpqComputer::BeginQuery(const float* query) {
@@ -93,6 +94,27 @@ void DdcOpqComputer::BeginQuery(const float* query) {
   artifacts_->opq.Rotate(query, rotated_query_.data());
   artifacts_->opq.codebook().ComputeAdcTable(rotated_query_.data(),
                                              adc_table_.data());
+  active_adc_table_ = adc_table_.data();
+}
+
+void DdcOpqComputer::SetQueryBatch(const float* queries, int count,
+                                   int64_t stride) {
+  index::DistanceComputer::SetQueryBatch(queries, count, stride);
+  const int64_t table_size = artifacts_->opq.codebook().adc_table_size();
+  group_tables_.resize(static_cast<std::size_t>(count * table_size));
+  for (int g = 0; g < count; ++g) {
+    artifacts_->opq.Rotate(GroupQuery(g), rotated_query_.data());
+    artifacts_->opq.codebook().ComputeAdcTable(
+        rotated_query_.data(), group_tables_.data() + g * table_size);
+  }
+}
+
+void DdcOpqComputer::SelectQuery(int g) {
+  RESINFER_DCHECK(g >= 0 && g < group_count_);
+  query_ = GroupQuery(g);
+  active_adc_table_ =
+      group_tables_.data() +
+      g * artifacts_->opq.codebook().adc_table_size();
 }
 
 index::EstimateResult DdcOpqComputer::EstimateWithThreshold(int64_t id,
@@ -100,7 +122,7 @@ index::EstimateResult DdcOpqComputer::EstimateWithThreshold(int64_t id,
   ++stats_.candidates;
   const auto& codebook = artifacts_->opq.codebook();
   const float adc = codebook.AdcDistance(
-      adc_table_.data(),
+      active_adc_table_,
       artifacts_->codes.data() + id * codebook.code_size());
 
   if (std::isfinite(tau) &&
@@ -128,7 +150,7 @@ void DdcOpqComputer::EstimateBatch(const int64_t* ids, int count, float tau,
           codes[j] = artifacts_->codes.data() + chunk[j] * code_size;
           extras[j] = artifacts_->recon_errors[chunk[j]];
         }
-        simd::PqAdcBatch(adc_table_.data(), codebook.num_subspaces(),
+        simd::PqAdcBatch(active_adc_table_, codebook.num_subspaces(),
                          codebook.num_centroids(), codes, n, approx);
       },
       [this, tau](float approx, float extra) {
@@ -183,7 +205,7 @@ void DdcOpqComputer::EstimateBatchCodes(const uint8_t* codes,
           code_ptrs[j] = rec;
           extras[j] = quant::RecordSidecars(rec, code_size)[0];
         }
-        simd::PqAdcBatch(adc_table_.data(), codebook.num_subspaces(),
+        simd::PqAdcBatch(active_adc_table_, codebook.num_subspaces(),
                          codebook.num_centroids(), code_ptrs, n, approx);
       },
       [this, tau](float approx, float extra) {
@@ -201,7 +223,7 @@ float DdcOpqComputer::ExactDistance(int64_t id) {
 float DdcOpqComputer::ApproximateDistance(int64_t id) const {
   const auto& codebook = artifacts_->opq.codebook();
   return codebook.AdcDistance(
-      adc_table_.data(),
+      active_adc_table_,
       artifacts_->codes.data() + id * codebook.code_size());
 }
 

@@ -74,6 +74,11 @@ class DdcOpqComputer : public index::DistanceComputer {
   void EstimateBatchCodes(const uint8_t* codes, const int64_t* ids,
                           int count, float tau,
                           index::EstimateResult* out) override;
+  // Group form: rotated queries + ADC tables for every member built once
+  // per SetQueryBatch; SelectQuery swaps pointers.
+  void SetQueryBatch(const float* queries, int count,
+                     int64_t stride) override;
+  void SelectQuery(int g) override;
   float ExactDistance(int64_t id) override;
 
   // Raw ADC distance for the current query (no correction).
@@ -86,6 +91,12 @@ class DdcOpqComputer : public index::DistanceComputer {
   const float* query_ = nullptr;      // original space, for exact fallback
   std::vector<float> rotated_query_;  // OPQ space
   std::vector<float> adc_table_;
+  // The table the estimate paths read: adc_table_ after BeginQuery, a row
+  // of group_tables_ after SelectQuery. The rotated query is consumed
+  // immediately by ComputeAdcTable, so group members share rotated_query_
+  // as scratch instead of keeping per-member copies.
+  const float* active_adc_table_ = nullptr;
+  std::vector<float> group_tables_;  // group x adc_table_size
   // Lazily built (content fingerprint is O(n)); computers are per-thread.
   mutable std::string code_tag_;
 };

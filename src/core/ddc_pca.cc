@@ -76,10 +76,27 @@ DdcPcaComputer::DdcPcaComputer(const linalg::PcaModel* pca,
   RESINFER_CHECK(!artifacts->stage_dims.empty());
   RESINFER_CHECK(artifacts->stage_dims.back() < pca->dim());
   rotated_query_.resize(pca->dim());
+  active_rotated_query_ = rotated_query_.data();
 }
 
 void DdcPcaComputer::BeginQuery(const float* query) {
   pca_->Transform(query, rotated_query_.data());
+  active_rotated_query_ = rotated_query_.data();
+}
+
+void DdcPcaComputer::SetQueryBatch(const float* queries, int count,
+                                   int64_t stride) {
+  index::DistanceComputer::SetQueryBatch(queries, count, stride);
+  const int64_t d = pca_->dim();
+  group_rotated_.resize(static_cast<std::size_t>(count * d));
+  for (int g = 0; g < count; ++g) {
+    pca_->Transform(GroupQuery(g), group_rotated_.data() + g * d);
+  }
+}
+
+void DdcPcaComputer::SelectQuery(int g) {
+  RESINFER_DCHECK(g >= 0 && g < group_count_);
+  active_rotated_query_ = group_rotated_.data() + g * pca_->dim();
 }
 
 index::EstimateResult DdcPcaComputer::EstimateWithThreshold(int64_t id,
@@ -87,7 +104,7 @@ index::EstimateResult DdcPcaComputer::EstimateWithThreshold(int64_t id,
   ++stats_.candidates;
   const int64_t d0 = artifacts_->stage_dims[0];
   const float* x = rotated_base_->Row(id);
-  const float partial = simd::L2Sqr(x, rotated_query_.data(),
+  const float partial = simd::L2Sqr(x, active_rotated_query_,
                                     static_cast<std::size_t>(d0));
   stats_.dims_scanned += d0;
   return ContinueFromFirstStage(x, tau, partial);
@@ -97,7 +114,7 @@ index::EstimateResult DdcPcaComputer::ContinueFromFirstStage(const float* x,
                                                              float tau,
                                                              float partial) {
   const int64_t full_dim = pca_->dim();
-  const float* q = rotated_query_.data();
+  const float* q = active_rotated_query_;
   const bool tau_finite = std::isfinite(tau);
 
   int64_t d = artifacts_->stage_dims[0];
@@ -125,7 +142,7 @@ void DdcPcaComputer::EstimateBatch(const int64_t* ids, int count, float tau,
   // kernel call with next-block prefetch; survivors continue through the
   // cascade one at a time, exactly as the sequential path would.
   const int64_t d0 = artifacts_->stage_dims[0];
-  const float* q = rotated_query_.data();
+  const float* q = active_rotated_query_;
   index::ScanBatch4(
       [this, ids](int pos) { return rotated_base_->Row(ids[pos]); },
       [q, d0](const float* const* rows, float* partial) {
@@ -173,7 +190,7 @@ void DdcPcaComputer::EstimateBatchCodes(const uint8_t* codes,
   const int64_t d0 = artifacts_->stage_dims[0];
   const int64_t stride = quant::CodeRecordStride(
       pca_->dim() * static_cast<int64_t>(sizeof(float)), 0);
-  const float* q = rotated_query_.data();
+  const float* q = active_rotated_query_;
   const auto row = [codes, stride](int pos) {
     return reinterpret_cast<const float*>(codes + pos * stride);
   };
@@ -199,13 +216,13 @@ void DdcPcaComputer::EstimateBatchCodes(const uint8_t* codes,
 }
 
 float DdcPcaComputer::ExactDistance(int64_t id) {
-  return simd::L2Sqr(rotated_base_->Row(id), rotated_query_.data(),
+  return simd::L2Sqr(rotated_base_->Row(id), active_rotated_query_,
                      static_cast<std::size_t>(pca_->dim()));
 }
 
 float DdcPcaComputer::ApproximateDistance(int64_t id, int64_t d) const {
   d = std::clamp<int64_t>(d, 0, pca_->dim());
-  return simd::L2Sqr(rotated_base_->Row(id), rotated_query_.data(),
+  return simd::L2Sqr(rotated_base_->Row(id), active_rotated_query_,
                      static_cast<std::size_t>(d));
 }
 

@@ -73,6 +73,11 @@ class DdcPcaComputer : public index::DistanceComputer {
   void EstimateBatchCodes(const uint8_t* codes, const int64_t* ids,
                           int count, float tau,
                           index::EstimateResult* out) override;
+  // Group form: every member's PCA-rotated query built once per
+  // SetQueryBatch; SelectQuery swaps a pointer.
+  void SetQueryBatch(const float* queries, int count,
+                     int64_t stride) override;
+  void SelectQuery(int g) override;
   float ExactDistance(int64_t id) override;
 
   // Plain projected distance ||x_d - q_d||^2 (Table III accuracy bench).
@@ -94,6 +99,10 @@ class DdcPcaComputer : public index::DistanceComputer {
   const DdcPcaArtifacts* artifacts_;
 
   std::vector<float> rotated_query_;
+  // The rotated query the estimate paths read: rotated_query_ after
+  // BeginQuery, a row of group_rotated_ after SelectQuery.
+  const float* active_rotated_query_ = nullptr;
+  std::vector<float> group_rotated_;  // group x dim
   // Lazily built (content fingerprint is O(n)); computers are per-thread.
   mutable std::string code_tag_;
 };

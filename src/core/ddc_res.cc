@@ -37,17 +37,50 @@ DdcResComputer::DdcResComputer(const linalg::PcaModel* pca,
     if (!options_.incremental) break;  // Algorithm 1: single test
   }
   stage_bounds_.resize(stage_dims_.size());
+  active_rotated_query_ = rotated_query_.data();
+  active_stage_bounds_ = stage_bounds_.data();
+}
+
+void DdcResComputer::BuildQueryState(const float* query, float* rotated,
+                                     float* bounds, float* norm_sqr) {
+  pca_->Transform(query, rotated);
+  *norm_sqr =
+      simd::Norm2Sqr(rotated, static_cast<std::size_t>(pca_->dim()));
+  error_model_.BeginQuery(rotated);
+  // Hoist the per-stage sigma square roots out of the candidate loop.
+  for (std::size_t s = 0; s < stage_dims_.size(); ++s) {
+    bounds[s] = multiplier_ * error_model_.Sigma(stage_dims_[s]);
+  }
 }
 
 void DdcResComputer::BeginQuery(const float* query) {
-  pca_->Transform(query, rotated_query_.data());
-  query_norm_sqr_ = simd::Norm2Sqr(rotated_query_.data(),
-                                   static_cast<std::size_t>(pca_->dim()));
-  error_model_.BeginQuery(rotated_query_.data());
-  // Hoist the per-stage sigma square roots out of the candidate loop.
-  for (std::size_t s = 0; s < stage_dims_.size(); ++s) {
-    stage_bounds_[s] = multiplier_ * error_model_.Sigma(stage_dims_[s]);
+  BuildQueryState(query, rotated_query_.data(), stage_bounds_.data(),
+                  &query_norm_sqr_);
+  active_rotated_query_ = rotated_query_.data();
+  active_stage_bounds_ = stage_bounds_.data();
+}
+
+void DdcResComputer::SetQueryBatch(const float* queries, int count,
+                                   int64_t stride) {
+  index::DistanceComputer::SetQueryBatch(queries, count, stride);
+  const int64_t d = pca_->dim();
+  const int64_t num_stages = static_cast<int64_t>(stage_dims_.size());
+  group_rotated_.resize(static_cast<std::size_t>(count * d));
+  group_bounds_.resize(static_cast<std::size_t>(count * num_stages));
+  group_norms_.resize(static_cast<std::size_t>(count));
+  for (int g = 0; g < count; ++g) {
+    BuildQueryState(GroupQuery(g), group_rotated_.data() + g * d,
+                    group_bounds_.data() + g * num_stages,
+                    &group_norms_[static_cast<std::size_t>(g)]);
   }
+}
+
+void DdcResComputer::SelectQuery(int g) {
+  RESINFER_DCHECK(g >= 0 && g < group_count_);
+  active_rotated_query_ = group_rotated_.data() + g * pca_->dim();
+  active_stage_bounds_ =
+      group_bounds_.data() + g * static_cast<int64_t>(stage_dims_.size());
+  query_norm_sqr_ = group_norms_[static_cast<std::size_t>(g)];
 }
 
 index::EstimateResult DdcResComputer::EstimateWithThreshold(int64_t id,
@@ -57,7 +90,7 @@ index::EstimateResult DdcResComputer::EstimateWithThreshold(int64_t id,
     // init_dim >= D leaves no test stage: straight to exact.
     const float c1 = norms_sqr_[id] + query_norm_sqr_;
     const float c2 = 2.0f * simd::InnerProduct(
-                                rotated_base_->Row(id), rotated_query_.data(),
+                                rotated_base_->Row(id), active_rotated_query_,
                                 static_cast<std::size_t>(pca_->dim()));
     stats_.dims_scanned += pca_->dim();
     ++stats_.exact_computations;
@@ -65,7 +98,7 @@ index::EstimateResult DdcResComputer::EstimateWithThreshold(int64_t id,
   }
   const int64_t d0 = stage_dims_[0];
   const float* x = rotated_base_->Row(id);
-  const float c2 = 2.0f * simd::InnerProduct(x, rotated_query_.data(),
+  const float c2 = 2.0f * simd::InnerProduct(x, active_rotated_query_,
                                              static_cast<std::size_t>(d0));
   stats_.dims_scanned += d0;
   return ContinueFromFirstStage(x, norms_sqr_[id] + query_norm_sqr_, tau,
@@ -77,11 +110,11 @@ index::EstimateResult DdcResComputer::ContinueFromFirstStage(const float* x,
                                                              float tau,
                                                              float c2) {
   const int64_t full_dim = pca_->dim();
-  const float* q = rotated_query_.data();
+  const float* q = active_rotated_query_;
 
   int64_t d = stage_dims_[0];
   for (std::size_t stage = 0;;) {
-    if (c1 - c2 - stage_bounds_[stage] > tau) {
+    if (c1 - c2 - active_stage_bounds_[stage] > tau) {
       ++stats_.pruned;
       return {true, std::max(0.0f, c1 - c2)};
     }
@@ -111,7 +144,7 @@ void DdcResComputer::EstimateBatch(const int64_t* ids, int count, float tau,
   // next-group prefetch; survivors continue through the cascade exactly as
   // the sequential path would.
   const int64_t d0 = stage_dims_[0];
-  const float* q = rotated_query_.data();
+  const float* q = active_rotated_query_;
   index::ScanBatch4(
       [this, ids](int pos) { return rotated_base_->Row(ids[pos]); },
       [q, d0](const float* const* rows, float* ip) {
@@ -170,7 +203,7 @@ void DdcResComputer::EstimateBatchCodes(const uint8_t* codes,
   const int64_t code_size =
       pca_->dim() * static_cast<int64_t>(sizeof(float));
   const int64_t stride = quant::CodeRecordStride(code_size, 1);
-  const float* q = rotated_query_.data();
+  const float* q = active_rotated_query_;
   const auto row = [codes, stride](int pos) {
     return reinterpret_cast<const float*>(codes + pos * stride);
   };
@@ -202,7 +235,7 @@ void DdcResComputer::EstimateBatchCodes(const uint8_t* codes,
 
 float DdcResComputer::ExactDistance(int64_t id) {
   const float* x = rotated_base_->Row(id);
-  return simd::L2Sqr(x, rotated_query_.data(),
+  return simd::L2Sqr(x, active_rotated_query_,
                      static_cast<std::size_t>(pca_->dim()));
 }
 
@@ -211,7 +244,7 @@ float DdcResComputer::ApproximateDistance(int64_t id, int64_t d) const {
   const float* x = rotated_base_->Row(id);
   const float c1 = norms_sqr_[id] + query_norm_sqr_;
   const float c2 =
-      2.0f * simd::InnerProduct(x, rotated_query_.data(),
+      2.0f * simd::InnerProduct(x, active_rotated_query_,
                                 static_cast<std::size_t>(d));
   return std::max(0.0f, c1 - c2);
 }

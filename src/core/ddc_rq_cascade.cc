@@ -129,6 +129,7 @@ DdcRqCascadeComputer::DdcRqCascadeComputer(
   RESINFER_CHECK(artifacts->rq.dim() == base->cols());
   RESINFER_CHECK(artifacts->correctors.size() == artifacts->levels.size());
   ip_table_.resize(static_cast<std::size_t>(artifacts->rq.ip_table_size()));
+  active_ip_table_ = ip_table_.data();
 }
 
 void DdcRqCascadeComputer::BeginQuery(const float* query) {
@@ -136,6 +137,29 @@ void DdcRqCascadeComputer::BeginQuery(const float* query) {
   artifacts_->rq.ComputeIpTable(query, ip_table_.data());
   query_norm_sqr_ =
       simd::Norm2Sqr(query, static_cast<std::size_t>(base_->cols()));
+  active_ip_table_ = ip_table_.data();
+}
+
+void DdcRqCascadeComputer::SetQueryBatch(const float* queries, int count,
+                                         int64_t stride) {
+  index::DistanceComputer::SetQueryBatch(queries, count, stride);
+  const int64_t table_size = artifacts_->rq.ip_table_size();
+  group_tables_.resize(static_cast<std::size_t>(count * table_size));
+  group_norms_.resize(static_cast<std::size_t>(count));
+  for (int g = 0; g < count; ++g) {
+    const float* q = GroupQuery(g);
+    artifacts_->rq.ComputeIpTable(q, group_tables_.data() + g * table_size);
+    group_norms_[static_cast<std::size_t>(g)] =
+        simd::Norm2Sqr(q, static_cast<std::size_t>(base_->cols()));
+  }
+}
+
+void DdcRqCascadeComputer::SelectQuery(int g) {
+  RESINFER_DCHECK(g >= 0 && g < group_count_);
+  query_ = GroupQuery(g);
+  active_ip_table_ =
+      group_tables_.data() + g * artifacts_->rq.ip_table_size();
+  query_norm_sqr_ = group_norms_[static_cast<std::size_t>(g)];
 }
 
 index::EstimateResult DdcRqCascadeComputer::EstimateWithThreshold(
@@ -151,7 +175,7 @@ index::EstimateResult DdcRqCascadeComputer::EstimateWithThreshold(
     for (int64_t l = 0; l < num_levels; ++l) {
       const int stages = artifacts_->levels[static_cast<std::size_t>(l)];
       for (; stage < stages; ++stage) {
-        ip += ip_table_[static_cast<std::size_t>(
+        ip += active_ip_table_[static_cast<std::size_t>(
             static_cast<int64_t>(stage) * rq.num_centroids() +
             code[stage])];
         ++stage_lookups_;
@@ -238,7 +262,7 @@ void DdcRqCascadeComputer::EstimateBatchCodes(const uint8_t* codes,
       for (int64_t l = 0; l < num_levels && !pruned; ++l) {
         const int stages = artifacts_->levels[static_cast<std::size_t>(l)];
         for (; stage < stages; ++stage) {
-          ip += ip_table_[static_cast<std::size_t>(
+          ip += active_ip_table_[static_cast<std::size_t>(
               static_cast<int64_t>(stage) * rq.num_centroids() +
               rec[stage])];
           ++stage_lookups_;
@@ -275,7 +299,7 @@ float DdcRqCascadeComputer::ApproximateDistance(int64_t id,
                   level < static_cast<int>(artifacts_->levels.size()));
   const auto num_levels = static_cast<int64_t>(artifacts_->levels.size());
   return TruncatedAdc(
-      artifacts_->rq, ip_table_.data(), query_norm_sqr_,
+      artifacts_->rq, active_ip_table_, query_norm_sqr_,
       artifacts_->codes.data() + id * artifacts_->rq.code_size(),
       artifacts_->levels[static_cast<std::size_t>(level)],
       artifacts_->level_norms[static_cast<std::size_t>(id * num_levels +

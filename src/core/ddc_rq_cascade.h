@@ -86,6 +86,11 @@ class DdcRqCascadeComputer : public index::DistanceComputer {
   void EstimateBatchCodes(const uint8_t* codes, const int64_t* ids,
                           int count, float tau,
                           index::EstimateResult* out) override;
+  // Group form: per-member IP tables and query norms built once per
+  // SetQueryBatch; SelectQuery swaps pointers.
+  void SetQueryBatch(const float* queries, int count,
+                     int64_t stride) override;
+  void SelectQuery(int g) override;
   float ExactDistance(int64_t id) override;
 
   // ADC distance truncated to `level` (diagnostics / tests).
@@ -102,6 +107,11 @@ class DdcRqCascadeComputer : public index::DistanceComputer {
   const float* query_ = nullptr;
   std::vector<float> ip_table_;
   float query_norm_sqr_ = 0.0f;
+  // The table the cascade reads: ip_table_ after BeginQuery, a row of
+  // group_tables_ after SelectQuery.
+  const float* active_ip_table_ = nullptr;
+  std::vector<float> group_tables_;  // group x ip_table_size
+  std::vector<float> group_norms_;   // ||q||^2 per member
   int64_t stage_lookups_ = 0;
   // Lazily built (content fingerprint is O(n)); computers are per-thread.
   mutable std::string code_tag_;

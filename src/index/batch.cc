@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <numeric>
 #include <thread>
+#include <utility>
 
+#include "quant/kmeans.h"
 #include "util/macros.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -28,17 +31,37 @@ double BatchResult::MinUtilization() const {
 BatchResult RunBatch(const ComputerFactory& factory,
                      const linalg::Matrix& queries, const SearchFn& search,
                      const BatchOptions& options) {
+  RESINFER_CHECK(search != nullptr);
+  BatchOptions per_query = options;
+  per_query.group_size = 1;  // groups of one keep per-query latency exact
+  return RunBatchGrouped(
+      factory, queries,
+      [&search](DistanceComputer& computer, const linalg::Matrix& qs,
+                int64_t begin, int64_t count, std::vector<Neighbor>* results) {
+        for (int64_t i = 0; i < count; ++i) {
+          results[i] = search(computer, qs.Row(begin + i));
+        }
+      },
+      per_query);
+}
+
+BatchResult RunBatchGrouped(const ComputerFactory& factory,
+                            const linalg::Matrix& queries,
+                            const GroupSearchFn& search,
+                            const BatchOptions& options) {
   RESINFER_CHECK(factory != nullptr && search != nullptr);
   const int64_t num_queries = queries.rows();
+  const int64_t group_size = std::max(1, options.group_size);
 
   BatchResult batch;
   batch.results.resize(static_cast<std::size_t>(num_queries));
   if (num_queries == 0) return batch;
+  const int64_t num_groups = (num_queries + group_size - 1) / group_size;
 
   int threads = options.num_threads > 0 ? options.num_threads
                                         : DefaultThreadCount();
   threads = static_cast<int>(
-      std::clamp<int64_t>(threads, 1, num_queries));
+      std::clamp<int64_t>(threads, 1, num_groups));
 
   struct WorkerState {
     std::unique_ptr<DistanceComputer> computer;
@@ -58,13 +81,19 @@ BatchResult RunBatch(const ComputerFactory& factory,
     WorkerState& state = workers[static_cast<std::size_t>(worker_index)];
     WallTimer timer;
     while (true) {
-      const int64_t q = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (q >= num_queries) break;
+      const int64_t group = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (group >= num_groups) break;
+      const int64_t begin = group * group_size;
+      const int64_t count = std::min(group_size, num_queries - begin);
       timer.Reset();
-      batch.results[static_cast<std::size_t>(q)] =
-          search(*state.computer, queries.Row(q));
+      search(*state.computer, queries, begin, count,
+             batch.results.data() + begin);
       const double elapsed = timer.ElapsedSeconds();
-      state.latency.Add(elapsed);
+      // Attribute the group's wall time evenly so the histogram still
+      // covers every query (exact when group_size == 1).
+      for (int64_t i = 0; i < count; ++i) {
+        state.latency.Add(elapsed / static_cast<double>(count));
+      }
       state.busy_seconds += elapsed;
     }
   };
@@ -85,11 +114,7 @@ BatchResult RunBatch(const ComputerFactory& factory,
   for (const auto& w : workers) {
     batch.worker_busy_seconds.push_back(w.busy_seconds);
     batch.latency_seconds.Merge(w.latency);
-    const ComputerStats& s = w.computer->stats();
-    batch.stats.candidates += s.candidates;
-    batch.stats.pruned += s.pruned;
-    batch.stats.dims_scanned += s.dims_scanned;
-    batch.stats.exact_computations += s.exact_computations;
+    batch.stats += w.computer->stats();
   }
   return batch;
 }
@@ -110,12 +135,79 @@ BatchResult BatchSearchIvf(const IvfIndex& index,
                            const ComputerFactory& factory,
                            const linalg::Matrix& queries, int k, int nprobe,
                            const BatchOptions& options) {
-  return RunBatch(
-      factory, queries,
-      [&index, k, nprobe](DistanceComputer& computer, const float* query) {
-        return index.Search(computer, query, k, nprobe);
-      },
-      options);
+  if (options.group_size <= 1 || queries.rows() <= 1) {
+    return RunBatch(
+        factory, queries,
+        [&index, k, nprobe](DistanceComputer& computer, const float* query) {
+          return index.Search(computer, query, k, nprobe);
+        },
+        options);
+  }
+
+  // Multi-query path. Rank every query's probe centroids once (the same
+  // NearestCentroids call Search would make), order queries
+  // lexicographically by probe list so group members co-probe — same lead
+  // bucket first, then agreeing tails — and hand the precomputed lists to
+  // SearchBatchRange so the ranking isn't paid twice. The sort is stable,
+  // so equal probe lists keep the caller's order.
+  WallTimer wall;  // includes grouping prep, unlike the pool-only timer
+  const int64_t num_queries = queries.rows();
+  const int nprobe_used = std::clamp(nprobe, 1, index.num_clusters());
+  std::vector<int32_t> probes(
+      static_cast<std::size_t>(num_queries * nprobe_used));
+  quant::NearestCentroidsBatch(index.centroids(), queries, 0, num_queries,
+                               nprobe_used, probes.data());
+  const auto run = [&](const linalg::Matrix& qs,
+                       const std::vector<int32_t>& probe_rows) {
+    return RunBatchGrouped(
+        factory, qs,
+        [&index, &probe_rows, k, nprobe, nprobe_used](
+            DistanceComputer& computer, const linalg::Matrix& rows,
+            int64_t begin, int64_t count, std::vector<Neighbor>* results) {
+          index.SearchBatchRange(computer, rows, begin, count, k, nprobe,
+                                 results,
+                                 probe_rows.data() + begin * nprobe_used);
+        },
+        options);
+  };
+
+  BatchResult batch;
+  if (!options.sort_queries_by_centroid) {
+    // Caller-ordered groups: no permutation, no copies.
+    batch = run(queries, probes);
+  } else {
+    std::vector<int64_t> order(static_cast<std::size_t>(num_queries));
+    std::iota(order.begin(), order.end(), int64_t{0});
+    std::stable_sort(
+        order.begin(), order.end(),
+        [&probes, nprobe_used](int64_t a, int64_t b) {
+          const int32_t* pa = probes.data() + a * nprobe_used;
+          const int32_t* pb = probes.data() + b * nprobe_used;
+          return std::lexicographical_compare(pa, pa + nprobe_used, pb,
+                                              pb + nprobe_used);
+        });
+    linalg::Matrix grouped(num_queries, queries.cols());
+    std::vector<int32_t> grouped_probes(probes.size());
+    for (int64_t i = 0; i < num_queries; ++i) {
+      const int64_t q = order[static_cast<std::size_t>(i)];
+      const float* src = queries.Row(q);
+      std::copy(src, src + queries.cols(), grouped.Row(i));
+      std::copy(probes.begin() + q * nprobe_used,
+                probes.begin() + (q + 1) * nprobe_used,
+                grouped_probes.begin() + i * nprobe_used);
+    }
+    batch = run(grouped, grouped_probes);
+    // Report rows in the caller's query order.
+    std::vector<std::vector<Neighbor>> rows(
+        static_cast<std::size_t>(num_queries));
+    for (int64_t i = 0; i < num_queries; ++i) {
+      rows[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+          std::move(batch.results[static_cast<std::size_t>(i)]);
+    }
+    batch.results = std::move(rows);
+  }
+  batch.wall_seconds = wall.ElapsedSeconds();
+  return batch;
 }
 
 BatchResult BatchSearchHnsw(const HnswIndex& index,

@@ -29,6 +29,18 @@ namespace resinfer::index {
 struct BatchOptions {
   // 0 = DefaultThreadCount().
   int num_threads = 0;
+  // Queries per work unit. 1 (the default) is the classic per-query path;
+  // > 1 makes workers pull groups of queries so a group-aware search can
+  // share per-query setup and bucket streams across them (BatchSearchIvf
+  // routes groups through IvfIndex::SearchBatchRange, which chunks them
+  // into co-scanned sub-groups of at most kMaxQueryGroup). Results are
+  // identical either way; only throughput changes.
+  int group_size = 1;
+  // With group_size > 1, BatchSearchIvf first orders queries by nearest
+  // centroid so adjacent group members co-probe (results are still
+  // reported in the caller's query order). Disable to group by the given
+  // query order instead, e.g. when the stream is already locality-sorted.
+  bool sort_queries_by_centroid = true;
 };
 
 struct BatchResult {
@@ -66,15 +78,37 @@ using ComputerFactory = std::function<std::unique_ptr<DistanceComputer>()>;
 using SearchFn = std::function<std::vector<Neighbor>(
     DistanceComputer& computer, const float* query)>;
 
+// One search over a group of queries: rows [begin, begin + count) of
+// `queries`, writing the answer for row begin + i to results[i]. The
+// callee may share work across the group (shared ADC tables, query-major
+// bucket scans) but results[i] must equal a per-query search's answer.
+using GroupSearchFn = std::function<void(
+    DistanceComputer& computer, const linalg::Matrix& queries, int64_t begin,
+    int64_t count, std::vector<Neighbor>* results)>;
+
 BatchResult RunBatch(const ComputerFactory& factory,
                      const linalg::Matrix& queries, const SearchFn& search,
                      const BatchOptions& options = BatchOptions());
+
+// Grouped variant: workers pull options.group_size queries at a time and
+// hand each group to `search` in one call. Per-query latency is recorded
+// as the group's wall time divided by its size (an attribution, not a
+// measurement, once group_size > 1); utilization reporting is unchanged.
+BatchResult RunBatchGrouped(const ComputerFactory& factory,
+                            const linalg::Matrix& queries,
+                            const GroupSearchFn& search,
+                            const BatchOptions& options = BatchOptions());
 
 BatchResult BatchSearchFlat(const FlatIndex& index,
                             const ComputerFactory& factory,
                             const linalg::Matrix& queries, int k,
                             const BatchOptions& options = BatchOptions());
 
+// With options.group_size > 1 this is the multi-query serving path:
+// queries are ordered by nearest centroid (co-probing queries end up in
+// the same group), workers pull groups, and each group is searched
+// query-major through IvfIndex::SearchBatchRange. results[q] still answers
+// query q, bit-identically to the per-query path.
 BatchResult BatchSearchIvf(const IvfIndex& index,
                            const ComputerFactory& factory,
                            const linalg::Matrix& queries, int k, int nprobe,

@@ -45,6 +45,7 @@
 #include <string>
 
 #include "quant/code_store.h"
+#include "util/macros.h"
 
 namespace resinfer::index {
 
@@ -63,6 +64,18 @@ struct ComputerStats {
 
   void Reset() { *this = ComputerStats(); }
 
+  // The only sanctioned way to merge counters (batch workers, bench
+  // aggregation). Any counter added to this struct must be summed here —
+  // field-by-field merging at call sites silently drops new fields, which
+  // is exactly the bug this operator replaces.
+  ComputerStats& operator+=(const ComputerStats& other) {
+    candidates += other.candidates;
+    pruned += other.pruned;
+    dims_scanned += other.dims_scanned;
+    exact_computations += other.exact_computations;
+    return *this;
+  }
+
   double PrunedRate() const {
     return candidates > 0 ? static_cast<double>(pruned) / candidates : 0.0;
   }
@@ -74,6 +87,16 @@ struct ComputerStats {
                : 0.0;
   }
 };
+
+// Upper bound on the query-group sizes the library's computers support:
+// the tiled scan paths keep per-member scratch (taus, per-member results,
+// ADC table pointers) on the stack, sized by this. Multi-query entry points
+// (IvfIndex::SearchBatch) chunk larger batches into groups of at most this
+// many queries. 32 keeps the largest per-group scratch (32 queries x
+// 32-candidate block of EstimateResults) at 8KB while giving co-probing
+// queries enough company that popular buckets are streamed once for many
+// members.
+inline constexpr int kMaxQueryGroup = 32;
 
 class DistanceComputer {
  public:
@@ -132,6 +155,58 @@ class DistanceComputer {
     EstimateBatch(ids, count, tau, out);
   }
 
+  // --- Query-group serving (the multi-query batched path) -----------------
+  //
+  // IvfIndex::SearchBatch scans buckets query-major: a group of co-probing
+  // queries shares each probed bucket's stream, so the computer must switch
+  // between the group's queries cheaply. SetQueryBatch declares the group
+  // (member g starts at queries + g * stride floats, count <=
+  // kMaxQueryGroup); SelectQuery(g) makes member g current — equivalent to
+  // BeginQuery(queries + g * stride) — after which every per-query entry
+  // point above serves that member. The base implementation literally calls
+  // BeginQuery on each switch, which is correct for any computer; the DDC
+  // computers override the pair to build all per-query state (ADC tables,
+  // rotated queries, cascade bounds) once in SetQueryBatch and make
+  // SelectQuery a pointer swap. Calling BeginQuery directly afterwards
+  // reverts to plain single-query operation.
+  virtual void SetQueryBatch(const float* queries, int count, int64_t stride);
+  virtual void SelectQuery(int g);
+
+  // Scores one candidate block for several group members in one call.
+  // Equivalent to — and bit-identical with, ComputerStats included —
+  //
+  //   for (int j = 0; j < num_members; ++j) {
+  //     SelectQuery(members[j]);
+  //     EstimateBatch(ids, count, taus[j], out + j * count);
+  //   }
+  //
+  // leaving the last listed member selected. `members` indexes into the
+  // current query batch; `taus[j]` is member j's threshold. Overrides keep
+  // that per-member contract but share the candidate loads across members
+  // (the tiled kernels in simd/).
+  virtual void EstimateBatchGroup(const int64_t* ids, int count,
+                                  const int* members, int num_members,
+                                  const float* taus, EstimateResult* out);
+
+  // Code-resident counterpart: the equivalent loop calls
+  // EstimateBatchCodes(codes, ids, count, taus[j], out + j * count).
+  virtual void EstimateBatchCodesGroup(const uint8_t* codes,
+                                       const int64_t* ids, int count,
+                                       const int* members, int num_members,
+                                       const float* taus,
+                                       EstimateResult* out);
+
+  // Scan-order hint for query-major bucket scans. True asks the index to
+  // score each small candidate block for all members in one
+  // EstimateBatch*Group call (profitable when per-query state is tiny —
+  // the exact computer's query row — so the tiled kernels reuse candidate
+  // loads from L1). False (the default) asks for member-major runs: one
+  // member scans the whole bucket before the next, so a large per-query
+  // table (PQ/RQ/OPQ ADC, ~tens of KB) stays cache-resident for a whole
+  // run instead of being cycled through the cache on every block. Either
+  // order is bit-identical per member; only memory behavior differs.
+  virtual bool group_scan_tiles_blocks() const { return false; }
+
   // Exact distance to point `id` for the current query.
   virtual float ExactDistance(int64_t id) = 0;
 
@@ -149,7 +224,18 @@ class DistanceComputer {
   virtual const ComputerStats& stats() const { return stats_; }
 
  protected:
+  const float* GroupQuery(int g) const {
+    RESINFER_DCHECK(group_queries_ != nullptr && g >= 0 &&
+                    g < group_count_);
+    return group_queries_ + static_cast<int64_t>(g) * group_stride_;
+  }
+
   ComputerStats stats_;
+  // Group pointers stashed by the base SetQueryBatch (overrides call the
+  // base first, then build their per-member state).
+  const float* group_queries_ = nullptr;
+  int group_count_ = 0;
+  int64_t group_stride_ = 0;
 };
 
 inline constexpr float kInfDistance = std::numeric_limits<float>::infinity();
@@ -168,6 +254,14 @@ class FlatDistanceComputer : public DistanceComputer {
   EstimateResult EstimateWithThreshold(int64_t id, float tau) override;
   void EstimateBatch(const int64_t* ids, int count, float tau,
                      EstimateResult* out) override;
+  // Tiled: the four gathered candidate rows are scored for every group
+  // member via simd::L2SqrTile while they are hot in L1.
+  void EstimateBatchGroup(const int64_t* ids, int count, const int* members,
+                          int num_members, const float* taus,
+                          EstimateResult* out) override;
+  // Per-query state is a single pointer, so block-level member tiling is
+  // pure win (shared candidate loads, nothing to thrash).
+  bool group_scan_tiles_blocks() const override { return true; }
   float ExactDistance(int64_t id) override;
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <string>
 #include <utility>
 
 #include "util/macros.h"
@@ -14,6 +15,19 @@ namespace {
 // virtual dispatch and keep the batched kernels fed, small enough that the
 // block's ids and results stay in L1.
 constexpr int kScanBlock = 32;
+
+// (distance, id) max-heap: the running top-k during a scan.
+using HeapEntry = std::pair<float, int64_t>;
+using ResultHeap = std::priority_queue<HeapEntry>;
+
+std::vector<Neighbor> DrainHeap(ResultHeap& heap) {
+  std::vector<Neighbor> out(heap.size());
+  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
+    out[i] = {heap.top().second, heap.top().first};
+    heap.pop();
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -130,14 +144,14 @@ bool IvfIndex::AttachCodesFrom(const DistanceComputer& computer) {
 std::vector<Neighbor> IvfIndex::Search(DistanceComputer& computer,
                                        const float* query, int k,
                                        int nprobe) const {
-  RESINFER_CHECK(k > 0);
+  if (k <= 0) return {};  // nothing asked for; clamp instead of aborting
+  nprobe = std::clamp(nprobe, 1, num_clusters());
   computer.BeginQuery(query);
 
   std::vector<int32_t> probe =
       quant::NearestCentroids(centroids_, query, nprobe);
 
-  using Entry = std::pair<float, int64_t>;  // max-heap by distance
-  std::priority_queue<Entry> heap;
+  ResultHeap heap;
   EstimateResult est[kScanBlock];
 
   // Route through the code-resident stream only when the attached store
@@ -187,12 +201,182 @@ std::vector<Neighbor> IvfIndex::Search(DistanceComputer& computer,
     }
   }
 
-  std::vector<Neighbor> out(heap.size());
-  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
-    out[i] = {heap.top().second, heap.top().first};
-    heap.pop();
+  return DrainHeap(heap);
+}
+
+void IvfIndex::SearchBatchRange(DistanceComputer& computer,
+                                const linalg::Matrix& queries, int64_t begin,
+                                int64_t count, int k, int nprobe,
+                                std::vector<Neighbor>* results,
+                                const int32_t* probe_lists) const {
+  RESINFER_CHECK(begin >= 0 && count >= 0 &&
+                 begin + count <= queries.rows());
+  RESINFER_CHECK(queries.cols() == computer.dim());
+  if (count == 0) return;
+  if (k <= 0) {  // same clamp as Search
+    for (int64_t i = 0; i < count; ++i) results[i].clear();
+    return;
   }
-  return out;
+  nprobe = std::clamp(nprobe, 1, num_clusters());
+
+  // Route through the code-resident stream under the same tag match as
+  // Search; resolved once for the whole batch.
+  const std::string computer_tag =
+      has_codes() ? computer.code_tag() : std::string();
+  const bool code_resident =
+      !computer_tag.empty() && codes_.tag() == computer_tag;
+  const int64_t code_stride = code_resident ? codes_.stride() : 0;
+  const bool tile_blocks = computer.group_scan_tiles_blocks();
+
+  for (int64_t start = 0; start < count; start += kMaxQueryGroup) {
+    const int group = static_cast<int>(
+        std::min<int64_t>(kMaxQueryGroup, count - start));
+    const int64_t row0 = begin + start;
+    computer.SetQueryBatch(queries.Row(row0), group, queries.cols());
+
+    std::vector<int32_t> probe_storage;
+    const int32_t* probes[kMaxQueryGroup];
+    if (probe_lists == nullptr) {
+      // Rank the group's centroids in one tiled pass (bit-identical to
+      // per-query NearestCentroids, each centroid row streamed once).
+      probe_storage.resize(static_cast<std::size_t>(group) * nprobe);
+      quant::NearestCentroidsBatch(centroids_, queries, row0, group, nprobe,
+                                   probe_storage.data());
+    }
+    for (int g = 0; g < group; ++g) {
+      probes[g] = probe_lists != nullptr
+                      ? probe_lists + (start + g) * nprobe
+                      : probe_storage.data() + static_cast<int64_t>(g) * nprobe;
+    }
+
+    ResultHeap heaps[kMaxQueryGroup];
+    EstimateResult est[kMaxQueryGroup * kScanBlock];
+    float taus[kMaxQueryGroup];
+    int members[kMaxQueryGroup];
+    int cursor[kMaxQueryGroup] = {0};
+
+    // Co-probe scheduling: each member consumes its probe list strictly in
+    // rank order (that plus the per-block tau refresh is what makes every
+    // member bit-identical to its sequential Search), but members need not
+    // advance in lock step. Every round picks the bucket the most members
+    // want next, scans it once, and advances exactly those members — so
+    // probe lists that agree on buckets at different ranks still converge
+    // onto shared streams.
+    while (true) {
+      int best_count = 0;
+      int32_t best_bucket = -1;
+      for (int g = 0; g < group; ++g) {
+        if (cursor[g] >= nprobe) continue;
+        const int32_t bucket = probes[g][cursor[g]];
+        if (bucket == best_bucket) continue;  // counted when first seen
+        int cnt = 0;
+        for (int h = g; h < group; ++h) {
+          if (cursor[h] < nprobe && probes[h][cursor[h]] == bucket) ++cnt;
+        }
+        if (cnt > best_count) {
+          best_count = cnt;
+          best_bucket = bucket;
+        }
+      }
+      if (best_count == 0) break;  // every member exhausted its probes
+
+      int num_members = 0;
+      for (int g = 0; g < group; ++g) {
+        if (cursor[g] < nprobe && probes[g][cursor[g]] == best_bucket) {
+          members[num_members++] = g;
+          ++cursor[g];
+        }
+      }
+
+      const int64_t* bucket_ids = BucketIds(best_bucket);
+      const int64_t len = BucketSize(best_bucket);
+      const uint8_t* bucket_codes =
+          code_resident ? BucketCodes(best_bucket) : nullptr;
+      const auto push = [k](ResultHeap& heap, const EstimateResult* vals,
+                            const int64_t* ids, int block) {
+        for (int c = 0; c < block; ++c) {
+          if (vals[c].pruned) continue;
+          if (static_cast<int>(heap.size()) < k) {
+            heap.emplace(vals[c].distance, ids[c]);
+          } else if (vals[c].distance < heap.top().first) {
+            heap.pop();
+            heap.emplace(vals[c].distance, ids[c]);
+          }
+        }
+      };
+      if (tile_blocks && num_members > 1) {
+        // Block-tiled order: each kScanBlock block is scored for every
+        // member in one group call while its candidates sit in L1.
+        for (int64_t pos = 0; pos < len; pos += kScanBlock) {
+          const int block =
+              static_cast<int>(std::min<int64_t>(kScanBlock, len - pos));
+          if (pos + block < len) {
+            RESINFER_PREFETCH(bucket_ids + pos + block);
+            RESINFER_PREFETCH(bucket_ids + pos + block + 8);
+          }
+          for (int j = 0; j < num_members; ++j) {
+            const ResultHeap& heap = heaps[members[j]];
+            taus[j] = static_cast<int>(heap.size()) == k ? heap.top().first
+                                                         : kInfDistance;
+          }
+          if (code_resident) {
+            computer.EstimateBatchCodesGroup(
+                bucket_codes + pos * code_stride, bucket_ids + pos, block,
+                members, num_members, taus, est);
+          } else {
+            computer.EstimateBatchGroup(bucket_ids + pos, block, members,
+                                        num_members, taus, est);
+          }
+          for (int j = 0; j < num_members; ++j) {
+            push(heaps[members[j]], est + j * block, bucket_ids + pos,
+                 block);
+          }
+        }
+      } else {
+        // Member-major order: one member scans the whole bucket before
+        // the next, so large per-query state (ADC tables) stays
+        // cache-resident for the run while the bucket's records are
+        // re-read from L1/L2 by later members. Both orders preserve each
+        // member's sequential block-and-tau schedule.
+        for (int j = 0; j < num_members; ++j) {
+          computer.SelectQuery(members[j]);
+          ResultHeap& heap = heaps[members[j]];
+          for (int64_t pos = 0; pos < len; pos += kScanBlock) {
+            const int block =
+                static_cast<int>(std::min<int64_t>(kScanBlock, len - pos));
+            if (pos + block < len) {
+              RESINFER_PREFETCH(bucket_ids + pos + block);
+              RESINFER_PREFETCH(bucket_ids + pos + block + 8);
+            }
+            const float tau = static_cast<int>(heap.size()) == k
+                                  ? heap.top().first
+                                  : kInfDistance;
+            if (code_resident) {
+              computer.EstimateBatchCodes(bucket_codes + pos * code_stride,
+                                          bucket_ids + pos, block, tau, est);
+            } else {
+              computer.EstimateBatch(bucket_ids + pos, block, tau, est);
+            }
+            push(heap, est, bucket_ids + pos, block);
+          }
+        }
+      }
+    }
+
+    for (int g = 0; g < group; ++g) {
+      results[start + g] = DrainHeap(heaps[g]);
+    }
+  }
+}
+
+std::vector<std::vector<Neighbor>> IvfIndex::SearchBatch(
+    DistanceComputer& computer, const linalg::Matrix& queries, int k,
+    int nprobe) const {
+  std::vector<std::vector<Neighbor>> results(
+      static_cast<std::size_t>(queries.rows()));
+  SearchBatchRange(computer, queries, 0, queries.rows(), k, nprobe,
+                   results.data());
+  return results;
 }
 
 }  // namespace resinfer::index

@@ -120,11 +120,42 @@ class IvfIndex {
   bool AttachCodesFrom(const DistanceComputer& computer);
   void DetachCodes() { codes_ = quant::CodeStore(); }
 
-  // Results ascend by exact distance. nprobe is clamped to num_clusters().
+  // Results ascend by exact distance. Arguments are clamped instead of
+  // surprising the caller: nprobe to [1, num_clusters()], and k <= 0
+  // returns an empty result (k > size() simply yields fewer neighbors).
   // Scans stream through EstimateBatchCodes when the attached store
   // matches `computer` (see the header comment), else gather by id.
   std::vector<Neighbor> Search(DistanceComputer& computer, const float* query,
                                int k, int nprobe) const;
+
+  // --- Multi-query serving -------------------------------------------------
+  //
+  // Query-major search over a batch: queries are chunked into groups of at
+  // most kMaxQueryGroup, the computer prepares each group once
+  // (SetQueryBatch), and buckets co-probed by several group members are
+  // streamed once while every member scores them (EstimateBatch*Group).
+  // Each member still visits its own probe list in rank order with its own
+  // running threshold, so results[i] is bit-identical to
+  // Search(computer, queries.Row(i), k, nprobe) — grouping changes memory
+  // traffic, never answers. Argument clamping matches Search.
+  std::vector<std::vector<Neighbor>> SearchBatch(DistanceComputer& computer,
+                                                 const linalg::Matrix& queries,
+                                                 int k, int nprobe) const;
+
+  // Searches query rows [begin, begin + count) and writes results[i] for
+  // row begin + i, chunking internally into groups of kMaxQueryGroup.
+  // Callers wanting co-probe locality should order adjacent rows by probe
+  // similarity (BatchSearchIvf sorts lexicographically by probe list).
+  // `probe_lists`, when given, holds count rows of
+  // min(max(nprobe, 1), num_clusters()) precomputed centroid ids each —
+  // row i for query row begin + i, as NearestCentroids returns them — so
+  // a caller that already ranked centroids (to sort queries) doesn't pay
+  // for the ranking twice.
+  void SearchBatchRange(DistanceComputer& computer,
+                        const linalg::Matrix& queries, int64_t begin,
+                        int64_t count, int k, int nprobe,
+                        std::vector<Neighbor>* results,
+                        const int32_t* probe_lists = nullptr) const;
 
  private:
   int64_t size_ = 0;

@@ -143,6 +143,78 @@ int32_t NearestCentroid(const linalg::Matrix& centroids, const float* x,
   return best;
 }
 
+void NearestCentroidsBatch(const linalg::Matrix& centroids,
+                           const linalg::Matrix& queries, int64_t begin,
+                           int64_t count, int nprobe, int32_t* out) {
+  const std::size_t d = static_cast<std::size_t>(centroids.cols());
+  const int64_t num_centroids = centroids.rows();
+  RESINFER_CHECK(nprobe > 0 && nprobe <= num_centroids);
+  RESINFER_CHECK(queries.cols() == centroids.cols());
+  RESINFER_CHECK(begin >= 0 && begin + count <= queries.rows());
+
+  // Queries per tile pass; bounds the live heaps and the tile output.
+  constexpr int kTile = 16;
+  using Entry = std::pair<float, int32_t>;  // (distance, id), max-heap
+
+  for (int64_t q0 = 0; q0 < count; q0 += kTile) {
+    const int nq = static_cast<int>(std::min<int64_t>(kTile, count - q0));
+    const float* query_ptrs[kTile];
+    for (int g = 0; g < nq; ++g) {
+      query_ptrs[g] = queries.Row(begin + q0 + g);
+    }
+    std::priority_queue<Entry> heaps[kTile];
+
+    // Same per-query centroid order and same keep-if-strictly-closer heap
+    // logic as NearestCentroids, so ties resolve identically; the tile
+    // kernel's lanes are bit-identical to the single-pair L2Sqr it uses.
+    const auto consider = [&heaps, nprobe, nq](int64_t c,
+                                               const float* dist) {
+      for (int g = 0; g < nq; ++g) {
+        auto& heap = heaps[g];
+        if (static_cast<int>(heap.size()) < nprobe) {
+          heap.emplace(dist[g], static_cast<int32_t>(c));
+        } else if (dist[g] < heap.top().first) {
+          heap.pop();
+          heap.emplace(dist[g], static_cast<int32_t>(c));
+        }
+      }
+    };
+
+    float tile[kTile * simd::kBatchWidth];
+    float single[kTile];
+    const float* rows[simd::kBatchWidth];
+    int64_t c = 0;
+    for (; c + simd::kBatchWidth <= num_centroids;
+         c += simd::kBatchWidth) {
+      for (int r = 0; r < simd::kBatchWidth; ++r) {
+        rows[r] = centroids.Row(c + r);
+      }
+      simd::L2SqrTile(query_ptrs, nq, rows, d, tile);
+      for (int r = 0; r < simd::kBatchWidth; ++r) {
+        for (int g = 0; g < nq; ++g) {
+          single[g] = tile[g * simd::kBatchWidth + r];
+        }
+        consider(c + r, single);
+      }
+    }
+    for (; c < num_centroids; ++c) {
+      for (int g = 0; g < nq; ++g) {
+        single[g] = simd::L2Sqr(centroids.Row(c), query_ptrs[g], d);
+      }
+      consider(c, single);
+    }
+
+    for (int g = 0; g < nq; ++g) {
+      int32_t* row = out + (q0 + g) * nprobe;
+      auto& heap = heaps[g];
+      for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
+        row[i] = heap.top().second;
+        heap.pop();
+      }
+    }
+  }
+}
+
 std::vector<int32_t> NearestCentroids(const linalg::Matrix& centroids,
                                       const float* x, int nprobe) {
   const std::size_t d = static_cast<std::size_t>(centroids.cols());

@@ -40,6 +40,17 @@ int32_t NearestCentroid(const linalg::Matrix& centroids, const float* x,
 std::vector<int32_t> NearestCentroids(const linalg::Matrix& centroids,
                                       const float* x, int nprobe);
 
+// Query-tiled ranking for the multi-query serving path: fills
+// out[i * nprobe .. (i+1) * nprobe) with NearestCentroids(centroids,
+// queries.Row(begin + i), nprobe) for i in [0, count) — identical ids in
+// identical order (distances per (query, centroid) are bit-identical via
+// the tiled kernel contract, and the selection logic is the same) — while
+// streaming each centroid row once per group of queries instead of once
+// per query. Requires 1 <= nprobe <= centroids.rows().
+void NearestCentroidsBatch(const linalg::Matrix& centroids,
+                           const linalg::Matrix& queries, int64_t begin,
+                           int64_t count, int nprobe, int32_t* out);
+
 }  // namespace resinfer::quant
 
 #endif  // RESINFER_QUANT_KMEANS_H_

@@ -11,8 +11,12 @@ namespace {
 // All kernel entry points for one SIMD level. The public functions below
 // dispatch through a single pointer to one of these tables: one relaxed
 // pointer load plus an indirect call per kernel invocation, instead of the
-// previous atomic-level-load-plus-branch in every innermost loop.
+// previous atomic-level-load-plus-branch in every innermost loop. The table
+// also carries its own level so ActiveLevel() is derived from the same
+// pointer the kernels dispatch through — one atomic, no way for a reader
+// to observe a level that disagrees with the active table.
 struct KernelTable {
+  SimdLevel level;
   float (*l2sqr)(const float*, const float*, std::size_t);
   float (*inner_product)(const float*, const float*, std::size_t);
   float (*norm2sqr)(const float*, std::size_t);
@@ -28,9 +32,14 @@ struct KernelTable {
   void (*sq_adc_l2sqr_batch4)(const float*, const uint8_t* const*,
                               const float*, const float*, std::size_t,
                               float*);
+  void (*l2sqr_tile)(const float* const*, int, const float* const*,
+                     std::size_t, float*);
+  void (*pq_adc_tile)(const float* const*, int, int, int,
+                      const uint8_t* const*, int, float*);
 };
 
 constexpr KernelTable kScalarTable = {
+    SimdLevel::kScalar,
     internal::L2SqrScalar,
     internal::InnerProductScalar,
     internal::Norm2SqrScalar,
@@ -40,10 +49,13 @@ constexpr KernelTable kScalarTable = {
     internal::InnerProductBatch4Scalar,
     internal::PqAdcBatchScalar,
     internal::SqAdcL2SqrBatch4Scalar,
+    internal::L2SqrTileScalar,
+    internal::PqAdcTileScalar,
 };
 
 #if defined(RESINFER_HAVE_AVX2)
 constexpr KernelTable kAvx2Table = {
+    SimdLevel::kAvx2,
     internal::L2SqrAvx2,
     internal::InnerProductAvx2,
     internal::Norm2SqrAvx2,
@@ -53,6 +65,8 @@ constexpr KernelTable kAvx2Table = {
     internal::InnerProductBatch4Avx2,
     internal::PqAdcBatchAvx2,
     internal::SqAdcL2SqrBatch4Avx2,
+    internal::L2SqrTileAvx2,
+    internal::PqAdcTileAvx2,
 };
 #endif
 
@@ -64,16 +78,15 @@ const KernelTable* TableFor(SimdLevel level) {
   return &kScalarTable;
 }
 
-// Function-local statics avoid static-initialization-order hazards; the
+// Function-local static avoids static-initialization-order hazards; the
 // table pointer is resolved once on first use (cpuid check included) and
-// only changes through SetActiveLevel.
+// only changes through SetActiveLevel. This single slot is the whole
+// dispatch state: the level is a field of the table it points to, so
+// ActiveLevel()/kernel pairs can never be observed mismatched (the previous
+// two-atomics design allowed a reader between the two stores to see the old
+// level with the new table, or vice versa).
 std::atomic<const KernelTable*>& TableSlot() {
   static std::atomic<const KernelTable*> slot{TableFor(BestSupportedLevel())};
-  return slot;
-}
-
-std::atomic<SimdLevel>& LevelSlot() {
-  static std::atomic<SimdLevel> slot{BestSupportedLevel()};
   return slot;
 }
 
@@ -100,11 +113,10 @@ SimdLevel BestSupportedLevel() {
 #endif
 }
 
-SimdLevel ActiveLevel() { return LevelSlot().load(std::memory_order_relaxed); }
+SimdLevel ActiveLevel() { return Active().level; }
 
 void SetActiveLevel(SimdLevel level) {
   if (level > BestSupportedLevel()) level = BestSupportedLevel();
-  LevelSlot().store(level, std::memory_order_relaxed);
   TableSlot().store(TableFor(level), std::memory_order_relaxed);
 }
 
@@ -156,6 +168,16 @@ void SqAdcL2SqrBatch4(const float* q, const uint8_t* const* codes,
                       const float* vmin, const float* step, std::size_t n,
                       float* out) {
   Active().sq_adc_l2sqr_batch4(q, codes, vmin, step, n, out);
+}
+
+void L2SqrTile(const float* const* queries, int num_queries,
+               const float* const* rows, std::size_t n, float* out) {
+  Active().l2sqr_tile(queries, num_queries, rows, n, out);
+}
+
+void PqAdcTile(const float* const* tables, int num_queries, int m, int ksub,
+               const uint8_t* const* codes, int count, float* out) {
+  Active().pq_adc_tile(tables, num_queries, m, ksub, codes, count, out);
 }
 
 }  // namespace resinfer::simd

@@ -7,7 +7,10 @@
 //
 // Kernel entry points dispatch through a function-pointer table resolved
 // once at startup (cpuid-checked, so AVX2 builds degrade to scalar on older
-// hosts); switching levels swaps the table pointer.
+// hosts); switching levels swaps the table pointer. That pointer is the
+// single source of truth: each table carries its own level, so
+// ActiveLevel() and the kernels a concurrent reader dispatches to always
+// agree.
 #ifndef RESINFER_SIMD_DISPATCH_H_
 #define RESINFER_SIMD_DISPATCH_H_
 

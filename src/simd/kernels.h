@@ -66,6 +66,27 @@ void SqAdcL2SqrBatch4(const float* q, const uint8_t* const* codes,
                       const float* vmin, const float* step, std::size_t n,
                       float* out);
 
+// --- Query-tiled kernels (the multi-query serving path) --------------------
+//
+// Query-major scans score one candidate block for a whole group of queries
+// before moving on; these kernels evaluate the q x candidate tile in one
+// call so the candidate data is touched once per tile instead of once per
+// query. Lane (g, c) is bit-identical to the corresponding single-query
+// kernel at the same SIMD level — tiling shares loads, never reassociates.
+
+// out[g * kBatchWidth + r] = L2Sqr(rows[r], queries[g], n) for
+// g in [0, num_queries), r in [0, kBatchWidth): L2SqrBatch4 for every query
+// of a group while the four candidate rows are cache-hot.
+void L2SqrTile(const float* const* queries, int num_queries,
+               const float* const* rows, std::size_t n, float* out);
+
+// out[g * count + c] = sum_s tables[g][s * ksub + codes[c][s]]:
+// PqAdcBatch over one shared code block for several per-query ADC tables
+// (each group member owns one). The codes — and on AVX2 the gather-index
+// construction — are shared across the group's tables.
+void PqAdcTile(const float* const* tables, int num_queries, int m, int ksub,
+               const uint8_t* const* codes, int count, float* out);
+
 namespace internal {
 
 float L2SqrScalar(const float* a, const float* b, std::size_t n);
@@ -83,6 +104,11 @@ void PqAdcBatchScalar(const float* table, int m, int ksub,
 void SqAdcL2SqrBatch4Scalar(const float* q, const uint8_t* const* codes,
                             const float* vmin, const float* step,
                             std::size_t n, float* out);
+void L2SqrTileScalar(const float* const* queries, int num_queries,
+                     const float* const* rows, std::size_t n, float* out);
+void PqAdcTileScalar(const float* const* tables, int num_queries, int m,
+                     int ksub, const uint8_t* const* codes, int count,
+                     float* out);
 
 #if defined(RESINFER_HAVE_AVX2)
 float L2SqrAvx2(const float* a, const float* b, std::size_t n);
@@ -100,6 +126,11 @@ void PqAdcBatchAvx2(const float* table, int m, int ksub,
 void SqAdcL2SqrBatch4Avx2(const float* q, const uint8_t* const* codes,
                           const float* vmin, const float* step,
                           std::size_t n, float* out);
+void L2SqrTileAvx2(const float* const* queries, int num_queries,
+                   const float* const* rows, std::size_t n, float* out);
+void PqAdcTileAvx2(const float* const* tables, int num_queries, int m,
+                   int ksub, const uint8_t* const* codes, int count,
+                   float* out);
 #endif
 
 }  // namespace internal

@@ -224,6 +224,65 @@ void SqAdcL2SqrBatch4Avx2(const float* q, const uint8_t* const* codes,
   }
 }
 
+void L2SqrTileAvx2(const float* const* queries, int num_queries,
+                   const float* const* rows, std::size_t n, float* out) {
+  // One L2SqrBatch4 pass per group member. The four candidate rows are
+  // register-loaded per pass but stay L1-resident across members, so the
+  // tile still touches candidate memory once. A deeper register tiling
+  // (rows x several queries per dim pass) would need a different
+  // accumulator structure per lane and break bit-identity with the
+  // single-pair kernel, which the batch contract forbids.
+  for (int g = 0; g < num_queries; ++g) {
+    L2SqrBatch4Avx2(queries[g], rows, n, out + g * kBatchWidth);
+  }
+}
+
+void PqAdcTileAvx2(const float* const* tables, int num_queries, int m,
+                   int ksub, const uint8_t* const* codes, int count,
+                   float* out) {
+  // Interleaves up to four per-query tables over each 8-code gather group:
+  // the gather-index vector (the expensive part of PqAdcBatchAvx2's inner
+  // loop) is built once per (s, code-group, 4-table sub-group) and reused
+  // for the sub-group's tables — a 4x reduction over per-table passes;
+  // sharing it across ALL tables would need one live accumulator per
+  // group member, which outruns the 16 YMM registers. Lane (g, c)
+  // accumulates sequentially in s, exactly like PqAdcBatchAvx2's lane c
+  // with table g.
+  int c = 0;
+  for (; c + 8 <= count; c += 8) {
+    for (int g0 = 0; g0 < num_queries; g0 += 4) {
+      const int gn = num_queries - g0 < 4 ? num_queries - g0 : 4;
+      __m256 acc[4];
+      for (int g = 0; g < gn; ++g) acc[g] = _mm256_setzero_ps();
+      int base = 0;
+      for (int s = 0; s < m; ++s, base += ksub) {
+        const __m256i idx = _mm256_add_epi32(
+            _mm256_set1_epi32(base),
+            _mm256_setr_epi32(codes[c][s], codes[c + 1][s], codes[c + 2][s],
+                              codes[c + 3][s], codes[c + 4][s],
+                              codes[c + 5][s], codes[c + 6][s],
+                              codes[c + 7][s]));
+        for (int g = 0; g < gn; ++g) {
+          acc[g] = _mm256_add_ps(acc[g],
+                                 _mm256_i32gather_ps(tables[g0 + g], idx, 4));
+        }
+      }
+      for (int g = 0; g < gn; ++g) {
+        _mm256_storeu_ps(out + static_cast<std::size_t>(g0 + g) * count + c,
+                         acc[g]);
+      }
+    }
+  }
+  for (; c < count; ++c) {
+    for (int g = 0; g < num_queries; ++g) {
+      float acc = 0.f;
+      const float* row = tables[g];
+      for (int s = 0; s < m; ++s, row += ksub) acc += row[codes[c][s]];
+      out[static_cast<std::size_t>(g) * count + c] = acc;
+    }
+  }
+}
+
 float SqAdcL2SqrAvx2(const float* q, const uint8_t* code, const float* vmin,
                      const float* step, std::size_t n) {
   __m256 acc = _mm256_setzero_ps();

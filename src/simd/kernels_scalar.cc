@@ -117,4 +117,19 @@ void SqAdcL2SqrBatch4Scalar(const float* q, const uint8_t* const* codes,
     out[r] = SqAdcL2SqrScalar(q, codes[r], vmin, step, n);
 }
 
+void L2SqrTileScalar(const float* const* queries, int num_queries,
+                     const float* const* rows, std::size_t n, float* out) {
+  for (int g = 0; g < num_queries; ++g) {
+    L2SqrBatch4Scalar(queries[g], rows, n, out + g * kBatchWidth);
+  }
+}
+
+void PqAdcTileScalar(const float* const* tables, int num_queries, int m,
+                     int ksub, const uint8_t* const* codes, int count,
+                     float* out) {
+  for (int g = 0; g < num_queries; ++g) {
+    PqAdcBatchScalar(tables[g], m, ksub, codes, count, out + g * count);
+  }
+}
+
 }  // namespace resinfer::simd::internal

@@ -128,6 +128,37 @@ TEST(BatchTest, UtilizationEmptyForEmptyBatch) {
   EXPECT_EQ(batch.MinUtilization(), 0.0);
 }
 
+TEST(BatchTest, ComputerStatsPlusEqualsSumsEveryCounter) {
+  // RunBatch and the bench mergers aggregate through operator+= so that a
+  // counter added to ComputerStats cannot be silently dropped from batch
+  // aggregates. Two guards: every current field must be summed, and the
+  // static_assert below forces whoever grows the struct to revisit
+  // operator+= (and then this test).
+  static_assert(sizeof(ComputerStats) == 4 * sizeof(int64_t),
+                "ComputerStats gained a field: update operator+= and the "
+                "field checks in this test");
+  ComputerStats a;
+  a.candidates = 1;
+  a.pruned = 2;
+  a.dims_scanned = 3;
+  a.exact_computations = 4;
+  ComputerStats b;
+  b.candidates = 10;
+  b.pruned = 20;
+  b.dims_scanned = 30;
+  b.exact_computations = 40;
+  a += b;
+  EXPECT_EQ(a.candidates, 11);
+  EXPECT_EQ(a.pruned, 22);
+  EXPECT_EQ(a.dims_scanned, 33);
+  EXPECT_EQ(a.exact_computations, 44);
+  // += returns *this, so merges chain.
+  ComputerStats c;
+  (c += a) += b;
+  EXPECT_EQ(c.candidates, 21);
+  EXPECT_EQ(c.exact_computations, 84);
+}
+
 TEST(BatchTest, StatsAggregateAcrossWorkers) {
   BatchFixture& f = Fixture();
   BatchOptions options;

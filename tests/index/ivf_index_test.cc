@@ -115,6 +115,68 @@ TEST(IvfIndexTest, AttachCodesPermutesIntoBucketOrder) {
   EXPECT_FALSE(index.has_codes());
 }
 
+TEST(IvfIndexTest, SearchClampsOutOfRangeArguments) {
+  // nprobe <= 0, nprobe > num_clusters, k <= 0 and k > n must clamp
+  // instead of aborting or returning surprise-empty results — the serving
+  // path passes caller-supplied knobs straight through.
+  data::Dataset ds = testing::SmallDataset(500, 8, 1.0, 45, 4, 2);
+  IvfIndex index = IvfIndex::Build(ds.base, SmallOptions());
+  FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  const float* query = ds.queries.Row(0);
+
+  // k <= 0: empty result, no scan surprises.
+  EXPECT_TRUE(index.Search(computer, query, 0, 8).empty());
+  EXPECT_TRUE(index.Search(computer, query, -3, 8).empty());
+
+  // nprobe <= 0 clamps to 1 (the nearest bucket still gets scanned).
+  auto one_probe = index.Search(computer, query, 5, 1);
+  auto zero_probe = index.Search(computer, query, 5, 0);
+  auto negative_probe = index.Search(computer, query, 5, -7);
+  ASSERT_EQ(one_probe.size(), zero_probe.size());
+  ASSERT_EQ(one_probe.size(), negative_probe.size());
+  for (std::size_t i = 0; i < one_probe.size(); ++i) {
+    EXPECT_EQ(one_probe[i].id, zero_probe[i].id);
+    EXPECT_EQ(one_probe[i].id, negative_probe[i].id);
+  }
+
+  // nprobe > num_clusters clamps to a full sweep.
+  auto full = index.Search(computer, query, 10, index.num_clusters());
+  auto over = index.Search(computer, query, 10, index.num_clusters() + 100);
+  ASSERT_EQ(full.size(), over.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i].id, over[i].id);
+  }
+
+  // k > n yields every point, once, still sorted.
+  auto all = index.Search(computer, query, 5000, index.num_clusters());
+  EXPECT_EQ(static_cast<int64_t>(all.size()), ds.size());
+
+  // SearchBatch applies the same clamps.
+  auto batch_zero_k = index.SearchBatch(computer, ds.queries, 0, 8);
+  ASSERT_EQ(batch_zero_k.size(), static_cast<std::size_t>(ds.queries.rows()));
+  for (const auto& row : batch_zero_k) EXPECT_TRUE(row.empty());
+  auto batch_clamped = index.SearchBatch(computer, ds.queries, 5, -2);
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    auto want = index.Search(computer, ds.queries.Row(q), 5, 1);
+    const auto& got = batch_clamped[static_cast<std::size_t>(q)];
+    ASSERT_EQ(want.size(), got.size()) << q;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].id, got[i].id) << q;
+    }
+  }
+  auto batch_over = index.SearchBatch(computer, ds.queries, 5,
+                                      index.num_clusters() + 9);
+  for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+    auto want =
+        index.Search(computer, ds.queries.Row(q), 5, index.num_clusters());
+    const auto& got = batch_over[static_cast<std::size_t>(q)];
+    ASSERT_EQ(want.size(), got.size()) << q;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].id, got[i].id) << q;
+    }
+  }
+}
+
 TEST(IvfIndexTest, ResultsAscendByDistance) {
   data::Dataset ds = testing::SmallDataset(500, 8, 1.0, 44, 4, 2);
   IvfIndex index = IvfIndex::Build(ds.base, SmallOptions());

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "simd/dispatch.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -114,6 +115,42 @@ TEST(KMeansTest, NprobeClampedToK) {
   auto data = ThreeBlobs(10, 13);
   KMeansResult res = KMeans(data.data(), 30, 2, 3);
   EXPECT_EQ(NearestCentroids(res.centroids, data.data(), 10).size(), 3u);
+}
+
+TEST(KMeansTest, NearestCentroidsBatchMatchesPerQuery) {
+  // The tiled ranking must return exactly the per-query lists — ids AND
+  // order, ties included — across SIMD levels, tile-partial query counts,
+  // and nprobe up to a full sweep.
+  const int64_t d = 24;
+  linalg::Matrix centroids = resinfer::testing::RandomMatrix(37, d, 21);
+  linalg::Matrix queries = resinfer::testing::RandomMatrix(21, d, 22);
+
+  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
+  if (simd::BestSupportedLevel() == simd::SimdLevel::kAvx2) {
+    levels.push_back(simd::SimdLevel::kAvx2);
+  }
+  for (simd::SimdLevel level : levels) {
+    simd::ScopedSimdLevel guard(level);
+    for (int nprobe : {1, 5, 37}) {
+      for (int64_t begin : {int64_t{0}, int64_t{3}}) {
+        const int64_t count = queries.rows() - begin;
+        std::vector<int32_t> batch(static_cast<std::size_t>(count * nprobe));
+        NearestCentroidsBatch(centroids, queries, begin, count, nprobe,
+                              batch.data());
+        for (int64_t i = 0; i < count; ++i) {
+          std::vector<int32_t> want =
+              NearestCentroids(centroids, queries.Row(begin + i), nprobe);
+          ASSERT_EQ(static_cast<int>(want.size()), nprobe);
+          for (int p = 0; p < nprobe; ++p) {
+            EXPECT_EQ(batch[static_cast<std::size_t>(i * nprobe + p)],
+                      want[static_cast<std::size_t>(p)])
+                << simd::SimdLevelName(level) << " nprobe=" << nprobe
+                << " begin=" << begin << " i=" << i << " p=" << p;
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

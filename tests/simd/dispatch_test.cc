@@ -1,0 +1,75 @@
+// The dispatch table pointer is the single source of truth for both
+// ActiveLevel() and the kernel implementations. These tests pin that
+// contract: a reader can never observe a level that disagrees with the
+// kernels it would dispatch to (the old design kept level and table in two
+// separate atomics, so a reader between the two stores could see a
+// mismatched pair).
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simd/kernels.h"
+
+namespace resinfer::simd {
+namespace {
+
+TEST(DispatchConsistencyTest, SetIsImmediatelyVisibleToActiveLevel) {
+  const SimdLevel best = BestSupportedLevel();
+  SetActiveLevel(SimdLevel::kScalar);
+  EXPECT_EQ(ActiveLevel(), SimdLevel::kScalar);
+  SetActiveLevel(best);
+  EXPECT_EQ(ActiveLevel(), best);
+}
+
+TEST(DispatchConsistencyTest, LevelAndKernelsStayCoherentUnderConcurrentFlips) {
+  // Writers flip between scalar and the best level while readers
+  // repeatedly read the level and drive a kernel through the dispatcher.
+  // Every observed level must be one of the two values ever stored —
+  // derived from the same table pointer the kernel call used — and the
+  // kernel result must stay correct throughout. (Run under TSAN this also
+  // guards the atomicity of the single-slot design.)
+  const SimdLevel best = BestSupportedLevel();
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_levels{0};
+  std::atomic<int> bad_values{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&stop, best] {
+      bool scalar = true;
+      while (!stop.load(std::memory_order_relaxed)) {
+        SetActiveLevel(scalar ? SimdLevel::kScalar : best);
+        scalar = !scalar;
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&stop, &bad_levels, &bad_values, best] {
+      const float a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+      const float b[8] = {0, 2, 3, 4, 5, 6, 7, 9};
+      while (!stop.load(std::memory_order_relaxed)) {
+        const SimdLevel level = ActiveLevel();
+        if (level != SimdLevel::kScalar && level != best) {
+          bad_levels.fetch_add(1, std::memory_order_relaxed);
+        }
+        const float d = L2Sqr(a, b, 8);  // (1-0)^2 + (8-9)^2 = 2
+        if (d != 2.0f) bad_values.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  SetActiveLevel(best);
+
+  EXPECT_EQ(bad_levels.load(), 0);
+  EXPECT_EQ(bad_values.load(), 0);
+}
+
+}  // namespace
+}  // namespace resinfer::simd

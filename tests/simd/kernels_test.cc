@@ -207,6 +207,96 @@ TEST(KernelsTest, PqAdcBatchMatchesSequentialLookupSum) {
   }
 }
 
+TEST(KernelsTest, L2SqrTileLanesMatchBatch4PerQuery) {
+  // Lane (g, r) of the query tile must be bit-identical to the
+  // corresponding L2SqrBatch4 lane for query g, at every level.
+  const std::size_t n = 77;  // exercises 16-wide, 8-wide, and scalar tails
+  std::vector<std::vector<float>> query_storage, row_storage;
+  const float* queries[6];
+  const float* rows[4];
+  for (int g = 0; g < 6; ++g) {
+    query_storage.push_back(RandomVec(n, 60 + g));
+  }
+  for (int g = 0; g < 6; ++g) queries[g] = query_storage[g].data();
+  for (int r = 0; r < 4; ++r) row_storage.push_back(RandomVec(n, 70 + r));
+  for (int r = 0; r < 4; ++r) rows[r] = row_storage[r].data();
+
+  for (int nq : {1, 2, 5, 6}) {
+    float tile[6 * 4];
+    float want[4];
+    internal::L2SqrTileScalar(queries, nq, rows, n, tile);
+    for (int g = 0; g < nq; ++g) {
+      internal::L2SqrBatch4Scalar(queries[g], rows, n, want);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(tile[g * 4 + r], want[r]) << "scalar g=" << g << " r=" << r;
+      }
+    }
+#if defined(RESINFER_HAVE_AVX2)
+    internal::L2SqrTileAvx2(queries, nq, rows, n, tile);
+    for (int g = 0; g < nq; ++g) {
+      internal::L2SqrBatch4Avx2(queries[g], rows, n, want);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(tile[g * 4 + r], want[r]) << "avx2 g=" << g << " r=" << r;
+      }
+    }
+#endif
+  }
+}
+
+TEST(KernelsTest, PqAdcTileLanesMatchBatchPerTable) {
+  // Lane (g, c) of the table tile must be bit-identical to
+  // PqAdcBatch(tables[g], ...)[c], including the non-multiple-of-8
+  // remainder and table-group remainders (nq not a multiple of 4).
+  const int m = 8, ksub = 64;
+  std::vector<std::vector<float>> table_storage;
+  const float* tables[7];
+  for (int g = 0; g < 7; ++g) {
+    table_storage.push_back(
+        RandomVec(static_cast<std::size_t>(m) * ksub, 80 + g));
+  }
+  for (int g = 0; g < 7; ++g) tables[g] = table_storage[g].data();
+
+  Rng rng(90);
+  for (int count : {1, 5, 8, 16, 19}) {
+    std::vector<std::vector<uint8_t>> code_storage(
+        count, std::vector<uint8_t>(m));
+    std::vector<const uint8_t*> codes(count);
+    for (int c = 0; c < count; ++c) {
+      for (int s = 0; s < m; ++s) {
+        code_storage[c][s] =
+            static_cast<uint8_t>(rng.Uniform() * (ksub - 1));
+      }
+      codes[c] = code_storage[c].data();
+    }
+    for (int nq : {1, 3, 4, 7}) {
+      std::vector<float> tile(static_cast<std::size_t>(nq) * count);
+      std::vector<float> want(count);
+      internal::PqAdcTileScalar(tables, nq, m, ksub, codes.data(), count,
+                                tile.data());
+      for (int g = 0; g < nq; ++g) {
+        internal::PqAdcBatchScalar(tables[g], m, ksub, codes.data(), count,
+                                   want.data());
+        for (int c = 0; c < count; ++c) {
+          EXPECT_EQ(tile[g * count + c], want[c])
+              << "scalar nq=" << nq << " g=" << g << " c=" << c;
+        }
+      }
+#if defined(RESINFER_HAVE_AVX2)
+      internal::PqAdcTileAvx2(tables, nq, m, ksub, codes.data(), count,
+                              tile.data());
+      for (int g = 0; g < nq; ++g) {
+        internal::PqAdcBatchAvx2(tables[g], m, ksub, codes.data(), count,
+                                 want.data());
+        for (int c = 0; c < count; ++c) {
+          EXPECT_EQ(tile[g * count + c], want[c])
+              << "avx2 nq=" << nq << " g=" << g << " c=" << c;
+        }
+      }
+#endif
+    }
+  }
+}
+
 TEST(DispatchTest, BatchEntryPointsFollowActiveLevel) {
   auto q = RandomVec(48, 51);
   std::vector<std::vector<float>> row_storage;
