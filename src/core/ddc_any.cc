@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/pq_scan.h"
 #include "index/block_refine.h"
 #include "simd/kernels.h"
 #include "util/macros.h"
@@ -127,10 +128,15 @@ void ApproxDistanceEstimator::EstimateBatchCodesGroup(
   }
 }
 
-PqAdcEstimator::PqAdcEstimator(const PqEstimatorData* data) : data_(data) {
+PqAdcEstimator::PqAdcEstimator(const PqEstimatorData* data)
+    : data_(data), packed_(data != nullptr && data->pq.layout().packed()) {
   RESINFER_CHECK(data != nullptr && data->pq.trained());
   adc_table_.resize(static_cast<std::size_t>(data->pq.adc_table_size()));
   active_table_ = adc_table_.data();
+  if (packed_) {
+    qlut_.resize(static_cast<std::size_t>(data->pq.fast_scan_lut_bytes()));
+    active_qlut_ = qlut_.data();
+  }
 }
 
 int64_t PqAdcEstimator::size() const {
@@ -140,6 +146,13 @@ int64_t PqAdcEstimator::size() const {
 void PqAdcEstimator::BeginQuery(const float* query) {
   data_->pq.ComputeAdcTable(query, adc_table_.data());
   active_table_ = adc_table_.data();
+  if (packed_) {
+    data_->pq.QuantizeAdcTable(adc_table_.data(), qlut_.data(), &qscale_,
+                               &qbias_);
+    active_qlut_ = qlut_.data();
+    active_qscale_ = qscale_;
+    active_qbias_ = qbias_;
+  }
 }
 
 void PqAdcEstimator::SetQueryBatch(const float* queries, int count,
@@ -147,21 +160,43 @@ void PqAdcEstimator::SetQueryBatch(const float* queries, int count,
   ApproxDistanceEstimator::SetQueryBatch(queries, count, stride);
   const int64_t table_size = data_->pq.adc_table_size();
   group_tables_.resize(static_cast<std::size_t>(count * table_size));
+  const int64_t lut_bytes = packed_ ? data_->pq.fast_scan_lut_bytes() : 0;
+  if (packed_) {
+    group_qluts_.resize(static_cast<std::size_t>(count * lut_bytes));
+    group_qscales_.resize(static_cast<std::size_t>(count));
+    group_qbiases_.resize(static_cast<std::size_t>(count));
+  }
   for (int g = 0; g < count; ++g) {
-    data_->pq.ComputeAdcTable(GroupQuery(g),
-                              group_tables_.data() + g * table_size);
+    float* table = group_tables_.data() + g * table_size;
+    data_->pq.ComputeAdcTable(GroupQuery(g), table);
+    if (packed_) {
+      data_->pq.QuantizeAdcTable(
+          table, group_qluts_.data() + g * lut_bytes,
+          &group_qscales_[static_cast<std::size_t>(g)],
+          &group_qbiases_[static_cast<std::size_t>(g)]);
+    }
   }
 }
 
 void PqAdcEstimator::SelectQuery(int g) {
   RESINFER_DCHECK(g >= 0 && g < group_count_);
   active_table_ = group_tables_.data() + g * data_->pq.adc_table_size();
+  if (packed_) {
+    active_qlut_ = group_qluts_.data() + g * data_->pq.fast_scan_lut_bytes();
+    active_qscale_ = group_qscales_[static_cast<std::size_t>(g)];
+    active_qbias_ = group_qbiases_[static_cast<std::size_t>(g)];
+  }
 }
 
 float PqAdcEstimator::Estimate(int64_t id, float* extra) {
   *extra = data_->recon_errors[static_cast<std::size_t>(id)];
-  return data_->pq.AdcDistance(
-      active_table_, data_->codes.data() + id * data_->pq.code_size());
+  const uint8_t* code = data_->codes.data() + id * data_->pq.code_size();
+  if (packed_) {
+    return quant::PqCodebook::DequantizeFastScanSum(
+        simd::PqAdcFastScanOne(active_qlut_, data_->pq.num_subspaces(), code),
+        active_qscale_, active_qbias_);
+  }
+  return data_->pq.AdcDistance(active_table_, code);
 }
 
 void PqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
@@ -176,12 +211,15 @@ void PqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
       codes[j] = data_->codes.data() + id * code_size;
       extras[i + j] = data_->recon_errors[static_cast<std::size_t>(id)];
     }
-    simd::PqAdcBatch(active_table_, data_->pq.num_subspaces(),
-                     data_->pq.num_centroids(), codes, block, out + i);
+    ScorePqChunk(data_->pq, packed_, active_table_, active_qlut_,
+                 active_qscale_, active_qbias_, codes, block, out + i);
   }
 }
 
 int64_t PqAdcEstimator::query_state_bytes() const {
+  // Packed scans read only the quantized LUT (512B at m = 32) — small
+  // enough that block-level member tiling always pays.
+  if (packed_) return data_->pq.fast_scan_lut_bytes();
   return data_->pq.adc_table_size() * static_cast<int64_t>(sizeof(float));
 }
 
@@ -192,8 +230,8 @@ std::string PqAdcEstimator::code_tag() const {
     f = quant::FingerprintArray(data_->recon_errors.data(),
                                 data_->recon_errors.size() * sizeof(float),
                                 f);
-    code_tag_ =
-        quant::MakeCodeTag("pq-adc", data_->pq.code_size(), 1, size(), f);
+    code_tag_ = quant::MakeCodeTag("pq-adc", data_->pq.code_size(), 1,
+                                   size(), f, data_->pq.layout().packing);
   }
   return code_tag_;
 }
@@ -204,7 +242,8 @@ int64_t PqAdcEstimator::code_record_stride() const {
 
 quant::CodeStore PqAdcEstimator::MakeCodeStore() const {
   const int64_t code_size = data_->pq.code_size();
-  quant::CodeStore store(size(), code_size, 1, code_tag());
+  quant::CodeStore store(size(), code_size, 1, code_tag(),
+                         data_->pq.layout().packing);
   for (int64_t i = 0; i < size(); ++i) {
     store.SetCode(i, data_->codes.data() + i * code_size);
     store.SetSidecar(i, 0, data_->recon_errors[static_cast<std::size_t>(i)]);
@@ -227,8 +266,8 @@ void PqAdcEstimator::EstimateBatchCodes(const uint8_t* records, int count,
       codes[j] = rec;
       extras[i + j] = quant::RecordSidecars(rec, code_size)[0];
     }
-    simd::PqAdcBatch(active_table_, data_->pq.num_subspaces(),
-                     data_->pq.num_centroids(), codes, block, out + i);
+    ScorePqChunk(data_->pq, packed_, active_table_, active_qlut_,
+                 active_qscale_, active_qbias_, codes, block, out + i);
   }
 }
 
@@ -238,19 +277,57 @@ void PqAdcEstimator::EstimateBatchCodesGroup(const uint8_t* records,
                                              float* extras) {
   // Per member this is exactly EstimateBatchCodes (same 16-code chunks,
   // same kernel lane order); the tile kernel evaluates each chunk for
-  // every member's table while the codes are hot.
+  // every member's table while the codes are hot. The packed tier tiles
+  // the quantized LUTs instead, sharing each chunk's nibble transpose
+  // across the group before the per-member dequantization.
   constexpr int kChunk = 16;
   const uint8_t* codes[kChunk];
+  RESINFER_DCHECK(num_members > 0 && num_members <= index::kMaxQueryGroup);
+  const int64_t code_size = data_->pq.code_size();
+  const int64_t stride = code_record_stride();
+  if (packed_) {
+    uint16_t tile[index::kMaxQueryGroup * kChunk];
+    const uint8_t* luts[index::kMaxQueryGroup];
+    const int64_t lut_bytes = data_->pq.fast_scan_lut_bytes();
+    for (int j = 0; j < num_members; ++j) {
+      RESINFER_DCHECK(members[j] >= 0 && members[j] < group_count_);
+      luts[j] = group_qluts_.data() + members[j] * lut_bytes;
+    }
+    for (int i = 0; i < count; i += kChunk) {
+      const int block = std::min(kChunk, count - i);
+      for (int j = 0; j < block; ++j) {
+        const uint8_t* rec = records + (i + j) * stride;
+        codes[j] = rec;
+        const float recon_error = quant::RecordSidecars(rec, code_size)[0];
+        for (int g = 0; g < num_members; ++g) {
+          extras[static_cast<int64_t>(g) * count + i + j] = recon_error;
+        }
+      }
+      simd::PqAdcFastScanTile(luts, num_members, data_->pq.num_subspaces(),
+                              codes, block, tile);
+      for (int g = 0; g < num_members; ++g) {
+        const float scale =
+            group_qscales_[static_cast<std::size_t>(members[g])];
+        const float bias =
+            group_qbiases_[static_cast<std::size_t>(members[g])];
+        float* row = out + static_cast<int64_t>(g) * count + i;
+        const uint16_t* sums = tile + g * block;
+        for (int j = 0; j < block; ++j) {
+          row[j] =
+              quant::PqCodebook::DequantizeFastScanSum(sums[j], scale, bias);
+        }
+      }
+    }
+    SelectQuery(members[num_members - 1]);
+    return;
+  }
   float tile[index::kMaxQueryGroup * kChunk];
   const float* tables[index::kMaxQueryGroup];
-  RESINFER_DCHECK(num_members > 0 && num_members <= index::kMaxQueryGroup);
   const int64_t table_size = data_->pq.adc_table_size();
   for (int j = 0; j < num_members; ++j) {
     RESINFER_DCHECK(members[j] >= 0 && members[j] < group_count_);
     tables[j] = group_tables_.data() + members[j] * table_size;
   }
-  const int64_t code_size = data_->pq.code_size();
-  const int64_t stride = code_record_stride();
   for (int i = 0; i < count; i += kChunk) {
     const int block = std::min(kChunk, count - i);
     for (int j = 0; j < block; ++j) {
@@ -320,20 +397,33 @@ void RqAdcEstimator::EstimateBatch(const int64_t* ids, int count, float* out,
                                    float* extras) {
   // The RQ ADC is q·q - 2 q·x̂ + x̂·x̂; the table-lookup sum q·x̂ shares the
   // PQ accumulation kernel, the affine combine mirrors RqCodebook's
-  // expression order so lanes stay bit-identical to Estimate().
+  // expression order so lanes stay bit-identical to Estimate(). Packed
+  // codebooks unpack each chunk's nibbles first (same values, same order).
   constexpr int kChunk = 16;
   const uint8_t* codes[kChunk];
   float ip[kChunk];
   const int64_t code_size = data_->rq.code_size();
+  const int stages = data_->rq.num_stages();
+  const bool packed = data_->rq.layout().packed();
+  if (packed) {
+    unpack_scratch_.resize(static_cast<std::size_t>(kChunk) * stages);
+  }
   for (int i = 0; i < count; i += kChunk) {
     const int block = std::min(kChunk, count - i);
     for (int j = 0; j < block; ++j) {
       const int64_t id = ids[i + j];
-      codes[j] = data_->codes.data() + id * code_size;
+      const uint8_t* code = data_->codes.data() + id * code_size;
+      if (packed) {
+        uint8_t* row = unpack_scratch_.data() + j * stages;
+        quant::UnpackCodes4(code, stages, row);
+        codes[j] = row;
+      } else {
+        codes[j] = code;
+      }
       extras[i + j] = data_->recon_errors[static_cast<std::size_t>(id)];
     }
-    simd::PqAdcBatch(active_table_, data_->rq.num_stages(),
-                     data_->rq.num_centroids(), codes, block, ip);
+    simd::PqAdcBatch(active_table_, stages, data_->rq.num_centroids(),
+                     codes, block, ip);
     for (int j = 0; j < block; ++j) {
       out[i + j] =
           query_norm_sqr_ - 2.0f * ip[j] +
@@ -356,8 +446,8 @@ std::string RqAdcEstimator::code_tag() const {
     f = quant::FingerprintArray(data_->recon_errors.data(),
                                 data_->recon_errors.size() * sizeof(float),
                                 f);
-    code_tag_ =
-        quant::MakeCodeTag("rq-adc", data_->rq.code_size(), 2, size(), f);
+    code_tag_ = quant::MakeCodeTag("rq-adc", data_->rq.code_size(), 2,
+                                   size(), f, data_->rq.layout().packing);
   }
   return code_tag_;
 }
@@ -368,7 +458,8 @@ int64_t RqAdcEstimator::code_record_stride() const {
 
 quant::CodeStore RqAdcEstimator::MakeCodeStore() const {
   const int64_t code_size = data_->rq.code_size();
-  quant::CodeStore store(size(), code_size, 2, code_tag());
+  quant::CodeStore store(size(), code_size, 2, code_tag(),
+                         data_->rq.layout().packing);
   for (int64_t i = 0; i < size(); ++i) {
     store.SetCode(i, data_->codes.data() + i * code_size);
     store.SetSidecar(i, 0, data_->recon_norms[static_cast<std::size_t>(i)]);
@@ -389,17 +480,28 @@ void RqAdcEstimator::EstimateBatchCodes(const uint8_t* records, int count,
   float norms[kChunk];
   const int64_t code_size = data_->rq.code_size();
   const int64_t stride = code_record_stride();
+  const int stages = data_->rq.num_stages();
+  const bool packed = data_->rq.layout().packed();
+  if (packed) {
+    unpack_scratch_.resize(static_cast<std::size_t>(kChunk) * stages);
+  }
   for (int i = 0; i < count; i += kChunk) {
     const int block = std::min(kChunk, count - i);
     for (int j = 0; j < block; ++j) {
       const uint8_t* rec = records + (i + j) * stride;
       const float* sidecars = quant::RecordSidecars(rec, code_size);
-      codes[j] = rec;
+      if (packed) {
+        uint8_t* row = unpack_scratch_.data() + j * stages;
+        quant::UnpackCodes4(rec, stages, row);
+        codes[j] = row;
+      } else {
+        codes[j] = rec;
+      }
       norms[j] = sidecars[0];
       extras[i + j] = sidecars[1];
     }
-    simd::PqAdcBatch(active_table_, data_->rq.num_stages(),
-                     data_->rq.num_centroids(), codes, block, ip);
+    simd::PqAdcBatch(active_table_, stages, data_->rq.num_centroids(),
+                     codes, block, ip);
     for (int j = 0; j < block; ++j) {
       out[i + j] = query_norm_sqr_ - 2.0f * ip[j] + norms[j];
     }
@@ -426,18 +528,29 @@ void RqAdcEstimator::EstimateBatchCodesGroup(const uint8_t* records,
   }
   const int64_t code_size = data_->rq.code_size();
   const int64_t stride = code_record_stride();
+  const int stages = data_->rq.num_stages();
+  const bool packed = data_->rq.layout().packed();
+  if (packed) {
+    unpack_scratch_.resize(static_cast<std::size_t>(kChunk) * stages);
+  }
   for (int i = 0; i < count; i += kChunk) {
     const int block = std::min(kChunk, count - i);
     for (int j = 0; j < block; ++j) {
       const uint8_t* rec = records + (i + j) * stride;
       const float* sidecars = quant::RecordSidecars(rec, code_size);
-      codes[j] = rec;
+      if (packed) {
+        uint8_t* row = unpack_scratch_.data() + j * stages;
+        quant::UnpackCodes4(rec, stages, row);
+        codes[j] = row;
+      } else {
+        codes[j] = rec;
+      }
       norms[j] = sidecars[0];
       for (int g = 0; g < num_members; ++g) {
         extras[static_cast<int64_t>(g) * count + i + j] = sidecars[1];
       }
     }
-    simd::PqAdcTile(tables, num_members, data_->rq.num_stages(),
+    simd::PqAdcTile(tables, num_members, stages,
                     data_->rq.num_centroids(), codes, block, tile);
     for (int g = 0; g < num_members; ++g) {
       const float qnorm = group_norms_[static_cast<std::size_t>(members[g])];

@@ -166,6 +166,15 @@ SqEstimatorData BuildSqEstimatorData(const linalg::Matrix& base,
 class PqAdcEstimator : public ApproxDistanceEstimator {
  public:
   // `data` must outlive the estimator.
+  //
+  // Packed 4-bit codebooks (pq.layout().packed()) take the fast-scan tier:
+  // BeginQuery additionally quantizes the ADC table to a register-resident
+  // u8 LUT (PqCodebook::QuantizeAdcTable) and every estimate path
+  // dequantizes the exact integer LUT sum — within the documented
+  // m * scale / 2 bound of the float ADC value, with survivors still
+  // exactly rescored by the prune/refine epilogue. All packed paths
+  // (sequential, batch, code-resident, grouped) share the same sum +
+  // dequantization arithmetic, so they stay bit-identical to each other.
   explicit PqAdcEstimator(const PqEstimatorData* data);
 
   std::string name() const override { return "pq-adc"; }
@@ -201,6 +210,16 @@ class PqAdcEstimator : public ApproxDistanceEstimator {
   // a row of group_tables_ after SelectQuery.
   const float* active_table_ = nullptr;
   std::vector<float> group_tables_;  // group_count_ x adc_table_size
+  // Fast-scan state (packed layout only): quantized LUT + affine map per
+  // query, with the group variants mirroring group_tables_. The active_*
+  // trio swaps on SelectQuery exactly like active_table_.
+  bool packed_ = false;
+  std::vector<uint8_t> qlut_;
+  float qscale_ = 0.0f, qbias_ = 0.0f;
+  const uint8_t* active_qlut_ = nullptr;
+  float active_qscale_ = 0.0f, active_qbias_ = 0.0f;
+  std::vector<uint8_t> group_qluts_;  // group_count_ x fast_scan_lut_bytes
+  std::vector<float> group_qscales_, group_qbiases_;
   // Lazily built (content fingerprint is O(n)); estimators are per-thread.
   mutable std::string code_tag_;
 };
@@ -242,6 +261,11 @@ class RqAdcEstimator : public ApproxDistanceEstimator {
   const float* active_table_ = nullptr;
   std::vector<float> group_tables_;  // group_count_ x ip_table_size
   std::vector<float> group_norms_;   // ||q||^2 per member
+  // Packed-layout scratch: the batch paths unpack each chunk's nibble
+  // codes to bytes here before the shared table-lookup kernel (kChunk x
+  // num_stages bytes). Values and summation order match the byte path, so
+  // the unpack is invisible to results.
+  std::vector<uint8_t> unpack_scratch_;
   mutable std::string code_tag_;
 };
 

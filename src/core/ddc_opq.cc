@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/pq_scan.h"
 #include "index/block_refine.h"
 #include "simd/kernels.h"
 #include "util/macros.h"
@@ -58,17 +59,34 @@ DdcOpqArtifacts TrainDdcOpq(const linalg::Matrix& base,
   linalg::Matrix rotated_queries =
       artifacts.opq.RotateBatch(train_queries.data(), train_queries.rows());
   std::vector<float> table(codebook.adc_table_size());
+  // Packed codebooks serve quantized-LUT estimates at query time, so the
+  // corrector must be trained on the same feature distribution it will see.
+  const bool packed = codebook.layout().packed();
+  std::vector<uint8_t> lut(
+      packed ? static_cast<std::size_t>(codebook.fast_scan_lut_bytes()) : 0);
+  float lut_scale = 0.0f, lut_bias = 0.0f;
   int64_t table_query = -1;
   std::vector<CorrectorSample> samples = MaterializeSamples(
       pairs, [&](int64_t query_index, int64_t id, float* extra) {
         if (query_index != table_query) {
           codebook.ComputeAdcTable(rotated_queries.Row(query_index),
                                    table.data());
+          if (packed) {
+            codebook.QuantizeAdcTable(table.data(), lut.data(), &lut_scale,
+                                      &lut_bias);
+          }
           table_query = query_index;
         }
         *extra = artifacts.recon_errors[id];
-        return codebook.AdcDistance(
-            table.data(), artifacts.codes.data() + id * codebook.code_size());
+        const uint8_t* code =
+            artifacts.codes.data() + id * codebook.code_size();
+        if (packed) {
+          return quant::PqCodebook::DequantizeFastScanSum(
+              simd::PqAdcFastScanOne(lut.data(), codebook.num_subspaces(),
+                                     code),
+              lut_scale, lut_bias);
+        }
+        return codebook.AdcDistance(table.data(), code);
       });
 
   LinearCorrectorOptions corrector_options = options.corrector;
@@ -80,13 +98,21 @@ DdcOpqArtifacts TrainDdcOpq(const linalg::Matrix& base,
 
 DdcOpqComputer::DdcOpqComputer(const linalg::Matrix* base,
                                const DdcOpqArtifacts* artifacts)
-    : base_(base), artifacts_(artifacts) {
+    : base_(base),
+      artifacts_(artifacts),
+      packed_(artifacts != nullptr &&
+              artifacts->opq.codebook().layout().packed()) {
   RESINFER_CHECK(base != nullptr && artifacts != nullptr);
   RESINFER_CHECK(artifacts->opq.trained());
   RESINFER_CHECK(artifacts->opq.dim() == base->cols());
   rotated_query_.resize(base->cols());
   adc_table_.resize(artifacts->opq.codebook().adc_table_size());
   active_adc_table_ = adc_table_.data();
+  if (packed_) {
+    qlut_.resize(static_cast<std::size_t>(
+        artifacts->opq.codebook().fast_scan_lut_bytes()));
+    active_qlut_ = qlut_.data();
+  }
 }
 
 void DdcOpqComputer::BeginQuery(const float* query) {
@@ -95,35 +121,65 @@ void DdcOpqComputer::BeginQuery(const float* query) {
   artifacts_->opq.codebook().ComputeAdcTable(rotated_query_.data(),
                                              adc_table_.data());
   active_adc_table_ = adc_table_.data();
+  if (packed_) {
+    artifacts_->opq.codebook().QuantizeAdcTable(adc_table_.data(),
+                                                qlut_.data(), &qscale_,
+                                                &qbias_);
+    active_qlut_ = qlut_.data();
+    active_qscale_ = qscale_;
+    active_qbias_ = qbias_;
+  }
 }
 
 void DdcOpqComputer::SetQueryBatch(const float* queries, int count,
                                    int64_t stride) {
   index::DistanceComputer::SetQueryBatch(queries, count, stride);
-  const int64_t table_size = artifacts_->opq.codebook().adc_table_size();
+  const auto& codebook = artifacts_->opq.codebook();
+  const int64_t table_size = codebook.adc_table_size();
   group_tables_.resize(static_cast<std::size_t>(count * table_size));
+  const int64_t lut_bytes = packed_ ? codebook.fast_scan_lut_bytes() : 0;
+  if (packed_) {
+    group_qluts_.resize(static_cast<std::size_t>(count * lut_bytes));
+    group_qscales_.resize(static_cast<std::size_t>(count));
+    group_qbiases_.resize(static_cast<std::size_t>(count));
+  }
   for (int g = 0; g < count; ++g) {
     artifacts_->opq.Rotate(GroupQuery(g), rotated_query_.data());
-    artifacts_->opq.codebook().ComputeAdcTable(
-        rotated_query_.data(), group_tables_.data() + g * table_size);
+    float* table = group_tables_.data() + g * table_size;
+    codebook.ComputeAdcTable(rotated_query_.data(), table);
+    if (packed_) {
+      codebook.QuantizeAdcTable(
+          table, group_qluts_.data() + g * lut_bytes,
+          &group_qscales_[static_cast<std::size_t>(g)],
+          &group_qbiases_[static_cast<std::size_t>(g)]);
+    }
   }
 }
 
 void DdcOpqComputer::SelectQuery(int g) {
   RESINFER_DCHECK(g >= 0 && g < group_count_);
   query_ = GroupQuery(g);
-  active_adc_table_ =
-      group_tables_.data() +
-      g * artifacts_->opq.codebook().adc_table_size();
+  const auto& codebook = artifacts_->opq.codebook();
+  active_adc_table_ = group_tables_.data() + g * codebook.adc_table_size();
+  if (packed_) {
+    active_qlut_ = group_qluts_.data() + g * codebook.fast_scan_lut_bytes();
+    active_qscale_ = group_qscales_[static_cast<std::size_t>(g)];
+    active_qbias_ = group_qbiases_[static_cast<std::size_t>(g)];
+  }
 }
 
 index::EstimateResult DdcOpqComputer::EstimateWithThreshold(int64_t id,
                                                             float tau) {
   ++stats_.candidates;
   const auto& codebook = artifacts_->opq.codebook();
-  const float adc = codebook.AdcDistance(
-      active_adc_table_,
-      artifacts_->codes.data() + id * codebook.code_size());
+  const uint8_t* code =
+      artifacts_->codes.data() + id * codebook.code_size();
+  const float adc =
+      packed_ ? quant::PqCodebook::DequantizeFastScanSum(
+                    simd::PqAdcFastScanOne(active_qlut_,
+                                           codebook.num_subspaces(), code),
+                    active_qscale_, active_qbias_)
+              : codebook.AdcDistance(active_adc_table_, code);
 
   if (std::isfinite(tau) &&
       artifacts_->corrector.PredictPrunable(adc, tau,
@@ -150,8 +206,8 @@ void DdcOpqComputer::EstimateBatch(const int64_t* ids, int count, float tau,
           codes[j] = artifacts_->codes.data() + chunk[j] * code_size;
           extras[j] = artifacts_->recon_errors[chunk[j]];
         }
-        simd::PqAdcBatch(active_adc_table_, codebook.num_subspaces(),
-                         codebook.num_centroids(), codes, n, approx);
+        ScorePqChunk(codebook, packed_, active_adc_table_, active_qlut_,
+                     active_qscale_, active_qbias_, codes, n, approx);
       },
       [this, tau](float approx, float extra) {
         return artifacts_->corrector.PredictPrunable(approx, tau, extra);
@@ -167,14 +223,16 @@ std::string DdcOpqComputer::code_tag() const {
         artifacts_->recon_errors.data(),
         artifacts_->recon_errors.size() * sizeof(float), f);
     code_tag_ = quant::MakeCodeTag(
-        "ddc-opq", artifacts_->opq.codebook().code_size(), 1, size(), f);
+        "ddc-opq", artifacts_->opq.codebook().code_size(), 1, size(), f,
+        artifacts_->opq.codebook().layout().packing);
   }
   return code_tag_;
 }
 
 quant::CodeStore DdcOpqComputer::MakeCodeStore() const {
   const int64_t code_size = artifacts_->opq.codebook().code_size();
-  quant::CodeStore store(size(), code_size, 1, code_tag());
+  quant::CodeStore store(size(), code_size, 1, code_tag(),
+                         artifacts_->opq.codebook().layout().packing);
   for (int64_t i = 0; i < size(); ++i) {
     store.SetCode(i, artifacts_->codes.data() + i * code_size);
     store.SetSidecar(i, 0, artifacts_->recon_errors[i]);
@@ -205,8 +263,8 @@ void DdcOpqComputer::EstimateBatchCodes(const uint8_t* codes,
           code_ptrs[j] = rec;
           extras[j] = quant::RecordSidecars(rec, code_size)[0];
         }
-        simd::PqAdcBatch(active_adc_table_, codebook.num_subspaces(),
-                         codebook.num_centroids(), code_ptrs, n, approx);
+        ScorePqChunk(codebook, packed_, active_adc_table_, active_qlut_,
+                     active_qscale_, active_qbias_, code_ptrs, n, approx);
       },
       [this, tau](float approx, float extra) {
         return artifacts_->corrector.PredictPrunable(approx, tau, extra);
@@ -222,9 +280,14 @@ float DdcOpqComputer::ExactDistance(int64_t id) {
 
 float DdcOpqComputer::ApproximateDistance(int64_t id) const {
   const auto& codebook = artifacts_->opq.codebook();
-  return codebook.AdcDistance(
-      active_adc_table_,
-      artifacts_->codes.data() + id * codebook.code_size());
+  const uint8_t* code =
+      artifacts_->codes.data() + id * codebook.code_size();
+  if (packed_) {
+    return quant::PqCodebook::DequantizeFastScanSum(
+        simd::PqAdcFastScanOne(active_qlut_, codebook.num_subspaces(), code),
+        active_qscale_, active_qbias_);
+  }
+  return codebook.AdcDistance(active_adc_table_, code);
 }
 
 }  // namespace resinfer::core

@@ -97,6 +97,17 @@ class DdcOpqComputer : public index::DistanceComputer {
   // as scratch instead of keeping per-member copies.
   const float* active_adc_table_ = nullptr;
   std::vector<float> group_tables_;  // group x adc_table_size
+  // Fast-scan state (packed 4-bit OPQ codebooks): per-query quantized LUT
+  // + affine map, swapped by SelectQuery like active_adc_table_. Estimates
+  // then dequantize exact integer LUT sums (within the documented
+  // m * scale / 2 bound); survivors are exactly rescored as usual.
+  bool packed_ = false;
+  std::vector<uint8_t> qlut_;
+  float qscale_ = 0.0f, qbias_ = 0.0f;
+  const uint8_t* active_qlut_ = nullptr;
+  float active_qscale_ = 0.0f, active_qbias_ = 0.0f;
+  std::vector<uint8_t> group_qluts_;
+  std::vector<float> group_qscales_, group_qbiases_;
   // Lazily built (content fingerprint is O(n)); computers are per-thread.
   mutable std::string code_tag_;
 };

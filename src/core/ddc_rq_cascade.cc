@@ -18,7 +18,8 @@ float TruncatedAdc(const quant::RqCodebook& rq, const float* table,
                    float level_norm_sqr) {
   float ip = 0.0f;
   for (int m = 0; m < stages; ++m) {
-    ip += table[static_cast<int64_t>(m) * rq.num_centroids() + code[m]];
+    ip += table[static_cast<int64_t>(m) * rq.num_centroids() +
+                rq.CodeAt(code, m)];
   }
   return query_norm_sqr - 2.0f * ip + level_norm_sqr;
 }
@@ -65,7 +66,7 @@ DdcRqCascadeArtifacts TrainDdcRqCascade(const linalg::Matrix& base,
       for (int64_t l = 0; l < num_levels; ++l) {
         for (; stage < options.levels[static_cast<std::size_t>(l)];
              ++stage) {
-          const float* c = rq.centroids(stage).Row(code[stage]);
+          const float* c = rq.centroids(stage).Row(rq.CodeAt(code, stage));
           for (int64_t j = 0; j < d; ++j) {
             partial[static_cast<std::size_t>(j)] += c[j];
           }
@@ -177,7 +178,7 @@ index::EstimateResult DdcRqCascadeComputer::EstimateWithThreshold(
       for (; stage < stages; ++stage) {
         ip += active_ip_table_[static_cast<std::size_t>(
             static_cast<int64_t>(stage) * rq.num_centroids() +
-            code[stage])];
+            rq.CodeAt(code, stage))];
         ++stage_lookups_;
       }
       const float approx =
@@ -211,7 +212,8 @@ std::string DdcRqCascadeComputer::code_tag() const {
         artifacts_->level_errors.size() * sizeof(float), f);
     code_tag_ = quant::MakeCodeTag(
         "ddc-rq-cascade", artifacts_->rq.code_size(),
-        2 * static_cast<int>(artifacts_->levels.size()), size(), f);
+        2 * static_cast<int>(artifacts_->levels.size()), size(), f,
+        artifacts_->rq.layout().packing);
   }
   return code_tag_;
 }
@@ -220,7 +222,8 @@ quant::CodeStore DdcRqCascadeComputer::MakeCodeStore() const {
   const int64_t code_size = artifacts_->rq.code_size();
   const auto num_levels = static_cast<int64_t>(artifacts_->levels.size());
   quant::CodeStore store(size(), code_size,
-                         static_cast<int>(2 * num_levels), code_tag());
+                         static_cast<int>(2 * num_levels), code_tag(),
+                         artifacts_->rq.layout().packing);
   for (int64_t i = 0; i < size(); ++i) {
     store.SetCode(i, artifacts_->codes.data() + i * code_size);
     for (int64_t l = 0; l < num_levels; ++l) {
@@ -264,7 +267,7 @@ void DdcRqCascadeComputer::EstimateBatchCodes(const uint8_t* codes,
         for (; stage < stages; ++stage) {
           ip += active_ip_table_[static_cast<std::size_t>(
               static_cast<int64_t>(stage) * rq.num_centroids() +
-              rec[stage])];
+              rq.CodeAt(rec, stage))];
           ++stage_lookups_;
         }
         const float approx = query_norm_sqr_ - 2.0f * ip + norms[l];

@@ -1,0 +1,51 @@
+// Shared chunk scorer for the PQ-backed estimate paths (DdcAny's
+// PqAdcEstimator and DdcOpqComputer).
+//
+// Both computers score candidate chunks with one of two tiers: the
+// byte-per-code float-table gather kernel (PqAdcBatch), or — for packed
+// 4-bit codebooks — the quantized-LUT fast-scan plus the shared
+// dequantization (PqAdcFastScan; see quant/code_layout.h). This helper is
+// the ONE routing point between the tiers: every batch path (id-gather and
+// code-resident alike) calls it, so a change to either tier's chunk
+// arithmetic cannot drift between call sites and break the bit-identity
+// contracts the fastscan-parity suite pins.
+#ifndef RESINFER_CORE_PQ_SCAN_H_
+#define RESINFER_CORE_PQ_SCAN_H_
+
+#include <cstdint>
+
+#include "quant/pq.h"
+#include "simd/kernels.h"
+#include "util/macros.h"
+
+namespace resinfer::core {
+
+// Upper bound on `n` per call (the block-refine chunk; callers feed 16 or
+// 32 codes at a time).
+inline constexpr int kPqScanChunk = 32;
+
+// out[j] = estimate for codes[j], j in [0, n). Packed tier: exact integer
+// LUT sums dequantized through the one shared expression; byte tier: the
+// float ADC table accumulation. `table` may be null when packed, and
+// `lut`/`scale`/`bias` are ignored when not.
+inline void ScorePqChunk(const quant::PqCodebook& codebook, bool packed,
+                         const float* table, const uint8_t* lut, float scale,
+                         float bias, const uint8_t* const* codes, int n,
+                         float* out) {
+  RESINFER_DCHECK(n <= kPqScanChunk);
+  if (packed) {
+    uint16_t sums[kPqScanChunk];
+    simd::PqAdcFastScan(lut, codebook.num_subspaces(), codes, n, sums);
+    for (int j = 0; j < n; ++j) {
+      out[j] =
+          quant::PqCodebook::DequantizeFastScanSum(sums[j], scale, bias);
+    }
+  } else {
+    simd::PqAdcBatch(table, codebook.num_subspaces(),
+                     codebook.num_centroids(), codes, n, out);
+  }
+}
+
+}  // namespace resinfer::core
+
+#endif  // RESINFER_CORE_PQ_SCAN_H_

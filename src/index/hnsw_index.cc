@@ -322,7 +322,10 @@ std::vector<Neighbor> HnswIndex::Search(DistanceComputer& computer,
                                         const float* query, int k, int ef,
                                         HnswScratch* scratch) const {
   RESINFER_CHECK(size_ > 0);
-  RESINFER_CHECK(k > 0);
+  // Arguments are clamped instead of surprising the caller, mirroring
+  // IvfIndex::Search: k <= 0 returns an empty result, k > n simply yields
+  // fewer neighbors, and ef < k (including ef <= 0) widens to k.
+  if (k <= 0) return {};
   ef = std::max(ef, k);
   computer.BeginQuery(query);
 

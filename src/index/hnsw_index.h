@@ -70,7 +70,10 @@ class HnswIndex {
   // Approximate memory footprint of the graph structure in bytes.
   int64_t GraphBytes() const;
 
-  // Results ascend by exact distance; size <= k. ef is clamped to >= k.
+  // Results ascend by exact distance; size <= k. Arguments are clamped
+  // instead of aborting, mirroring IvfIndex::Search: k <= 0 returns an
+  // empty result, k > size() simply yields fewer neighbors, and ef < k
+  // (including ef <= 0) widens to k.
   std::vector<Neighbor> Search(DistanceComputer& computer, const float* query,
                                int k, int ef,
                                HnswScratch* scratch = nullptr) const;

@@ -9,6 +9,11 @@ namespace resinfer::persist {
 namespace {
 
 constexpr uint32_t kVersion = 1;
+// Quantizer/artifact format v2 records the code layout (bits + packing,
+// quant/code_layout.h) so packed 4-bit codes round-trip; v1 files predate
+// nbits-honest code sizes and load as the byte-per-code layout they were
+// written with.
+constexpr uint32_t kVersionCodeLayout = 2;
 // IVF v2 switched bucket storage to the CSR layout (offsets + flat ids);
 // v1 nested-bucket files still load.
 constexpr uint32_t kIvfVersionCsr = 2;
@@ -16,6 +21,9 @@ constexpr uint32_t kIvfVersionCsr = 2;
 // quant::CodeStore (tag + layout + raw records). v1/v2 files still load —
 // they simply come back without attached codes.
 constexpr uint32_t kIvfVersionCodes = 3;
+// IVF v4 adds the code section's packing byte (packed 4-bit vs
+// byte-per-code records). v3 sections load as byte-per-code.
+constexpr uint32_t kIvfVersionPacked = 4;
 constexpr char kMatrixMagic[8] = {'R', 'I', 'M', 'A', 'T', 'R', 'X', '1'};
 constexpr char kPcaMagic[8] = {'R', 'I', 'P', 'C', 'A', 'M', 'D', '1'};
 constexpr char kPqMagic[8] = {'R', 'I', 'P', 'Q', 'C', 'B', 'K', '1'};
@@ -32,6 +40,36 @@ constexpr char kDdcRqCascadeMagic[8] = {'R', 'I', 'D', 'R', 'Q', 'C', 'A', '1'};
 bool Fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
   return false;
+}
+
+// Reads a magic/version header whose version may be any of [1,
+// max_version] — the hand-versioned counterpart of ExpectHeader for
+// formats with older revisions still on disk.
+bool ReadVersionedHeader(BinaryReader& reader, const char magic[8],
+                         uint32_t max_version, uint32_t* version) {
+  char got[8] = {};
+  reader.ReadBytes(got, 8);
+  return reader.Read(version) && std::memcmp(got, magic, 8) == 0 &&
+         *version >= 1 && *version <= max_version;
+}
+
+void WriteCodeLayout(BinaryWriter& writer, const quant::CodeLayout& layout) {
+  writer.Write<int32_t>(layout.bits);
+  writer.Write<uint8_t>(static_cast<uint8_t>(layout.packing));
+}
+
+bool ReadCodeLayout(BinaryReader& reader, quant::CodeLayout* out) {
+  int32_t bits = 0;
+  uint8_t packing = 0;
+  if (!reader.Read(&bits) || !reader.Read(&packing)) return false;
+  if (bits < 1 || bits > 8 || packing > 1) return false;
+  if (packing == static_cast<uint8_t>(quant::CodePacking::kPacked4) &&
+      bits > 4) {
+    return false;
+  }
+  out->bits = bits;
+  out->packing = static_cast<quant::CodePacking>(packing);
+  return true;
 }
 
 bool FinishWrite(BinaryWriter& writer, const std::string& path,
@@ -136,8 +174,9 @@ bool LoadPca(const std::string& path, linalg::PcaModel* out,
 bool SavePq(const std::string& path, const quant::PqCodebook& pq,
             std::string* error) {
   BinaryWriter writer(path);
-  WriteHeader(writer, kPqMagic, kVersion);
+  WriteHeader(writer, kPqMagic, kVersionCodeLayout);
   writer.Write<int32_t>(pq.num_subspaces());
+  WriteCodeLayout(writer, pq.layout());
   for (int s = 0; s < pq.num_subspaces(); ++s) {
     WriteMatrixPayload(writer, pq.centroids(s));
   }
@@ -147,11 +186,17 @@ bool SavePq(const std::string& path, const quant::PqCodebook& pq,
 bool LoadPq(const std::string& path, quant::PqCodebook* out,
             std::string* error) {
   BinaryReader reader(path);
-  if (!reader.ExpectHeader(kPqMagic, kVersion))
+  uint32_t version = 0;
+  if (!ReadVersionedHeader(reader, kPqMagic, kVersionCodeLayout, &version))
     return Fail(error, path + ": bad pq header");
   int32_t m = 0;
   if (!reader.Read(&m) || m <= 0 || m > 4096)
     return Fail(error, path + ": bad subspace count");
+  quant::CodeLayout layout;  // v1 files are byte-per-code
+  if (version >= kVersionCodeLayout && !ReadCodeLayout(reader, &layout))
+    return Fail(error, path + ": bad pq code layout");
+  if (layout.packed() && m > 256)
+    return Fail(error, path + ": packed layout requires m <= 256");
   std::vector<linalg::Matrix> codebooks;
   codebooks.reserve(m);
   for (int32_t s = 0; s < m; ++s) {
@@ -166,17 +211,20 @@ bool LoadPq(const std::string& path, quant::PqCodebook* out,
       return Fail(error, path + ": inconsistent pq codebook shapes");
     }
   }
-  *out = quant::PqCodebook::FromCodebooks(std::move(codebooks));
+  if (codebooks[0].rows() > (int64_t{1} << layout.bits))
+    return Fail(error, path + ": pq codebook larger than layout bits");
+  *out = quant::PqCodebook::FromCodebooks(std::move(codebooks), layout);
   return true;
 }
 
 bool SaveOpq(const std::string& path, const quant::OpqModel& model,
              std::string* error) {
   BinaryWriter writer(path);
-  WriteHeader(writer, kOpqMagic, kVersion);
+  WriteHeader(writer, kOpqMagic, kVersionCodeLayout);
   WriteMatrixPayload(writer, model.rotation());
   const quant::PqCodebook& pq = model.codebook();
   writer.Write<int32_t>(pq.num_subspaces());
+  WriteCodeLayout(writer, pq.layout());
   for (int s = 0; s < pq.num_subspaces(); ++s) {
     WriteMatrixPayload(writer, pq.centroids(s));
   }
@@ -186,7 +234,8 @@ bool SaveOpq(const std::string& path, const quant::OpqModel& model,
 bool LoadOpq(const std::string& path, quant::OpqModel* out,
              std::string* error) {
   BinaryReader reader(path);
-  if (!reader.ExpectHeader(kOpqMagic, kVersion))
+  uint32_t version = 0;
+  if (!ReadVersionedHeader(reader, kOpqMagic, kVersionCodeLayout, &version))
     return Fail(error, path + ": bad opq header");
   linalg::Matrix rotation;
   if (!ReadMatrixPayload(reader, &rotation))
@@ -194,6 +243,11 @@ bool LoadOpq(const std::string& path, quant::OpqModel* out,
   int32_t m = 0;
   if (!reader.Read(&m) || m <= 0 || m > 4096)
     return Fail(error, path + ": bad subspace count");
+  quant::CodeLayout layout;  // v1 files are byte-per-code
+  if (version >= kVersionCodeLayout && !ReadCodeLayout(reader, &layout))
+    return Fail(error, path + ": bad opq code layout");
+  if (layout.packed() && m > 256)
+    return Fail(error, path + ": packed layout requires m <= 256");
   std::vector<linalg::Matrix> codebooks;
   for (int32_t s = 0; s < m; ++s) {
     linalg::Matrix table;
@@ -207,8 +261,10 @@ bool LoadOpq(const std::string& path, quant::OpqModel* out,
       return Fail(error, path + ": inconsistent opq codebook shapes");
     }
   }
-  quant::PqCodebook pq = quant::PqCodebook::FromCodebooks(
-      std::move(codebooks));
+  if (codebooks[0].rows() > (int64_t{1} << layout.bits))
+    return Fail(error, path + ": opq codebook larger than layout bits");
+  quant::PqCodebook pq =
+      quant::PqCodebook::FromCodebooks(std::move(codebooks), layout);
   if (pq.dim() != rotation.rows() || rotation.rows() != rotation.cols())
     return Fail(error, path + ": opq rotation/codebook dim mismatch");
   *out = quant::OpqModel::FromComponents(std::move(rotation), std::move(pq));
@@ -218,8 +274,9 @@ bool LoadOpq(const std::string& path, quant::OpqModel* out,
 bool SaveRq(const std::string& path, const quant::RqCodebook& rq,
             std::string* error) {
   BinaryWriter writer(path);
-  WriteHeader(writer, kRqMagic, kVersion);
+  WriteHeader(writer, kRqMagic, kVersionCodeLayout);
   writer.Write<int32_t>(rq.num_stages());
+  WriteCodeLayout(writer, rq.layout());
   for (int s = 0; s < rq.num_stages(); ++s) {
     WriteMatrixPayload(writer, rq.centroids(s));
   }
@@ -229,11 +286,15 @@ bool SaveRq(const std::string& path, const quant::RqCodebook& rq,
 bool LoadRq(const std::string& path, quant::RqCodebook* out,
             std::string* error) {
   BinaryReader reader(path);
-  if (!reader.ExpectHeader(kRqMagic, kVersion))
+  uint32_t version = 0;
+  if (!ReadVersionedHeader(reader, kRqMagic, kVersionCodeLayout, &version))
     return Fail(error, path + ": bad rq header");
   int32_t m = 0;
   if (!reader.Read(&m) || m <= 0 || m > 256)
     return Fail(error, path + ": bad rq stage count");
+  quant::CodeLayout layout;  // v1 files are byte-per-code
+  if (version >= kVersionCodeLayout && !ReadCodeLayout(reader, &layout))
+    return Fail(error, path + ": bad rq code layout");
   std::vector<linalg::Matrix> codebooks;
   codebooks.reserve(m);
   for (int32_t s = 0; s < m; ++s) {
@@ -249,7 +310,9 @@ bool LoadRq(const std::string& path, quant::RqCodebook* out,
       return Fail(error, path + ": inconsistent rq codebook shapes");
     }
   }
-  *out = quant::RqCodebook::FromCodebooks(std::move(codebooks));
+  if (codebooks[0].rows() > (int64_t{1} << layout.bits))
+    return Fail(error, path + ": rq codebook larger than layout bits");
+  *out = quant::RqCodebook::FromCodebooks(std::move(codebooks), layout);
   return true;
 }
 
@@ -319,19 +382,20 @@ bool LoadHnsw(const std::string& path, index::HnswIndex* out,
 bool SaveIvf(const std::string& path, const index::IvfIndex& ivf,
              std::string* error) {
   BinaryWriter writer(path);
-  WriteHeader(writer, kIvfMagic, kIvfVersionCodes);
+  WriteHeader(writer, kIvfMagic, kIvfVersionPacked);
   writer.Write(ivf.size());
   WriteMatrixPayload(writer, ivf.centroids());
   writer.Write<int32_t>(ivf.num_clusters());
   writer.WriteVector(ivf.bucket_offsets());
   writer.WriteVector(ivf.ids());
-  // v3 code section: the bucket-permuted store, saved record-for-record so
-  // loads re-attach without re-permuting.
+  // Code section (v3): the bucket-permuted store, saved record-for-record
+  // so loads re-attach without re-permuting; v4 adds the packing byte.
   writer.Write<uint8_t>(ivf.has_codes() ? 1 : 0);
   if (ivf.has_codes()) {
     const quant::CodeStore& codes = ivf.codes();
     writer.Write<int64_t>(codes.code_size());
     writer.Write<int32_t>(codes.num_sidecars());
+    writer.Write<uint8_t>(static_cast<uint8_t>(codes.packing()));
     writer.WriteString(codes.tag());
     writer.WriteVector(codes.raw());
   }
@@ -341,16 +405,12 @@ bool SaveIvf(const std::string& path, const index::IvfIndex& ivf,
 bool LoadIvf(const std::string& path, index::IvfIndex* out,
              std::string* error) {
   BinaryReader reader(path);
-  // Versioned by hand: v3 adds the code section, v2 is the CSR layout, v1
-  // the legacy nested buckets.
-  char magic[8] = {};
-  reader.ReadBytes(magic, 8);
+  // Versioned by hand: v4 adds the code section's packing byte, v3 the
+  // code section itself, v2 the CSR layout; v1 is the legacy nested
+  // buckets.
   uint32_t version = 0;
-  if (!reader.Read(&version) || std::memcmp(magic, kIvfMagic, 8) != 0 ||
-      (version != kVersion && version != kIvfVersionCsr &&
-       version != kIvfVersionCodes)) {
+  if (!ReadVersionedHeader(reader, kIvfMagic, kIvfVersionPacked, &version))
     return Fail(error, path + ": bad ivf header");
-  }
   int64_t size = 0;
   linalg::Matrix centroids;
   int32_t clusters = 0;
@@ -385,27 +445,43 @@ bool LoadIvf(const std::string& path, index::IvfIndex* out,
   if (static_cast<int64_t>(ids.size()) != size)
     return Fail(error, path + ": buckets do not partition the base");
 
-  // v3 code section (optional).
+  // Code section (v3 onward, optional; v4 adds the packing byte).
   quant::CodeStore codes;
   bool has_codes = false;
-  if (version == kIvfVersionCodes) {
+  if (version >= kIvfVersionCodes) {
     uint8_t flag = 0;
     if (!reader.Read(&flag))
       return Fail(error, path + ": truncated ivf code flag");
     if (flag != 0) {
       int64_t code_size = 0;
       int32_t num_sidecars = 0;
+      uint8_t packing = 0;  // v3 stores are byte-per-code
       std::string tag;
       std::vector<uint8_t> data;
       if (!reader.Read(&code_size) || !reader.Read(&num_sidecars) ||
+          (version >= kIvfVersionPacked && !reader.Read(&packing)) ||
           !reader.ReadString(&tag) || !reader.ReadVector(&data)) {
         return Fail(error, path + ": truncated ivf code section");
       }
+      if (packing > 1)
+        return Fail(error, path + ": bad ivf code packing");
+      // The packing byte and the tag's layout marker must agree, or a
+      // packed store could tag-match a byte-per-code computer (or vice
+      // versa) and be misindexed at scan time with no error anywhere —
+      // the confusion the explicit layout exists to rule out.
+      const bool tag_packed =
+          tag.size() >= 4 && tag.compare(tag.size() - 4, 4, "/pk4") == 0;
+      if (tag_packed !=
+          (packing == static_cast<uint8_t>(quant::CodePacking::kPacked4))) {
+        return Fail(error,
+                    path + ": ivf code packing disagrees with store tag");
+      }
       // FromParts rejects truncated or oversized payloads (the data must be
       // exactly one record per indexed point).
-      if (!quant::CodeStore::FromParts(size, code_size, num_sidecars,
-                                       std::move(tag), std::move(data),
-                                       &codes, &why)) {
+      if (!quant::CodeStore::FromParts(
+              size, code_size, num_sidecars, std::move(tag),
+              std::move(data), &codes, &why,
+              static_cast<quant::CodePacking>(packing))) {
         return Fail(error, path + ": ivf code section: " + why);
       }
       has_codes = true;
@@ -457,10 +533,11 @@ bool SaveDdcOpqArtifacts(const std::string& path,
                          const core::DdcOpqArtifacts& artifacts,
                          std::string* error) {
   BinaryWriter writer(path);
-  WriteHeader(writer, kDdcOpqMagic, kVersion);
+  WriteHeader(writer, kDdcOpqMagic, kVersionCodeLayout);
   WriteMatrixPayload(writer, artifacts.opq.rotation());
   const quant::PqCodebook& pq = artifacts.opq.codebook();
   writer.Write<int32_t>(pq.num_subspaces());
+  WriteCodeLayout(writer, pq.layout());
   for (int s = 0; s < pq.num_subspaces(); ++s) {
     WriteMatrixPayload(writer, pq.centroids(s));
   }
@@ -473,7 +550,9 @@ bool SaveDdcOpqArtifacts(const std::string& path,
 bool LoadDdcOpqArtifacts(const std::string& path, core::DdcOpqArtifacts* out,
                          std::string* error) {
   BinaryReader reader(path);
-  if (!reader.ExpectHeader(kDdcOpqMagic, kVersion))
+  uint32_t version = 0;
+  if (!ReadVersionedHeader(reader, kDdcOpqMagic, kVersionCodeLayout,
+                           &version))
     return Fail(error, path + ": bad ddc-opq header");
   linalg::Matrix rotation;
   if (!ReadMatrixPayload(reader, &rotation))
@@ -481,6 +560,11 @@ bool LoadDdcOpqArtifacts(const std::string& path, core::DdcOpqArtifacts* out,
   int32_t m = 0;
   if (!reader.Read(&m) || m <= 0 || m > 4096)
     return Fail(error, path + ": bad subspace count");
+  quant::CodeLayout layout;  // v1 files are byte-per-code
+  if (version >= kVersionCodeLayout && !ReadCodeLayout(reader, &layout))
+    return Fail(error, path + ": bad ddc-opq code layout");
+  if (layout.packed() && m > 256)
+    return Fail(error, path + ": packed layout requires m <= 256");
   std::vector<linalg::Matrix> codebooks;
   for (int32_t s = 0; s < m; ++s) {
     linalg::Matrix table;
@@ -494,9 +578,11 @@ bool LoadDdcOpqArtifacts(const std::string& path, core::DdcOpqArtifacts* out,
       return Fail(error, path + ": inconsistent codebook shapes");
     }
   }
+  if (codebooks[0].rows() > (int64_t{1} << layout.bits))
+    return Fail(error, path + ": codebook larger than layout bits");
   core::DdcOpqArtifacts artifacts;
-  quant::PqCodebook pq = quant::PqCodebook::FromCodebooks(
-      std::move(codebooks));
+  quant::PqCodebook pq =
+      quant::PqCodebook::FromCodebooks(std::move(codebooks), layout);
   if (pq.dim() != rotation.rows() || rotation.rows() != rotation.cols())
     return Fail(error, path + ": rotation/codebook dim mismatch");
   artifacts.opq = quant::OpqModel::FromComponents(std::move(rotation),
@@ -522,8 +608,9 @@ bool SaveDdcRqCascadeArtifacts(const std::string& path,
                                const core::DdcRqCascadeArtifacts& artifacts,
                                std::string* error) {
   BinaryWriter writer(path);
-  WriteHeader(writer, kDdcRqCascadeMagic, kVersion);
+  WriteHeader(writer, kDdcRqCascadeMagic, kVersionCodeLayout);
   writer.Write<int32_t>(artifacts.rq.num_stages());
+  WriteCodeLayout(writer, artifacts.rq.layout());
   for (int m = 0; m < artifacts.rq.num_stages(); ++m) {
     WriteMatrixPayload(writer, artifacts.rq.centroids(m));
   }
@@ -544,11 +631,16 @@ bool LoadDdcRqCascadeArtifacts(const std::string& path,
                                core::DdcRqCascadeArtifacts* out,
                                std::string* error) {
   BinaryReader reader(path);
-  if (!reader.ExpectHeader(kDdcRqCascadeMagic, kVersion))
+  uint32_t version = 0;
+  if (!ReadVersionedHeader(reader, kDdcRqCascadeMagic, kVersionCodeLayout,
+                           &version))
     return Fail(error, path + ": bad ddc-rq-cascade header");
   int32_t stages = 0;
   if (!reader.Read(&stages) || stages <= 0 || stages > 256)
     return Fail(error, path + ": bad stage count");
+  quant::CodeLayout layout;  // v1 files are byte-per-code
+  if (version >= kVersionCodeLayout && !ReadCodeLayout(reader, &layout))
+    return Fail(error, path + ": bad cascade code layout");
   std::vector<linalg::Matrix> codebooks;
   for (int32_t m = 0; m < stages; ++m) {
     linalg::Matrix table;
@@ -564,8 +656,11 @@ bool LoadDdcRqCascadeArtifacts(const std::string& path,
     }
   }
 
+  if (codebooks[0].rows() > (int64_t{1} << layout.bits))
+    return Fail(error, path + ": rq codebook larger than layout bits");
   core::DdcRqCascadeArtifacts artifacts;
-  artifacts.rq = quant::RqCodebook::FromCodebooks(std::move(codebooks));
+  artifacts.rq =
+      quant::RqCodebook::FromCodebooks(std::move(codebooks), layout);
 
   std::vector<int32_t> levels;
   if (!reader.ReadVector(&levels) || levels.empty())
@@ -583,7 +678,10 @@ bool LoadDdcRqCascadeArtifacts(const std::string& path,
       !reader.ReadVector(&artifacts.level_errors)) {
     return Fail(error, path + ": truncated cascade payload");
   }
-  const auto code_size = static_cast<std::size_t>(stages);
+  // The honest per-point byte count (packed layouts shrink it below the
+  // stage count), so a packed cascade's codes validate against what its
+  // readers will actually index.
+  const auto code_size = static_cast<std::size_t>(artifacts.rq.code_size());
   const std::size_t num_levels = levels.size();
   if (artifacts.codes.size() % code_size != 0)
     return Fail(error, path + ": codes size mismatch");

@@ -1,0 +1,100 @@
+// Code layout: how a quantizer's per-point sub-codes map onto bytes.
+//
+// PQ/RQ accept nbits in [1, 8] at train time, but until this header existed
+// every consumer assumed one byte per sub-code, so nbits < 8 silently wasted
+// half (or more) of the code storage and code_size() lied about the record
+// width. CodeLayout makes the packing explicit:
+//
+//   kBytePerCode — one byte per sub-code, any nbits in [1, 8]. The legacy
+//     layout; every persisted pre-v2 quantizer file loads as this.
+//   kPacked4     — two sub-codes per byte (even sub-code in the low nibble),
+//     nbits <= 4. The fast-scan operand: 16-entry sub-tables fit a SIMD
+//     register, so ADC accumulation runs as in-register shuffles
+//     (simd::PqAdcFastScan) instead of per-code gathers.
+//
+// Accessors below are the single source of truth for nibble addressing;
+// every reader of raw code bytes (estimators, the RQ cascade, tests) goes
+// through CodeAt instead of indexing code[s] directly.
+#ifndef RESINFER_QUANT_CODE_LAYOUT_H_
+#define RESINFER_QUANT_CODE_LAYOUT_H_
+
+#include <cstdint>
+
+namespace resinfer::quant {
+
+enum class CodePacking : uint8_t {
+  kBytePerCode = 0,
+  kPacked4 = 1,
+};
+
+struct CodeLayout {
+  int bits = 8;
+  CodePacking packing = CodePacking::kBytePerCode;
+
+  // The layout Train picks for a bits setting: pack pairs whenever the
+  // sub-codes fit a nibble, one byte per sub-code otherwise (5..8 bits
+  // round up to the byte the hardware addresses anyway).
+  static CodeLayout ForBits(int bits) {
+    return {bits, bits <= 4 ? CodePacking::kPacked4 : CodePacking::kBytePerCode};
+  }
+
+  bool packed() const { return packing == CodePacking::kPacked4; }
+
+  // True byte count of a record of `num_codes` sub-codes — the honest
+  // code_size(). Packed pairs share a byte; an odd trailing sub-code keeps
+  // its high nibble zero.
+  int64_t CodeBytes(int num_codes) const {
+    return packed() ? (static_cast<int64_t>(num_codes) + 1) / 2
+                    : static_cast<int64_t>(num_codes);
+  }
+
+  bool operator==(const CodeLayout& other) const {
+    return bits == other.bits && packing == other.packing;
+  }
+  bool operator!=(const CodeLayout& other) const { return !(*this == other); }
+};
+
+// Sub-code s of a raw code record under `layout`.
+inline uint8_t CodeAt(const uint8_t* code, int s, const CodeLayout& layout) {
+  if (!layout.packed()) return code[s];
+  const uint8_t byte = code[s >> 1];
+  return (s & 1) ? static_cast<uint8_t>(byte >> 4)
+                 : static_cast<uint8_t>(byte & 0x0f);
+}
+
+// Writes sub-code s (value < 16 when packed) into a record whose other
+// nibble of the shared byte must be preserved.
+inline void SetCodeAt(uint8_t* code, int s, uint8_t value,
+                      const CodeLayout& layout) {
+  if (!layout.packed()) {
+    code[s] = value;
+    return;
+  }
+  uint8_t& byte = code[s >> 1];
+  byte = (s & 1) ? static_cast<uint8_t>((byte & 0x0f) | (value << 4))
+                 : static_cast<uint8_t>((byte & 0xf0) | (value & 0x0f));
+}
+
+// Packs m byte-per-code sub-codes (each < 16) into (m + 1) / 2 bytes; the
+// pad nibble of an odd tail byte is zero so packed records fingerprint
+// deterministically.
+inline void PackCodes4(const uint8_t* unpacked, int m, uint8_t* packed) {
+  int s = 0;
+  for (; s + 2 <= m; s += 2) {
+    packed[s >> 1] =
+        static_cast<uint8_t>((unpacked[s] & 0x0f) | (unpacked[s + 1] << 4));
+  }
+  if (s < m) packed[s >> 1] = static_cast<uint8_t>(unpacked[s] & 0x0f);
+}
+
+inline void UnpackCodes4(const uint8_t* packed, int m, uint8_t* unpacked) {
+  for (int s = 0; s < m; ++s) {
+    const uint8_t byte = packed[s >> 1];
+    unpacked[s] = (s & 1) ? static_cast<uint8_t>(byte >> 4)
+                          : static_cast<uint8_t>(byte & 0x0f);
+  }
+}
+
+}  // namespace resinfer::quant
+
+#endif  // RESINFER_QUANT_CODE_LAYOUT_H_

@@ -5,11 +5,12 @@
 namespace resinfer::quant {
 
 CodeStore::CodeStore(int64_t n, int64_t code_size, int num_sidecars,
-                     std::string tag)
+                     std::string tag, CodePacking packing)
     : n_(n),
       code_size_(code_size),
       num_sidecars_(num_sidecars),
       stride_(CodeRecordStride(code_size, num_sidecars)),
+      packing_(packing),
       tag_(std::move(tag)) {
   RESINFER_CHECK(n >= 0 && code_size > 0 && num_sidecars >= 0);
   data_.assign(static_cast<std::size_t>(n * stride_), 0);
@@ -17,7 +18,7 @@ CodeStore::CodeStore(int64_t n, int64_t code_size, int num_sidecars,
 
 CodeStore CodeStore::PermutedBy(const std::vector<int64_t>& order) const {
   CodeStore out(static_cast<int64_t>(order.size()), code_size_, num_sidecars_,
-                tag_);
+                tag_, packing_);
   for (std::size_t j = 0; j < order.size(); ++j) {
     const int64_t i = order[j];
     RESINFER_CHECK(i >= 0 && i < n_);
@@ -29,7 +30,8 @@ CodeStore CodeStore::PermutedBy(const std::vector<int64_t>& order) const {
 
 bool CodeStore::FromParts(int64_t n, int64_t code_size, int num_sidecars,
                           std::string tag, std::vector<uint8_t> data,
-                          CodeStore* out, std::string* error) {
+                          CodeStore* out, std::string* error,
+                          CodePacking packing) {
   const auto fail = [error](const char* what) {
     if (error != nullptr) *error = what;
     return false;
@@ -55,6 +57,7 @@ bool CodeStore::FromParts(int64_t n, int64_t code_size, int num_sidecars,
   store.code_size_ = code_size;
   store.num_sidecars_ = num_sidecars;
   store.stride_ = stride;
+  store.packing_ = packing;
   store.tag_ = std::move(tag);
   store.data_ = std::move(data);
   *out = std::move(store);
@@ -87,10 +90,13 @@ uint64_t FingerprintArray(const void* data, std::size_t bytes,
 }
 
 std::string MakeCodeTag(const std::string& method, int64_t code_size,
-                        int num_sidecars, int64_t n, uint64_t fingerprint) {
-  return method + "/cs" + std::to_string(code_size) + "/sc" +
-         std::to_string(num_sidecars) + "/n" + std::to_string(n) + "/f" +
-         std::to_string(fingerprint);
+                        int num_sidecars, int64_t n, uint64_t fingerprint,
+                        CodePacking packing) {
+  std::string tag = method + "/cs" + std::to_string(code_size) + "/sc" +
+                    std::to_string(num_sidecars) + "/n" + std::to_string(n) +
+                    "/f" + std::to_string(fingerprint);
+  if (packing == CodePacking::kPacked4) tag += "/pk4";
+  return tag;
 }
 
 }  // namespace resinfer::quant

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "quant/code_layout.h"
+
 namespace resinfer::quant {
 
 // Byte offset of the sidecar floats inside a record: the packed code,
@@ -53,13 +55,18 @@ inline const float* RecordSidecars(const uint8_t* record, int64_t code_size) {
 class CodeStore {
  public:
   CodeStore() = default;
-  // n zero-initialized records; fill with SetCode / SetSidecar.
-  CodeStore(int64_t n, int64_t code_size, int num_sidecars, std::string tag);
+  // n zero-initialized records; fill with SetCode / SetSidecar. `packing`
+  // declares how the code bytes encode sub-codes (quant/code_layout.h) so a
+  // packed 4-bit store can never be mistaken for a byte-per-code one —
+  // scan routing checks the tag, persist validates the explicit field.
+  CodeStore(int64_t n, int64_t code_size, int num_sidecars, std::string tag,
+            CodePacking packing = CodePacking::kBytePerCode);
 
   bool empty() const { return n_ == 0; }
   int64_t size() const { return n_; }
   int64_t code_size() const { return code_size_; }
   int num_sidecars() const { return num_sidecars_; }
+  CodePacking packing() const { return packing_; }
   int64_t sidecar_offset() const { return CodeSidecarOffset(code_size_); }
   int64_t stride() const { return stride_; }
   const std::string& tag() const { return tag_; }
@@ -92,13 +99,15 @@ class CodeStore {
   // payloads) and returns false with *error set (may be null) otherwise.
   static bool FromParts(int64_t n, int64_t code_size, int num_sidecars,
                         std::string tag, std::vector<uint8_t> data,
-                        CodeStore* out, std::string* error);
+                        CodeStore* out, std::string* error,
+                        CodePacking packing = CodePacking::kBytePerCode);
 
  private:
   int64_t n_ = 0;
   int64_t code_size_ = 0;
   int num_sidecars_ = 0;
   int64_t stride_ = 0;
+  CodePacking packing_ = CodePacking::kBytePerCode;
   std::string tag_;
   // Vector storage is new[]-aligned (>= 8), and stride_ is a multiple of 4,
   // so in-record floats are always 4-byte aligned.
@@ -125,8 +134,12 @@ uint64_t FingerprintArray(const void* data, std::size_t bytes,
 // were packed from. Layout alone is not enough — retraining a codebook
 // with the same shape produces byte-different codes, and a stale persisted
 // store must fall back to the gather path, not be streamed as current.
+// Packed stores carry a "/pk4" marker (byte-per-code tags are unchanged so
+// pre-existing persisted stores keep matching their computers): a packed
+// store can therefore never tag-match a byte-per-code scan or vice versa.
 std::string MakeCodeTag(const std::string& method, int64_t code_size,
-                        int num_sidecars, int64_t n, uint64_t fingerprint);
+                        int num_sidecars, int64_t n, uint64_t fingerprint,
+                        CodePacking packing = CodePacking::kBytePerCode);
 
 }  // namespace resinfer::quant
 

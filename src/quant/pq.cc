@@ -40,6 +40,12 @@ PqCodebook PqCodebook::Train(const float* data, int64_t n, int64_t d,
   pq.m_ = options.num_subspaces;
   pq.dsub_ = d / options.num_subspaces;
   pq.ksub_ = std::min<int64_t>(1 << options.nbits, train_n);
+  // The fast-scan tier's u16 accumulators cap the packed layout at m <=
+  // 256 (m * 255 must fit); larger m keeps the byte-per-code layout
+  // instead of training a codebook that would abort at query time.
+  pq.layout_ = pq.m_ <= 256 ? CodeLayout::ForBits(options.nbits)
+                            : CodeLayout{options.nbits,
+                                         CodePacking::kBytePerCode};
   pq.codebooks_.reserve(pq.m_);
 
   std::vector<float> sub(train_n * pq.dsub_);
@@ -58,11 +64,18 @@ PqCodebook PqCodebook::Train(const float* data, int64_t n, int64_t d,
 }
 
 PqCodebook PqCodebook::FromCodebooks(
-    std::vector<linalg::Matrix> codebooks) {
+    std::vector<linalg::Matrix> codebooks, CodeLayout layout) {
   RESINFER_CHECK(!codebooks.empty());
   const int64_t ksub = codebooks[0].rows();
   const int64_t dsub = codebooks[0].cols();
   RESINFER_CHECK(ksub > 0 && ksub <= 256 && dsub > 0);
+  RESINFER_CHECK(layout.bits >= 1 && layout.bits <= 8);
+  RESINFER_CHECK_MSG(ksub <= (int64_t{1} << layout.bits),
+                     "codebook has more centroids than the layout's bits");
+  RESINFER_CHECK_MSG(!layout.packed() || layout.bits <= 4,
+                     "packed 4-bit layout requires bits <= 4");
+  RESINFER_CHECK_MSG(!layout.packed() || codebooks.size() <= 256,
+                     "packed layout requires m <= 256 (u16 LUT accumulators)");
   for (const auto& table : codebooks) {
     RESINFER_CHECK(table.rows() == ksub && table.cols() == dsub);
   }
@@ -71,22 +84,29 @@ PqCodebook PqCodebook::FromCodebooks(
   pq.dsub_ = dsub;
   pq.ksub_ = static_cast<int>(ksub);
   pq.dim_ = pq.m_ * dsub;
+  pq.layout_ = layout;
   pq.codebooks_ = std::move(codebooks);
   return pq;
 }
 
 void PqCodebook::Encode(const float* x, uint8_t* code) const {
   RESINFER_DCHECK(trained());
+  if (layout_.packed()) {
+    // Zero first so the pad nibble of an odd-m tail byte is deterministic.
+    std::fill_n(code, static_cast<std::size_t>(code_size()), uint8_t{0});
+  }
   for (int s = 0; s < m_; ++s) {
-    code[s] = static_cast<uint8_t>(
-        NearestCentroid(codebooks_[s], x + s * dsub_));
+    SetCodeAt(code, s,
+              static_cast<uint8_t>(
+                  NearestCentroid(codebooks_[s], x + s * dsub_)),
+              layout_);
   }
 }
 
 void PqCodebook::Decode(const uint8_t* code, float* out) const {
   RESINFER_DCHECK(trained());
   for (int s = 0; s < m_; ++s) {
-    const float* centroid = codebooks_[s].Row(code[s]);
+    const float* centroid = codebooks_[s].Row(CodeAt(code, s));
     std::copy(centroid, centroid + dsub_, out + s * dsub_);
   }
 }
@@ -117,17 +137,63 @@ void PqCodebook::ComputeAdcTable(const float* query, float* table) const {
 float PqCodebook::AdcDistance(const float* table, const uint8_t* code) const {
   float total = 0.0f;
   const float* row = table;
-  for (int s = 0; s < m_; ++s, row += ksub_) total += row[code[s]];
+  for (int s = 0; s < m_; ++s, row += ksub_) total += row[CodeAt(code, s)];
   return total;
+}
+
+void PqCodebook::QuantizeAdcTable(const float* table, uint8_t* lut,
+                                  float* scale, float* bias) const {
+  RESINFER_DCHECK(trained());
+  RESINFER_CHECK_MSG(layout_.packed(),
+                     "quantized LUTs require the packed 4-bit layout");
+  // m * 255 must fit the kernels' u16 accumulators.
+  RESINFER_CHECK(m_ <= 256);
+
+  // Shared scale: the widest per-sub-space range, so no entry clips and the
+  // rounding error stays <= scale / 2 per sub-space.
+  float range = 0.0f;
+  float bias_sum = 0.0f;
+  std::vector<float> mins(static_cast<std::size_t>(m_));
+  for (int s = 0; s < m_; ++s) {
+    const float* row = table + static_cast<int64_t>(s) * ksub_;
+    float lo = row[0], hi = row[0];
+    for (int c = 1; c < ksub_; ++c) {
+      lo = std::min(lo, row[c]);
+      hi = std::max(hi, row[c]);
+    }
+    mins[static_cast<std::size_t>(s)] = lo;
+    bias_sum += lo;
+    range = std::max(range, hi - lo);
+  }
+  const float s255 = range / 255.0f;
+  const float inv = s255 > 0.0f ? 1.0f / s255 : 0.0f;
+
+  // Sub-table s lives at lut + s * 16; entries past ksub_ and the odd-m pad
+  // row are zero so a small-training-set codebook (ksub < 16) can never
+  // surface uninitialized bytes.
+  std::fill_n(lut, static_cast<std::size_t>(fast_scan_lut_bytes()),
+              uint8_t{0});
+  for (int s = 0; s < m_; ++s) {
+    const float* row = table + static_cast<int64_t>(s) * ksub_;
+    uint8_t* qrow = lut + static_cast<int64_t>(s) * 16;
+    const float lo = mins[static_cast<std::size_t>(s)];
+    for (int c = 0; c < ksub_; ++c) {
+      const int q = static_cast<int>((row[c] - lo) * inv + 0.5f);
+      qrow[c] = static_cast<uint8_t>(std::clamp(q, 0, 255));
+    }
+  }
+  *scale = s255;
+  *bias = bias_sum;
 }
 
 std::vector<uint8_t> PqCodebook::EncodeBatch(const float* data,
                                              int64_t n) const {
   RESINFER_CHECK(trained());
-  std::vector<uint8_t> codes(static_cast<std::size_t>(n) * m_);
+  const int64_t code_bytes = code_size();
+  std::vector<uint8_t> codes(static_cast<std::size_t>(n * code_bytes));
   ParallelFor(n, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
-      Encode(data + i * dim_, codes.data() + i * m_);
+      Encode(data + i * dim_, codes.data() + i * code_bytes);
     }
   });
   return codes;

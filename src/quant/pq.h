@@ -2,9 +2,10 @@
 //
 // Splits the D-dimensional space into m sub-spaces of D/m dimensions, trains
 // a 2^nbits-entry k-means codebook per sub-space, and represents each vector
-// by m code bytes. Query-time asymmetric distances (ADC) are m table lookups
-// against a per-query lookup table — the "quantization" approximate distance
-// of §II-B that DDCopq corrects.
+// by m sub-codes (one byte each for nbits in [5, 8], nibble pairs for nbits
+// <= 4 — see quant/code_layout.h). Query-time asymmetric distances (ADC) are
+// m table lookups against a per-query lookup table — the "quantization"
+// approximate distance of §II-B that DDCopq corrects.
 #ifndef RESINFER_QUANT_PQ_H_
 #define RESINFER_QUANT_PQ_H_
 
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "quant/code_layout.h"
 #include "quant/kmeans.h"
 
 namespace resinfer::quant {
@@ -37,15 +39,25 @@ class PqCodebook {
 
   // Rebuilds a codebook from persisted sub-space centroid tables
   // (persist/persist.h). Each table must be ksub x dsub with identical
-  // shapes; dim = m * dsub.
-  static PqCodebook FromCodebooks(std::vector<linalg::Matrix> codebooks);
+  // shapes; dim = m * dsub. `layout` defaults to the legacy byte-per-code
+  // layout pre-v2 files were written with; ksub must fit layout.bits.
+  static PqCodebook FromCodebooks(std::vector<linalg::Matrix> codebooks,
+                                  CodeLayout layout = CodeLayout());
 
   bool trained() const { return dim_ > 0; }
   int64_t dim() const { return dim_; }
   int num_subspaces() const { return m_; }
   int64_t subspace_dim() const { return dsub_; }
   int num_centroids() const { return ksub_; }
-  int64_t code_size() const { return m_; }  // bytes per vector (nbits == 8)
+  const CodeLayout& layout() const { return layout_; }
+  // TRUE bytes per encoded vector under the code layout: (m + 1) / 2 for
+  // the packed 4-bit layout, m otherwise. Every buffer sized off this must
+  // read codes through CodeAt()/the packed kernels, never code[s].
+  int64_t code_size() const { return layout_.CodeBytes(m_); }
+  // Sub-code s of an encoded vector.
+  uint8_t CodeAt(const uint8_t* code, int s) const {
+    return quant::CodeAt(code, s, layout_);
+  }
 
   // Centroid table for sub-space s: ksub x dsub.
   const linalg::Matrix& centroids(int s) const { return codebooks_[s]; }
@@ -66,6 +78,35 @@ class PqCodebook {
   // by the code. This approximates ||q - x||^2.
   float AdcDistance(const float* table, const uint8_t* code) const;
 
+  // --- Quantized LUT (the fast-scan operand; packed layout only) ----------
+  //
+  // Quantizes a ComputeAdcTable result to one u8 16-entry sub-table per
+  // sub-space, laid out for simd::PqAdcFastScan (sub-table s at lut +
+  // s * 16; ceil(m/2) * 32 bytes total, odd-m pad row zeroed). The affine
+  // map is shared across sub-spaces: entry_q = round((entry - min_s) /
+  // scale) with scale = max_s(range_s) / 255, so
+  //     adc ≈ scale * sum_q + bias,  |error| <= m * scale / 2
+  // (bias = sum_s min_s; no clipping occurs by choice of scale). Tail
+  // entries [ksub, 16) of every sub-table are zero-filled so a codebook
+  // clamped by a small training set (ksub < 2^bits) can never surface
+  // uninitialized LUT bytes.
+  int64_t fast_scan_lut_bytes() const {
+    return (static_cast<int64_t>(m_) + 1) / 2 * 32;
+  }
+  void QuantizeAdcTable(const float* table, uint8_t* lut, float* scale,
+                        float* bias) const;
+  // The documented |quantized - float| ADC bound for a given scale.
+  float FastScanErrorBound(float scale) const {
+    return 0.5f * static_cast<float>(m_) * scale;
+  }
+  // The one dequantization expression every fast-scan consumer shares:
+  // sums are exact integers, so routing all paths (sequential, batch,
+  // grouped, any SIMD level) through this keeps their estimates
+  // bit-identical.
+  static float DequantizeFastScanSum(uint16_t sum, float scale, float bias) {
+    return scale * static_cast<float>(sum) + bias;
+  }
+
   // Batch-encode n rows into a contiguous code array (n * code_size()).
   std::vector<uint8_t> EncodeBatch(const float* data, int64_t n) const;
 
@@ -74,6 +115,7 @@ class PqCodebook {
   int m_ = 0;
   int64_t dsub_ = 0;
   int ksub_ = 0;
+  CodeLayout layout_;
   std::vector<linalg::Matrix> codebooks_;  // m entries, each ksub x dsub
 };
 

@@ -36,6 +36,7 @@ RqCodebook RqCodebook::Train(const float* data, int64_t n, int64_t d,
   rq.dim_ = d;
   rq.m_ = options.num_stages;
   rq.ksub_ = static_cast<int>(std::min<int64_t>(1 << options.nbits, train_n));
+  rq.layout_ = CodeLayout::ForBits(options.nbits);
   rq.codebooks_.reserve(rq.m_);
 
   // Stage-wise training on the running residuals: after a stage's k-means
@@ -57,11 +58,15 @@ RqCodebook RqCodebook::Train(const float* data, int64_t n, int64_t d,
   return rq;
 }
 
-RqCodebook RqCodebook::FromCodebooks(std::vector<linalg::Matrix> codebooks) {
+RqCodebook RqCodebook::FromCodebooks(std::vector<linalg::Matrix> codebooks,
+                                     CodeLayout layout) {
   RESINFER_CHECK(!codebooks.empty());
   const int64_t ksub = codebooks[0].rows();
   const int64_t d = codebooks[0].cols();
   RESINFER_CHECK(ksub > 0 && ksub <= 256 && d > 0);
+  RESINFER_CHECK(layout.bits >= 1 && layout.bits <= 8);
+  RESINFER_CHECK_MSG(ksub <= (int64_t{1} << layout.bits),
+                     "codebook has more centroids than the layout's bits");
   for (const auto& table : codebooks) {
     RESINFER_CHECK(table.rows() == ksub && table.cols() == d);
   }
@@ -69,16 +74,21 @@ RqCodebook RqCodebook::FromCodebooks(std::vector<linalg::Matrix> codebooks) {
   rq.dim_ = d;
   rq.m_ = static_cast<int>(codebooks.size());
   rq.ksub_ = static_cast<int>(ksub);
+  rq.layout_ = layout;
   rq.codebooks_ = std::move(codebooks);
   return rq;
 }
 
 void RqCodebook::Encode(const float* x, uint8_t* code) const {
   RESINFER_DCHECK(trained());
+  if (layout_.packed()) {
+    // Zero first so the pad nibble of an odd-m tail byte is deterministic.
+    std::fill_n(code, static_cast<std::size_t>(code_size()), uint8_t{0});
+  }
   std::vector<float> residual(x, x + dim_);
   for (int s = 0; s < m_; ++s) {
     int32_t best = NearestCentroid(codebooks_[s], residual.data());
-    code[s] = static_cast<uint8_t>(best);
+    SetCodeAt(code, s, static_cast<uint8_t>(best), layout_);
     const float* c = codebooks_[s].Row(best);
     for (int64_t j = 0; j < dim_; ++j) residual[j] -= c[j];
   }
@@ -88,8 +98,8 @@ void RqCodebook::Decode(const uint8_t* code, float* out) const {
   RESINFER_DCHECK(trained());
   std::memset(out, 0, sizeof(float) * static_cast<std::size_t>(dim_));
   for (int s = 0; s < m_; ++s) {
-    RESINFER_DCHECK(code[s] < ksub_);
-    const float* c = codebooks_[s].Row(code[s]);
+    RESINFER_DCHECK(CodeAt(code, s) < ksub_);
+    const float* c = codebooks_[s].Row(CodeAt(code, s));
     for (int64_t j = 0; j < dim_; ++j) out[j] += c[j];
   }
 }
@@ -119,7 +129,7 @@ float RqCodebook::AdcDistance(const float* table, float query_norm_sqr,
                               float recon_norm_sqr) const {
   float ip = 0.0f;
   for (int s = 0; s < m_; ++s) {
-    ip += table[static_cast<int64_t>(s) * ksub_ + code[s]];
+    ip += table[static_cast<int64_t>(s) * ksub_ + CodeAt(code, s)];
   }
   return query_norm_sqr - 2.0f * ip + recon_norm_sqr;
 }

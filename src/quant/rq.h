@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "quant/code_layout.h"
 #include "quant/kmeans.h"
 
 namespace resinfer::quant {
@@ -45,14 +46,24 @@ class RqCodebook {
                           const RqOptions& options = RqOptions());
 
   // Rebuilds a codebook from persisted stage centroid tables, each
-  // ksub x dim with identical shapes.
-  static RqCodebook FromCodebooks(std::vector<linalg::Matrix> codebooks);
+  // ksub x dim with identical shapes. `layout` defaults to the legacy
+  // byte-per-code layout pre-v2 files were written with.
+  static RqCodebook FromCodebooks(std::vector<linalg::Matrix> codebooks,
+                                  CodeLayout layout = CodeLayout());
 
   bool trained() const { return dim_ > 0; }
   int64_t dim() const { return dim_; }
   int num_stages() const { return m_; }
   int num_centroids() const { return ksub_; }
-  int64_t code_size() const { return m_; }  // bytes per vector (nbits == 8)
+  const CodeLayout& layout() const { return layout_; }
+  // TRUE bytes per encoded vector under the code layout: (m + 1) / 2 for
+  // the packed 4-bit layout, m otherwise. Readers of raw code bytes must
+  // address stages through CodeAt(), never code[s].
+  int64_t code_size() const { return layout_.CodeBytes(m_); }
+  // Stage-s sub-code of an encoded vector.
+  uint8_t CodeAt(const uint8_t* code, int s) const {
+    return quant::CodeAt(code, s, layout_);
+  }
 
   // Centroid table for stage s: ksub x dim.
   const linalg::Matrix& centroids(int s) const { return codebooks_[s]; }
@@ -88,6 +99,7 @@ class RqCodebook {
   int64_t dim_ = 0;
   int m_ = 0;
   int ksub_ = 0;
+  CodeLayout layout_;
   std::vector<linalg::Matrix> codebooks_;  // m entries, each ksub x dim
 };
 

@@ -32,6 +32,10 @@ struct KernelTable {
   void (*sq_adc_l2sqr_batch4)(const float*, const uint8_t* const*,
                               const float*, const float*, std::size_t,
                               float*);
+  void (*pq_adc_fast_scan)(const uint8_t*, int, const uint8_t* const*, int,
+                           uint16_t*);
+  void (*pq_adc_fast_scan_tile)(const uint8_t* const*, int, int,
+                                const uint8_t* const*, int, uint16_t*);
   void (*l2sqr_tile)(const float* const*, int, const float* const*,
                      std::size_t, float*);
   void (*pq_adc_tile)(const float* const*, int, int, int,
@@ -49,6 +53,8 @@ constexpr KernelTable kScalarTable = {
     internal::InnerProductBatch4Scalar,
     internal::PqAdcBatchScalar,
     internal::SqAdcL2SqrBatch4Scalar,
+    internal::PqAdcFastScanScalar,
+    internal::PqAdcFastScanTileScalar,
     internal::L2SqrTileScalar,
     internal::PqAdcTileScalar,
 };
@@ -65,6 +71,8 @@ constexpr KernelTable kAvx2Table = {
     internal::InnerProductBatch4Avx2,
     internal::PqAdcBatchAvx2,
     internal::SqAdcL2SqrBatch4Avx2,
+    internal::PqAdcFastScanAvx2,
+    internal::PqAdcFastScanTileAvx2,
     internal::L2SqrTileAvx2,
     internal::PqAdcTileAvx2,
 };
@@ -168,6 +176,17 @@ void SqAdcL2SqrBatch4(const float* q, const uint8_t* const* codes,
                       const float* vmin, const float* step, std::size_t n,
                       float* out) {
   Active().sq_adc_l2sqr_batch4(q, codes, vmin, step, n, out);
+}
+
+void PqAdcFastScan(const uint8_t* lut, int m, const uint8_t* const* codes,
+                   int count, uint16_t* out) {
+  Active().pq_adc_fast_scan(lut, m, codes, count, out);
+}
+
+void PqAdcFastScanTile(const uint8_t* const* luts, int num_queries, int m,
+                       const uint8_t* const* codes, int count,
+                       uint16_t* out) {
+  Active().pq_adc_fast_scan_tile(luts, num_queries, m, codes, count, out);
 }
 
 void L2SqrTile(const float* const* queries, int num_queries,

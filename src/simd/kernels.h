@@ -66,6 +66,49 @@ void SqAdcL2SqrBatch4(const float* q, const uint8_t* const* codes,
                       const float* vmin, const float* step, std::size_t n,
                       float* out);
 
+// --- Fast-scan ADC (packed 4-bit codes, quantized u8 LUT) ------------------
+//
+// The register-resident tier for nbits <= 4 codes
+// (quant::CodePacking::kPacked4): the per-query float ADC table is
+// quantized to one 16-entry u8 sub-table per sub-space
+// (PqCodebook::QuantizeAdcTable), which fits a SIMD register, so the AVX2
+// implementation replaces PqAdcBatch's per-code vgatherdps with in-register
+// vpshufb lookups. Accumulation is integral and therefore EXACT: scalar and
+// vectorized implementations return identical u16 sums, and callers
+// dequantize with one shared float expression — bit-identity across SIMD
+// levels and scan paths is structural, not contractual.
+//
+// `lut` holds ceil(m/2) * 32 bytes (sub-table s at lut + s * 16; odd-m pad
+// row zero). codes[c] points at candidate c's packed row of ceil(m/2)
+// bytes, even sub-space in the low nibble. Requires m <= 256 so the u16
+// accumulators cannot overflow (m * 255 < 65536).
+
+// Scalar reference for one packed code; the kernels' tail lanes and the
+// estimators' sequential paths share this exact accumulation.
+inline uint16_t PqAdcFastScanOne(const uint8_t* lut, int m,
+                                 const uint8_t* code) {
+  uint32_t sum = 0;
+  for (int s = 0; s < m; ++s) {
+    const uint8_t byte = code[s >> 1];
+    const uint8_t idx = (s & 1) ? static_cast<uint8_t>(byte >> 4)
+                                : static_cast<uint8_t>(byte & 0x0f);
+    sum += lut[s * 16 + idx];
+  }
+  return static_cast<uint16_t>(sum);
+}
+
+// out[c] = sum_s lut[s * 16 + nibble(codes[c], s)] for c in [0, count).
+void PqAdcFastScan(const uint8_t* lut, int m, const uint8_t* const* codes,
+                   int count, uint16_t* out);
+
+// Query-group form: out[g * count + c] is PqAdcFastScan lane c under
+// luts[g]. Sums are exact integers, so any evaluation order is identical;
+// the AVX2 path shares each code block's nibble transpose across the
+// group's LUTs.
+void PqAdcFastScanTile(const uint8_t* const* luts, int num_queries, int m,
+                       const uint8_t* const* codes, int count,
+                       uint16_t* out);
+
 // --- Query-tiled kernels (the multi-query serving path) --------------------
 //
 // Query-major scans score one candidate block for a whole group of queries
@@ -104,6 +147,12 @@ void PqAdcBatchScalar(const float* table, int m, int ksub,
 void SqAdcL2SqrBatch4Scalar(const float* q, const uint8_t* const* codes,
                             const float* vmin, const float* step,
                             std::size_t n, float* out);
+void PqAdcFastScanScalar(const uint8_t* lut, int m,
+                         const uint8_t* const* codes, int count,
+                         uint16_t* out);
+void PqAdcFastScanTileScalar(const uint8_t* const* luts, int num_queries,
+                             int m, const uint8_t* const* codes, int count,
+                             uint16_t* out);
 void L2SqrTileScalar(const float* const* queries, int num_queries,
                      const float* const* rows, std::size_t n, float* out);
 void PqAdcTileScalar(const float* const* tables, int num_queries, int m,
@@ -126,6 +175,12 @@ void PqAdcBatchAvx2(const float* table, int m, int ksub,
 void SqAdcL2SqrBatch4Avx2(const float* q, const uint8_t* const* codes,
                           const float* vmin, const float* step,
                           std::size_t n, float* out);
+void PqAdcFastScanAvx2(const uint8_t* lut, int m,
+                       const uint8_t* const* codes, int count,
+                       uint16_t* out);
+void PqAdcFastScanTileAvx2(const uint8_t* const* luts, int num_queries,
+                           int m, const uint8_t* const* codes, int count,
+                           uint16_t* out);
 void L2SqrTileAvx2(const float* const* queries, int num_queries,
                    const float* const* rows, std::size_t n, float* out);
 void PqAdcTileAvx2(const float* const* tables, int num_queries, int m,

@@ -198,6 +198,141 @@ void PqAdcBatchAvx2(const float* table, int m, int ksub,
   }
 }
 
+namespace {
+
+// The fast-scan kernels work on byte-columns: column j of an 8-candidate
+// group holds byte j of each candidate's packed row — the two nibbles of
+// sub-spaces 2j and 2j+1 for all eight candidates. Bound on the column
+// scratch: ceil(256 / 2) columns covers the documented m <= 256 limit.
+constexpr int kFastScanMaxPacked = 128;
+
+// colbits[j] = byte j of rows[0..7], row 0 in the low byte. Full 8-column
+// segments go through an 8x8 byte transpose (8 x 8-byte loads + 12
+// unpacks); the loads stay inside each row because j + 8 <= packed. Tail
+// columns are assembled bytewise so the kernel never reads past a packed
+// row's end (records sit at arbitrary strides, including the very end of a
+// CodeStore allocation).
+inline void GatherColumns8(const uint8_t* const* rows, int packed,
+                           uint64_t* colbits) {
+  int j = 0;
+  for (; j + 8 <= packed; j += 8) {
+    const __m128i r0 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(rows[0] + j));
+    const __m128i r1 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(rows[1] + j));
+    const __m128i r2 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(rows[2] + j));
+    const __m128i r3 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(rows[3] + j));
+    const __m128i r4 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(rows[4] + j));
+    const __m128i r5 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(rows[5] + j));
+    const __m128i r6 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(rows[6] + j));
+    const __m128i r7 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(rows[7] + j));
+    const __m128i a0 = _mm_unpacklo_epi8(r0, r1);
+    const __m128i a1 = _mm_unpacklo_epi8(r2, r3);
+    const __m128i a2 = _mm_unpacklo_epi8(r4, r5);
+    const __m128i a3 = _mm_unpacklo_epi8(r6, r7);
+    const __m128i b0 = _mm_unpacklo_epi16(a0, a1);
+    const __m128i b1 = _mm_unpacklo_epi16(a2, a3);
+    const __m128i b2 = _mm_unpackhi_epi16(a0, a1);
+    const __m128i b3 = _mm_unpackhi_epi16(a2, a3);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(colbits + j),
+                     _mm_unpacklo_epi32(b0, b1));  // columns j, j+1
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(colbits + j + 2),
+                     _mm_unpackhi_epi32(b0, b1));  // columns j+2, j+3
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(colbits + j + 4),
+                     _mm_unpacklo_epi32(b2, b3));  // columns j+4, j+5
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(colbits + j + 6),
+                     _mm_unpackhi_epi32(b2, b3));  // columns j+6, j+7
+  }
+  for (; j < packed; ++j) {
+    uint64_t bits = 0;
+    for (int r = 0; r < 8; ++r) {
+      bits |= static_cast<uint64_t>(rows[r][j]) << (8 * r);
+    }
+    colbits[j] = bits;
+  }
+}
+
+// u16 LUT sums for the 8 candidates whose byte-columns are in colbits: per
+// column, the two nibble sets select from the 32-byte LUT pair (rows 2j in
+// lane 0, 2j+1 in lane 1) with one vpshufb; u8 hits widen into a u16
+// accumulator per lane. Integer adds are exact, so the result equals
+// PqAdcFastScanOne regardless of order; the lane split only delays the
+// even/odd-sub-space combine to the final 128-bit add. For odd m both the
+// LUT pad row and every code's pad nibble are zero, so the extra lookup
+// contributes nothing.
+inline void AccumulateLut8(const uint8_t* lut, int packed,
+                           const uint64_t* colbits, uint16_t* out) {
+  const __m128i nib = _mm_set1_epi8(0x0f);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  for (int j = 0; j < packed; ++j) {
+    const __m128i col =
+        _mm_cvtsi64_si128(static_cast<long long>(colbits[j]));
+    const __m128i lo = _mm_and_si128(col, nib);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(col, 4), nib);
+    const __m256i idx = _mm256_set_m128i(hi, lo);
+    const __m256i tbl =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lut + j * 32));
+    const __m256i vals = _mm256_shuffle_epi8(tbl, idx);
+    acc = _mm256_add_epi16(acc, _mm256_unpacklo_epi8(vals, zero));
+  }
+  const __m128i sums = _mm_add_epi16(_mm256_castsi256_si128(acc),
+                                     _mm256_extracti128_si256(acc, 1));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), sums);
+}
+
+}  // namespace
+
+void PqAdcFastScanAvx2(const uint8_t* lut, int m,
+                       const uint8_t* const* codes, int count,
+                       uint16_t* out) {
+  const int packed = (m + 1) / 2;
+  if (packed > kFastScanMaxPacked) {  // beyond the documented m <= 256
+    PqAdcFastScanScalar(lut, m, codes, count, out);
+    return;
+  }
+  uint64_t colbits[kFastScanMaxPacked];
+  int c = 0;
+  for (; c + 8 <= count; c += 8) {
+    GatherColumns8(codes + c, packed, colbits);
+    AccumulateLut8(lut, packed, colbits, out + c);
+  }
+  for (; c < count; ++c) out[c] = PqAdcFastScanOne(lut, m, codes[c]);
+}
+
+void PqAdcFastScanTileAvx2(const uint8_t* const* luts, int num_queries,
+                           int m, const uint8_t* const* codes, int count,
+                           uint16_t* out) {
+  const int packed = (m + 1) / 2;
+  if (packed > kFastScanMaxPacked) {
+    PqAdcFastScanTileScalar(luts, num_queries, m, codes, count, out);
+    return;
+  }
+  uint64_t colbits[kFastScanMaxPacked];
+  int c = 0;
+  for (; c + 8 <= count; c += 8) {
+    // The nibble transpose — the kernel's memory-bound half — is built
+    // once per code block and reused by every group member's LUT.
+    GatherColumns8(codes + c, packed, colbits);
+    for (int g = 0; g < num_queries; ++g) {
+      AccumulateLut8(luts[g], packed, colbits,
+                     out + static_cast<std::size_t>(g) * count + c);
+    }
+  }
+  for (; c < count; ++c) {
+    for (int g = 0; g < num_queries; ++g) {
+      out[static_cast<std::size_t>(g) * count + c] =
+          PqAdcFastScanOne(luts[g], m, codes[c]);
+    }
+  }
+}
+
 void SqAdcL2SqrBatch4Avx2(const float* q, const uint8_t* const* codes,
                           const float* vmin, const float* step,
                           std::size_t n, float* out) {

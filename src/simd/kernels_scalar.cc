@@ -117,6 +117,22 @@ void SqAdcL2SqrBatch4Scalar(const float* q, const uint8_t* const* codes,
     out[r] = SqAdcL2SqrScalar(q, codes[r], vmin, step, n);
 }
 
+void PqAdcFastScanScalar(const uint8_t* lut, int m,
+                         const uint8_t* const* codes, int count,
+                         uint16_t* out) {
+  // Integer accumulation is exact, so the per-code reference lane IS the
+  // contract; the vectorized path reproduces these sums bit-for-bit.
+  for (int c = 0; c < count; ++c) out[c] = PqAdcFastScanOne(lut, m, codes[c]);
+}
+
+void PqAdcFastScanTileScalar(const uint8_t* const* luts, int num_queries,
+                             int m, const uint8_t* const* codes, int count,
+                             uint16_t* out) {
+  for (int g = 0; g < num_queries; ++g) {
+    PqAdcFastScanScalar(luts[g], m, codes, count, out + g * count);
+  }
+}
+
 void L2SqrTileScalar(const float* const* queries, int num_queries,
                      const float* const* rows, std::size_t n, float* out) {
   for (int g = 0; g < num_queries; ++g) {

@@ -1,5 +1,8 @@
 #include "index/hnsw_index.h"
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "data/ground_truth.h"
@@ -93,6 +96,48 @@ TEST(HnswIndexTest, ResultsAscendAndExact) {
     EXPECT_FLOAT_EQ(nb.distance,
                     data::ExactL2Sqr(ds.base, nb.id, ds.queries.Row(1)));
   }
+}
+
+TEST(HnswIndexTest, SearchClampsOutOfRangeArguments) {
+  // k <= 0, k > n, and ef < k must clamp instead of aborting — the serving
+  // path passes caller-supplied knobs straight through. Mirrors
+  // IvfIndexTest.SearchClampsOutOfRangeArguments.
+  data::Dataset ds = testing::SmallDataset(500, 8, 1.0, 45, 4, 2);
+  HnswIndex index = HnswIndex::Build(ds.base, SmallOptions());
+  FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
+  const float* query = ds.queries.Row(0);
+
+  // k <= 0: empty result, no scan surprises.
+  EXPECT_TRUE(index.Search(computer, query, 0, 32).empty());
+  EXPECT_TRUE(index.Search(computer, query, -3, 32).empty());
+
+  // ef < k (including ef <= 0) widens to k: identical results to the
+  // explicit ef = k call.
+  auto explicit_ef = index.Search(computer, query, 10, 10);
+  auto small_ef = index.Search(computer, query, 10, 3);
+  auto zero_ef = index.Search(computer, query, 10, 0);
+  auto negative_ef = index.Search(computer, query, 10, -5);
+  ASSERT_EQ(explicit_ef.size(), small_ef.size());
+  ASSERT_EQ(explicit_ef.size(), zero_ef.size());
+  ASSERT_EQ(explicit_ef.size(), negative_ef.size());
+  for (std::size_t i = 0; i < explicit_ef.size(); ++i) {
+    EXPECT_EQ(explicit_ef[i].id, small_ef[i].id);
+    EXPECT_EQ(explicit_ef[i].id, zero_ef[i].id);
+    EXPECT_EQ(explicit_ef[i].id, negative_ef[i].id);
+    EXPECT_EQ(explicit_ef[i].distance, small_ef[i].distance);
+  }
+
+  // k > n yields at most n neighbors, each point once, still sorted.
+  auto all = index.Search(computer, query, 5000, 5000);
+  EXPECT_LE(static_cast<int64_t>(all.size()), ds.size());
+  EXPECT_GT(all.size(), 0u);
+  std::vector<int64_t> seen;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    seen.push_back(all[i].id);
+    if (i > 0) EXPECT_GE(all[i].distance, all[i - 1].distance);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
 }
 
 TEST(HnswIndexTest, ScratchReuseAcrossQueriesIsSafe) {

@@ -75,6 +75,9 @@ TEST(PersistFixtureTest, V3CodeSectionStillLoads) {
   EXPECT_EQ(codes.tag(), "fixture/cs2/sc1/n12");
   EXPECT_EQ(codes.code_size(), 2);
   EXPECT_EQ(codes.num_sidecars(), 1);
+  // v3 predates the packing byte; its stores are byte-per-code by
+  // definition.
+  EXPECT_EQ(codes.packing(), quant::CodePacking::kBytePerCode);
   ASSERT_EQ(codes.size(), kSize);
   // Records are bucket-permuted on disk: record j belongs to point
   // kIds[j], whose code bytes are {id, 2*id} and sidecar id + 0.5.
@@ -85,6 +88,36 @@ TEST(PersistFixtureTest, V3CodeSectionStillLoads) {
     EXPECT_EQ(rec[1], static_cast<uint8_t>(2 * id)) << j;
     EXPECT_EQ(quant::RecordSidecars(rec, codes.code_size())[0],
               static_cast<float>(id) + 0.5f)
+        << j;
+  }
+}
+
+TEST(PersistFixtureTest, V4PackedCodeSectionLoads) {
+  index::IvfIndex ivf;
+  std::string error;
+  ASSERT_TRUE(LoadIvf(FixturePath("ivf_v4.bin"), &ivf, &error)) << error;
+  ExpectFixtureLayout(ivf);
+
+  ASSERT_TRUE(ivf.has_codes());
+  const quant::CodeStore& codes = ivf.codes();
+  EXPECT_EQ(codes.tag(), "fixture/cs2/sc1/n12/pk4");
+  EXPECT_EQ(codes.code_size(), 2);
+  EXPECT_EQ(codes.num_sidecars(), 1);
+  EXPECT_EQ(codes.packing(), quant::CodePacking::kPacked4);
+  ASSERT_EQ(codes.size(), kSize);
+  // Record j belongs to point kIds[j]: three nibble codes {id, 2id, 3id}
+  // (mod 16) packed into two bytes with a zero pad nibble, sidecar
+  // id + 0.25.
+  const quant::CodeLayout layout = quant::CodeLayout::ForBits(4);
+  for (std::size_t j = 0; j < kIds.size(); ++j) {
+    const int64_t id = kIds[j];
+    const uint8_t* rec = codes.record(static_cast<int64_t>(j));
+    EXPECT_EQ(quant::CodeAt(rec, 0, layout), id & 0xf) << j;
+    EXPECT_EQ(quant::CodeAt(rec, 1, layout), (2 * id) & 0xf) << j;
+    EXPECT_EQ(quant::CodeAt(rec, 2, layout), (3 * id) & 0xf) << j;
+    EXPECT_EQ(rec[1] >> 4, 0) << "pad nibble must stay zero, record " << j;
+    EXPECT_EQ(quant::RecordSidecars(rec, codes.code_size())[0],
+              static_cast<float>(id) + 0.25f)
         << j;
   }
 }

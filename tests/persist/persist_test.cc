@@ -388,6 +388,41 @@ TEST_F(PersistTest, IvfV3MissizedCodePayloadFails) {
   }
 }
 
+TEST_F(PersistTest, IvfV4PackingTagMismatchFails) {
+  // A v4 code section whose packing byte disagrees with the tag's "/pk4"
+  // marker must be rejected: accepting it would let a packed store
+  // tag-match a byte-per-code computer and be misindexed at scan time.
+  IvfWithCodes fixture;
+  const index::IvfIndex& ivf = fixture.ivf;
+  const quant::CodeStore& codes = ivf.codes();
+  ASSERT_EQ(codes.packing(), quant::CodePacking::kBytePerCode);
+  {
+    BinaryWriter writer(Path("ivf_v4_mismatch.bin"));
+    const char magic[8] = {'R', 'I', 'I', 'V', 'F', 'I', 'X', '1'};
+    WriteHeader(writer, magic, /*version=*/4);
+    writer.Write(ivf.size());
+    writer.Write(ivf.centroids().rows());
+    writer.Write(ivf.centroids().cols());
+    writer.WriteFloats(ivf.centroids().data(), ivf.centroids().size());
+    writer.Write<int32_t>(ivf.num_clusters());
+    writer.WriteVector(ivf.bucket_offsets());
+    writer.WriteVector(ivf.ids());
+    writer.Write<uint8_t>(1);
+    writer.Write<int64_t>(codes.code_size());
+    writer.Write<int32_t>(codes.num_sidecars());
+    // Claim packed records under a tag without the "/pk4" marker.
+    writer.Write<uint8_t>(
+        static_cast<uint8_t>(quant::CodePacking::kPacked4));
+    writer.WriteString(codes.tag());
+    writer.WriteVector(codes.raw());
+    ASSERT_TRUE(writer.ok());
+  }
+  std::string error;
+  index::IvfIndex loaded;
+  EXPECT_FALSE(LoadIvf(Path("ivf_v4_mismatch.bin"), &loaded, &error));
+  EXPECT_NE(error.find("packing disagrees"), std::string::npos) << error;
+}
+
 TEST_F(PersistTest, IvfV3CodesSurviveSearchAfterLoad) {
   // End-to-end: the loaded index's code-resident search must equal the
   // in-memory index's search through the same estimator data.

@@ -5,7 +5,8 @@
 // breaks: if a loader change stops understanding yesterday's bytes, the
 // fixture test fails in CI instead of at load time in production. Re-run
 // this tool ONLY when introducing a new on-disk version (add a new fixture,
-// never rewrite the old ones):
+// never rewrite the old ones — superseded writers are replicated by hand
+// below so the old bytes stay frozen):
 //
 //   ./build/gen_persist_fixtures tests/persist/testdata
 //
@@ -67,6 +68,25 @@ quant::CodeStore FixtureCodes() {
   return store;
 }
 
+// Packed 4-bit store (the v4 fixture): point i carries three nibble codes
+// {i, 2i, 3i} (mod 16) packed into two bytes (pad nibble zero), sidecar
+// i + 0.25.
+quant::CodeStore FixturePackedCodes() {
+  quant::CodeStore store(kSize, /*code_size=*/2, /*num_sidecars=*/1,
+                         "fixture/cs2/sc1/n12/pk4",
+                         quant::CodePacking::kPacked4);
+  for (int64_t i = 0; i < kSize; ++i) {
+    const uint8_t nibbles[3] = {static_cast<uint8_t>(i & 0xf),
+                                static_cast<uint8_t>((2 * i) & 0xf),
+                                static_cast<uint8_t>((3 * i) & 0xf)};
+    uint8_t code[2];
+    quant::PackCodes4(nibbles, 3, code);
+    store.SetCode(i, code);
+    store.SetSidecar(i, 0, static_cast<float>(i) + 0.25f);
+  }
+  return store;
+}
+
 void WriteCommonPrefix(BinaryWriter& writer, uint32_t version,
                        const linalg::Matrix& centroids) {
   WriteHeader(writer, kIvfMagic, version);
@@ -98,12 +118,28 @@ bool WriteV2(const std::string& path, const linalg::Matrix& centroids) {
   return writer.Close();
 }
 
-bool WriteV3(const std::string& path) {
-  // The current writer IS the v3 format; route through SaveIvf so the
+bool WriteV3(const std::string& path, const linalg::Matrix& centroids) {
+  // The v3 bytes are FROZEN (the library now writes v4): replicate the v3
+  // layout by hand — code section without the packing byte.
+  const quant::CodeStore codes = FixtureCodes().PermutedBy(FixtureIds());
+  BinaryWriter writer(path);
+  WriteCommonPrefix(writer, 3, centroids);
+  writer.WriteVector(FixtureOffsets());
+  writer.WriteVector(FixtureIds());
+  writer.Write<uint8_t>(1);
+  writer.Write<int64_t>(codes.code_size());
+  writer.Write<int32_t>(codes.num_sidecars());
+  writer.WriteString(codes.tag());
+  writer.WriteVector(codes.raw());
+  return writer.Close();
+}
+
+bool WriteV4(const std::string& path) {
+  // The current writer IS the v4 format; route through SaveIvf so the
   // fixture tracks exactly what the library writes today.
   index::IvfIndex ivf = index::IvfIndex::FromCsr(
       kSize, FixtureCentroids(), FixtureOffsets(), FixtureIds());
-  ivf.AttachCodes(FixtureCodes());
+  ivf.AttachCodes(FixturePackedCodes());
   std::string error;
   if (!persist::SaveIvf(path, ivf, &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
@@ -120,10 +156,12 @@ int main(int argc, char** argv) {
   const resinfer::linalg::Matrix centroids = resinfer::FixtureCentroids();
   if (!resinfer::WriteV1(dir + "/ivf_v1.bin", centroids) ||
       !resinfer::WriteV2(dir + "/ivf_v2.bin", centroids) ||
-      !resinfer::WriteV3(dir + "/ivf_v3.bin")) {
+      !resinfer::WriteV3(dir + "/ivf_v3.bin", centroids) ||
+      !resinfer::WriteV4(dir + "/ivf_v4.bin")) {
     std::fprintf(stderr, "failed writing fixtures to %s\n", dir.c_str());
     return 1;
   }
-  std::printf("wrote ivf_v1.bin ivf_v2.bin ivf_v3.bin to %s\n", dir.c_str());
+  std::printf("wrote ivf_v1.bin ivf_v2.bin ivf_v3.bin ivf_v4.bin to %s\n",
+              dir.c_str());
   return 0;
 }
