@@ -41,7 +41,8 @@ Measured Measure(const index::HnswIndex& hnsw, const data::Dataset& ds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_ablation_ddc_res",
                          "DDCres design-choice ablations (extension)");
   benchutil::Scale scale = benchutil::GetScale();

@@ -89,7 +89,8 @@ void RunDataset(const data::SyntheticSpec& spec, const Scale& scale) {
 }  // namespace
 }  // namespace resinfer::benchutil
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   using namespace resinfer::benchutil;
   PrintBanner("ablation_rq_cascade",
               "§V-B incremental correction on a quantization backend");

@@ -1,0 +1,432 @@
+// AVX-512 kernel tier vs AVX2 (tracked in BENCH_avx512_kernels.json).
+//
+// Two measurements at the acceptance shape n=100k d=128:
+//
+//   1. Per-kernel hot loops: every KernelTable entry driven through the
+//      public dispatch API at each supported SIMD level, over the same
+//      preallocated data (rows/second or codes/second). The AVX-512 rows
+//      divide by the AVX2 rows to give the per-kernel speedup.
+//   2. End-to-end IVF search QPS for the three serving configs the
+//      ROADMAP tracks — ddc-pq (byte codes, float-ADC gather), the packed
+//      fast-scan nbits=4 tier (bucket-resident codes), and exact
+//      (FlatDistanceComputer) — each swept at AVX2 and AVX-512.
+//
+// Per-lane bit-identity is a per-level contract, so recall at a fixed
+// nprobe may move at float kernels' last ulp between levels; the fast-scan
+// sums are exact integers and cannot move at all.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "util/aligned_buffer.h"
+
+namespace resinfer::benchutil {
+namespace {
+
+constexpr int64_t kBaseN = 100000;
+constexpr int64_t kDim = 128;
+constexpr int kSubspaces = 32;  // nbits=4: 16-entry codebooks, dsub=4
+constexpr int kKsub = 16;
+constexpr int kChunk = 16;
+constexpr int kGroup = 4;  // query-group width for the tiled kernels
+
+struct KernelData {
+  AlignedBuffer<float> base{static_cast<std::size_t>(kBaseN * kDim)};
+  AlignedBuffer<float> queries{static_cast<std::size_t>(kGroup * kDim)};
+  AlignedBuffer<uint8_t> sq_codes{static_cast<std::size_t>(kBaseN * kDim)};
+  AlignedBuffer<float> vmin{static_cast<std::size_t>(kDim)};
+  AlignedBuffer<float> step{static_cast<std::size_t>(kDim)};
+  // Float ADC tables (one per group member) and byte codes, m=32 ksub=16.
+  AlignedBuffer<float> tables{
+      static_cast<std::size_t>(kGroup * kSubspaces * kKsub)};
+  AlignedBuffer<uint8_t> pq_codes{
+      static_cast<std::size_t>(kBaseN * kSubspaces)};
+  // Quantized u8 LUTs and nibble-packed codes for the fast-scan tier.
+  AlignedBuffer<uint8_t> luts{
+      static_cast<std::size_t>(kGroup * (kSubspaces / 2) * 32)};
+  AlignedBuffer<uint8_t> packed{
+      static_cast<std::size_t>(kBaseN * (kSubspaces / 2))};
+
+  KernelData() {
+    Rng rng(17);
+    for (std::size_t i = 0; i < base.size(); ++i)
+      base[i] = static_cast<float>(rng.Gaussian());
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      queries[i] = static_cast<float>(rng.Gaussian());
+    for (std::size_t i = 0; i < sq_codes.size(); ++i)
+      sq_codes[i] = static_cast<uint8_t>(rng.UniformInt(256));
+    for (std::size_t i = 0; i < kDim; ++i) {
+      vmin[i] = static_cast<float>(rng.Gaussian());
+      step[i] = static_cast<float>(rng.Uniform()) * 0.01f;
+    }
+    for (std::size_t i = 0; i < tables.size(); ++i)
+      tables[i] = static_cast<float>(rng.Uniform());
+    for (std::size_t i = 0; i < pq_codes.size(); ++i)
+      pq_codes[i] = static_cast<uint8_t>(rng.UniformInt(kKsub));
+    for (std::size_t i = 0; i < luts.size(); ++i)
+      luts[i] = static_cast<uint8_t>(rng.UniformInt(256));
+    for (std::size_t i = 0; i < packed.size(); ++i)
+      packed[i] = static_cast<uint8_t>(rng.UniformInt(256));
+  }
+};
+
+// Runs `pass` (one full sweep over the data, returning rows processed)
+// enough times to fill ~0.4s and returns rows/second.
+template <typename Pass>
+double Measure(const Pass& pass) {
+  int64_t rows = pass();  // warm-up + calibration
+  WallTimer cal;
+  rows = pass();
+  const double once = std::max(1e-6, cal.ElapsedSeconds());
+  const int reps = std::max(1, static_cast<int>(0.4 / once));
+  WallTimer timer;
+  int64_t total = 0;
+  for (int r = 0; r < reps; ++r) total += pass();
+  return static_cast<double>(total) / timer.ElapsedSeconds();
+}
+
+struct Rate {
+  const char* kernel;
+  double rows_per_s;
+};
+
+std::vector<Rate> KernelLoops(const KernelData& d) {
+  std::vector<Rate> rates;
+  volatile float sinkf = 0.f;
+  volatile uint32_t sinku = 0;
+
+  const float* q = d.queries.data();
+  const float* group[kGroup];
+  for (int g = 0; g < kGroup; ++g) group[g] = d.queries.data() + g * kDim;
+  const float* tables[kGroup];
+  for (int g = 0; g < kGroup; ++g)
+    tables[g] = d.tables.data() + g * kSubspaces * kKsub;
+  const uint8_t* luts[kGroup];
+  for (int g = 0; g < kGroup; ++g)
+    luts[g] = d.luts.data() + g * (kSubspaces / 2) * 32;
+
+  rates.push_back({"l2sqr", Measure([&] {
+    float best = 1e30f;
+    for (int64_t i = 0; i < kBaseN; ++i) {
+      const float dist = simd::L2Sqr(d.base.data() + i * kDim, q, kDim);
+      if (dist < best) best = dist;
+    }
+    sinkf = best;
+    return kBaseN;
+  })});
+
+  rates.push_back({"l2sqr_batch4", Measure([&] {
+    const float* rows[4];
+    float out[4];
+    float best = 1e30f;
+    for (int64_t i = 0; i + 4 <= kBaseN; i += 4) {
+      for (int r = 0; r < 4; ++r) rows[r] = d.base.data() + (i + r) * kDim;
+      simd::L2SqrBatch4(q, rows, kDim, out);
+      for (int r = 0; r < 4; ++r)
+        if (out[r] < best) best = out[r];
+    }
+    sinkf = best;
+    return kBaseN;
+  })});
+
+  rates.push_back({"inner_product_batch4", Measure([&] {
+    const float* rows[4];
+    float out[4];
+    float acc = 0.f;
+    for (int64_t i = 0; i + 4 <= kBaseN; i += 4) {
+      for (int r = 0; r < 4; ++r) rows[r] = d.base.data() + (i + r) * kDim;
+      simd::InnerProductBatch4(q, rows, kDim, out);
+      acc += out[0];
+    }
+    sinkf = acc;
+    return kBaseN;
+  })});
+
+  rates.push_back({"sq_adc_l2sqr_batch4", Measure([&] {
+    const uint8_t* codes[4];
+    float out[4];
+    float acc = 0.f;
+    for (int64_t i = 0; i + 4 <= kBaseN; i += 4) {
+      for (int r = 0; r < 4; ++r)
+        codes[r] = d.sq_codes.data() + (i + r) * kDim;
+      simd::SqAdcL2SqrBatch4(q, codes, d.vmin.data(), d.step.data(), kDim,
+                             out);
+      acc += out[0];
+    }
+    sinkf = acc;
+    return kBaseN;
+  })});
+
+  rates.push_back({"pq_adc_batch", Measure([&] {
+    const uint8_t* ptrs[kChunk];
+    float out[kChunk];
+    float acc = 0.f;
+    for (int64_t i = 0; i < kBaseN; i += kChunk) {
+      const int block = static_cast<int>(std::min<int64_t>(kChunk,
+                                                           kBaseN - i));
+      for (int j = 0; j < block; ++j)
+        ptrs[j] = d.pq_codes.data() + (i + j) * kSubspaces;
+      simd::PqAdcBatch(tables[0], kSubspaces, kKsub, ptrs, block, out);
+      acc += out[0];
+    }
+    sinkf = acc;
+    return kBaseN;
+  })});
+
+  rates.push_back({"pq_adc_fastscan", Measure([&] {
+    const uint8_t* ptrs[kChunk];
+    uint16_t sums[kChunk];
+    uint32_t acc = 0;
+    for (int64_t i = 0; i < kBaseN; i += kChunk) {
+      const int block = static_cast<int>(std::min<int64_t>(kChunk,
+                                                           kBaseN - i));
+      for (int j = 0; j < block; ++j)
+        ptrs[j] = d.packed.data() + (i + j) * (kSubspaces / 2);
+      simd::PqAdcFastScan(luts[0], kSubspaces, ptrs, block, sums);
+      acc += sums[0];
+    }
+    sinku = acc;
+    return kBaseN;
+  })});
+
+  // Tiled kernels: rows processed = candidates x group members, the same
+  // unit the multi-query serving path pays for.
+  rates.push_back({"l2sqr_tile", Measure([&] {
+    const float* rows[4];
+    float out[kGroup * 4];
+    float best = 1e30f;
+    for (int64_t i = 0; i + 4 <= kBaseN; i += 4) {
+      for (int r = 0; r < 4; ++r) rows[r] = d.base.data() + (i + r) * kDim;
+      simd::L2SqrTile(group, kGroup, rows, kDim, out);
+      if (out[0] < best) best = out[0];
+    }
+    sinkf = best;
+    return kBaseN * kGroup;
+  })});
+
+  rates.push_back({"pq_adc_tile", Measure([&] {
+    const uint8_t* ptrs[kChunk];
+    float out[kGroup * kChunk];
+    float acc = 0.f;
+    for (int64_t i = 0; i < kBaseN; i += kChunk) {
+      const int block = static_cast<int>(std::min<int64_t>(kChunk,
+                                                           kBaseN - i));
+      for (int j = 0; j < block; ++j)
+        ptrs[j] = d.pq_codes.data() + (i + j) * kSubspaces;
+      simd::PqAdcTile(tables, kGroup, kSubspaces, kKsub, ptrs, block, out);
+      acc += out[0];
+    }
+    sinkf = acc;
+    return kBaseN * kGroup;
+  })});
+
+  rates.push_back({"pq_adc_fastscan_tile", Measure([&] {
+    const uint8_t* ptrs[kChunk];
+    uint16_t sums[kGroup * kChunk];
+    uint32_t acc = 0;
+    for (int64_t i = 0; i < kBaseN; i += kChunk) {
+      const int block = static_cast<int>(std::min<int64_t>(kChunk,
+                                                           kBaseN - i));
+      for (int j = 0; j < block; ++j)
+        ptrs[j] = d.packed.data() + (i + j) * (kSubspaces / 2);
+      simd::PqAdcFastScanTile(luts, kGroup, kSubspaces, ptrs, block, sums);
+      acc += sums[0];
+    }
+    sinku = acc;
+    return kBaseN * kGroup;
+  })});
+
+  (void)sinkf;
+  (void)sinku;
+  return rates;
+}
+
+struct SearchResult {
+  double qps = 0.0;
+  double recall = 0.0;
+};
+
+SearchResult SearchSweep(const index::IvfIndex& ivf,
+                         index::DistanceComputer& computer,
+                         const data::Dataset& ds,
+                         const std::vector<std::vector<int64_t>>& truth,
+                         int k, int nprobe, int reps) {
+  SearchResult result;
+  std::vector<std::vector<int64_t>> found(
+      static_cast<std::size_t>(ds.queries.rows()));
+  WallTimer timer;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int64_t q = 0; q < ds.queries.rows(); ++q) {
+      auto neighbors = ivf.Search(computer, ds.queries.Row(q), k, nprobe);
+      if (rep == 0) {
+        auto& ids = found[static_cast<std::size_t>(q)];
+        for (const auto& nb : neighbors) ids.push_back(nb.id);
+      }
+    }
+  }
+  result.qps = static_cast<double>(ds.queries.rows()) * reps /
+               timer.ElapsedSeconds();
+  result.recall = data::MeanRecallAtK(found, truth, k);
+  return result;
+}
+
+void Run() {
+  const std::vector<simd::SimdLevel> levels = simd::SupportedLevels();
+  if (levels.back() < simd::SimdLevel::kAvx512) {
+    std::printf("host best level is %s; the avx512 column will be absent\n",
+                simd::SimdLevelName(levels.back()));
+  }
+
+  // --- 1. Per-kernel hot loops --------------------------------------------
+  KernelData data;
+  std::vector<std::vector<Rate>> per_level;
+  for (simd::SimdLevel level : levels) {
+    simd::ScopedSimdLevel guard(level);
+    per_level.push_back(KernelLoops(data));
+  }
+  std::printf("%-22s", "kernel (rows/s)");
+  for (simd::SimdLevel level : levels)
+    std::printf(" %12s", simd::SimdLevelName(level));
+  if (levels.size() >= 2) std::printf(" %9s\n", "last/prev");
+  for (std::size_t k = 0; k < per_level[0].size(); ++k) {
+    std::printf("%-22s", per_level[0][k].kernel);
+    for (std::size_t l = 0; l < levels.size(); ++l)
+      std::printf(" %12.3e", per_level[l][k].rows_per_s);
+    if (levels.size() >= 2) {
+      const double prev = per_level[levels.size() - 2][k].rows_per_s;
+      const double last = per_level[levels.size() - 1][k].rows_per_s;
+      std::printf(" %8.2fx", last / prev);
+    }
+    std::printf("\n");
+  }
+
+  // --- 2. End-to-end IVF search -------------------------------------------
+  data::SyntheticSpec spec = data::SiftProxySpec();
+  spec.num_base = kBaseN;
+  spec.num_queries = 64;
+  spec.num_train_queries = 2000;
+  data::Dataset ds = data::GenerateSynthetic(spec);
+  std::printf("dataset %s (n=%lld d=%lld), %lld queries\n", ds.name.c_str(),
+              static_cast<long long>(ds.size()),
+              static_cast<long long>(ds.dim()),
+              static_cast<long long>(ds.queries.rows()));
+
+  // One trained set of nbits=4 centroid tables, two layouts over them
+  // (identical reconstructions — see bench_pq_fastscan).
+  quant::PqOptions options;
+  options.num_subspaces = kSubspaces;
+  options.nbits = 4;
+  quant::PqCodebook packed =
+      quant::PqCodebook::Train(ds.base.data(), ds.size(), kDim, options);
+  std::vector<linalg::Matrix> copies;
+  for (int s = 0; s < packed.num_subspaces(); ++s) {
+    const linalg::Matrix& src = packed.centroids(s);
+    linalg::Matrix copy(src.rows(), src.cols());
+    std::copy(src.data(), src.data() + src.size(), copy.data());
+    copies.push_back(std::move(copy));
+  }
+  quant::PqCodebook bytes = quant::PqCodebook::FromCodebooks(
+      std::move(copies),
+      quant::CodeLayout{4, quant::CodePacking::kBytePerCode});
+
+  std::vector<uint8_t> byte_codes = bytes.EncodeBatch(ds.base.data(),
+                                                      ds.size());
+  std::vector<uint8_t> packed_codes(
+      static_cast<std::size_t>(ds.size() * packed.code_size()));
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    quant::PackCodes4(byte_codes.data() + i * bytes.code_size(), kSubspaces,
+                      packed_codes.data() + i * packed.code_size());
+  }
+
+  core::PqEstimatorData byte_data;
+  byte_data.pq = std::move(bytes);
+  byte_data.codes = std::move(byte_codes);
+  byte_data.recon_errors.resize(static_cast<std::size_t>(ds.size()));
+  ParallelFor(ds.size(), [&](int64_t begin, int64_t end) {
+    std::vector<float> decoded(kDim);
+    for (int64_t i = begin; i < end; ++i) {
+      byte_data.pq.Decode(
+          byte_data.codes.data() + i * byte_data.pq.code_size(),
+          decoded.data());
+      byte_data.recon_errors[static_cast<std::size_t>(i)] = simd::L2Sqr(
+          decoded.data(), ds.base.Row(i), static_cast<std::size_t>(kDim));
+    }
+  });
+  core::PqEstimatorData packed_data;
+  packed_data.pq = std::move(packed);
+  packed_data.codes = std::move(packed_codes);
+  packed_data.recon_errors = byte_data.recon_errors;
+
+  core::TrainingDataOptions training;
+  training.max_queries = 300;
+  core::LinearCorrector byte_corrector, packed_corrector;
+  {
+    core::PqAdcEstimator estimator(&byte_data);
+    byte_corrector = core::TrainAnyCorrector(estimator, ds.base,
+                                             ds.train_queries, training);
+  }
+  {
+    core::PqAdcEstimator estimator(&packed_data);
+    packed_corrector = core::TrainAnyCorrector(estimator, ds.base,
+                                               ds.train_queries, training);
+  }
+
+  index::IvfOptions ivf_options;
+  ivf_options.num_clusters =
+      static_cast<int>(std::max<int64_t>(16, ds.size() / 150));
+  index::IvfIndex ivf = index::IvfIndex::Build(ds.base, ivf_options);
+  const int k = 10;
+  const int nprobe =
+      std::max(4, static_cast<int>(ivf_options.num_clusters / 8));
+  auto truth = data::BruteForceKnn(ds.base, ds.queries, k);
+
+  core::DdcAnyComputer ddc_pq(
+      &ds.base, std::make_unique<core::PqAdcEstimator>(&byte_data),
+      &byte_corrector);
+  core::DdcAnyComputer fastscan(
+      &ds.base, std::make_unique<core::PqAdcEstimator>(&packed_data),
+      &packed_corrector);
+  index::FlatDistanceComputer exact(ds.base.data(), ds.size(), kDim);
+  // Production shape for the packed tier: bucket-resident packed records.
+  if (!ivf.AttachCodesFrom(fastscan)) {
+    std::printf("FAILED to attach packed codes\n");
+    return;
+  }
+
+  const int search_reps = 2;
+  struct Config {
+    const char* name;
+    index::DistanceComputer* computer;
+  } configs[] = {{"ddc-pq", &ddc_pq},
+                 {"fastscan-nbits4", &fastscan},
+                 {"exact", &exact}};
+  std::printf("%-18s %8s %10s %12s\n", "search config", "simd", "recall@10",
+              "qps");
+  for (const Config& config : configs) {
+    for (simd::SimdLevel level : levels) {
+      if (level == simd::SimdLevel::kScalar) continue;  // vector tiers only
+      simd::ScopedSimdLevel guard(level);
+      SearchResult result = SearchSweep(ivf, *config.computer, ds, truth, k,
+                                        nprobe, search_reps);
+      std::printf("%-18s %8s %10.4f %12.0f\n", config.name,
+                  simd::SimdLevelName(level), result.recall, result.qps);
+    }
+  }
+  std::printf("(nprobe=%d, k=%d, %d clusters)\n", nprobe, k,
+              ivf_options.num_clusters);
+}
+
+}  // namespace
+}  // namespace resinfer::benchutil
+
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
+  resinfer::benchutil::PrintBanner(
+      "bench_avx512_kernels",
+      "AVX-512 kernel tier acceptance (not a paper figure)");
+  resinfer::benchutil::Run();
+  return 0;
+}

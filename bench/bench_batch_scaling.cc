@@ -117,7 +117,8 @@ void Run(const Scale& scale) {
 }  // namespace
 }  // namespace resinfer::benchutil
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   using namespace resinfer::benchutil;
   PrintBanner("batch_scaling",
               "multi-threaded batch serving (production extension)");

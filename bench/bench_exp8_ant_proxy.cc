@@ -12,7 +12,8 @@
 
 using namespace resinfer;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_exp8_ant_proxy",
                          "Exp-8 (Ant Group image search scenario)");
   benchutil::Scale scale = benchutil::GetScale();

@@ -90,7 +90,8 @@ void RunDataset(data::SyntheticSpec spec, const benchutil::Scale& scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_fig10_scan_pruned",
                          "Fig 10 (scan dimension ratio and pruned rate)");
   benchutil::Scale scale = benchutil::GetScale();

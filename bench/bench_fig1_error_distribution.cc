@@ -60,7 +60,8 @@ ErrorSample CollectResidualErrors(const linalg::Matrix& rotated,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_fig1_error_distribution",
                          "Fig 1 (PCA vs random projection error)");
   benchutil::Scale scale = benchutil::GetScale();

@@ -56,7 +56,8 @@ void AnalyzeDataset(const data::Dataset& ds, const std::vector<int>& dims) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_fig2_error_bound",
                          "Fig 2 (empirical error-bound analysis)");
   benchutil::Scale scale = benchutil::GetScale();

@@ -69,7 +69,8 @@ void RunDataset(data::SyntheticSpec spec, const benchutil::Scale& scale,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_fig5_qps_recall",
                          "Fig 5 (QPS vs recall, all methods)");
   benchutil::Scale scale = benchutil::GetScale();

@@ -46,7 +46,8 @@ void RunDataset(data::SyntheticSpec spec, const benchutil::Scale& scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_fig6_target_recall",
                          "Fig 6 (varying the target recall)");
   benchutil::Scale scale = benchutil::GetScale();

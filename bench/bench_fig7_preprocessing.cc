@@ -80,7 +80,8 @@ void RunDataset(data::SyntheticSpec spec, const benchutil::Scale& scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_fig7_preprocessing",
                          "Fig 7 (pre-processing time and space)");
   benchutil::Scale scale = benchutil::GetScale();

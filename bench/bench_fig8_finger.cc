@@ -40,7 +40,8 @@ void RunDataset(data::SyntheticSpec spec, const benchutil::Scale& scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_fig8_finger",
                          "Fig 8 (comparison with FINGER)");
   benchutil::Scale scale = benchutil::GetScale();

@@ -12,7 +12,8 @@
 
 using namespace resinfer;
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_fig9_scalability", "Fig 9 (scalability)");
   benchutil::Scale scale = benchutil::GetScale();
 

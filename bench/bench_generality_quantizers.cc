@@ -141,7 +141,8 @@ void RunDataset(const data::SyntheticSpec& spec, const Scale& scale) {
 }  // namespace
 }  // namespace resinfer::benchutil
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   using namespace resinfer::benchutil;
   PrintBanner("generality_quantizers",
               "§V generality claim across PQ / RQ / SQ8 estimator sources");

@@ -199,7 +199,8 @@ void Run(const Scale& scale) {
 }  // namespace
 }  // namespace resinfer::benchutil
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   using namespace resinfer::benchutil;
   PrintBanner("ivf_code_scan",
               "code-resident bucket scan vs id-gather (CSR + CodeStore)");

@@ -1,11 +1,20 @@
-// Micro-benchmarks of the distance kernels (google-benchmark): scalar vs
-// AVX2 L2/inner-product across the dimensions of the paper's datasets.
-// Not a paper figure; sanity for the SIMD substrate (the paper disables
-// SIMD, this library ships both — see DESIGN.md §2).
+// Micro-benchmarks of the distance kernels (google-benchmark). Not a paper
+// figure; sanity for the SIMD substrate (the paper disables SIMD, this
+// library ships scalar/AVX2/AVX-512 — see DESIGN.md §2).
+//
+// Benchmarks are registered dynamically: one row per SIMD level the host
+// supports (from simd::SupportedLevels()), named BM_<kernel>/<level>/<arg>.
+// Each row pins the dispatch level with ScopedSimdLevel and drives the
+// public entry points, so rows measure exactly what production callers get,
+// dispatch overhead included. `--simd=<level>` restricts the sweep to one
+// level (see bench/common.h).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "common.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
 #include "util/aligned_buffer.h"
@@ -15,6 +24,8 @@ namespace {
 
 using resinfer::AlignedBuffer;
 using resinfer::Rng;
+using resinfer::simd::ScopedSimdLevel;
+using resinfer::simd::SimdLevel;
 
 AlignedBuffer<float> MakeVec(std::size_t n, uint64_t seed) {
   Rng rng(seed);
@@ -24,30 +35,6 @@ AlignedBuffer<float> MakeVec(std::size_t n, uint64_t seed) {
   return buf;
 }
 
-void BM_L2SqrScalar(benchmark::State& state) {
-  const std::size_t n = state.range(0);
-  auto a = MakeVec(n, 1), b = MakeVec(n, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        resinfer::simd::internal::L2SqrScalar(a.data(), b.data(), n));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_L2SqrScalar)->Arg(128)->Arg(256)->Arg(420)->Arg(960);
-
-#if defined(RESINFER_HAVE_AVX2)
-void BM_L2SqrAvx2(benchmark::State& state) {
-  const std::size_t n = state.range(0);
-  auto a = MakeVec(n, 1), b = MakeVec(n, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        resinfer::simd::internal::L2SqrAvx2(a.data(), b.data(), n));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_L2SqrAvx2)->Arg(128)->Arg(256)->Arg(420)->Arg(960);
-#endif
-
 AlignedBuffer<uint8_t> MakeCodes(std::size_t n, uint64_t seed) {
   Rng rng(seed);
   AlignedBuffer<uint8_t> buf(n);
@@ -56,55 +43,40 @@ AlignedBuffer<uint8_t> MakeCodes(std::size_t n, uint64_t seed) {
   return buf;
 }
 
-void BM_SqAdcL2SqrScalar(benchmark::State& state) {
+// --- Single-pair kernels ---------------------------------------------------
+
+void BM_L2Sqr(benchmark::State& state, SimdLevel level) {
+  const std::size_t n = state.range(0);
+  auto a = MakeVec(n, 1), b = MakeVec(n, 2);
+  ScopedSimdLevel guard(level);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resinfer::simd::L2Sqr(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_InnerProduct(benchmark::State& state, SimdLevel level) {
+  const std::size_t n = state.range(0);
+  auto a = MakeVec(n, 3), b = MakeVec(n, 4);
+  ScopedSimdLevel guard(level);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resinfer::simd::InnerProduct(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_SqAdcL2Sqr(benchmark::State& state, SimdLevel level) {
   const std::size_t n = state.range(0);
   auto q = MakeVec(n, 11), vmin = MakeVec(n, 12), step = MakeVec(n, 13);
   auto code = MakeCodes(n, 14);
+  ScopedSimdLevel guard(level);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(resinfer::simd::internal::SqAdcL2SqrScalar(
+    benchmark::DoNotOptimize(resinfer::simd::SqAdcL2Sqr(
         q.data(), code.data(), vmin.data(), step.data(), n));
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SqAdcL2SqrScalar)->Arg(128)->Arg(960);
-
-#if defined(RESINFER_HAVE_AVX2)
-void BM_SqAdcL2SqrAvx2(benchmark::State& state) {
-  const std::size_t n = state.range(0);
-  auto q = MakeVec(n, 11), vmin = MakeVec(n, 12), step = MakeVec(n, 13);
-  auto code = MakeCodes(n, 14);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(resinfer::simd::internal::SqAdcL2SqrAvx2(
-        q.data(), code.data(), vmin.data(), step.data(), n));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_SqAdcL2SqrAvx2)->Arg(128)->Arg(960);
-#endif
-
-void BM_InnerProductScalar(benchmark::State& state) {
-  const std::size_t n = state.range(0);
-  auto a = MakeVec(n, 3), b = MakeVec(n, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        resinfer::simd::internal::InnerProductScalar(a.data(), b.data(), n));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_InnerProductScalar)->Arg(128)->Arg(960);
-
-#if defined(RESINFER_HAVE_AVX2)
-void BM_InnerProductAvx2(benchmark::State& state) {
-  const std::size_t n = state.range(0);
-  auto a = MakeVec(n, 3), b = MakeVec(n, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        resinfer::simd::internal::InnerProductAvx2(a.data(), b.data(), n));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_InnerProductAvx2)->Arg(128)->Arg(960);
-#endif
 
 // --- Batched kernels (the block-scan refinement path) ---------------------
 //
@@ -113,11 +85,12 @@ BENCHMARK(BM_InnerProductAvx2)->Arg(128)->Arg(960);
 // several accumulation chains in flight while staying bit-identical per
 // lane (see simd/kernels.h).
 
-void BM_L2SqrSingleX4(benchmark::State& state) {
+void BM_L2SqrSingleX4(benchmark::State& state, SimdLevel level) {
   const std::size_t n = state.range(0);
   auto q = MakeVec(n, 20);
   AlignedBuffer<float> rows[4] = {MakeVec(n, 21), MakeVec(n, 22),
                                   MakeVec(n, 23), MakeVec(n, 24)};
+  ScopedSimdLevel guard(level);
   for (auto _ : state) {
     for (int r = 0; r < 4; ++r) {
       benchmark::DoNotOptimize(
@@ -126,9 +99,8 @@ void BM_L2SqrSingleX4(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * 4);
 }
-BENCHMARK(BM_L2SqrSingleX4)->Arg(128)->Arg(960);
 
-void BM_L2SqrBatch4(benchmark::State& state) {
+void BM_L2SqrBatch4(benchmark::State& state, SimdLevel level) {
   const std::size_t n = state.range(0);
   auto q = MakeVec(n, 20);
   AlignedBuffer<float> storage[4] = {MakeVec(n, 21), MakeVec(n, 22),
@@ -136,30 +108,15 @@ void BM_L2SqrBatch4(benchmark::State& state) {
   const float* rows[4] = {storage[0].data(), storage[1].data(),
                           storage[2].data(), storage[3].data()};
   float out[4];
+  ScopedSimdLevel guard(level);
   for (auto _ : state) {
     resinfer::simd::L2SqrBatch4(q.data(), rows, n, out);
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations() * n * 4);
 }
-BENCHMARK(BM_L2SqrBatch4)->Arg(128)->Arg(960);
 
-void BM_InnerProductSingleX4(benchmark::State& state) {
-  const std::size_t n = state.range(0);
-  auto q = MakeVec(n, 25);
-  AlignedBuffer<float> rows[4] = {MakeVec(n, 26), MakeVec(n, 27),
-                                  MakeVec(n, 28), MakeVec(n, 29)};
-  for (auto _ : state) {
-    for (int r = 0; r < 4; ++r) {
-      benchmark::DoNotOptimize(
-          resinfer::simd::InnerProduct(rows[r].data(), q.data(), n));
-    }
-  }
-  state.SetItemsProcessed(state.iterations() * n * 4);
-}
-BENCHMARK(BM_InnerProductSingleX4)->Arg(128)->Arg(960);
-
-void BM_InnerProductBatch4(benchmark::State& state) {
+void BM_InnerProductBatch4(benchmark::State& state, SimdLevel level) {
   const std::size_t n = state.range(0);
   auto q = MakeVec(n, 25);
   AlignedBuffer<float> storage[4] = {MakeVec(n, 26), MakeVec(n, 27),
@@ -167,34 +124,15 @@ void BM_InnerProductBatch4(benchmark::State& state) {
   const float* rows[4] = {storage[0].data(), storage[1].data(),
                           storage[2].data(), storage[3].data()};
   float out[4];
+  ScopedSimdLevel guard(level);
   for (auto _ : state) {
     resinfer::simd::InnerProductBatch4(q.data(), rows, n, out);
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations() * n * 4);
 }
-BENCHMARK(BM_InnerProductBatch4)->Arg(128)->Arg(960);
 
-void BM_PqAdcSequential(benchmark::State& state) {
-  const int m = 32, ksub = 256;
-  const int count = static_cast<int>(state.range(0));
-  auto table = MakeVec(static_cast<std::size_t>(m) * ksub, 30);
-  auto codes = MakeCodes(static_cast<std::size_t>(count) * m, 31);
-  std::vector<const uint8_t*> ptrs(count);
-  for (int c = 0; c < count; ++c) ptrs[c] = codes.data() + c * m;
-  for (auto _ : state) {
-    for (int c = 0; c < count; ++c) {
-      float acc = 0.f;
-      const float* row = table.data();
-      for (int s = 0; s < m; ++s, row += ksub) acc += row[ptrs[c][s]];
-      benchmark::DoNotOptimize(acc);
-    }
-  }
-  state.SetItemsProcessed(state.iterations() * count);
-}
-BENCHMARK(BM_PqAdcSequential)->Arg(32)->Arg(256);
-
-void BM_PqAdcBatch(benchmark::State& state) {
+void BM_PqAdcBatch(benchmark::State& state, SimdLevel level) {
   const int m = 32, ksub = 256;
   const int count = static_cast<int>(state.range(0));
   auto table = MakeVec(static_cast<std::size_t>(m) * ksub, 30);
@@ -202,6 +140,7 @@ void BM_PqAdcBatch(benchmark::State& state) {
   std::vector<const uint8_t*> ptrs(count);
   for (int c = 0; c < count; ++c) ptrs[c] = codes.data() + c * m;
   std::vector<float> out(count);
+  ScopedSimdLevel guard(level);
   for (auto _ : state) {
     resinfer::simd::PqAdcBatch(table.data(), m, ksub, ptrs.data(), count,
                                out.data());
@@ -209,24 +148,8 @@ void BM_PqAdcBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * count);
 }
-BENCHMARK(BM_PqAdcBatch)->Arg(32)->Arg(256);
 
-void BM_SqAdcSingleX4(benchmark::State& state) {
-  const std::size_t n = state.range(0);
-  auto q = MakeVec(n, 40), vmin = MakeVec(n, 41), step = MakeVec(n, 42);
-  AlignedBuffer<uint8_t> storage[4] = {MakeCodes(n, 43), MakeCodes(n, 44),
-                                       MakeCodes(n, 45), MakeCodes(n, 46)};
-  for (auto _ : state) {
-    for (int r = 0; r < 4; ++r) {
-      benchmark::DoNotOptimize(resinfer::simd::SqAdcL2Sqr(
-          q.data(), storage[r].data(), vmin.data(), step.data(), n));
-    }
-  }
-  state.SetItemsProcessed(state.iterations() * n * 4);
-}
-BENCHMARK(BM_SqAdcSingleX4)->Arg(128)->Arg(960);
-
-void BM_SqAdcBatch4(benchmark::State& state) {
+void BM_SqAdcBatch4(benchmark::State& state, SimdLevel level) {
   const std::size_t n = state.range(0);
   auto q = MakeVec(n, 40), vmin = MakeVec(n, 41), step = MakeVec(n, 42);
   AlignedBuffer<uint8_t> storage[4] = {MakeCodes(n, 43), MakeCodes(n, 44),
@@ -234,6 +157,7 @@ void BM_SqAdcBatch4(benchmark::State& state) {
   const uint8_t* codes[4] = {storage[0].data(), storage[1].data(),
                              storage[2].data(), storage[3].data()};
   float out[4];
+  ScopedSimdLevel guard(level);
   for (auto _ : state) {
     resinfer::simd::SqAdcL2SqrBatch4(q.data(), codes, vmin.data(),
                                      step.data(), n, out);
@@ -241,14 +165,33 @@ void BM_SqAdcBatch4(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * 4);
 }
-BENCHMARK(BM_SqAdcBatch4)->Arg(128)->Arg(960);
+
+// --- Fast-scan ADC (packed 4-bit codes, quantized u8 LUT) ------------------
+
+void BM_PqAdcFastScan(benchmark::State& state, SimdLevel level) {
+  const int m = 32;
+  const int packed = (m + 1) / 2;
+  const int count = static_cast<int>(state.range(0));
+  auto lut = MakeCodes(static_cast<std::size_t>(packed) * 32, 50);
+  auto codes = MakeCodes(static_cast<std::size_t>(count) * packed, 51);
+  std::vector<const uint8_t*> ptrs(count);
+  for (int c = 0; c < count; ++c) ptrs[c] = codes.data() + c * packed;
+  std::vector<uint16_t> out(count);
+  ScopedSimdLevel guard(level);
+  for (auto _ : state) {
+    resinfer::simd::PqAdcFastScan(lut.data(), m, ptrs.data(), count,
+                                  out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
 
 // --- The acceptance scan: 1M x 128 refinement sweep -----------------------
 //
 // Simulates the IVF/HNSW refinement loop over a large base: every row's
-// distance to the query is computed, per-candidate vs. in blocks of four
-// with next-block prefetch. Items processed = candidate rows, so
-// items_per_second is directly comparable between the two.
+// distance to the query is computed in blocks of four with next-block
+// prefetch. Items processed = candidate rows, so items_per_second is
+// directly comparable across levels.
 
 constexpr std::size_t kScanRows = 1000000;
 constexpr std::size_t kScanDim = 128;
@@ -264,25 +207,10 @@ const AlignedBuffer<float>& ScanBase() {
   return *base;
 }
 
-void BM_Scan1M128PerCandidate(benchmark::State& state) {
+void BM_Scan1M128Batched(benchmark::State& state, SimdLevel level) {
   const AlignedBuffer<float>& base = ScanBase();
   auto q = MakeVec(kScanDim, 8);
-  for (auto _ : state) {
-    float best = 1e30f;
-    for (std::size_t i = 0; i < kScanRows; ++i) {
-      float d = resinfer::simd::L2Sqr(base.data() + i * kScanDim, q.data(),
-                                      kScanDim);
-      if (d < best) best = d;
-    }
-    benchmark::DoNotOptimize(best);
-  }
-  state.SetItemsProcessed(state.iterations() * kScanRows);
-}
-BENCHMARK(BM_Scan1M128PerCandidate)->Unit(benchmark::kMillisecond);
-
-void BM_Scan1M128Batched(benchmark::State& state) {
-  const AlignedBuffer<float>& base = ScanBase();
-  auto q = MakeVec(kScanDim, 8);
+  ScopedSimdLevel guard(level);
   for (auto _ : state) {
     float best = 1e30f;
     const float* rows[4];
@@ -302,21 +230,68 @@ void BM_Scan1M128Batched(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kScanRows);
 }
-BENCHMARK(BM_Scan1M128Batched)->Unit(benchmark::kMillisecond);
 
 // Partial (prefix) inner product — the DDCres hot path reads only the
 // first d dimensions of the rotated vectors.
-void BM_PrefixInnerProduct(benchmark::State& state) {
+void BM_PrefixInnerProduct(benchmark::State& state, SimdLevel level) {
   auto a = MakeVec(960, 5), b = MakeVec(960, 6);
   const std::size_t d = state.range(0);
+  ScopedSimdLevel guard(level);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         resinfer::simd::InnerProduct(a.data(), b.data(), d));
   }
   state.SetItemsProcessed(state.iterations() * d);
 }
-BENCHMARK(BM_PrefixInnerProduct)->Arg(32)->Arg(64)->Arg(128)->Arg(960);
+
+void RegisterForLevel(SimdLevel level) {
+  const std::string tag = resinfer::simd::SimdLevelName(level);
+  auto reg = [&](const char* name, void (*fn)(benchmark::State&, SimdLevel),
+                 std::vector<int64_t> args) {
+    auto* b = benchmark::RegisterBenchmark((name + ("/" + tag)).c_str(),
+                                           [fn, level](benchmark::State& st) {
+                                             fn(st, level);
+                                           });
+    for (int64_t a : args) b->Arg(a);
+    if (args.empty()) b->Unit(benchmark::kMillisecond);
+  };
+  reg("BM_L2Sqr", BM_L2Sqr, {128, 256, 420, 960});
+  reg("BM_InnerProduct", BM_InnerProduct, {128, 960});
+  reg("BM_SqAdcL2Sqr", BM_SqAdcL2Sqr, {128, 960});
+  reg("BM_L2SqrSingleX4", BM_L2SqrSingleX4, {128, 960});
+  reg("BM_L2SqrBatch4", BM_L2SqrBatch4, {128, 960});
+  reg("BM_InnerProductBatch4", BM_InnerProductBatch4, {128, 960});
+  reg("BM_PqAdcBatch", BM_PqAdcBatch, {32, 256});
+  reg("BM_SqAdcBatch4", BM_SqAdcBatch4, {128, 960});
+  reg("BM_PqAdcFastScan", BM_PqAdcFastScan, {32, 256});
+  reg("BM_Scan1M128Batched", BM_Scan1M128Batched, {});
+  reg("BM_PrefixInnerProduct", BM_PrefixInnerProduct, {32, 64, 128, 960});
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
+  // --simd=<level> narrows the sweep to that level; default sweeps every
+  // level the host supports. Strip the flag before benchmark::Initialize,
+  // which treats unknown --flags as errors.
+  bool pinned = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--simd=", 7) == 0) {
+      pinned = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  const std::vector<SimdLevel> levels =
+      pinned ? std::vector<SimdLevel>{resinfer::simd::ActiveLevel()}
+             : resinfer::simd::SupportedLevels();
+  for (SimdLevel level : levels) RegisterForLevel(level);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -179,7 +179,8 @@ void Run(const Scale& scale) {
 }  // namespace
 }  // namespace resinfer::benchutil
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   using namespace resinfer::benchutil;
   PrintBanner("multi_query",
               "query-major grouped IVF serving vs per-query RunBatch");

@@ -37,7 +37,8 @@ Measured Measure(const index::HnswIndex& hnsw, const linalg::Matrix& queries,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_ood_queries",
                          "§V-C / Exp-A.2-A.3 (out-of-distribution queries)");
   benchutil::Scale scale = benchutil::GetScale();

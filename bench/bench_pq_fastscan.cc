@@ -270,7 +270,8 @@ void Run() {
 }  // namespace
 }  // namespace resinfer::benchutil
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   resinfer::benchutil::Run();
   return 0;
 }

@@ -76,7 +76,8 @@ void RunDataset(data::SyntheticSpec spec, const benchutil::Scale& scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!resinfer::benchutil::ApplyFlags(argc, argv)) return 2;
   benchutil::PrintBanner("bench_table3_approx_accuracy",
                          "Table III (approximation accuracy, recall@100)");
   benchutil::Scale scale = benchutil::GetScale();

@@ -6,6 +6,33 @@
 
 namespace resinfer::benchutil {
 
+namespace {
+// Set once a --simd= flag is applied; PrintBanner then leaves the level
+// alone so an explicit flag beats the RESINFER_BENCH_SIMD environment.
+bool g_simd_flag_applied = false;
+}  // namespace
+
+bool ApplyFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--simd=", 7) != 0) continue;
+    simd::SimdLevel requested;
+    if (!simd::ParseSimdLevelName(arg + 7, &requested)) {
+      std::fprintf(stderr,
+                   "unrecognized %s (expected --simd=scalar|avx2|avx512)\n",
+                   arg);
+      return false;
+    }
+    simd::SetActiveLevel(requested);  // clamps to the host's best
+    if (simd::ActiveLevel() != requested) {
+      std::fprintf(stderr, "note: %s not supported on this host; running %s\n",
+                   arg + 7, simd::SimdLevelName(simd::ActiveLevel()));
+    }
+    g_simd_flag_applied = true;
+  }
+  return true;
+}
+
 Scale GetScale() {
   Scale scale;
   const char* env = std::getenv("RESINFER_BENCH_SCALE");
@@ -118,9 +145,11 @@ std::string HumanBytes(int64_t bytes) {
 
 void PrintBanner(const char* bench_name, const char* paper_ref) {
   // The paper disables SIMD (§VII-A); RESINFER_BENCH_SIMD=scalar pins the
-  // reference kernels to reproduce that regime, the default keeps AVX2.
+  // reference kernels to reproduce that regime, the default keeps the best
+  // vectorized tier. An explicit --simd= flag wins over the environment.
   const char* simd_env = std::getenv("RESINFER_BENCH_SIMD");
-  if (simd_env != nullptr && std::strcmp(simd_env, "scalar") == 0) {
+  if (!g_simd_flag_applied && simd_env != nullptr &&
+      std::strcmp(simd_env, "scalar") == 0) {
     simd::SetActiveLevel(simd::SimdLevel::kScalar);
   }
   Scale scale = GetScale();

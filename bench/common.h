@@ -36,6 +36,14 @@ struct Scale {
 
 Scale GetScale();
 
+// Parses the shared bench flags and applies them. Currently:
+//   --simd=scalar|avx2|avx512   pin the SIMD dispatch level (clamped to the
+//                               host's best; beats RESINFER_BENCH_SIMD)
+// Unrecognized arguments are left alone for the binary's own parsing.
+// Returns false — after an stderr usage note — on a malformed --simd value,
+// so benches can exit non-zero instead of silently measuring the wrong tier.
+bool ApplyFlags(int argc, char** argv);
+
 // Generates a proxy dataset resized to the active scale.
 data::Dataset MakeProxy(data::SyntheticSpec spec, const Scale& scale);
 

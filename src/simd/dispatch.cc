@@ -1,6 +1,9 @@
 #include "simd/dispatch.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "simd/kernels.h"
 
@@ -78,9 +81,31 @@ constexpr KernelTable kAvx2Table = {
 };
 #endif
 
+#if defined(RESINFER_HAVE_AVX512)
+constexpr KernelTable kAvx512Table = {
+    SimdLevel::kAvx512,
+    internal::L2SqrAvx512,
+    internal::InnerProductAvx512,
+    internal::Norm2SqrAvx512,
+    internal::AxpyAvx512,
+    internal::SqAdcL2SqrAvx512,
+    internal::L2SqrBatch4Avx512,
+    internal::InnerProductBatch4Avx512,
+    internal::PqAdcBatchAvx512,
+    internal::SqAdcL2SqrBatch4Avx512,
+    internal::PqAdcFastScanAvx512,
+    internal::PqAdcFastScanTileAvx512,
+    internal::L2SqrTileAvx512,
+    internal::PqAdcTileAvx512,
+};
+#endif
+
 const KernelTable* TableFor(SimdLevel level) {
+#if defined(RESINFER_HAVE_AVX512)
+  if (level == SimdLevel::kAvx512) return &kAvx512Table;
+#endif
 #if defined(RESINFER_HAVE_AVX2)
-  if (level == SimdLevel::kAvx2) return &kAvx2Table;
+  if (level >= SimdLevel::kAvx2) return &kAvx2Table;
 #endif
   (void)level;
   return &kScalarTable;
@@ -94,7 +119,7 @@ const KernelTable* TableFor(SimdLevel level) {
 // two-atomics design allowed a reader between the two stores to see the old
 // level with the new table, or vice versa).
 std::atomic<const KernelTable*>& TableSlot() {
-  static std::atomic<const KernelTable*> slot{TableFor(BestSupportedLevel())};
+  static std::atomic<const KernelTable*> slot{TableFor(InitialLevel())};
   return slot;
 }
 
@@ -105,11 +130,21 @@ inline const KernelTable& Active() {
 }  // namespace
 
 SimdLevel BestSupportedLevel() {
+  // The vectorized kernels are compiled into every RESINFER_HAVE_* build,
+  // but the binary may land on an older host; check the CPU once so
+  // dispatch degrades level by level instead of executing illegal
+  // instructions.
+#if defined(RESINFER_HAVE_AVX512) && (defined(__GNUC__) || defined(__clang__))
+  // F is the zmm/mask baseline, BW the byte/word ops (vpshufb on zmm,
+  // u16 fast-scan accumulation), VL the masked 128/256-bit loads the
+  // tail paths use.
+  static const bool avx512_ok = __builtin_cpu_supports("avx512f") &&
+                                __builtin_cpu_supports("avx512bw") &&
+                                __builtin_cpu_supports("avx512vl");
+  if (avx512_ok) return SimdLevel::kAvx512;
+#endif
 #if defined(RESINFER_HAVE_AVX2)
 #if defined(__GNUC__) || defined(__clang__)
-  // The AVX2 kernels are compiled into every RESINFER_HAVE_AVX2 build, but
-  // the binary may land on an older host; check the CPU once so dispatch
-  // degrades to scalar instead of executing illegal instructions.
   static const bool cpu_ok =
       __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
   return cpu_ok ? SimdLevel::kAvx2 : SimdLevel::kScalar;
@@ -119,6 +154,46 @@ SimdLevel BestSupportedLevel() {
 #else
   return SimdLevel::kScalar;
 #endif
+}
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  const SimdLevel best = BestSupportedLevel();
+  if (best >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  if (best >= SimdLevel::kAvx512) levels.push_back(SimdLevel::kAvx512);
+  return levels;
+}
+
+bool ParseSimdLevelName(const char* name, SimdLevel* out) {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+    return true;
+  }
+  if (std::strcmp(name, "avx512") == 0) {
+    *out = SimdLevel::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+SimdLevel InitialLevel() {
+  const SimdLevel best = BestSupportedLevel();
+  const char* env = std::getenv("RESINFER_SIMD_LEVEL");
+  if (env == nullptr || env[0] == '\0') return best;
+  SimdLevel requested;
+  if (!ParseSimdLevelName(env, &requested)) {
+    std::fprintf(stderr,
+                 "resinfer: ignoring invalid RESINFER_SIMD_LEVEL=%s "
+                 "(expected scalar|avx2|avx512)\n",
+                 env);
+    return best;
+  }
+  return requested > best ? best : requested;
 }
 
 SimdLevel ActiveLevel() { return Active().level; }
@@ -134,6 +209,8 @@ const char* SimdLevelName(SimdLevel level) {
       return "scalar";
     case SimdLevel::kAvx2:
       return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }

@@ -1,35 +1,59 @@
-// Runtime selection between scalar and AVX2 kernel implementations.
+// Runtime selection between scalar, AVX2, and AVX-512 kernel
+// implementations.
 //
 // The paper's experiments disable SIMD to isolate algorithmic effects
 // (§VII-A); this library ships vectorized kernels but lets benches and tests
-// pin the scalar reference path via SetSimdLevel so both configurations can
-// be reported.
+// pin the scalar reference path via SetActiveLevel so both configurations
+// can be reported.
 //
 // Kernel entry points dispatch through a function-pointer table resolved
-// once at startup (cpuid-checked, so AVX2 builds degrade to scalar on older
-// hosts); switching levels swaps the table pointer. That pointer is the
-// single source of truth: each table carries its own level, so
-// ActiveLevel() and the kernels a concurrent reader dispatches to always
-// agree.
+// once at startup (cpuid-checked, so an AVX-512 build degrades to AVX2 or
+// scalar on older hosts); switching levels swaps the table pointer. That
+// pointer is the single source of truth: each table carries its own level,
+// so ActiveLevel() and the kernels a concurrent reader dispatches to always
+// agree. The startup level can be overridden without recompiling via the
+// RESINFER_SIMD_LEVEL environment variable (scalar|avx2|avx512; invalid
+// values are ignored with a stderr note, unsupported ones clamp down).
 #ifndef RESINFER_SIMD_DISPATCH_H_
 #define RESINFER_SIMD_DISPATCH_H_
 
+#include <vector>
+
 namespace resinfer::simd {
 
+// Ordered lattice: every level can run everything below it (AVX-512F/BW/VL
+// implies AVX2+FMA), so requests for unsupported levels clamp downward.
 enum class SimdLevel {
   kScalar = 0,
   kAvx2 = 1,
+  kAvx512 = 2,
 };
 
 // Highest level supported by the build + CPU.
 SimdLevel BestSupportedLevel();
 
+// All levels the build + CPU can run, ascending (kScalar first). Tests and
+// benches iterate this instead of hardcoding the scalar/AVX2 pair so new
+// levels are swept automatically.
+std::vector<SimdLevel> SupportedLevels();
+
 // Level used by the public kernel entry points. Defaults to
-// BestSupportedLevel(). Setting an unsupported level is clamped down.
+// BestSupportedLevel() unless RESINFER_SIMD_LEVEL overrides it. Setting an
+// unsupported level is clamped down.
 SimdLevel ActiveLevel();
 void SetActiveLevel(SimdLevel level);
 
 const char* SimdLevelName(SimdLevel level);
+
+// Parses a level name ("scalar", "avx2", "avx512"). Returns false (and
+// leaves *out untouched) for anything else.
+bool ParseSimdLevelName(const char* name, SimdLevel* out);
+
+// The level dispatch initializes with: BestSupportedLevel(), unless the
+// RESINFER_SIMD_LEVEL environment variable names a valid level (clamped to
+// the supported lattice). Reads the environment on every call; exposed so
+// tests can exercise the override parsing without re-running startup.
+SimdLevel InitialLevel();
 
 // RAII guard to scope a level change in tests.
 class ScopedSimdLevel {

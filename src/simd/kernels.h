@@ -188,6 +188,41 @@ void PqAdcTileAvx2(const float* const* tables, int num_queries, int m,
                    float* out);
 #endif
 
+#if defined(RESINFER_HAVE_AVX512)
+// The AVX-512 tier (F+BW+VL): zmm lanes, mask registers for every d%16 and
+// n%4 tail (no scalar remainder loops), 64 nibble lookups per vpshufb in
+// the fast-scan kernels, and genuine rows x queries register tiles in the
+// tiled kernels (32 zmm registers where AVX2's 16 forced per-query
+// passes). The single-pair kernels define the level's lane-reduction
+// structure; every batch/tile lane reproduces it bit-for-bit.
+float L2SqrAvx512(const float* a, const float* b, std::size_t n);
+float InnerProductAvx512(const float* a, const float* b, std::size_t n);
+float Norm2SqrAvx512(const float* a, std::size_t n);
+void AxpyAvx512(float scale, const float* x, float* out, std::size_t n);
+float SqAdcL2SqrAvx512(const float* q, const uint8_t* code,
+                       const float* vmin, const float* step, std::size_t n);
+void L2SqrBatch4Avx512(const float* q, const float* const* rows,
+                       std::size_t n, float* out);
+void InnerProductBatch4Avx512(const float* q, const float* const* rows,
+                              std::size_t n, float* out);
+void PqAdcBatchAvx512(const float* table, int m, int ksub,
+                      const uint8_t* const* codes, int count, float* out);
+void SqAdcL2SqrBatch4Avx512(const float* q, const uint8_t* const* codes,
+                            const float* vmin, const float* step,
+                            std::size_t n, float* out);
+void PqAdcFastScanAvx512(const uint8_t* lut, int m,
+                         const uint8_t* const* codes, int count,
+                         uint16_t* out);
+void PqAdcFastScanTileAvx512(const uint8_t* const* luts, int num_queries,
+                             int m, const uint8_t* const* codes, int count,
+                             uint16_t* out);
+void L2SqrTileAvx512(const float* const* queries, int num_queries,
+                     const float* const* rows, std::size_t n, float* out);
+void PqAdcTileAvx512(const float* const* tables, int num_queries, int m,
+                     int ksub, const uint8_t* const* codes, int count,
+                     float* out);
+#endif
+
 }  // namespace internal
 
 }  // namespace resinfer::simd

@@ -204,10 +204,7 @@ TEST(CodeScanTest, StoreLayoutMatchesComputerContract) {
 TEST(CodeScanTest, BitIdenticalToGatherAcrossComputersAndLevels) {
   CodeScanFixture& f = Fixture();
 
-  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
-  if (simd::BestSupportedLevel() == simd::SimdLevel::kAvx2) {
-    levels.push_back(simd::SimdLevel::kAvx2);
-  }
+  const std::vector<simd::SimdLevel> levels = simd::SupportedLevels();
 
   for (auto& [name, factory] : f.Factories()) {
     auto gather = factory();

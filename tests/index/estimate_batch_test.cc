@@ -183,10 +183,7 @@ TEST(EstimateBatchTest, BitIdenticalToSequentialAcrossComputersAndLevels) {
     ids[i] = static_cast<int64_t>(rng.Uniform() * (f.ds.size() - 1));
   }
 
-  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
-  if (simd::BestSupportedLevel() == simd::SimdLevel::kAvx2) {
-    levels.push_back(simd::SimdLevel::kAvx2);
-  }
+  const std::vector<simd::SimdLevel> levels = simd::SupportedLevels();
 
   for (auto& [name, factory] : f.Factories()) {
     auto sequential = factory();

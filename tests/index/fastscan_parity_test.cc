@@ -44,13 +44,7 @@
 namespace resinfer::index {
 namespace {
 
-std::vector<simd::SimdLevel> LevelsToTest() {
-  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
-  if (simd::BestSupportedLevel() == simd::SimdLevel::kAvx2) {
-    levels.push_back(simd::SimdLevel::kAvx2);
-  }
-  return levels;
-}
+std::vector<simd::SimdLevel> LevelsToTest() { return simd::SupportedLevels(); }
 
 TEST(FastScanParityTest, PackUnpackRoundTripAndLayoutMath) {
   Rng rng(11);
@@ -204,11 +198,11 @@ TEST(FastScanParityTest, SmallTrainingSetZeroFillsLutTail) {
   }
 }
 
-TEST(FastScanParityTest, ScalarVsAvx2SumsIdentical) {
+TEST(FastScanParityTest, ScalarVsVectorSumsIdentical) {
 #if !defined(RESINFER_HAVE_AVX2)
   GTEST_SKIP() << "AVX2 compiled out";
 #else
-  if (simd::BestSupportedLevel() != simd::SimdLevel::kAvx2) {
+  if (simd::BestSupportedLevel() < simd::SimdLevel::kAvx2) {
     GTEST_SKIP() << "host lacks AVX2";
   }
   Rng rng(95);
@@ -263,6 +257,23 @@ TEST(FastScanParityTest, ScalarVsAvx2SumsIdentical) {
                                             codes.data(), count,
                                             tile_avx2.data());
       EXPECT_EQ(tile_scalar, tile_avx2) << "m=" << m << " count=" << count;
+
+#if defined(RESINFER_HAVE_AVX512)
+      // Integer sums are exact, so the AVX-512 tier must also match the
+      // scalar reference bit-for-bit, not just approximately.
+      if (simd::BestSupportedLevel() >= simd::SimdLevel::kAvx512) {
+        std::vector<uint16_t> avx512(count);
+        simd::internal::PqAdcFastScanAvx512(lut.data(), m, codes.data(),
+                                            count, avx512.data());
+        EXPECT_EQ(scalar, avx512) << "m=" << m << " count=" << count;
+        std::vector<uint16_t> tile_avx512(tile_scalar.size());
+        simd::internal::PqAdcFastScanTileAvx512(lut_ptrs, kQueries, m,
+                                                codes.data(), count,
+                                                tile_avx512.data());
+        EXPECT_EQ(tile_scalar, tile_avx512)
+            << "m=" << m << " count=" << count;
+      }
+#endif
     }
   }
 #endif

@@ -148,13 +148,7 @@ struct MultiQueryFixture {
     return factories;
   }
 
-  std::vector<simd::SimdLevel> Levels() {
-    std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
-    if (simd::BestSupportedLevel() == simd::SimdLevel::kAvx2) {
-      levels.push_back(simd::SimdLevel::kAvx2);
-    }
-    return levels;
-  }
+  std::vector<simd::SimdLevel> Levels() { return simd::SupportedLevels(); }
 };
 
 MultiQueryFixture& Fixture() {

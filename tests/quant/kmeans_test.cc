@@ -125,11 +125,7 @@ TEST(KMeansTest, NearestCentroidsBatchMatchesPerQuery) {
   linalg::Matrix centroids = resinfer::testing::RandomMatrix(37, d, 21);
   linalg::Matrix queries = resinfer::testing::RandomMatrix(21, d, 22);
 
-  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
-  if (simd::BestSupportedLevel() == simd::SimdLevel::kAvx2) {
-    levels.push_back(simd::SimdLevel::kAvx2);
-  }
-  for (simd::SimdLevel level : levels) {
+  for (simd::SimdLevel level : simd::SupportedLevels()) {
     simd::ScopedSimdLevel guard(level);
     for (int nprobe : {1, 5, 37}) {
       for (int64_t begin : {int64_t{0}, int64_t{3}}) {

@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,37 +28,124 @@ TEST(DispatchConsistencyTest, SetIsImmediatelyVisibleToActiveLevel) {
   EXPECT_EQ(ActiveLevel(), best);
 }
 
+TEST(DispatchConsistencyTest, SupportedLevelsIsAscendingPrefixOfLattice) {
+  const auto levels = SupportedLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), SimdLevel::kScalar);
+  EXPECT_EQ(levels.back(), BestSupportedLevel());
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_LT(levels[i - 1], levels[i]);
+  }
+  // Every advertised level must actually be settable and observable.
+  for (SimdLevel level : levels) {
+    SetActiveLevel(level);
+    EXPECT_EQ(ActiveLevel(), level) << SimdLevelName(level);
+  }
+  SetActiveLevel(BestSupportedLevel());
+}
+
+TEST(DispatchConsistencyTest, ThreeLevelLatticeClampsDown) {
+  // Requesting any level above the host's best must clamp to best, never
+  // reject and never exceed; requesting at-or-below must be honored exactly.
+  const SimdLevel best = BestSupportedLevel();
+  for (SimdLevel requested :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    SetActiveLevel(requested);
+    const SimdLevel expected = requested > best ? best : requested;
+    EXPECT_EQ(ActiveLevel(), expected) << SimdLevelName(requested);
+  }
+  SetActiveLevel(best);
+}
+
+TEST(DispatchConsistencyTest, ParseSimdLevelNameCoversAllLevels) {
+  SimdLevel level = SimdLevel::kAvx2;
+  ASSERT_TRUE(ParseSimdLevelName("scalar", &level));
+  EXPECT_EQ(level, SimdLevel::kScalar);
+  ASSERT_TRUE(ParseSimdLevelName("avx2", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx2);
+  ASSERT_TRUE(ParseSimdLevelName("avx512", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx512);
+  // Round trip through the display name.
+  for (SimdLevel l :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    SimdLevel parsed = SimdLevel::kScalar;
+    ASSERT_TRUE(ParseSimdLevelName(SimdLevelName(l), &parsed));
+    EXPECT_EQ(parsed, l);
+  }
+  EXPECT_FALSE(ParseSimdLevelName("", &level));
+  EXPECT_FALSE(ParseSimdLevelName("AVX2", &level));
+  EXPECT_FALSE(ParseSimdLevelName("avx-512", &level));
+  EXPECT_FALSE(ParseSimdLevelName("sse4", &level));
+  EXPECT_FALSE(ParseSimdLevelName(nullptr, &level));
+}
+
+TEST(DispatchConsistencyTest, EnvOverrideSelectsInitialLevel) {
+  // InitialLevel() resolves RESINFER_SIMD_LEVEL against the host's best:
+  // valid names clamp down, garbage falls back to best (with a stderr
+  // note), unset means best. The table slot itself was initialized long
+  // before this test, so drive the resolver directly.
+  const SimdLevel best = BestSupportedLevel();
+  const char* saved = std::getenv("RESINFER_SIMD_LEVEL");
+  std::string saved_copy = saved ? saved : "";
+
+  ::unsetenv("RESINFER_SIMD_LEVEL");
+  EXPECT_EQ(InitialLevel(), best);
+
+  ::setenv("RESINFER_SIMD_LEVEL", "scalar", 1);
+  EXPECT_EQ(InitialLevel(), SimdLevel::kScalar);
+
+  ::setenv("RESINFER_SIMD_LEVEL", "avx2", 1);
+  EXPECT_EQ(InitialLevel(),
+            best >= SimdLevel::kAvx2 ? SimdLevel::kAvx2 : best);
+
+  ::setenv("RESINFER_SIMD_LEVEL", "avx512", 1);
+  EXPECT_EQ(InitialLevel(),
+            best >= SimdLevel::kAvx512 ? SimdLevel::kAvx512 : best);
+
+  ::setenv("RESINFER_SIMD_LEVEL", "turbo9000", 1);
+  EXPECT_EQ(InitialLevel(), best);
+
+  if (saved) {
+    ::setenv("RESINFER_SIMD_LEVEL", saved_copy.c_str(), 1);
+  } else {
+    ::unsetenv("RESINFER_SIMD_LEVEL");
+  }
+}
+
 TEST(DispatchConsistencyTest, LevelAndKernelsStayCoherentUnderConcurrentFlips) {
-  // Writers flip between scalar and the best level while readers
+  // Writers cycle through every supported level while readers
   // repeatedly read the level and drive a kernel through the dispatcher.
   // Every observed level must be one of the two values ever stored —
   // derived from the same table pointer the kernel call used — and the
   // kernel result must stay correct throughout. (Run under TSAN this also
   // guards the atomicity of the single-slot design.)
   const SimdLevel best = BestSupportedLevel();
+  const std::vector<SimdLevel> supported = SupportedLevels();
   std::atomic<bool> stop{false};
   std::atomic<int> bad_levels{0};
   std::atomic<int> bad_values{0};
 
   std::vector<std::thread> threads;
   for (int w = 0; w < 2; ++w) {
-    threads.emplace_back([&stop, best] {
-      bool scalar = true;
+    // Writers cycle through the whole supported lattice (on AVX-512 hosts
+    // that is scalar -> avx2 -> avx512), not just the two endpoints.
+    threads.emplace_back([&stop, &supported] {
+      std::size_t i = 0;
       while (!stop.load(std::memory_order_relaxed)) {
-        SetActiveLevel(scalar ? SimdLevel::kScalar : best);
-        scalar = !scalar;
+        SetActiveLevel(supported[i % supported.size()]);
+        ++i;
       }
     });
   }
   for (int r = 0; r < 2; ++r) {
-    threads.emplace_back([&stop, &bad_levels, &bad_values, best] {
+    threads.emplace_back([&stop, &bad_levels, &bad_values, &supported] {
       const float a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
       const float b[8] = {0, 2, 3, 4, 5, 6, 7, 9};
       while (!stop.load(std::memory_order_relaxed)) {
         const SimdLevel level = ActiveLevel();
-        if (level != SimdLevel::kScalar && level != best) {
-          bad_levels.fetch_add(1, std::memory_order_relaxed);
-        }
+        bool known = false;
+        for (SimdLevel s : supported) known |= (level == s);
+        if (!known) bad_levels.fetch_add(1, std::memory_order_relaxed);
         const float d = L2Sqr(a, b, 8);  // (1-0)^2 + (8-9)^2 = 2
         if (d != 2.0f) bad_values.fetch_add(1, std::memory_order_relaxed);
       }

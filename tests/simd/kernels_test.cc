@@ -18,6 +18,15 @@ std::vector<float> RandomVec(std::size_t n, uint64_t seed) {
   return v;
 }
 
+#if defined(RESINFER_HAVE_AVX512)
+// The AVX-512 TU is compiled whenever the compiler supports the flags, but
+// calling internal::*Avx512 directly would fault on hardware without the
+// F+BW+VL sets — gate every direct call on cpuid.
+bool HasAvx512() {
+  return BestSupportedLevel() >= SimdLevel::kAvx512;
+}
+#endif
+
 // Property sweep: scalar and AVX2 agree across dimensions including
 // non-multiples of the vector width.
 class KernelParityTest : public ::testing::TestWithParam<int> {};
@@ -29,6 +38,12 @@ TEST_P(KernelParityTest, L2SqrMatchesScalar) {
 #if defined(RESINFER_HAVE_AVX2)
   float avx = internal::L2SqrAvx2(a.data(), b.data(), n);
   EXPECT_NEAR(avx, scalar, 1e-4f * (1.0f + scalar));
+#endif
+#if defined(RESINFER_HAVE_AVX512)
+  if (HasAvx512()) {
+    float avx512 = internal::L2SqrAvx512(a.data(), b.data(), n);
+    EXPECT_NEAR(avx512, scalar, 1e-4f * (1.0f + scalar));
+  }
 #endif
   ScopedSimdLevel guard(SimdLevel::kScalar);
   EXPECT_EQ(L2Sqr(a.data(), b.data(), n), scalar);
@@ -42,6 +57,14 @@ TEST_P(KernelParityTest, InnerProductMatchesScalar) {
   float avx = internal::InnerProductAvx2(a.data(), b.data(), n);
   EXPECT_NEAR(avx, scalar, 1e-4f * (1.0f + std::abs(scalar)));
 #endif
+#if defined(RESINFER_HAVE_AVX512)
+  if (HasAvx512()) {
+    float avx512 = internal::InnerProductAvx512(a.data(), b.data(), n);
+    EXPECT_NEAR(avx512, scalar, 1e-4f * (1.0f + std::abs(scalar)));
+    EXPECT_EQ(internal::Norm2SqrAvx512(a.data(), n),
+              internal::InnerProductAvx512(a.data(), a.data(), n));
+  }
+#endif
 }
 
 TEST_P(KernelParityTest, AxpyMatchesScalar) {
@@ -54,6 +77,14 @@ TEST_P(KernelParityTest, AxpyMatchesScalar) {
   internal::AxpyAvx2(0.75f, x.data(), out2.data(), n);
   for (std::size_t i = 0; i < n; ++i)
     EXPECT_NEAR(out1[i], out2[i], 1e-5f);
+#endif
+#if defined(RESINFER_HAVE_AVX512)
+  if (HasAvx512()) {
+    auto out3 = RandomVec(n, 6);
+    internal::AxpyAvx512(0.75f, x.data(), out3.data(), n);
+    // axpy is one fmadd per element at every level — bit-identical.
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(out1[i], out3[i], 1e-5f);
+  }
 #endif
 }
 
@@ -81,6 +112,13 @@ TEST_P(KernelParityTest, SqAdcL2SqrMatchesScalar) {
   float avx = internal::SqAdcL2SqrAvx2(q.data(), code.data(), vmin.data(),
                                        step.data(), n);
   EXPECT_NEAR(avx, scalar, 1e-4f * (1.0f + scalar));
+#endif
+#if defined(RESINFER_HAVE_AVX512)
+  if (HasAvx512()) {
+    float avx512 = internal::SqAdcL2SqrAvx512(q.data(), code.data(),
+                                              vmin.data(), step.data(), n);
+    EXPECT_NEAR(avx512, scalar, 1e-4f * (1.0f + scalar));
+  }
 #endif
   ScopedSimdLevel guard(SimdLevel::kScalar);
   EXPECT_EQ(
@@ -113,6 +151,14 @@ TEST_P(KernelParityTest, L2SqrBatch4LanesMatchSingle) {
     EXPECT_EQ(out[r], internal::L2SqrAvx2(rows[r], q.data(), n)) << r;
   }
 #endif
+#if defined(RESINFER_HAVE_AVX512)
+  if (HasAvx512()) {
+    internal::L2SqrBatch4Avx512(q.data(), rows, n, out);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(out[r], internal::L2SqrAvx512(rows[r], q.data(), n)) << r;
+    }
+  }
+#endif
 }
 
 TEST_P(KernelParityTest, InnerProductBatch4LanesMatchSingle) {
@@ -133,6 +179,15 @@ TEST_P(KernelParityTest, InnerProductBatch4LanesMatchSingle) {
   internal::InnerProductBatch4Avx2(q.data(), rows, n, out);
   for (int r = 0; r < 4; ++r) {
     EXPECT_EQ(out[r], internal::InnerProductAvx2(rows[r], q.data(), n)) << r;
+  }
+#endif
+#if defined(RESINFER_HAVE_AVX512)
+  if (HasAvx512()) {
+    internal::InnerProductBatch4Avx512(q.data(), rows, n, out);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(out[r], internal::InnerProductAvx512(rows[r], q.data(), n))
+          << r;
+    }
   }
 #endif
 }
@@ -170,40 +225,69 @@ TEST_P(KernelParityTest, SqAdcL2SqrBatch4LanesMatchSingle) {
         << r;
   }
 #endif
+#if defined(RESINFER_HAVE_AVX512)
+  if (HasAvx512()) {
+    internal::SqAdcL2SqrBatch4Avx512(q.data(), codes, vmin.data(),
+                                     step.data(), n, out);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(out[r],
+                internal::SqAdcL2SqrAvx512(q.data(), codes[r], vmin.data(),
+                                           step.data(), n))
+          << r;
+    }
+  }
+#endif
 }
 
 TEST(KernelsTest, PqAdcBatchMatchesSequentialLookupSum) {
   // Table accumulation over a block of codes, including the remainder path
-  // (count not a multiple of the gather width).
-  const int m = 8, ksub = 64;
-  auto table = RandomVec(static_cast<std::size_t>(m) * ksub, 41);
+  // (count not a multiple of the gather width). m sweeps the sub-space
+  // column paths: 8 (narrow transpose), 19 (16-wide segment + bytewise
+  // tail), 32 (full 16-wide segments).
+  const int ksub = 64;
   Rng rng(42);
-  for (int count : {1, 3, 7, 8, 9, 16, 23}) {
-    std::vector<std::vector<uint8_t>> code_storage(
-        count, std::vector<uint8_t>(m));
-    std::vector<const uint8_t*> codes(count);
-    for (int c = 0; c < count; ++c) {
-      for (int s = 0; s < m; ++s) {
-        code_storage[c][s] =
-            static_cast<uint8_t>(rng.Uniform() * (ksub - 1));
+  for (int m : {8, 19, 32}) {
+    auto table = RandomVec(static_cast<std::size_t>(m) * ksub, 41 + m);
+    for (int count : {1, 3, 7, 8, 9, 16, 23}) {
+      std::vector<std::vector<uint8_t>> code_storage(
+          count, std::vector<uint8_t>(m));
+      std::vector<const uint8_t*> codes(count);
+      for (int c = 0; c < count; ++c) {
+        for (int s = 0; s < m; ++s) {
+          code_storage[c][s] =
+              static_cast<uint8_t>(rng.Uniform() * (ksub - 1));
+        }
+        codes[c] = code_storage[c].data();
       }
-      codes[c] = code_storage[c].data();
-    }
-    std::vector<float> want(count);
-    for (int c = 0; c < count; ++c) {
-      float acc = 0.f;
-      for (int s = 0; s < m; ++s) acc += table[s * ksub + codes[c][s]];
-      want[c] = acc;
-    }
-    std::vector<float> got(count);
-    internal::PqAdcBatchScalar(table.data(), m, ksub, codes.data(), count,
-                               got.data());
-    for (int c = 0; c < count; ++c) EXPECT_EQ(got[c], want[c]) << count;
+      std::vector<float> want(count);
+      for (int c = 0; c < count; ++c) {
+        float acc = 0.f;
+        for (int s = 0; s < m; ++s) acc += table[s * ksub + codes[c][s]];
+        want[c] = acc;
+      }
+      std::vector<float> got(count);
+      internal::PqAdcBatchScalar(table.data(), m, ksub, codes.data(), count,
+                                 got.data());
+      for (int c = 0; c < count; ++c) {
+        EXPECT_EQ(got[c], want[c]) << m << " " << count;
+      }
 #if defined(RESINFER_HAVE_AVX2)
-    internal::PqAdcBatchAvx2(table.data(), m, ksub, codes.data(), count,
-                             got.data());
-    for (int c = 0; c < count; ++c) EXPECT_EQ(got[c], want[c]) << count;
+      internal::PqAdcBatchAvx2(table.data(), m, ksub, codes.data(), count,
+                               got.data());
+      for (int c = 0; c < count; ++c) {
+        EXPECT_EQ(got[c], want[c]) << m << " " << count;
+      }
 #endif
+#if defined(RESINFER_HAVE_AVX512)
+      if (HasAvx512()) {
+        internal::PqAdcBatchAvx512(table.data(), m, ksub, codes.data(),
+                                   count, got.data());
+        for (int c = 0; c < count; ++c) {
+          EXPECT_EQ(got[c], want[c]) << m << " " << count;
+        }
+      }
+#endif
+    }
   }
 }
 
@@ -240,14 +324,29 @@ TEST(KernelsTest, L2SqrTileLanesMatchBatch4PerQuery) {
       }
     }
 #endif
+#if defined(RESINFER_HAVE_AVX512)
+    if (HasAvx512()) {
+      internal::L2SqrTileAvx512(queries, nq, rows, n, tile);
+      for (int g = 0; g < nq; ++g) {
+        internal::L2SqrBatch4Avx512(queries[g], rows, n, want);
+        for (int r = 0; r < 4; ++r) {
+          EXPECT_EQ(tile[g * 4 + r], want[r])
+              << "avx512 g=" << g << " r=" << r;
+        }
+      }
+    }
+#endif
   }
 }
 
 TEST(KernelsTest, PqAdcTileLanesMatchBatchPerTable) {
   // Lane (g, c) of the table tile must be bit-identical to
   // PqAdcBatch(tables[g], ...)[c], including the non-multiple-of-8
-  // remainder and table-group remainders (nq not a multiple of 4).
-  const int m = 8, ksub = 64;
+  // remainder and table-group remainders (nq not a multiple of 4). m = 32
+  // additionally covers the 16-wide sub-space column segments.
+  const int ksub = 64;
+  Rng rng(90);
+  for (int m : {8, 32}) {
   std::vector<std::vector<float>> table_storage;
   const float* tables[7];
   for (int g = 0; g < 7; ++g) {
@@ -256,7 +355,6 @@ TEST(KernelsTest, PqAdcTileLanesMatchBatchPerTable) {
   }
   for (int g = 0; g < 7; ++g) tables[g] = table_storage[g].data();
 
-  Rng rng(90);
   for (int count : {1, 5, 8, 16, 19}) {
     std::vector<std::vector<uint8_t>> code_storage(
         count, std::vector<uint8_t>(m));
@@ -290,6 +388,140 @@ TEST(KernelsTest, PqAdcTileLanesMatchBatchPerTable) {
         for (int c = 0; c < count; ++c) {
           EXPECT_EQ(tile[g * count + c], want[c])
               << "avx2 nq=" << nq << " g=" << g << " c=" << c;
+        }
+      }
+#endif
+#if defined(RESINFER_HAVE_AVX512)
+      if (HasAvx512()) {
+        internal::PqAdcTileAvx512(tables, nq, m, ksub, codes.data(), count,
+                                  tile.data());
+        for (int g = 0; g < nq; ++g) {
+          internal::PqAdcBatchAvx512(tables[g], m, ksub, codes.data(), count,
+                                     want.data());
+          for (int c = 0; c < count; ++c) {
+            EXPECT_EQ(tile[g * count + c], want[c])
+                << "avx512 nq=" << nq << " g=" << g << " c=" << c;
+          }
+        }
+      }
+#endif
+    }
+  }
+  }
+}
+
+TEST(KernelsTest, PqAdcFastScanExactAcrossLevels) {
+  // Fast-scan sums are integral: every level must return the exact u16 of
+  // the scalar reference, for all count tails (1..16+) and odd/even m.
+  Rng rng(101);
+  for (int m : {1, 2, 7, 8, 15, 16, 32, 63}) {
+    const int packed = (m + 1) / 2;
+    std::vector<uint8_t> lut(static_cast<std::size_t>(packed) * 32);
+    for (auto& b : lut) b = static_cast<uint8_t>(rng.Uniform() * 255.0);
+    // Odd m: sub-table for the pad nibble must be zero so high nibbles of
+    // the last byte contribute nothing.
+    if (m & 1) {
+      for (int i = 0; i < 16; ++i) lut[(m & ~1) * 16 + 16 + i] = 0;
+    }
+    for (int count : {1, 3, 15, 16, 17, 33}) {
+      std::vector<std::vector<uint8_t>> code_storage(
+          count, std::vector<uint8_t>(packed));
+      std::vector<const uint8_t*> codes(count);
+      for (int c = 0; c < count; ++c) {
+        for (int j = 0; j < packed; ++j) {
+          code_storage[c][j] = static_cast<uint8_t>(rng.Uniform() * 255.0);
+        }
+        codes[c] = code_storage[c].data();
+      }
+      std::vector<uint16_t> want(count), got(count);
+      for (int c = 0; c < count; ++c) {
+        want[c] = PqAdcFastScanOne(lut.data(), m, codes[c]);
+      }
+      internal::PqAdcFastScanScalar(lut.data(), m, codes.data(), count,
+                                    got.data());
+      for (int c = 0; c < count; ++c) {
+        EXPECT_EQ(got[c], want[c]) << "scalar m=" << m << " c=" << c;
+      }
+#if defined(RESINFER_HAVE_AVX2)
+      internal::PqAdcFastScanAvx2(lut.data(), m, codes.data(), count,
+                                  got.data());
+      for (int c = 0; c < count; ++c) {
+        EXPECT_EQ(got[c], want[c]) << "avx2 m=" << m << " c=" << c;
+      }
+#endif
+#if defined(RESINFER_HAVE_AVX512)
+      if (HasAvx512()) {
+        internal::PqAdcFastScanAvx512(lut.data(), m, codes.data(), count,
+                                      got.data());
+        for (int c = 0; c < count; ++c) {
+          EXPECT_EQ(got[c], want[c]) << "avx512 m=" << m << " c=" << c;
+        }
+      }
+#endif
+    }
+  }
+}
+
+TEST(KernelsTest, PqAdcFastScanTileExactAcrossLevels) {
+  // The query-group form must agree with per-LUT PqAdcFastScan exactly at
+  // every level, for group-size remainders and count tails alike.
+  Rng rng(111);
+  const int m = 24, packed = (m + 1) / 2;
+  std::vector<std::vector<uint8_t>> lut_storage;
+  const uint8_t* luts[5];
+  for (int g = 0; g < 5; ++g) {
+    std::vector<uint8_t> lut(static_cast<std::size_t>(packed) * 32);
+    for (auto& b : lut) b = static_cast<uint8_t>(rng.Uniform() * 255.0);
+    lut_storage.push_back(std::move(lut));
+  }
+  for (int g = 0; g < 5; ++g) luts[g] = lut_storage[g].data();
+
+  for (int count : {1, 9, 16, 21}) {
+    std::vector<std::vector<uint8_t>> code_storage(
+        count, std::vector<uint8_t>(packed));
+    std::vector<const uint8_t*> codes(count);
+    for (int c = 0; c < count; ++c) {
+      for (int j = 0; j < packed; ++j) {
+        code_storage[c][j] = static_cast<uint8_t>(rng.Uniform() * 255.0);
+      }
+      codes[c] = code_storage[c].data();
+    }
+    for (int nq : {1, 2, 5}) {
+      std::vector<uint16_t> tile(static_cast<std::size_t>(nq) * count);
+      std::vector<uint16_t> want(count);
+      internal::PqAdcFastScanTileScalar(luts, nq, m, codes.data(), count,
+                                        tile.data());
+      for (int g = 0; g < nq; ++g) {
+        internal::PqAdcFastScanScalar(luts[g], m, codes.data(), count,
+                                      want.data());
+        for (int c = 0; c < count; ++c) {
+          EXPECT_EQ(tile[g * count + c], want[c])
+              << "scalar nq=" << nq << " g=" << g << " c=" << c;
+        }
+      }
+#if defined(RESINFER_HAVE_AVX2)
+      internal::PqAdcFastScanTileAvx2(luts, nq, m, codes.data(), count,
+                                      tile.data());
+      for (int g = 0; g < nq; ++g) {
+        internal::PqAdcFastScanScalar(luts[g], m, codes.data(), count,
+                                      want.data());
+        for (int c = 0; c < count; ++c) {
+          EXPECT_EQ(tile[g * count + c], want[c])
+              << "avx2 nq=" << nq << " g=" << g << " c=" << c;
+        }
+      }
+#endif
+#if defined(RESINFER_HAVE_AVX512)
+      if (HasAvx512()) {
+        internal::PqAdcFastScanTileAvx512(luts, nq, m, codes.data(), count,
+                                          tile.data());
+        for (int g = 0; g < nq; ++g) {
+          internal::PqAdcFastScanScalar(luts[g], m, codes.data(), count,
+                                        want.data());
+          for (int c = 0; c < count; ++c) {
+            EXPECT_EQ(tile[g * count + c], want[c])
+                << "avx512 nq=" << nq << " g=" << g << " c=" << c;
+          }
         }
       }
 #endif
