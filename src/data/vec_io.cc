@@ -1,9 +1,12 @@
 #include "data/vec_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 
 namespace resinfer::data {
+
+using util::Status;
 
 namespace {
 
@@ -14,131 +17,159 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-bool Fail(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-  return false;
-}
-
 // Counts records and validates a constant dimension for a (dim, payload)
 // framed file with `elem_size` bytes per component.
-bool ScanFramedFile(std::FILE* f, const std::string& path,
-                    std::size_t elem_size, int64_t* num_records,
-                    int32_t* dim, std::string* error) {
-  if (std::fseek(f, 0, SEEK_END) != 0) return Fail(error, "seek failed");
+Status ScanFramedFile(std::FILE* f, const std::string& path,
+                      std::size_t elem_size, int64_t* num_records,
+                      int32_t* dim) {
+  if (std::fseek(f, 0, SEEK_END) != 0)
+    return Status::IOError(path + ": seek failed");
   long file_size = std::ftell(f);
-  if (file_size < 0) return Fail(error, "ftell failed");
+  if (file_size < 0) return Status::IOError(path + ": ftell failed");
   std::rewind(f);
 
   int32_t first_dim = 0;
   if (file_size == 0) {
     *num_records = 0;
     *dim = 0;
-    return true;
+    return Status::Ok();
   }
   if (std::fread(&first_dim, sizeof(first_dim), 1, f) != 1)
-    return Fail(error, path + ": cannot read leading dimension");
+    return Status::Corruption(path + ": cannot read leading dimension");
   if (first_dim <= 0)
-    return Fail(error, path + ": non-positive vector dimension");
+    return Status::Corruption(path + ": non-positive vector dimension");
 
   std::size_t record_bytes = sizeof(int32_t) + elem_size * first_dim;
   if (static_cast<std::size_t>(file_size) % record_bytes != 0)
-    return Fail(error,
-                path + ": file size is not a multiple of the record size "
-                       "(truncated or variable-dimension file)");
+    return Status::Corruption(
+        path + ": file size is not a multiple of the record size "
+               "(truncated or variable-dimension file)");
   *num_records = static_cast<int64_t>(file_size / record_bytes);
   *dim = first_dim;
   std::rewind(f);
+  return Status::Ok();
+}
+
+bool RowIsFinite(const float* row, int32_t d) {
+  for (int32_t c = 0; c < d; ++c) {
+    if (!std::isfinite(row[c])) return false;
+  }
   return true;
 }
 
 template <typename Elem>
-bool ReadFramed(const std::string& path, linalg::Matrix* out,
-                std::string* error) {
+Status ReadFramed(const std::string& path, linalg::Matrix* out,
+                  NonFinitePolicy policy, ReadStats* stats) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) return Fail(error, path + ": cannot open");
+  if (f == nullptr) return Status::NotFound(path + ": cannot open");
 
   int64_t n = 0;
   int32_t d = 0;
-  if (!ScanFramedFile(f.get(), path, sizeof(Elem), &n, &d, error))
-    return false;
+  RESINFER_RETURN_IF_ERROR(ScanFramedFile(f.get(), path, sizeof(Elem), &n, &d));
+
+  ReadStats local;
+  ReadStats* s = stats != nullptr ? stats : &local;
+  *s = ReadStats();
 
   *out = linalg::Matrix(n, d);
   std::vector<Elem> row(d);
+  int64_t kept = 0;
   for (int64_t i = 0; i < n; ++i) {
     int32_t row_dim = 0;
     if (std::fread(&row_dim, sizeof(row_dim), 1, f.get()) != 1)
-      return Fail(error, path + ": truncated record header");
+      return Status::Corruption(path + ": truncated record header");
     if (row_dim != d)
-      return Fail(error, path + ": inconsistent dimensions across records");
+      return Status::Corruption(
+          path + ": inconsistent dimensions across records (record " +
+          std::to_string(i) + " has dim " + std::to_string(row_dim) +
+          ", expected " + std::to_string(d) + ")");
     if (std::fread(row.data(), sizeof(Elem), d, f.get()) !=
         static_cast<std::size_t>(d))
-      return Fail(error, path + ": truncated record payload");
-    float* dst = out->Row(i);
+      return Status::Corruption(path + ": truncated record payload");
+    float* dst = out->Row(kept);
     for (int32_t c = 0; c < d; ++c) dst[c] = static_cast<float>(row[c]);
+    if (!RowIsFinite(dst, d)) {
+      if (s->first_bad_row < 0) s->first_bad_row = i;
+      switch (policy) {
+        case NonFinitePolicy::kError:
+          return Status::InvalidArgument(
+              path + ": vector " + std::to_string(i) +
+              " has NaN/Inf components (use NonFinitePolicy::kDrop to skip "
+              "such rows)");
+        case NonFinitePolicy::kDrop:
+          ++s->dropped_rows;
+          continue;  // next record overwrites this row slot
+        case NonFinitePolicy::kKeep:
+          break;
+      }
+    }
+    ++kept;
   }
-  return true;
+  if (kept < n) out->ShrinkRows(kept);
+  s->rows_read = kept;
+  return Status::Ok();
 }
 
 }  // namespace
 
-bool ReadFvecs(const std::string& path, linalg::Matrix* out,
-               std::string* error) {
-  return ReadFramed<float>(path, out, error);
+Status ReadFvecs(const std::string& path, linalg::Matrix* out,
+                 NonFinitePolicy policy, ReadStats* stats) {
+  return ReadFramed<float>(path, out, policy, stats);
 }
 
-bool ReadBvecs(const std::string& path, linalg::Matrix* out,
-               std::string* error) {
-  return ReadFramed<uint8_t>(path, out, error);
+Status ReadBvecs(const std::string& path, linalg::Matrix* out,
+                 NonFinitePolicy policy, ReadStats* stats) {
+  return ReadFramed<uint8_t>(path, out, policy, stats);
 }
 
-bool WriteFvecs(const std::string& path, const linalg::Matrix& vectors,
-                std::string* error) {
+Status WriteFvecs(const std::string& path, const linalg::Matrix& vectors) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) return Fail(error, path + ": cannot open for writing");
+  if (f == nullptr)
+    return Status::IOError(path + ": cannot open for writing");
   const int32_t d = static_cast<int32_t>(vectors.cols());
   for (int64_t i = 0; i < vectors.rows(); ++i) {
     if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
         std::fwrite(vectors.Row(i), sizeof(float), d, f.get()) !=
             static_cast<std::size_t>(d)) {
-      return Fail(error, path + ": short write");
+      return Status::IOError(path + ": short write");
     }
   }
-  return true;
+  return Status::Ok();
 }
 
-bool ReadIvecs(const std::string& path,
-               std::vector<std::vector<int32_t>>* out, std::string* error) {
+Status ReadIvecs(const std::string& path,
+                 std::vector<std::vector<int32_t>>* out) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) return Fail(error, path + ": cannot open");
+  if (f == nullptr) return Status::NotFound(path + ": cannot open");
   out->clear();
   while (true) {
     int32_t d = 0;
     std::size_t got = std::fread(&d, sizeof(d), 1, f.get());
     if (got == 0) break;  // clean EOF
-    if (d < 0) return Fail(error, path + ": negative dimension");
+    if (d < 0) return Status::Corruption(path + ": negative dimension");
     std::vector<int32_t> row(d);
     if (d > 0 && std::fread(row.data(), sizeof(int32_t), d, f.get()) !=
                      static_cast<std::size_t>(d))
-      return Fail(error, path + ": truncated record payload");
+      return Status::Corruption(path + ": truncated record payload");
     out->push_back(std::move(row));
   }
-  return true;
+  return Status::Ok();
 }
 
-bool WriteIvecs(const std::string& path,
-                const std::vector<std::vector<int32_t>>& rows,
-                std::string* error) {
+Status WriteIvecs(const std::string& path,
+                  const std::vector<std::vector<int32_t>>& rows) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) return Fail(error, path + ": cannot open for writing");
+  if (f == nullptr)
+    return Status::IOError(path + ": cannot open for writing");
   for (const auto& row : rows) {
     int32_t d = static_cast<int32_t>(row.size());
     if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
         (d > 0 && std::fwrite(row.data(), sizeof(int32_t), d, f.get()) !=
                       static_cast<std::size_t>(d))) {
-      return Fail(error, path + ": short write");
+      return Status::IOError(path + ": short write");
     }
   }
-  return true;
+  return Status::Ok();
 }
 
 }  // namespace resinfer::data

@@ -7,9 +7,10 @@
 // reads real files when present, while the bench harnesses fall back to the
 // synthetic proxies (DESIGN.md §2).
 //
-// All functions return false and fill *error on malformed input (negative or
-// inconsistent dimensions, truncated payload) instead of aborting — file
-// contents are external input, not programmer error.
+// All functions return a non-OK util::Status on malformed input (negative
+// or inconsistent dimensions, truncated payload, NaN/Inf components under
+// the default policy) instead of aborting — file contents are external
+// input, not programmer error.
 #ifndef RESINFER_DATA_VEC_IO_H_
 #define RESINFER_DATA_VEC_IO_H_
 
@@ -18,23 +19,44 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "util/status.h"
 
 namespace resinfer::data {
 
-bool ReadFvecs(const std::string& path, linalg::Matrix* out,
-               std::string* error);
-bool WriteFvecs(const std::string& path, const linalg::Matrix& vectors,
-                std::string* error);
+// What to do with vectors containing NaN/Inf components. Distances against
+// non-finite coordinates are poison — NaN estimates propagate through ADC
+// tables and corrupt every pruning decision downstream — so the default
+// refuses them outright.
+enum class NonFinitePolicy {
+  kError,  // fail the read with InvalidArgument (default)
+  kDrop,   // skip offending rows; callers MUST surface stats.dropped_rows
+           // to the user, because dropping silently shifts row ids against
+           // any ground-truth file
+  kKeep,   // trust the caller to handle them (e.g. pass-through tooling)
+};
 
-bool ReadIvecs(const std::string& path,
-               std::vector<std::vector<int32_t>>* out, std::string* error);
-bool WriteIvecs(const std::string& path,
-                const std::vector<std::vector<int32_t>>& rows,
-                std::string* error);
+struct ReadStats {
+  int64_t rows_read = 0;       // rows returned in the matrix
+  int64_t dropped_rows = 0;    // rows skipped under NonFinitePolicy::kDrop
+  int64_t first_bad_row = -1;  // id of the first non-finite row seen, or -1
+};
 
-// uint8 components widened to float.
-bool ReadBvecs(const std::string& path, linalg::Matrix* out,
-               std::string* error);
+util::Status ReadFvecs(const std::string& path, linalg::Matrix* out,
+                       NonFinitePolicy policy = NonFinitePolicy::kError,
+                       ReadStats* stats = nullptr);
+util::Status WriteFvecs(const std::string& path,
+                        const linalg::Matrix& vectors);
+
+util::Status ReadIvecs(const std::string& path,
+                       std::vector<std::vector<int32_t>>* out);
+util::Status WriteIvecs(const std::string& path,
+                        const std::vector<std::vector<int32_t>>& rows);
+
+// uint8 components widened to float (never non-finite, so the policy only
+// matters for symmetry with ReadFvecs).
+util::Status ReadBvecs(const std::string& path, linalg::Matrix* out,
+                       NonFinitePolicy policy = NonFinitePolicy::kError,
+                       ReadStats* stats = nullptr);
 
 }  // namespace resinfer::data
 

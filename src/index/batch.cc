@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <numeric>
 #include <thread>
 #include <utility>
@@ -76,6 +77,15 @@ BatchResult RunBatchGrouped(const ComputerFactory& factory,
   }
 
   std::atomic<int64_t> cursor{0};
+  // Exception containment: a throwing search callback must not
+  // std::terminate the pool (an exception escaping a std::thread body
+  // does exactly that). The first thrower wins the abort flag and stashes
+  // its exception; the other workers see the flag, keep draining the
+  // cursor without processing (so no thread blocks on work that will
+  // never finish), and the winner's exception is rethrown on the caller
+  // thread after the join.
+  std::atomic<bool> abort_flag{false};
+  std::exception_ptr first_exception;
   WallTimer wall;
   auto worker_loop = [&](int worker_index) {
     WorkerState& state = workers[static_cast<std::size_t>(worker_index)];
@@ -83,11 +93,19 @@ BatchResult RunBatchGrouped(const ComputerFactory& factory,
     while (true) {
       const int64_t group = cursor.fetch_add(1, std::memory_order_relaxed);
       if (group >= num_groups) break;
+      if (abort_flag.load(std::memory_order_acquire)) continue;  // drain
       const int64_t begin = group * group_size;
       const int64_t count = std::min(group_size, num_queries - begin);
       timer.Reset();
-      search(*state.computer, queries, begin, count,
-             batch.results.data() + begin);
+      try {
+        search(*state.computer, queries, begin, count,
+               batch.results.data() + begin);
+      } catch (...) {
+        if (!abort_flag.exchange(true, std::memory_order_acq_rel)) {
+          first_exception = std::current_exception();
+        }
+        continue;
+      }
       const double elapsed = timer.ElapsedSeconds();
       // Attribute the group's wall time evenly so the histogram still
       // covers every query (exact when group_size == 1).
@@ -108,6 +126,7 @@ BatchResult RunBatchGrouped(const ComputerFactory& factory,
     }
     for (auto& t : pool) t.join();
   }
+  if (first_exception != nullptr) std::rethrow_exception(first_exception);
   batch.wall_seconds = wall.ElapsedSeconds();
 
   batch.worker_busy_seconds.reserve(workers.size());

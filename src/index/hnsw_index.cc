@@ -274,48 +274,55 @@ void HnswIndex::SaveTo(BinaryWriter& writer) const {
   }
 }
 
-bool HnswIndex::LoadFrom(BinaryReader& reader, HnswIndex* out) {
+util::Status HnswIndex::LoadFrom(BinaryReader& reader, HnswIndex* out) {
+  const auto fail = [](const char* what) {
+    return util::Status::Corruption(what);
+  };
   HnswIndex index;
   if (!reader.Read(&index.options_.M) ||
       !reader.Read(&index.options_.ef_construction) ||
       !reader.Read(&index.options_.level_seed) ||
       !reader.Read(&index.size_) || !reader.Read(&index.max_level_) ||
       !reader.Read(&index.entry_point_)) {
-    return false;
+    return fail("truncated hnsw graph header");
   }
   if (index.size_ <= 0 || index.options_.M < 2 ||
       index.entry_point_ < 0 || index.entry_point_ >= index.size_) {
-    return false;
+    return fail("hnsw size/M/entry point out of range");
   }
   if (!reader.ReadVector(&index.levels_) ||
       !reader.ReadVector(&index.base_links_)) {
-    return false;
+    return fail("truncated hnsw levels/links");
   }
   if (static_cast<int64_t>(index.levels_.size()) != index.size_ ||
       static_cast<int64_t>(index.base_links_.size()) !=
           index.size_ * (2 * index.options_.M + 1)) {
-    return false;
+    return fail("hnsw levels/links size disagrees with node count");
   }
   index.upper_links_.resize(index.size_);
   for (int64_t i = 0; i < index.size_; ++i) {
     int32_t levels = 0;
-    if (!reader.Read(&levels) || levels < 0 || levels > 64) return false;
+    if (!reader.Read(&levels) || levels < 0 || levels > 64)
+      return fail("hnsw per-node level count out of range");
     index.upper_links_[i].resize(levels);
     for (int32_t l = 0; l < levels; ++l) {
-      if (!reader.ReadVector(&index.upper_links_[i][l])) return false;
+      if (!reader.ReadVector(&index.upper_links_[i][l]))
+        return fail("truncated hnsw upper links");
     }
   }
   // Validate link ids.
   for (int64_t i = 0; i < index.size_; ++i) {
     int count = 0;
     const int64_t* links = index.Links(i, 0, &count);
-    if (count < 0 || count > 2 * index.options_.M) return false;
+    if (count < 0 || count > 2 * index.options_.M)
+      return fail("hnsw link count out of range");
     for (int j = 0; j < count; ++j) {
-      if (links[j] < 0 || links[j] >= index.size_) return false;
+      if (links[j] < 0 || links[j] >= index.size_)
+        return fail("hnsw link id out of range");
     }
   }
   *out = std::move(index);
-  return true;
+  return util::Status::Ok();
 }
 
 std::vector<Neighbor> HnswIndex::Search(DistanceComputer& computer,

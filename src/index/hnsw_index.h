@@ -25,6 +25,7 @@
 #include "index/distance_computer.h"
 #include "linalg/matrix.h"
 #include "util/binary_io.h"
+#include "util/status.h"
 
 namespace resinfer::index {
 
@@ -82,7 +83,9 @@ class HnswIndex {
   // persisted dataset / rotated base). See persist/persist.h for
   // file-level helpers with magic headers.
   void SaveTo(BinaryWriter& writer) const;
-  static bool LoadFrom(BinaryReader& reader, HnswIndex* out);
+  // Reads what SaveTo wrote, validating every count and link id; a corrupt
+  // stream returns a non-OK Status naming the first inconsistency.
+  static util::Status LoadFrom(BinaryReader& reader, HnswIndex* out);
 
  private:
   struct BuildContext;

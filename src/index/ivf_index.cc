@@ -81,13 +81,11 @@ IvfIndex IvfIndex::FromComponents(
                  std::move(ids));
 }
 
-bool IvfIndex::ValidateCsr(int64_t size, int64_t num_clusters,
-                           const std::vector<int64_t>& bucket_offsets,
-                           const std::vector<int64_t>& ids,
-                           std::string* error) {
-  const auto fail = [error](const char* what) {
-    if (error != nullptr) *error = what;
-    return false;
+util::Status IvfIndex::ValidateCsr(int64_t size, int64_t num_clusters,
+                                   const std::vector<int64_t>& bucket_offsets,
+                                   const std::vector<int64_t>& ids) {
+  const auto fail = [](const char* what) {
+    return util::Status::Corruption(what);
   };
   if (size <= 0) return fail("ivf size must be positive");
   if (static_cast<int64_t>(bucket_offsets.size()) != num_clusters + 1 ||
@@ -103,7 +101,7 @@ bool IvfIndex::ValidateCsr(int64_t size, int64_t num_clusters,
   for (int64_t id : ids) {
     if (id < 0 || id >= size) return fail("bucket id out of range");
   }
-  return true;
+  return util::Status::Ok();
 }
 
 IvfIndex IvfIndex::FromCsr(int64_t size, linalg::Matrix centroids,
@@ -111,7 +109,7 @@ IvfIndex IvfIndex::FromCsr(int64_t size, linalg::Matrix centroids,
                            std::vector<int64_t> ids,
                            const quant::CodeStore* codes) {
   RESINFER_CHECK(
-      ValidateCsr(size, centroids.rows(), bucket_offsets, ids, nullptr));
+      ValidateCsr(size, centroids.rows(), bucket_offsets, ids).ok());
 
   IvfIndex index;
   index.size_ = size;

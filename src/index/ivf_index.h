@@ -75,12 +75,11 @@ class IvfIndex {
 
   // The single source of truth for the CSR invariants FromCsr enforces
   // (offset shape/monotonicity, id range — NOT the on-disk partition
-  // requirement, which is persist's); returns false and sets *error (may be
-  // null) on the first violation.
-  static bool ValidateCsr(int64_t size, int64_t num_clusters,
-                          const std::vector<int64_t>& bucket_offsets,
-                          const std::vector<int64_t>& ids,
-                          std::string* error);
+  // requirement, which is persist's); returns a non-OK Status naming the
+  // first violation.
+  static util::Status ValidateCsr(int64_t size, int64_t num_clusters,
+                                  const std::vector<int64_t>& bucket_offsets,
+                                  const std::vector<int64_t>& ids);
 
   int num_clusters() const { return static_cast<int>(centroids_.rows()); }
   int64_t size() const { return size_; }

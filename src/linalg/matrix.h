@@ -52,6 +52,13 @@ class Matrix {
   const float* data() const { return data_.data(); }
   int64_t size() const { return rows_ * cols_; }
 
+  // Drops trailing rows (new_rows <= rows()); the storage is retained, so
+  // this is O(1) — vec_io uses it after skipping non-finite rows.
+  void ShrinkRows(int64_t new_rows) {
+    RESINFER_CHECK(new_rows >= 0 && new_rows <= rows_);
+    rows_ = new_rows;
+  }
+
   Matrix Clone() const;
   Matrix Transposed() const;
 

@@ -2,8 +2,16 @@
 //
 // Every format starts with an 8-byte magic and a uint32 version so stale or
 // mismatched files fail loudly. Loaders validate all counts and ids; a
-// corrupted file returns false (with a message in *error) rather than
-// aborting — see persist_test.cc for the failure-injection suite.
+// corrupted file returns a non-OK util::Status naming the file and the
+// section that disagreed rather than aborting — see persist_test.cc and
+// fault_injection_test.cc for the failure-injection suites.
+//
+// Current files are written with the checksummed envelope (per-section
+// CRC32C + footer digest, docs/persistence.md) and published atomically:
+// the payload lands in a temp file in the same directory, is fsync'd, and
+// is renamed over the destination, so a crash mid-save never leaves a
+// half-written file where a good one stood. All earlier format versions
+// (back to v1) still load.
 //
 // The base vectors are persisted separately (SaveMatrix / vec_io's
 // WriteFvecs): indexes and computers reference them by row id, so one copy
@@ -11,6 +19,7 @@
 #ifndef RESINFER_PERSIST_PERSIST_H_
 #define RESINFER_PERSIST_PERSIST_H_
 
+#include <cstdint>
 #include <string>
 
 #include "core/ddc_opq.h"
@@ -25,75 +34,70 @@
 #include "quant/pq.h"
 #include "quant/rq.h"
 #include "quant/sq.h"
+#include "util/status.h"
 
 namespace resinfer::persist {
 
-bool SaveMatrix(const std::string& path, const linalg::Matrix& m,
-                std::string* error);
-bool LoadMatrix(const std::string& path, linalg::Matrix* out,
-                std::string* error);
+util::Status SaveMatrix(const std::string& path, const linalg::Matrix& m);
+util::Status LoadMatrix(const std::string& path, linalg::Matrix* out);
 
-bool SavePca(const std::string& path, const linalg::PcaModel& model,
-             std::string* error);
-bool LoadPca(const std::string& path, linalg::PcaModel* out,
-             std::string* error);
+util::Status SavePca(const std::string& path, const linalg::PcaModel& model);
+util::Status LoadPca(const std::string& path, linalg::PcaModel* out);
 
-bool SavePq(const std::string& path, const quant::PqCodebook& pq,
-            std::string* error);
-bool LoadPq(const std::string& path, quant::PqCodebook* out,
-            std::string* error);
+util::Status SavePq(const std::string& path, const quant::PqCodebook& pq);
+util::Status LoadPq(const std::string& path, quant::PqCodebook* out);
 
-bool SaveOpq(const std::string& path, const quant::OpqModel& model,
-             std::string* error);
-bool LoadOpq(const std::string& path, quant::OpqModel* out,
-             std::string* error);
+util::Status SaveOpq(const std::string& path, const quant::OpqModel& model);
+util::Status LoadOpq(const std::string& path, quant::OpqModel* out);
 
-bool SaveRq(const std::string& path, const quant::RqCodebook& rq,
-            std::string* error);
-bool LoadRq(const std::string& path, quant::RqCodebook* out,
-            std::string* error);
+util::Status SaveRq(const std::string& path, const quant::RqCodebook& rq);
+util::Status LoadRq(const std::string& path, quant::RqCodebook* out);
 
-bool SaveSq(const std::string& path, const quant::SqCodebook& sq,
-            std::string* error);
-bool LoadSq(const std::string& path, quant::SqCodebook* out,
-            std::string* error);
+util::Status SaveSq(const std::string& path, const quant::SqCodebook& sq);
+util::Status LoadSq(const std::string& path, quant::SqCodebook* out);
 
 // Standalone linear corrector (the trained artifact of core/ddc_any.h).
-bool SaveCorrector(const std::string& path,
-                   const core::LinearCorrector& corrector,
-                   std::string* error);
-bool LoadCorrector(const std::string& path, core::LinearCorrector* out,
-                   std::string* error);
+util::Status SaveCorrector(const std::string& path,
+                           const core::LinearCorrector& corrector);
+util::Status LoadCorrector(const std::string& path,
+                           core::LinearCorrector* out);
 
-bool SaveHnsw(const std::string& path, const index::HnswIndex& hnsw,
-              std::string* error);
-bool LoadHnsw(const std::string& path, index::HnswIndex* out,
-              std::string* error);
+util::Status SaveHnsw(const std::string& path, const index::HnswIndex& hnsw);
+util::Status LoadHnsw(const std::string& path, index::HnswIndex* out);
 
-bool SaveIvf(const std::string& path, const index::IvfIndex& ivf,
-             std::string* error);
-bool LoadIvf(const std::string& path, index::IvfIndex* out,
-             std::string* error);
+util::Status SaveIvf(const std::string& path, const index::IvfIndex& ivf);
+util::Status LoadIvf(const std::string& path, index::IvfIndex* out);
 
 // Trained DDC artifacts (classifiers, codes, reconstruction errors).
-bool SaveDdcPcaArtifacts(const std::string& path,
-                         const core::DdcPcaArtifacts& artifacts,
-                         std::string* error);
-bool LoadDdcPcaArtifacts(const std::string& path,
-                         core::DdcPcaArtifacts* out, std::string* error);
+util::Status SaveDdcPcaArtifacts(const std::string& path,
+                                 const core::DdcPcaArtifacts& artifacts);
+util::Status LoadDdcPcaArtifacts(const std::string& path,
+                                 core::DdcPcaArtifacts* out);
 
-bool SaveDdcOpqArtifacts(const std::string& path,
-                         const core::DdcOpqArtifacts& artifacts,
-                         std::string* error);
-bool LoadDdcOpqArtifacts(const std::string& path,
-                         core::DdcOpqArtifacts* out, std::string* error);
+util::Status SaveDdcOpqArtifacts(const std::string& path,
+                                 const core::DdcOpqArtifacts& artifacts);
+util::Status LoadDdcOpqArtifacts(const std::string& path,
+                                 core::DdcOpqArtifacts* out);
 
-bool SaveDdcRqCascadeArtifacts(const std::string& path,
-                               const core::DdcRqCascadeArtifacts& artifacts,
-                               std::string* error);
-bool LoadDdcRqCascadeArtifacts(const std::string& path,
-                               core::DdcRqCascadeArtifacts* out,
-                               std::string* error);
+util::Status SaveDdcRqCascadeArtifacts(
+    const std::string& path, const core::DdcRqCascadeArtifacts& artifacts);
+util::Status LoadDdcRqCascadeArtifacts(const std::string& path,
+                                       core::DdcRqCascadeArtifacts* out);
+
+// Verifies the checksummed envelope of any resinfer persist file without
+// constructing the object: recomputes every section CRC and the footer
+// digest, reporting the first corrupt section by name. Returns
+// FailedPrecondition for files whose version predates checksums (they can
+// only be validated by a full load), InvalidArgument for unknown magics.
+// On success `*format_name` (if non-null) receives the human name of the
+// format ("ivf index", "pq codebook", ...).
+util::Status VerifyFile(const std::string& path,
+                        std::string* format_name = nullptr);
+
+// Fault injection for tests: saves fail (as if the disk were full) once
+// they would write more than `bytes`; negative disables. Affects every
+// Save* in this process until reset — pair with a scoped reset in tests.
+void SetWriteFailureForTesting(int64_t bytes);
 
 }  // namespace resinfer::persist
 

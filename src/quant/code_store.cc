@@ -28,13 +28,12 @@ CodeStore CodeStore::PermutedBy(const std::vector<int64_t>& order) const {
   return out;
 }
 
-bool CodeStore::FromParts(int64_t n, int64_t code_size, int num_sidecars,
-                          std::string tag, std::vector<uint8_t> data,
-                          CodeStore* out, std::string* error,
-                          CodePacking packing) {
-  const auto fail = [error](const char* what) {
-    if (error != nullptr) *error = what;
-    return false;
+util::Status CodeStore::FromParts(int64_t n, int64_t code_size,
+                                  int num_sidecars, std::string tag,
+                                  std::vector<uint8_t> data, CodeStore* out,
+                                  CodePacking packing) {
+  const auto fail = [](const char* what) {
+    return util::Status::Corruption(what);
   };
   if (n < 0) return fail("negative code-store size");
   // Bound the declared layout before any arithmetic: untrusted (persisted)
@@ -61,7 +60,7 @@ bool CodeStore::FromParts(int64_t n, int64_t code_size, int num_sidecars,
   store.tag_ = std::move(tag);
   store.data_ = std::move(data);
   *out = std::move(store);
-  return true;
+  return util::Status::Ok();
 }
 
 uint64_t FingerprintBytes(const void* data, std::size_t bytes,

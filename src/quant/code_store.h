@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "quant/code_layout.h"
+#include "util/status.h"
 
 namespace resinfer::quant {
 
@@ -96,11 +97,13 @@ class CodeStore {
 
   // Rebuilds a store from persisted parts; validates that `data` is exactly
   // n records of the declared layout (rejecting truncated or oversized
-  // payloads) and returns false with *error set (may be null) otherwise.
-  static bool FromParts(int64_t n, int64_t code_size, int num_sidecars,
-                        std::string tag, std::vector<uint8_t> data,
-                        CodeStore* out, std::string* error,
-                        CodePacking packing = CodePacking::kBytePerCode);
+  // payloads) and returns a non-OK Status otherwise — the parts come off
+  // disk, so nothing here may abort.
+  static util::Status FromParts(int64_t n, int64_t code_size,
+                                int num_sidecars, std::string tag,
+                                std::vector<uint8_t> data, CodeStore* out,
+                                CodePacking packing =
+                                    CodePacking::kBytePerCode);
 
  private:
   int64_t n_ = 0;

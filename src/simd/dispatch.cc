@@ -43,6 +43,7 @@ struct KernelTable {
                      std::size_t, float*);
   void (*pq_adc_tile)(const float* const*, int, int, int,
                       const uint8_t* const*, int, float*);
+  uint32_t (*crc32c)(uint32_t, const void*, std::size_t);
 };
 
 constexpr KernelTable kScalarTable = {
@@ -60,6 +61,7 @@ constexpr KernelTable kScalarTable = {
     internal::PqAdcFastScanTileScalar,
     internal::L2SqrTileScalar,
     internal::PqAdcTileScalar,
+    internal::Crc32cScalar,
 };
 
 #if defined(RESINFER_HAVE_AVX2)
@@ -78,6 +80,7 @@ constexpr KernelTable kAvx2Table = {
     internal::PqAdcFastScanTileAvx2,
     internal::L2SqrTileAvx2,
     internal::PqAdcTileAvx2,
+    internal::Crc32cSse42,
 };
 #endif
 
@@ -97,6 +100,9 @@ constexpr KernelTable kAvx512Table = {
     internal::PqAdcFastScanTileAvx512,
     internal::L2SqrTileAvx512,
     internal::PqAdcTileAvx512,
+    // AVX-512 hosts use the same SSE4.2 crc32 instruction; there is no wider
+    // form, so the tier shares the AVX2 TU's implementation.
+    internal::Crc32cSse42,
 };
 #endif
 
@@ -145,8 +151,11 @@ SimdLevel BestSupportedLevel() {
 #endif
 #if defined(RESINFER_HAVE_AVX2)
 #if defined(__GNUC__) || defined(__clang__)
-  static const bool cpu_ok =
-      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  // sse4.2 is implied by AVX2 on every real part, but the AVX2 table's
+  // crc32c entry executes `crc32` instructions, so gate it explicitly.
+  static const bool cpu_ok = __builtin_cpu_supports("avx2") &&
+                             __builtin_cpu_supports("fma") &&
+                             __builtin_cpu_supports("sse4.2");
   return cpu_ok ? SimdLevel::kAvx2 : SimdLevel::kScalar;
 #else
   return SimdLevel::kAvx2;
@@ -274,6 +283,10 @@ void L2SqrTile(const float* const* queries, int num_queries,
 void PqAdcTile(const float* const* tables, int num_queries, int m, int ksub,
                const uint8_t* const* codes, int count, float* out) {
   Active().pq_adc_tile(tables, num_queries, m, ksub, codes, count, out);
+}
+
+uint32_t Crc32c(uint32_t crc, const void* data, std::size_t n) {
+  return Active().crc32c(crc, data, n);
 }
 
 }  // namespace resinfer::simd

@@ -130,6 +130,18 @@ void L2SqrTile(const float* const* queries, int num_queries,
 void PqAdcTile(const float* const* tables, int num_queries, int m, int ksub,
                const uint8_t* const* codes, int count, float* out);
 
+// --- CRC32C (Castagnoli) ---------------------------------------------------
+//
+// Incremental CRC32C over a byte range, used by the persist layer to
+// checksum file sections so index loads can verify integrity without a
+// separate pass. Start with crc = 0 and chain the return value through
+// successive calls; the result equals the CRC32C of the concatenated bytes
+// (each call performs the standard pre/post inversion, which composes).
+// The AVX2/AVX-512 tables dispatch to the SSE4.2 `crc32` instruction
+// (8 bytes per cycle-ish); the scalar table uses a slicing-by-8 software
+// implementation, so checksums agree bit-for-bit at every level.
+uint32_t Crc32c(uint32_t crc, const void* data, std::size_t n);
+
 namespace internal {
 
 float L2SqrScalar(const float* a, const float* b, std::size_t n);
@@ -158,6 +170,7 @@ void L2SqrTileScalar(const float* const* queries, int num_queries,
 void PqAdcTileScalar(const float* const* tables, int num_queries, int m,
                      int ksub, const uint8_t* const* codes, int count,
                      float* out);
+uint32_t Crc32cScalar(uint32_t crc, const void* data, std::size_t n);
 
 #if defined(RESINFER_HAVE_AVX2)
 float L2SqrAvx2(const float* a, const float* b, std::size_t n);
@@ -186,6 +199,10 @@ void L2SqrTileAvx2(const float* const* queries, int num_queries,
 void PqAdcTileAvx2(const float* const* tables, int num_queries, int m,
                    int ksub, const uint8_t* const* codes, int count,
                    float* out);
+// SSE4.2 hardware crc32 (cpuid-gated alongside AVX2: every AVX2 host has
+// SSE4.2, and BestSupportedLevel checks the flag explicitly anyway). Shared
+// by the AVX2 and AVX-512 tables.
+uint32_t Crc32cSse42(uint32_t crc, const void* data, std::size_t n);
 #endif
 
 #if defined(RESINFER_HAVE_AVX512)

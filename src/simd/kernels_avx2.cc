@@ -435,6 +435,23 @@ float SqAdcL2SqrAvx2(const float* q, const uint8_t* code, const float* vmin,
   return SqAdcTail(q, code, vmin, step, i, n, ReduceAdd(acc));
 }
 
+uint32_t Crc32cSse42(uint32_t crc, const void* data, std::size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t c = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    c = _mm_crc32_u8(static_cast<uint32_t>(c), *p++);
+    --n;
+  }
+  for (; n >= 8; n -= 8, p += 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    c = _mm_crc32_u64(c, word);
+  }
+  for (; n > 0; --n)
+    c = _mm_crc32_u8(static_cast<uint32_t>(c), *p++);
+  return ~static_cast<uint32_t>(c);
+}
+
 }  // namespace resinfer::simd::internal
 
 #endif  // RESINFER_HAVE_AVX2

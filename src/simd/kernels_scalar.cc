@@ -148,4 +148,52 @@ void PqAdcTileScalar(const float* const* tables, int num_queries, int m,
   }
 }
 
+namespace {
+
+// Slicing-by-8 tables for CRC32C (Castagnoli, reflected poly 0x82F63B78):
+// table[0] is the classic byte-at-a-time table; table[k][b] extends a CRC
+// whose low byte is b across k additional zero bytes, letting the hot loop
+// fold 8 input bytes per iteration with eight independent lookups.
+struct Crc32cTables {
+  uint32_t t[8][256];
+  constexpr Crc32cTables() : t{} {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int k = 0; k < 8; ++k)
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      t[0][b] = crc;
+    }
+    for (int k = 1; k < 8; ++k)
+      for (uint32_t b = 0; b < 256; ++b)
+        t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xFFu];
+  }
+};
+
+constexpr Crc32cTables kCrc32cTables;
+
+}  // namespace
+
+uint32_t Crc32cScalar(uint32_t crc, const void* data, std::size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const auto& t = kCrc32cTables.t;
+  crc = ~crc;
+  // Byte-align so the 8-wide loop can use one unaligned 64-bit load.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+    --n;
+  }
+  for (; n >= 8; n -= 8, p += 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    word ^= crc;  // little-endian: low 4 bytes absorb the running CRC
+    crc = t[7][word & 0xFFu] ^ t[6][(word >> 8) & 0xFFu] ^
+          t[5][(word >> 16) & 0xFFu] ^ t[4][(word >> 24) & 0xFFu] ^
+          t[3][(word >> 32) & 0xFFu] ^ t[2][(word >> 40) & 0xFFu] ^
+          t[1][(word >> 48) & 0xFFu] ^ t[0][(word >> 56) & 0xFFu];
+  }
+  for (; n > 0; --n)
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
 }  // namespace resinfer::simd::internal

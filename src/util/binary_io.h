@@ -7,6 +7,18 @@
 // Readers never trust the payload: counts are bounds-checked against
 // sane limits and every read is checked, so truncated or corrupted files
 // fail cleanly instead of over-allocating.
+//
+// Checksummed envelope (persist format v5, see docs/persistence.md): the
+// payload after the header is split into named sections
+//   [u8 name_len > 0][name][u64 payload_len][payload][u32 crc32c(payload)]
+// terminated by a footer
+//   [u8 0][u32 num_sections][u32 crc32c(all section CRC words, in order)]
+// The CRC covers only the payload; the frame fields are protected
+// structurally (the reader knows which section name it expects and cross-
+// checks consumed-vs-declared length), which keeps checksums composable
+// without buffering whole sections. Writers always emit the envelope;
+// readers toggle it per file version via set_checksummed() so one parse
+// path serves both legacy and checksummed files.
 #ifndef RESINFER_UTIL_BINARY_IO_H_
 #define RESINFER_UTIL_BINARY_IO_H_
 
@@ -16,6 +28,12 @@
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "simd/kernels.h"
 
 namespace resinfer {
 
@@ -36,7 +54,7 @@ class BinaryWriter {
   // Idempotent; further writes after Close fail.
   bool Close() {
     if (file_ != nullptr) {
-      if (std::fclose(file_) != 0) failed_ = true;
+      if (std::fclose(file_) != 0) Fail("flush on close failed");
       file_ = nullptr;
       closed_ok_ = !failed_;
     }
@@ -45,16 +63,34 @@ class BinaryWriter {
 
   bool ok() const { return (file_ != nullptr || closed_ok_) && !failed_; }
 
+  // Why the first write failed ("disk full", "flush on close failed", ...);
+  // empty while ok().
+  const std::string& fail_reason() const { return fail_reason_; }
+
   void WriteBytes(const void* data, std::size_t bytes) {
     if (file_ == nullptr) {
       // Write-after-Close is a caller bug: poison the writer so the next
       // ok()/Close() check reports it (a never-opened writer is already
       // not ok()).
-      if (closed_ok_) failed_ = true;
+      if (closed_ok_) Fail("write after Close");
       return;
     }
     if (failed_) return;
-    if (std::fwrite(data, 1, bytes, file_) != bytes) failed_ = true;
+    if (write_limit_ >= 0 &&
+        bytes_written_ + static_cast<int64_t>(bytes) > write_limit_) {
+      // Injected ENOSPC for fault tests: behaves like a full disk.
+      Fail("disk full");
+      return;
+    }
+    if (std::fwrite(data, 1, bytes, file_) != bytes) {
+      Fail("short write");
+      return;
+    }
+    bytes_written_ += static_cast<int64_t>(bytes);
+    if (in_section_) {
+      section_crc_ = simd::Crc32c(section_crc_, data, bytes);
+      section_bytes_ += static_cast<uint64_t>(bytes);
+    }
   }
 
   template <typename T>
@@ -80,10 +116,111 @@ class BinaryWriter {
     WriteBytes(data, static_cast<std::size_t>(count) * sizeof(float));
   }
 
+  // Opens a checksummed section: everything written until EndSection() is
+  // the section payload, CRC'd and length-counted. Sections must not nest.
+  void BeginSection(const char* name) {
+    const std::size_t len = std::strlen(name);
+    if (in_section_ || len == 0 || len > 255) {
+      Fail("BeginSection misuse");
+      return;
+    }
+    const uint8_t len8 = static_cast<uint8_t>(len);
+    WriteBytes(&len8, 1);
+    WriteBytes(name, len);
+    if (!ok()) return;
+    len_patch_pos_ = std::ftell(file_);
+    Write<uint64_t>(0);  // placeholder, patched by EndSection
+    in_section_ = true;
+    section_crc_ = 0;
+    section_bytes_ = 0;
+  }
+
+  // Closes the current section: seeks back to patch the real payload
+  // length, then appends the payload CRC.
+  void EndSection() {
+    if (!in_section_) {
+      Fail("EndSection without BeginSection");
+      return;
+    }
+    in_section_ = false;
+    if (!ok()) return;
+    const long end = std::ftell(file_);
+    if (len_patch_pos_ < 0 || end < 0 ||
+        std::fseek(file_, len_patch_pos_, SEEK_SET) != 0) {
+      Fail("seek failed while patching section length");
+      return;
+    }
+    // The patch rewrites the 8 placeholder bytes already counted against
+    // the write limit; rewind the counter so they are not double-billed.
+    bytes_written_ -= 8;
+    Write<uint64_t>(section_bytes_);
+    if (!ok()) return;
+    if (std::fseek(file_, end, SEEK_SET) != 0) {
+      Fail("seek failed while patching section length");
+      return;
+    }
+    Write<uint32_t>(section_crc_);
+    section_crcs_.push_back(section_crc_);
+  }
+
+  // Terminates the section stream: a zero name-length marker, the section
+  // count, and a digest over the per-section CRC words (so a file with a
+  // whole section spliced out fails even though each remaining section's
+  // own CRC still matches).
+  void WriteChecksumFooter() {
+    if (in_section_) {
+      Fail("WriteChecksumFooter inside a section");
+      return;
+    }
+    const uint8_t zero = 0;
+    WriteBytes(&zero, 1);
+    Write<uint32_t>(static_cast<uint32_t>(section_crcs_.size()));
+    const uint32_t digest =
+        section_crcs_.empty()
+            ? simd::Crc32c(0, nullptr, 0)
+            : simd::Crc32c(0, section_crcs_.data(),
+                           section_crcs_.size() * sizeof(uint32_t));
+    Write<uint32_t>(digest);
+  }
+
+  // Flushes stdio buffers and fsyncs the fd so the bytes survive a crash
+  // before the atomic rename publishes them. Returns false on any failure.
+  bool SyncToDisk() {
+    if (file_ == nullptr || failed_) return false;
+    if (std::fflush(file_) != 0) {
+      Fail("flush failed");
+      return false;
+    }
+#if !defined(_WIN32)
+    if (::fsync(::fileno(file_)) != 0) {
+      Fail("fsync failed");
+      return false;
+    }
+#endif
+    return true;
+  }
+
+  // Fault injection: writes fail (as if the disk were full) once the total
+  // would exceed `bytes`. Negative disables the limit.
+  void set_write_limit_for_testing(int64_t bytes) { write_limit_ = bytes; }
+
  private:
+  void Fail(const char* reason) {
+    failed_ = true;
+    if (fail_reason_.empty()) fail_reason_ = reason;
+  }
+
   std::FILE* file_ = nullptr;
   bool failed_ = false;
   bool closed_ok_ = false;
+  std::string fail_reason_;
+  int64_t bytes_written_ = 0;
+  int64_t write_limit_ = -1;
+  bool in_section_ = false;
+  uint32_t section_crc_ = 0;
+  uint64_t section_bytes_ = 0;
+  long len_patch_pos_ = -1;
+  std::vector<uint32_t> section_crcs_;
 };
 
 class BinaryReader {
@@ -103,9 +240,25 @@ class BinaryReader {
 
   bool ok() const { return file_ != nullptr && !failed_; }
 
+  // Why the first read failed ("unexpected end of file", "section 'codes':
+  // checksum mismatch", ...); empty while ok().
+  const std::string& fail_reason() const { return fail_reason_; }
+
   void ReadBytes(void* data, std::size_t bytes) {
     if (!ok()) return;
-    if (std::fread(data, 1, bytes, file_) != bytes) failed_ = true;
+    if (in_section_) {
+      if (static_cast<uint64_t>(bytes) > payload_remaining_) {
+        Fail("section '" + section_name_ +
+             "': loader read past the declared payload length");
+        return;
+      }
+      payload_remaining_ -= static_cast<uint64_t>(bytes);
+    }
+    if (std::fread(data, 1, bytes, file_) != bytes) {
+      Fail("unexpected end of file");
+      return;
+    }
+    if (in_section_) section_crc_ = simd::Crc32c(section_crc_, data, bytes);
   }
 
   template <typename T>
@@ -121,7 +274,7 @@ class BinaryReader {
     int64_t count = 0;
     if (!Read(&count)) return false;
     if (count < 0 || count > max_elements_) {
-      failed_ = true;
+      Fail("container count out of range");
       return false;
     }
     v->resize(static_cast<std::size_t>(count));
@@ -133,7 +286,7 @@ class BinaryReader {
     int64_t count = 0;
     if (!Read(&count)) return false;
     if (count < 0 || count > max_elements_) {
-      failed_ = true;
+      Fail("container count out of range");
       return false;
     }
     s->resize(static_cast<std::size_t>(count));
@@ -153,7 +306,7 @@ class BinaryReader {
     uint32_t version = 0;
     if (!Read(&version)) return false;
     if (std::memcmp(got, magic, 8) != 0 || version != expected_version) {
-      failed_ = true;
+      Fail("bad magic or version");
       return false;
     }
     return true;
@@ -161,10 +314,126 @@ class BinaryReader {
 
   int64_t max_elements() const { return max_elements_; }
 
+  // Toggles the v5 section envelope. Loaders call this after parsing the
+  // version field: pre-v5 files carry no frames, so with checksumming off
+  // Begin/EndSection and ExpectChecksumFooter are no-ops and the same
+  // loader body parses every version.
+  void set_checksummed(bool on) { checksummed_ = on; }
+  bool checksummed() const { return checksummed_; }
+
+  // Opens the next section and verifies it is the one the loader expects.
+  bool BeginSection(const char* expected_name) {
+    if (!checksummed_) return ok();
+    if (!ok()) return false;
+    if (in_section_) {
+      Fail("BeginSection misuse");
+      return false;
+    }
+    uint8_t len = 0;
+    ReadBytes(&len, 1);
+    if (!ok()) {
+      Fail(std::string("truncated before section '") + expected_name + "'");
+      return false;
+    }
+    if (len == 0) {
+      Fail(std::string("expected section '") + expected_name +
+           "' but found the footer marker");
+      return false;
+    }
+    char name[256];
+    ReadBytes(name, len);
+    if (!ok()) return false;
+    name[len] = '\0';
+    if (std::strcmp(name, expected_name) != 0) {
+      Fail(std::string("expected section '") + expected_name +
+           "' but found '" + name + "'");
+      return false;
+    }
+    uint64_t payload_len = 0;
+    if (!Read(&payload_len)) return false;
+    in_section_ = true;
+    section_name_ = expected_name;
+    payload_remaining_ = payload_len;
+    section_crc_ = 0;
+    return true;
+  }
+
+  // Closes the current section: the loader must have consumed exactly the
+  // declared payload, and the stored CRC must match the computed one.
+  bool EndSection() {
+    if (!checksummed_) return ok();
+    if (!in_section_) {
+      Fail("EndSection without BeginSection");
+      return false;
+    }
+    in_section_ = false;
+    if (!ok()) return false;
+    if (payload_remaining_ != 0) {
+      Fail("section '" + section_name_ +
+           "': loader consumed fewer bytes than declared");
+      return false;
+    }
+    uint32_t stored = 0;
+    if (!Read(&stored)) return false;
+    if (stored != section_crc_) {
+      Fail("section '" + section_name_ + "': checksum mismatch");
+      return false;
+    }
+    section_crcs_.push_back(stored);
+    return true;
+  }
+
+  // Validates the footer written by WriteChecksumFooter against the
+  // sections read so far.
+  bool ExpectChecksumFooter() {
+    if (!checksummed_) return ok();
+    if (in_section_) {
+      Fail("ExpectChecksumFooter inside a section");
+      return false;
+    }
+    uint8_t marker = 0;
+    ReadBytes(&marker, 1);
+    if (!ok()) return false;
+    if (marker != 0) {
+      Fail("footer marker missing (extra section in file?)");
+      return false;
+    }
+    uint32_t count = 0;
+    if (!Read(&count)) return false;
+    if (count != section_crcs_.size()) {
+      Fail("footer section count mismatch");
+      return false;
+    }
+    uint32_t digest = 0;
+    if (!Read(&digest)) return false;
+    const uint32_t expected =
+        section_crcs_.empty()
+            ? simd::Crc32c(0, nullptr, 0)
+            : simd::Crc32c(0, section_crcs_.data(),
+                           section_crcs_.size() * sizeof(uint32_t));
+    if (digest != expected) {
+      Fail("footer digest mismatch");
+      return false;
+    }
+    return true;
+  }
+
  private:
+  void Fail(std::string reason) {
+    failed_ = true;
+    if (fail_reason_.empty()) fail_reason_ = std::move(reason);
+  }
+
   std::FILE* file_ = nullptr;
   bool failed_ = false;
   int64_t max_elements_;
+  std::string fail_reason_;
+  bool checksummed_ = false;
+  bool in_section_ = false;
+  std::string section_name_;
+  uint64_t payload_remaining_ = 0;
+  uint32_t section_crc_ = 0;
+  std::vector<uint32_t> section_crcs_;
 };
 
 inline void WriteHeader(BinaryWriter& writer, const char magic[8],

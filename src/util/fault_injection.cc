@@ -1,0 +1,53 @@
+#include "util/fault_injection.h"
+
+#include <cstdio>
+
+namespace resinfer::util {
+
+StatusOr<FaultInjectingFile> FaultInjectingFile::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return Status::NotFound(path + ": cannot open for reading");
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + got);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError(path + ": read failed");
+  return FaultInjectingFile(std::move(bytes));
+}
+
+void FaultInjectingFile::Truncate(std::size_t new_size) {
+  if (new_size < bytes_.size()) bytes_.resize(new_size);
+}
+
+void FaultInjectingFile::FlipBit(std::size_t byte_index, int bit) {
+  if (byte_index < bytes_.size())
+    bytes_[byte_index] ^= static_cast<uint8_t>(1u << (bit & 7));
+}
+
+void FaultInjectingFile::CorruptRange(std::size_t offset, std::size_t len,
+                                      uint8_t mask) {
+  for (std::size_t i = offset; i < offset + len && i < bytes_.size(); ++i)
+    bytes_[i] ^= mask;
+}
+
+void FaultInjectingFile::Reset() { bytes_ = original_; }
+
+Status FaultInjectingFile::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    return Status::IOError(path + ": cannot open for writing");
+  if (!bytes_.empty() &&
+      std::fwrite(bytes_.data(), 1, bytes_.size(), f) != bytes_.size()) {
+    std::fclose(f);
+    return Status::IOError(path + ": short write");
+  }
+  if (std::fclose(f) != 0) return Status::IOError(path + ": close failed");
+  return Status::Ok();
+}
+
+}  // namespace resinfer::util

@@ -1,0 +1,55 @@
+// Fault-injection helpers for persistence tests.
+//
+// FaultInjectingFile snapshots a good on-disk file into memory, applies a
+// mutation (truncation, bit flip, range corruption), and writes the result
+// to a scratch path. The corruption tests then assert that loading the
+// mutated file returns a clean util::Status — never a crash, never a
+// silently-wrong index. Short writes and ENOSPC are injected on the write
+// side instead, via BinaryWriter::set_write_limit_for_testing.
+//
+// Test-only: nothing in the serving path includes this header.
+#ifndef RESINFER_UTIL_FAULT_INJECTION_H_
+#define RESINFER_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace resinfer::util {
+
+class FaultInjectingFile {
+ public:
+  // Loads `path` fully into memory. Check ok() before mutating.
+  static StatusOr<FaultInjectingFile> Open(const std::string& path);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+
+  // Drops every byte from `new_size` on. No-op if already shorter.
+  void Truncate(std::size_t new_size);
+
+  // Flips one bit. `byte_index` must be < size().
+  void FlipBit(std::size_t byte_index, int bit);
+
+  // XORs `len` bytes starting at `offset` with `mask` (clamped to EOF).
+  void CorruptRange(std::size_t offset, std::size_t len, uint8_t mask);
+
+  // Restores the bytes as loaded by Open (mutations compose until reset).
+  void Reset();
+
+  // Writes the current (mutated) bytes to `path`.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  explicit FaultInjectingFile(std::vector<uint8_t> bytes)
+      : original_(bytes), bytes_(std::move(bytes)) {}
+
+  std::vector<uint8_t> original_;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace resinfer::util
+
+#endif  // RESINFER_UTIL_FAULT_INJECTION_H_

@@ -1,0 +1,138 @@
+// Recoverable error reporting for untrusted input (files, network bytes,
+// caller-supplied paths).
+//
+// Policy (see docs/persistence.md, "CHECK vs Status"): RESINFER_CHECK /
+// RESINFER_DCHECK remain for *internal invariants and caller contracts* —
+// conditions that can only be false through a programming bug in this
+// library or its caller. Everything that can be false because the outside
+// world handed us bad bytes (a truncated index file, a bit-flipped
+// codebook, a dataset with NaNs) must return a Status instead: a process
+// serving millions of users never aborts because one file on disk rotted.
+//
+// Status carries a coarse code plus a human-actionable message ("which
+// file, which section, what disagreed"). StatusOr<T> bundles a Status with
+// a value for factory-style APIs.
+#ifndef RESINFER_UTIL_STATUS_H_
+#define RESINFER_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace resinfer::util {
+
+enum class StatusCode {
+  kOk = 0,
+  // The bytes/arguments are structurally or semantically invalid
+  // (malformed header, shape mismatch, NaN where a distance belongs).
+  kInvalidArgument = 1,
+  // The named file/resource does not exist or cannot be opened.
+  kNotFound = 2,
+  // The bytes were once valid but no longer are (checksum mismatch,
+  // truncation, version from the future).
+  kCorruption = 3,
+  // The operating system failed us (short write, fsync/rename failure,
+  // out of disk).
+  kIOError = 4,
+  // The operation is valid but not in the object's current state.
+  kFailedPrecondition = 5,
+  // A should-not-happen escaped into a recoverable path.
+  kInternal = 6,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CORRUPTION: ivf.bin: section 'buckets' checksum mismatch".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Value-or-error result for factory-style loaders. Accessing the value of
+// a non-OK StatusOr is a caller bug (checked).
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit from a value (OK) or from a non-OK Status, mirroring absl.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    RESINFER_CHECK_MSG(!status_.ok(),
+                       "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RESINFER_CHECK_MSG(ok(), "StatusOr::value() on a non-OK status");
+    return *value_;
+  }
+  T& value() & {
+    RESINFER_CHECK_MSG(ok(), "StatusOr::value() on a non-OK status");
+    return *value_;
+  }
+  T&& value() && {
+    RESINFER_CHECK_MSG(ok(), "StatusOr::value() on a non-OK status");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace resinfer::util
+
+// Propagates a non-OK Status to the caller; evaluates `expr` once.
+#define RESINFER_RETURN_IF_ERROR(expr)                   \
+  do {                                                   \
+    ::resinfer::util::Status status_macro_ = (expr);     \
+    if (!status_macro_.ok()) return status_macro_;       \
+  } while (0)
+
+#endif  // RESINFER_UTIL_STATUS_H_

@@ -1,8 +1,10 @@
 #include "data/vec_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -26,11 +28,12 @@ class VecIoTest : public ::testing::Test {
 
 TEST_F(VecIoTest, FvecsRoundTrip) {
   linalg::Matrix original = testing::RandomMatrix(17, 9, 81);
-  std::string error;
-  ASSERT_TRUE(WriteFvecs(Path("a.fvecs"), original, &error)) << error;
+  util::Status s = WriteFvecs(Path("a.fvecs"), original);
+  ASSERT_TRUE(s.ok()) << s.ToString();
 
   linalg::Matrix loaded;
-  ASSERT_TRUE(ReadFvecs(Path("a.fvecs"), &loaded, &error)) << error;
+  s = ReadFvecs(Path("a.fvecs"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   ASSERT_EQ(loaded.rows(), 17);
   ASSERT_EQ(loaded.cols(), 9);
   EXPECT_EQ(linalg::MaxAbsDifference(original, loaded), 0.0);
@@ -38,10 +41,11 @@ TEST_F(VecIoTest, FvecsRoundTrip) {
 
 TEST_F(VecIoTest, IvecsRoundTrip) {
   std::vector<std::vector<int32_t>> rows = {{1, 2, 3}, {}, {7}};
-  std::string error;
-  ASSERT_TRUE(WriteIvecs(Path("a.ivecs"), rows, &error)) << error;
+  util::Status s = WriteIvecs(Path("a.ivecs"), rows);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   std::vector<std::vector<int32_t>> loaded;
-  ASSERT_TRUE(ReadIvecs(Path("a.ivecs"), &loaded, &error)) << error;
+  s = ReadIvecs(Path("a.ivecs"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(loaded, rows);
 }
 
@@ -58,8 +62,8 @@ TEST_F(VecIoTest, BvecsWidensToFloat) {
   out.close();
 
   linalg::Matrix loaded;
-  std::string error;
-  ASSERT_TRUE(ReadBvecs(Path("a.bvecs"), &loaded, &error)) << error;
+  util::Status s = ReadBvecs(Path("a.bvecs"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   ASSERT_EQ(loaded.rows(), 2);
   ASSERT_EQ(loaded.cols(), 3);
   EXPECT_FLOAT_EQ(loaded.At(0, 2), 255.0f);
@@ -68,22 +72,24 @@ TEST_F(VecIoTest, BvecsWidensToFloat) {
 
 TEST_F(VecIoTest, MissingFileFailsGracefully) {
   linalg::Matrix out;
-  std::string error;
-  EXPECT_FALSE(ReadFvecs(Path("missing.fvecs"), &out, &error));
-  EXPECT_FALSE(error.empty());
+  util::Status s = ReadFvecs(Path("missing.fvecs"), &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kNotFound);
+  EXPECT_FALSE(s.message().empty());
 }
 
 TEST_F(VecIoTest, TruncatedFileFails) {
   // Write a valid file then chop bytes off the end.
   linalg::Matrix original = testing::RandomMatrix(4, 8, 82);
-  std::string error;
-  ASSERT_TRUE(WriteFvecs(Path("t.fvecs"), original, &error));
+  ASSERT_TRUE(WriteFvecs(Path("t.fvecs"), original).ok());
   std::filesystem::resize_file(Path("t.fvecs"),
                                std::filesystem::file_size(Path("t.fvecs")) -
                                    5);
   linalg::Matrix out;
-  EXPECT_FALSE(ReadFvecs(Path("t.fvecs"), &out, &error));
-  EXPECT_FALSE(error.empty());
+  util::Status s = ReadFvecs(Path("t.fvecs"), &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption);
+  EXPECT_FALSE(s.message().empty());
 }
 
 TEST_F(VecIoTest, NegativeDimensionFails) {
@@ -94,8 +100,8 @@ TEST_F(VecIoTest, NegativeDimensionFails) {
   out.write(reinterpret_cast<char*>(payload), 12);
   out.close();
   linalg::Matrix m;
-  std::string error;
-  EXPECT_FALSE(ReadFvecs(Path("bad.fvecs"), &m, &error));
+  EXPECT_EQ(ReadFvecs(Path("bad.fvecs"), &m).code(),
+            util::StatusCode::kCorruption);
 }
 
 TEST_F(VecIoTest, InconsistentDimensionFails) {
@@ -109,17 +115,68 @@ TEST_F(VecIoTest, InconsistentDimensionFails) {
   out.write(reinterpret_cast<char*>(p3), 12);
   out.close();
   linalg::Matrix m;
-  std::string error;
-  EXPECT_FALSE(ReadFvecs(Path("mixed.fvecs"), &m, &error));
+  EXPECT_EQ(ReadFvecs(Path("mixed.fvecs"), &m).code(),
+            util::StatusCode::kCorruption);
 }
 
 TEST_F(VecIoTest, EmptyFileYieldsEmptyMatrix) {
   std::ofstream out(Path("empty.fvecs"), std::ios::binary);
   out.close();
   linalg::Matrix m;
-  std::string error;
-  ASSERT_TRUE(ReadFvecs(Path("empty.fvecs"), &m, &error)) << error;
+  util::Status s = ReadFvecs(Path("empty.fvecs"), &m);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(m.rows(), 0);
+}
+
+// Writes a 4 x 2 fvecs file whose row 1 contains a NaN and row 2 an Inf.
+std::string WriteNonFiniteFile(const std::filesystem::path& dir) {
+  linalg::Matrix m(4, 2);
+  for (int64_t i = 0; i < 4; ++i) {
+    m.At(i, 0) = static_cast<float>(i);
+    m.At(i, 1) = static_cast<float>(10 * i);
+  }
+  m.At(1, 1) = std::numeric_limits<float>::quiet_NaN();
+  m.At(2, 0) = std::numeric_limits<float>::infinity();
+  const std::string path = (dir / "nonfinite.fvecs").string();
+  EXPECT_TRUE(WriteFvecs(path, m).ok());
+  return path;
+}
+
+TEST_F(VecIoTest, NonFiniteRejectedByDefault) {
+  const std::string path = WriteNonFiniteFile(dir_);
+  linalg::Matrix m;
+  util::Status s = ReadFvecs(path, &m);
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument);
+  // The message should name the offending vector so the user can fix it.
+  EXPECT_NE(s.message().find("vector 1"), std::string::npos) << s.ToString();
+}
+
+TEST_F(VecIoTest, NonFiniteDropPolicySkipsAndCounts) {
+  const std::string path = WriteNonFiniteFile(dir_);
+  linalg::Matrix m;
+  ReadStats stats;
+  util::Status s = ReadFvecs(path, &m, NonFinitePolicy::kDrop, &stats);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(stats.rows_read, 2);
+  EXPECT_EQ(stats.dropped_rows, 2);
+  EXPECT_EQ(stats.first_bad_row, 1);
+  // Surviving rows are the finite ones, in order.
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 30.0f);
+}
+
+TEST_F(VecIoTest, NonFiniteKeepPolicyPreservesRows) {
+  const std::string path = WriteNonFiniteFile(dir_);
+  linalg::Matrix m;
+  ReadStats stats;
+  util::Status s = ReadFvecs(path, &m, NonFinitePolicy::kKeep, &stats);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(stats.dropped_rows, 0);
+  EXPECT_EQ(stats.first_bad_row, 1);
+  EXPECT_TRUE(std::isnan(m.At(1, 1)));
 }
 
 }  // namespace

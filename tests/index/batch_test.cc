@@ -1,6 +1,10 @@
 #include "index/batch.h"
 
+#include <atomic>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -179,6 +183,59 @@ TEST(BatchTest, EmptyQueriesReturnEmptyBatch) {
   EXPECT_TRUE(batch.results.empty());
   EXPECT_EQ(batch.latency_seconds.count(), 0);
   EXPECT_EQ(batch.Qps(), 0.0);
+}
+
+TEST(BatchTest, ThrowingSearchPropagatesWithoutKillingPool) {
+  // A search callback that throws must not std::terminate the worker pool
+  // (an exception escaping a std::thread body would). The first exception
+  // is rethrown on the caller thread after every worker drains.
+  BatchFixture& f = Fixture();
+  BatchOptions options;
+  options.num_threads = 4;
+  std::atomic<int> calls{0};
+  SearchFn throwing = [&](DistanceComputer& computer,
+                          const float* query) -> std::vector<Neighbor> {
+    if (calls.fetch_add(1) == 5) {
+      throw std::runtime_error("injected search failure");
+    }
+    return FlatIndex(f.ds.base).Search(computer, query, 3);
+  };
+  EXPECT_THROW(
+      {
+        RunBatch(f.ExactFactory(), f.ds.queries, throwing, options);
+      },
+      std::runtime_error);
+  // Every worker drained and joined; the process is intact and a fresh
+  // batch over the same queries completes normally.
+  SearchFn healthy = [&](DistanceComputer& computer,
+                         const float* query) -> std::vector<Neighbor> {
+    return FlatIndex(f.ds.base).Search(computer, query, 3);
+  };
+  BatchResult batch =
+      RunBatch(f.ExactFactory(), f.ds.queries, healthy, options);
+  ASSERT_EQ(batch.results.size(),
+            static_cast<std::size_t>(f.ds.queries.rows()));
+  for (const auto& r : batch.results) EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(BatchTest, ThrowingGroupSearchReportsFirstException) {
+  // Grouped path: the winner's exception surfaces; losers keep draining
+  // the cursor so no thread blocks.
+  BatchFixture& f = Fixture();
+  BatchOptions options;
+  options.num_threads = 4;
+  options.group_size = 4;
+  GroupSearchFn throwing = [&](DistanceComputer&, const linalg::Matrix&,
+                               int64_t begin, int64_t,
+                               std::vector<Neighbor>*) {
+    throw std::invalid_argument("group " + std::to_string(begin));
+  };
+  try {
+    RunBatchGrouped(f.ExactFactory(), f.ds.queries, throwing, options);
+    FAIL() << "expected the injected exception to propagate";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("group "), std::string::npos);
+  }
 }
 
 TEST(BatchTest, ThreadCountExceedingQueriesIsClamped) {

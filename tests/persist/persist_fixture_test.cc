@@ -50,24 +50,24 @@ void ExpectFixtureLayout(const index::IvfIndex& ivf) {
 
 TEST(PersistFixtureTest, V1NestedBucketsStillLoad) {
   index::IvfIndex ivf;
-  std::string error;
-  ASSERT_TRUE(LoadIvf(FixturePath("ivf_v1.bin"), &ivf, &error)) << error;
+  util::Status s = LoadIvf(FixturePath("ivf_v1.bin"), &ivf);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   ExpectFixtureLayout(ivf);
   EXPECT_FALSE(ivf.has_codes());
 }
 
 TEST(PersistFixtureTest, V2CsrStillLoads) {
   index::IvfIndex ivf;
-  std::string error;
-  ASSERT_TRUE(LoadIvf(FixturePath("ivf_v2.bin"), &ivf, &error)) << error;
+  util::Status s = LoadIvf(FixturePath("ivf_v2.bin"), &ivf);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   ExpectFixtureLayout(ivf);
   EXPECT_FALSE(ivf.has_codes());
 }
 
 TEST(PersistFixtureTest, V3CodeSectionStillLoads) {
   index::IvfIndex ivf;
-  std::string error;
-  ASSERT_TRUE(LoadIvf(FixturePath("ivf_v3.bin"), &ivf, &error)) << error;
+  util::Status s = LoadIvf(FixturePath("ivf_v3.bin"), &ivf);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   ExpectFixtureLayout(ivf);
 
   ASSERT_TRUE(ivf.has_codes());
@@ -94,8 +94,8 @@ TEST(PersistFixtureTest, V3CodeSectionStillLoads) {
 
 TEST(PersistFixtureTest, V4PackedCodeSectionLoads) {
   index::IvfIndex ivf;
-  std::string error;
-  ASSERT_TRUE(LoadIvf(FixturePath("ivf_v4.bin"), &ivf, &error)) << error;
+  util::Status s = LoadIvf(FixturePath("ivf_v4.bin"), &ivf);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   ExpectFixtureLayout(ivf);
 
   ASSERT_TRUE(ivf.has_codes());
@@ -120,6 +120,64 @@ TEST(PersistFixtureTest, V4PackedCodeSectionLoads) {
               static_cast<float>(id) + 0.25f)
         << j;
   }
+}
+
+TEST(PersistFixtureTest, V5ChecksummedByteStoreLoads) {
+  index::IvfIndex ivf;
+  util::Status s = LoadIvf(FixturePath("ivf_v5.bin"), &ivf);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ExpectFixtureLayout(ivf);
+
+  ASSERT_TRUE(ivf.has_codes());
+  const quant::CodeStore& codes = ivf.codes();
+  EXPECT_EQ(codes.tag(), "fixture/cs2/sc1/n12");
+  EXPECT_EQ(codes.packing(), quant::CodePacking::kBytePerCode);
+  ASSERT_EQ(codes.size(), kSize);
+  for (std::size_t j = 0; j < kIds.size(); ++j) {
+    const int64_t id = kIds[j];
+    const uint8_t* rec = codes.record(static_cast<int64_t>(j));
+    EXPECT_EQ(rec[0], static_cast<uint8_t>(id)) << j;
+    EXPECT_EQ(rec[1], static_cast<uint8_t>(2 * id)) << j;
+    EXPECT_EQ(quant::RecordSidecars(rec, codes.code_size())[0],
+              static_cast<float>(id) + 0.5f)
+        << j;
+  }
+}
+
+TEST(PersistFixtureTest, V5ChecksummedPackedStoreLoads) {
+  index::IvfIndex ivf;
+  util::Status s = LoadIvf(FixturePath("ivf_v5_packed.bin"), &ivf);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ExpectFixtureLayout(ivf);
+
+  ASSERT_TRUE(ivf.has_codes());
+  const quant::CodeStore& codes = ivf.codes();
+  EXPECT_EQ(codes.tag(), "fixture/cs2/sc1/n12/pk4");
+  EXPECT_EQ(codes.packing(), quant::CodePacking::kPacked4);
+  ASSERT_EQ(codes.size(), kSize);
+  const quant::CodeLayout layout = quant::CodeLayout::ForBits(4);
+  for (std::size_t j = 0; j < kIds.size(); ++j) {
+    const int64_t id = kIds[j];
+    const uint8_t* rec = codes.record(static_cast<int64_t>(j));
+    EXPECT_EQ(quant::CodeAt(rec, 0, layout), id & 0xf) << j;
+    EXPECT_EQ(quant::CodeAt(rec, 1, layout), (2 * id) & 0xf) << j;
+    EXPECT_EQ(quant::CodeAt(rec, 2, layout), (3 * id) & 0xf) << j;
+    EXPECT_EQ(quant::RecordSidecars(rec, codes.code_size())[0],
+              static_cast<float>(id) + 0.25f)
+        << j;
+  }
+}
+
+TEST(PersistFixtureTest, V5FixturesPassChecksumVerification) {
+  for (const char* name : {"ivf_v5.bin", "ivf_v5_packed.bin"}) {
+    std::string format;
+    util::Status s = VerifyFile(FixturePath(name), &format);
+    EXPECT_TRUE(s.ok()) << name << ": " << s.ToString();
+    EXPECT_EQ(format, "ivf index") << name;
+  }
+  // Pre-checksum fixtures are unverifiable by design, not corrupt.
+  EXPECT_EQ(VerifyFile(FixturePath("ivf_v4.bin")).code(),
+            util::StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

@@ -27,7 +27,10 @@ class PersistTest : public ::testing::Test {
             std::to_string(static_cast<long long>(::getpid())));
     std::filesystem::create_directories(dir_);
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
+  void TearDown() override {
+    SetWriteFailureForTesting(-1);
+    std::filesystem::remove_all(dir_);
+  }
 
   std::string Path(const std::string& name) { return (dir_ / name).string(); }
 
@@ -37,36 +40,123 @@ class PersistTest : public ::testing::Test {
         path, std::filesystem::file_size(path) - bytes);
   }
 
+  // XORs one byte of the file at `offset` (negative: from the end).
+  void FlipByte(const std::string& path, int64_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    if (offset < 0) {
+      f.seekg(offset, std::ios::end);
+      offset = f.tellg();
+    }
+    f.seekg(offset, std::ios::beg);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(offset, std::ios::beg);
+    f.write(&b, 1);
+  }
+
   std::filesystem::path dir_;
 };
 
 TEST_F(PersistTest, MatrixRoundTrip) {
   linalg::Matrix m = testing::RandomMatrix(13, 7, 301);
-  std::string error;
-  ASSERT_TRUE(SaveMatrix(Path("m.bin"), m, &error)) << error;
+  util::Status s = SaveMatrix(Path("m.bin"), m);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   linalg::Matrix loaded;
-  ASSERT_TRUE(LoadMatrix(Path("m.bin"), &loaded, &error)) << error;
+  s = LoadMatrix(Path("m.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(linalg::MaxAbsDifference(m, loaded), 0.0);
 }
 
 TEST_F(PersistTest, MatrixWrongMagicFails) {
   linalg::Matrix m = testing::RandomMatrix(3, 3, 302);
-  std::string error;
   ASSERT_TRUE(SavePca(Path("pca_as_matrix.bin"),
-                      linalg::PcaModel::Fit(m.data(), 3, 3), &error));
+                      linalg::PcaModel::Fit(m.data(), 3, 3))
+                  .ok());
   linalg::Matrix loaded;
-  EXPECT_FALSE(LoadMatrix(Path("pca_as_matrix.bin"), &loaded, &error));
-  EXPECT_FALSE(error.empty());
+  util::Status s = LoadMatrix(Path("pca_as_matrix.bin"), &loaded);
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(s.message().empty());
+}
+
+TEST_F(PersistTest, MatrixBitFlipDetectedByChecksum) {
+  // Any single corrupted payload byte must be caught by the v5 section
+  // CRC — even one that yields a structurally valid matrix.
+  linalg::Matrix m = testing::RandomMatrix(9, 5, 316);
+  ASSERT_TRUE(SaveMatrix(Path("m_flip.bin"), m).ok());
+  // Flip a byte deep in the float payload (header is 12 bytes; the section
+  // frame and rows/cols sit before the floats).
+  FlipByte(Path("m_flip.bin"), 64);
+  linalg::Matrix loaded;
+  util::Status s = LoadMatrix(Path("m_flip.bin"), &loaded);
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption) << s.ToString();
+  EXPECT_NE(s.ToString().find("checksum"), std::string::npos) << s.ToString();
+}
+
+TEST_F(PersistTest, SaveIsAtomicUnderWriteFailure) {
+  // A failed save (simulated ENOSPC) must leave the existing good file
+  // untouched and leave no temp litter behind.
+  linalg::Matrix good = testing::RandomMatrix(6, 6, 317);
+  ASSERT_TRUE(SaveMatrix(Path("atomic.bin"), good).ok());
+
+  linalg::Matrix other = testing::RandomMatrix(50, 50, 318);
+  SetWriteFailureForTesting(64);  // fail after 64 bytes
+  util::Status s = SaveMatrix(Path("atomic.bin"), other);
+  SetWriteFailureForTesting(-1);
+  EXPECT_EQ(s.code(), util::StatusCode::kIOError) << s.ToString();
+  EXPECT_NE(s.ToString().find("untouched"), std::string::npos) << s.ToString();
+
+  // Original contents survive and still verify.
+  linalg::Matrix loaded;
+  util::Status load = LoadMatrix(Path("atomic.bin"), &loaded);
+  ASSERT_TRUE(load.ok()) << load.ToString();
+  EXPECT_EQ(linalg::MaxAbsDifference(good, loaded), 0.0);
+  // No leftover temp files.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << entry.path();
+  }
+}
+
+TEST_F(PersistTest, VerifyFileChecksumWalk) {
+  linalg::Matrix m = testing::RandomMatrix(11, 3, 319);
+  ASSERT_TRUE(SaveMatrix(Path("v.bin"), m).ok());
+  std::string format;
+  util::Status s = VerifyFile(Path("v.bin"), &format);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(format, "matrix");
+
+  FlipByte(Path("v.bin"), 48);
+  s = VerifyFile(Path("v.bin"), &format);
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption) << s.ToString();
+  EXPECT_FALSE(s.message().empty());
+
+  // Pre-checksum versions are reported as unverifiable, not corrupt.
+  {
+    BinaryWriter writer(Path("old.bin"));
+    const char magic[8] = {'R', 'I', 'S', 'Q', 'C', 'B', 'K', '1'};
+    WriteHeader(writer, magic, /*version=*/1);
+    writer.WriteVector(std::vector<float>{0.0f, 0.0f});
+    writer.WriteVector(std::vector<float>{0.5f, 0.5f});
+    ASSERT_TRUE(writer.Close());
+  }
+  s = VerifyFile(Path("old.bin"), &format);
+  EXPECT_EQ(s.code(), util::StatusCode::kFailedPrecondition) << s.ToString();
+
+  EXPECT_EQ(VerifyFile(Path("missing.bin")).code(),
+            util::StatusCode::kNotFound);
 }
 
 TEST_F(PersistTest, PcaRoundTripPreservesTransforms) {
   data::Dataset ds = testing::SmallDataset(1000, 24, 1.0, 303);
   linalg::PcaModel pca =
       linalg::PcaModel::Fit(ds.base.data(), ds.size(), ds.dim());
-  std::string error;
-  ASSERT_TRUE(SavePca(Path("pca.bin"), pca, &error)) << error;
+  util::Status s = SavePca(Path("pca.bin"), pca);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   linalg::PcaModel loaded;
-  ASSERT_TRUE(LoadPca(Path("pca.bin"), &loaded, &error)) << error;
+  s = LoadPca(Path("pca.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
 
   std::vector<float> a(ds.dim()), b(ds.dim());
   for (int64_t i = 0; i < 10; ++i) {
@@ -84,10 +174,11 @@ TEST_F(PersistTest, PqRoundTripPreservesCodesAndAdc) {
   options.nbits = 5;
   quant::PqCodebook pq =
       quant::PqCodebook::Train(ds.base.data(), ds.size(), 16, options);
-  std::string error;
-  ASSERT_TRUE(SavePq(Path("pq.bin"), pq, &error)) << error;
+  util::Status s = SavePq(Path("pq.bin"), pq);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   quant::PqCodebook loaded;
-  ASSERT_TRUE(LoadPq(Path("pq.bin"), &loaded, &error)) << error;
+  s = LoadPq(Path("pq.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
 
   EXPECT_EQ(loaded.dim(), pq.dim());
   EXPECT_EQ(loaded.num_subspaces(), pq.num_subspaces());
@@ -111,10 +202,11 @@ TEST_F(PersistTest, OpqRoundTrip) {
   options.num_iterations = 2;
   quant::OpqModel opq =
       quant::OpqModel::Train(ds.base.data(), ds.size(), 16, options);
-  std::string error;
-  ASSERT_TRUE(SaveOpq(Path("opq.bin"), opq, &error)) << error;
+  util::Status s = SaveOpq(Path("opq.bin"), opq);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   quant::OpqModel loaded;
-  ASSERT_TRUE(LoadOpq(Path("opq.bin"), &loaded, &error)) << error;
+  s = LoadOpq(Path("opq.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(linalg::MaxAbsDifference(opq.rotation(), loaded.rotation()), 0.0);
 }
 
@@ -124,10 +216,11 @@ TEST_F(PersistTest, HnswRoundTripIdenticalSearch) {
   options.M = 8;
   options.ef_construction = 60;
   index::HnswIndex hnsw = index::HnswIndex::Build(ds.base, options);
-  std::string error;
-  ASSERT_TRUE(SaveHnsw(Path("hnsw.bin"), hnsw, &error)) << error;
+  util::Status s = SaveHnsw(Path("hnsw.bin"), hnsw);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   index::HnswIndex loaded;
-  ASSERT_TRUE(LoadHnsw(Path("hnsw.bin"), &loaded, &error)) << error;
+  s = LoadHnsw(Path("hnsw.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
 
   EXPECT_EQ(loaded.size(), hnsw.size());
   EXPECT_EQ(loaded.max_level(), hnsw.max_level());
@@ -151,12 +244,12 @@ TEST_F(PersistTest, HnswTruncatedFails) {
   options.M = 8;
   options.ef_construction = 40;
   index::HnswIndex hnsw = index::HnswIndex::Build(ds.base, options);
-  std::string error;
-  ASSERT_TRUE(SaveHnsw(Path("hnsw_t.bin"), hnsw, &error));
+  ASSERT_TRUE(SaveHnsw(Path("hnsw_t.bin"), hnsw).ok());
   Truncate(Path("hnsw_t.bin"), 64);
   index::HnswIndex loaded;
-  EXPECT_FALSE(LoadHnsw(Path("hnsw_t.bin"), &loaded, &error));
-  EXPECT_FALSE(error.empty());
+  util::Status s = LoadHnsw(Path("hnsw_t.bin"), &loaded);
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption);
+  EXPECT_FALSE(s.message().empty());
 }
 
 TEST_F(PersistTest, IvfRoundTripIdenticalSearch) {
@@ -164,10 +257,11 @@ TEST_F(PersistTest, IvfRoundTripIdenticalSearch) {
   index::IvfOptions options;
   options.num_clusters = 24;
   index::IvfIndex ivf = index::IvfIndex::Build(ds.base, options);
-  std::string error;
-  ASSERT_TRUE(SaveIvf(Path("ivf.bin"), ivf, &error)) << error;
+  util::Status s = SaveIvf(Path("ivf.bin"), ivf);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   index::IvfIndex loaded;
-  ASSERT_TRUE(LoadIvf(Path("ivf.bin"), &loaded, &error)) << error;
+  s = LoadIvf(Path("ivf.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
 
   index::FlatDistanceComputer computer(ds.base.data(), ds.size(), ds.dim());
   for (int64_t q = 0; q < ds.queries.rows(); ++q) {
@@ -183,10 +277,10 @@ TEST_F(PersistTest, IvfCsrRoundTripPreservesLayout) {
   index::IvfOptions options;
   options.num_clusters = 16;
   index::IvfIndex ivf = index::IvfIndex::Build(ds.base, options);
-  std::string error;
-  ASSERT_TRUE(SaveIvf(Path("ivf_csr.bin"), ivf, &error)) << error;
+  ASSERT_TRUE(SaveIvf(Path("ivf_csr.bin"), ivf).ok());
   index::IvfIndex loaded;
-  ASSERT_TRUE(LoadIvf(Path("ivf_csr.bin"), &loaded, &error)) << error;
+  util::Status s = LoadIvf(Path("ivf_csr.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(loaded.size(), ivf.size());
   EXPECT_EQ(loaded.bucket_offsets(), ivf.bucket_offsets());
   EXPECT_EQ(loaded.ids(), ivf.ids());
@@ -217,9 +311,9 @@ TEST_F(PersistTest, IvfLegacyNestedFormatStillLoads) {
     ASSERT_TRUE(writer.ok());
   }
 
-  std::string error;
   index::IvfIndex loaded;
-  ASSERT_TRUE(LoadIvf(Path("ivf_v1.bin"), &loaded, &error)) << error;
+  util::Status s = LoadIvf(Path("ivf_v1.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(loaded.bucket_offsets(), ivf.bucket_offsets());
   EXPECT_EQ(loaded.ids(), ivf.ids());
 
@@ -233,48 +327,47 @@ TEST_F(PersistTest, IvfLegacyNestedFormatStillLoads) {
 }
 
 TEST_F(PersistTest, IvfBadOffsetsFail) {
+  // Hand-write a pre-checksum v2 file with a negative offsets entry: the
+  // CSR validation (not a checksum) must reject it, proving the semantic
+  // checks still run for files the CRC cannot vouch for.
   data::Dataset ds = testing::SmallDataset(200, 8, 1.0, 313, 2, 2);
   index::IvfOptions options;
   options.num_clusters = 4;
   index::IvfIndex ivf = index::IvfIndex::Build(ds.base, options);
-  std::string error;
-  ASSERT_TRUE(SaveIvf(Path("ivf_o.bin"), ivf, &error));
-  // The offsets vector sits right after size/centroids/cluster-count;
-  // corrupt its second entry (the first is the required leading zero).
   {
-    std::fstream f(Path("ivf_o.bin"),
-                   std::ios::in | std::ios::out | std::ios::binary);
-    const int64_t header = 8 + 4;  // magic + version
-    const int64_t centroid_bytes =
-        2 * 8 + ivf.centroids().size() * static_cast<int64_t>(sizeof(float));
-    f.seekp(header + 8 + centroid_bytes + 4 + 8 + 2 * 8, std::ios::beg);
-    int64_t bogus = -5;
-    f.write(reinterpret_cast<char*>(&bogus), sizeof(bogus));
+    BinaryWriter writer(Path("ivf_o.bin"));
+    const char magic[8] = {'R', 'I', 'I', 'V', 'F', 'I', 'X', '1'};
+    WriteHeader(writer, magic, /*version=*/2);
+    writer.Write(ivf.size());
+    writer.Write(ivf.centroids().rows());
+    writer.Write(ivf.centroids().cols());
+    writer.WriteFloats(ivf.centroids().data(), ivf.centroids().size());
+    writer.Write<int32_t>(ivf.num_clusters());
+    std::vector<int64_t> offsets = ivf.bucket_offsets();
+    offsets[1] = -5;
+    writer.WriteVector(offsets);
+    writer.WriteVector(ivf.ids());
+    ASSERT_TRUE(writer.ok());
   }
   index::IvfIndex loaded;
-  EXPECT_FALSE(LoadIvf(Path("ivf_o.bin"), &loaded, &error));
-  EXPECT_FALSE(error.empty());
+  util::Status s = LoadIvf(Path("ivf_o.bin"), &loaded);
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption);
+  EXPECT_FALSE(s.message().empty());
 }
 
 TEST_F(PersistTest, IvfCorruptBucketIdFails) {
-  // Hand-corrupt a bucket id beyond the base size.
+  // Corrupt a byte in the v5 ids payload: the section checksum catches it.
   data::Dataset ds = testing::SmallDataset(100, 8, 1.0, 309, 2, 2);
   index::IvfOptions options;
   options.num_clusters = 4;
   index::IvfIndex ivf = index::IvfIndex::Build(ds.base, options);
-  std::string error;
-  ASSERT_TRUE(SaveIvf(Path("ivf_c.bin"), ivf, &error));
-  // Overwrite the last id in the flat ids payload (which sits just before
-  // the 1-byte v3 "no codes" flag) with an out-of-range value.
-  {
-    std::fstream f(Path("ivf_c.bin"),
-                   std::ios::in | std::ios::out | std::ios::binary);
-    f.seekp(-9, std::ios::end);
-    int64_t bogus = 1 << 30;
-    f.write(reinterpret_cast<char*>(&bogus), sizeof(bogus));
-  }
+  ASSERT_TRUE(SaveIvf(Path("ivf_c.bin"), ivf).ok());
+  // The flat ids payload sits near the end, just before the codes section
+  // and footer.
+  FlipByte(Path("ivf_c.bin"), -64);
   index::IvfIndex loaded;
-  EXPECT_FALSE(LoadIvf(Path("ivf_c.bin"), &loaded, &error));
+  EXPECT_EQ(LoadIvf(Path("ivf_c.bin"), &loaded).code(),
+            util::StatusCode::kCorruption);
 }
 
 // --- v3 code-resident section ----------------------------------------------
@@ -297,12 +390,13 @@ struct IvfWithCodes {
 
 TEST_F(PersistTest, IvfV3RoundTripWithCodes) {
   IvfWithCodes fixture;
-  std::string error;
   ASSERT_TRUE(fixture.ivf.has_codes());
-  ASSERT_TRUE(SaveIvf(Path("ivf_v3.bin"), fixture.ivf, &error)) << error;
+  util::Status s = SaveIvf(Path("ivf_v3.bin"), fixture.ivf);
+  ASSERT_TRUE(s.ok()) << s.ToString();
 
   index::IvfIndex loaded;
-  ASSERT_TRUE(LoadIvf(Path("ivf_v3.bin"), &loaded, &error)) << error;
+  s = LoadIvf(Path("ivf_v3.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   ASSERT_TRUE(loaded.has_codes());
   EXPECT_EQ(loaded.bucket_offsets(), fixture.ivf.bucket_offsets());
   EXPECT_EQ(loaded.ids(), fixture.ivf.ids());
@@ -333,9 +427,9 @@ TEST_F(PersistTest, IvfV2FormatStillLoads) {
     writer.WriteVector(ivf.ids());
     ASSERT_TRUE(writer.ok());
   }
-  std::string error;
   index::IvfIndex loaded;
-  ASSERT_TRUE(LoadIvf(Path("ivf_v2.bin"), &loaded, &error)) << error;
+  util::Status s = LoadIvf(Path("ivf_v2.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_FALSE(loaded.has_codes());
   EXPECT_EQ(loaded.bucket_offsets(), ivf.bucket_offsets());
   EXPECT_EQ(loaded.ids(), ivf.ids());
@@ -343,12 +437,12 @@ TEST_F(PersistTest, IvfV2FormatStillLoads) {
 
 TEST_F(PersistTest, IvfV3TruncatedCodeSectionFails) {
   IvfWithCodes fixture;
-  std::string error;
-  ASSERT_TRUE(SaveIvf(Path("ivf_v3_t.bin"), fixture.ivf, &error));
+  ASSERT_TRUE(SaveIvf(Path("ivf_v3_t.bin"), fixture.ivf).ok());
   Truncate(Path("ivf_v3_t.bin"), 16);
   index::IvfIndex loaded;
-  EXPECT_FALSE(LoadIvf(Path("ivf_v3_t.bin"), &loaded, &error));
-  EXPECT_FALSE(error.empty());
+  util::Status s = LoadIvf(Path("ivf_v3_t.bin"), &loaded);
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption);
+  EXPECT_FALSE(s.message().empty());
 }
 
 TEST_F(PersistTest, IvfV3MissizedCodePayloadFails) {
@@ -381,10 +475,11 @@ TEST_F(PersistTest, IvfV3MissizedCodePayloadFails) {
       writer.WriteVector(data);
       ASSERT_TRUE(writer.ok());
     }
-    std::string error;
     index::IvfIndex loaded;
-    EXPECT_FALSE(LoadIvf(path, &loaded, &error)) << "delta=" << delta;
-    EXPECT_NE(error.find("code section"), std::string::npos) << error;
+    util::Status s = LoadIvf(path, &loaded);
+    EXPECT_FALSE(s.ok()) << "delta=" << delta;
+    EXPECT_NE(s.message().find("code section"), std::string::npos)
+        << s.ToString();
   }
 }
 
@@ -417,20 +512,21 @@ TEST_F(PersistTest, IvfV4PackingTagMismatchFails) {
     writer.WriteVector(codes.raw());
     ASSERT_TRUE(writer.ok());
   }
-  std::string error;
   index::IvfIndex loaded;
-  EXPECT_FALSE(LoadIvf(Path("ivf_v4_mismatch.bin"), &loaded, &error));
-  EXPECT_NE(error.find("packing disagrees"), std::string::npos) << error;
+  util::Status s = LoadIvf(Path("ivf_v4_mismatch.bin"), &loaded);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("packing disagrees"), std::string::npos)
+      << s.ToString();
 }
 
 TEST_F(PersistTest, IvfV3CodesSurviveSearchAfterLoad) {
   // End-to-end: the loaded index's code-resident search must equal the
   // in-memory index's search through the same estimator data.
   IvfWithCodes fixture;
-  std::string error;
-  ASSERT_TRUE(SaveIvf(Path("ivf_v3_s.bin"), fixture.ivf, &error));
+  ASSERT_TRUE(SaveIvf(Path("ivf_v3_s.bin"), fixture.ivf).ok());
   index::IvfIndex loaded;
-  ASSERT_TRUE(LoadIvf(Path("ivf_v3_s.bin"), &loaded, &error)) << error;
+  util::Status s = LoadIvf(Path("ivf_v3_s.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
 
   core::TrainingDataOptions training;
   training.max_queries = 40;
@@ -466,17 +562,16 @@ TEST_F(PersistTest, DdcArtifactsRoundTripIdenticalDecisions) {
   core::DdcPcaArtifacts artifacts = core::TrainDdcPca(
       pca, rotated, ds.base, ds.train_queries, pca_options);
 
-  std::string error;
-  ASSERT_TRUE(SaveDdcPcaArtifacts(Path("dpca.bin"), artifacts, &error))
-      << error;
+  util::Status s = SaveDdcPcaArtifacts(Path("dpca.bin"), artifacts);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   core::DdcPcaArtifacts loaded;
-  ASSERT_TRUE(LoadDdcPcaArtifacts(Path("dpca.bin"), &loaded, &error))
-      << error;
+  s = LoadDdcPcaArtifacts(Path("dpca.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   ASSERT_EQ(loaded.stage_dims, artifacts.stage_dims);
-  for (std::size_t s = 0; s < loaded.correctors.size(); ++s) {
-    EXPECT_EQ(loaded.correctors[s].w_approx(),
-              artifacts.correctors[s].w_approx());
-    EXPECT_EQ(loaded.correctors[s].bias(), artifacts.correctors[s].bias());
+  for (std::size_t st = 0; st < loaded.correctors.size(); ++st) {
+    EXPECT_EQ(loaded.correctors[st].w_approx(),
+              artifacts.correctors[st].w_approx());
+    EXPECT_EQ(loaded.correctors[st].bias(), artifacts.correctors[st].bias());
   }
 
   // Decisions must be bit-identical through a computer.
@@ -502,12 +597,11 @@ TEST_F(PersistTest, DdcOpqArtifactsRoundTrip) {
   core::DdcOpqArtifacts artifacts =
       core::TrainDdcOpq(ds.base, ds.train_queries, options);
 
-  std::string error;
-  ASSERT_TRUE(SaveDdcOpqArtifacts(Path("dopq.bin"), artifacts, &error))
-      << error;
+  util::Status s = SaveDdcOpqArtifacts(Path("dopq.bin"), artifacts);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   core::DdcOpqArtifacts loaded;
-  ASSERT_TRUE(LoadDdcOpqArtifacts(Path("dopq.bin"), &loaded, &error))
-      << error;
+  s = LoadDdcOpqArtifacts(Path("dopq.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(loaded.codes, artifacts.codes);
   EXPECT_EQ(loaded.recon_errors, artifacts.recon_errors);
 
@@ -527,10 +621,12 @@ TEST_F(PersistTest, MissingFileFails) {
   linalg::Matrix m;
   linalg::PcaModel pca;
   index::HnswIndex hnsw;
-  std::string error;
-  EXPECT_FALSE(LoadMatrix(Path("nope.bin"), &m, &error));
-  EXPECT_FALSE(LoadPca(Path("nope.bin"), &pca, &error));
-  EXPECT_FALSE(LoadHnsw(Path("nope.bin"), &hnsw, &error));
+  EXPECT_EQ(LoadMatrix(Path("nope.bin"), &m).code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(LoadPca(Path("nope.bin"), &pca).code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(LoadHnsw(Path("nope.bin"), &hnsw).code(),
+            util::StatusCode::kNotFound);
 }
 
 TEST_F(PersistTest, RqRoundTripIdenticalCodes) {
@@ -540,10 +636,11 @@ TEST_F(PersistTest, RqRoundTripIdenticalCodes) {
   options.nbits = 5;
   quant::RqCodebook rq =
       quant::RqCodebook::Train(ds.base.data(), ds.size(), 16, options);
-  std::string error;
-  ASSERT_TRUE(SaveRq(Path("rq.bin"), rq, &error)) << error;
+  util::Status s = SaveRq(Path("rq.bin"), rq);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   quant::RqCodebook loaded;
-  ASSERT_TRUE(LoadRq(Path("rq.bin"), &loaded, &error)) << error;
+  s = LoadRq(Path("rq.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(loaded.dim(), rq.dim());
   EXPECT_EQ(loaded.num_stages(), rq.num_stages());
   std::vector<uint8_t> a(rq.code_size()), b(rq.code_size());
@@ -561,22 +658,23 @@ TEST_F(PersistTest, RqTruncatedFails) {
   options.nbits = 4;
   quant::RqCodebook rq =
       quant::RqCodebook::Train(ds.base.data(), ds.size(), 8, options);
-  std::string error;
-  ASSERT_TRUE(SaveRq(Path("rq_trunc.bin"), rq, &error));
+  ASSERT_TRUE(SaveRq(Path("rq_trunc.bin"), rq).ok());
   Truncate(Path("rq_trunc.bin"), 16);
   quant::RqCodebook loaded;
-  EXPECT_FALSE(LoadRq(Path("rq_trunc.bin"), &loaded, &error));
-  EXPECT_FALSE(error.empty());
+  util::Status s = LoadRq(Path("rq_trunc.bin"), &loaded);
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption);
+  EXPECT_FALSE(s.message().empty());
 }
 
 TEST_F(PersistTest, SqRoundTripIdenticalCodes) {
   data::Dataset ds = testing::SmallDataset(600, 12, 0.5, 313);
   quant::SqCodebook sq =
       quant::SqCodebook::Train(ds.base.data(), ds.size(), 12);
-  std::string error;
-  ASSERT_TRUE(SaveSq(Path("sq.bin"), sq, &error)) << error;
+  util::Status s = SaveSq(Path("sq.bin"), sq);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   quant::SqCodebook loaded;
-  ASSERT_TRUE(LoadSq(Path("sq.bin"), &loaded, &error)) << error;
+  s = LoadSq(Path("sq.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   std::vector<uint8_t> a(12), b(12);
   for (int64_t i = 0; i < 40; ++i) {
     sq.Encode(ds.base.Row(i), a.data());
@@ -586,30 +684,30 @@ TEST_F(PersistTest, SqRoundTripIdenticalCodes) {
 }
 
 TEST_F(PersistTest, SqCorruptStepFails) {
-  data::Dataset ds = testing::SmallDataset(300, 4, 0.5, 314);
-  quant::SqCodebook sq =
-      quant::SqCodebook::Train(ds.base.data(), ds.size(), 4);
-  std::string error;
-  ASSERT_TRUE(SaveSq(Path("sq_bad.bin"), sq, &error));
-  // Flip a step entry to a negative value: header (12) + vmin vector
-  // (8 + 4*4) + step count (8) puts the first step float at offset 40.
-  std::fstream file(Path("sq_bad.bin"),
-                    std::ios::in | std::ios::out | std::ios::binary);
-  file.seekp(40);
-  const float negative = -1.0f;
-  file.write(reinterpret_cast<const char*>(&negative), sizeof(negative));
-  file.close();
+  // Hand-write a pre-checksum v1 SQ file with a negative step: the range
+  // validation (not a checksum) must reject it.
+  {
+    BinaryWriter writer(Path("sq_bad.bin"));
+    const char magic[8] = {'R', 'I', 'S', 'Q', 'C', 'B', 'K', '1'};
+    WriteHeader(writer, magic, /*version=*/1);
+    writer.WriteVector(std::vector<float>{0.0f, 1.0f, 2.0f, 3.0f});
+    writer.WriteVector(std::vector<float>{0.5f, -1.0f, 0.5f, 0.5f});
+    ASSERT_TRUE(writer.Close());
+  }
   quant::SqCodebook loaded;
-  EXPECT_FALSE(LoadSq(Path("sq_bad.bin"), &loaded, &error));
+  util::Status s = LoadSq(Path("sq_bad.bin"), &loaded);
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("step"), std::string::npos) << s.ToString();
 }
 
 TEST_F(PersistTest, CorrectorRoundTripIdenticalDecisions) {
   core::LinearCorrector corrector =
       core::LinearCorrector::FromWeights(1.25f, -0.75f, 0.5f, -2.0f, true);
-  std::string error;
-  ASSERT_TRUE(SaveCorrector(Path("corr.bin"), corrector, &error)) << error;
+  util::Status s = SaveCorrector(Path("corr.bin"), corrector);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   core::LinearCorrector loaded;
-  ASSERT_TRUE(LoadCorrector(Path("corr.bin"), &loaded, &error)) << error;
+  s = LoadCorrector(Path("corr.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(loaded.trained(), corrector.trained());
   for (float approx : {0.5f, 1.0f, 4.0f}) {
     for (float tau : {0.25f, 2.0f}) {
@@ -621,11 +719,11 @@ TEST_F(PersistTest, CorrectorRoundTripIdenticalDecisions) {
 
 TEST_F(PersistTest, CorrectorWrongMagicFails) {
   linalg::Matrix m = testing::RandomMatrix(2, 2, 315);
-  std::string error;
-  ASSERT_TRUE(SaveMatrix(Path("not_corr.bin"), m, &error));
+  ASSERT_TRUE(SaveMatrix(Path("not_corr.bin"), m).ok());
   core::LinearCorrector loaded;
-  EXPECT_FALSE(LoadCorrector(Path("not_corr.bin"), &loaded, &error));
-  EXPECT_FALSE(error.empty());
+  util::Status s = LoadCorrector(Path("not_corr.bin"), &loaded);
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(s.message().empty());
 }
 
 TEST_F(PersistTest, DdcRqCascadeRoundTripIdenticalDecisions) {
@@ -636,14 +734,11 @@ TEST_F(PersistTest, DdcRqCascadeRoundTripIdenticalDecisions) {
   options.training.max_queries = 60;
   core::DdcRqCascadeArtifacts artifacts =
       core::TrainDdcRqCascade(ds.base, ds.train_queries, options);
-  std::string error;
-  ASSERT_TRUE(SaveDdcRqCascadeArtifacts(Path("cascade.bin"), artifacts,
-                                        &error))
-      << error;
+  util::Status s = SaveDdcRqCascadeArtifacts(Path("cascade.bin"), artifacts);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   core::DdcRqCascadeArtifacts loaded;
-  ASSERT_TRUE(LoadDdcRqCascadeArtifacts(Path("cascade.bin"), &loaded,
-                                        &error))
-      << error;
+  s = LoadDdcRqCascadeArtifacts(Path("cascade.bin"), &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(loaded.levels, artifacts.levels);
   EXPECT_EQ(loaded.codes, artifacts.codes);
   ASSERT_EQ(loaded.correctors.size(), artifacts.correctors.size());
@@ -675,14 +770,14 @@ TEST_F(PersistTest, DdcRqCascadeTruncatedFails) {
   options.training.max_queries = 30;
   core::DdcRqCascadeArtifacts artifacts =
       core::TrainDdcRqCascade(ds.base, ds.train_queries, options);
-  std::string error;
-  ASSERT_TRUE(SaveDdcRqCascadeArtifacts(Path("cascade_trunc.bin"),
-                                        artifacts, &error));
+  ASSERT_TRUE(
+      SaveDdcRqCascadeArtifacts(Path("cascade_trunc.bin"), artifacts).ok());
   Truncate(Path("cascade_trunc.bin"), 8);
   core::DdcRqCascadeArtifacts loaded;
-  EXPECT_FALSE(LoadDdcRqCascadeArtifacts(Path("cascade_trunc.bin"), &loaded,
-                                         &error));
-  EXPECT_FALSE(error.empty());
+  util::Status s = LoadDdcRqCascadeArtifacts(Path("cascade_trunc.bin"),
+                                             &loaded);
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption);
+  EXPECT_FALSE(s.message().empty());
 }
 
 }  // namespace

@@ -71,11 +71,10 @@ TEST(CodeStoreTest, FromPartsRoundTrip) {
     store.SetSidecar(i, 0, 7.0f);
   }
   CodeStore loaded;
-  std::string error;
-  ASSERT_TRUE(CodeStore::FromParts(3, 5, 1, store.tag(),
-                                   std::vector<uint8_t>(store.raw()),
-                                   &loaded, &error))
-      << error;
+  util::Status s = CodeStore::FromParts(3, 5, 1, store.tag(),
+                                        std::vector<uint8_t>(store.raw()),
+                                        &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(loaded.raw(), store.raw());
   EXPECT_EQ(loaded.tag(), store.tag());
   EXPECT_EQ(loaded.stride(), store.stride());
@@ -84,31 +83,28 @@ TEST(CodeStoreTest, FromPartsRoundTrip) {
 TEST(CodeStoreTest, FromPartsRejectsMismatchedPayload) {
   CodeStore store(3, 5, 1, "t");
   CodeStore out;
-  std::string error;
 
   std::vector<uint8_t> truncated(store.raw());
   truncated.pop_back();
-  EXPECT_FALSE(CodeStore::FromParts(3, 5, 1, "t", truncated, &out, &error));
-  EXPECT_FALSE(error.empty());
+  util::Status s = CodeStore::FromParts(3, 5, 1, "t", truncated, &out);
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption);
+  EXPECT_FALSE(s.message().empty());
 
   std::vector<uint8_t> oversized(store.raw());
   oversized.push_back(0);
-  EXPECT_FALSE(CodeStore::FromParts(3, 5, 1, "t", oversized, &out, &error));
+  EXPECT_FALSE(CodeStore::FromParts(3, 5, 1, "t", oversized, &out).ok());
 
-  EXPECT_FALSE(
-      CodeStore::FromParts(3, 0, 1, "t", store.raw(), &out, &error));
-  EXPECT_FALSE(
-      CodeStore::FromParts(-1, 5, 1, "t", store.raw(), &out, &error));
-  EXPECT_FALSE(
-      CodeStore::FromParts(3, 5, -1, "t", store.raw(), &out, &error));
+  EXPECT_FALSE(CodeStore::FromParts(3, 0, 1, "t", store.raw(), &out).ok());
+  EXPECT_FALSE(CodeStore::FromParts(-1, 5, 1, "t", store.raw(), &out).ok());
+  EXPECT_FALSE(CodeStore::FromParts(3, 5, -1, "t", store.raw(), &out).ok());
 
   // Hostile code_size crafted so that n * stride would signed-overflow and
   // wrap to the real payload size (n = 12, 96-byte payload): must be
   // rejected by the bound/division checks, never accepted.
   std::vector<uint8_t> payload(96, 0);
-  EXPECT_FALSE(CodeStore::FromParts(12, (int64_t{1} << 62) + 2, 0, "t",
-                                    payload, &out, &error));
-  EXPECT_FALSE(error.empty());
+  s = CodeStore::FromParts(12, (int64_t{1} << 62) + 2, 0, "t", payload, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.message().empty());
 }
 
 TEST(CodeStoreTest, MakeCodeTagEncodesLayoutAndFingerprint) {

@@ -1,0 +1,91 @@
+#include "util/status.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace resinfer::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, Status::Ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("bad arg"), StatusCode::kInvalidArgument},
+      {Status::NotFound("no file"), StatusCode::kNotFound},
+      {Status::Corruption("bit rot"), StatusCode::kCorruption},
+      {Status::IOError("disk full"), StatusCode::kIOError},
+      {Status::FailedPrecondition("not yet"),
+       StatusCode::kFailedPrecondition},
+      {Status::Internal("oops"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringNamesCodeAndMessage) {
+  Status s = Status::Corruption("ivf.bin: section 'buckets' mismatch");
+  EXPECT_NE(s.ToString().find(StatusCodeName(StatusCode::kCorruption)),
+            std::string::npos);
+  EXPECT_NE(s.ToString().find("section 'buckets'"), std::string::npos);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::Corruption("x"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::IOError("short write"); };
+  auto wrapper = [&]() -> Status {
+    RESINFER_RETURN_IF_ERROR(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIOError);
+
+  auto succeeds = [] { return Status::Ok(); };
+  auto through = [&]() -> Status {
+    RESINFER_RETURN_IF_ERROR(succeeds());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(through().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValueWhenOk) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsStatusWhenNotOk) {
+  StatusOr<std::string> result(Status::NotFound("gone"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValueWorks) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+}  // namespace
+}  // namespace resinfer::util

@@ -134,15 +134,34 @@ bool WriteV3(const std::string& path, const linalg::Matrix& centroids) {
   return writer.Close();
 }
 
-bool WriteV4(const std::string& path) {
-  // The current writer IS the v4 format; route through SaveIvf so the
-  // fixture tracks exactly what the library writes today.
+bool WriteV4(const std::string& path, const linalg::Matrix& centroids) {
+  // The v4 bytes are FROZEN (the library now writes the checksummed v5):
+  // replicate the v4 layout by hand — v3 plus the packing byte, no section
+  // envelope, no footer.
+  const quant::CodeStore codes = FixturePackedCodes().PermutedBy(FixtureIds());
+  BinaryWriter writer(path);
+  WriteCommonPrefix(writer, 4, centroids);
+  writer.WriteVector(FixtureOffsets());
+  writer.WriteVector(FixtureIds());
+  writer.Write<uint8_t>(1);
+  writer.Write<int64_t>(codes.code_size());
+  writer.Write<int32_t>(codes.num_sidecars());
+  writer.Write<uint8_t>(static_cast<uint8_t>(codes.packing()));
+  writer.WriteString(codes.tag());
+  writer.WriteVector(codes.raw());
+  return writer.Close();
+}
+
+// The current writer IS the v5 format; route through SaveIvf so the
+// fixtures track exactly what the library writes today. One fixture per
+// code layout so both ADC paths keep a cross-version guarantee.
+bool WriteV5(const std::string& path, quant::CodeStore codes) {
   index::IvfIndex ivf = index::IvfIndex::FromCsr(
       kSize, FixtureCentroids(), FixtureOffsets(), FixtureIds());
-  ivf.AttachCodes(FixturePackedCodes());
-  std::string error;
-  if (!persist::SaveIvf(path, ivf, &error)) {
-    std::fprintf(stderr, "%s\n", error.c_str());
+  ivf.AttachCodes(std::move(codes));
+  util::Status status = persist::SaveIvf(path, ivf);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return false;
   }
   return true;
@@ -157,11 +176,16 @@ int main(int argc, char** argv) {
   if (!resinfer::WriteV1(dir + "/ivf_v1.bin", centroids) ||
       !resinfer::WriteV2(dir + "/ivf_v2.bin", centroids) ||
       !resinfer::WriteV3(dir + "/ivf_v3.bin", centroids) ||
-      !resinfer::WriteV4(dir + "/ivf_v4.bin")) {
+      !resinfer::WriteV4(dir + "/ivf_v4.bin", centroids) ||
+      !resinfer::WriteV5(dir + "/ivf_v5.bin", resinfer::FixtureCodes()) ||
+      !resinfer::WriteV5(dir + "/ivf_v5_packed.bin",
+                         resinfer::FixturePackedCodes())) {
     std::fprintf(stderr, "failed writing fixtures to %s\n", dir.c_str());
     return 1;
   }
-  std::printf("wrote ivf_v1.bin ivf_v2.bin ivf_v3.bin ivf_v4.bin to %s\n",
-              dir.c_str());
+  std::printf(
+      "wrote ivf_v1.bin ivf_v2.bin ivf_v3.bin ivf_v4.bin ivf_v5.bin "
+      "ivf_v5_packed.bin to %s\n",
+      dir.c_str());
   return 0;
 }

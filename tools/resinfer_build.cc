@@ -29,6 +29,7 @@
 #include "index/ivf_index.h"
 #include "persist/persist.h"
 #include "tool_flags.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace {
@@ -91,16 +92,32 @@ int main(int argc, char** argv) {
 
   resinfer::data::Dataset ds;
   ds.name = "cli";
-  std::string error;
-  if (!resinfer::data::ReadFvecs(base_path, &ds.base, &error)) {
-    std::fprintf(stderr, "error reading %s: %s\n", base_path.c_str(),
-                 error.c_str());
+  // Non-finite base vectors are dropped (with a counted warning) rather
+  // than poisoning every downstream distance; note the drop shifts row ids
+  // against any precomputed ground truth.
+  resinfer::data::ReadStats base_stats;
+  if (resinfer::util::Status s = resinfer::data::ReadFvecs(
+          base_path, &ds.base, resinfer::data::NonFinitePolicy::kDrop,
+          &base_stats);
+      !s.ok()) {
+    std::fprintf(stderr, "error reading base vectors: %s\n",
+                 s.ToString().c_str());
     return 1;
   }
+  if (base_stats.dropped_rows > 0) {
+    std::fprintf(stderr,
+                 "warning: dropped %lld base vector(s) with NaN/Inf "
+                 "components (first at row %lld); row ids shift against any "
+                 "precomputed ground truth\n",
+                 static_cast<long long>(base_stats.dropped_rows),
+                 static_cast<long long>(base_stats.first_bad_row));
+  }
   if (!train_path.empty()) {
-    if (!resinfer::data::ReadFvecs(train_path, &ds.train_queries, &error)) {
-      std::fprintf(stderr, "error reading %s: %s\n", train_path.c_str(),
-                   error.c_str());
+    if (resinfer::util::Status s =
+            resinfer::data::ReadFvecs(train_path, &ds.train_queries);
+        !s.ok()) {
+      std::fprintf(stderr, "error reading train queries: %s\n",
+                   s.ToString().c_str());
       return 1;
     }
     if (ds.train_queries.cols() != ds.base.cols()) {
@@ -138,9 +155,9 @@ int main(int argc, char** argv) {
            << "\n";
 
   resinfer::WallTimer timer;
-  auto persist_or_die = [&](bool ok) {
-    if (!ok) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
+  auto persist_or_die = [&](const resinfer::util::Status& status) {
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       std::exit(1);
     }
   };
@@ -155,7 +172,7 @@ int main(int argc, char** argv) {
         resinfer::index::HnswIndex::Build(ds.base, options);
     const double seconds = timer.ElapsedSeconds();
     persist_or_die(
-        resinfer::persist::SaveHnsw(out_dir + "/hnsw.bin", hnsw, &error));
+        resinfer::persist::SaveHnsw(out_dir + "/hnsw.bin", hnsw));
     std::printf("hnsw.bin built in %.2fs (M=%d efC=%d)\n", seconds, hnsw_m,
                 ef_construction);
     manifest << "hnsw_seconds=" << seconds << "\n";
@@ -168,7 +185,7 @@ int main(int argc, char** argv) {
         resinfer::index::IvfIndex::Build(ds.base, options);
     const double seconds = timer.ElapsedSeconds();
     persist_or_die(
-        resinfer::persist::SaveIvf(out_dir + "/ivf.bin", ivf, &error));
+        resinfer::persist::SaveIvf(out_dir + "/ivf.bin", ivf));
     std::printf("ivf.bin built in %.2fs (%lld clusters)\n", seconds,
                 static_cast<long long>(ivf.num_clusters()));
     manifest << "ivf_seconds=" << seconds << "\n";
@@ -180,25 +197,24 @@ int main(int argc, char** argv) {
     timer.Reset();
     if (method == "adsampling") {
       persist_or_die(resinfer::persist::SaveMatrix(
-          out_dir + "/ads_rotation.bin", factory.EnsureAdsRotation(),
-          &error));
+          out_dir + "/ads_rotation.bin", factory.EnsureAdsRotation()));
       persist_or_die(resinfer::persist::SaveMatrix(
-          out_dir + "/ads_base.bin", factory.EnsureAdsRotatedBase(), &error));
+          out_dir + "/ads_base.bin", factory.EnsureAdsRotatedBase()));
     } else if (method == "ddc-res") {
       persist_or_die(resinfer::persist::SavePca(out_dir + "/pca.bin",
-                                                factory.EnsurePca(), &error));
+                                                factory.EnsurePca()));
       persist_or_die(resinfer::persist::SaveMatrix(
-          out_dir + "/pca_base.bin", factory.EnsurePcaRotatedBase(), &error));
+          out_dir + "/pca_base.bin", factory.EnsurePcaRotatedBase()));
     } else if (method == "ddc-pca") {
       persist_or_die(resinfer::persist::SavePca(out_dir + "/pca.bin",
-                                                factory.EnsurePca(), &error));
+                                                factory.EnsurePca()));
       persist_or_die(resinfer::persist::SaveMatrix(
-          out_dir + "/pca_base.bin", factory.EnsurePcaRotatedBase(), &error));
+          out_dir + "/pca_base.bin", factory.EnsurePcaRotatedBase()));
       persist_or_die(resinfer::persist::SaveDdcPcaArtifacts(
-          out_dir + "/ddc_pca.bin", factory.EnsureDdcPcaArtifacts(), &error));
+          out_dir + "/ddc_pca.bin", factory.EnsureDdcPcaArtifacts()));
     } else if (method == "ddc-opq") {
       persist_or_die(resinfer::persist::SaveDdcOpqArtifacts(
-          out_dir + "/ddc_opq.bin", factory.EnsureDdcOpqArtifacts(), &error));
+          out_dir + "/ddc_opq.bin", factory.EnsureDdcOpqArtifacts()));
     }
     const double seconds = timer.ElapsedSeconds();
     std::printf("%s artifacts in %.2fs\n", method.c_str(), seconds);

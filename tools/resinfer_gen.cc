@@ -24,6 +24,7 @@
 #include "data/synthetic.h"
 #include "data/vec_io.h"
 #include "tool_flags.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace {
@@ -119,16 +120,19 @@ int main(int argc, char** argv) {
   }
   std::printf("ground truth (k=%d) in %.2fs\n", gt_k, timer.ElapsedSeconds());
 
-  std::string error;
   const std::string base_path = out_dir + "/base.fvecs";
   const std::string query_path = out_dir + "/queries.fvecs";
   const std::string train_path = out_dir + "/train.fvecs";
   const std::string gt_path = out_dir + "/groundtruth.ivecs";
-  if (!resinfer::data::WriteFvecs(base_path, ds.base, &error) ||
-      !resinfer::data::WriteFvecs(query_path, ds.queries, &error) ||
-      !resinfer::data::WriteFvecs(train_path, ds.train_queries, &error) ||
-      !resinfer::data::WriteIvecs(gt_path, truth32, &error)) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
+  resinfer::util::Status status =
+      resinfer::data::WriteFvecs(base_path, ds.base);
+  if (status.ok()) status = resinfer::data::WriteFvecs(query_path, ds.queries);
+  if (status.ok()) {
+    status = resinfer::data::WriteFvecs(train_path, ds.train_queries);
+  }
+  if (status.ok()) status = resinfer::data::WriteIvecs(gt_path, truth32);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
   }
   std::printf("wrote %s, %s, %s, %s\n", base_path.c_str(),

@@ -5,14 +5,28 @@
 // the key shape metadata. Unknown or damaged files are reported per file;
 // the exit code is non-zero if any file failed.
 //
+// With --verify the files are instead walked section by section against
+// their embedded CRC32C checksums (format v5+), reporting the first
+// corrupt section without fully deserializing anything.
+//
 //   resinfer_inspect /tmp/sift/index/*.bin
+//   resinfer_inspect --verify /tmp/sift/index/*.bin
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 
 #include "persist/persist.h"
+#include "util/status.h"
 
 namespace {
+
+// Adapts the Status-returning loaders to the per-file bool/printf flow.
+bool StatusOk(const resinfer::util::Status& status, std::string* error) {
+  if (status.ok()) return true;
+  *error = status.ToString();
+  return false;
+}
 
 using resinfer::persist::LoadDdcOpqArtifacts;
 using resinfer::persist::LoadDdcPcaArtifacts;
@@ -49,7 +63,7 @@ bool InspectOne(const std::string& path) {
 
   if (magic == "RIMATRX1") {
     resinfer::linalg::Matrix m;
-    if (!LoadMatrix(path, &m, &error)) {
+    if (!StatusOk(LoadMatrix(path, &m), &error)) {
       std::printf("%s: matrix (CORRUPT: %s)\n", path.c_str(), error.c_str());
       return false;
     }
@@ -61,7 +75,7 @@ bool InspectOne(const std::string& path) {
   }
   if (magic == "RIPCAMD1") {
     resinfer::linalg::PcaModel pca;
-    if (!LoadPca(path, &pca, &error)) {
+    if (!StatusOk(LoadPca(path, &pca), &error)) {
       std::printf("%s: pca model (CORRUPT: %s)\n", path.c_str(),
                   error.c_str());
       return false;
@@ -79,7 +93,7 @@ bool InspectOne(const std::string& path) {
   }
   if (magic == "RIPQCBK1") {
     resinfer::quant::PqCodebook pq;
-    if (!LoadPq(path, &pq, &error)) {
+    if (!StatusOk(LoadPq(path, &pq), &error)) {
       std::printf("%s: pq codebook (CORRUPT: %s)\n", path.c_str(),
                   error.c_str());
       return false;
@@ -91,7 +105,7 @@ bool InspectOne(const std::string& path) {
   }
   if (magic == "RIOPQMD1") {
     resinfer::quant::OpqModel opq;
-    if (!LoadOpq(path, &opq, &error)) {
+    if (!StatusOk(LoadOpq(path, &opq), &error)) {
       std::printf("%s: opq model (CORRUPT: %s)\n", path.c_str(),
                   error.c_str());
       return false;
@@ -104,7 +118,7 @@ bool InspectOne(const std::string& path) {
   }
   if (magic == "RIHNSWG1") {
     resinfer::index::HnswIndex hnsw;
-    if (!LoadHnsw(path, &hnsw, &error)) {
+    if (!StatusOk(LoadHnsw(path, &hnsw), &error)) {
       std::printf("%s: hnsw graph (CORRUPT: %s)\n", path.c_str(),
                   error.c_str());
       return false;
@@ -116,7 +130,7 @@ bool InspectOne(const std::string& path) {
   }
   if (magic == "RIIVFIX1") {
     resinfer::index::IvfIndex ivf;
-    if (!LoadIvf(path, &ivf, &error)) {
+    if (!StatusOk(LoadIvf(path, &ivf), &error)) {
       std::printf("%s: ivf index (CORRUPT: %s)\n", path.c_str(),
                   error.c_str());
       return false;
@@ -128,7 +142,7 @@ bool InspectOne(const std::string& path) {
   }
   if (magic == "RIDPCAA1") {
     resinfer::core::DdcPcaArtifacts a;
-    if (!LoadDdcPcaArtifacts(path, &a, &error)) {
+    if (!StatusOk(LoadDdcPcaArtifacts(path, &a), &error)) {
       std::printf("%s: ddc-pca artifacts (CORRUPT: %s)\n", path.c_str(),
                   error.c_str());
       return false;
@@ -144,7 +158,7 @@ bool InspectOne(const std::string& path) {
   }
   if (magic == "RIDOPQA1") {
     resinfer::core::DdcOpqArtifacts a;
-    if (!LoadDdcOpqArtifacts(path, &a, &error)) {
+    if (!StatusOk(LoadDdcOpqArtifacts(path, &a), &error)) {
       std::printf("%s: ddc-opq artifacts (CORRUPT: %s)\n", path.c_str(),
                   error.c_str());
       return false;
@@ -157,7 +171,7 @@ bool InspectOne(const std::string& path) {
   }
   if (magic == "RIRQCBK1") {
     resinfer::quant::RqCodebook rq;
-    if (!resinfer::persist::LoadRq(path, &rq, &error)) {
+    if (!StatusOk(resinfer::persist::LoadRq(path, &rq), &error)) {
       std::printf("%s: rq codebook (CORRUPT: %s)\n", path.c_str(),
                   error.c_str());
       return false;
@@ -169,7 +183,7 @@ bool InspectOne(const std::string& path) {
   }
   if (magic == "RISQCBK1") {
     resinfer::quant::SqCodebook sq;
-    if (!resinfer::persist::LoadSq(path, &sq, &error)) {
+    if (!StatusOk(resinfer::persist::LoadSq(path, &sq), &error)) {
       std::printf("%s: sq codebook (CORRUPT: %s)\n", path.c_str(),
                   error.c_str());
       return false;
@@ -180,7 +194,7 @@ bool InspectOne(const std::string& path) {
   }
   if (magic == "RILINCR1") {
     resinfer::core::LinearCorrector corrector;
-    if (!resinfer::persist::LoadCorrector(path, &corrector, &error)) {
+    if (!StatusOk(resinfer::persist::LoadCorrector(path, &corrector), &error)) {
       std::printf("%s: linear corrector (CORRUPT: %s)\n", path.c_str(),
                   error.c_str());
       return false;
@@ -193,7 +207,7 @@ bool InspectOne(const std::string& path) {
   }
   if (magic == "RIDRQCA1") {
     resinfer::core::DdcRqCascadeArtifacts a;
-    if (!resinfer::persist::LoadDdcRqCascadeArtifacts(path, &a, &error)) {
+    if (!StatusOk(resinfer::persist::LoadDdcRqCascadeArtifacts(path, &a), &error)) {
       std::printf("%s: ddc-rq-cascade artifacts (CORRUPT: %s)\n",
                   path.c_str(), error.c_str());
       return false;
@@ -211,16 +225,36 @@ bool InspectOne(const std::string& path) {
   return false;
 }
 
+// Checksum-walks one file (persist::VerifyFile); prints PASS or the first
+// failure. Never deserializes payloads, so it is safe on huge artifacts.
+bool VerifyOne(const std::string& path) {
+  std::string format;
+  resinfer::util::Status status = resinfer::persist::VerifyFile(path, &format);
+  if (status.ok()) {
+    std::printf("%s: OK (%s, all section checksums match)\n", path.c_str(),
+                format.empty() ? "unknown" : format.c_str());
+    return true;
+  }
+  std::printf("%s: FAIL %s\n", path.c_str(), status.ToString().c_str());
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: resinfer_inspect FILE...\n");
+  bool verify = false;
+  int first_file = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--verify") == 0) {
+    verify = true;
+    first_file = 2;
+  }
+  if (argc <= first_file) {
+    std::fprintf(stderr, "usage: resinfer_inspect [--verify] FILE...\n");
     return 1;
   }
   bool all_ok = true;
-  for (int i = 1; i < argc; ++i) {
-    all_ok = InspectOne(argv[i]) && all_ok;
+  for (int i = first_file; i < argc; ++i) {
+    all_ok = (verify ? VerifyOne(argv[i]) : InspectOne(argv[i])) && all_ok;
   }
   return all_ok ? 0 : 1;
 }

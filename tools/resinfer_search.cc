@@ -24,6 +24,7 @@
 #include "index/batch.h"
 #include "persist/persist.h"
 #include "tool_flags.h"
+#include "util/status.h"
 
 namespace {
 
@@ -59,40 +60,40 @@ struct ServingArtifacts {
   std::optional<resinfer::core::DdcOpqArtifacts> ddc_opq;
 };
 
-bool LoadFor(const std::string& method, const std::string& dir,
-             ServingArtifacts* artifacts, std::string* error) {
+resinfer::util::Status LoadFor(const std::string& method,
+                               const std::string& dir,
+                               ServingArtifacts* artifacts) {
   namespace persist = resinfer::persist;
-  if (method == "exact") return true;
+  using resinfer::util::Status;
+  if (method == "exact") return Status::Ok();
   if (method == "adsampling") {
     artifacts->ads_rotation.emplace();
     artifacts->ads_base.emplace();
-    return persist::LoadMatrix(dir + "/ads_rotation.bin",
-                               &*artifacts->ads_rotation, error) &&
-           persist::LoadMatrix(dir + "/ads_base.bin", &*artifacts->ads_base,
-                               error);
+    RESINFER_RETURN_IF_ERROR(persist::LoadMatrix(
+        dir + "/ads_rotation.bin", &*artifacts->ads_rotation));
+    return persist::LoadMatrix(dir + "/ads_base.bin",
+                               &*artifacts->ads_base);
   }
   if (method == "ddc-res" || method == "ddc-pca") {
     artifacts->pca.emplace();
     artifacts->pca_base.emplace();
-    if (!persist::LoadPca(dir + "/pca.bin", &*artifacts->pca, error) ||
-        !persist::LoadMatrix(dir + "/pca_base.bin", &*artifacts->pca_base,
-                             error)) {
-      return false;
-    }
+    RESINFER_RETURN_IF_ERROR(
+        persist::LoadPca(dir + "/pca.bin", &*artifacts->pca));
+    RESINFER_RETURN_IF_ERROR(persist::LoadMatrix(dir + "/pca_base.bin",
+                                                 &*artifacts->pca_base));
     if (method == "ddc-pca") {
       artifacts->ddc_pca.emplace();
       return persist::LoadDdcPcaArtifacts(dir + "/ddc_pca.bin",
-                                          &*artifacts->ddc_pca, error);
+                                          &*artifacts->ddc_pca);
     }
-    return true;
+    return Status::Ok();
   }
   if (method == "ddc-opq") {
     artifacts->ddc_opq.emplace();
     return persist::LoadDdcOpqArtifacts(dir + "/ddc_opq.bin",
-                                        &*artifacts->ddc_opq, error);
+                                        &*artifacts->ddc_opq);
   }
-  *error = "unknown method " + method;
-  return false;
+  return Status::InvalidArgument("unknown method " + method);
 }
 
 ComputerFactory FactoryFor(const std::string& method,
@@ -159,16 +160,18 @@ int main(int argc, char** argv) {
   }
 
   ServingArtifacts artifacts;
-  std::string error;
-  if (!resinfer::data::ReadFvecs(base_path, &artifacts.base, &error)) {
-    std::fprintf(stderr, "error reading %s: %s\n", base_path.c_str(),
-                 error.c_str());
+  if (resinfer::util::Status s =
+          resinfer::data::ReadFvecs(base_path, &artifacts.base);
+      !s.ok()) {
+    std::fprintf(stderr, "error reading base vectors: %s\n",
+                 s.ToString().c_str());
     return 1;
   }
   Matrix queries;
-  if (!resinfer::data::ReadFvecs(query_path, &queries, &error)) {
-    std::fprintf(stderr, "error reading %s: %s\n", query_path.c_str(),
-                 error.c_str());
+  if (resinfer::util::Status s =
+          resinfer::data::ReadFvecs(query_path, &queries);
+      !s.ok()) {
+    std::fprintf(stderr, "error reading queries: %s\n", s.ToString().c_str());
     return 1;
   }
   if (queries.cols() != artifacts.base.cols()) {
@@ -177,8 +180,9 @@ int main(int argc, char** argv) {
                  static_cast<long long>(artifacts.base.cols()));
     return 1;
   }
-  if (!LoadFor(method, dir, &artifacts, &error)) {
-    std::fprintf(stderr, "error loading artifacts: %s\n", error.c_str());
+  if (resinfer::util::Status s = LoadFor(method, dir, &artifacts); !s.ok()) {
+    std::fprintf(stderr, "error loading artifacts: %s\n",
+                 s.ToString().c_str());
     return 1;
   }
 
@@ -189,15 +193,21 @@ int main(int argc, char** argv) {
     batch = BatchSearchFlat(flat, factory, queries, k, batch_options);
   } else if (index_kind == "ivf") {
     resinfer::index::IvfIndex ivf;
-    if (!resinfer::persist::LoadIvf(dir + "/ivf.bin", &ivf, &error)) {
-      std::fprintf(stderr, "error loading ivf.bin: %s\n", error.c_str());
+    if (resinfer::util::Status s =
+            resinfer::persist::LoadIvf(dir + "/ivf.bin", &ivf);
+        !s.ok()) {
+      std::fprintf(stderr, "error loading ivf.bin: %s\n",
+                   s.ToString().c_str());
       return 1;
     }
     batch = BatchSearchIvf(ivf, factory, queries, k, nprobe, batch_options);
   } else {
     resinfer::index::HnswIndex hnsw;
-    if (!resinfer::persist::LoadHnsw(dir + "/hnsw.bin", &hnsw, &error)) {
-      std::fprintf(stderr, "error loading hnsw.bin: %s\n", error.c_str());
+    if (resinfer::util::Status s =
+            resinfer::persist::LoadHnsw(dir + "/hnsw.bin", &hnsw);
+        !s.ok()) {
+      std::fprintf(stderr, "error loading hnsw.bin: %s\n",
+                   s.ToString().c_str());
       return 1;
     }
     batch = BatchSearchHnsw(hnsw, factory, queries, k, ef, batch_options);
@@ -217,9 +227,10 @@ int main(int argc, char** argv) {
 
   if (!gt_path.empty()) {
     std::vector<std::vector<int32_t>> truth32;
-    if (!resinfer::data::ReadIvecs(gt_path, &truth32, &error)) {
-      std::fprintf(stderr, "error reading %s: %s\n", gt_path.c_str(),
-                   error.c_str());
+    if (resinfer::util::Status s = resinfer::data::ReadIvecs(gt_path, &truth32);
+        !s.ok()) {
+      std::fprintf(stderr, "error reading ground truth: %s\n",
+                   s.ToString().c_str());
       return 1;
     }
     if (truth32.size() != static_cast<std::size_t>(queries.rows())) {
