@@ -4,10 +4,10 @@
 #include <atomic>
 #include <exception>
 #include <numeric>
-#include <thread>
 #include <utility>
 
 #include "quant/kmeans.h"
+#include "serve/executor.h"
 #include "util/macros.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -59,14 +59,14 @@ BatchResult RunBatchGrouped(const ComputerFactory& factory,
   if (num_queries == 0) return batch;
   const int64_t num_groups = (num_queries + group_size - 1) / group_size;
 
-  int threads = options.num_threads > 0 ? options.num_threads
-                                        : DefaultThreadCount();
-  threads = static_cast<int>(
-      std::clamp<int64_t>(threads, 1, num_groups));
+  const int threads = static_cast<int>(std::clamp<int64_t>(
+      ResolveThreadCount(options.num_threads), 1, num_groups));
 
   struct WorkerState {
     std::unique_ptr<DistanceComputer> computer;
-    Histogram latency;
+    Histogram latency;        // singleton groups only — true per-query wall
+    Histogram group_latency;  // one sample per group, the group's wall
+    Histogram group_sizes;
     double busy_seconds = 0.0;
   };
   std::vector<WorkerState> workers(static_cast<std::size_t>(threads));
@@ -76,55 +76,59 @@ BatchResult RunBatchGrouped(const ComputerFactory& factory,
     RESINFER_CHECK(w.computer->dim() == queries.cols());
   }
 
-  std::atomic<int64_t> cursor{0};
   // Exception containment: a throwing search callback must not
-  // std::terminate the pool (an exception escaping a std::thread body
-  // does exactly that). The first thrower wins the abort flag and stashes
-  // its exception; the other workers see the flag, keep draining the
-  // cursor without processing (so no thread blocks on work that will
-  // never finish), and the winner's exception is rethrown on the caller
-  // thread after the join.
+  // std::terminate the executor (an exception escaping a task would). The
+  // first thrower wins the abort flag and stashes its exception; the
+  // remaining group tasks see the flag and complete without processing
+  // (so the WaitGroup always drains), and the winner's exception is
+  // rethrown on the caller thread after the executor quiesces.
   std::atomic<bool> abort_flag{false};
   std::exception_ptr first_exception;
   WallTimer wall;
-  auto worker_loop = [&](int worker_index) {
-    WorkerState& state = workers[static_cast<std::size_t>(worker_index)];
-    WallTimer timer;
-    while (true) {
-      const int64_t group = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (group >= num_groups) break;
-      if (abort_flag.load(std::memory_order_acquire)) continue;  // drain
+  {
+    // The groups are pre-distributed round-robin across the per-worker
+    // deques; a worker that finishes its share early steals from the
+    // stragglers, which is what keeps skewed query costs from idling
+    // threads (the job the old atomic cursor did, now shared with the
+    // online serving path).
+    serve::Executor::Options executor_options;
+    executor_options.num_threads = threads;
+    serve::Executor executor(executor_options);
+    serve::WaitGroup wait;
+    wait.Add(num_groups);
+    for (int64_t group = 0; group < num_groups; ++group) {
       const int64_t begin = group * group_size;
       const int64_t count = std::min(group_size, num_queries - begin);
-      timer.Reset();
-      try {
-        search(*state.computer, queries, begin, count,
-               batch.results.data() + begin);
-      } catch (...) {
-        if (!abort_flag.exchange(true, std::memory_order_acq_rel)) {
-          first_exception = std::current_exception();
-        }
-        continue;
-      }
-      const double elapsed = timer.ElapsedSeconds();
-      // Attribute the group's wall time evenly so the histogram still
-      // covers every query (exact when group_size == 1).
-      for (int64_t i = 0; i < count; ++i) {
-        state.latency.Add(elapsed / static_cast<double>(count));
-      }
-      state.busy_seconds += elapsed;
+      executor.SubmitTo(
+          static_cast<int>(group % threads),
+          [&, begin, count](int worker_index) {
+            WorkerState& state =
+                workers[static_cast<std::size_t>(worker_index)];
+            if (abort_flag.load(std::memory_order_acquire)) {
+              wait.Done();
+              return;
+            }
+            WallTimer timer;
+            try {
+              search(*state.computer, queries, begin, count,
+                     batch.results.data() + begin);
+            } catch (...) {
+              if (!abort_flag.exchange(true, std::memory_order_acq_rel)) {
+                first_exception = std::current_exception();
+              }
+              wait.Done();
+              return;
+            }
+            const double elapsed = timer.ElapsedSeconds();
+            state.group_latency.Add(elapsed);
+            state.group_sizes.Add(static_cast<double>(count));
+            if (count == 1) state.latency.Add(elapsed);
+            state.busy_seconds += elapsed;
+            wait.Done();
+          });
     }
-  };
-
-  if (threads == 1) {
-    worker_loop(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      pool.emplace_back(worker_loop, t);
-    }
-    for (auto& t : pool) t.join();
+    wait.Wait();
+    executor.Shutdown();
   }
   if (first_exception != nullptr) std::rethrow_exception(first_exception);
   batch.wall_seconds = wall.ElapsedSeconds();
@@ -133,6 +137,8 @@ BatchResult RunBatchGrouped(const ComputerFactory& factory,
   for (const auto& w : workers) {
     batch.worker_busy_seconds.push_back(w.busy_seconds);
     batch.latency_seconds.Merge(w.latency);
+    batch.group_latency_seconds.Merge(w.group_latency);
+    batch.group_sizes.Merge(w.group_sizes);
     batch.stats += w.computer->stats();
   }
   return batch;

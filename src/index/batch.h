@@ -2,13 +2,23 @@
 //
 // DistanceComputers are stateful per query, so concurrent search needs one
 // computer per thread. RunBatch owns that pattern: it builds a computer per
-// worker from a caller-supplied factory, drains the query list through an
-// atomic cursor (queries vary wildly in cost under DDC pruning, so static
-// partitioning would straggle), and aggregates per-query latencies and
-// computer statistics. Convenience wrappers cover the three indexes.
+// worker from a caller-supplied factory, pre-distributes the query groups
+// round-robin across the serving executor's per-worker deques (queries
+// vary wildly in cost under DDC pruning, so imbalance is corrected by work
+// stealing — see serve/executor.h), and aggregates latencies and computer
+// statistics. Convenience wrappers cover the three indexes. Online
+// (non-pre-materialized) traffic takes the same executor through
+// serve/admission.h instead.
 //
 // Results are deterministic: result row q is always the answer to query q
 // regardless of which worker served it.
+//
+// Latency attribution is honest: latency_seconds holds true per-query
+// walls and is filled only by groups of one query (always, for RunBatch);
+// grouped runs report true group walls in group_latency_seconds paired
+// with group_sizes — a group's wall divided by its size is an attribution,
+// not a measurement, and dividing it used to fabricate per-query
+// percentiles.
 #ifndef RESINFER_INDEX_BATCH_H_
 #define RESINFER_INDEX_BATCH_H_
 
@@ -27,7 +37,8 @@
 namespace resinfer::index {
 
 struct BatchOptions {
-  // 0 = DefaultThreadCount().
+  // <= 0 = DefaultThreadCount() (which honors the RESINFER_THREADS
+  // environment override); negative values clamp to the same default.
   int num_threads = 0;
   // Queries per work unit. 1 (the default) is the classic per-query path;
   // > 1 makes workers pull groups of queries so a group-aware search can
@@ -46,8 +57,14 @@ struct BatchOptions {
 struct BatchResult {
   // results[q] ascends by distance, one entry per query row.
   std::vector<std::vector<Neighbor>> results;
-  // Per-query wall latency in seconds.
+  // True per-query wall latency in seconds. Only groups of a single query
+  // contribute (RunBatch covers every query; grouped runs contribute just
+  // their singleton tail groups, if any) — see the header comment.
   Histogram latency_seconds;
+  // One sample per work group: the group's true wall time, and its size.
+  // With group_size == 1 these mirror latency_seconds.
+  Histogram group_latency_seconds;
+  Histogram group_sizes;
   // Computer counters summed over all workers.
   ComputerStats stats;
   // End-to-end wall time of the batch (all threads).
@@ -90,10 +107,12 @@ BatchResult RunBatch(const ComputerFactory& factory,
                      const linalg::Matrix& queries, const SearchFn& search,
                      const BatchOptions& options = BatchOptions());
 
-// Grouped variant: workers pull options.group_size queries at a time and
-// hand each group to `search` in one call. Per-query latency is recorded
-// as the group's wall time divided by its size (an attribution, not a
-// measurement, once group_size > 1); utilization reporting is unchanged.
+// Grouped variant: workers take options.group_size queries at a time and
+// hand each group to `search` in one call. Each group's true wall time is
+// recorded in group_latency_seconds (with its size in group_sizes);
+// latency_seconds receives only singleton groups, so its percentiles are
+// never fabricated from divided group walls. Utilization reporting is
+// unchanged.
 BatchResult RunBatchGrouped(const ComputerFactory& factory,
                             const linalg::Matrix& queries,
                             const GroupSearchFn& search,

@@ -10,6 +10,8 @@
 //   index/   — DistanceComputer plug-in interface, Flat / IVF / HNSW
 //   core/    — the paper's contribution: ADSampling, DDCres, DDCpca,
 //              DDCopq, FINGER baseline, MethodFactory
+//   serve/   — online serving: work-stealing executor, coalescing
+//              admission (IvfServer)
 #ifndef RESINFER_RESINFER_H_
 #define RESINFER_RESINFER_H_
 
@@ -49,6 +51,8 @@
 #include "quant/pq.h"
 #include "quant/rq.h"
 #include "quant/sq.h"
+#include "serve/admission.h"
+#include "serve/executor.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
 #include "util/aligned_buffer.h"

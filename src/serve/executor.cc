@@ -1,0 +1,190 @@
+#include "serve/executor.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace resinfer::serve {
+
+void WaitGroup::Add(int64_t n) {
+  RESINFER_CHECK(n >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  outstanding_ += n;
+}
+
+void WaitGroup::Done() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RESINFER_CHECK(outstanding_ > 0);
+  if (--outstanding_ == 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+Executor::Executor() : Executor(Options()) {}
+
+Executor::Executor(const Options& options) {
+  const int threads = ResolveThreadCount(options.num_threads);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start after every Worker exists: a worker scans all sibling deques.
+  for (int t = 0; t < threads; ++t) {
+    workers_[static_cast<std::size_t>(t)]->thread =
+        std::thread(&Executor::WorkerLoop, this, t);
+  }
+}
+
+Executor::~Executor() { Shutdown(); }
+
+void Executor::Submit(Task task) {
+  RESINFER_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    admission_.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // Taking the idle lock orders this submission against the sleep
+    // predicate check, so a worker about to sleep cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  idle_cv_.notify_one();
+}
+
+void Executor::SubmitTo(int worker, Task task) {
+  RESINFER_CHECK(task != nullptr);
+  RESINFER_CHECK(worker >= 0 && worker < num_threads());
+  Worker& w = *workers_[static_cast<std::size_t>(worker)];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.deque.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+  }
+  idle_cv_.notify_all();  // the owner or any potential thief may be asleep
+}
+
+bool Executor::TryRunOne(int self) {
+  Worker& me = *workers_[static_cast<std::size_t>(self)];
+  Task task;
+  bool stolen = false;
+  bool admitted = false;
+
+  // 1. Own deque, LIFO end.
+  {
+    std::lock_guard<std::mutex> lock(me.mu);
+    if (!me.deque.empty()) {
+      task = std::move(me.deque.back());
+      me.deque.pop_back();
+    }
+  }
+  // 2. Shared admission queue, FIFO.
+  if (task == nullptr) {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    if (!admission_.empty()) {
+      task = std::move(admission_.front());
+      admission_.pop_front();
+      admitted = true;
+    }
+  }
+  // 3. Steal FIFO from the first victim with work, scanning round-robin
+  // from the next worker so thieves spread across victims.
+  if (task == nullptr) {
+    const int n = num_threads();
+    for (int i = 1; i < n && task == nullptr; ++i) {
+      Worker& victim = *workers_[static_cast<std::size_t>((self + i) % n)];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.deque.empty()) {
+        task = std::move(victim.deque.front());
+        victim.deque.pop_front();
+        stolen = true;
+      }
+    }
+  }
+  if (task == nullptr) return false;
+
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  running_.fetch_add(1, std::memory_order_acq_rel);
+  WallTimer timer;
+  task(self);
+  me.busy_nanos.fetch_add(static_cast<int64_t>(timer.ElapsedSeconds() * 1e9),
+                          std::memory_order_relaxed);
+  me.executed.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) me.stolen.fetch_add(1, std::memory_order_relaxed);
+  if (admitted) me.admitted.fetch_add(1, std::memory_order_relaxed);
+  if (running_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      shutdown_.load(std::memory_order_acquire)) {
+    // Possibly the last task of a drain; wake workers blocked on the exit
+    // predicate below.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void Executor::WorkerLoop(int self) {
+  while (true) {
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) > 0 ||
+             shutdown_.load(std::memory_order_acquire);
+    });
+    if (shutdown_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      // Nothing queued — but a still-running task elsewhere may yet spawn
+      // work, so wait for full quiescence rather than exiting early.
+      if (running_.load(std::memory_order_acquire) == 0) return;
+      idle_cv_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) > 0 ||
+               running_.load(std::memory_order_acquire) == 0;
+      });
+      if (pending_.load(std::memory_order_acquire) == 0 &&
+          running_.load(std::memory_order_acquire) == 0) {
+        return;
+      }
+    }
+  }
+}
+
+void Executor::Shutdown() {
+  // Serializes concurrent Shutdown calls (including the destructor after
+  // an explicit call) so the worker threads are joined exactly once.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (joined_) return;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  joined_ = true;
+}
+
+Executor::Stats Executor::stats() const {
+  Stats stats;
+  stats.busy_seconds.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    stats.executed += w->executed.load(std::memory_order_relaxed);
+    stats.stolen += w->stolen.load(std::memory_order_relaxed);
+    stats.admitted += w->admitted.load(std::memory_order_relaxed);
+    stats.busy_seconds.push_back(
+        static_cast<double>(w->busy_nanos.load(std::memory_order_relaxed)) *
+        1e-9);
+  }
+  return stats;
+}
+
+}  // namespace resinfer::serve

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -10,14 +12,40 @@
 namespace resinfer {
 
 namespace {
-std::atomic<int> g_thread_count{0};  // 0 = use hardware concurrency
+std::atomic<int> g_thread_count{0};  // 0 = env override, then hardware
+
+// Parses RESINFER_THREADS on every call (it is consulted once per batch /
+// executor construction, never per query) so tests can flip the variable
+// without ordering constraints. Returns 0 when unset or invalid.
+int EnvThreadCount() {
+  const char* env = std::getenv("RESINFER_THREADS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end != nullptr && *end == '\0' && value > 0 && value <= 1 << 20) {
+    return static_cast<int>(value);
+  }
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "resinfer: ignoring invalid RESINFER_THREADS=%s "
+                 "(expected a positive integer)\n",
+                 env);
+  }
+  return 0;
+}
 }  // namespace
 
 int DefaultThreadCount() {
   int configured = g_thread_count.load(std::memory_order_relaxed);
   if (configured > 0) return configured;
+  if (int env = EnvThreadCount(); env > 0) return env;
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ResolveThreadCount(int requested) {
+  return requested > 0 ? requested : DefaultThreadCount();
 }
 
 void SetDefaultThreadCount(int threads) {

@@ -10,10 +10,19 @@
 
 namespace resinfer {
 
-// Number of worker threads used by ParallelFor (defaults to hardware
-// concurrency, overridable for tests / single-thread benchmarking).
+// Number of worker threads used by ParallelFor and the serving executor.
+// Resolution order: SetDefaultThreadCount (explicit, for tests and
+// single-thread benchmarking), then the RESINFER_THREADS environment
+// variable (a positive integer, mirroring RESINFER_SIMD_LEVEL's
+// run-without-recompiling override; invalid values are ignored with a
+// one-time stderr note), then hardware concurrency.
 int DefaultThreadCount();
 void SetDefaultThreadCount(int threads);
+
+// Resolves a caller-requested thread count: positive values pass through,
+// zero and negative values (e.g. a BatchOptions::num_threads accidentally
+// initialized to -1) clamp to DefaultThreadCount().
+int ResolveThreadCount(int requested);
 
 // Invokes fn(begin, end) on contiguous shards of [0, n). fn must be
 // thread-safe across disjoint ranges. Runs inline when n is small or only

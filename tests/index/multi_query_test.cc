@@ -391,7 +391,21 @@ TEST(MultiQueryTest, BatchSearchIvfGroupedMatchesPerQuery) {
                             label + " q=" + std::to_string(q));
         }
         ExpectSameStats(want.stats, got.stats, label);
-        EXPECT_EQ(got.latency_seconds.count(), f.ds.queries.rows()) << label;
+        // Honest latency attribution: every group reports its true wall
+        // and size; per-query latency comes only from singleton groups
+        // (the tail when group_size divides into the query count with
+        // remainder 1), never from divided group walls.
+        const int64_t num_queries = f.ds.queries.rows();
+        const int64_t num_groups =
+            (num_queries + group_size - 1) / group_size;
+        const int64_t singleton_groups =
+            num_queries % group_size == 1 ? 1 : 0;
+        EXPECT_EQ(got.group_latency_seconds.count(), num_groups) << label;
+        EXPECT_EQ(got.group_sizes.count(), num_groups) << label;
+        EXPECT_DOUBLE_EQ(got.group_sizes.sum(),
+                         static_cast<double>(num_queries))
+            << label;
+        EXPECT_EQ(got.latency_seconds.count(), singleton_groups) << label;
         // Per-worker reporting survives grouping (threads clamp to the
         // number of groups, so size is in [1, threads]).
         EXPECT_GE(static_cast<std::size_t>(threads),

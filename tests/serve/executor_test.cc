@@ -1,0 +1,168 @@
+// Work-stealing executor conformance: every task runs exactly once no
+// matter which queue it entered through, imbalance is corrected by
+// stealing, task-spawned tasks are always drained, and shutdown is clean
+// with work still queued. The CI TSan job runs this suite — the scheduling
+// assertions double as race detectors.
+#include "serve/executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+
+namespace resinfer::serve {
+namespace {
+
+TEST(ServeExecutorTest, ExecutesEverySubmittedTaskExactlyOnce) {
+  Executor::Options options;
+  options.num_threads = 3;
+  Executor executor(options);
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> ran(kTasks);
+  WaitGroup wait;
+  wait.Add(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    executor.Submit([&, i](int worker) {
+      EXPECT_GE(worker, 0);
+      EXPECT_LT(worker, 3);
+      ran[i].fetch_add(1);
+      wait.Done();
+    });
+  }
+  wait.Wait();
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(ran[i].load(), 1) << i;
+  executor.Shutdown();
+  Executor::Stats stats = executor.stats();
+  EXPECT_EQ(stats.executed, kTasks);
+  EXPECT_EQ(stats.admitted, kTasks);  // all entered via the shared queue
+  ASSERT_EQ(stats.busy_seconds.size(), 3u);
+}
+
+TEST(ServeExecutorTest, SubmitToPreDistributesAcrossDeques) {
+  Executor::Options options;
+  options.num_threads = 2;
+  Executor executor(options);
+  constexpr int kTasks = 100;
+  std::atomic<int> ran{0};
+  WaitGroup wait;
+  wait.Add(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    executor.SubmitTo(i % 2, [&](int) {
+      ran.fetch_add(1);
+      wait.Done();
+    });
+  }
+  wait.Wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ServeExecutorTest, IdleWorkerStealsFromSkewedDeque) {
+  // Every task lands on worker 0's deque and each costs ~1ms, so the
+  // backlog stays non-empty for tens of milliseconds no matter how
+  // submission interleaves with execution (this box may have one core).
+  // Worker 1's own deque never receives work: any progress it makes is a
+  // steal, and the slow victim guarantees it gets the chance.
+  Executor::Options options;
+  options.num_threads = 2;
+  Executor executor(options);
+  constexpr int kTasks = 64;
+  std::atomic<int> ran_on_other{0};
+  WaitGroup wait;
+  wait.Add(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    executor.SubmitTo(0, [&](int worker) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (worker != 0) ran_on_other.fetch_add(1);
+      wait.Done();
+    });
+  }
+  wait.Wait();
+  executor.Shutdown();
+  EXPECT_GT(ran_on_other.load(), 0);
+  EXPECT_GT(executor.stats().stolen, 0);
+  EXPECT_EQ(executor.stats().executed, kTasks);
+}
+
+TEST(ServeExecutorTest, TaskSpawnedTasksAreDrainedByShutdown) {
+  Executor::Options options;
+  options.num_threads = 2;
+  Executor executor(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    executor.Submit([&](int) {
+      ran.fetch_add(1);
+      // Follow-up work submitted from inside a task must also run, even
+      // if Shutdown has already begun by the time it is enqueued.
+      executor.Submit([&](int) { ran.fetch_add(1); });
+    });
+  }
+  executor.Shutdown();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ServeExecutorTest, ShutdownDrainsQueuedBacklog) {
+  Executor::Options options;
+  options.num_threads = 2;
+  Executor executor(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 500; ++i) {
+    executor.Submit([&](int) { ran.fetch_add(1); });
+  }
+  executor.Shutdown();  // must not return before the backlog is served
+  EXPECT_EQ(ran.load(), 500);
+  EXPECT_EQ(executor.stats().executed, 500);
+}
+
+TEST(ServeExecutorTest, ShutdownIsIdempotent) {
+  Executor executor(Executor::Options{2});
+  std::atomic<int> ran{0};
+  executor.Submit([&](int) { ran.fetch_add(1); });
+  executor.Shutdown();
+  executor.Shutdown();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ServeExecutorTest, DefaultsToResolvedThreadCount) {
+  SetDefaultThreadCount(2);
+  Executor executor;
+  EXPECT_EQ(executor.num_threads(), 2);
+  SetDefaultThreadCount(0);
+}
+
+TEST(ServeExecutorTest, BusyTimeAccumulatesWhereWorkRan) {
+  Executor::Options options;
+  options.num_threads = 2;
+  Executor executor(options);
+  WaitGroup wait;
+  wait.Add(1);
+  executor.Submit([&](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    wait.Done();
+  });
+  wait.Wait();
+  executor.Shutdown();
+  double total_busy = 0.0;
+  for (double b : executor.stats().busy_seconds) total_busy += b;
+  EXPECT_GE(total_busy, 0.010);
+}
+
+TEST(ServeExecutorTest, WaitGroupIsReusable) {
+  WaitGroup wait;
+  wait.Add(2);
+  std::thread a([&] { wait.Done(); });
+  std::thread b([&] { wait.Done(); });
+  wait.Wait();
+  a.join();
+  b.join();
+  wait.Add(1);
+  std::thread c([&] { wait.Done(); });
+  wait.Wait();
+  c.join();
+}
+
+}  // namespace
+}  // namespace resinfer::serve

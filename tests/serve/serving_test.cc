@@ -1,0 +1,318 @@
+// Coalescing admission conformance. The load-bearing guarantee is
+// bit-identity: every query submitted through IvfServer — in any arrival
+// order, from any number of client threads, coalesced into whatever groups
+// traffic produced — must resolve to exactly the neighbors a solo
+// Search(query, k, nprobe) returns (ids and distances). On top of that,
+// the flush triggers (full group, linger expiry, drain) and the occupancy
+// accounting are pinned. The CI TSan job runs this suite.
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ddc_any.h"
+#include "core/training_data.h"
+#include "index/ivf_index.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace resinfer::serve {
+namespace {
+
+using index::DistanceComputer;
+using index::Neighbor;
+
+struct ServingFixture {
+  data::Dataset ds = testing::SmallDataset(1500, 24, 1.0, 131, 40, 140);
+  index::IvfIndex ivf;
+  core::PqEstimatorData pq;
+  core::LinearCorrector pq_corrector;
+
+  ServingFixture() {
+    index::IvfOptions options;
+    options.num_clusters = 24;
+    ivf = index::IvfIndex::Build(ds.base, options);
+
+    quant::PqOptions pq_options;
+    pq_options.num_subspaces = 8;
+    pq_options.nbits = 6;
+    pq = core::BuildPqEstimatorData(ds.base, pq_options);
+    core::TrainingDataOptions training;
+    training.max_queries = 60;
+    core::PqAdcEstimator estimator(&pq);
+    pq_corrector = core::TrainAnyCorrector(estimator, ds.base,
+                                           ds.train_queries, training);
+    // Code-resident scans for the estimator path, as a real server runs.
+    ivf.AttachCodesFrom(*DdcPqFactory()());
+  }
+
+  index::ComputerFactory ExactFactory() {
+    return [this] {
+      return std::make_unique<index::FlatDistanceComputer>(
+          ds.base.data(), ds.size(), ds.dim());
+    };
+  }
+  index::ComputerFactory DdcPqFactory() {
+    return [this] {
+      return std::make_unique<core::DdcAnyComputer>(
+          &ds.base, std::make_unique<core::PqAdcEstimator>(&pq),
+          &pq_corrector);
+    };
+  }
+};
+
+ServingFixture& Fixture() {
+  static ServingFixture* fixture = new ServingFixture();
+  return *fixture;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& want,
+                         const std::vector<Neighbor>& got,
+                         const std::string& label) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].id, got[i].id) << label << " rank " << i;
+    EXPECT_EQ(want[i].distance, got[i].distance) << label << " rank " << i;
+  }
+}
+
+// Solo answers computed through a fresh computer — the reference every
+// serving-path result must match bit-for-bit.
+std::vector<std::vector<Neighbor>> SoloAnswers(
+    ServingFixture& f, const index::ComputerFactory& factory, int k,
+    int nprobe) {
+  auto computer = factory();
+  std::vector<std::vector<Neighbor>> want;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    want.push_back(f.ivf.Search(*computer, f.ds.queries.Row(q), k, nprobe));
+  }
+  return want;
+}
+
+TEST(ServingTest, CoalescedAnswersBitIdenticalInAnyArrivalOrder) {
+  ServingFixture& f = Fixture();
+  const int k = 10, nprobe = 6;
+  struct Case {
+    const char* name;
+    index::ComputerFactory factory;
+  };
+  std::vector<Case> cases = {{"exact", f.ExactFactory()},
+                             {"ddc-pq", f.DdcPqFactory()}};
+  for (auto& c : cases) {
+    const auto want = SoloAnswers(f, c.factory, k, nprobe);
+    // A shuffled arrival order: coalescing must reassemble co-probing
+    // queries without ever mixing up whose answer is whose.
+    std::vector<int64_t> order(static_cast<std::size_t>(f.ds.queries.rows()));
+    std::iota(order.begin(), order.end(), int64_t{0});
+    Rng rng(977);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(rng.UniformInt(i))]);
+    }
+    AdmissionOptions options;
+    options.num_threads = 2;
+    options.max_group_size = 8;
+    options.linger_micros = 500;
+    IvfServer server(&f.ivf, c.factory, options);
+    std::vector<std::future<std::vector<Neighbor>>> futures(order.size());
+    for (int64_t q : order) {
+      futures[static_cast<std::size_t>(q)] =
+          server.Submit(f.ds.queries.Row(q), k, nprobe);
+    }
+    for (std::size_t q = 0; q < futures.size(); ++q) {
+      ExpectSameNeighbors(want[q], futures[q].get(),
+                          std::string(c.name) + " q=" + std::to_string(q));
+    }
+    server.Shutdown();
+    ServingStats stats = server.stats();
+    EXPECT_EQ(stats.requests, f.ds.queries.rows());
+    EXPECT_EQ(stats.group_occupancy.sum(),
+              static_cast<double>(f.ds.queries.rows()));
+    EXPECT_EQ(stats.latency_seconds.count(), f.ds.queries.rows());
+  }
+}
+
+TEST(ServingTest, ConcurrentClientsGetTheirOwnAnswers) {
+  ServingFixture& f = Fixture();
+  const int k = 5, nprobe = 4;
+  const auto want = SoloAnswers(f, f.DdcPqFactory(), k, nprobe);
+  AdmissionOptions options;
+  options.num_threads = 2;
+  options.max_group_size = 8;
+  options.linger_micros = 300;
+  IvfServer server(&f.ivf, f.DdcPqFactory(), options);
+  const int64_t n = f.ds.queries.rows();
+  std::vector<std::future<std::vector<Neighbor>>> futures(
+      static_cast<std::size_t>(n));
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int64_t q = c; q < n; q += kClients) {
+        futures[static_cast<std::size_t>(q)] =
+            server.Submit(f.ds.queries.Row(q), k, nprobe);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int64_t q = 0; q < n; ++q) {
+    ExpectSameNeighbors(want[static_cast<std::size_t>(q)],
+                        futures[static_cast<std::size_t>(q)].get(),
+                        "client-interleaved q=" + std::to_string(q));
+  }
+}
+
+TEST(ServingTest, LingerExpiryFlushesPartialGroups) {
+  ServingFixture& f = Fixture();
+  AdmissionOptions options;
+  options.num_threads = 1;
+  options.max_group_size = 32;  // never fills with 3 requests
+  options.linger_micros = 2000;
+  IvfServer server(&f.ivf, f.ExactFactory(), options);
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  for (int64_t q = 0; q < 3; ++q) {
+    futures.push_back(server.Submit(f.ds.queries.Row(q), 5, 4));
+  }
+  // No Flush, no Shutdown: only the linger deadline can release these.
+  for (auto& future : futures) {
+    EXPECT_FALSE(future.get().empty());
+  }
+  ServingStats stats = server.stats();
+  EXPECT_GE(stats.linger_flushes, 1);
+  EXPECT_EQ(stats.full_flushes, 0);
+  EXPECT_EQ(stats.group_occupancy.sum(), 3.0);
+}
+
+TEST(ServingTest, FullGroupDispatchesWithoutWaitingForLinger) {
+  ServingFixture& f = Fixture();
+  AdmissionOptions options;
+  options.num_threads = 1;
+  options.max_group_size = 4;
+  options.linger_micros = 60'000'000;  // a minute: linger cannot be the cause
+  IvfServer server(&f.ivf, f.ExactFactory(), options);
+  // The same query four times shares one coalescing key by construction.
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(server.Submit(f.ds.queries.Row(0), 5, 4));
+  }
+  auto reference = futures[0].get();
+  for (int i = 1; i < 4; ++i) {
+    ExpectSameNeighbors(reference, futures[i].get(),
+                        "duplicate " + std::to_string(i));
+  }
+  ServingStats stats = server.stats();
+  EXPECT_EQ(stats.full_flushes, 1);
+  EXPECT_EQ(stats.groups, 1);
+  EXPECT_DOUBLE_EQ(stats.MeanOccupancy(), 4.0);
+}
+
+TEST(ServingTest, ShutdownDrainsInFlightWork) {
+  ServingFixture& f = Fixture();
+  const int k = 5, nprobe = 4;
+  const auto want = SoloAnswers(f, f.ExactFactory(), k, nprobe);
+  AdmissionOptions options;
+  options.num_threads = 2;
+  options.max_group_size = 16;
+  options.linger_micros = 60'000'000;  // only the drain can release these
+  IvfServer server(&f.ivf, f.ExactFactory(), options);
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    futures.push_back(server.Submit(f.ds.queries.Row(q), k, nprobe));
+  }
+  server.Shutdown();  // must flush pending groups and wait for them
+  for (std::size_t q = 0; q < futures.size(); ++q) {
+    ASSERT_EQ(futures[q].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "q=" << q;
+    ExpectSameNeighbors(want[q], futures[q].get(),
+                        "drain q=" + std::to_string(q));
+  }
+  ServingStats stats = server.stats();
+  EXPECT_GE(stats.drain_flushes, 1);
+  EXPECT_EQ(stats.latency_seconds.count(), f.ds.queries.rows());
+}
+
+TEST(ServingTest, DifferentParametersNeverShareAGroup) {
+  ServingFixture& f = Fixture();
+  AdmissionOptions options;
+  options.num_threads = 1;
+  options.max_group_size = 32;
+  options.linger_micros = 1000;
+  IvfServer server(&f.ivf, f.ExactFactory(), options);
+  // Same query, three parameter sets: the answers must match the solo
+  // search for each (k, nprobe), which a mixed group could not produce.
+  auto fa = server.Submit(f.ds.queries.Row(0), 3, 2);
+  auto fb = server.Submit(f.ds.queries.Row(0), 7, 4);
+  auto fc = server.Submit(f.ds.queries.Row(0), 7, 8);
+  auto computer = f.ExactFactory()();
+  ExpectSameNeighbors(f.ivf.Search(*computer, f.ds.queries.Row(0), 3, 2),
+                      fa.get(), "k=3 nprobe=2");
+  ExpectSameNeighbors(f.ivf.Search(*computer, f.ds.queries.Row(0), 7, 4),
+                      fb.get(), "k=7 nprobe=4");
+  ExpectSameNeighbors(f.ivf.Search(*computer, f.ds.queries.Row(0), 7, 8),
+                      fc.get(), "k=7 nprobe=8");
+  server.Shutdown();
+  EXPECT_EQ(server.stats().groups, 3);
+}
+
+TEST(ServingTest, NonPositiveKResolvesEmptyImmediately) {
+  ServingFixture& f = Fixture();
+  AdmissionOptions options;
+  options.num_threads = 1;
+  IvfServer server(&f.ivf, f.ExactFactory(), options);
+  auto future = server.Submit(f.ds.queries.Row(0), 0, 4);
+  EXPECT_TRUE(future.get().empty());
+  EXPECT_EQ(server.stats().groups, 0);
+  EXPECT_EQ(server.stats().requests, 1);
+}
+
+TEST(ServingTest, CoalescingOffServesEveryRequestSolo) {
+  ServingFixture& f = Fixture();
+  const int k = 5, nprobe = 4;
+  const auto want = SoloAnswers(f, f.DdcPqFactory(), k, nprobe);
+  AdmissionOptions options;
+  options.num_threads = 2;
+  options.coalesce = false;
+  IvfServer server(&f.ivf, f.DdcPqFactory(), options);
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    futures.push_back(server.Submit(f.ds.queries.Row(q), k, nprobe));
+  }
+  for (std::size_t q = 0; q < futures.size(); ++q) {
+    ExpectSameNeighbors(want[q], futures[q].get(),
+                        "solo q=" + std::to_string(q));
+  }
+  server.Shutdown();
+  ServingStats stats = server.stats();
+  EXPECT_EQ(stats.groups, f.ds.queries.rows());
+  EXPECT_DOUBLE_EQ(stats.MeanOccupancy(), 1.0);
+}
+
+TEST(ServingTest, BackloggedTrafficCoalesces) {
+  // With one worker and a burst of co-probing traffic, groups must form
+  // (occupancy > 1): this is the property the serving bench quantifies.
+  ServingFixture& f = Fixture();
+  AdmissionOptions options;
+  options.num_threads = 1;
+  options.max_group_size = 8;
+  options.linger_micros = 5000;
+  IvfServer server(&f.ivf, f.ExactFactory(), options);
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  constexpr int kRepeats = 16;  // same query => same key, a full backlog
+  for (int i = 0; i < kRepeats; ++i) {
+    futures.push_back(server.Submit(f.ds.queries.Row(1), 5, 4));
+  }
+  for (auto& future : futures) future.get();
+  server.Shutdown();
+  EXPECT_GE(server.stats().MeanOccupancy(), 2.0);
+}
+
+}  // namespace
+}  // namespace resinfer::serve

@@ -1,6 +1,7 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <vector>
 
@@ -50,6 +51,36 @@ TEST(ParallelTest, ThreadCountOverride) {
   SetDefaultThreadCount(0);  // restore auto
   EXPECT_GE(DefaultThreadCount(), 1);
   SetDefaultThreadCount(saved == DefaultThreadCount() ? 0 : 0);
+}
+
+TEST(ParallelTest, EnvThreadOverride) {
+  // RESINFER_THREADS mirrors RESINFER_SIMD_LEVEL: a run-without-recompiling
+  // override, consulted when no explicit SetDefaultThreadCount is active.
+  SetDefaultThreadCount(0);
+  ::setenv("RESINFER_THREADS", "3", 1);
+  EXPECT_EQ(DefaultThreadCount(), 3);
+  // Invalid values are ignored (hardware fallback, >= 1).
+  ::setenv("RESINFER_THREADS", "zero", 1);
+  EXPECT_GE(DefaultThreadCount(), 1);
+  ::setenv("RESINFER_THREADS", "-2", 1);
+  EXPECT_GE(DefaultThreadCount(), 1);
+  // An explicit SetDefaultThreadCount beats the environment.
+  ::setenv("RESINFER_THREADS", "3", 1);
+  SetDefaultThreadCount(2);
+  EXPECT_EQ(DefaultThreadCount(), 2);
+  SetDefaultThreadCount(0);
+  ::unsetenv("RESINFER_THREADS");
+}
+
+TEST(ParallelTest, ResolveThreadCountClampsNonPositiveToDefault) {
+  SetDefaultThreadCount(5);
+  EXPECT_EQ(ResolveThreadCount(2), 2);
+  EXPECT_EQ(ResolveThreadCount(0), 5);
+  // Accidental negatives (e.g. an uninitialized BatchOptions::num_threads
+  // sentinel) clamp to the default instead of flowing into thread math.
+  EXPECT_EQ(ResolveThreadCount(-1), 5);
+  EXPECT_EQ(ResolveThreadCount(-100), 5);
+  SetDefaultThreadCount(0);
 }
 
 TEST(ParallelTest, ResultsMatchSequential) {

@@ -10,9 +10,11 @@
 //       --queries /tmp/sift/queries.fvecs --gt /tmp/sift/groundtruth.ivecs \
 //       --index hnsw --method ddc-res --k 10 --ef 100
 #include <cstdio>
+#include <future>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ad_sampling.h"
@@ -23,8 +25,10 @@
 #include "data/vec_io.h"
 #include "index/batch.h"
 #include "persist/persist.h"
+#include "serve/admission.h"
 #include "tool_flags.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -45,7 +49,13 @@ void PrintUsage() {
       "  --k N           neighbors (default 10)\n"
       "  --ef N          HNSW beam (default 100)\n"
       "  --nprobe N      IVF probes (default 10)\n"
-      "  --threads N     worker threads (default: hardware)\n");
+      "  --threads N     worker threads (default: hardware)\n"
+      "  --serve         route queries one at a time through the\n"
+      "                  coalescing admission queue (IVF only) instead of\n"
+      "                  the pre-materialized batch runner\n"
+      "  --linger-us N   serve mode: group linger budget (default 200)\n"
+      "  --group N       serve mode: max queries per coalesced group\n"
+      "                  (default 32, capped at the grouped-scan width)\n");
 }
 
 // Everything a method needs at serving time, loaded once and shared by all
@@ -147,8 +157,12 @@ int main(int argc, char** argv) {
   const int nprobe = static_cast<int>(args.GetInt("nprobe", 10));
   BatchOptions batch_options;
   batch_options.num_threads = static_cast<int>(args.GetInt("threads", 0));
+  const bool serve = args.GetBool("serve", false);
+  const int64_t linger_us = args.GetInt("linger-us", 200);
+  const int serve_group = static_cast<int>(args.GetInt("group", 32));
 
   if (dir.empty() && method != "exact") args.Fail("--dir is required");
+  if (serve && index_kind != "ivf") args.Fail("--serve requires --index ivf");
   if (base_path.empty()) args.Fail("--base is required");
   if (query_path.empty()) args.Fail("--queries is required");
   if (index_kind != "hnsw" && index_kind != "ivf" && index_kind != "flat") {
@@ -188,6 +202,7 @@ int main(int argc, char** argv) {
 
   ComputerFactory factory = FactoryFor(method, artifacts);
   BatchResult batch;
+  std::optional<resinfer::serve::ServingStats> serving_stats;
   if (index_kind == "flat") {
     resinfer::index::FlatIndex flat(artifacts.base);
     batch = BatchSearchFlat(flat, factory, queries, k, batch_options);
@@ -200,7 +215,33 @@ int main(int argc, char** argv) {
                    s.ToString().c_str());
       return 1;
     }
-    batch = BatchSearchIvf(ivf, factory, queries, k, nprobe, batch_options);
+    if (serve) {
+      // The online path: one Submit per query, coalesced by traffic. The
+      // answers are bit-identical to the batch runner's; only scheduling
+      // differs (see src/serve/admission.h and docs/serving.md).
+      resinfer::serve::AdmissionOptions serve_options;
+      serve_options.num_threads = batch_options.num_threads;
+      serve_options.max_group_size = serve_group;
+      serve_options.linger_micros = linger_us;
+      resinfer::serve::IvfServer server(&ivf, factory, serve_options);
+      std::vector<std::future<std::vector<resinfer::index::Neighbor>>>
+          futures;
+      futures.reserve(static_cast<std::size_t>(queries.rows()));
+      resinfer::WallTimer timer;
+      for (int64_t q = 0; q < queries.rows(); ++q) {
+        futures.push_back(server.Submit(queries.Row(q), k, nprobe));
+      }
+      batch.results.reserve(futures.size());
+      for (auto& future : futures) batch.results.push_back(future.get());
+      batch.wall_seconds = timer.ElapsedSeconds();
+      server.Shutdown();
+      serving_stats = server.stats();
+      batch.stats = serving_stats->computer_stats;
+      batch.latency_seconds = serving_stats->latency_seconds;
+      batch.worker_busy_seconds = server.executor_stats().busy_seconds;
+    } else {
+      batch = BatchSearchIvf(ivf, factory, queries, k, nprobe, batch_options);
+    }
   } else {
     resinfer::index::HnswIndex hnsw;
     if (resinfer::util::Status s =
@@ -220,6 +261,16 @@ int main(int argc, char** argv) {
               batch.Qps(), batch.wall_seconds, batch.AvgUtilization(),
               batch.MinUtilization());
   std::printf("latency %s\n", batch.latency_seconds.Summary().c_str());
+  if (serving_stats) {
+    std::printf(
+        "serve occupancy=%.2f groups=%lld flushes full=%lld linger=%lld "
+        "drain=%lld\n",
+        serving_stats->MeanOccupancy(),
+        static_cast<long long>(serving_stats->groups),
+        static_cast<long long>(serving_stats->full_flushes),
+        static_cast<long long>(serving_stats->linger_flushes),
+        static_cast<long long>(serving_stats->drain_flushes));
+  }
   std::printf("candidates=%lld pruned_rate=%.3f scan_rate=%.3f\n",
               static_cast<long long>(batch.stats.candidates),
               batch.stats.PrunedRate(),
