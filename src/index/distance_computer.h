@@ -76,6 +76,16 @@ struct ComputerStats {
     return *this;
   }
 
+  // Counter delta (serving folds per-group deltas of a cumulative computer
+  // into guarded aggregate stats). Same every-field rule as operator+=.
+  ComputerStats& operator-=(const ComputerStats& other) {
+    candidates -= other.candidates;
+    pruned -= other.pruned;
+    dims_scanned -= other.dims_scanned;
+    exact_computations -= other.exact_computations;
+    return *this;
+  }
+
   double PrunedRate() const {
     return candidates > 0 ? static_cast<double>(pruned) / candidates : 0.0;
   }

@@ -69,7 +69,7 @@ std::future<std::vector<index::Neighbor>> IvfServer::Submit(
     // Mirrors Search's clamp: an empty answer, no group membership.
     std::promise<std::vector<index::Neighbor>> promise;
     promise.set_value({});
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::MutexLock lock(stats_mu_);
     ++stats_.requests;
     stats_.latency_seconds.Add(0.0);
     return promise.get_future();
@@ -87,7 +87,7 @@ std::future<std::vector<index::Neighbor>> IvfServer::Submit(
   std::future<std::vector<index::Neighbor>> future;
   bool new_group = false;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     RESINFER_CHECK(accepting_);  // Submit after Shutdown is a caller bug
     std::shared_ptr<PendingGroup>* slot = nullptr;
     if (options_.coalesce) {
@@ -118,14 +118,14 @@ std::future<std::vector<index::Neighbor>> IvfServer::Submit(
     }
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::MutexLock lock(stats_mu_);
     ++stats_.requests;
     if (to_dispatch != nullptr && options_.coalesce) ++stats_.full_flushes;
   }
   if (to_dispatch != nullptr) {
     Dispatch(std::move(to_dispatch));
   } else if (new_group) {
-    flusher_cv_.notify_one();  // a fresh deadline may now be the earliest
+    flusher_cv_.NotifyOne();  // a fresh deadline may now be the earliest
   }
   return future;
 }
@@ -157,7 +157,7 @@ void IvfServer::TakeMembers(PendingGroup& from, PendingGroup& to) {
 
 void IvfServer::Dispatch(std::shared_ptr<PendingGroup> group) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::MutexLock lock(stats_mu_);
     ++stats_.groups;
     stats_.group_occupancy.Add(static_cast<double>(group->count()));
   }
@@ -167,19 +167,30 @@ void IvfServer::Dispatch(std::shared_ptr<PendingGroup> group) {
     std::copy(group->queries.begin(), group->queries.end(), queries.data());
     std::vector<std::vector<index::Neighbor>> results(
         static_cast<std::size_t>(count));
-    index_->SearchBatchRange(*computers_[static_cast<std::size_t>(worker)],
-                             queries, 0, count, group->key.k,
+    index::DistanceComputer& computer =
+        *computers_[static_cast<std::size_t>(worker)];
+    // The worker's computer is single-threaded state (only worker thread
+    // `worker` ever touches it); snapshotting its cumulative counters
+    // around the scan yields this group's delta, which is folded into the
+    // guarded stats below. That keeps ServingStats::computer_stats
+    // coherent under concurrent stats() calls — the live computers are
+    // never read from another thread.
+    const index::ComputerStats before = computer.stats();
+    index_->SearchBatchRange(computer, queries, 0, count, group->key.k,
                              group->key.nprobe, results.data(),
                              group->probes.data());
+    index::ComputerStats scan_stats = computer.stats();
+    scan_stats -= before;
     const Clock::time_point done = Clock::now();
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      util::MutexLock lock(stats_mu_);
       for (int64_t i = 0; i < count; ++i) {
         stats_.latency_seconds.Add(
             std::chrono::duration<double>(
                 done - group->admitted_at[static_cast<std::size_t>(i)])
                 .count());
       }
+      stats_.computer_stats += scan_stats;
     }
     for (int64_t i = 0; i < count; ++i) {
       group->promises[static_cast<std::size_t>(i)].set_value(
@@ -187,93 +198,95 @@ void IvfServer::Dispatch(std::shared_ptr<PendingGroup> group) {
     }
     // Capacity just freed: wake the flusher so a held group (adaptive
     // batching under saturation) dispatches immediately, not on a poll.
-    flusher_cv_.notify_one();
+    flusher_cv_.NotifyOne();
   });
 }
 
 void IvfServer::FlusherLoop() {
-  std::unique_lock<std::mutex> lock(pending_mu_);
   while (true) {
-    if (stop_flusher_) return;
-    if (pending_.empty()) {
-      flusher_cv_.wait(lock, [this] {
-        return stop_flusher_ || !pending_.empty();
-      });
-      continue;
-    }
-    auto oldest = pending_.begin();
-    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-      if (it->second->deadline < oldest->second->deadline) oldest = it;
-    }
-    if (Clock::now() < oldest->second->deadline) {
-      flusher_cv_.wait_until(lock, oldest->second->deadline);
-      continue;  // re-evaluate: new groups / Flush / stop may have raced
-    }
-    // The oldest group has expired. If every worker already has queued
-    // follow-on work, dispatching now would only move its wait from the
-    // admission side into the executor queue — hold it instead, where it
-    // keeps coalescing with incoming traffic, and re-check as the queue
-    // drains (adaptive batching under saturation; see the header).
-    if (executor_.queued() >= executor_.num_threads()) {
-      // Workers notify flusher_cv_ as groups complete, so this wakes as
-      // soon as capacity frees; the timeout is only a safety net.
-      flusher_cv_.wait_for(lock, std::chrono::milliseconds(1));
-      continue;
-    }
-    // Dispatch oldest-first, one group per saturation check, outside the
-    // lock so Submit never blocks behind executor handoff.
-    std::shared_ptr<PendingGroup> group = std::move(oldest->second);
-    pending_.erase(oldest);
-    // Top the group up to max_group_size with members of pending groups
-    // that share (k, nprobe), nearest lead centroid first: probe lists
-    // ride per member, so mixed leads stay bit-identical, and spatial
-    // adjacency keeps the co-probe sharing dense — this rebuilds the
-    // packing a pre-sorted batch enjoys (whose groups also span several
-    // adjacent leads) online, instead of stranding each lead in its own
-    // small dispatch. Donors keep their deadline for whatever remains.
-    const auto& neighbors =
-        centroid_neighbors_[static_cast<std::size_t>(group->key.lead_centroid)];
-    for (int32_t lead : neighbors) {
-      if (group->count() >= options_.max_group_size) break;
-      auto donor_it =
-          pending_.find(GroupKey{group->key.k, group->key.nprobe, lead});
-      if (donor_it == pending_.end()) continue;
-      TakeMembers(*donor_it->second, *group);
-      if (donor_it->second->count() == 0) pending_.erase(donor_it);
-    }
-    // Fallback beyond the neighbor fanout: with only a handful of pending
-    // groups (light load), amortizing the group overhead beats insisting
-    // on spatial adjacency, so take any same-(k, nprobe) donor.
-    auto donor_it =
-        pending_.lower_bound(GroupKey{group->key.k, group->key.nprobe, 0});
-    while (group->count() < options_.max_group_size &&
-           donor_it != pending_.end() &&
-           donor_it->first.k == group->key.k &&
-           donor_it->first.nprobe == group->key.nprobe) {
-      TakeMembers(*donor_it->second, *group);
-      donor_it = donor_it->second->count() == 0 ? pending_.erase(donor_it)
-                                                : ++donor_it;
-    }
-    lock.unlock();
+    // One expired group is extracted per lock hold; the dispatch itself
+    // happens outside the critical section so Submit never blocks behind
+    // executor handoff.
+    std::shared_ptr<PendingGroup> group;
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      util::MutexLock lock(pending_mu_);
+      if (stop_flusher_) return;
+      if (pending_.empty()) {
+        while (!stop_flusher_ && pending_.empty()) {
+          flusher_cv_.Wait(pending_mu_);
+        }
+        continue;
+      }
+      auto oldest = pending_.begin();
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->second->deadline < oldest->second->deadline) oldest = it;
+      }
+      if (Clock::now() < oldest->second->deadline) {
+        flusher_cv_.WaitUntil(pending_mu_, oldest->second->deadline);
+        continue;  // re-evaluate: new groups / Flush / stop may have raced
+      }
+      // The oldest group has expired. If every worker already has queued
+      // follow-on work, dispatching now would only move its wait from the
+      // admission side into the executor queue — hold it instead, where it
+      // keeps coalescing with incoming traffic, and re-check as the queue
+      // drains (adaptive batching under saturation; see the header).
+      if (executor_.queued() >= executor_.num_threads()) {
+        // Workers notify flusher_cv_ as groups complete, so this wakes as
+        // soon as capacity frees; the timeout is only a safety net.
+        flusher_cv_.WaitFor(pending_mu_, std::chrono::milliseconds(1));
+        continue;
+      }
+      group = std::move(oldest->second);
+      pending_.erase(oldest);
+      // Top the group up to max_group_size with members of pending groups
+      // that share (k, nprobe), nearest lead centroid first: probe lists
+      // ride per member, so mixed leads stay bit-identical, and spatial
+      // adjacency keeps the co-probe sharing dense — this rebuilds the
+      // packing a pre-sorted batch enjoys (whose groups also span several
+      // adjacent leads) online, instead of stranding each lead in its own
+      // small dispatch. Donors keep their deadline for whatever remains.
+      const auto& neighbors = centroid_neighbors_[static_cast<std::size_t>(
+          group->key.lead_centroid)];
+      for (int32_t lead : neighbors) {
+        if (group->count() >= options_.max_group_size) break;
+        auto donor_it =
+            pending_.find(GroupKey{group->key.k, group->key.nprobe, lead});
+        if (donor_it == pending_.end()) continue;
+        TakeMembers(*donor_it->second, *group);
+        if (donor_it->second->count() == 0) pending_.erase(donor_it);
+      }
+      // Fallback beyond the neighbor fanout: with only a handful of pending
+      // groups (light load), amortizing the group overhead beats insisting
+      // on spatial adjacency, so take any same-(k, nprobe) donor.
+      auto donor_it =
+          pending_.lower_bound(GroupKey{group->key.k, group->key.nprobe, 0});
+      while (group->count() < options_.max_group_size &&
+             donor_it != pending_.end() &&
+             donor_it->first.k == group->key.k &&
+             donor_it->first.nprobe == group->key.nprobe) {
+        TakeMembers(*donor_it->second, *group);
+        donor_it = donor_it->second->count() == 0 ? pending_.erase(donor_it)
+                                                  : ++donor_it;
+      }
+    }
+    {
+      util::MutexLock stats_lock(stats_mu_);
       ++stats_.linger_flushes;
     }
     Dispatch(std::move(group));
-    lock.lock();
   }
 }
 
 void IvfServer::Flush() {
   std::vector<std::shared_ptr<PendingGroup>> drained;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     drained.reserve(pending_.size());
     for (auto& [key, group] : pending_) drained.push_back(std::move(group));
     pending_.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::MutexLock lock(stats_mu_);
     stats_.drain_flushes += static_cast<int64_t>(drained.size());
   }
   for (auto& group : drained) Dispatch(std::move(group));
@@ -281,28 +294,23 @@ void IvfServer::Flush() {
 
 void IvfServer::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    util::MutexLock lock(pending_mu_);
     if (shut_down_) return;
     shut_down_ = true;
     accepting_ = false;
     stop_flusher_ = true;
   }
-  flusher_cv_.notify_all();
+  flusher_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
   Flush();
   executor_.Shutdown();  // waits for every dispatched group to complete
 }
 
 ServingStats IvfServer::stats() const {
-  ServingStats snapshot;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    snapshot = stats_;
-  }
-  for (const auto& computer : computers_) {
-    snapshot.computer_stats += computer->stats();
-  }
-  return snapshot;
+  // computer_stats is folded in per completed group under stats_mu_
+  // (see Dispatch), so the snapshot is coherent even mid-flight.
+  util::MutexLock lock(stats_mu_);
+  return stats_;
 }
 
 }  // namespace resinfer::serve

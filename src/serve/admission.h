@@ -50,12 +50,10 @@
 #define RESINFER_SERVE_ADMISSION_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -64,6 +62,7 @@
 #include "index/ivf_index.h"
 #include "serve/executor.h"
 #include "util/histogram.h"
+#include "util/thread_annotations.h"
 
 namespace resinfer::serve {
 
@@ -96,11 +95,13 @@ struct ServingStats {
   // Submit-to-completion wall per request (includes linger and queueing —
   // the latency a client observes, not just the scan).
   Histogram latency_seconds;
-  // Computer counters summed across workers at snapshot time. The worker
-  // computers are read without synchronization, so this field is only
-  // coherent when no search is in flight — after Shutdown, or once every
-  // submitted future has resolved (promise resolution happens-after the
-  // member's scan). The other fields are mutex-guarded and always exact.
+  // Computer counters summed across workers. Each dispatched group's
+  // counter delta is folded in under the stats mutex when its scan
+  // completes, so a snapshot is always coherent — it reflects exactly the
+  // groups that had finished at snapshot time, and reading it concurrently
+  // with in-flight searches is race-free. (This used to be an unguarded
+  // sweep over the live worker computers, the kind of lock-discipline hole
+  // the thread-safety annotations now make a compile error.)
   index::ComputerStats computer_stats;
 
   double MeanOccupancy() const { return group_occupancy.mean(); }
@@ -125,17 +126,19 @@ class IvfServer {
   // k <= 0 resolves to an empty result without being grouped. Must not be
   // called once Shutdown has begun.
   std::future<std::vector<index::Neighbor>> Submit(const float* query, int k,
-                                                   int nprobe);
+                                                   int nprobe)
+      RESINFER_EXCLUDES(pending_mu_, stats_mu_);
 
   // Dispatches every pending group immediately, regardless of linger
   // deadlines. Does not wait for them to finish.
-  void Flush();
+  void Flush() RESINFER_EXCLUDES(pending_mu_, stats_mu_);
 
   // Stops the linger flusher, drains pending groups, and waits for every
   // in-flight search to complete. Idempotent; the destructor calls it.
-  void Shutdown();
+  void Shutdown() RESINFER_EXCLUDES(pending_mu_, stats_mu_);
 
-  ServingStats stats() const;
+  // Safe to call at any time, including while searches are in flight.
+  ServingStats stats() const RESINFER_EXCLUDES(stats_mu_);
   Executor::Stats executor_stats() const { return executor_.stats(); }
   int num_threads() const { return executor_.num_threads(); }
   int64_t dim() const { return dim_; }
@@ -167,12 +170,14 @@ class IvfServer {
     }
   };
 
-  // Moves the group onto the executor. Called without pending_mu_ held.
-  void Dispatch(std::shared_ptr<PendingGroup> group);
+  // Moves the group onto the executor.
+  void Dispatch(std::shared_ptr<PendingGroup> group)
+      RESINFER_EXCLUDES(pending_mu_, stats_mu_);
   // Moves members from `from` into `to` up to max_group_size (both must
-  // share (k, nprobe)). Called with pending_mu_ held.
-  void TakeMembers(PendingGroup& from, PendingGroup& to);
-  void FlusherLoop();
+  // share (k, nprobe)).
+  void TakeMembers(PendingGroup& from, PendingGroup& to)
+      RESINFER_REQUIRES(pending_mu_);
+  void FlusherLoop() RESINFER_EXCLUDES(pending_mu_, stats_mu_);
 
   const index::IvfIndex* index_;
   int64_t dim_ = 0;
@@ -186,16 +191,20 @@ class IvfServer {
   Executor executor_;
   std::vector<std::unique_ptr<index::DistanceComputer>> computers_;
 
-  mutable std::mutex pending_mu_;
-  std::map<GroupKey, std::shared_ptr<PendingGroup>> pending_;
-  std::condition_variable flusher_cv_;
-  bool accepting_ = true;
-  bool stop_flusher_ = false;
+  // Lock order: pending_mu_ and stats_mu_ are never held together —
+  // Submit, Dispatch, Flush, and the flusher all drop one before taking
+  // the other.
+  mutable util::Mutex pending_mu_;
+  std::map<GroupKey, std::shared_ptr<PendingGroup>> pending_
+      RESINFER_GUARDED_BY(pending_mu_);
+  util::CondVar flusher_cv_;
+  bool accepting_ RESINFER_GUARDED_BY(pending_mu_) = true;
+  bool stop_flusher_ RESINFER_GUARDED_BY(pending_mu_) = false;
+  bool shut_down_ RESINFER_GUARDED_BY(pending_mu_) = false;
   std::thread flusher_;
 
-  mutable std::mutex stats_mu_;
-  ServingStats stats_;
-  bool shut_down_ = false;  // guarded by pending_mu_
+  mutable util::Mutex stats_mu_;
+  ServingStats stats_ RESINFER_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace resinfer::serve

@@ -12,19 +12,22 @@ namespace resinfer::serve {
 
 void WaitGroup::Add(int64_t n) {
   RESINFER_CHECK(n >= 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   outstanding_ += n;
 }
 
 void WaitGroup::Done() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   RESINFER_CHECK(outstanding_ > 0);
-  if (--outstanding_ == 0) cv_.notify_all();
+  if (--outstanding_ == 0) cv_.NotifyAll();
 }
 
 void WaitGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  util::MutexLock lock(mu_);
+  // Inline predicate loop (not the lambda-predicate overload): the analysis
+  // does not propagate lock state into lambda bodies, so reading
+  // outstanding_ from a closure would defeat the GUARDED_BY contract.
+  while (outstanding_ != 0) cv_.Wait(mu_);
 }
 
 Executor::Executor() : Executor(Options()) {}
@@ -47,16 +50,16 @@ Executor::~Executor() { Shutdown(); }
 void Executor::Submit(Task task) {
   RESINFER_CHECK(task != nullptr);
   {
-    std::lock_guard<std::mutex> lock(admission_mu_);
+    util::MutexLock lock(admission_mu_);
     admission_.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
   {
     // Taking the idle lock orders this submission against the sleep
     // predicate check, so a worker about to sleep cannot miss the wakeup.
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    util::MutexLock lock(idle_mu_);
   }
-  idle_cv_.notify_one();
+  idle_cv_.NotifyOne();
 }
 
 void Executor::SubmitTo(int worker, Task task) {
@@ -64,14 +67,14 @@ void Executor::SubmitTo(int worker, Task task) {
   RESINFER_CHECK(worker >= 0 && worker < num_threads());
   Worker& w = *workers_[static_cast<std::size_t>(worker)];
   {
-    std::lock_guard<std::mutex> lock(w.mu);
+    util::MutexLock lock(w.mu);
     w.deque.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    util::MutexLock lock(idle_mu_);
   }
-  idle_cv_.notify_all();  // the owner or any potential thief may be asleep
+  idle_cv_.NotifyAll();  // the owner or any potential thief may be asleep
 }
 
 bool Executor::TryRunOne(int self) {
@@ -82,7 +85,7 @@ bool Executor::TryRunOne(int self) {
 
   // 1. Own deque, LIFO end.
   {
-    std::lock_guard<std::mutex> lock(me.mu);
+    util::MutexLock lock(me.mu);
     if (!me.deque.empty()) {
       task = std::move(me.deque.back());
       me.deque.pop_back();
@@ -90,7 +93,7 @@ bool Executor::TryRunOne(int self) {
   }
   // 2. Shared admission queue, FIFO.
   if (task == nullptr) {
-    std::lock_guard<std::mutex> lock(admission_mu_);
+    util::MutexLock lock(admission_mu_);
     if (!admission_.empty()) {
       task = std::move(admission_.front());
       admission_.pop_front();
@@ -103,7 +106,7 @@ bool Executor::TryRunOne(int self) {
     const int n = num_threads();
     for (int i = 1; i < n && task == nullptr; ++i) {
       Worker& victim = *workers_[static_cast<std::size_t>((self + i) % n)];
-      std::lock_guard<std::mutex> lock(victim.mu);
+      util::MutexLock lock(victim.mu);
       if (!victim.deque.empty()) {
         task = std::move(victim.deque.front());
         victim.deque.pop_front();
@@ -126,8 +129,8 @@ bool Executor::TryRunOne(int self) {
       shutdown_.load(std::memory_order_acquire)) {
     // Possibly the last task of a drain; wake workers blocked on the exit
     // predicate below.
-    std::lock_guard<std::mutex> lock(idle_mu_);
-    idle_cv_.notify_all();
+    util::MutexLock lock(idle_mu_);
+    idle_cv_.NotifyAll();
   }
   return true;
 }
@@ -135,20 +138,20 @@ bool Executor::TryRunOne(int self) {
 void Executor::WorkerLoop(int self) {
   while (true) {
     if (TryRunOne(self)) continue;
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait(lock, [this] {
-      return pending_.load(std::memory_order_acquire) > 0 ||
-             shutdown_.load(std::memory_order_acquire);
-    });
+    util::MutexLock lock(idle_mu_);
+    while (pending_.load(std::memory_order_acquire) <= 0 &&
+           !shutdown_.load(std::memory_order_acquire)) {
+      idle_cv_.Wait(idle_mu_);
+    }
     if (shutdown_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0) {
       // Nothing queued — but a still-running task elsewhere may yet spawn
       // work, so wait for full quiescence rather than exiting early.
       if (running_.load(std::memory_order_acquire) == 0) return;
-      idle_cv_.wait(lock, [this] {
-        return pending_.load(std::memory_order_acquire) > 0 ||
-               running_.load(std::memory_order_acquire) == 0;
-      });
+      while (pending_.load(std::memory_order_acquire) <= 0 &&
+             running_.load(std::memory_order_acquire) != 0) {
+        idle_cv_.Wait(idle_mu_);
+      }
       if (pending_.load(std::memory_order_acquire) == 0 &&
           running_.load(std::memory_order_acquire) == 0) {
         return;
@@ -160,13 +163,13 @@ void Executor::WorkerLoop(int self) {
 void Executor::Shutdown() {
   // Serializes concurrent Shutdown calls (including the destructor after
   // an explicit call) so the worker threads are joined exactly once.
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  util::MutexLock shutdown_lock(shutdown_mu_);
   if (joined_) return;
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    util::MutexLock lock(idle_mu_);
     shutdown_.store(true, std::memory_order_release);
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }

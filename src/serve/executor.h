@@ -28,13 +28,14 @@
 #define RESINFER_SERVE_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace resinfer::serve {
 
@@ -43,14 +44,14 @@ namespace resinfer::serve {
 // after Wait returns.
 class WaitGroup {
  public:
-  void Add(int64_t n);
-  void Done();
-  void Wait();
+  void Add(int64_t n) RESINFER_EXCLUDES(mu_);
+  void Done() RESINFER_EXCLUDES(mu_);
+  void Wait() RESINFER_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int64_t outstanding_ = 0;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  int64_t outstanding_ RESINFER_GUARDED_BY(mu_) = 0;
 };
 
 class Executor {
@@ -89,17 +90,17 @@ class Executor {
   // may Submit follow-up work at any time — the Shutdown drain always
   // serves it. External threads must not Submit once Shutdown has begun
   // (such a task may never run).
-  void Submit(Task task);
+  void Submit(Task task) RESINFER_EXCLUDES(admission_mu_, idle_mu_);
 
   // Enqueues onto worker `worker`'s own deque. Used to pre-distribute a
   // known work list; the owner pops it LIFO, idle workers steal it FIFO.
   // Same Shutdown contract as Submit.
-  void SubmitTo(int worker, Task task);
+  void SubmitTo(int worker, Task task) RESINFER_EXCLUDES(idle_mu_);
 
   // Runs every submitted task (including tasks submitted by tasks) to
   // completion, then joins the workers. Idempotent and safe to call
   // concurrently; the destructor calls it.
-  void Shutdown();
+  void Shutdown() RESINFER_EXCLUDES(shutdown_mu_, idle_mu_);
 
   Stats stats() const;
 
@@ -111,8 +112,8 @@ class Executor {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::deque<Task> deque;
+    util::Mutex mu;
+    std::deque<Task> deque RESINFER_GUARDED_BY(mu);
     std::thread thread;
     std::atomic<int64_t> busy_nanos{0};
     std::atomic<int64_t> executed{0};
@@ -123,13 +124,13 @@ class Executor {
   // Pops one task for worker `self` (own deque back, admission queue
   // front, then steal from victims front). Returns false when every queue
   // is empty at the time of the scan.
-  bool TryRunOne(int self);
-  void WorkerLoop(int self);
+  bool TryRunOne(int self) RESINFER_EXCLUDES(admission_mu_, idle_mu_);
+  void WorkerLoop(int self) RESINFER_EXCLUDES(admission_mu_, idle_mu_);
 
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  std::mutex admission_mu_;
-  std::deque<Task> admission_;
+  util::Mutex admission_mu_;
+  std::deque<Task> admission_ RESINFER_GUARDED_BY(admission_mu_);
 
   // Queued-but-not-started tasks across all queues; the sleep predicate.
   std::atomic<int64_t> pending_{0};
@@ -137,11 +138,14 @@ class Executor {
   // reach zero, so task-spawned tasks always run.
   std::atomic<int64_t> running_{0};
 
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  // Lock order: shutdown_mu_ before idle_mu_ (Shutdown takes both);
+  // admission_mu_ and the per-worker mus are leaves, never held across
+  // another acquisition.
+  util::Mutex idle_mu_ RESINFER_ACQUIRED_AFTER(shutdown_mu_);
+  util::CondVar idle_cv_;
   std::atomic<bool> shutdown_{false};
-  std::mutex shutdown_mu_;  // serializes Shutdown; guards joined_
-  bool joined_ = false;
+  util::Mutex shutdown_mu_;  // serializes Shutdown; guards joined_
+  bool joined_ RESINFER_GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace resinfer::serve

@@ -44,7 +44,12 @@ enum class StatusCode {
 
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]] at class level: every function returning a Status (or
+// StatusOr) by value is implicitly must-use, with no per-declaration
+// annotation to forget. Silently dropping an error — the bug class the
+// static-analysis CI job exists to kill — is a compile error under
+// -Werror. Intentional discards must say so: `(void)DoThing();  // why`.
+class [[nodiscard]] Status {
  public:
   // Default-constructed Status is OK.
   Status() = default;
@@ -71,8 +76,10 @@ class Status {
     return Status(StatusCode::kInternal, std::move(message));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  // nodiscard on the boolean accessors too: `s.ok();` without using the
+  // result is always a bug (the caller meant to branch on it).
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   // "OK" or "CORRUPTION: ivf.bin: section 'buckets' checksum mismatch".
@@ -91,7 +98,7 @@ class Status {
 // Value-or-error result for factory-style loaders. Accessing the value of
 // a non-OK StatusOr is a caller bug (checked).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit from a value (OK) or from a non-OK Status, mirroring absl.
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
@@ -100,8 +107,8 @@ class StatusOr {
                        "StatusOr constructed from OK status without a value");
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     RESINFER_CHECK_MSG(ok(), "StatusOr::value() on a non-OK status");

@@ -1,0 +1,160 @@
+// Clang Thread Safety Analysis annotations + annotated locking primitives.
+//
+// The serving runtime (serve::Executor, serve::IvfServer) is lock-heavy by
+// design, and the lock discipline — which mutex guards which field, which
+// functions must (or must not) hold which lock — used to live only in
+// comments and in TSan's luck at catching a bad interleaving at runtime.
+// These macros turn that discipline into a compile-time contract: under
+// clang the whole tree builds with -Wthread-safety -Werror (the
+// static-analysis CI job), so reading a RESINFER_GUARDED_BY field without
+// its mutex is a build break, not a latent race. Under GCC and MSVC every
+// macro expands to nothing and the wrappers behave exactly like
+// std::mutex / std::lock_guard / std::condition_variable.
+//
+// Use the annotated types below (util::Mutex, util::MutexLock,
+// util::CondVar) instead of the std primitives in library code: the std
+// types carry no capability attributes, so the analysis cannot see through
+// them. tools/lint_invariants enforces that naked std::mutex / std::thread
+// stay confined to src/serve + src/util (and util::Mutex is preferred even
+// there).
+//
+// The vocabulary mirrors abseil's thread_annotations.h:
+//   RESINFER_GUARDED_BY(mu)    field may only be touched with mu held
+//   RESINFER_PT_GUARDED_BY(mu) pointee guarded, pointer itself free
+//   RESINFER_REQUIRES(mu)      caller must hold mu (non-reentrant)
+//   RESINFER_EXCLUDES(mu)      caller must NOT hold mu (self-deadlock guard)
+//   RESINFER_ACQUIRE(mu)       function acquires mu and does not release it
+//   RESINFER_RELEASE(mu)       function releases mu
+//   RESINFER_ACQUIRED_AFTER    documents lock ordering for deadlock analysis
+//   RESINFER_NO_THREAD_SAFETY_ANALYSIS  opt-out for one function (justify!)
+#ifndef RESINFER_UTIL_THREAD_ANNOTATIONS_H_
+#define RESINFER_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RESINFER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RESINFER_THREAD_ANNOTATION(x)  // no-op on GCC / MSVC
+#endif
+
+#define RESINFER_CAPABILITY(name) \
+  RESINFER_THREAD_ANNOTATION(capability(name))
+#define RESINFER_SCOPED_CAPABILITY \
+  RESINFER_THREAD_ANNOTATION(scoped_lockable)
+#define RESINFER_GUARDED_BY(mu) RESINFER_THREAD_ANNOTATION(guarded_by(mu))
+#define RESINFER_PT_GUARDED_BY(mu) \
+  RESINFER_THREAD_ANNOTATION(pt_guarded_by(mu))
+#define RESINFER_REQUIRES(...) \
+  RESINFER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RESINFER_REQUIRES_SHARED(...) \
+  RESINFER_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define RESINFER_EXCLUDES(...) \
+  RESINFER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RESINFER_ACQUIRE(...) \
+  RESINFER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RESINFER_TRY_ACQUIRE(...) \
+  RESINFER_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define RESINFER_RELEASE(...) \
+  RESINFER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RESINFER_ACQUIRED_AFTER(...) \
+  RESINFER_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define RESINFER_ACQUIRED_BEFORE(...) \
+  RESINFER_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RESINFER_RETURN_CAPABILITY(mu) \
+  RESINFER_THREAD_ANNOTATION(lock_returned(mu))
+#define RESINFER_NO_THREAD_SAFETY_ANALYSIS \
+  RESINFER_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace resinfer::util {
+
+// std::mutex with the capability attribute the analysis needs. Zero
+// overhead: the wrapper is exactly one std::mutex, and every method is a
+// forwarding inline.
+class RESINFER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RESINFER_ACQUIRE() { mu_.lock(); }
+  void Unlock() RESINFER_RELEASE() { mu_.unlock(); }
+  bool TryLock() RESINFER_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // For CondVar only: the analysis does not follow the native handle, so
+  // callers other than CondVar should go through Lock/Unlock/MutexLock.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock with the scoped-capability attribute (the annotated
+// std::lock_guard). Scope-bound: the analysis credits the capability for
+// exactly the lifetime of the object.
+class RESINFER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RESINFER_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RESINFER_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable over util::Mutex. Every Wait* requires the mutex held
+// (enforced under clang); notification never requires it. Implemented on
+// std::condition_variable via adopt/release so there is no
+// condition_variable_any overhead.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) RESINFER_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still holds mu; do not double-unlock
+  }
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) RESINFER_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  // Returns cv_status::timeout on deadline expiry, like the std API.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(Mutex& mu,
+                           const std::chrono::time_point<Clock, Duration>&
+                               deadline) RESINFER_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      RESINFER_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace resinfer::util
+
+#endif  // RESINFER_UTIL_THREAD_ANNOTATIONS_H_

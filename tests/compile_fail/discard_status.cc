@@ -1,0 +1,21 @@
+// Negative-compile case: a silently discarded util::Status must not
+// compile. Built twice by the harness (see "Compile-fail tests" in
+// CMakeLists.txt): with RESINFER_EXPECT_COMPILE_FAIL the violating branch
+// is compiled and the build is asserted to FAIL; without it the control
+// branch proves the surrounding code is otherwise valid, so the failure
+// can only come from the seeded violation.
+#include "util/status.h"
+
+namespace {
+
+resinfer::util::Status DoThing() { return resinfer::util::Status::Ok(); }
+
+}  // namespace
+
+void CompileFailDiscardStatus() {
+#if defined(RESINFER_EXPECT_COMPILE_FAIL)
+  DoThing();  // discarded [[nodiscard]] Status — -Werror turns this fatal
+#else
+  (void)DoThing();  // the sanctioned intentional-discard spelling
+#endif
+}

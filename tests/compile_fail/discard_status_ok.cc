@@ -1,0 +1,13 @@
+// Negative-compile case: calling Status::ok() without using the result
+// must not compile — the caller meant to branch on it. See
+// discard_status.cc for how the two-variant harness works.
+#include "util/status.h"
+
+int CompileFailDiscardOk(const resinfer::util::Status& s) {
+#if defined(RESINFER_EXPECT_COMPILE_FAIL)
+  s.ok();  // discarded [[nodiscard]] bool
+  return 0;
+#else
+  return s.ok() ? 0 : 1;
+#endif
+}

@@ -1,0 +1,20 @@
+// Negative-compile case: a discarded util::StatusOr<T> must not compile —
+// dropping it drops both the value and the error. See discard_status.cc
+// for how the two-variant harness works.
+#include "util/status.h"
+
+namespace {
+
+resinfer::util::StatusOr<int> MakeThing() { return 42; }
+
+}  // namespace
+
+int CompileFailDiscardStatusOr() {
+#if defined(RESINFER_EXPECT_COMPILE_FAIL)
+  MakeThing();  // discarded [[nodiscard]] StatusOr
+  return 0;
+#else
+  resinfer::util::StatusOr<int> result = MakeThing();
+  return result.ok() ? *result : -1;
+#endif
+}

@@ -1,0 +1,39 @@
+// Negative-compile case (clang only): reading a RESINFER_GUARDED_BY field
+// without holding its mutex must not compile under
+// -Wthread-safety -Werror. The harness registers this case only when the
+// compiler is clang — the annotations are no-ops elsewhere. See
+// discard_status.cc for how the two-variant harness works.
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    resinfer::util::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int64_t value() const {
+#if defined(RESINFER_EXPECT_COMPILE_FAIL)
+    return value_;  // guarded-field read without mu_ — TSA must reject
+#else
+    resinfer::util::MutexLock lock(mu_);
+    return value_;
+#endif
+  }
+
+ private:
+  mutable resinfer::util::Mutex mu_;
+  int64_t value_ RESINFER_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int64_t CompileFailGuardedField() {
+  Counter counter;
+  counter.Increment();
+  return counter.value();
+}

@@ -1,0 +1,32 @@
+// Negative-compile case (clang only): calling a RESINFER_REQUIRES(mu)
+// function without holding mu must not compile under
+// -Wthread-safety -Werror. See guarded_field_no_lock.cc for the clang
+// gating and discard_status.cc for how the two-variant harness works.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Widget {
+ public:
+  void Poke() RESINFER_EXCLUDES(mu_) {
+#if defined(RESINFER_EXPECT_COMPILE_FAIL)
+    PokeLocked();  // REQUIRES(mu_) callee, caller holds nothing — TSA error
+#else
+    resinfer::util::MutexLock lock(mu_);
+    PokeLocked();
+#endif
+  }
+
+ private:
+  void PokeLocked() RESINFER_REQUIRES(mu_) { ++count_; }
+
+  resinfer::util::Mutex mu_;
+  int count_ RESINFER_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void CompileFailRequiresWithoutLock() {
+  Widget widget;
+  widget.Poke();
+}

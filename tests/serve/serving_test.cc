@@ -8,6 +8,7 @@
 #include "serve/admission.h"
 
 #include <algorithm>
+#include <atomic>
 #include <future>
 #include <memory>
 #include <numeric>
@@ -312,6 +313,62 @@ TEST(ServingTest, BackloggedTrafficCoalesces) {
   for (auto& future : futures) future.get();
   server.Shutdown();
   EXPECT_GE(server.stats().MeanOccupancy(), 2.0);
+}
+
+TEST(ServingTest, StatsSnapshotsAreCoherentDuringTraffic) {
+  // Regression for a lock-discipline hole the thread-safety annotations
+  // surfaced: stats() used to sweep the live per-worker computers with no
+  // lock, racing every in-flight scan (the old header even admitted the
+  // result was "only coherent when no search is in flight"). Stats are now
+  // folded per dispatched group under stats_mu_, so a reader hammering
+  // stats() during traffic must see race-free (TSan-clean under the CI
+  // TSan job, which runs this suite) and monotonically growing counters.
+  ServingFixture& f = Fixture();
+  AdmissionOptions options;
+  options.num_threads = 4;
+  options.max_group_size = 8;
+  options.linger_micros = 50;
+  IvfServer server(&f.ivf, f.DdcPqFactory(), options);
+  constexpr int k = 10;
+  constexpr int nprobe = 6;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    index::ComputerStats last;
+    while (!stop.load(std::memory_order_acquire)) {
+      const ServingStats snapshot = server.stats();
+      // Whole-group folding: every counter only ever grows, and the
+      // internal relations hold at every instant — a torn read of a live
+      // computer would violate both.
+      EXPECT_GE(snapshot.computer_stats.candidates, last.candidates);
+      EXPECT_GE(snapshot.computer_stats.pruned, last.pruned);
+      EXPECT_GE(snapshot.computer_stats.dims_scanned, last.dims_scanned);
+      EXPECT_GE(snapshot.computer_stats.candidates,
+                snapshot.computer_stats.pruned);
+      last = snapshot.computer_stats;
+    }
+  });
+
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      std::vector<std::future<std::vector<Neighbor>>> futures;
+      for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+        futures.push_back(server.Submit(f.ds.queries.Row(q), k, nprobe));
+      }
+      for (auto& future : futures) future.get();
+    });
+  }
+  for (auto& client : clients) client.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  server.Shutdown();
+
+  const ServingStats final_stats = server.stats();
+  EXPECT_EQ(final_stats.requests, kClients * f.ds.queries.rows());
+  // Every request's scan work is folded in by shutdown.
+  EXPECT_GE(final_stats.computer_stats.candidates, final_stats.requests);
 }
 
 }  // namespace

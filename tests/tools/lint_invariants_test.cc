@@ -1,0 +1,357 @@
+// Tests for the repo-invariant linter itself: each check must flag a
+// seeded violation in a synthetic fixture tree and stay quiet on the
+// equivalent clean tree — a linter that cannot catch its own seeded bugs
+// proves nothing in CI.
+#include "lint_invariants_lib.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace resinfer::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A throwaway repo-shaped tree under the test temp dir.
+class FixtureTree {
+ public:
+  FixtureTree() {
+    root_ = fs::path(::testing::TempDir()) /
+            ("lint_fixture_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~FixtureTree() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  const fs::path& root() const { return root_; }
+
+  void WriteFile(const std::string& rel_path, const std::string& contents) {
+    const fs::path path = root_ / rel_path;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << path;
+    out << contents;
+  }
+
+ private:
+  fs::path root_;
+};
+
+std::vector<std::string> Rules(const std::vector<Violation>& violations) {
+  std::vector<std::string> rules;
+  for (const Violation& v : violations) rules.push_back(v.rule);
+  return rules;
+}
+
+// ---------------------------------------------------------------------------
+// KernelTable completeness
+// ---------------------------------------------------------------------------
+
+// A miniature dispatch.cc: 1 level tag + 3 kernel fields.
+constexpr char kDispatchHeader[] = R"(
+namespace resinfer::simd {
+struct KernelTable {
+  SimdLevel level;
+  float (*l2_sqr)(const float*, const float*, int64_t);
+  float (*dot)(const float*, const float*, int64_t);
+  void (*scan)(const uint8_t*, int, float*);
+};
+)";
+
+constexpr char kCompleteTables[] = R"(
+constexpr KernelTable kScalarTable = {SimdLevel::kScalar, L2SqrScalar,
+                                      DotScalar, ScanScalar};
+#if defined(RESINFER_HAVE_AVX2)
+constexpr KernelTable kAvx2Table = {SimdLevel::kAvx2, L2SqrAvx2, DotAvx2,
+                                    ScanAvx2};
+#endif
+#if defined(RESINFER_HAVE_AVX512)
+constexpr KernelTable kAvx512Table = {SimdLevel::kAvx512, L2SqrAvx512,
+                                      DotAvx512, ScanAvx512};
+#endif
+}  // namespace resinfer::simd
+)";
+
+TEST(LintKernelTableTest, CompleteTablesAreClean) {
+  const std::vector<Violation> violations = CheckKernelTableSource(
+      std::string(kDispatchHeader) + kCompleteTables, "dispatch.cc");
+  EXPECT_TRUE(violations.empty()) << violations.front().ToString();
+}
+
+TEST(LintKernelTableTest, FlagsMissingAvx512Entry) {
+  // kAvx512Table lists only 3 of 4 fields: aggregate init would null-fill
+  // the scan kernel. This is the exact seeded violation from the issue.
+  constexpr char kShortAvx512[] = R"(
+constexpr KernelTable kScalarTable = {SimdLevel::kScalar, L2SqrScalar,
+                                      DotScalar, ScanScalar};
+constexpr KernelTable kAvx2Table = {SimdLevel::kAvx2, L2SqrAvx2, DotAvx2,
+                                    ScanAvx2};
+constexpr KernelTable kAvx512Table = {SimdLevel::kAvx512, L2SqrAvx512,
+                                      DotAvx512};
+}  // namespace resinfer::simd
+)";
+  const std::vector<Violation> violations = CheckKernelTableSource(
+      std::string(kDispatchHeader) + kShortAvx512, "dispatch.cc");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "kernel-table");
+  EXPECT_NE(violations[0].message.find("kAvx512Table"), std::string::npos);
+  EXPECT_NE(violations[0].message.find("3 of 4"), std::string::npos)
+      << violations[0].message;
+}
+
+TEST(LintKernelTableTest, FlagsExplicitNullKernel) {
+  constexpr char kNullEntry[] = R"(
+constexpr KernelTable kScalarTable = {SimdLevel::kScalar, L2SqrScalar,
+                                      DotScalar, ScanScalar};
+constexpr KernelTable kAvx2Table = {SimdLevel::kAvx2, L2SqrAvx2, DotAvx2,
+                                    nullptr};
+constexpr KernelTable kAvx512Table = {SimdLevel::kAvx512, L2SqrAvx512,
+                                      DotAvx512, ScanAvx512};
+)";
+  const std::vector<Violation> violations = CheckKernelTableSource(
+      std::string(kDispatchHeader) + kNullEntry, "dispatch.cc");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].message.find("null kernel"), std::string::npos);
+}
+
+TEST(LintKernelTableTest, FlagsMissingTableEntirely) {
+  constexpr char kNoAvx512[] = R"(
+constexpr KernelTable kScalarTable = {SimdLevel::kScalar, L2SqrScalar,
+                                      DotScalar, ScanScalar};
+constexpr KernelTable kAvx2Table = {SimdLevel::kAvx2, L2SqrAvx2, DotAvx2,
+                                    ScanAvx2};
+)";
+  const std::vector<Violation> violations = CheckKernelTableSource(
+      std::string(kDispatchHeader) + kNoAvx512, "dispatch.cc");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].message.find("kAvx512Table"), std::string::npos);
+}
+
+TEST(LintKernelTableTest, IgnoresCommentedOutEntries) {
+  // A commented-out fifth field must not count as a struct member, and a
+  // commented-out entry must not count as populated.
+  constexpr char kCommented[] = R"(
+namespace resinfer::simd {
+struct KernelTable {
+  SimdLevel level;
+  float (*l2_sqr)(const float*, const float*, int64_t);
+  // float (*dot_disabled)(const float*, const float*, int64_t);
+};
+constexpr KernelTable kScalarTable = {SimdLevel::kScalar, L2SqrScalar};
+constexpr KernelTable kAvx2Table = {SimdLevel::kAvx2, L2SqrAvx2};
+constexpr KernelTable kAvx512Table = {SimdLevel::kAvx512, L2SqrAvx512};
+}
+)";
+  EXPECT_TRUE(CheckKernelTableSource(kCommented, "dispatch.cc").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Persist baseline: version floors + frozen fixtures
+// ---------------------------------------------------------------------------
+
+class LintBaselineTest : public ::testing::Test {
+ protected:
+  void SeedCleanTree() {
+    tree_.WriteFile("src/persist/persist.cc",
+                    "constexpr uint32_t kVersion = 3;\n"
+                    "constexpr uint32_t kIvfVersionChecksum = 5;\n");
+    tree_.WriteFile("tests/persist/testdata/ivf_v1.bin", "frozen-bytes-v1");
+    const std::string fixture = "frozen-bytes-v1";
+    char hash_hex[17];
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                  static_cast<unsigned long long>(Fnv1a64(fixture)));
+    tree_.WriteFile("tools/lint_baseline.txt",
+                    "version kVersion 3\n"
+                    "version kIvfVersionChecksum 5\n"
+                    "fixture tests/persist/testdata/ivf_v1.bin " +
+                        std::to_string(fixture.size()) + " " + hash_hex +
+                        "\n");
+  }
+
+  std::vector<Violation> Run() {
+    return CheckPersistBaseline(tree_.root(),
+                                tree_.root() / "tools" / "lint_baseline.txt");
+  }
+
+  FixtureTree tree_;
+};
+
+TEST_F(LintBaselineTest, CleanTreePasses) {
+  SeedCleanTree();
+  const std::vector<Violation> violations = Run();
+  EXPECT_TRUE(violations.empty())
+      << violations.front().ToString();
+}
+
+TEST_F(LintBaselineTest, VersionBumpIsAllowed) {
+  SeedCleanTree();
+  tree_.WriteFile("src/persist/persist.cc",
+                  "constexpr uint32_t kVersion = 4;\n"
+                  "constexpr uint32_t kIvfVersionChecksum = 6;\n");
+  EXPECT_TRUE(Run().empty());
+}
+
+TEST_F(LintBaselineTest, FlagsVersionRegression) {
+  SeedCleanTree();
+  tree_.WriteFile("src/persist/persist.cc",
+                  "constexpr uint32_t kVersion = 2;\n"
+                  "constexpr uint32_t kIvfVersionChecksum = 5;\n");
+  const std::vector<Violation> violations = Run();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "persist-version");
+  EXPECT_NE(violations[0].message.find("regressed"), std::string::npos);
+}
+
+TEST_F(LintBaselineTest, FlagsRemovedVersionConstant) {
+  SeedCleanTree();
+  tree_.WriteFile("src/persist/persist.cc",
+                  "constexpr uint32_t kVersion = 3;\n");
+  const std::vector<Violation> violations = Run();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].message.find("kIvfVersionChecksum"),
+            std::string::npos);
+}
+
+TEST_F(LintBaselineTest, FlagsMutatedFrozenFixture) {
+  SeedCleanTree();
+  // Same length, one byte flipped — size alone would miss it.
+  tree_.WriteFile("tests/persist/testdata/ivf_v1.bin", "frozen-bytes-v2");
+  const std::vector<Violation> violations = Run();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "frozen-fixture");
+  EXPECT_NE(violations[0].message.find("immutable"), std::string::npos);
+}
+
+TEST_F(LintBaselineTest, FlagsDeletedFrozenFixture) {
+  SeedCleanTree();
+  fs::remove(tree_.root() / "tests" / "persist" / "testdata" / "ivf_v1.bin");
+  const std::vector<Violation> violations = Run();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].message.find("missing"), std::string::npos);
+}
+
+TEST_F(LintBaselineTest, NewFixtureNeedsNoBaselineEntry) {
+  SeedCleanTree();
+  // Adding a NEW fixture (next format version) is the sanctioned workflow;
+  // only baseline-listed files are frozen.
+  tree_.WriteFile("tests/persist/testdata/ivf_v6.bin", "new-version-bytes");
+  EXPECT_TRUE(Run().empty());
+}
+
+TEST_F(LintBaselineTest, GenerateRoundTrips) {
+  SeedCleanTree();
+  // A regenerated baseline over a clean tree must itself verify clean.
+  const std::string manifest = GenerateBaseline(tree_.root());
+  tree_.WriteFile("tools/lint_baseline.txt", manifest);
+  EXPECT_TRUE(Run().empty());
+  // And it must carry both record kinds.
+  EXPECT_NE(manifest.find("version kVersion 3"), std::string::npos);
+  EXPECT_NE(manifest.find("fixture tests/persist/testdata/ivf_v1.bin"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency confinement
+// ---------------------------------------------------------------------------
+
+TEST(LintConcurrencyTest, FlagsNakedMutexOutsideServeAndUtil) {
+  FixtureTree tree;
+  tree.WriteFile("src/index/cache.h",
+                 "#include <mutex>\n"
+                 "struct Cache { std::mutex mu; };\n");
+  const std::vector<Violation> violations =
+      CheckConcurrencyPrimitives(tree.root());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "naked-concurrency");
+  EXPECT_EQ(violations[0].file, "src/index/cache.h");
+  EXPECT_EQ(violations[0].line, 2);
+}
+
+TEST(LintConcurrencyTest, AllowsPrimitivesInServeAndUtil) {
+  FixtureTree tree;
+  tree.WriteFile("src/serve/admission.h", "std::thread flusher_;\n");
+  tree.WriteFile("src/util/thread_annotations.h", "std::mutex mu_;\n");
+  EXPECT_TRUE(CheckConcurrencyPrimitives(tree.root()).empty());
+}
+
+TEST(LintConcurrencyTest, IgnoresCommentsAndLongerIdentifiers) {
+  FixtureTree tree;
+  tree.WriteFile("src/index/notes.cc",
+                 "// std::mutex would be wrong here, use util::Mutex\n"
+                 "thread_local int counter = 0;\n");
+  EXPECT_TRUE(CheckConcurrencyPrimitives(tree.root()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Status-only load path
+// ---------------------------------------------------------------------------
+
+TEST(LintLoadPathTest, FlagsCheckOnLoadPath) {
+  // The seeded violation from the issue: a CHECK guarding untrusted bytes.
+  const std::string source =
+      "Status LoadHeader(Reader& in) {\n"
+      "  RESINFER_CHECK(in.magic() == kMagic);\n"
+      "  return Status::Ok();\n"
+      "}\n";
+  const std::vector<Violation> violations =
+      CheckLoadPathSource(source, "src/persist/persist.cc");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "check-on-load-path");
+  EXPECT_EQ(violations[0].line, 2);
+}
+
+TEST(LintLoadPathTest, FlagsDcheckToo) {
+  const std::vector<Violation> violations = CheckLoadPathSource(
+      "RESINFER_DCHECK(count >= 0);\n", "src/data/vec_io.cc");
+  ASSERT_EQ(violations.size(), 1u);
+}
+
+TEST(LintLoadPathTest, AllowCheckOptOut) {
+  const std::vector<Violation> violations = CheckLoadPathSource(
+      "RESINFER_CHECK(scratch_ != nullptr);  "
+      "// lint: allow-check internal buffer, not input bytes\n",
+      "src/persist/persist.cc");
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(LintLoadPathTest, IgnoresChecksInComments) {
+  const std::vector<Violation> violations = CheckLoadPathSource(
+      "// Unlike RESINFER_CHECK, corruption here returns a Status.\n",
+      "src/persist/persist.cc");
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(LintLoadPathTest, WalksPersistDirAndVecIo) {
+  FixtureTree tree;
+  tree.WriteFile("src/persist/persist.cc", "RESINFER_CHECK(a);\n");
+  tree.WriteFile("src/data/vec_io.cc", "RESINFER_DCHECK(b);\n");
+  tree.WriteFile("src/index/other.cc", "RESINFER_CHECK(c);\n");  // off-path
+  const std::vector<Violation> violations = CheckLoadPath(tree.root());
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].file, "src/data/vec_io.cc");
+  EXPECT_EQ(violations[1].file, "src/persist/persist.cc");
+}
+
+// ---------------------------------------------------------------------------
+// The real tree must be clean (this is what the CI job asserts)
+// ---------------------------------------------------------------------------
+
+TEST(LintRepoTest, RealTreePassesAllChecks) {
+  const fs::path root(RESINFER_SOURCE_DIR);
+  const std::vector<Violation> violations =
+      RunAllChecks(root, root / "tools" / "lint_baseline.txt");
+  for (const Violation& v : violations) {
+    ADD_FAILURE() << v.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace resinfer::lint

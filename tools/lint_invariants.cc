@@ -1,0 +1,79 @@
+// Repo-invariant linter CLI. See lint_invariants_lib.h for the checks.
+//
+// Usage:
+//   lint_invariants --root=/path/to/repo [--baseline=tools/lint_baseline.txt]
+//   lint_invariants --root=. --write-baseline
+//
+// Exit status 0 when the tree is clean, 1 on any violation (CI gates on
+// this), 2 on usage/IO errors. --write-baseline regenerates the persist
+// baseline manifest from the current tree; review that diff like any other
+// — version floors may only go up and existing fixture lines never change.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "lint_invariants_lib.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline;
+  bool write_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--root", &value)) {
+      root = value;
+    } else if (ParseFlag(argv[i], "--baseline", &value)) {
+      baseline = value;
+    } else if (std::strcmp(argv[i], "--write-baseline") == 0) {
+      write_baseline = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--root=DIR] [--baseline=FILE] "
+                   "[--write-baseline]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::filesystem::path root_path(root);
+  const std::filesystem::path baseline_path =
+      baseline.empty() ? root_path / "tools" / "lint_baseline.txt"
+                       : std::filesystem::path(baseline);
+
+  if (write_baseline) {
+    const std::string manifest = resinfer::lint::GenerateBaseline(root_path);
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << manifest)) {
+      std::fprintf(stderr, "lint_invariants: cannot write %s\n",
+                   baseline_path.string().c_str());
+      return 2;
+    }
+    std::printf("lint_invariants: wrote %s\n", baseline_path.string().c_str());
+    return 0;
+  }
+
+  const std::vector<resinfer::lint::Violation> violations =
+      resinfer::lint::RunAllChecks(root_path, baseline_path);
+  for (const resinfer::lint::Violation& v : violations) {
+    std::fprintf(stderr, "%s\n", v.ToString().c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "lint_invariants: %zu violation%s\n",
+                 violations.size(), violations.size() == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("lint_invariants: clean\n");
+  return 0;
+}

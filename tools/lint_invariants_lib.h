@@ -1,0 +1,649 @@
+// Repo-invariant linter (library half; the CLI lives in lint_invariants.cc).
+//
+// Enforces invariants no off-the-shelf tool knows about, as part of the
+// static-analysis CI job. Deliberately libclang-free: every check works on
+// raw source text with comment-stripping and light tokenization, so the
+// linter builds everywhere the library builds and runs in milliseconds.
+//
+// Checks:
+//   1. KernelTable completeness — src/simd/dispatch.cc must define the
+//      kScalarTable / kAvx2Table / kAvx512Table initializers, each
+//      populating every KernelTable field (aggregate initialization
+//      silently null-fills missing trailing entries, which would make a
+//      whole SimdLevel dispatch through a null pointer; the compiler never
+//      warns).
+//   2. Persist format discipline — format-version constants in
+//      src/persist/persist.cc may only ever increase relative to the
+//      checked-in baseline (tools/lint_baseline.txt), and the frozen
+//      cross-version fixture files under tests/persist/testdata must be
+//      byte-identical to the baseline hashes. A legitimate version bump
+//      regenerates the baseline with --write-baseline; the diff then shows
+//      exactly which floor moved, and it can only move up.
+//   3. Concurrency confinement — no naked std::mutex / std::thread /
+//      std::condition_variable et al. outside src/serve + src/util.
+//      Library code uses the annotated util::Mutex / util::CondVar
+//      wrappers (util/thread_annotations.h) so clang Thread Safety
+//      Analysis can see every lock.
+//   4. Status-only load path — no RESINFER_CHECK / RESINFER_DCHECK in the
+//      untrusted-input loaders (src/persist/, src/data/vec_io.cc): bad
+//      bytes must surface as a recoverable util::Status, never an abort
+//      (docs/persistence.md, "CHECK vs Status"). A deliberate internal
+//      invariant may opt out with `lint: allow-check` in a comment on the
+//      same line.
+#ifndef RESINFER_TOOLS_LINT_INVARIANTS_LIB_H_
+#define RESINFER_TOOLS_LINT_INVARIANTS_LIB_H_
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace resinfer::lint {
+
+struct Violation {
+  std::string file;  // repo-relative where possible
+  int line = 0;      // 1-based; 0 when the finding is file-scoped
+  std::string rule;  // "kernel-table", "persist-version", "frozen-fixture",
+                     // "naked-concurrency", "check-on-load-path", "lint-io"
+  std::string message;
+
+  std::string ToString() const {
+    std::ostringstream out;
+    out << file;
+    if (line > 0) out << ":" << line;
+    out << ": [" << rule << "] " << message;
+    return out.str();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+// Replaces // and /* */ comment bodies (and string/char literal bodies)
+// with spaces, preserving newlines so line numbers survive. Light-duty:
+// no raw strings, no trigraphs — fine for this codebase's style.
+inline std::string StripCommentsAndStrings(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          if (c != '\n') out[i] = ' ';
+          if (next != '\0' && next != '\n') out[++i] = ' ';
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          if (c != '\n') out[i] = ' ';
+          if (next != '\0' && next != '\n') out[++i] = ' ';
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+inline int LineOfOffset(const std::string& text, std::size_t offset) {
+  int line = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+inline bool ReadFileToString(const std::filesystem::path& path,
+                             std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// FNV-1a 64-bit, enough to pin a frozen fixture byte-for-byte in a review
+// diff (accidental edits, not adversaries, are the threat model).
+inline uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    hash ^= static_cast<uint64_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: KernelTable completeness
+// ---------------------------------------------------------------------------
+
+// Returns the offset just past the matching close brace for the open brace
+// at `open`, or std::string::npos.
+inline std::size_t MatchBrace(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}') {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+// Counts the top-level field declarations of a struct body (one `;` each)
+// and the top-level entries of a brace initializer (comma-separated).
+inline int CountTopLevelSemicolons(const std::string& body) {
+  int depth = 0;
+  int count = 0;
+  for (char c : body) {
+    if (c == '(' || c == '{' || c == '[') ++depth;
+    if (c == ')' || c == '}' || c == ']') --depth;
+    if (c == ';' && depth == 0) ++count;
+  }
+  return count;
+}
+
+inline std::vector<std::string> SplitTopLevelEntries(const std::string& body) {
+  std::vector<std::string> entries;
+  std::string current;
+  int depth = 0;
+  for (char c : body) {
+    if (c == '(' || c == '{' || c == '[') ++depth;
+    if (c == ')' || c == '}' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      entries.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  entries.push_back(current);
+  // Trim whitespace; drop empty tails (trailing comma).
+  std::vector<std::string> cleaned;
+  for (std::string& e : entries) {
+    std::size_t b = e.find_first_not_of(" \t\n\r");
+    if (b == std::string::npos) continue;
+    std::size_t t = e.find_last_not_of(" \t\n\r");
+    cleaned.push_back(e.substr(b, t - b + 1));
+  }
+  return cleaned;
+}
+
+// `dispatch_source` is the contents of src/simd/dispatch.cc; `file` is the
+// name used in reports.
+inline std::vector<Violation> CheckKernelTableSource(
+    const std::string& dispatch_source, const std::string& file) {
+  std::vector<Violation> violations;
+  const std::string code = StripCommentsAndStrings(dispatch_source);
+
+  const std::size_t struct_pos = code.find("struct KernelTable");
+  if (struct_pos == std::string::npos) {
+    violations.push_back({file, 0, "kernel-table",
+                          "struct KernelTable not found"});
+    return violations;
+  }
+  const std::size_t struct_open = code.find('{', struct_pos);
+  const std::size_t struct_close =
+      struct_open == std::string::npos ? std::string::npos
+                                       : MatchBrace(code, struct_open);
+  if (struct_close == std::string::npos) {
+    violations.push_back({file, LineOfOffset(code, struct_pos), "kernel-table",
+                          "unbalanced braces in struct KernelTable"});
+    return violations;
+  }
+  const std::string struct_body =
+      code.substr(struct_open + 1, struct_close - struct_open - 1);
+  const int num_fields = CountTopLevelSemicolons(struct_body);
+  if (num_fields <= 1) {
+    violations.push_back({file, LineOfOffset(code, struct_pos), "kernel-table",
+                          "struct KernelTable has no kernel fields"});
+    return violations;
+  }
+
+  // Every SimdLevel must have a fully populated table. The names are the
+  // repo convention; adding a level means adding it here (and a fixture
+  // test proving the linter sees it).
+  const char* kRequiredTables[] = {"kScalarTable", "kAvx2Table",
+                                   "kAvx512Table"};
+  for (const char* table : kRequiredTables) {
+    const std::string decl = std::string("KernelTable ") + table;
+    const std::size_t decl_pos = code.find(decl);
+    if (decl_pos == std::string::npos) {
+      violations.push_back(
+          {file, 0, "kernel-table",
+           std::string(table) + " initializer not found (every SimdLevel "
+                                "must populate the full KernelTable)"});
+      continue;
+    }
+    const std::size_t init_open = code.find('{', decl_pos);
+    const std::size_t init_close =
+        init_open == std::string::npos ? std::string::npos
+                                       : MatchBrace(code, init_open);
+    if (init_close == std::string::npos) {
+      violations.push_back({file, LineOfOffset(code, decl_pos), "kernel-table",
+                            std::string(table) + ": unbalanced initializer"});
+      continue;
+    }
+    const std::vector<std::string> entries = SplitTopLevelEntries(
+        code.substr(init_open + 1, init_close - init_open - 1));
+    if (static_cast<int>(entries.size()) != num_fields) {
+      std::ostringstream msg;
+      msg << table << " populates " << entries.size() << " of " << num_fields
+          << " KernelTable fields — aggregate init would null-fill the "
+             "missing kernels and dispatch would call a null pointer";
+      violations.push_back(
+          {file, LineOfOffset(code, decl_pos), "kernel-table", msg.str()});
+    }
+    for (const std::string& entry : entries) {
+      if (entry == "nullptr" || entry == "0" || entry == "NULL") {
+        violations.push_back({file, LineOfOffset(code, decl_pos),
+                              "kernel-table",
+                              std::string(table) + ": explicit null kernel "
+                                                   "entry"});
+      }
+    }
+  }
+  return violations;
+}
+
+inline std::vector<Violation> CheckKernelTable(
+    const std::filesystem::path& root) {
+  const std::filesystem::path path = root / "src" / "simd" / "dispatch.cc";
+  std::string source;
+  if (!ReadFileToString(path, &source)) {
+    return {{path.string(), 0, "lint-io", "cannot read dispatch source"}};
+  }
+  return CheckKernelTableSource(source, "src/simd/dispatch.cc");
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: persist version floors + frozen fixtures (baseline manifest)
+// ---------------------------------------------------------------------------
+
+struct Baseline {
+  // Constant name -> minimum allowed value.
+  std::map<std::string, uint32_t> version_floors;
+  struct FixtureEntry {
+    uint64_t size = 0;
+    uint64_t hash = 0;
+  };
+  // Repo-relative fixture path -> frozen size/hash.
+  std::map<std::string, FixtureEntry> fixtures;
+};
+
+// Parses `constexpr uint32_t kFooVersionBar = N;` style constants. Any
+// constant whose name contains "Version" counts as a format-version floor.
+inline std::map<std::string, uint32_t> ParseVersionConstants(
+    const std::string& source) {
+  std::map<std::string, uint32_t> versions;
+  const std::string code = StripCommentsAndStrings(source);
+  static const char kPrefix[] = "constexpr uint32_t ";
+  std::size_t pos = 0;
+  while ((pos = code.find(kPrefix, pos)) != std::string::npos) {
+    std::size_t p = pos + sizeof(kPrefix) - 1;
+    std::string name;
+    while (p < code.size() &&
+           (std::isalnum(static_cast<unsigned char>(code[p])) ||
+            code[p] == '_')) {
+      name.push_back(code[p++]);
+    }
+    while (p < code.size() && (code[p] == ' ' || code[p] == '=')) ++p;
+    std::string digits;
+    while (p < code.size() &&
+           std::isdigit(static_cast<unsigned char>(code[p]))) {
+      digits.push_back(code[p++]);
+    }
+    if (!name.empty() && !digits.empty() &&
+        name.find("Version") != std::string::npos) {
+      versions[name] = static_cast<uint32_t>(std::stoul(digits));
+    }
+    pos = p;
+  }
+  return versions;
+}
+
+inline bool ParseBaseline(const std::string& text, Baseline* out,
+                          std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "version") {
+      std::string name;
+      uint32_t value = 0;
+      if (!(fields >> name >> value)) {
+        *error = "baseline line " + std::to_string(line_number) +
+                 ": expected `version <name> <value>`";
+        return false;
+      }
+      out->version_floors[name] = value;
+    } else if (kind == "fixture") {
+      std::string path;
+      uint64_t size = 0;
+      std::string hash_hex;
+      if (!(fields >> path >> size >> hash_hex)) {
+        *error = "baseline line " + std::to_string(line_number) +
+                 ": expected `fixture <path> <size> <fnv64-hex>`";
+        return false;
+      }
+      Baseline::FixtureEntry entry;
+      entry.size = size;
+      entry.hash = std::stoull(hash_hex, nullptr, 16);
+      out->fixtures[path] = entry;
+    } else {
+      *error = "baseline line " + std::to_string(line_number) +
+               ": unknown record `" + kind + "`";
+      return false;
+    }
+  }
+  return true;
+}
+
+inline std::vector<Violation> CheckPersistBaseline(
+    const std::filesystem::path& root, const std::filesystem::path& baseline_path) {
+  std::vector<Violation> violations;
+  std::string baseline_text;
+  if (!ReadFileToString(baseline_path, &baseline_text)) {
+    return {{baseline_path.string(), 0, "lint-io",
+             "cannot read baseline manifest (regenerate with "
+             "lint_invariants --write-baseline)"}};
+  }
+  Baseline baseline;
+  std::string error;
+  if (!ParseBaseline(baseline_text, &baseline, &error)) {
+    return {{baseline_path.string(), 0, "lint-io", error}};
+  }
+
+  const std::filesystem::path persist_cc =
+      root / "src" / "persist" / "persist.cc";
+  std::string persist_source;
+  if (!ReadFileToString(persist_cc, &persist_source)) {
+    violations.push_back(
+        {persist_cc.string(), 0, "lint-io", "cannot read persist source"});
+  } else {
+    const std::map<std::string, uint32_t> current =
+        ParseVersionConstants(persist_source);
+    for (const auto& [name, floor] : baseline.version_floors) {
+      auto it = current.find(name);
+      if (it == current.end()) {
+        violations.push_back(
+            {"src/persist/persist.cc", 0, "persist-version",
+             name + " disappeared — removing a format-version constant "
+                    "breaks on-disk compatibility"});
+      } else if (it->second < floor) {
+        std::ostringstream msg;
+        msg << name << " regressed to " << it->second << " (baseline floor "
+            << floor << ") — format versions only ever increase";
+        violations.push_back(
+            {"src/persist/persist.cc", 0, "persist-version", msg.str()});
+      }
+    }
+  }
+
+  for (const auto& [rel_path, entry] : baseline.fixtures) {
+    const std::filesystem::path path = root / rel_path;
+    std::string bytes;
+    if (!ReadFileToString(path, &bytes)) {
+      violations.push_back({rel_path, 0, "frozen-fixture",
+                            "frozen fixture missing — cross-version load "
+                            "compatibility can no longer be proven"});
+      continue;
+    }
+    if (bytes.size() != entry.size || Fnv1a64(bytes) != entry.hash) {
+      violations.push_back(
+          {rel_path, 0, "frozen-fixture",
+           "frozen fixture bytes changed — old-version fixtures are "
+           "immutable (add a NEW fixture for a new format version instead)"});
+    }
+  }
+  return violations;
+}
+
+// Regenerates the manifest from the tree's current state.
+inline std::string GenerateBaseline(const std::filesystem::path& root) {
+  std::ostringstream out;
+  out << "# lint_invariants baseline manifest. Regenerate with\n"
+         "#   lint_invariants --root=. --write-baseline\n"
+         "# and review the diff: version floors may only go up, and frozen\n"
+         "# fixture lines should only ever be ADDED (a changed hash on an\n"
+         "# existing fixture means history was rewritten).\n";
+  const std::filesystem::path persist_cc =
+      root / "src" / "persist" / "persist.cc";
+  std::string persist_source;
+  if (ReadFileToString(persist_cc, &persist_source)) {
+    for (const auto& [name, value] : ParseVersionConstants(persist_source)) {
+      out << "version " << name << " " << value << "\n";
+    }
+  }
+  const std::filesystem::path testdata =
+      root / "tests" / "persist" / "testdata";
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& it : std::filesystem::directory_iterator(testdata, ec)) {
+    if (it.is_regular_file()) files.push_back(it.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::string bytes;
+    if (!ReadFileToString(path, &bytes)) continue;
+    char hash_hex[17];
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                  static_cast<unsigned long long>(Fnv1a64(bytes)));
+    out << "fixture tests/persist/testdata/" << path.filename().string()
+        << " " << bytes.size() << " " << hash_hex << "\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: concurrency primitives confined to src/serve + src/util
+// ---------------------------------------------------------------------------
+
+inline bool IsIdentifierChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Scans one file's source for naked std concurrency primitives.
+inline std::vector<Violation> CheckConcurrencySource(const std::string& source,
+                                                     const std::string& file) {
+  static const char* kBanned[] = {
+      "std::mutex",         "std::recursive_mutex", "std::shared_mutex",
+      "std::timed_mutex",   "std::condition_variable",
+      "std::condition_variable_any", "std::thread", "std::jthread",
+  };
+  std::vector<Violation> violations;
+  const std::string code = StripCommentsAndStrings(source);
+  for (const char* banned : kBanned) {
+    const std::string needle(banned);
+    std::size_t pos = 0;
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      const std::size_t end = pos + needle.size();
+      // Word boundary: reject std::thread matching std::thread_local etc.,
+      // and member access like std::thread::hardware_concurrency (the type
+      // use is what we ban; a qualifier use still names the type, flag it).
+      if (end < code.size() && IsIdentifierChar(code[end])) {
+        pos = end;
+        continue;
+      }
+      violations.push_back(
+          {file, LineOfOffset(code, pos), "naked-concurrency",
+           needle + " outside src/serve + src/util — use the annotated "
+                    "util::Mutex / util::CondVar wrappers "
+                    "(util/thread_annotations.h) or serve::Executor so "
+                    "thread-safety analysis can see the locks"});
+      pos = end;
+    }
+  }
+  return violations;
+}
+
+inline bool PathHasPrefix(const std::filesystem::path& path,
+                          const std::filesystem::path& prefix) {
+  auto it = prefix.begin();
+  auto pit = path.begin();
+  for (; it != prefix.end(); ++it, ++pit) {
+    if (pit == path.end() || *pit != *it) return false;
+  }
+  return true;
+}
+
+inline std::vector<Violation> CheckConcurrencyPrimitives(
+    const std::filesystem::path& root) {
+  std::vector<Violation> violations;
+  const std::filesystem::path src = root / "src";
+  std::error_code ec;
+  std::vector<std::filesystem::path> files;
+  for (std::filesystem::recursive_directory_iterator it(src, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    const std::filesystem::path rel =
+        std::filesystem::relative(path, root, ec);
+    if (PathHasPrefix(rel, std::filesystem::path("src") / "serve") ||
+        PathHasPrefix(rel, std::filesystem::path("src") / "util")) {
+      continue;
+    }
+    std::string source;
+    if (!ReadFileToString(path, &source)) {
+      violations.push_back({rel.string(), 0, "lint-io", "cannot read file"});
+      continue;
+    }
+    for (Violation v : CheckConcurrencySource(source, rel.generic_string())) {
+      violations.push_back(std::move(v));
+    }
+  }
+  return violations;
+}
+
+// ---------------------------------------------------------------------------
+// Check 4: Status-only load path (no CHECK aborts on untrusted input)
+// ---------------------------------------------------------------------------
+
+inline std::vector<Violation> CheckLoadPathSource(const std::string& source,
+                                                  const std::string& file) {
+  std::vector<Violation> violations;
+  // Scan the raw source line by line so the `lint: allow-check` opt-out
+  // (which lives in a comment) stays visible.
+  std::istringstream in(source);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string stripped = StripCommentsAndStrings(line);
+    static const char* kBannedMacros[] = {"RESINFER_CHECK", "RESINFER_DCHECK"};
+    for (const char* macro : kBannedMacros) {
+      const std::size_t pos = stripped.find(macro);
+      if (pos == std::string::npos) continue;
+      if (line.find("lint: allow-check") != std::string::npos) continue;
+      violations.push_back(
+          {file, line_number, "check-on-load-path",
+           std::string(macro) + " on the load path — untrusted bytes must "
+                                "fail with a recoverable util::Status, never "
+                                "an abort (docs/persistence.md). For a true "
+                                "internal invariant, annotate the line with "
+                                "`// lint: allow-check <why>`"});
+      break;  // one report per line
+    }
+  }
+  return violations;
+}
+
+inline std::vector<Violation> CheckLoadPath(const std::filesystem::path& root) {
+  std::vector<Violation> violations;
+  std::vector<std::filesystem::path> load_path_files;
+  std::error_code ec;
+  const std::filesystem::path persist_dir = root / "src" / "persist";
+  for (const auto& it : std::filesystem::directory_iterator(persist_dir, ec)) {
+    if (it.is_regular_file()) load_path_files.push_back(it.path());
+  }
+  load_path_files.push_back(root / "src" / "data" / "vec_io.cc");
+  load_path_files.push_back(root / "src" / "data" / "vec_io.h");
+  std::sort(load_path_files.begin(), load_path_files.end());
+  for (const auto& path : load_path_files) {
+    std::string source;
+    if (!ReadFileToString(path, &source)) continue;  // optional members
+    const std::filesystem::path rel =
+        std::filesystem::relative(path, root, ec);
+    for (Violation v : CheckLoadPathSource(source, rel.generic_string())) {
+      violations.push_back(std::move(v));
+    }
+  }
+  return violations;
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+inline std::vector<Violation> RunAllChecks(
+    const std::filesystem::path& root,
+    const std::filesystem::path& baseline_path) {
+  std::vector<Violation> violations;
+  for (auto&& batch :
+       {CheckKernelTable(root), CheckPersistBaseline(root, baseline_path),
+        CheckConcurrencyPrimitives(root), CheckLoadPath(root)}) {
+    for (const Violation& v : batch) violations.push_back(v);
+  }
+  return violations;
+}
+
+}  // namespace resinfer::lint
+
+#endif  // RESINFER_TOOLS_LINT_INVARIANTS_LIB_H_
