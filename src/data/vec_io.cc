@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 namespace resinfer::data {
@@ -154,6 +155,63 @@ Status ReadIvecs(const std::string& path,
     out->push_back(std::move(row));
   }
   return Status::Ok();
+}
+
+Status FvecsView::Open(const std::string& path, FvecsView* out) {
+  storage::Blob mapping;
+  RESINFER_RETURN_IF_ERROR(storage::MapFileReadOnly(path, &mapping));
+  FvecsView view;
+  if (mapping.size() == 0) {
+    *out = std::move(view);
+    return Status::Ok();
+  }
+  if (mapping.size() < static_cast<int64_t>(sizeof(int32_t)))
+    return Status::Corruption(path + ": cannot read leading dimension");
+  int32_t dim = 0;
+  std::memcpy(&dim, mapping.data(), sizeof(dim));
+  if (dim <= 0)
+    return Status::Corruption(path + ": non-positive vector dimension");
+  const int64_t record_bytes =
+      static_cast<int64_t>(sizeof(int32_t)) +
+      static_cast<int64_t>(sizeof(float)) * dim;
+  if (mapping.size() % record_bytes != 0) {
+    return Status::Corruption(
+        path + ": file size is not a multiple of the record size "
+               "(truncated or variable-dimension file)");
+  }
+  const int64_t rows = mapping.size() / record_bytes;
+  // Structural check without paging in the payload: every record's dim
+  // header must match the first. One int32 per record is touched — the
+  // float payload stays cold.
+  for (int64_t i = 1; i < rows; ++i) {
+    int32_t row_dim = 0;
+    std::memcpy(&row_dim, mapping.data() + i * record_bytes, sizeof(row_dim));
+    if (row_dim != dim) {
+      return Status::Corruption(
+          path + ": inconsistent dimensions across records (record " +
+          std::to_string(i) + " has dim " + std::to_string(row_dim) +
+          ", expected " + std::to_string(dim) + ")");
+    }
+  }
+  view.rows_ = rows;
+  view.dim_ = dim;
+  view.mapping_ = std::move(mapping);
+  // Cold tier: Row(i) lookups are id-scattered, so fault-around would
+  // page in far more than the touched rows.
+  storage::AdviseRandomAccess(view.mapping_);
+  *out = std::move(view);
+  return Status::Ok();
+}
+
+const float* FvecsView::Row(int64_t i) const {
+  // An out-of-range row id is caller error, not file corruption — the
+  // frame structure was validated at Open.
+  RESINFER_DCHECK(i >= 0 && i < rows_);  // lint: allow-check
+  const int64_t record_bytes =
+      static_cast<int64_t>(sizeof(int32_t)) +
+      static_cast<int64_t>(sizeof(float)) * dim_;
+  return reinterpret_cast<const float*>(
+      mapping_.data() + i * record_bytes + sizeof(int32_t));
 }
 
 Status WriteIvecs(const std::string& path,

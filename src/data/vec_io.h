@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "storage/storage.h"
 #include "util/status.h"
 
 namespace resinfer::data {
@@ -57,6 +58,40 @@ util::Status WriteIvecs(const std::string& path,
 util::Status ReadBvecs(const std::string& path, linalg::Matrix* out,
                        NonFinitePolicy policy = NonFinitePolicy::kError,
                        ReadStats* stats = nullptr);
+
+// Cold-tier fvecs access: the file is mmap'd read-only and rows are served
+// in place from the mapping, so opening a multi-GB base costs no heap and
+// only the rows actually touched (the exact-rescore epilogue's candidates)
+// are ever paged in. The fvecs layout interleaves an int32 dim header with
+// every row, so the floats cannot be exposed as one contiguous
+// linalg::Matrix — consumers that need a dense matrix still use ReadFvecs;
+// this view is for row-at-a-time readers (rescoring, sampling, format
+// conversion) that would otherwise double the working set.
+//
+// Open() validates the frame structure (consistent dim, whole number of
+// records) without reading any float payload. Row(i) returns the i-th
+// row's components; the pointer stays valid for the view's lifetime and is
+// 4-byte aligned (each record is 4 + 4*dim bytes from offset 0).
+class FvecsView {
+ public:
+  FvecsView() = default;
+
+  static util::Status Open(const std::string& path, FvecsView* out);
+
+  int64_t rows() const { return rows_; }
+  int64_t dim() const { return dim_; }
+
+  const float* Row(int64_t i) const;
+
+  // The mapping backing the rows; sharing it pins the pages like any other
+  // storage handle.
+  const storage::Blob& storage() const { return mapping_; }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t dim_ = 0;
+  storage::Blob mapping_;
+};
 
 }  // namespace resinfer::data
 

@@ -132,6 +132,11 @@ void IvfIndex::AttachPermutedCodes(quant::CodeStore codes) {
   codes_ = std::move(codes);
 }
 
+void IvfIndex::AttachSharedCodes(const quant::CodeStore& source) {
+  RESINFER_CHECK(source.size() == static_cast<int64_t>(ids_.size()));
+  codes_ = source.ShareView();
+}
+
 bool IvfIndex::AttachCodesFrom(const DistanceComputer& computer) {
   quant::CodeStore store = computer.MakeCodeStore();
   if (store.empty()) return false;

@@ -110,10 +110,20 @@ class IvfIndex {
 
   // Permutes an id-indexed store (record i describes point i; typically
   // computer.MakeCodeStore()) into bucket-contiguous order and owns the
-  // copy. CHECK-aborts unless source.size() == size().
+  // copy. The permutation is an inherent copy (records move between
+  // positions); for records already in bucket order use
+  // AttachPermutedCodes (move) or AttachSharedCodes (zero-copy view)
+  // instead of paying 2x the section's footprint. CHECK-aborts unless
+  // source.size() == size().
   void AttachCodes(const quant::CodeStore& source);
   // Installs records already in bucket order (the persist load path).
   void AttachPermutedCodes(quant::CodeStore codes);
+  // Zero-copy attach of bucket-ordered records: shares `source`'s storage
+  // handle instead of copying bytes, so attaching an already-permuted
+  // store (a persisted section, another index's attached store, an mmap
+  // slice) adds no peak RSS. Caller contract: record j describes the point
+  // ids()[j], exactly as AttachPermutedCodes requires.
+  void AttachSharedCodes(const quant::CodeStore& source);
   // Convenience: builds the computer's store and attaches it; returns
   // false (attaching nothing) for computers without code-resident support.
   bool AttachCodesFrom(const DistanceComputer& computer);

@@ -19,6 +19,16 @@ Matrix Matrix::Identity(int64_t n) {
   return m;
 }
 
+Matrix Matrix::View(const float* data, int64_t rows, int64_t cols) {
+  RESINFER_CHECK(rows >= 0 && cols >= 0 &&
+                 (rows * cols == 0 || data != nullptr));
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.view_ = data;
+  return m;
+}
+
 Matrix Matrix::Clone() const {
   Matrix copy(rows_, cols_);
   std::copy(data(), data() + size(), copy.data());

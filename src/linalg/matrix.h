@@ -27,16 +27,24 @@ class Matrix {
 
   static Matrix Identity(int64_t n);
 
+  // Non-owning view over external row-major storage (e.g. the float
+  // payload of an mmap'd matrix file — the persist v3 cold tier). The
+  // caller keeps `data` alive and unchanged for the view's lifetime;
+  // mutating accessors are off-limits on a view (debug-checked).
+  static Matrix View(const float* data, int64_t rows, int64_t cols);
+  // True when this matrix borrows its storage instead of owning it.
+  bool is_view() const { return view_ != nullptr; }
+
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
 
   float* Row(int64_t r) {
-    RESINFER_DCHECK(r >= 0 && r < rows_);
+    RESINFER_DCHECK(r >= 0 && r < rows_ && !is_view());
     return data_.data() + r * cols_;
   }
   const float* Row(int64_t r) const {
     RESINFER_DCHECK(r >= 0 && r < rows_);
-    return data_.data() + r * cols_;
+    return data() + r * cols_;
   }
 
   float& At(int64_t r, int64_t c) {
@@ -48,8 +56,13 @@ class Matrix {
     return Row(r)[c];
   }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() {
+    RESINFER_DCHECK(!is_view());
+    return data_.data();
+  }
+  const float* data() const {
+    return view_ != nullptr ? view_ : data_.data();
+  }
   int64_t size() const { return rows_ * cols_; }
 
   // Drops trailing rows (new_rows <= rows()); the storage is retained, so
@@ -69,6 +82,10 @@ class Matrix {
   int64_t rows_ = 0;
   int64_t cols_ = 0;
   AlignedBuffer<float> data_;
+  // Borrowed storage for View() matrices; null for owning ones. The const
+  // read path (data() const / Row const) prefers it, so every consumer of
+  // a base matrix works identically over owned and mapped storage.
+  const float* view_ = nullptr;
 };
 
 // c = a * b. Shapes must agree ((m x k) * (k x n) -> m x n).

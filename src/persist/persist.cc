@@ -31,6 +31,11 @@ constexpr uint32_t kVersionCodeLayout = 2;
 // layout inside the sections is unchanged from the previous revision.
 constexpr uint32_t kVersionChecksum = 2;
 constexpr uint32_t kVersionLayoutChecksum = 3;
+// Matrix v3 aligns the float payload to a 64-byte file offset (an explicit
+// [u32 pad_len][zeros] between the shape and the floats), so a mapped file
+// serves rows in place — the raw-vector cold tier. v1/v2 matrix files
+// still load (heap path only).
+constexpr uint32_t kMatrixVersionAligned = 3;
 // IVF v2 switched bucket storage to the CSR layout (offsets + flat ids);
 // v1 nested-bucket files still load.
 constexpr uint32_t kIvfVersionCsr = 2;
@@ -43,6 +48,11 @@ constexpr uint32_t kIvfVersionCodes = 3;
 constexpr uint32_t kIvfVersionPacked = 4;
 // IVF v5 wraps the payload in the checksummed envelope.
 constexpr uint32_t kIvfVersionChecksum = 5;
+// IVF v6 restructures the code section for storage backends: the record
+// payload carries an explicit byte count and an alignment pad that lands
+// the first record on a 64-byte file offset, so an mmap'd file serves the
+// records zero-copy at the same alignment the heap allocator guarantees.
+constexpr uint32_t kIvfVersionStorage = 6;
 constexpr char kMatrixMagic[8] = {'R', 'I', 'M', 'A', 'T', 'R', 'X', '1'};
 constexpr char kPcaMagic[8] = {'R', 'I', 'P', 'C', 'A', 'M', 'D', '1'};
 constexpr char kPqMagic[8] = {'R', 'I', 'P', 'Q', 'C', 'B', 'K', '1'};
@@ -209,26 +219,109 @@ void SetWriteFailureForTesting(int64_t bytes) {
 
 Status SaveMatrix(const std::string& path, const linalg::Matrix& m) {
   return AtomicSave(path, [&](BinaryWriter& writer) {
-    WriteHeader(writer, kMatrixMagic, kVersionChecksum);
+    WriteHeader(writer, kMatrixMagic, kMatrixVersionAligned);
     writer.BeginSection("matrix");
-    WriteMatrixPayload(writer, m);
+    writer.Write(m.rows());
+    writer.Write(m.cols());
+    writer.WriteAlignmentPad(kCacheLineBytes);
+    writer.WriteFloats(m.data(), m.size());
     writer.EndSection();
   });
 }
+
+namespace {
+
+// Shape + (v3) alignment pad of the standalone matrix format, leaving the
+// reader positioned at the float payload. Bounds-checks the shape like
+// ReadMatrixPayload.
+Status ReadMatrixPrefix(BinaryReader& reader, const std::string& path,
+                        uint32_t version, int64_t* rows, int64_t* cols) {
+  if (!reader.BeginSection("matrix") || !reader.Read(rows) ||
+      !reader.Read(cols)) {
+    return Corrupt(reader, path, "bad matrix payload");
+  }
+  if (*rows < 0 || *cols < 0 ||
+      (*cols > 0 && *rows > reader.max_elements() / *cols)) {
+    return Status::Corruption(path + ": implausible matrix shape");
+  }
+  if (version >= kMatrixVersionAligned &&
+      !reader.ReadAlignmentPad(kCacheLineBytes)) {
+    return Corrupt(reader, path, "bad matrix alignment pad");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 Status LoadMatrix(const std::string& path, linalg::Matrix* out) {
   BinaryReader reader(path);
   RESINFER_RETURN_IF_ERROR(OpenForRead(reader, path));
   uint32_t version = 0;
-  RESINFER_RETURN_IF_ERROR(ReadVersionedHeader(reader, path, "matrix",
-                                               kMatrixMagic, kVersionChecksum,
-                                               kVersionChecksum, &version));
-  if (!reader.BeginSection("matrix") || !ReadMatrixPayload(reader, out) ||
-      !reader.EndSection()) {
+  RESINFER_RETURN_IF_ERROR(ReadVersionedHeader(
+      reader, path, "matrix", kMatrixMagic, kMatrixVersionAligned,
+      kVersionChecksum, &version));
+  int64_t rows = 0, cols = 0;
+  RESINFER_RETURN_IF_ERROR(ReadMatrixPrefix(reader, path, version, &rows,
+                                            &cols));
+  *out = linalg::Matrix(rows, cols);
+  if (!reader.ReadFloats(out->data(), out->size()) || !reader.EndSection()) {
     return Corrupt(reader, path, "bad matrix payload");
   }
   if (!reader.ExpectChecksumFooter())
     return Corrupt(reader, path, "bad matrix footer");
+  return Status::Ok();
+}
+
+Status LoadMatrixMapped(const std::string& path, MappedMatrix* out,
+                        storage::StorageBackend backend) {
+  MappedMatrix result;
+  result.backend = storage::StorageBackend::kMemory;
+  if (backend == storage::StorageBackend::kMmap) {
+    BinaryReader reader(path);
+    RESINFER_RETURN_IF_ERROR(OpenForRead(reader, path));
+    uint32_t version = 0;
+    RESINFER_RETURN_IF_ERROR(ReadVersionedHeader(
+        reader, path, "matrix", kMatrixMagic, kMatrixVersionAligned,
+        kVersionChecksum, &version));
+    if (version >= kMatrixVersionAligned) {
+      int64_t rows = 0, cols = 0;
+      RESINFER_RETURN_IF_ERROR(ReadMatrixPrefix(reader, path, version, &rows,
+                                                &cols));
+      const int64_t floats_offset = reader.Tell();
+      const int64_t float_bytes =
+          rows * cols * static_cast<int64_t>(sizeof(float));
+      if (floats_offset < 0 ||
+          floats_offset % static_cast<int64_t>(kCacheLineBytes) != 0) {
+        return Status::Corruption(path +
+                                  ": matrix float payload is not 64-byte "
+                                  "aligned despite the v3 header");
+      }
+      if (!reader.SkipPayload(static_cast<uint64_t>(float_bytes)) ||
+          !reader.EndSection() || !reader.ExpectChecksumFooter()) {
+        return Corrupt(reader, path, "bad matrix payload");
+      }
+      storage::Blob mapping;
+      RESINFER_RETURN_IF_ERROR(storage::MapFileReadOnly(path, &mapping));
+      if (floats_offset + float_bytes > mapping.size()) {
+        return Status::Corruption(path +
+                                  ": matrix payload extends past the file");
+      }
+      result.pin = mapping.Slice(floats_offset, float_bytes);
+      // Cold tier: rescore ids are scattered, so disable fault-around —
+      // otherwise each touched row pages in a neighborhood and RSS creeps
+      // toward the full file.
+      storage::AdviseRandomAccess(result.pin);
+      result.matrix = linalg::Matrix::View(
+          reinterpret_cast<const float*>(result.pin.data()), rows, cols);
+      result.backend = storage::StorageBackend::kMmap;
+      *out = std::move(result);
+      return Status::Ok();
+    }
+    // Pre-v3 files have no aligned payload to map; fall through to the
+    // heap load below, reporting the memory backend.
+  }
+  RESINFER_RETURN_IF_ERROR(LoadMatrix(path, &result.matrix));
+  *out = std::move(result);
   return Status::Ok();
 }
 
@@ -531,7 +624,7 @@ Status LoadHnsw(const std::string& path, index::HnswIndex* out) {
 
 Status SaveIvf(const std::string& path, const index::IvfIndex& ivf) {
   return AtomicSave(path, [&](BinaryWriter& writer) {
-    WriteHeader(writer, kIvfMagic, kIvfVersionChecksum);
+    WriteHeader(writer, kIvfMagic, kIvfVersionStorage);
     writer.BeginSection("meta");
     writer.Write(ivf.size());
     writer.EndSection();
@@ -545,6 +638,10 @@ Status SaveIvf(const std::string& path, const index::IvfIndex& ivf) {
     writer.EndSection();
     // Code section (v3): the bucket-permuted store, saved record-for-record
     // so loads re-attach without re-permuting; v4 adds the packing byte.
+    // v6 replaces the count-prefixed record vector with an explicit byte
+    // count followed by an alignment pad, so the first record sits on a
+    // 64-byte file offset and an mmap load can serve the records in place
+    // at the alignment the heap allocator would have provided.
     writer.BeginSection("codes");
     writer.Write<uint8_t>(ivf.has_codes() ? 1 : 0);
     if (ivf.has_codes()) {
@@ -553,21 +650,30 @@ Status SaveIvf(const std::string& path, const index::IvfIndex& ivf) {
       writer.Write<int32_t>(codes.num_sidecars());
       writer.Write<uint8_t>(static_cast<uint8_t>(codes.packing()));
       writer.WriteString(codes.tag());
-      writer.WriteVector(codes.raw());
+      writer.Write<uint64_t>(static_cast<uint64_t>(codes.data_bytes()));
+      writer.WriteAlignmentPad(kCacheLineBytes);
+      writer.WriteBytes(codes.data(),
+                        static_cast<std::size_t>(codes.data_bytes()));
     }
     writer.EndSection();
   });
 }
 
 Status LoadIvf(const std::string& path, index::IvfIndex* out) {
+  return LoadIvf(path, out, IvfLoadOptions());
+}
+
+Status LoadIvf(const std::string& path, index::IvfIndex* out,
+               const IvfLoadOptions& options) {
   BinaryReader reader(path);
   RESINFER_RETURN_IF_ERROR(OpenForRead(reader, path));
-  // Versioned by hand: v5 adds the checksummed envelope, v4 the code
-  // section's packing byte, v3 the code section itself, v2 the CSR layout;
-  // v1 is the legacy nested buckets.
+  // Versioned by hand: v6 restructures the code section for storage
+  // backends, v5 adds the checksummed envelope, v4 the code section's
+  // packing byte, v3 the code section itself, v2 the CSR layout; v1 is the
+  // legacy nested buckets.
   uint32_t version = 0;
   RESINFER_RETURN_IF_ERROR(ReadVersionedHeader(
-      reader, path, "ivf", kIvfMagic, kIvfVersionChecksum,
+      reader, path, "ivf", kIvfMagic, kIvfVersionStorage,
       kIvfVersionChecksum, &version));
   int64_t size = 0;
   linalg::Matrix centroids;
@@ -607,9 +713,21 @@ Status LoadIvf(const std::string& path, index::IvfIndex* out) {
   if (static_cast<int64_t>(ids.size()) != size)
     return Status::Corruption(path + ": buckets do not partition the base");
 
-  // Code section (v3 onward, optional; v4 adds the packing byte).
+  // Code section (v3 onward, optional; v4 adds the packing byte, v6 the
+  // explicit byte count + alignment pad that makes the records mappable).
   quant::CodeStore codes;
   bool has_codes = false;
+  // Deferred zero-copy attach: with the mmap backend the parse records
+  // where the aligned payload sits, skips over it, finishes the envelope,
+  // and only then maps the file — the mapping must cover the footer-
+  // validated structure, not a file still mid-parse.
+  bool map_codes = false;
+  int64_t map_offset = 0;
+  uint64_t map_bytes = 0;
+  int64_t map_code_size = 0;
+  int32_t map_num_sidecars = 0;
+  uint8_t map_packing = 0;
+  std::string map_tag;
   if (version >= kIvfVersionCodes) {
     uint8_t flag = 0;
     if (!reader.BeginSection("codes") || !reader.Read(&flag))
@@ -619,10 +737,9 @@ Status LoadIvf(const std::string& path, index::IvfIndex* out) {
       int32_t num_sidecars = 0;
       uint8_t packing = 0;  // v3 stores are byte-per-code
       std::string tag;
-      std::vector<uint8_t> data;
       if (!reader.Read(&code_size) || !reader.Read(&num_sidecars) ||
           (version >= kIvfVersionPacked && !reader.Read(&packing)) ||
-          !reader.ReadString(&tag) || !reader.ReadVector(&data)) {
+          !reader.ReadString(&tag)) {
         return Corrupt(reader, path, "truncated ivf code section");
       }
       if (packing > 1)
@@ -638,15 +755,58 @@ Status LoadIvf(const std::string& path, index::IvfIndex* out) {
         return Status::Corruption(
             path + ": ivf code packing disagrees with store tag");
       }
-      // FromParts rejects truncated or oversized payloads (the data must be
-      // exactly one record per indexed point).
-      util::Status parts = quant::CodeStore::FromParts(
-          size, code_size, num_sidecars, std::move(tag), std::move(data),
-          &codes, static_cast<quant::CodePacking>(packing));
-      if (!parts.ok())
-        return Status::Corruption(path + ": ivf code section: " +
-                                  parts.message());
-      has_codes = true;
+      std::vector<uint8_t> data;
+      if (version >= kIvfVersionStorage) {
+        uint64_t record_bytes = 0;
+        if (!reader.Read(&record_bytes) ||
+            !reader.ReadAlignmentPad(kCacheLineBytes)) {
+          return Corrupt(reader, path, "truncated ivf code section");
+        }
+        if (record_bytes > static_cast<uint64_t>(reader.max_elements()))
+          return Status::Corruption(path + ": ivf code payload out of range");
+        if (options.backend == storage::StorageBackend::kMmap) {
+          map_offset = reader.Tell();
+          if (map_offset < 0 ||
+              map_offset % static_cast<int64_t>(kCacheLineBytes) != 0) {
+            return Status::Corruption(
+                path +
+                ": ivf code records are not 64-byte aligned despite the v6 "
+                "header");
+          }
+          if (!reader.SkipPayload(record_bytes))
+            return Corrupt(reader, path, "truncated ivf code section");
+          map_bytes = record_bytes;
+          map_code_size = code_size;
+          map_num_sidecars = num_sidecars;
+          map_packing = packing;
+          map_tag = std::move(tag);
+          map_codes = true;
+        } else {
+          data.resize(static_cast<std::size_t>(record_bytes));
+          if (record_bytes > 0) {
+            reader.ReadBytes(data.data(),
+                             static_cast<std::size_t>(record_bytes));
+          }
+          if (!reader.ok())
+            return Corrupt(reader, path, "truncated ivf code section");
+        }
+      } else if (!reader.ReadVector(&data)) {
+        // v3–v5 record payloads are a count-prefixed vector; they always
+        // deserialize onto the heap (no alignment guarantee to map), so a
+        // requested mmap backend silently falls back to memory here.
+        return Corrupt(reader, path, "truncated ivf code section");
+      }
+      if (!map_codes) {
+        // FromParts rejects truncated or oversized payloads (the data must
+        // be exactly one record per indexed point).
+        util::Status parts = quant::CodeStore::FromParts(
+            size, code_size, num_sidecars, std::move(tag), std::move(data),
+            &codes, static_cast<quant::CodePacking>(packing));
+        if (!parts.ok())
+          return Status::Corruption(path + ": ivf code section: " +
+                                    parts.message());
+        has_codes = true;
+      }
     }
     if (!reader.EndSection())
       return Corrupt(reader, path, "bad ivf code section");
@@ -654,10 +814,36 @@ Status LoadIvf(const std::string& path, index::IvfIndex* out) {
   if (!reader.ExpectChecksumFooter())
     return Corrupt(reader, path, "bad ivf footer");
 
+  if (map_codes) {
+    storage::Blob mapping;
+    RESINFER_RETURN_IF_ERROR(storage::MapFileReadOnly(path, &mapping));
+    if (map_bytes > static_cast<uint64_t>(mapping.size()) ||
+        map_offset > mapping.size() - static_cast<int64_t>(map_bytes)) {
+      return Status::Corruption(path +
+                                ": ivf code payload extends past the file");
+    }
+    util::Status blob = quant::CodeStore::FromBlob(
+        size, map_code_size, map_num_sidecars, std::move(map_tag),
+        mapping.Slice(map_offset, static_cast<int64_t>(map_bytes)), &codes,
+        static_cast<quant::CodePacking>(map_packing),
+        storage::StorageBackend::kMmap);
+    if (!blob.ok())
+      return Status::Corruption(path + ": ivf code section: " +
+                                blob.message());
+    has_codes = true;
+  }
+
   *out = index::IvfIndex::FromCsr(size, std::move(centroids),
                                   std::move(offsets), std::move(ids));
   if (has_codes) out->AttachPermutedCodes(std::move(codes));
   return Status::Ok();
+}
+
+util::StatusOr<index::IvfIndex> LoadIvfIndex(const std::string& path,
+                                             const IvfLoadOptions& options) {
+  index::IvfIndex ivf;
+  RESINFER_RETURN_IF_ERROR(LoadIvf(path, &ivf, options));
+  return ivf;
 }
 
 Status SaveDdcPcaArtifacts(const std::string& path,
@@ -884,7 +1070,7 @@ struct FormatInfo {
 };
 
 constexpr FormatInfo kFormats[] = {
-    {kMatrixMagic, "matrix", kVersionChecksum, kVersionChecksum},
+    {kMatrixMagic, "matrix", kVersionChecksum, kMatrixVersionAligned},
     {kPcaMagic, "pca model", kVersionChecksum, kVersionChecksum},
     {kPqMagic, "pq codebook", kVersionLayoutChecksum, kVersionLayoutChecksum},
     {kOpqMagic, "opq model", kVersionLayoutChecksum, kVersionLayoutChecksum},
@@ -892,7 +1078,7 @@ constexpr FormatInfo kFormats[] = {
     {kSqMagic, "sq codebook", kVersionChecksum, kVersionChecksum},
     {kCorrectorMagic, "linear corrector", kVersionChecksum, kVersionChecksum},
     {kHnswMagic, "hnsw graph", kVersionChecksum, kVersionChecksum},
-    {kIvfMagic, "ivf index", kIvfVersionChecksum, kIvfVersionChecksum},
+    {kIvfMagic, "ivf index", kIvfVersionChecksum, kIvfVersionStorage},
     {kDdcPcaMagic, "ddc-pca artifacts", kVersionChecksum, kVersionChecksum},
     {kDdcOpqMagic, "ddc-opq artifacts", kVersionLayoutChecksum,
      kVersionLayoutChecksum},
@@ -997,6 +1183,86 @@ Status VerifyFile(const std::string& path, std::string* format_name) {
   uint8_t extra = 0;
   if (std::fread(&extra, 1, 1, f) == 1)
     return Status::Corruption(path + ": trailing bytes after footer");
+  return Status::Ok();
+}
+
+// Same envelope walk as VerifyFile but structural only: payloads are
+// seeked over, not hashed, so listing a multi-GB index touches a few KB of
+// frames. The offsets it reports are what the mmap loader aligns against.
+Status ListSections(const std::string& path, std::vector<SectionInfo>* out,
+                    std::string* format_name, uint32_t* version_out) {
+  out->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return Status::NotFound(path + ": cannot open for reading");
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  char magic[8];
+  uint32_t version = 0;
+  if (std::fread(magic, 1, 8, f) != 8 ||
+      std::fread(&version, sizeof(version), 1, f) != 1) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  const FormatInfo* format = nullptr;
+  for (const auto& candidate : kFormats) {
+    if (std::memcmp(magic, candidate.magic, 8) == 0) {
+      format = &candidate;
+      break;
+    }
+  }
+  if (format == nullptr)
+    return Status::InvalidArgument(path + ": not a resinfer persist file");
+  if (format_name != nullptr) *format_name = format->name;
+  if (version_out != nullptr) *version_out = version;
+  if (version < 1 || version > format->max_version)
+    return Status::Corruption(
+        path + ": " + format->name + " version " + std::to_string(version) +
+        " is outside this build's supported range [1, " +
+        std::to_string(format->max_version) + "]");
+  if (version < format->checksum_version)
+    return Status::FailedPrecondition(
+        path + ": " + format->name + " version " + std::to_string(version) +
+        " predates the section envelope; there are no sections to list");
+
+  for (;;) {
+    uint8_t name_len = 0;
+    if (std::fread(&name_len, 1, 1, f) != 1)
+      return Status::Corruption(path + ": truncated before footer");
+    if (name_len == 0) break;  // footer marker
+    char name[256];
+    if (std::fread(name, 1, name_len, f) != name_len)
+      return Status::Corruption(path + ": truncated section name");
+    name[name_len] = '\0';
+    uint64_t payload_len = 0;
+    if (std::fread(&payload_len, sizeof(payload_len), 1, f) != 1)
+      return Status::Corruption(path + ": section '" + std::string(name) +
+                                "': truncated length");
+    SectionInfo info;
+    info.name = name;
+    info.payload_offset = static_cast<int64_t>(std::ftell(f));
+    info.payload_bytes = static_cast<int64_t>(payload_len);
+    info.aligned =
+        info.payload_offset % static_cast<int64_t>(kCacheLineBytes) == 0;
+    if (info.payload_offset < 0 || info.payload_bytes < 0 ||
+        std::fseek(f, static_cast<long>(payload_len), SEEK_CUR) != 0) {
+      return Status::Corruption(path + ": section '" + std::string(name) +
+                                "': truncated payload");
+    }
+    if (std::fread(&info.crc, sizeof(info.crc), 1, f) != 1)
+      return Status::Corruption(path + ": section '" + std::string(name) +
+                                "': truncated checksum");
+    out->push_back(std::move(info));
+  }
+  uint32_t count = 0, digest = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1 ||
+      std::fread(&digest, sizeof(digest), 1, f) != 1) {
+    return Status::Corruption(path + ": truncated footer");
+  }
+  if (count != out->size())
+    return Status::Corruption(path + ": footer section count mismatch");
   return Status::Ok();
 }
 

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/ddc_opq.h"
 #include "core/ddc_pca.h"
@@ -34,12 +35,35 @@
 #include "quant/pq.h"
 #include "quant/rq.h"
 #include "quant/sq.h"
+#include "storage/storage.h"
 #include "util/status.h"
 
 namespace resinfer::persist {
 
 util::Status SaveMatrix(const std::string& path, const linalg::Matrix& m);
 util::Status LoadMatrix(const std::string& path, linalg::Matrix* out);
+
+// A matrix served from a storage backend instead of a heap copy: `matrix`
+// is a non-owning view when the backend is mmap (the v3 aligned float
+// payload read in place from the mapping `pin` keeps alive), an ordinary
+// owning matrix otherwise. This is the raw-vector cold tier: computers
+// hold `const linalg::Matrix*`, so a mapped base pages in only the rows
+// the exact-rescore epilogue actually touches.
+struct MappedMatrix {
+  linalg::Matrix matrix;
+  storage::Blob pin;  // empty for the memory backend
+  // The backend actually serving the floats: requests for mmap on files
+  // whose version predates the aligned payload (v1/v2) fall back to a
+  // heap load, reported here.
+  storage::StorageBackend backend = storage::StorageBackend::kMemory;
+};
+
+// Loads a matrix through the chosen backend (default: RESINFER_STORAGE).
+// Zero-copy requires a v3 (aligned-payload) file; earlier versions load
+// into memory regardless of the requested backend.
+util::Status LoadMatrixMapped(
+    const std::string& path, MappedMatrix* out,
+    storage::StorageBackend backend = storage::DefaultStorageBackend());
 
 util::Status SavePca(const std::string& path, const linalg::PcaModel& model);
 util::Status LoadPca(const std::string& path, linalg::PcaModel* out);
@@ -66,7 +90,26 @@ util::Status SaveHnsw(const std::string& path, const index::HnswIndex& hnsw);
 util::Status LoadHnsw(const std::string& path, index::HnswIndex* out);
 
 util::Status SaveIvf(const std::string& path, const index::IvfIndex& ivf);
+
+// How LoadIvf materializes the code section. kMemory deserializes into an
+// aligned heap allocation (every format version). kMmap serves the records
+// zero-copy from a read-only mapping of the file — possible only for v6
+// files, whose record payload sits on a 64-byte-aligned offset; earlier
+// versions fall back to the memory path. The loaded index reports which
+// backend actually serves it via codes().storage_backend(). Scans are
+// bit-identical across backends (asserted by the storage-parity suite):
+// both expose the same bytes at the same alignment.
+struct IvfLoadOptions {
+  storage::StorageBackend backend = storage::DefaultStorageBackend();
+};
+
+// Two-argument form resolves the backend from RESINFER_STORAGE.
 util::Status LoadIvf(const std::string& path, index::IvfIndex* out);
+util::Status LoadIvf(const std::string& path, index::IvfIndex* out,
+                     const IvfLoadOptions& options);
+// Factory-style variant of the same load.
+util::StatusOr<index::IvfIndex> LoadIvfIndex(
+    const std::string& path, const IvfLoadOptions& options = IvfLoadOptions());
 
 // Trained DDC artifacts (classifiers, codes, reconstruction errors).
 util::Status SaveDdcPcaArtifacts(const std::string& path,
@@ -93,6 +136,29 @@ util::Status LoadDdcRqCascadeArtifacts(const std::string& path,
 // format ("ivf index", "pq codebook", ...).
 util::Status VerifyFile(const std::string& path,
                         std::string* format_name = nullptr);
+
+// One section frame of a checksummed persist file, as ListSections reports
+// it: where the payload starts in the file, how long it is, and its stored
+// CRC. `aligned` is payload_offset % 64 == 0 — the property the v6 layout
+// guarantees for the section carrying the code records.
+struct SectionInfo {
+  std::string name;
+  int64_t payload_offset = 0;
+  int64_t payload_bytes = 0;
+  uint32_t crc = 0;
+  bool aligned = false;
+};
+
+// Structural walk of the checksummed envelope (no CRC recomputation —
+// pair with VerifyFile for content verification): reports the format,
+// version, and every section frame. The same FailedPrecondition /
+// InvalidArgument contract as VerifyFile applies to pre-checksum versions
+// and unknown magics. `resinfer_inspect` renders this as the per-section
+// size/alignment table.
+util::Status ListSections(const std::string& path,
+                          std::vector<SectionInfo>* out,
+                          std::string* format_name = nullptr,
+                          uint32_t* version = nullptr);
 
 // Fault injection for tests: saves fail (as if the disk were full) once
 // they would write more than `bytes`; negative disables. Affects every

@@ -13,7 +13,7 @@ CodeStore::CodeStore(int64_t n, int64_t code_size, int num_sidecars,
       packing_(packing),
       tag_(std::move(tag)) {
   RESINFER_CHECK(n >= 0 && code_size > 0 && num_sidecars >= 0);
-  data_.assign(static_cast<std::size_t>(n * stride_), 0);
+  data_ = storage::Blob::AllocateAligned(n * stride_, &mutable_data_);
 }
 
 CodeStore CodeStore::PermutedBy(const std::vector<int64_t>& order) const {
@@ -28,10 +28,34 @@ CodeStore CodeStore::PermutedBy(const std::vector<int64_t>& order) const {
   return out;
 }
 
-util::Status CodeStore::FromParts(int64_t n, int64_t code_size,
-                                  int num_sidecars, std::string tag,
-                                  std::vector<uint8_t> data, CodeStore* out,
-                                  CodePacking packing) {
+CodeStore CodeStore::ShareView() const {
+  CodeStore view;
+  view.n_ = n_;
+  view.code_size_ = code_size_;
+  view.num_sidecars_ = num_sidecars_;
+  view.stride_ = stride_;
+  view.packing_ = packing_;
+  view.backend_ = backend_;
+  view.tag_ = tag_;
+  view.data_ = data_;  // shares the owner; no bytes move
+  // mutable_data_ stays null: once a second handle to the bytes exists,
+  // treating them as frozen is what makes sharing race-free.
+  return view;
+}
+
+CodeStore CodeStore::Clone() const {
+  CodeStore copy(n_, code_size_, num_sidecars_, tag_, packing_);
+  if (n_ > 0) {
+    std::memcpy(copy.mutable_data_, data_.data(),
+                static_cast<std::size_t>(data_.size()));
+  }
+  return copy;
+}
+
+namespace {
+
+util::Status ValidateLayout(int64_t n, int64_t code_size, int num_sidecars,
+                            int64_t payload_bytes, int64_t* stride) {
   const auto fail = [](const char* what) {
     return util::Status::Corruption(what);
   };
@@ -46,17 +70,39 @@ util::Status CodeStore::FromParts(int64_t n, int64_t code_size,
   if (num_sidecars < 0 || num_sidecars > 4096) {
     return fail("implausible sidecar count");
   }
-  const int64_t stride = CodeRecordStride(code_size, num_sidecars);
-  if (static_cast<int64_t>(data.size()) / stride != n ||
-      static_cast<int64_t>(data.size()) % stride != 0) {
+  *stride = CodeRecordStride(code_size, num_sidecars);
+  if (payload_bytes / *stride != n || payload_bytes % *stride != 0) {
     return fail("code payload does not match n * stride");
   }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status CodeStore::FromParts(int64_t n, int64_t code_size,
+                                  int num_sidecars, std::string tag,
+                                  std::vector<uint8_t> data, CodeStore* out,
+                                  CodePacking packing) {
+  return FromBlob(n, code_size, num_sidecars, std::move(tag),
+                  storage::Blob::TakeVector(std::move(data)), out, packing,
+                  storage::StorageBackend::kMemory);
+}
+
+util::Status CodeStore::FromBlob(int64_t n, int64_t code_size,
+                                 int num_sidecars, std::string tag,
+                                 storage::Blob data, CodeStore* out,
+                                 CodePacking packing,
+                                 storage::StorageBackend backend) {
+  int64_t stride = 0;
+  RESINFER_RETURN_IF_ERROR(
+      ValidateLayout(n, code_size, num_sidecars, data.size(), &stride));
   CodeStore store;
   store.n_ = n;
   store.code_size_ = code_size;
   store.num_sidecars_ = num_sidecars;
   store.stride_ = stride;
   store.packing_ = packing;
+  store.backend_ = backend;
   store.tag_ = std::move(tag);
   store.data_ = std::move(data);
   *out = std::move(store);

@@ -6,6 +6,7 @@
 
 #include "linalg/matrix.h"
 #include "quant/kmeans.h"
+#include "storage/storage.h"
 #include "util/macros.h"
 
 namespace resinfer::serve {
@@ -161,7 +162,16 @@ void IvfServer::Dispatch(std::shared_ptr<PendingGroup> group) {
     ++stats_.groups;
     stats_.group_occupancy.Add(static_cast<double>(group->count()));
   }
-  executor_.Submit([this, group = std::move(group)](int worker) {
+  // Pin the code storage for the lifetime of the dispatched work: the
+  // handle shares ownership of the backing bytes (heap block or mmap of
+  // the index file), so the scan below reads from storage that cannot be
+  // unmapped or freed under it regardless of which backend serves the
+  // index — the bit-identity contract is backend-independent.
+  storage::Blob storage_pin =
+      index_->has_codes() ? index_->codes().storage() : storage::Blob();
+  executor_.Submit([this, group = std::move(group),
+                    pin = std::move(storage_pin)](int worker) {
+    (void)pin;
     const int64_t count = group->count();
     linalg::Matrix queries(count, dim_);
     std::copy(group->queries.begin(), group->queries.end(), queries.data());

@@ -1,0 +1,216 @@
+#include "storage/storage.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "util/aligned_buffer.h"
+#include "util/macros.h"
+
+namespace resinfer::storage {
+
+const char* StorageBackendName(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kMemory:
+      return "memory";
+    case StorageBackend::kMmap:
+      return "mmap";
+  }
+  return "unknown";
+}
+
+util::Status ParseStorageBackend(const std::string& text,
+                                 StorageBackend* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "memory" || lower == "mem" || lower == "heap") {
+    *out = StorageBackend::kMemory;
+    return util::Status::Ok();
+  }
+  if (lower == "mmap") {
+    *out = StorageBackend::kMmap;
+    return util::Status::Ok();
+  }
+  return util::Status::InvalidArgument("unknown storage backend '" + text +
+                                       "' (expected memory|mmap)");
+}
+
+StorageBackend DefaultStorageBackend() {
+  const char* env = std::getenv("RESINFER_STORAGE");
+  if (env == nullptr || env[0] == '\0') return StorageBackend::kMemory;
+  StorageBackend requested;
+  if (!ParseStorageBackend(env, &requested).ok()) {
+    // Warn once: the default is consulted on every load, and a misspelled
+    // environment value should not spam a serving process's stderr.
+    static const bool warned = [env] {
+      std::fprintf(stderr,
+                   "resinfer: ignoring invalid RESINFER_STORAGE=%s "
+                   "(expected memory|mmap)\n",
+                   env);
+      return true;
+    }();
+    (void)warned;
+    return StorageBackend::kMemory;
+  }
+  return requested;
+}
+
+Blob::Blob(std::shared_ptr<const void> owner, const uint8_t* data,
+           int64_t size)
+    : owner_(std::move(owner)), data_(data), size_(size) {
+  RESINFER_CHECK(size >= 0 && (size == 0 || data != nullptr));
+}
+
+Blob Blob::AllocateAligned(int64_t size, uint8_t** mutable_data) {
+  RESINFER_CHECK(size >= 0);
+  if (size == 0) {
+    if (mutable_data != nullptr) *mutable_data = nullptr;
+    return Blob();
+  }
+  auto* bytes = static_cast<uint8_t*>(
+      AlignedAlloc(static_cast<std::size_t>(size)));
+  std::memset(bytes, 0, static_cast<std::size_t>(size));
+  std::shared_ptr<const void> owner(bytes,
+                                    [](const void* p) {
+                                      AlignedFree(const_cast<void*>(p));
+                                    });
+  if (mutable_data != nullptr) *mutable_data = bytes;
+  return Blob(std::move(owner), bytes, size);
+}
+
+Blob Blob::CopyOf(const void* data, int64_t size) {
+  uint8_t* dst = nullptr;
+  Blob blob = AllocateAligned(size, &dst);
+  if (size > 0) std::memcpy(dst, data, static_cast<std::size_t>(size));
+  return blob;
+}
+
+Blob Blob::TakeVector(std::vector<uint8_t> bytes) {
+  if (bytes.empty()) return Blob();
+  auto holder = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+  const uint8_t* data = holder->data();
+  const auto size = static_cast<int64_t>(holder->size());
+  return Blob(std::shared_ptr<const void>(std::move(holder)), data, size);
+}
+
+Blob Blob::Slice(int64_t offset, int64_t length) const {
+  RESINFER_CHECK(offset >= 0 && length >= 0 && offset + length <= size_);
+  if (length == 0) return Blob();
+  return Blob(owner_, data_ + offset, length);
+}
+
+std::string MemoryStorage::name() const {
+  return "memory(" + std::to_string(bytes_.size()) + " bytes)";
+}
+
+namespace {
+
+util::Status CheckFetchRange(const VectorStorage& storage, int64_t offset,
+                             int64_t length) {
+  if (offset < 0 || length < 0 || offset > storage.size_bytes() - length) {
+    return util::Status::InvalidArgument(
+        storage.name() + ": fetch of [" + std::to_string(offset) + ", " +
+        std::to_string(offset + length) + ") exceeds " +
+        std::to_string(storage.size_bytes()) + " bytes");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status MemoryStorage::Fetch(int64_t offset, int64_t length,
+                                  Blob* out) const {
+  RESINFER_RETURN_IF_ERROR(CheckFetchRange(*this, offset, length));
+  *out = bytes_.Slice(offset, length);
+  return util::Status::Ok();
+}
+
+util::Status MapFileReadOnly(const std::string& path, Blob* out) {
+#if defined(_WIN32)
+  return util::Status::FailedPrecondition(
+      path + ": mmap storage backend is not available on this platform");
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return util::Status::NotFound(path + ": cannot open for mmap");
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return util::Status::IOError(path + ": fstat failed");
+  }
+  const auto size = static_cast<int64_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    *out = Blob();
+    return util::Status::Ok();
+  }
+  void* mapped = ::mmap(nullptr, static_cast<std::size_t>(size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+  // The mapping pins the file contents; the descriptor is not needed
+  // afterwards.
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    return util::Status::IOError(path + ": mmap failed");
+  }
+  // Move-proof RAII: copying an unmapper would double-munmap, so the type
+  // is pinned inside one shared_ptr for the mapping's whole life.
+  struct Unmapper {
+    void* addr;
+    std::size_t len;
+    Unmapper(void* a, std::size_t l) : addr(a), len(l) {}
+    Unmapper(const Unmapper&) = delete;
+    Unmapper& operator=(const Unmapper&) = delete;
+    ~Unmapper() { ::munmap(addr, len); }
+  };
+  auto holder =
+      std::make_shared<Unmapper>(mapped, static_cast<std::size_t>(size));
+  *out = Blob(std::shared_ptr<const void>(std::move(holder)),
+              static_cast<const uint8_t*>(mapped), size);
+  return util::Status::Ok();
+#endif
+}
+
+void AdviseRandomAccess(const Blob& blob) {
+#if !defined(_WIN32)
+  if (blob.empty()) return;
+  const auto page = static_cast<uintptr_t>(::sysconf(_SC_PAGESIZE));
+  const auto addr = reinterpret_cast<uintptr_t>(blob.data());
+  const uintptr_t start = addr & ~(page - 1);
+  const std::size_t len =
+      static_cast<std::size_t>(addr - start) +
+      static_cast<std::size_t>(blob.size());
+  // Best-effort: advice is a hint, and a range that straddles an unmapped
+  // hole (possible after rounding a heap pointer down) just fails quietly.
+  (void)::madvise(reinterpret_cast<void*>(start), len, MADV_RANDOM);
+#else
+  (void)blob;
+#endif
+}
+
+util::StatusOr<std::shared_ptr<MmapFileStorage>> MmapFileStorage::Open(
+    const std::string& path) {
+  Blob mapping;
+  RESINFER_RETURN_IF_ERROR(MapFileReadOnly(path, &mapping));
+  return std::shared_ptr<MmapFileStorage>(
+      new MmapFileStorage(path, std::move(mapping)));
+}
+
+util::Status MmapFileStorage::Fetch(int64_t offset, int64_t length,
+                                    Blob* out) const {
+  RESINFER_RETURN_IF_ERROR(CheckFetchRange(*this, offset, length));
+  *out = mapping_.Slice(offset, length);
+  return util::Status::Ok();
+}
+
+}  // namespace resinfer::storage

@@ -1,0 +1,187 @@
+// Storage backends for index payloads: who owns the bytes a scan reads.
+//
+// Until PR 10 every byte the refinement path scans was heap-resident and
+// arrived via full deserialization — capping corpus size at RAM and making
+// cold-start cost proportional to index size. This module splits "where the
+// bytes live" from "what the bytes mean":
+//
+//   * Blob — a shared-ownership handle to an immutable byte range. Slicing
+//     is zero-copy; the backing allocation (heap block, mmap'd file) is
+//     released when the last handle drops. Consumers (quant::CodeStore,
+//     IvfIndex, the serving layer) hold Blobs instead of vectors, so the
+//     same scan code runs over heap bytes and mapped file pages alike.
+//   * VectorStorage — the backend interface: MemoryStorage owns an
+//     allocation, MmapFileStorage maps a file read-only and serves
+//     zero-copy slices of the mapping. Fetch() hands out Blobs that keep
+//     the backend alive, so a dispatched scan can never outlive its bytes.
+//
+// Backend selection follows the RESINFER_SIMD_LEVEL precedent: the
+// RESINFER_STORAGE environment variable ("memory" | "mmap") picks the
+// process default, tools override it per invocation with --storage=. The
+// bit-identity contract is backend-blind by construction — both backends
+// expose the same bytes at the same alignment (persist v6 lays code
+// records on 64-byte boundaries precisely so a mapped file satisfies the
+// same alignment the heap allocator guarantees).
+#ifndef RESINFER_STORAGE_STORAGE_H_
+#define RESINFER_STORAGE_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace resinfer::storage {
+
+enum class StorageBackend {
+  kMemory = 0,  // heap-resident: bytes deserialized into aligned allocations
+  kMmap = 1,    // file-resident: bytes served from a read-only mmap
+};
+
+// "memory" / "mmap".
+const char* StorageBackendName(StorageBackend backend);
+
+// Parses a backend name (case-insensitive); InvalidArgument on anything
+// else, naming the accepted spellings.
+util::Status ParseStorageBackend(const std::string& text,
+                                 StorageBackend* out);
+
+// The process-wide default: RESINFER_STORAGE if set and valid, else
+// kMemory. An unparseable value warns once on stderr and falls back to
+// kMemory (mirroring how RESINFER_SIMD_LEVEL treats junk), so a typo in an
+// environment file degrades to the safe default instead of aborting a
+// server.
+StorageBackend DefaultStorageBackend();
+
+// Shared-ownership handle to an immutable byte range.
+//
+// A Blob is (owner, pointer, size): the owner is type-erased shared state
+// whose destructor releases the backing storage (heap free, munmap), the
+// pointer/size window may cover all of it or any slice. Copying shares;
+// the bytes outlive every handle. An empty Blob (default-constructed) has
+// no owner and zero size.
+class Blob {
+ public:
+  Blob() = default;
+  // Adopts an externally managed range: `data`..`data + size` must stay
+  // valid for as long as `owner` keeps its referent alive.
+  Blob(std::shared_ptr<const void> owner, const uint8_t* data, int64_t size);
+
+  // Zeroed 64-byte-aligned allocation. `*mutable_data` (if non-null)
+  // receives a writable pointer to the same bytes — valid for filling the
+  // blob while the caller still holds the only handle; once a second
+  // handle exists the bytes must be treated as frozen.
+  static Blob AllocateAligned(int64_t size, uint8_t** mutable_data = nullptr);
+  // 64-byte-aligned copy of the given bytes.
+  static Blob CopyOf(const void* data, int64_t size);
+  // Takes ownership of a byte vector without copying. The vector's own
+  // allocation backs the blob, so alignment is whatever operator new gave
+  // it — use AllocateAligned/CopyOf when 64-byte alignment matters.
+  static Blob TakeVector(std::vector<uint8_t> bytes);
+
+  // Zero-copy sub-range sharing the same owner. CHECK-aborts unless
+  // [offset, offset + length) lies inside this blob (caller contract — the
+  // persist loader validates declared offsets before slicing).
+  Blob Slice(int64_t offset, int64_t length) const;
+
+  const uint8_t* data() const { return data_; }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // True while this handle is the only one keeping the owner alive —
+  // the window in which mutating via AllocateAligned's mutable pointer is
+  // legal.
+  bool unique() const { return owner_ != nullptr && owner_.use_count() == 1; }
+  // True when two blobs share the same backing owner (not necessarily the
+  // same window).
+  bool SharesOwnerWith(const Blob& other) const {
+    return owner_ != nullptr && owner_ == other.owner_;
+  }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const uint8_t* data_ = nullptr;
+  int64_t size_ = 0;
+};
+
+// Backend interface: a named, sized byte container that hands out shared
+// zero-copy views. Implementations are immutable after construction and
+// safe to Fetch from concurrently.
+class VectorStorage {
+ public:
+  virtual ~VectorStorage() = default;
+
+  virtual StorageBackend backend() const = 0;
+  // Human-readable identity for diagnostics: "memory(<n> bytes)",
+  // "mmap(<path>)".
+  virtual std::string name() const = 0;
+  virtual int64_t size_bytes() const = 0;
+
+  // Shared handle to bytes [offset, offset + length). The blob keeps the
+  // storage alive; returns InvalidArgument when the range falls outside
+  // the container (offsets come from file headers, so this is a
+  // recoverable error, not a caller contract).
+  virtual util::Status Fetch(int64_t offset, int64_t length,
+                             Blob* out) const = 0;
+};
+
+// Heap-resident backend: adopts a blob (typically AllocateAligned'd by a
+// loader) and serves slices of it.
+class MemoryStorage final : public VectorStorage {
+ public:
+  explicit MemoryStorage(Blob bytes) : bytes_(std::move(bytes)) {}
+
+  StorageBackend backend() const override { return StorageBackend::kMemory; }
+  std::string name() const override;
+  int64_t size_bytes() const override { return bytes_.size(); }
+  util::Status Fetch(int64_t offset, int64_t length,
+                     Blob* out) const override;
+
+ private:
+  Blob bytes_;
+};
+
+// File-resident backend: the whole file mapped read-only; slices alias the
+// mapping, so bytes are paged in on first touch and evicted under memory
+// pressure — serving never needs the full index resident. Unavailable on
+// platforms without mmap (FailedPrecondition).
+class MmapFileStorage final : public VectorStorage {
+ public:
+  static util::StatusOr<std::shared_ptr<MmapFileStorage>> Open(
+      const std::string& path);
+
+  StorageBackend backend() const override { return StorageBackend::kMmap; }
+  std::string name() const override { return "mmap(" + path_ + ")"; }
+  int64_t size_bytes() const override { return mapping_.size(); }
+  util::Status Fetch(int64_t offset, int64_t length,
+                     Blob* out) const override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  MmapFileStorage(std::string path, Blob mapping)
+      : path_(std::move(path)), mapping_(std::move(mapping)) {}
+
+  std::string path_;
+  Blob mapping_;  // owner munmaps when the last handle drops
+};
+
+// Maps a whole file read-only into a Blob (the primitive MmapFileStorage
+// wraps): NotFound if the file cannot be opened, IOError if the map fails,
+// FailedPrecondition on platforms without mmap. Empty files map to an
+// empty blob.
+util::Status MapFileReadOnly(const std::string& path, Blob* out);
+
+// Advises the kernel that `blob`'s pages will be touched in no particular
+// order (madvise MADV_RANDOM on the page-aligned cover of the range).
+// Scattered-id access — the raw-vector cold tier's exact-rescore pattern —
+// otherwise triggers fault-around, paging in a neighborhood of every
+// touched row and quietly growing RSS toward the full file. Best-effort:
+// a no-op for empty blobs, heap-backed blobs, and platforms without
+// madvise.
+void AdviseRandomAccess(const Blob& blob);
+
+}  // namespace resinfer::storage
+
+#endif  // RESINFER_STORAGE_STORAGE_H_

@@ -116,6 +116,41 @@ class BinaryWriter {
     WriteBytes(data, static_cast<std::size_t>(count) * sizeof(float));
   }
 
+  // Current file offset (buffered bytes included), or -1 after close/
+  // failure. Writers of aligned layouts (persist v6) use this to compute
+  // padding so a payload lands on a given file-offset boundary.
+  int64_t Tell() const {
+    if (file_ == nullptr || failed_) return -1;
+    return static_cast<int64_t>(std::ftell(file_));
+  }
+
+  // Zero padding so the NEXT write lands on a file offset that is a
+  // multiple of `alignment`, emitted as [u32 pad_len][pad_len zero bytes]
+  // (the u32 is accounted for, so readers can skip without re-deriving the
+  // arithmetic). Alignment must be a power of two <= 4096.
+  void WriteAlignmentPad(int64_t alignment) {
+    if (alignment <= 0 || alignment > 4096 ||
+        (alignment & (alignment - 1)) != 0) {
+      Fail("WriteAlignmentPad misuse");
+      return;
+    }
+    const int64_t pos = Tell();
+    if (pos < 0) return;
+    const int64_t after_len = pos + static_cast<int64_t>(sizeof(uint32_t));
+    const auto pad = static_cast<uint32_t>((alignment - after_len % alignment) %
+                                           alignment);
+    Write<uint32_t>(pad);
+    static constexpr uint8_t kZeros[64] = {};
+    uint32_t remaining = pad;
+    while (remaining > 0 && ok()) {
+      const uint32_t chunk = remaining < sizeof(kZeros)
+                                 ? remaining
+                                 : static_cast<uint32_t>(sizeof(kZeros));
+      WriteBytes(kZeros, chunk);
+      remaining -= chunk;
+    }
+  }
+
   // Opens a checksummed section: everything written until EndSection() is
   // the section payload, CRC'd and length-counted. Sections must not nest.
   void BeginSection(const char* name) {
@@ -299,6 +334,56 @@ class BinaryReader {
     return ok();
   }
 
+  // Current file offset, or -1 on failure. Mmap loaders use this to record
+  // where an aligned payload starts before skipping over it.
+  int64_t Tell() const {
+    if (file_ == nullptr || failed_) return -1;
+    return static_cast<int64_t>(std::ftell(file_));
+  }
+
+  // Consumes padding written by WriteAlignmentPad: [u32 pad_len][pad
+  // bytes]. The pad participates in the section CRC like any payload
+  // bytes. Rejects pads >= `alignment` (a corrupt length would otherwise
+  // let an attacker-shaped file desynchronize the parse).
+  bool ReadAlignmentPad(int64_t alignment) {
+    uint32_t pad = 0;
+    if (!Read(&pad)) return false;
+    if (pad >= static_cast<uint32_t>(alignment)) {
+      Fail("alignment pad longer than the alignment");
+      return false;
+    }
+    uint8_t scratch[4096];
+    if (pad > 0) ReadBytes(scratch, pad);
+    return ok();
+  }
+
+  // Seeks forward over `bytes` of the current section's payload WITHOUT
+  // checksumming it — the mmap load path, where the payload is served
+  // lazily from the file and hashing it would fault in every page the
+  // zero-copy design exists to avoid. The section's stored CRC still
+  // enters the footer digest (EndSection), so the envelope stays
+  // structurally verified; content verification of skipped sections is
+  // VerifyFile's job (see docs/storage.md).
+  bool SkipPayload(uint64_t bytes) {
+    if (!ok()) return false;
+    if (!in_section_) {
+      Fail("SkipPayload outside a section");
+      return false;
+    }
+    if (bytes > payload_remaining_) {
+      Fail("section '" + section_name_ +
+           "': skip past the declared payload length");
+      return false;
+    }
+    if (std::fseek(file_, static_cast<long>(bytes), SEEK_CUR) != 0) {
+      Fail("seek failed while skipping payload");
+      return false;
+    }
+    payload_remaining_ -= bytes;
+    section_crc_skipped_ = true;
+    return true;
+  }
+
   // Validates a magic/version header written by WriteHeader.
   bool ExpectHeader(const char magic[8], uint32_t expected_version) {
     char got[8];
@@ -359,7 +444,10 @@ class BinaryReader {
   }
 
   // Closes the current section: the loader must have consumed exactly the
-  // declared payload, and the stored CRC must match the computed one.
+  // declared payload, and the stored CRC must match the computed one —
+  // unless part of the payload was skipped (SkipPayload), in which case
+  // the stored CRC is recorded for the footer digest but cannot be
+  // compared against a full recomputation.
   bool EndSection() {
     if (!checksummed_) return ok();
     if (!in_section_) {
@@ -367,6 +455,8 @@ class BinaryReader {
       return false;
     }
     in_section_ = false;
+    const bool skipped = section_crc_skipped_;
+    section_crc_skipped_ = false;
     if (!ok()) return false;
     if (payload_remaining_ != 0) {
       Fail("section '" + section_name_ +
@@ -375,7 +465,7 @@ class BinaryReader {
     }
     uint32_t stored = 0;
     if (!Read(&stored)) return false;
-    if (stored != section_crc_) {
+    if (!skipped && stored != section_crc_) {
       Fail("section '" + section_name_ + "': checksum mismatch");
       return false;
     }
@@ -430,6 +520,7 @@ class BinaryReader {
   std::string fail_reason_;
   bool checksummed_ = false;
   bool in_section_ = false;
+  bool section_crc_skipped_ = false;
   std::string section_name_;
   uint64_t payload_remaining_ = 0;
   uint32_t section_crc_ = 0;

@@ -151,6 +151,90 @@ TEST_F(VecIoTest, NonFiniteRejectedByDefault) {
   EXPECT_NE(s.message().find("vector 1"), std::string::npos) << s.ToString();
 }
 
+TEST_F(VecIoTest, FvecsViewServesRowsInPlaceFromTheMapping) {
+  linalg::Matrix original = testing::RandomMatrix(23, 7, 83);
+  ASSERT_TRUE(WriteFvecs(Path("view.fvecs"), original).ok());
+
+  FvecsView view;
+  util::Status s = FvecsView::Open(Path("view.fvecs"), &view);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(view.rows(), 23);
+  ASSERT_EQ(view.dim(), 7);
+  ASSERT_FALSE(view.storage().empty());
+  for (int64_t i = 0; i < view.rows(); ++i) {
+    const float* row = view.Row(i);
+    // Rows are served from inside the mapping, not a heap copy.
+    ASSERT_GE(reinterpret_cast<const uint8_t*>(row), view.storage().data());
+    ASSERT_LT(reinterpret_cast<const uint8_t*>(row),
+              view.storage().data() + view.storage().size());
+    for (int64_t c = 0; c < view.dim(); ++c) {
+      ASSERT_EQ(row[c], original.At(i, c)) << i << "," << c;
+    }
+  }
+}
+
+TEST_F(VecIoTest, FvecsViewSharingTheStoragePinsTheRows) {
+  linalg::Matrix original = testing::RandomMatrix(3, 4, 84);
+  ASSERT_TRUE(WriteFvecs(Path("pin.fvecs"), original).ok());
+  storage::Blob pin;
+  const float* row1 = nullptr;
+  {
+    FvecsView view;
+    ASSERT_TRUE(FvecsView::Open(Path("pin.fvecs"), &view).ok());
+    pin = view.storage();
+    row1 = view.Row(1);
+  }  // the view dies; the shared handle must keep the mapping alive
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(row1[c], original.At(1, c)) << c;
+  }
+}
+
+TEST_F(VecIoTest, FvecsViewValidatesTheFrameStructure) {
+  // Empty file: a valid zero-row view.
+  { std::ofstream out(Path("empty.fvecs"), std::ios::binary); }
+  FvecsView view;
+  util::Status s = FvecsView::Open(Path("empty.fvecs"), &view);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(view.rows(), 0);
+
+  EXPECT_EQ(FvecsView::Open(Path("missing.fvecs"), &view).code(),
+            util::StatusCode::kNotFound);
+
+  // Truncation breaks the whole-number-of-records invariant.
+  linalg::Matrix m = testing::RandomMatrix(4, 5, 85);
+  ASSERT_TRUE(WriteFvecs(Path("short.fvecs"), m).ok());
+  std::filesystem::resize_file(
+      Path("short.fvecs"), std::filesystem::file_size(Path("short.fvecs")) - 3);
+  EXPECT_EQ(FvecsView::Open(Path("short.fvecs"), &view).code(),
+            util::StatusCode::kCorruption);
+
+  // A record whose dim header disagrees with the first must be caught at
+  // Open — Row() does no per-call validation.
+  {
+    std::ofstream out(Path("mixed.fvecs"), std::ios::binary);
+    int32_t d2 = 2, d_bad = 7;
+    float p[2] = {1.0f, 2.0f};
+    out.write(reinterpret_cast<char*>(&d2), 4);
+    out.write(reinterpret_cast<char*>(p), 8);
+    out.write(reinterpret_cast<char*>(&d_bad), 4);
+    out.write(reinterpret_cast<char*>(p), 8);
+  }
+  s = FvecsView::Open(Path("mixed.fvecs"), &view);
+  EXPECT_EQ(s.code(), util::StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("inconsistent dimensions"), std::string::npos);
+
+  // Non-positive leading dimension.
+  {
+    std::ofstream out(Path("neg.fvecs"), std::ios::binary);
+    int32_t d = -1;
+    float p[1] = {0.0f};
+    out.write(reinterpret_cast<char*>(&d), 4);
+    out.write(reinterpret_cast<char*>(p), 4);
+  }
+  EXPECT_EQ(FvecsView::Open(Path("neg.fvecs"), &view).code(),
+            util::StatusCode::kCorruption);
+}
+
 TEST_F(VecIoTest, NonFiniteDropPolicySkipsAndCounts) {
   const std::string path = WriteNonFiniteFile(dir_);
   linalg::Matrix m;

@@ -1,11 +1,13 @@
 #include "index/ivf_index.h"
 
+#include <cstring>
 #include <numeric>
 
 #include <gtest/gtest.h>
 
 #include "data/ground_truth.h"
 #include "data/metrics.h"
+#include "quant/code_store.h"
 #include "test_util.h"
 
 namespace resinfer::index {
@@ -175,6 +177,51 @@ TEST(IvfIndexTest, SearchClampsOutOfRangeArguments) {
       EXPECT_EQ(want[i].id, got[i].id) << q;
     }
   }
+}
+
+TEST(IvfIndexTest, AttachSharedCodesAddsNoCopyOfTheRecords) {
+  // Regression for the attach path's old 2x-peak-RSS behavior: AttachCodes
+  // deep-copied the store even when the records were already in bucket
+  // order. AttachSharedCodes must alias the source bytes — the pointer
+  // identity below is exactly the "no second copy exists" property, which
+  // is what keeps attach O(1) in memory for multi-GB sections.
+  data::Dataset ds = testing::SmallDataset(400, 8, 1.0, 45, 2, 2);
+  IvfIndex index = IvfIndex::Build(ds.base, SmallOptions());
+
+  quant::CodeStore id_ordered(index.size(), 2, 1, "shared-attach");
+  for (int64_t i = 0; i < index.size(); ++i) {
+    const uint8_t code[2] = {static_cast<uint8_t>(i),
+                             static_cast<uint8_t>(i >> 8)};
+    id_ordered.SetCode(i, code);
+    id_ordered.SetSidecar(i, 0, static_cast<float>(i));
+  }
+  // Bucket-permute once (an inherent copy), then share — the serving /
+  // persist path where records already sit in bucket order.
+  quant::CodeStore permuted = id_ordered.PermutedBy(index.ids());
+  const uint8_t* source_bytes = permuted.data();
+
+  index.AttachSharedCodes(permuted);
+  ASSERT_TRUE(index.has_codes());
+  EXPECT_EQ(index.codes().data(), source_bytes);
+  EXPECT_TRUE(index.codes().storage().SharesOwnerWith(permuted.storage()));
+  EXPECT_TRUE(index.codes().is_view());
+
+  // The shared records are the permuted ones: record j describes ids()[j].
+  for (int64_t j = 0; j < index.size(); ++j) {
+    EXPECT_EQ(index.codes().record(j)[0],
+              static_cast<uint8_t>(index.ids()[j]))
+        << j;
+  }
+
+  // AttachCodes (id-ordered input) still works and still copies — the
+  // permutation is inherent there — but must agree record-for-record.
+  IvfIndex copy_index = IvfIndex::Build(ds.base, SmallOptions());
+  ASSERT_EQ(copy_index.ids(), index.ids());
+  copy_index.AttachCodes(id_ordered);
+  ASSERT_EQ(copy_index.codes().data_bytes(), index.codes().data_bytes());
+  EXPECT_EQ(std::memcmp(copy_index.codes().data(), index.codes().data(),
+                        static_cast<std::size_t>(index.codes().data_bytes())),
+            0);
 }
 
 TEST(IvfIndexTest, ResultsAscendByDistance) {

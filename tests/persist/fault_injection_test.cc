@@ -22,6 +22,7 @@
 #include "core/ddc_any.h"
 #include "persist/persist.h"
 #include "quant/code_store.h"
+#include "storage/storage.h"
 #include "test_util.h"
 #include "util/fault_injection.h"
 #include "util/status.h"
@@ -44,9 +45,10 @@ struct FormatCase {
   std::function<Status(const std::string& path)> load;
 };
 
-// Mutation counts per format. 12 v5 formats x 35 + 4 legacy fixtures x 25
-// = 520 total mutations, comfortably above the 500-mutation floor the
-// suite promises.
+// Mutation counts per format. 12 current formats x 35 + 4 legacy fixtures
+// x 25 + 4 frozen checksummed fixtures x 35 + 35 for the mmap recipe =
+// 695 total mutations, comfortably above the 500-mutation floor the suite
+// promises.
 constexpr int kBitFlipsPerFormat = 20;
 constexpr int kTruncationsPerFormat = 10;
 constexpr int kRangeCorruptionsPerFormat = 5;
@@ -232,7 +234,7 @@ std::vector<FormatCase> AllFormats() {
        }});
 
   formats.push_back(
-      {"ivf",
+      {"ivf",  // saves the current (v6, aligned-codes) layout
        [](const std::string& p) {
          data::Dataset ds = testing::SmallDataset(240, 8, 1.0, 908, 4, 2);
          index::IvfOptions options;
@@ -305,7 +307,7 @@ std::vector<FormatCase> AllFormats() {
   return formats;
 }
 
-TEST_F(FaultInjectionTest, EveryV5FormatRejectsEveryMutation) {
+TEST_F(FaultInjectionTest, EveryCurrentFormatRejectsEveryMutation) {
   int total_mutations = 0;
   uint32_t seed = 0xC0FFEE;
   for (const FormatCase& format : AllFormats()) {
@@ -354,6 +356,75 @@ TEST_F(FaultInjectionTest, LegacyFixtureVersionsRejectTruncation) {
         ivf_loader, path, ++seed, /*include_bit_flips=*/false);
   }
   EXPECT_EQ(total_mutations, 4 * kTruncationsPerLegacyFixture);
+}
+
+TEST_F(FaultInjectionTest, FrozenChecksummedFixturesRejectEveryMutation) {
+  // v5 and v6 fixtures carry the section envelope, so the full schedule —
+  // bit flips and range corruptions included — applies to the frozen
+  // bytes, not just truncation.
+  FormatCase ivf_loader{
+      "ivf_checksummed", nullptr,
+      [](const std::string& p) {
+        index::IvfIndex ivf;
+        return LoadIvf(p, &ivf);
+      }};
+  int total_mutations = 0;
+  uint32_t seed = 0xBEEF;
+  for (const char* fixture : {"ivf_v5.bin", "ivf_v5_packed.bin",
+                              "ivf_v6.bin", "ivf_v6_packed.bin"}) {
+    SCOPED_TRACE(fixture);
+    const std::string source = std::string(RESINFER_SOURCE_DIR) +
+                               "/tests/persist/testdata/" + fixture;
+    const std::string path = Path(fixture);
+    std::filesystem::copy_file(source, path);
+    Status pristine = ivf_loader.load(path);
+    ASSERT_TRUE(pristine.ok()) << pristine.ToString();
+
+    total_mutations += MutateAndExpectCleanFailure(
+        ivf_loader, path, ++seed, /*include_bit_flips=*/true);
+  }
+  EXPECT_EQ(total_mutations, 4 * (kBitFlipsPerFormat +
+                                  kRangeCorruptionsPerFormat +
+                                  kTruncationsPerFormat));
+}
+
+TEST_F(FaultInjectionTest, MmapRecipeRejectsEveryMutation) {
+  // The zero-copy mmap load skips the code-payload CRC by design (reading
+  // the payload would fault in every page, defeating the lazy tier), so a
+  // bit flip inside the record bytes is only caught by VerifyFile. The
+  // documented recipe — VerifyFile, then LoadIvf with the mmap backend —
+  // must therefore reject every mutation end to end.
+  FormatCase recipe{
+      "ivf_mmap_recipe",
+      [](const std::string& p) {
+        data::Dataset ds = testing::SmallDataset(240, 8, 1.0, 913, 4, 2);
+        index::IvfOptions options;
+        options.num_clusters = 6;
+        index::IvfIndex ivf = index::IvfIndex::Build(ds.base, options);
+        core::SqEstimatorData sq = core::BuildSqEstimatorData(ds.base);
+        core::SqAdcEstimator estimator(&sq);
+        ivf.AttachCodes(estimator.MakeCodeStore());
+        return SaveIvf(p, ivf);
+      },
+      [](const std::string& p) {
+        Status verified = VerifyFile(p);
+        if (!verified.ok()) return verified;
+        index::IvfIndex ivf;
+        IvfLoadOptions options;
+        options.backend = storage::StorageBackend::kMmap;
+        return LoadIvf(p, &ivf, options);
+      }};
+
+  const std::string path = Path("ivf_mmap_recipe.bin");
+  Status save = recipe.save(path);
+  ASSERT_TRUE(save.ok()) << save.ToString();
+  Status pristine = recipe.load(path);
+  ASSERT_TRUE(pristine.ok()) << pristine.ToString();
+
+  const int total = MutateAndExpectCleanFailure(recipe, path, 0xD15C,
+                                                /*include_bit_flips=*/true);
+  EXPECT_EQ(total, kBitFlipsPerFormat + kRangeCorruptionsPerFormat +
+                       kTruncationsPerFormat);
 }
 
 TEST_F(FaultInjectionTest, MutationsComposeAndResetRestores) {

@@ -7,6 +7,8 @@
 // suite fails in CI rather than at load time in production. The expected
 // constants are duplicated from the generator on purpose — they describe
 // the frozen files, not the current code.
+#include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "index/ivf_index.h"
 #include "persist/persist.h"
 #include "quant/code_store.h"
+#include "storage/storage.h"
 
 #ifndef RESINFER_SOURCE_DIR
 #error "RESINFER_SOURCE_DIR must point at the repository root"
@@ -165,6 +168,104 @@ TEST(PersistFixtureTest, V5ChecksummedPackedStoreLoads) {
     EXPECT_EQ(quant::RecordSidecars(rec, codes.code_size())[0],
               static_cast<float>(id) + 0.25f)
         << j;
+  }
+}
+
+void ExpectFixtureByteCodes(const quant::CodeStore& codes) {
+  EXPECT_EQ(codes.tag(), "fixture/cs2/sc1/n12");
+  EXPECT_EQ(codes.code_size(), 2);
+  EXPECT_EQ(codes.num_sidecars(), 1);
+  EXPECT_EQ(codes.packing(), quant::CodePacking::kBytePerCode);
+  ASSERT_EQ(codes.size(), kSize);
+  for (std::size_t j = 0; j < kIds.size(); ++j) {
+    const int64_t id = kIds[j];
+    const uint8_t* rec = codes.record(static_cast<int64_t>(j));
+    EXPECT_EQ(rec[0], static_cast<uint8_t>(id)) << j;
+    EXPECT_EQ(rec[1], static_cast<uint8_t>(2 * id)) << j;
+    EXPECT_EQ(quant::RecordSidecars(rec, codes.code_size())[0],
+              static_cast<float>(id) + 0.5f)
+        << j;
+  }
+}
+
+TEST(PersistFixtureTest, V6AlignedByteStoreLoads) {
+  index::IvfIndex ivf;
+  util::Status s = LoadIvf(FixturePath("ivf_v6.bin"), &ivf);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ExpectFixtureLayout(ivf);
+  ASSERT_TRUE(ivf.has_codes());
+  ExpectFixtureByteCodes(ivf.codes());
+}
+
+TEST(PersistFixtureTest, V6AlignedPackedStoreLoads) {
+  index::IvfIndex ivf;
+  util::Status s = LoadIvf(FixturePath("ivf_v6_packed.bin"), &ivf);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ExpectFixtureLayout(ivf);
+
+  ASSERT_TRUE(ivf.has_codes());
+  const quant::CodeStore& codes = ivf.codes();
+  EXPECT_EQ(codes.tag(), "fixture/cs2/sc1/n12/pk4");
+  EXPECT_EQ(codes.packing(), quant::CodePacking::kPacked4);
+  ASSERT_EQ(codes.size(), kSize);
+  const quant::CodeLayout layout = quant::CodeLayout::ForBits(4);
+  for (std::size_t j = 0; j < kIds.size(); ++j) {
+    const int64_t id = kIds[j];
+    const uint8_t* rec = codes.record(static_cast<int64_t>(j));
+    EXPECT_EQ(quant::CodeAt(rec, 0, layout), id & 0xf) << j;
+    EXPECT_EQ(quant::CodeAt(rec, 1, layout), (2 * id) & 0xf) << j;
+    EXPECT_EQ(quant::CodeAt(rec, 2, layout), (3 * id) & 0xf) << j;
+    EXPECT_EQ(quant::RecordSidecars(rec, codes.code_size())[0],
+              static_cast<float>(id) + 0.25f)
+        << j;
+  }
+}
+
+TEST(PersistFixtureTest, V6FixturesLoadBitIdenticalFromMmap) {
+  // The memory-vs-mmap load-parity check over frozen bytes: both backends
+  // must materialize identical records (and metadata) from the same file,
+  // with the mmap store reporting where its bytes actually live.
+  for (const char* name : {"ivf_v6.bin", "ivf_v6_packed.bin"}) {
+    index::IvfIndex memory, mapped;
+    IvfLoadOptions options;
+    options.backend = storage::StorageBackend::kMemory;
+    util::Status s = LoadIvf(FixturePath(name), &memory, options);
+    ASSERT_TRUE(s.ok()) << name << ": " << s.ToString();
+    options.backend = storage::StorageBackend::kMmap;
+    s = LoadIvf(FixturePath(name), &mapped, options);
+    ASSERT_TRUE(s.ok()) << name << ": " << s.ToString();
+
+    ASSERT_TRUE(memory.has_codes());
+    ASSERT_TRUE(mapped.has_codes());
+    EXPECT_EQ(memory.codes().storage_backend(),
+              storage::StorageBackend::kMemory)
+        << name;
+    EXPECT_EQ(mapped.codes().storage_backend(),
+              storage::StorageBackend::kMmap)
+        << name;
+    EXPECT_TRUE(mapped.codes().is_view()) << name;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(mapped.codes().data()) % 64, 0u)
+        << name << ": mapped records must sit on the v6 alignment";
+
+    ASSERT_EQ(memory.codes().data_bytes(), mapped.codes().data_bytes())
+        << name;
+    EXPECT_EQ(std::memcmp(memory.codes().data(), mapped.codes().data(),
+                          static_cast<std::size_t>(
+                              memory.codes().data_bytes())),
+              0)
+        << name;
+    EXPECT_EQ(memory.codes().tag(), mapped.codes().tag()) << name;
+    EXPECT_EQ(memory.codes().stride(), mapped.codes().stride()) << name;
+    EXPECT_EQ(memory.codes().packing(), mapped.codes().packing()) << name;
+  }
+}
+
+TEST(PersistFixtureTest, V6FixturesPassChecksumVerification) {
+  for (const char* name : {"ivf_v6.bin", "ivf_v6_packed.bin"}) {
+    std::string format;
+    util::Status s = VerifyFile(FixturePath(name), &format);
+    EXPECT_TRUE(s.ok()) << name << ": " << s.ToString();
+    EXPECT_EQ(format, "ivf index") << name;
   }
 }
 

@@ -10,11 +10,19 @@
 #include "core/ddc_any.h"
 #include "data/ground_truth.h"
 #include "quant/code_store.h"
+#include "storage/storage.h"
 #include "test_util.h"
 #include "util/binary_io.h"
 
 namespace resinfer::persist {
 namespace {
+
+// The record bytes of a store as an independent vector — for byte-for-byte
+// comparisons and for hand-writing legacy count-prefixed code sections.
+std::vector<uint8_t> CodeBytes(const quant::CodeStore& codes) {
+  return std::vector<uint8_t>(codes.data(),
+                              codes.data() + codes.data_bytes());
+}
 
 class PersistTest : public ::testing::Test {
  protected:
@@ -406,7 +414,7 @@ TEST_F(PersistTest, IvfV3RoundTripWithCodes) {
   EXPECT_EQ(loaded.codes().code_size(), fixture.ivf.codes().code_size());
   EXPECT_EQ(loaded.codes().num_sidecars(),
             fixture.ivf.codes().num_sidecars());
-  EXPECT_EQ(loaded.codes().raw(), fixture.ivf.codes().raw());
+  EXPECT_EQ(CodeBytes(loaded.codes()), CodeBytes(fixture.ivf.codes()));
 }
 
 TEST_F(PersistTest, IvfV2FormatStillLoads) {
@@ -470,7 +478,7 @@ TEST_F(PersistTest, IvfV3MissizedCodePayloadFails) {
       writer.Write<int64_t>(codes.code_size());
       writer.Write<int32_t>(codes.num_sidecars());
       writer.WriteString(codes.tag());
-      std::vector<uint8_t> data(codes.raw());
+      std::vector<uint8_t> data = CodeBytes(codes);
       data.resize(data.size() + delta, 0);
       writer.WriteVector(data);
       ASSERT_TRUE(writer.ok());
@@ -509,7 +517,7 @@ TEST_F(PersistTest, IvfV4PackingTagMismatchFails) {
     writer.Write<uint8_t>(
         static_cast<uint8_t>(quant::CodePacking::kPacked4));
     writer.WriteString(codes.tag());
-    writer.WriteVector(codes.raw());
+    writer.WriteVector(CodeBytes(codes));
     ASSERT_TRUE(writer.ok());
   }
   index::IvfIndex loaded;
@@ -548,6 +556,157 @@ TEST_F(PersistTest, IvfV3CodesSurviveSearchAfterLoad) {
       EXPECT_EQ(want[i].distance, got[i].distance);
     }
   }
+}
+
+// --- v6 storage-backend section ---------------------------------------------
+
+TEST_F(PersistTest, MatrixMappedLoadIsZeroCopyAndBitIdentical) {
+  linalg::Matrix m = testing::RandomMatrix(37, 11, 329);
+  ASSERT_TRUE(SaveMatrix(Path("m_map.bin"), m).ok());
+
+  MappedMatrix mapped;
+  util::Status s = LoadMatrixMapped(Path("m_map.bin"), &mapped,
+                                    storage::StorageBackend::kMmap);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(mapped.backend, storage::StorageBackend::kMmap);
+  EXPECT_TRUE(mapped.matrix.is_view());
+  ASSERT_EQ(mapped.matrix.rows(), m.rows());
+  ASSERT_EQ(mapped.matrix.cols(), m.cols());
+  // The floats are served in place from the mapping's pin, at the aligned
+  // offset the v3 layout promises. (Const access: the mutable data()
+  // overload is off-limits on views.)
+  const linalg::Matrix& view = mapped.matrix;
+  ASSERT_FALSE(mapped.pin.empty());
+  EXPECT_EQ(reinterpret_cast<const uint8_t*>(view.data()),
+            mapped.pin.data());
+  EXPECT_EQ(mapped.pin.size(),
+            static_cast<int64_t>(sizeof(float)) * m.rows() * m.cols());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(view.data()) % 64, 0u);
+  EXPECT_EQ(linalg::MaxAbsDifference(m, mapped.matrix), 0.0);
+}
+
+TEST_F(PersistTest, MatrixMappedMemoryBackendOwnsItsFloats) {
+  linalg::Matrix m = testing::RandomMatrix(5, 9, 330);
+  ASSERT_TRUE(SaveMatrix(Path("m_heap.bin"), m).ok());
+  MappedMatrix mapped;
+  util::Status s = LoadMatrixMapped(Path("m_heap.bin"), &mapped,
+                                    storage::StorageBackend::kMemory);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(mapped.backend, storage::StorageBackend::kMemory);
+  EXPECT_FALSE(mapped.matrix.is_view());
+  EXPECT_TRUE(mapped.pin.empty());
+  EXPECT_EQ(linalg::MaxAbsDifference(m, mapped.matrix), 0.0);
+}
+
+TEST_F(PersistTest, IvfV6MmapLoadIsBitIdenticalToMemoryLoad) {
+  IvfWithCodes fixture;
+  ASSERT_TRUE(SaveIvf(Path("ivf_v6_rt.bin"), fixture.ivf).ok());
+
+  index::IvfIndex mem;
+  index::IvfIndex map;
+  IvfLoadOptions memory_options;
+  memory_options.backend = storage::StorageBackend::kMemory;
+  IvfLoadOptions mmap_options;
+  mmap_options.backend = storage::StorageBackend::kMmap;
+  util::Status s = LoadIvf(Path("ivf_v6_rt.bin"), &mem, memory_options);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  s = LoadIvf(Path("ivf_v6_rt.bin"), &map, mmap_options);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  ASSERT_TRUE(mem.has_codes());
+  ASSERT_TRUE(map.has_codes());
+  EXPECT_EQ(mem.codes().storage_backend(), storage::StorageBackend::kMemory);
+  EXPECT_EQ(map.codes().storage_backend(), storage::StorageBackend::kMmap);
+  // v6 places the record bytes at a 64-byte-aligned file offset so the
+  // mapped store can serve them in place.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(map.codes().data()) % 64, 0u);
+  EXPECT_EQ(CodeBytes(map.codes()), CodeBytes(mem.codes()));
+  EXPECT_EQ(map.codes().tag(), mem.codes().tag());
+  EXPECT_EQ(map.bucket_offsets(), mem.bucket_offsets());
+  EXPECT_EQ(map.ids(), mem.ids());
+
+  // Code-resident searches through both loads must agree bit for bit.
+  core::TrainingDataOptions training;
+  training.max_queries = 40;
+  core::SqAdcEstimator trainer(&fixture.sq);
+  core::LinearCorrector corrector = core::TrainAnyCorrector(
+      trainer, fixture.ds.base, fixture.ds.train_queries, training);
+  core::DdcAnyComputer a(&fixture.ds.base,
+                         std::make_unique<core::SqAdcEstimator>(&fixture.sq),
+                         &corrector);
+  core::DdcAnyComputer b(&fixture.ds.base,
+                         std::make_unique<core::SqAdcEstimator>(&fixture.sq),
+                         &corrector);
+  for (int64_t q = 0; q < fixture.ds.queries.rows(); ++q) {
+    auto want = mem.Search(a, fixture.ds.queries.Row(q), 5, 3);
+    auto got = map.Search(b, fixture.ds.queries.Row(q), 5, 3);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].id, got[i].id);
+      EXPECT_EQ(want[i].distance, got[i].distance);
+    }
+  }
+}
+
+TEST_F(PersistTest, ListSectionsReportsTheV6Envelope) {
+  IvfWithCodes fixture;
+  ASSERT_TRUE(SaveIvf(Path("ivf_ls.bin"), fixture.ivf).ok());
+
+  std::vector<SectionInfo> sections;
+  std::string format;
+  uint32_t version = 0;
+  util::Status s = ListSections(Path("ivf_ls.bin"), &sections, &format,
+                                &version);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(format, "ivf index");
+  EXPECT_EQ(version, 6u);
+  ASSERT_EQ(sections.size(), 4u);
+  EXPECT_EQ(sections[0].name, "meta");
+  EXPECT_EQ(sections[1].name, "centroids");
+  EXPECT_EQ(sections[2].name, "buckets");
+  EXPECT_EQ(sections[3].name, "codes");
+
+  // Frames are in file order, non-overlapping, and inside the file.
+  const auto file_size =
+      static_cast<int64_t>(std::filesystem::file_size(Path("ivf_ls.bin")));
+  int64_t prev_end = 0;
+  for (const SectionInfo& sec : sections) {
+    EXPECT_GE(sec.payload_offset, prev_end) << sec.name;
+    EXPECT_GT(sec.payload_bytes, 0) << sec.name;
+    prev_end = sec.payload_offset + sec.payload_bytes;
+    EXPECT_LE(prev_end, file_size) << sec.name;
+    EXPECT_EQ(sec.aligned, sec.payload_offset % 64 == 0) << sec.name;
+  }
+
+  // The record bytes sit at the tail of the codes payload, and v6 pads so
+  // that tail begins at a 64-byte-aligned file offset — the property the
+  // zero-copy mmap load relies on.
+  const SectionInfo& codes = sections[3];
+  const int64_t record_bytes = fixture.ivf.codes().data_bytes();
+  ASSERT_GE(codes.payload_bytes, record_bytes);
+  EXPECT_EQ((codes.payload_offset + codes.payload_bytes - record_bytes) % 64,
+            0);
+}
+
+TEST_F(PersistTest, ListSectionsRejectsPreEnvelopeAndForeignFiles) {
+  // Pre-checksum versions have no section frames to walk.
+  {
+    BinaryWriter writer(Path("ivf_old.bin"));
+    const char magic[8] = {'R', 'I', 'I', 'V', 'F', 'I', 'X', '1'};
+    WriteHeader(writer, magic, /*version=*/2);
+    ASSERT_TRUE(writer.ok());
+  }
+  std::vector<SectionInfo> sections;
+  util::Status s = ListSections(Path("ivf_old.bin"), &sections);
+  EXPECT_EQ(s.code(), util::StatusCode::kFailedPrecondition) << s.ToString();
+
+  // Unknown magic is InvalidArgument, same as VerifyFile.
+  {
+    std::ofstream f(Path("junk.bin"), std::ios::binary);
+    f << "NOTPERSISTFILE__";
+  }
+  s = ListSections(Path("junk.bin"), &sections);
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument) << s.ToString();
 }
 
 TEST_F(PersistTest, DdcArtifactsRoundTripIdenticalDecisions) {

@@ -63,6 +63,12 @@ TEST(CodeStoreTest, PermutedByReordersWholeRecords) {
   }
 }
 
+// All the record bytes of a store as an independent vector (the old raw()
+// accessor, now spelled through the data pointer).
+std::vector<uint8_t> BytesOf(const CodeStore& store) {
+  return std::vector<uint8_t>(store.data(), store.data() + store.data_bytes());
+}
+
 TEST(CodeStoreTest, FromPartsRoundTrip) {
   CodeStore store(3, 5, 1, "method/cs5/sc1/n3");
   for (int64_t i = 0; i < 3; ++i) {
@@ -71,11 +77,10 @@ TEST(CodeStoreTest, FromPartsRoundTrip) {
     store.SetSidecar(i, 0, 7.0f);
   }
   CodeStore loaded;
-  util::Status s = CodeStore::FromParts(3, 5, 1, store.tag(),
-                                        std::vector<uint8_t>(store.raw()),
-                                        &loaded);
+  util::Status s =
+      CodeStore::FromParts(3, 5, 1, store.tag(), BytesOf(store), &loaded);
   ASSERT_TRUE(s.ok()) << s.ToString();
-  EXPECT_EQ(loaded.raw(), store.raw());
+  EXPECT_EQ(BytesOf(loaded), BytesOf(store));
   EXPECT_EQ(loaded.tag(), store.tag());
   EXPECT_EQ(loaded.stride(), store.stride());
 }
@@ -84,25 +89,111 @@ TEST(CodeStoreTest, FromPartsRejectsMismatchedPayload) {
   CodeStore store(3, 5, 1, "t");
   CodeStore out;
 
-  std::vector<uint8_t> truncated(store.raw());
+  std::vector<uint8_t> truncated = BytesOf(store);
   truncated.pop_back();
   util::Status s = CodeStore::FromParts(3, 5, 1, "t", truncated, &out);
   EXPECT_EQ(s.code(), util::StatusCode::kCorruption);
   EXPECT_FALSE(s.message().empty());
 
-  std::vector<uint8_t> oversized(store.raw());
+  std::vector<uint8_t> oversized = BytesOf(store);
   oversized.push_back(0);
   EXPECT_FALSE(CodeStore::FromParts(3, 5, 1, "t", oversized, &out).ok());
 
-  EXPECT_FALSE(CodeStore::FromParts(3, 0, 1, "t", store.raw(), &out).ok());
-  EXPECT_FALSE(CodeStore::FromParts(-1, 5, 1, "t", store.raw(), &out).ok());
-  EXPECT_FALSE(CodeStore::FromParts(3, 5, -1, "t", store.raw(), &out).ok());
+  EXPECT_FALSE(CodeStore::FromParts(3, 0, 1, "t", BytesOf(store), &out).ok());
+  EXPECT_FALSE(CodeStore::FromParts(-1, 5, 1, "t", BytesOf(store), &out).ok());
+  EXPECT_FALSE(CodeStore::FromParts(3, 5, -1, "t", BytesOf(store), &out).ok());
 
   // Hostile code_size crafted so that n * stride would signed-overflow and
   // wrap to the real payload size (n = 12, 96-byte payload): must be
   // rejected by the bound/division checks, never accepted.
   std::vector<uint8_t> payload(96, 0);
   s = CodeStore::FromParts(12, (int64_t{1} << 62) + 2, 0, "t", payload, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.message().empty());
+}
+
+// Fills a store with deterministic per-record content for the sharing
+// tests: code bytes {i, 7+i}, sidecar 1.5*i.
+CodeStore FilledStore(int64_t n) {
+  CodeStore store(n, 2, 1, "shared");
+  for (int64_t i = 0; i < n; ++i) {
+    const uint8_t code[2] = {static_cast<uint8_t>(i),
+                             static_cast<uint8_t>(7 + i)};
+    store.SetCode(i, code);
+    store.SetSidecar(i, 0, 1.5f * static_cast<float>(i));
+  }
+  return store;
+}
+
+TEST(CodeStoreTest, ShareViewIsZeroCopyAndImmutable) {
+  CodeStore store = FilledStore(6);
+  CodeStore view = store.ShareView();
+  // No bytes move: the view aliases the source's storage handle.
+  EXPECT_EQ(view.data(), store.data());
+  EXPECT_TRUE(view.storage().SharesOwnerWith(store.storage()));
+  EXPECT_TRUE(view.is_view());
+  EXPECT_FALSE(store.is_view());
+  EXPECT_EQ(view.size(), store.size());
+  EXPECT_EQ(view.stride(), store.stride());
+  EXPECT_EQ(view.tag(), store.tag());
+  EXPECT_EQ(view.packing(), store.packing());
+  EXPECT_EQ(view.storage_backend(), store.storage_backend());
+  EXPECT_EQ(view.Sidecar(3, 0), 4.5f);
+}
+
+TEST(CodeStoreTest, ShareViewKeepsBytesAliveAfterTheSourceDies) {
+  CodeStore view;
+  {
+    CodeStore store = FilledStore(5);
+    view = store.ShareView();
+  }  // the source handle drops here; the view still pins the allocation
+  ASSERT_EQ(view.size(), 5);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(view.record(i)[0], static_cast<uint8_t>(i)) << i;
+    EXPECT_EQ(view.record(i)[1], static_cast<uint8_t>(7 + i)) << i;
+    EXPECT_EQ(view.Sidecar(i, 0), 1.5f * static_cast<float>(i)) << i;
+  }
+}
+
+TEST(CodeStoreTest, CloneIsDeepAndIndependentlyMutable) {
+  CodeStore store = FilledStore(4);
+  CodeStore clone = store.Clone();
+  ASSERT_EQ(clone.size(), 4);
+  EXPECT_NE(clone.data(), store.data());
+  EXPECT_FALSE(clone.storage().SharesOwnerWith(store.storage()));
+  EXPECT_EQ(BytesOf(clone), BytesOf(store));
+  EXPECT_FALSE(clone.is_view());
+  // Clones are mutable; the source must not see the write.
+  clone.SetSidecar(2, 0, -9.0f);
+  EXPECT_EQ(clone.Sidecar(2, 0), -9.0f);
+  EXPECT_EQ(store.Sidecar(2, 0), 3.0f);
+}
+
+TEST(CodeStoreTest, FromBlobWrapsBytesWithoutCopying) {
+  CodeStore source = FilledStore(6);
+  storage::Blob blob = storage::Blob::CopyOf(source.data(),
+                                             source.data_bytes());
+  const uint8_t* backing = blob.data();
+  CodeStore out;
+  util::Status s =
+      CodeStore::FromBlob(6, 2, 1, "shared", std::move(blob), &out,
+                          CodePacking::kBytePerCode,
+                          storage::StorageBackend::kMmap);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  // The store serves the blob's bytes in place and records their home.
+  EXPECT_EQ(out.data(), backing);
+  EXPECT_TRUE(out.is_view());
+  EXPECT_EQ(out.storage_backend(), storage::StorageBackend::kMmap);
+  EXPECT_EQ(BytesOf(out), BytesOf(source));
+}
+
+TEST(CodeStoreTest, FromBlobRejectsMismatchedPayload) {
+  // One byte short of 3 records x stride 8: off-disk bytes must be
+  // rejected recoverably, exactly like FromParts.
+  storage::Blob truncated = storage::Blob::AllocateAligned(23);
+  CodeStore out;
+  util::Status s = CodeStore::FromBlob(3, 2, 1, "t", std::move(truncated),
+                                       &out);
   EXPECT_FALSE(s.ok());
   EXPECT_FALSE(s.message().empty());
 }

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <numeric>
@@ -21,6 +22,8 @@
 #include "core/ddc_any.h"
 #include "core/training_data.h"
 #include "index/ivf_index.h"
+#include "persist/persist.h"
+#include "storage/storage.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -313,6 +316,52 @@ TEST(ServingTest, BackloggedTrafficCoalesces) {
   for (auto& future : futures) future.get();
   server.Shutdown();
   EXPECT_GE(server.stats().MeanOccupancy(), 2.0);
+}
+
+TEST(ServingTest, MmapLoadedIndexServesBitIdenticalAnswers) {
+  // End-to-end storage tier check: save the fixture index (persist v6),
+  // reload it zero-copy through the mmap backend, and serve coalesced
+  // traffic from the mapped records. Every answer must be bit-identical to
+  // the in-memory index's solo search — the serving layer pins the storage
+  // handle per dispatched group, so the mapping cannot be unmapped under an
+  // in-flight scan. The CI matrix also runs this whole suite with
+  // RESINFER_STORAGE=mmap, covering the env-default route.
+  ServingFixture& f = Fixture();
+  const int k = 10, nprobe = 6;
+  const auto want = SoloAnswers(f, f.DdcPqFactory(), k, nprobe);
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "resinfer_serving_mmap_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "ivf_v6.bin").string();
+  util::Status saved = persist::SaveIvf(path, f.ivf);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+
+  persist::IvfLoadOptions load_options;
+  load_options.backend = storage::StorageBackend::kMmap;
+  index::IvfIndex mapped;
+  util::Status loaded = persist::LoadIvf(path, &mapped, load_options);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  ASSERT_TRUE(mapped.has_codes());
+  ASSERT_EQ(mapped.codes().storage_backend(),
+            storage::StorageBackend::kMmap);
+
+  AdmissionOptions options;
+  options.num_threads = 2;
+  options.max_group_size = 8;
+  options.linger_micros = 500;
+  IvfServer server(&mapped, f.DdcPqFactory(), options);
+  std::vector<std::future<std::vector<Neighbor>>> futures;
+  for (int64_t q = 0; q < f.ds.queries.rows(); ++q) {
+    futures.push_back(server.Submit(f.ds.queries.Row(q), k, nprobe));
+  }
+  for (std::size_t q = 0; q < futures.size(); ++q) {
+    ExpectSameNeighbors(want[q], futures[q].get(),
+                        "mmap q=" + std::to_string(q));
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.stats().requests, f.ds.queries.rows());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ServingTest, StatsSnapshotsAreCoherentDuringTraffic) {

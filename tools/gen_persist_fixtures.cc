@@ -28,6 +28,13 @@ namespace {
 
 constexpr char kIvfMagic[8] = {'R', 'I', 'I', 'V', 'F', 'I', 'X', '1'};
 
+// The record bytes as a count-prefixed vector, as the pre-v6 code sections
+// stored them.
+std::vector<uint8_t> CodeBytes(const quant::CodeStore& codes) {
+  return std::vector<uint8_t>(codes.data(),
+                              codes.data() + codes.data_bytes());
+}
+
 // The fixture index: 12 points in 4-d, 3 buckets. Keep in sync with
 // persist_fixture_test.cc.
 constexpr int64_t kSize = 12;
@@ -130,7 +137,7 @@ bool WriteV3(const std::string& path, const linalg::Matrix& centroids) {
   writer.Write<int64_t>(codes.code_size());
   writer.Write<int32_t>(codes.num_sidecars());
   writer.WriteString(codes.tag());
-  writer.WriteVector(codes.raw());
+  writer.WriteVector(CodeBytes(codes));
   return writer.Close();
 }
 
@@ -148,14 +155,47 @@ bool WriteV4(const std::string& path, const linalg::Matrix& centroids) {
   writer.Write<int32_t>(codes.num_sidecars());
   writer.Write<uint8_t>(static_cast<uint8_t>(codes.packing()));
   writer.WriteString(codes.tag());
-  writer.WriteVector(codes.raw());
+  writer.WriteVector(CodeBytes(codes));
   return writer.Close();
 }
 
-// The current writer IS the v5 format; route through SaveIvf so the
+// The v5 bytes are FROZEN (the library now writes the storage-aligned v6):
+// replicate the v5 layout by hand — the checksummed envelope around the v4
+// payload, code records as a count-prefixed vector, no alignment pad.
+bool WriteV5(const std::string& path, quant::CodeStore source) {
+  const quant::CodeStore codes = source.PermutedBy(FixtureIds());
+  const linalg::Matrix centroids = FixtureCentroids();
+  BinaryWriter writer(path);
+  WriteHeader(writer, kIvfMagic, 5);
+  writer.BeginSection("meta");
+  writer.Write<int64_t>(kSize);
+  writer.EndSection();
+  writer.BeginSection("centroids");
+  writer.Write(centroids.rows());
+  writer.Write(centroids.cols());
+  writer.WriteFloats(centroids.data(), centroids.size());
+  writer.EndSection();
+  writer.BeginSection("buckets");
+  writer.Write<int32_t>(kClusters);
+  writer.WriteVector(FixtureOffsets());
+  writer.WriteVector(FixtureIds());
+  writer.EndSection();
+  writer.BeginSection("codes");
+  writer.Write<uint8_t>(1);
+  writer.Write<int64_t>(codes.code_size());
+  writer.Write<int32_t>(codes.num_sidecars());
+  writer.Write<uint8_t>(static_cast<uint8_t>(codes.packing()));
+  writer.WriteString(codes.tag());
+  writer.WriteVector(CodeBytes(codes));
+  writer.EndSection();
+  writer.WriteChecksumFooter();
+  return writer.Close();
+}
+
+// The current writer IS the v6 format; route through SaveIvf so the
 // fixtures track exactly what the library writes today. One fixture per
 // code layout so both ADC paths keep a cross-version guarantee.
-bool WriteV5(const std::string& path, quant::CodeStore codes) {
+bool WriteV6(const std::string& path, quant::CodeStore codes) {
   index::IvfIndex ivf = index::IvfIndex::FromCsr(
       kSize, FixtureCentroids(), FixtureOffsets(), FixtureIds());
   ivf.AttachCodes(std::move(codes));
@@ -179,13 +219,16 @@ int main(int argc, char** argv) {
       !resinfer::WriteV4(dir + "/ivf_v4.bin", centroids) ||
       !resinfer::WriteV5(dir + "/ivf_v5.bin", resinfer::FixtureCodes()) ||
       !resinfer::WriteV5(dir + "/ivf_v5_packed.bin",
+                         resinfer::FixturePackedCodes()) ||
+      !resinfer::WriteV6(dir + "/ivf_v6.bin", resinfer::FixtureCodes()) ||
+      !resinfer::WriteV6(dir + "/ivf_v6_packed.bin",
                          resinfer::FixturePackedCodes())) {
     std::fprintf(stderr, "failed writing fixtures to %s\n", dir.c_str());
     return 1;
   }
   std::printf(
       "wrote ivf_v1.bin ivf_v2.bin ivf_v3.bin ivf_v4.bin ivf_v5.bin "
-      "ivf_v5_packed.bin to %s\n",
+      "ivf_v5_packed.bin ivf_v6.bin ivf_v6_packed.bin to %s\n",
       dir.c_str());
   return 0;
 }

@@ -37,6 +37,45 @@ using resinfer::persist::LoadOpq;
 using resinfer::persist::LoadPca;
 using resinfer::persist::LoadPq;
 
+// Section table for checksummed files (v5+): name, payload size, file
+// offset, 64-byte alignment. For v6 ivf files also prints the hot/cold
+// split: the code section is the hot tier (served resident or zero-copy
+// from an mmap of this very file when aligned); the raw vectors are the
+// cold tier and live in a separate matrix/fvecs file, touched only by the
+// exact-rescore epilogue. Pre-checksum files have no section frames to
+// walk, so nothing is printed for them.
+void PrintSections(const std::string& path) {
+  std::vector<resinfer::persist::SectionInfo> sections;
+  std::string format;
+  uint32_t version = 0;
+  resinfer::util::Status status =
+      resinfer::persist::ListSections(path, &sections, &format, &version);
+  if (!status.ok()) return;
+  int64_t total = 0;
+  int64_t hot = 0;
+  for (const auto& section : sections) {
+    std::printf("  section %-10s %10lld bytes @ %-8lld%s\n",
+                section.name.c_str(),
+                static_cast<long long>(section.payload_bytes),
+                static_cast<long long>(section.payload_offset),
+                section.aligned ? " 64B-aligned" : "");
+    total += section.payload_bytes;
+    if (section.name == "codes") hot = section.payload_bytes;
+  }
+  if (format == "ivf index" && version >= 6) {
+    // The v6 writer pads inside the codes section so the record payload
+    // itself sits on a 64-byte file offset (the section frame before it
+    // need not be aligned) — that is what makes the hot tier mmappable.
+    std::printf(
+        "  hot tier:  codes %lld bytes (%.1f%% of payload), record payload "
+        "64B-aligned for zero-copy mmap\n"
+        "  cold tier: raw vectors live outside this file (matrix/fvecs), "
+        "paged in only by the exact-rescore epilogue\n",
+        static_cast<long long>(hot),
+        total > 0 ? 100.0 * static_cast<double>(hot) / total : 0.0);
+  }
+}
+
 bool ReadMagic(const std::string& path, std::string* magic,
                std::string* error) {
   std::ifstream in(path, std::ios::binary);
@@ -71,6 +110,7 @@ bool InspectOne(const std::string& path) {
                 static_cast<long long>(m.rows()),
                 static_cast<long long>(m.cols()),
                 static_cast<double>(m.size()) * sizeof(float) / (1 << 20));
+    PrintSections(path);
     return true;
   }
   if (magic == "RIPCAMD1") {
@@ -135,9 +175,17 @@ bool InspectOne(const std::string& path) {
                   error.c_str());
       return false;
     }
-    std::printf("%s: ivf index n=%lld clusters=%lld\n", path.c_str(),
-                static_cast<long long>(ivf.size()),
-                static_cast<long long>(ivf.num_clusters()));
+    if (ivf.has_codes()) {
+      std::printf("%s: ivf index n=%lld clusters=%lld codes=%s\n",
+                  path.c_str(), static_cast<long long>(ivf.size()),
+                  static_cast<long long>(ivf.num_clusters()),
+                  ivf.codes().tag().c_str());
+    } else {
+      std::printf("%s: ivf index n=%lld clusters=%lld\n", path.c_str(),
+                  static_cast<long long>(ivf.size()),
+                  static_cast<long long>(ivf.num_clusters()));
+    }
+    PrintSections(path);
     return true;
   }
   if (magic == "RIDPCAA1") {

@@ -26,6 +26,7 @@
 #include "index/batch.h"
 #include "persist/persist.h"
 #include "serve/admission.h"
+#include "storage/storage.h"
 #include "tool_flags.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -55,7 +56,10 @@ void PrintUsage() {
       "                  the pre-materialized batch runner\n"
       "  --linger-us N   serve mode: group linger budget (default 200)\n"
       "  --group N       serve mode: max queries per coalesced group\n"
-      "                  (default 32, capped at the grouped-scan width)\n");
+      "                  (default 32, capped at the grouped-scan width)\n"
+      "  --storage KIND  memory|mmap: how the IVF code section is served\n"
+      "                  (default: RESINFER_STORAGE env, else memory;\n"
+      "                  mmap needs a v6 ivf.bin)\n");
 }
 
 // Everything a method needs at serving time, loaded once and shared by all
@@ -160,6 +164,17 @@ int main(int argc, char** argv) {
   const bool serve = args.GetBool("serve", false);
   const int64_t linger_us = args.GetInt("linger-us", 200);
   const int serve_group = static_cast<int>(args.GetInt("group", 32));
+  // --storage overrides the RESINFER_STORAGE env default. mmap serves the
+  // v6 code section zero-copy from the index file; results are
+  // bit-identical to the memory backend either way.
+  const std::string storage_flag = args.GetString("storage", "");
+  resinfer::persist::IvfLoadOptions load_options;
+  if (!storage_flag.empty() &&
+      !resinfer::storage::ParseStorageBackend(storage_flag,
+                                              &load_options.backend)
+           .ok()) {
+    args.Fail("--storage must be 'memory' or 'mmap'");
+  }
 
   if (dir.empty() && method != "exact") args.Fail("--dir is required");
   if (serve && index_kind != "ivf") args.Fail("--serve requires --index ivf");
@@ -209,7 +224,7 @@ int main(int argc, char** argv) {
   } else if (index_kind == "ivf") {
     resinfer::index::IvfIndex ivf;
     if (resinfer::util::Status s =
-            resinfer::persist::LoadIvf(dir + "/ivf.bin", &ivf);
+            resinfer::persist::LoadIvf(dir + "/ivf.bin", &ivf, load_options);
         !s.ok()) {
       std::fprintf(stderr, "error loading ivf.bin: %s\n",
                    s.ToString().c_str());
